@@ -1,0 +1,53 @@
+"""Ablation — all-or-nothing vs partial admission in Appro-G.
+
+The paper's Algorithm 2 literally accumulates per-(query, dataset) volume;
+its evaluation reports query throughput, implying all-or-nothing
+admission.  We ship both semantics (DESIGN.md §3.2); this bench quantifies
+the gap: partial admission serves strictly more volume (it keeps servable
+pairs of otherwise-rejected queries) while all-or-nothing reflects the
+user-visible contract.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from conftest import emit
+
+from repro.core import ApproG, evaluate_solution, verify_solution
+from repro.experiments.runner import make_instance
+from repro.topology.twotier import TwoTierConfig
+from repro.workload.params import PaperDefaults
+
+
+def _run(repeats: int, *, partial: bool) -> tuple[float, float]:
+    volumes, throughputs = [], []
+    for repeat in range(repeats):
+        instance = make_instance(TwoTierConfig(), PaperDefaults(), 2019, repeat)
+        solution = ApproG(partial_admission=partial).solve(instance)
+        verify_solution(instance, solution, all_or_nothing=not partial)
+        m = evaluate_solution(instance, solution)
+        volumes.append(m.admitted_volume_gb)
+        throughputs.append(m.throughput)
+    return statistics.fmean(volumes), statistics.fmean(throughputs)
+
+
+def test_admission_semantics_ablation(benchmark, repeats, results_dir):
+    def run_both():
+        return _run(repeats, partial=False), _run(repeats, partial=True)
+
+    (aon_v, aon_t), (part_v, part_t) = benchmark.pedantic(
+        run_both, rounds=1, iterations=1
+    )
+    table = (
+        "=== ablation: Appro-G admission semantics ===\n"
+        f"all-or-nothing: volume={aon_v:8.1f} GB  throughput={aon_t:.3f}\n"
+        f"partial       : volume={part_v:8.1f} GB  throughput={part_t:.3f}\n"
+        f"partial volume uplift: {part_v / aon_v:.2f}x"
+    )
+    emit(results_dir, "ablation_admission", table)
+    # In the mean, partial admission serves more volume and more queries
+    # (per-instance dominance does not hold: kept partial pairs can crowd
+    # out later full admissions).
+    assert part_v >= aon_v * 0.95
+    assert part_t >= aon_t

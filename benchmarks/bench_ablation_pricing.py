@@ -1,0 +1,51 @@
+"""Ablation — does the multiplicative capacity price matter?
+
+DESIGN.md calls out the dynamic price update (``θ_l`` rising with node
+utilisation) as the mechanism that keeps low-value queries from crowding
+scarce cloudlets.  This bench runs Appro-G with pricing on vs frozen
+(``capacity_pricing=False``) on identical instances.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from conftest import emit
+
+from repro.core import ApproG, PrimalDualConfig, evaluate_solution, verify_solution
+from repro.experiments.runner import make_instance
+from repro.topology.twotier import TwoTierConfig
+from repro.workload.params import PaperDefaults
+
+
+def _run(repeats: int, *, capacity_pricing: bool) -> tuple[float, float]:
+    config = PrimalDualConfig(capacity_pricing=capacity_pricing)
+    volumes, throughputs = [], []
+    for repeat in range(repeats):
+        instance = make_instance(TwoTierConfig(), PaperDefaults(), 2019, repeat)
+        solution = ApproG(config).solve(instance)
+        verify_solution(instance, solution)
+        m = evaluate_solution(instance, solution)
+        volumes.append(m.admitted_volume_gb)
+        throughputs.append(m.throughput)
+    return statistics.fmean(volumes), statistics.fmean(throughputs)
+
+
+def test_capacity_pricing_ablation(benchmark, repeats, results_dir):
+    def run_both():
+        return _run(repeats, capacity_pricing=True), _run(
+            repeats, capacity_pricing=False
+        )
+
+    (on_v, on_t), (off_v, off_t) = benchmark.pedantic(
+        run_both, rounds=1, iterations=1
+    )
+    table = (
+        "=== ablation: multiplicative capacity pricing (Appro-G) ===\n"
+        f"pricing on : volume={on_v:8.1f} GB  throughput={on_t:.3f}\n"
+        f"pricing off: volume={off_v:8.1f} GB  throughput={off_t:.3f}\n"
+        f"volume uplift: {on_v / off_v:.2f}x"
+    )
+    emit(results_dir, "ablation_pricing", table)
+    # Pricing must never hurt materially; it usually helps.
+    assert on_v >= 0.95 * off_v

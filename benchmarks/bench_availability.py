@@ -1,0 +1,68 @@
+"""Extension bench — availability under node failures vs K.
+
+The paper motivates replication with availability ("highly available,
+reliable and scalable"); this bench quantifies it: fail the most-loaded
+placement nodes, repair by failing over to surviving replicas, and report
+the served-volume retention per replica bound K.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from conftest import emit
+
+from repro.core import make_algorithm, verify_solution
+from repro.core.repair import fail_nodes, repair_placement
+from repro.experiments.runner import make_instance
+from repro.topology.twotier import TwoTierConfig
+from repro.workload.params import PaperDefaults
+
+K_VALUES = (1, 2, 3, 5, 7)
+FAILURES = 2  # most-loaded nodes knocked out per trial
+
+
+def _loaded_nodes(solution, n):
+    load: dict[int, float] = {}
+    for a in solution.assignments.values():
+        load[a.node] = load.get(a.node, 0.0) + a.compute_ghz
+    return sorted(load, key=load.get, reverse=True)[:n]
+
+
+def test_availability_vs_k(benchmark, repeats, results_dir):
+    def measure():
+        rows = []
+        for k in K_VALUES:
+            params = PaperDefaults().with_max_replicas(k)
+            values, recovered, dropped = [], 0, 0
+            for repeat in range(repeats):
+                instance = make_instance(TwoTierConfig(), params, 61, repeat)
+                solution = make_algorithm("appro-g").solve(instance)
+                if not solution.assignments:
+                    continue
+                impact = fail_nodes(
+                    instance, solution, _loaded_nodes(solution, FAILURES)
+                )
+                report = repair_placement(instance, solution, impact)
+                verify_solution(instance, report.solution)
+                values.append(report.availability)
+                recovered += len(report.recovered_queries)
+                dropped += len(report.dropped_queries)
+            rows.append(
+                (k, statistics.fmean(values) if values else 1.0, recovered, dropped)
+            )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = [
+        f"=== availability after failing the {FAILURES} most-loaded nodes ===",
+        " K | volume retention | queries recovered | dropped",
+    ]
+    for k, avail, rec, drop in rows:
+        lines.append(f"{k:2d} | {avail:16.3f} | {rec:17d} | {drop:7d}")
+    emit(results_dir, "availability", "\n".join(lines))
+
+    retention = {k: a for k, a, _, _ in rows}
+    # Generous replication retains at least as much volume as K = 1.
+    assert retention[7] >= retention[1]
+    assert all(0.0 <= a <= 1.0 + 1e-9 for a in retention.values())

@@ -1,0 +1,64 @@
+"""Extension bench — link budgets vs contention-mode deadline misses.
+
+The analytic model admits against node compute only; the contention-aware
+event simulator then reveals transfer queueing on shared links.  This
+bench sweeps the per-link traffic budget of ``appro-bw-g`` and reports
+the admission-vs-violations trade against plain ``appro-g``.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+from conftest import emit
+
+from repro.core import BandwidthApproG, evaluate_solution, make_algorithm, verify_solution
+from repro.experiments.runner import make_instance
+from repro.sim import ExecutionConfig, execute_placement
+from repro.topology.twotier import TwoTierConfig
+from repro.workload.params import PaperDefaults
+
+BUDGETS = (3.0, 5.0, 10.0, 1e9)
+
+
+def test_bandwidth_tradeoff(benchmark, repeats, results_dir):
+    def measure():
+        rows = []
+        cfg = ExecutionConfig(contention=True)
+        plain_v, plain_x = [], []
+        for repeat in range(repeats):
+            inst = make_instance(TwoTierConfig(), PaperDefaults(), 81, repeat)
+            sol = make_algorithm("appro-g").solve(inst)
+            plain_v.append(evaluate_solution(inst, sol).admitted_volume_gb)
+            plain_x.append(execute_placement(inst, sol, cfg).deadline_violations)
+        rows.append(("plain", statistics.fmean(plain_v), statistics.fmean(plain_x)))
+        for budget in BUDGETS:
+            vols, viols = [], []
+            for repeat in range(repeats):
+                inst = make_instance(TwoTierConfig(), PaperDefaults(), 81, repeat)
+                sol = BandwidthApproG(link_budget_gb=budget).solve(inst)
+                verify_solution(inst, sol)
+                vols.append(evaluate_solution(inst, sol).admitted_volume_gb)
+                viols.append(
+                    execute_placement(inst, sol, cfg).deadline_violations
+                )
+            rows.append(
+                (f"bw={budget:g}", statistics.fmean(vols), statistics.fmean(viols))
+            )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = [
+        "=== link-budget admission vs contention-mode deadline misses ===",
+        "variant    | admitted GB | violations (contention execution)",
+    ]
+    for name, vol, viol in rows:
+        lines.append(f"{name:10s} | {vol:11.1f} | {viol:10.2f}")
+    emit(results_dir, "bandwidth", "\n".join(lines))
+
+    by_name = {name: (vol, viol) for name, vol, viol in rows}
+    # The tightest budget must not miss more deadlines than plain admission.
+    assert by_name[f"bw={BUDGETS[0]:g}"][1] <= by_name["plain"][1]
+    # An unbounded budget reproduces plain admission.
+    assert by_name["bw=1e+09"][0] == pytest.approx(by_name["plain"][0])

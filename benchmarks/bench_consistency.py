@@ -1,0 +1,94 @@
+"""Consistency-maintenance cost vs the §2.4 update threshold and K.
+
+The paper's motivation for bounding replicas: "maintenance of data
+consistency between the original dataset and its slave replicas does incur
+cost".  This bench quantifies that cost for Appro-G placements across
+thresholds and replica bounds: more replicas mean more admitted volume but
+strictly more sync traffic — the trade-off K controls.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.cluster.consistency import ConsistencyModel
+from repro.core import ApproG, evaluate_solution
+from repro.sim.consistency_sim import ConsistencySimConfig, simulate_consistency
+from repro.experiments.runner import make_instance
+from repro.topology.twotier import TwoTierConfig
+from repro.workload.params import PaperDefaults
+
+THRESHOLDS = (0.05, 0.1, 0.2, 0.5)
+K_VALUES = (1, 3, 5, 7)
+
+
+def test_consistency_cost(benchmark, repeats, results_dir):
+    def measure():
+        table = {}
+        for k in K_VALUES:
+            params = PaperDefaults().with_max_replicas(k)
+            vol = 0.0
+            shipped = {t: 0.0 for t in THRESHOLDS}
+            syncs = {t: 0.0 for t in THRESHOLDS}
+            staleness = {t: 0.0 for t in THRESHOLDS}
+            for repeat in range(repeats):
+                instance = make_instance(TwoTierConfig(), params, 11, repeat)
+                solution = ApproG().solve(instance)
+                vol += evaluate_solution(instance, solution).admitted_volume_gb
+                for t in THRESHOLDS:
+                    model = ConsistencyModel(threshold=t)
+                    report = model.report(
+                        instance, solution.replicas, horizon_days=30.0
+                    )
+                    shipped[t] += report.shipped_gb
+                    syncs[t] += report.syncs
+                    # Event-level replay adds the staleness measurement the
+                    # analytic model cannot produce.
+                    sim = simulate_consistency(
+                        instance,
+                        solution.replicas,
+                        ConsistencySimConfig(model=model),
+                    )
+                    staleness[t] += sim.mean_staleness_gb
+            table[k] = (
+                vol / repeats,
+                {t: s / repeats for t, s in shipped.items()},
+                {t: s / repeats for t, s in syncs.items()},
+                {t: s / repeats for t, s in staleness.items()},
+            )
+        return table
+
+    table = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = [
+        "=== consistency maintenance cost (30-day horizon, Appro-G) ===",
+        " K | admitted GB | sync ops at threshold "
+        + " ".join(f"t={t}" for t in THRESHOLDS)
+        + " | GB shipped at "
+        + " ".join(f"t={t}" for t in THRESHOLDS),
+    ]
+    lines[1] += " | mean staleness GB at " + " ".join(f"t={t}" for t in THRESHOLDS)
+    for k, (vol, shipped, syncs, staleness) in table.items():
+        lines.append(
+            f"{k:2d} | {vol:11.1f} | "
+            + " ".join(f"{syncs[t]:8.1f}" for t in THRESHOLDS)
+            + " | "
+            + " ".join(f"{shipped[t]:8.1f}" for t in THRESHOLDS)
+            + " | "
+            + " ".join(f"{staleness[t]:6.3f}" for t in THRESHOLDS)
+        )
+    emit(results_dir, "consistency", "\n".join(lines))
+
+    # The threshold trades sync *frequency* against staleness: loosening
+    # it strictly reduces update operations while measured staleness grows
+    # (total shipped volume stays roughly constant).
+    for _, _, syncs, staleness in table.values():
+        sync_vals = [syncs[t] for t in THRESHOLDS]
+        assert all(a >= b for a, b in zip(sync_vals, sync_vals[1:]))
+        stale_vals = [staleness[t] for t in THRESHOLDS]
+        if stale_vals[0] > 0:
+            assert stale_vals[-1] > stale_vals[0]
+    # More replicas ⇒ at least as much admitted volume AND more sync traffic.
+    vols = [table[k][0] for k in K_VALUES]
+    assert vols[-1] > vols[0]
+    ship01 = [table[k][1][0.1] for k in K_VALUES]
+    assert ship01[-1] > ship01[0]

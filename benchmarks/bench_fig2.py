@@ -1,0 +1,32 @@
+"""Fig. 2 — special case vs network size (Appro-S / Greedy-S / Graph-S).
+
+Regenerates both panels: (a) admitted volume, (b) system throughput.
+Expected shape (paper §4.2): Appro-S well above Greedy-S (≈4× volume in
+the paper) and above Graph-S, with a slight dip at the largest network
+size as longer paths start violating deadlines.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.experiments import figure2, render_figure
+
+
+def test_figure2(benchmark, experiment_config, results_dir):
+    series = benchmark.pedantic(
+        figure2, args=(experiment_config,), rounds=1, iterations=1
+    )
+    emit(results_dir, "fig2", render_figure(series))
+
+    appro_v = series.volume["appro-s"]
+    greedy_v = series.volume["greedy-s"]
+    appro_t = series.throughput["appro-s"]
+    greedy_t = series.throughput["greedy-s"]
+    # Appro dominates Greedy at every network size, on both metrics.
+    assert all(a > g for a, g in zip(appro_v, greedy_v))
+    assert all(a > g for a, g in zip(appro_t, greedy_t))
+    # Appro is at least competitive with Graph everywhere.
+    assert all(
+        a >= 0.9 * g for a, g in zip(appro_v, series.volume["graph-s"])
+    )

@@ -1,0 +1,26 @@
+"""Fig. 3 — general case vs network size (Appro-G / Greedy-G / Graph-G).
+
+Expected shape (paper §4.2): Appro-G above both baselines on volume (≈5×
+Greedy-G, ≈1.7× Graph-G in the paper) and throughput (≈2.1× / ≈1.5×).
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.experiments import figure3, render_figure
+
+
+def test_figure3(benchmark, experiment_config, results_dir):
+    series = benchmark.pedantic(
+        figure3, args=(experiment_config,), rounds=1, iterations=1
+    )
+    emit(results_dir, "fig3", render_figure(series))
+
+    for metric in (series.volume, series.throughput):
+        appro = metric["appro-g"]
+        assert all(a > g for a, g in zip(appro, metric["greedy-g"]))
+        assert all(a >= 0.9 * g for a, g in zip(appro, metric["graph-g"]))
+    # The paper's greedy gap is large: check a clear multiple on volume.
+    mean = lambda xs: sum(xs) / len(xs)
+    assert mean(series.volume["appro-g"]) > 1.5 * mean(series.volume["greedy-g"])

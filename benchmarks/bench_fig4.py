@@ -1,0 +1,33 @@
+"""Fig. 4 — impact of F, the max datasets demanded per query (general case).
+
+Expected shape (paper §4.2): throughput decreases monotonically in F for
+every algorithm (all-or-nothing admission gets harder); admitted volume
+grows with F and flattens or dips near F = 5–6.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.experiments import figure4, render_figure
+
+
+def test_figure4(benchmark, experiment_config, results_dir):
+    series = benchmark.pedantic(
+        figure4, args=(experiment_config,), rounds=1, iterations=1
+    )
+    emit(results_dir, "fig4", render_figure(series))
+
+    for alg in series.algorithms:
+        t = series.throughput[alg]
+        # Broad monotone decrease: endpoints drop and no large up-jumps.
+        assert t[0] > t[-1]
+        assert all(t[i + 1] <= t[i] * 1.15 for i in range(len(t) - 1))
+    # Volume grows from F=1 toward the F≈5 region for the proposed algorithm.
+    v = series.volume["appro-g"]
+    assert max(v[3:]) > v[0]
+    # Appro dominates Greedy everywhere.
+    assert all(
+        a > g
+        for a, g in zip(series.volume["appro-g"], series.volume["greedy-g"])
+    )

@@ -1,0 +1,31 @@
+"""Fig. 5 — impact of K, the max replicas per dataset (general case).
+
+Expected shape (paper §4.2): both admitted volume and throughput increase
+with K for every algorithm (more replicas make deadlines easier to meet),
+with Appro-G significantly above Greedy-G and Graph-G throughout.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.experiments import figure5, render_figure
+
+
+def test_figure5(benchmark, experiment_config, results_dir):
+    series = benchmark.pedantic(
+        figure5, args=(experiment_config,), rounds=1, iterations=1
+    )
+    emit(results_dir, "fig5", render_figure(series))
+
+    for alg in series.algorithms:
+        v = series.volume[alg]
+        t = series.throughput[alg]
+        # Clear growth from K=1 to K=7, allowing small local noise.
+        assert v[-1] > v[0]
+        assert t[-1] > t[0]
+        assert all(v[i + 1] >= v[i] * 0.9 for i in range(len(v) - 1))
+    assert all(
+        a >= g
+        for a, g in zip(series.volume["appro-g"], series.volume["greedy-g"])
+    )

@@ -1,0 +1,37 @@
+"""Fig. 7 — geo testbed, impact of F (Appro vs Popularity).
+
+Runs the full §4.3 pipeline per point: synthetic usage trace → time-window
+datasets → analytics queries → placement → contention-aware event
+execution → replica-vs-origin result check.
+
+Expected shape (paper §4.3): Appro above Popularity on both metrics;
+volume grows with F; throughput decreases with F.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.experiments import ExperimentConfig, figure7, render_figure
+
+
+def test_figure7(benchmark, repeats, results_dir):
+    config = ExperimentConfig(repeats=min(repeats, 5))
+    series = benchmark.pedantic(
+        figure7, args=(config,), rounds=1, iterations=1
+    )
+    emit(results_dir, "fig7", render_figure(series))
+
+    appro_v = series.volume["appro-g"]
+    pop_v = series.volume["popularity-g"]
+    appro_t = series.throughput["appro-g"]
+    pop_t = series.throughput["popularity-g"]
+    mean = lambda xs: sum(xs) / len(xs)
+    # Appro dominates on average; per point allow single-seed noise.
+    assert mean(appro_v) > mean(pop_v)
+    assert mean(appro_t) > mean(pop_t)
+    assert all(a >= 0.85 * p for a, p in zip(appro_v, pop_v))
+    assert all(a >= 0.85 * p for a, p in zip(appro_t, pop_t))
+    # Volume grows with F; throughput shrinks with F.
+    assert max(appro_v[3:]) > appro_v[0]
+    assert appro_t[-1] < appro_t[0]

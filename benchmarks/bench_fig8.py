@@ -1,0 +1,31 @@
+"""Fig. 8 — geo testbed, impact of K (Appro-G vs Popularity-G).
+
+Expected shape (paper §4.3): both metrics increase with K and Appro-G
+stays above Popularity-G throughout.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.experiments import ExperimentConfig, figure8, render_figure
+
+
+def test_figure8(benchmark, repeats, results_dir):
+    config = ExperimentConfig(repeats=min(repeats, 5))
+    series = benchmark.pedantic(
+        figure8, args=(config,), rounds=1, iterations=1
+    )
+    emit(results_dir, "fig8", render_figure(series))
+
+    appro_v = series.volume["appro-g"]
+    pop_v = series.volume["popularity-g"]
+    mean = lambda xs: sum(xs) / len(xs)
+    assert mean(appro_v) > mean(pop_v)
+    assert mean(series.throughput["appro-g"]) > mean(
+        series.throughput["popularity-g"]
+    )
+    assert all(a >= 0.85 * p for a, p in zip(appro_v, pop_v))
+    # More replicas help: clear growth from K=1 to K=7.
+    assert appro_v[-1] > appro_v[0]
+    assert series.throughput["appro-g"][-1] > series.throughput["appro-g"][0]

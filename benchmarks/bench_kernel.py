@@ -1,0 +1,60 @@
+"""Micro-benchmarks of the hot paths (performance regression tracking).
+
+These measure the components the profiling pass identified as dominant:
+path-cache construction, vectorised candidate enumeration, the primal-dual
+pair step, coverage precomputation and LP model building.  Unlike the
+figure benches these use pytest-benchmark's statistics directly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.state import ClusterState
+from repro.core.feasibility import candidate_nodes
+from repro.core.ilp import build_lp_model
+from repro.core.primal_dual import PrimalDualConfig, _Kernel
+from repro.experiments.runner import make_instance
+from repro.network.paths import PathCache
+from repro.topology.twotier import TwoTierConfig
+from repro.workload.params import PaperDefaults
+
+
+@pytest.fixture(scope="module")
+def instance():
+    inst = make_instance(
+        TwoTierConfig(), PaperDefaults().with_num_queries(80), 99, 0
+    )
+    inst.paths  # warm the cache for the non-path benches
+    inst.home_delay_vectors
+    return inst
+
+
+def test_path_cache_build(benchmark, instance):
+    benchmark(lambda: PathCache(instance.topology))
+
+
+def test_candidate_enumeration(benchmark, instance):
+    state = ClusterState(instance)
+    query = instance.queries[0]
+    dataset = instance.dataset(query.demanded[0])
+    benchmark(lambda: candidate_nodes(state, query, dataset))
+
+
+def test_coverage_precompute(benchmark, instance):
+    benchmark(lambda: _Kernel(PrimalDualConfig(), instance))
+
+
+def test_place_pair_step(benchmark, instance):
+    kernel = _Kernel(PrimalDualConfig(), instance)
+    query = instance.queries[0]
+
+    def step():
+        state = ClusterState(instance)
+        return kernel.place_pair(state, query, query.demanded[0])
+
+    benchmark(step)
+
+
+def test_lp_model_build(benchmark, instance):
+    benchmark(lambda: build_lp_model(instance))

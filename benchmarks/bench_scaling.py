@@ -1,0 +1,41 @@
+"""Algorithm wall-clock scaling vs network size and query count.
+
+Measures the placement algorithms themselves (not the figure harness) so
+regressions in the hot path show up as timing changes.  These are the only
+benches where the pytest-benchmark statistics are the point.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import make_algorithm
+from repro.experiments.runner import make_instance
+from repro.topology.twotier import TwoTierConfig
+from repro.workload.params import PaperDefaults
+
+
+def _instance(core_size: int, num_queries: int):
+    topology = TwoTierConfig().scaled_to(core_size)
+    params = PaperDefaults().with_num_queries(num_queries)
+    return make_instance(topology, params, 23, 0)
+
+
+@pytest.mark.parametrize("core_size", [32, 100, 200])
+def test_appro_g_scaling_network(benchmark, core_size):
+    instance = _instance(core_size, 60)
+    benchmark(lambda: make_algorithm("appro-g").solve(instance))
+
+
+@pytest.mark.parametrize("num_queries", [25, 100, 400])
+def test_appro_g_scaling_queries(benchmark, num_queries):
+    instance = _instance(32, num_queries)
+    benchmark(lambda: make_algorithm("appro-g").solve(instance))
+
+
+@pytest.mark.parametrize(
+    "name", ["appro-g", "greedy-g", "graph-g", "popularity-g"]
+)
+def test_algorithm_comparison_time(benchmark, name):
+    instance = _instance(32, 100)
+    benchmark(lambda: make_algorithm(name).solve(instance))

@@ -1,0 +1,71 @@
+"""Ablation — sensitivity of Appro-G to its primal-dual knobs.
+
+Sweeps each tunable of :class:`~repro.core.primal_dual.PrimalDualConfig`
+around its default while holding the others fixed, so a calibration
+regression (a knob silently becoming load-bearing) is visible in one
+table.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from conftest import emit
+
+from repro.core import ApproG, PrimalDualConfig, evaluate_solution
+from repro.experiments.runner import make_instance
+from repro.topology.twotier import TwoTierConfig
+from repro.workload.params import PaperDefaults
+
+SWEEPS: dict[str, tuple] = {
+    "gamma_delay": (0.05, 0.1, 0.3, 1.0),
+    "gamma_replica": (0.1, 0.5, 1.0, 2.0),
+    "beta": (0.8, 1.2, 1.6, 3.0),
+    "theta_floor": (0.001, 0.01, 0.1),
+}
+
+
+def _volume(config: PrimalDualConfig, repeats: int) -> float:
+    values = []
+    for repeat in range(repeats):
+        instance = make_instance(TwoTierConfig(), PaperDefaults(), 91, repeat)
+        values.append(
+            evaluate_solution(
+                instance, ApproG(config).solve(instance)
+            ).admitted_volume_gb
+        )
+    return statistics.fmean(values)
+
+
+def test_config_sensitivity(benchmark, repeats, results_dir):
+    def measure():
+        table: dict[str, list[tuple[float, float]]] = {}
+        for knob, values in SWEEPS.items():
+            rows = []
+            for value in values:
+                config = PrimalDualConfig(**{knob: value})
+                rows.append((value, _volume(config, repeats)))
+            table[knob] = rows
+        table["default"] = [(0.0, _volume(PrimalDualConfig(), repeats))]
+        return table
+
+    table = benchmark.pedantic(measure, rounds=1, iterations=1)
+    default = table["default"][0][1]
+    lines = [
+        "=== Appro-G knob sensitivity (admitted GB; default "
+        f"{default:.1f}) ===",
+    ]
+    for knob, rows in table.items():
+        if knob == "default":
+            continue
+        cells = "  ".join(f"{v:g}:{vol:7.1f}" for v, vol in rows)
+        lines.append(f"{knob:13s} {cells}")
+    emit(results_dir, "sensitivity", "\n".join(lines))
+
+    # The default should sit within 15% of the best value of every sweep —
+    # i.e. no knob is badly mis-calibrated.
+    for knob, rows in table.items():
+        if knob == "default":
+            continue
+        best = max(vol for _, vol in rows)
+        assert default >= 0.85 * best, (knob, default, best)

@@ -1,0 +1,44 @@
+"""Shared benchmark fixtures.
+
+Set ``REPRO_BENCH_REPEATS`` to trade fidelity for speed (default 5; the
+paper averages 15 topologies per point).  Every figure bench writes its
+rendered table to ``benchmarks/results/<figure>.txt`` in addition to
+printing it, so results survive output capture.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def repeats() -> int:
+    """Topologies averaged per sweep point."""
+    return int(os.environ.get("REPRO_BENCH_REPEATS", "5"))
+
+
+@pytest.fixture(scope="session")
+def experiment_config(repeats: int) -> ExperimentConfig:
+    """Config shared by all figure benches."""
+    return ExperimentConfig(repeats=repeats)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Where rendered tables are persisted."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(results_dir: Path, name: str, text: str) -> None:
+    """Print a table and persist it under ``benchmarks/results``."""
+    print()
+    print(text)
+    (results_dir / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Scenario: metropolitan video-analytics with tight QoS tiers.
+
+A city operator runs licence-plate / crowd-density analytics over camera
+footage archives.  Footage datasets are large (tens of GB), originate at
+the cloudlets that ingest the camera feeds, and are queried by three user
+tiers with very different QoS:
+
+* ``emergency``  — sub-second deadlines, small result fractions (alerts),
+* ``operations`` — mid deadlines (dashboards, rolling aggregates),
+* ``planning``   — relaxed deadlines (historical studies, large results).
+
+The example builds this workload directly against the library's public
+types (no generator), places replicas with Appro-G, and reports per-tier
+admission — showing how the QoS-aware placement admits the emergency tier
+preferentially near its home cloudlets while pushing planning queries to
+remote data centers.
+
+Run:  python examples/edge_video_analytics.py
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro import (
+    Dataset,
+    ProblemInstance,
+    Query,
+    evaluate_solution,
+    generate_two_tier,
+    make_algorithm,
+    verify_solution,
+)
+from repro.topology import TwoTierConfig
+from repro.util.rng import spawn_rng
+
+TIERS = {
+    # (deadline s/GB, selectivity, share of queries)
+    "emergency": (0.05, 0.10, 0.3),
+    "operations": (0.15, 0.40, 0.4),
+    "planning": (0.60, 0.90, 0.3),
+}
+
+
+def build_instance(seed: int = 7) -> tuple[ProblemInstance, dict[int, str]]:
+    """A hand-built problem instance for the scenario."""
+    rng = spawn_rng(seed, "video")
+    topology = generate_two_tier(
+        TwoTierConfig(num_data_centers=4, num_cloudlets=16, num_switches=2),
+        seed=seed,
+    )
+
+    # Camera-footage archives: one dataset per city district, ingested at
+    # (and originating from) a cloudlet.
+    datasets: dict[int, Dataset] = {}
+    for n in range(10):
+        origin = int(topology.cloudlets[int(rng.integers(len(topology.cloudlets)))])
+        datasets[n] = Dataset(
+            dataset_id=n,
+            volume_gb=float(rng.uniform(2.0, 6.0)),
+            origin_node=origin,
+            name=f"district-{n}-footage",
+        )
+
+    queries: list[Query] = []
+    tier_of: dict[int, str] = {}
+    tier_names = list(TIERS)
+    tier_probs = [TIERS[t][2] for t in tier_names]
+    for m in range(80):
+        tier = tier_names[int(rng.choice(len(tier_names), p=tier_probs))]
+        rate, alpha, _ = TIERS[tier]
+        f = int(rng.integers(1, 4))
+        demanded = tuple(
+            int(d) for d in rng.choice(len(datasets), size=f, replace=False)
+        )
+        pivot = max(datasets[d].volume_gb for d in demanded)
+        queries.append(
+            Query(
+                query_id=m,
+                home_node=int(
+                    topology.cloudlets[int(rng.integers(len(topology.cloudlets)))]
+                ),
+                demanded=demanded,
+                selectivity=tuple(alpha for _ in demanded),
+                compute_rate=float(rng.uniform(0.75, 1.25)),
+                deadline_s=pivot * rate,
+                name=f"{tier}-{m}",
+            )
+        )
+        tier_of[m] = tier
+    instance = ProblemInstance(
+        topology=topology, datasets=datasets, queries=queries, max_replicas=3
+    )
+    return instance, tier_of
+
+
+def main() -> None:
+    instance, tier_of = build_instance()
+    print(f"scenario: {instance.num_datasets} footage archives, "
+          f"{instance.num_queries} queries across {len(TIERS)} QoS tiers\n")
+
+    for name in ("appro-g", "greedy-g", "graph-g"):
+        solution = make_algorithm(name).solve(instance)
+        verify_solution(instance, solution)
+        metrics = evaluate_solution(instance, solution)
+
+        by_tier: dict[str, list[int]] = defaultdict(lambda: [0, 0])
+        for q_id, tier in tier_of.items():
+            by_tier[tier][1] += 1
+            if q_id in solution.admitted:
+                by_tier[tier][0] += 1
+        tier_report = "  ".join(
+            f"{tier}: {adm}/{tot}" for tier, (adm, tot) in sorted(by_tier.items())
+        )
+        print(
+            f"{name:10s} volume={metrics.admitted_volume_gb:7.1f} GB "
+            f"throughput={metrics.throughput:.2f}   [{tier_report}]"
+        )
+
+    # Where did Appro put the replicas?
+    solution = make_algorithm("appro-g").solve(instance)
+    dc_replicas = cl_replicas = 0
+    for d_id, nodes in solution.replicas.items():
+        for v in nodes:
+            if v in instance.topology.data_centers:
+                dc_replicas += 1
+            else:
+                cl_replicas += 1
+    print(
+        f"\nappro-g replica split: {cl_replicas} on cloudlets (tight tiers), "
+        f"{dc_replicas} on data centers (planning tier offload)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""A day in the life of an edge-cloud operator, on the controller facade.
+
+One :class:`~repro.controller.EdgeCloudController` session:
+
+1. place the morning query batch (Appro-G) and execute it,
+2. check the consistency-maintenance bill and the provider's invoice,
+3. lose the two busiest cloudlets to a rack failure — repair and keep
+   serving,
+4. roll into the evening epoch (different query mix) with replica
+   carry-over,
+5. print the audit trail the session produced.
+
+Run:  python examples/operations_lifecycle.py
+"""
+
+from __future__ import annotations
+
+from repro import EdgeCloudController
+from repro.topology import generate_two_tier
+from repro.util.rng import spawn_rng
+from repro.workload.datasets import generate_datasets
+from repro.workload.params import PaperDefaults
+from repro.workload.queries import generate_queries
+
+
+def main(seed: int = 21) -> None:
+    topology = generate_two_tier(seed=seed)
+    params = PaperDefaults()
+    datasets = generate_datasets(topology, spawn_rng(seed, "ds"), params, count=12)
+    morning = generate_queries(
+        topology, datasets, spawn_rng(seed, "morning"), params, count=60
+    )
+    evening = generate_queries(
+        topology, datasets, spawn_rng(seed, "evening"), params, count=60
+    )
+
+    controller = EdgeCloudController(topology, datasets, algorithm="appro-g")
+
+    # 1. morning batch
+    metrics = controller.place(morning)
+    execution = controller.execute()
+    print(
+        f"morning: {metrics.num_admitted}/{metrics.num_queries} admitted, "
+        f"{metrics.admitted_volume_gb:.0f} GB, "
+        f"mean latency {execution.mean_response_s * 1000:.0f} ms"
+    )
+
+    # 2. steady-state economics
+    sync = controller.maintenance_report()
+    invoice = controller.invoice()
+    print(
+        f"economics: ${invoice.profit:.2f} profit/month "
+        f"(revenue ${invoice.revenue:.2f}); consistency ships "
+        f"{sync.shipped_gb:.0f} GB/month in {sync.syncs} syncs"
+    )
+
+    # 3. rack failure hits the two busiest nodes
+    load: dict[int, float] = {}
+    for a in controller.solution.assignments.values():
+        load[a.node] = load.get(a.node, 0.0) + a.compute_ghz
+    victims = sorted(load, key=lambda v: load[v], reverse=True)[:2]
+    repair = controller.handle_failure(victims)
+    print(
+        f"failure: nodes {sorted(repair.impact.failed_nodes)} down — "
+        f"recovered {len(repair.recovered_queries)}, dropped "
+        f"{len(repair.dropped_queries)}, retention {repair.availability:.0%}"
+    )
+
+    # 4. evening epoch with replica carry-over
+    epoch = controller.next_epoch(evening)
+    print(
+        f"evening: {epoch.admitted_volume_gb:.0f} GB admitted; carried "
+        f"{epoch.kept} replicas, placed {epoch.added} new "
+        f"({epoch.migration_gb:.0f} GB migration), GC'd {epoch.dropped}"
+    )
+
+    # 5. the session, as its audit trail
+    print("\naudit trail:")
+    print(controller.audit_trail())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy setup shim: enables editable installs where the ``wheel`` package
+is unavailable (pip falls back to ``setup.py develop``).  All project
+metadata lives in ``pyproject.toml``."""
+
+from setuptools import setup
+
+setup()

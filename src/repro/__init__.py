@@ -1,0 +1,109 @@
+"""repro — QoS-aware proactive data replication for edge-cloud analytics.
+
+A complete, self-contained reproduction of
+
+    Xia, Bai, Liang, Xu, Yao, Wang.
+    "QoS-Aware Proactive Data Replication for Big Data Analytics in Edge
+    Clouds."  ICPP 2019 Workshops.
+
+The package provides:
+
+* :mod:`repro.topology` — two-tier edge-cloud topologies (random GT-ITM
+  style and the geo-distributed §4.3 testbed),
+* :mod:`repro.workload` — the paper's parametric workloads plus a
+  synthetic mobile-app usage trace with executable analytics,
+* :mod:`repro.core` — the proactive data replication and placement
+  problem, the primal-dual algorithms Appro-S / Appro-G, all three
+  benchmark families, and the ILP/LP machinery,
+* :mod:`repro.cluster` — resource accounting, replica ledger, and the
+  §2.4 consistency model,
+* :mod:`repro.sim` — a discrete-event simulator that executes placements
+  and the full testbed emulation,
+* :mod:`repro.experiments` — reproducers for every evaluation figure.
+
+Quickstart
+----------
+>>> from repro import quick_compare
+>>> results = quick_compare(seed=1)          # doctest: +SKIP
+>>> sorted(results)                          # doctest: +SKIP
+['appro-g', 'graph-g', 'greedy-g', 'popularity-g']
+"""
+
+from repro.core import (
+    ApproG,
+    ApproS,
+    Dataset,
+    GraphG,
+    GraphS,
+    GreedyG,
+    GreedyS,
+    PlacementSolution,
+    PopularityG,
+    PopularityS,
+    PrimalDualConfig,
+    ProblemInstance,
+    Query,
+    available_algorithms,
+    evaluate_solution,
+    make_algorithm,
+    verify_solution,
+)
+from repro.topology import (
+    EdgeCloudTopology,
+    TwoTierConfig,
+    digitalocean_testbed,
+    generate_two_tier,
+)
+from repro.controller import EdgeCloudController
+from repro.workload import PaperDefaults, generate_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ApproS",
+    "ApproG",
+    "GreedyS",
+    "GreedyG",
+    "GraphS",
+    "GraphG",
+    "PopularityS",
+    "PopularityG",
+    "PrimalDualConfig",
+    "Dataset",
+    "Query",
+    "ProblemInstance",
+    "PlacementSolution",
+    "EdgeCloudTopology",
+    "TwoTierConfig",
+    "generate_two_tier",
+    "digitalocean_testbed",
+    "EdgeCloudController",
+    "PaperDefaults",
+    "generate_workload",
+    "make_algorithm",
+    "available_algorithms",
+    "evaluate_solution",
+    "verify_solution",
+    "quick_compare",
+    "__version__",
+]
+
+
+def quick_compare(seed: int = 0, algorithms: tuple[str, ...] | None = None):
+    """Run all general-case algorithms on one random instance.
+
+    Convenience entry point for a first contact with the library: builds
+    the paper's default topology and workload from ``seed`` and returns
+    algorithm name → :class:`~repro.core.metrics.SolutionMetrics`.
+    """
+    from repro.util.rng import spawn_rng
+
+    algorithms = algorithms or ("appro-g", "greedy-g", "graph-g", "popularity-g")
+    topology = generate_two_tier(seed=seed)
+    instance = generate_workload(topology, spawn_rng(seed, "workload"))
+    results = {}
+    for name in algorithms:
+        solution = make_algorithm(name).solve(instance)
+        verify_solution(instance, solution)
+        results[name] = evaluate_solution(instance, solution)
+    return results

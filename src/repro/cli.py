@@ -1,0 +1,300 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``compare``
+    Run algorithms on the paper's default setting, averaged over repeated
+    topologies, and print the comparison table.
+``figure``
+    Regenerate one of the paper's evaluation figures (fig2…fig8) as a
+    text table.
+``testbed``
+    Run the §4.3 testbed emulation for one algorithm and print the report.
+``online``
+    Play a workload as a Poisson arrival stream with compute churn.
+``failover``
+    Fail the most-loaded nodes under a placement and report availability
+    after repair.
+``list``
+    List the registered placement algorithms.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.online import OnlineConfig, OnlineSession, appro_rule, greedy_rule
+from repro.core.registry import available_algorithms, make_algorithm
+from repro.core.explain import explain_rejections, rejection_histogram
+from repro.core.repair import fail_nodes, repair_placement
+from repro.experiments.runner import make_instance
+from repro.topology.render import render_topology
+from repro.topology.testbed import digitalocean_testbed
+from repro.topology.twotier import TwoTierConfig, generate_two_tier
+from repro.workload.params import PaperDefaults
+from repro.workload.summary import profile_instance, render_profile
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import FIGURES
+from repro.experiments.runner import compare_algorithms
+from repro.experiments.plots import plot_figure
+from repro.experiments.report import build_report
+from repro.experiments.tables import render_comparison, render_figure
+from repro.sim.testbed import TestbedExperiment, run_testbed_experiment
+from repro.util.units import format_delay, format_volume
+
+__all__ = ["main", "build_parser"]
+
+_DEFAULT_COMPARE = ["appro-g", "greedy-g", "graph-g", "popularity-g"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "QoS-aware proactive data replication for edge-cloud analytics "
+            "(reproduction of Xia et al., ICPP 2019 Workshops)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_compare = sub.add_parser(
+        "compare", help="compare algorithms on the paper's default setting"
+    )
+    p_compare.add_argument(
+        "--algorithms",
+        default=",".join(_DEFAULT_COMPARE),
+        help="comma-separated registry names (default: the four general-case algorithms)",
+    )
+    p_compare.add_argument("--repeats", type=int, default=15)
+    p_compare.add_argument("--seed", type=int, default=2019)
+
+    p_figure = sub.add_parser(
+        "figure", help="regenerate a paper figure as a text table"
+    )
+    p_figure.add_argument("figure_id", choices=sorted(FIGURES))
+    p_figure.add_argument("--repeats", type=int, default=15)
+    p_figure.add_argument("--seed", type=int, default=2019)
+    p_figure.add_argument(
+        "--plot", action="store_true", help="render Unicode bar charts instead of tables"
+    )
+
+    p_testbed = sub.add_parser(
+        "testbed", help="run the §4.3 geo-testbed emulation"
+    )
+    p_testbed.add_argument("--algorithm", default="appro-g")
+    p_testbed.add_argument("--seed", type=int, default=0)
+    p_testbed.add_argument("--queries", type=int, default=50)
+    p_testbed.add_argument("--datasets", type=int, default=12)
+
+    p_online = sub.add_parser(
+        "online", help="Poisson arrival stream with compute churn"
+    )
+    p_online.add_argument("--rule", choices=["appro", "greedy"], default="appro")
+    p_online.add_argument("--seed", type=int, default=0)
+    p_online.add_argument("--gap", type=float, default=0.2,
+                          help="mean inter-arrival seconds")
+
+    p_failover = sub.add_parser(
+        "failover", help="node-failure impact and repair for one placement"
+    )
+    p_failover.add_argument("--algorithm", default="appro-g")
+    p_failover.add_argument("--failures", type=int, default=2)
+    p_failover.add_argument("--seed", type=int, default=0)
+
+    p_report = sub.add_parser(
+        "report", help="assemble persisted bench tables into one markdown report"
+    )
+    p_report.add_argument(
+        "--results-dir", default="benchmarks/results",
+        help="directory the benches wrote their tables to",
+    )
+    p_report.add_argument("--output", default="-",
+                          help="output path, or - for stdout")
+
+    p_topology = sub.add_parser(
+        "topology", help="render a topology as text (summary + map)"
+    )
+    p_topology.add_argument(
+        "--kind", choices=["paper", "testbed", "figure1"], default="paper"
+    )
+    p_topology.add_argument("--seed", type=int, default=0)
+
+    p_describe = sub.add_parser(
+        "describe", help="profile a generated instance's regime"
+    )
+    p_describe.add_argument("--seed", type=int, default=0)
+
+    p_explain = sub.add_parser(
+        "explain", help="diagnose why queries were rejected by a placement"
+    )
+    p_explain.add_argument("--algorithm", default="appro-g")
+    p_explain.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("list", help="list registered placement algorithms")
+    return parser
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    names = [n.strip() for n in args.algorithms.split(",") if n.strip()]
+    unknown = [n for n in names if n not in available_algorithms()]
+    if unknown:
+        print(f"unknown algorithm(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(available_algorithms())}", file=sys.stderr)
+        return 2
+    config = ExperimentConfig(repeats=args.repeats, seed=args.seed)
+    results = compare_algorithms(names, config)
+    print(render_comparison(results))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    config = ExperimentConfig(repeats=args.repeats, seed=args.seed)
+    series = FIGURES[args.figure_id](config)
+    print(plot_figure(series) if args.plot else render_figure(series))
+    return 0
+
+
+def _cmd_testbed(args: argparse.Namespace) -> int:
+    if args.algorithm not in available_algorithms():
+        print(f"unknown algorithm: {args.algorithm}", file=sys.stderr)
+        return 2
+    experiment = TestbedExperiment(
+        num_queries=args.queries, num_datasets=args.datasets, seed=args.seed
+    )
+    report = run_testbed_experiment(make_algorithm(args.algorithm), experiment)
+    m = report.metrics
+    print(f"algorithm         : {args.algorithm}")
+    print(f"admitted          : {m.num_admitted}/{m.num_queries} "
+          f"(throughput {m.throughput:.3f})")
+    print(f"admitted volume   : {format_volume(m.admitted_volume_gb)}")
+    print(f"replicas placed   : {m.replicas_placed}")
+    print(f"mean response     : {format_delay(report.execution.mean_response_s)}")
+    print(f"deadline misses   : {report.execution.deadline_violations} "
+          f"(contention-aware execution)")
+    print(f"analytics checked : {report.analytics_checked} "
+          f"(faithful: {report.results_faithful})")
+    return 0
+
+
+def _cmd_online(args: argparse.Namespace) -> int:
+    instance = make_instance(TwoTierConfig(), PaperDefaults(), args.seed, 0)
+    rule = appro_rule if args.rule == "appro" else greedy_rule
+    report = OnlineSession(
+        OnlineConfig(mean_interarrival_s=args.gap, seed=args.seed)
+    ).run(instance, rule)
+    print(f"rule             : {args.rule}")
+    print(f"arrivals         : {len(report.outcomes)}")
+    print(f"admitted volume  : {format_volume(report.admitted_volume_gb)}")
+    print(f"throughput       : {report.throughput:.3f}")
+    print(f"peak allocation  : {report.peak_allocated_ghz:.1f} GHz")
+    print(f"replicas placed  : {report.replicas_placed}")
+    return 0
+
+
+def _cmd_failover(args: argparse.Namespace) -> int:
+    if args.algorithm not in available_algorithms():
+        print(f"unknown algorithm: {args.algorithm}", file=sys.stderr)
+        return 2
+    instance = make_instance(TwoTierConfig(), PaperDefaults(), args.seed, 0)
+    solution = make_algorithm(args.algorithm).solve(instance)
+    load: dict[int, float] = {}
+    for a in solution.assignments.values():
+        load[a.node] = load.get(a.node, 0.0) + a.compute_ghz
+    victims = sorted(load, key=lambda v: load[v], reverse=True)[: args.failures]
+    impact = fail_nodes(instance, solution, victims)
+    report = repair_placement(instance, solution, impact)
+    print(f"algorithm        : {args.algorithm}")
+    print(f"failed nodes     : {sorted(impact.failed_nodes)}")
+    print(f"lost pairs       : {len(impact.lost_pairs)} "
+          f"across {len(impact.affected_queries)} queries")
+    print(f"recovered        : {len(report.recovered_queries)} queries")
+    print(f"dropped          : {len(report.dropped_queries)} queries")
+    print(f"volume retention : {report.availability:.1%}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    try:
+        report = build_report(args.results_dir)
+    except Exception as exc:  # ValidationError with guidance
+        print(exc, file=sys.stderr)
+        return 2
+    if args.output == "-":
+        print(report, end="")
+    else:
+        from pathlib import Path
+
+        Path(args.output).write_text(report)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_topology(args: argparse.Namespace) -> int:
+    if args.kind == "testbed":
+        topology = digitalocean_testbed(seed=args.seed)
+    elif args.kind == "figure1":
+        from repro.topology.twotier import example_figure1
+
+        topology = example_figure1(seed=args.seed or 7)
+    else:
+        topology = generate_two_tier(seed=args.seed)
+    print(render_topology(topology))
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    instance = make_instance(TwoTierConfig(), PaperDefaults(), args.seed, 0)
+    print(render_profile(profile_instance(instance)))
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    if args.algorithm not in available_algorithms():
+        print(f"unknown algorithm: {args.algorithm}", file=sys.stderr)
+        return 2
+    instance = make_instance(TwoTierConfig(), PaperDefaults(), args.seed, 0)
+    solution = make_algorithm(args.algorithm).solve(instance)
+    diagnoses = explain_rejections(instance, solution)
+    hist = rejection_histogram(diagnoses)
+    total = len(solution.rejected)
+    print(
+        f"{args.algorithm}: {len(solution.admitted)} admitted, "
+        f"{total} rejected"
+    )
+    if total:
+        print("rejections by bottleneck:")
+        for reason, count in hist.items():
+            if count:
+                print(f"  {reason.value:24s} {count:4d} ({count / total:.0%})")
+    return 0
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    for name in available_algorithms():
+        print(name)
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "compare": _cmd_compare,
+        "figure": _cmd_figure,
+        "testbed": _cmd_testbed,
+        "online": _cmd_online,
+        "failover": _cmd_failover,
+        "explain": _cmd_explain,
+        "describe": _cmd_describe,
+        "topology": _cmd_topology,
+        "report": _cmd_report,
+        "list": _cmd_list,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,27 @@
+"""Mutable edge-cloud state: compute accounting, replicas, consistency.
+
+Placement algorithms mutate a :class:`repro.cluster.state.ClusterState`
+(compute allocations + replica locations) as they admit queries.  The state
+supports cheap snapshots and rollback so all-or-nothing admission of
+multi-dataset queries (Appro-G and friends) can tentatively place replicas
+and allocate compute, then revert when any demanded dataset turns out to be
+unservable.
+"""
+
+from repro.cluster.node import ComputeNode, CapacityError
+from repro.cluster.replicas import ReplicaStore, ReplicaError
+from repro.cluster.links import LinkLedger, LinkBudgetError
+from repro.cluster.state import ClusterState
+from repro.cluster.consistency import ConsistencyModel, SyncReport
+
+__all__ = [
+    "ComputeNode",
+    "CapacityError",
+    "ReplicaStore",
+    "ReplicaError",
+    "ClusterState",
+    "LinkLedger",
+    "LinkBudgetError",
+    "ConsistencyModel",
+    "SyncReport",
+]

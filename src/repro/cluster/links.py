@@ -1,0 +1,126 @@
+"""Per-link bandwidth ledgers.
+
+The paper's model constrains node compute only; intermediate-result
+traffic is free.  The bandwidth extension gives every link a traffic
+budget per evaluation window (GB of intermediate results it can carry)
+and accounts each assignment's flow on every link of its path — the same
+ledger discipline as :class:`~repro.cluster.node.ComputeNode`.
+"""
+
+from __future__ import annotations
+
+from repro.topology.twotier import EdgeCloudTopology
+from repro.util.validation import check_non_negative, check_positive
+
+__all__ = ["LinkBudgetError", "LinkLedger"]
+
+_EPS = 1e-9
+
+
+class LinkBudgetError(RuntimeError):
+    """Raised when a flow would exceed a link's traffic budget."""
+
+
+class LinkLedger:
+    """Traffic budgets for every link of a topology.
+
+    Parameters
+    ----------
+    topology:
+        Supplies the link set.
+    budget_gb:
+        Uniform per-link budget (GB of intermediate-result traffic per
+        evaluation window), or a per-link mapping.
+    """
+
+    def __init__(
+        self,
+        topology: EdgeCloudTopology,
+        budget_gb: float | dict[tuple[int, int], float],
+    ) -> None:
+        links = list(topology.link_delays)
+        if isinstance(budget_gb, dict):
+            budgets = {}
+            for edge in links:
+                try:
+                    budgets[edge] = float(budget_gb[edge])
+                except KeyError:
+                    raise LinkBudgetError(f"no budget for link {edge}") from None
+        else:
+            check_positive("budget_gb", budget_gb)
+            budgets = {edge: float(budget_gb) for edge in links}
+        for edge, cap in budgets.items():
+            check_positive(f"budget of link {edge}", cap)
+        self._capacity = budgets
+        self._used: dict[tuple[int, int], float] = {e: 0.0 for e in links}
+        self._allocations: dict[object, list[tuple[tuple[int, int], float]]] = {}
+
+    @staticmethod
+    def _key(u: int, v: int) -> tuple[int, int]:
+        return (u, v) if u < v else (v, u)
+
+    def capacity(self, u: int, v: int) -> float:
+        """Budget of link ``(u, v)``."""
+        return self._capacity[self._key(u, v)]
+
+    def available(self, u: int, v: int) -> float:
+        """Remaining budget of link ``(u, v)``."""
+        key = self._key(u, v)
+        return self._capacity[key] - self._used[key]
+
+    def path_fits(self, path: list[int], flow_gb: float) -> bool:
+        """Whether ``flow_gb`` fits on every link of ``path``."""
+        check_non_negative("flow_gb", flow_gb)
+        return all(
+            flow_gb <= self.available(u, v) + _EPS
+            for u, v in zip(path, path[1:])
+        )
+
+    def allocate_path(self, tag: object, path: list[int], flow_gb: float) -> None:
+        """Charge ``flow_gb`` on every link of ``path`` under ``tag``.
+
+        Atomic: either every link is charged or none (raises
+        :class:`LinkBudgetError` leaving state unchanged).
+        """
+        check_non_negative("flow_gb", flow_gb)
+        if tag in self._allocations:
+            raise LinkBudgetError(f"tag {tag!r} already holds link budget")
+        if not self.path_fits(path, flow_gb):
+            raise LinkBudgetError(
+                f"flow of {flow_gb:.3f} GB does not fit on path {path}"
+            )
+        charged: list[tuple[tuple[int, int], float]] = []
+        for u, v in zip(path, path[1:]):
+            key = self._key(u, v)
+            self._used[key] += flow_gb
+            charged.append((key, flow_gb))
+        self._allocations[tag] = charged
+
+    def release(self, tag: object) -> None:
+        """Return the budget held under ``tag``."""
+        try:
+            charged = self._allocations.pop(tag)
+        except KeyError:
+            raise LinkBudgetError(f"no link allocation under tag {tag!r}") from None
+        for key, flow in charged:
+            self._used[key] -= flow
+            if self._used[key] < 0.0:
+                self._used[key] = 0.0
+
+    def utilization(self) -> dict[tuple[int, int], float]:
+        """Per-link used fraction."""
+        return {
+            e: self._used[e] / self._capacity[e] for e in self._capacity
+        }
+
+    def snapshot(self) -> tuple[dict, dict]:
+        """Copy of (used, allocations) for transactional rollback."""
+        return dict(self._used), {
+            tag: list(charged) for tag, charged in self._allocations.items()
+        }
+
+    def restore(self, snap: tuple[dict, dict]) -> None:
+        """Replace state with a snapshot copy."""
+        used, allocations = snap
+        self._used = dict(used)
+        self._allocations = {t: list(c) for t, c in allocations.items()}

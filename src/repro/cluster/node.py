@@ -1,0 +1,125 @@
+"""Per-node computing-resource accounting.
+
+Each placement node tracks its capacity ``B(v)``, the compute currently
+allocated to admitted query evaluations, and the tags of those allocations
+(so a rejected or departing query releases exactly what it took).  The
+capacity invariant ``allocated <= capacity`` (within floating tolerance) is
+enforced on every mutation.
+"""
+
+from __future__ import annotations
+
+from repro.util.validation import check_non_negative, check_positive
+
+__all__ = ["CapacityError", "ComputeNode"]
+
+#: Relative slack tolerated on the capacity invariant (floating error only).
+_EPS = 1e-9
+
+
+class CapacityError(RuntimeError):
+    """Raised when an allocation would exceed a node's capacity."""
+
+
+class ComputeNode:
+    """Mutable compute ledger for one placement node.
+
+    Parameters
+    ----------
+    node_id:
+        Topology node id.
+    capacity_ghz:
+        ``B(v)``; fixed for the node's lifetime.
+    reserved_ghz:
+        Compute already in use before this problem instance (models the
+        paper's distinction between capacity ``B(v)`` and *available*
+        resource ``A(v) = B(v) - reserved``).
+    """
+
+    __slots__ = ("node_id", "capacity_ghz", "reserved_ghz", "_allocations", "_total")
+
+    def __init__(
+        self, node_id: int, capacity_ghz: float, reserved_ghz: float = 0.0
+    ) -> None:
+        check_positive("capacity_ghz", capacity_ghz)
+        check_non_negative("reserved_ghz", reserved_ghz)
+        if reserved_ghz > capacity_ghz * (1.0 + _EPS):
+            raise CapacityError(
+                f"node {node_id}: reserved {reserved_ghz} exceeds capacity "
+                f"{capacity_ghz}"
+            )
+        self.node_id = node_id
+        self.capacity_ghz = float(capacity_ghz)
+        self.reserved_ghz = float(reserved_ghz)
+        self._allocations: dict[object, float] = {}
+        self._total = 0.0
+
+    @property
+    def allocated_ghz(self) -> float:
+        """Compute allocated to query evaluations by this library."""
+        return self._total
+
+    @property
+    def available_ghz(self) -> float:
+        """``A(v)`` — capacity minus reservations minus allocations."""
+        return self.capacity_ghz - self.reserved_ghz - self._total
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of capacity in use, in [0, 1]."""
+        return (self.reserved_ghz + self._total) / self.capacity_ghz
+
+    def can_fit(self, amount_ghz: float) -> bool:
+        """Whether an allocation of ``amount_ghz`` would respect capacity."""
+        return amount_ghz <= self.available_ghz + _EPS * self.capacity_ghz
+
+    def allocate(self, tag: object, amount_ghz: float) -> None:
+        """Allocate ``amount_ghz`` under ``tag``.
+
+        Raises
+        ------
+        CapacityError
+            If the allocation does not fit or the tag is already in use.
+        """
+        check_non_negative("amount_ghz", amount_ghz)
+        if tag in self._allocations:
+            raise CapacityError(f"node {self.node_id}: tag {tag!r} already allocated")
+        if not self.can_fit(amount_ghz):
+            raise CapacityError(
+                f"node {self.node_id}: cannot allocate {amount_ghz:.3f} GHz "
+                f"(available {self.available_ghz:.3f})"
+            )
+        self._allocations[tag] = float(amount_ghz)
+        self._total += float(amount_ghz)
+
+    def release(self, tag: object) -> float:
+        """Release the allocation under ``tag``; returns the freed amount."""
+        try:
+            amount = self._allocations.pop(tag)
+        except KeyError:
+            raise CapacityError(
+                f"node {self.node_id}: no allocation under tag {tag!r}"
+            ) from None
+        self._total -= amount
+        if self._total < 0.0:  # numerical safety net
+            self._total = 0.0
+        return amount
+
+    def allocation_tags(self) -> tuple[object, ...]:
+        """Tags of live allocations (insertion order)."""
+        return tuple(self._allocations)
+
+    def snapshot(self) -> dict[object, float]:
+        """Copy of the allocation ledger, for :class:`ClusterState` rollback."""
+        return dict(self._allocations)
+
+    def restore(self, ledger: dict[object, float]) -> None:
+        """Replace the allocation ledger with a snapshot copy."""
+        self._allocations = dict(ledger)
+        self._total = sum(ledger.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ComputeNode(id={self.node_id}, cap={self.capacity_ghz:.1f}, "
+            f"alloc={self._total:.2f})"
+        )

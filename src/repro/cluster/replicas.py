@@ -1,0 +1,136 @@
+"""Replica placement ledger with the per-dataset ``K`` bound.
+
+Tracks, for every dataset, the set of nodes holding a copy.  The original
+(origin) copy is seeded at construction and can never be removed; total
+copies per dataset (origin included) never exceed ``K`` — the paper's "each
+dataset S_n has at most K replicas in the system".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.core.types import Dataset
+from repro.util.validation import check_positive
+
+__all__ = ["ReplicaError", "ReplicaStore"]
+
+
+class ReplicaError(RuntimeError):
+    """Raised on invalid replica operations (over-K, duplicates, origins)."""
+
+
+class ReplicaStore:
+    """Mutable mapping: dataset id → nodes holding a copy.
+
+    Parameters
+    ----------
+    datasets:
+        The collection ``S``; origin copies are seeded from
+        ``Dataset.origin_node``.
+    max_replicas:
+        ``K`` — upper bound on copies per dataset, origin included.
+    """
+
+    __slots__ = ("max_replicas", "_origins", "_locations")
+
+    def __init__(self, datasets: Mapping[int, Dataset], max_replicas: int) -> None:
+        check_positive("max_replicas", max_replicas)
+        self.max_replicas = int(max_replicas)
+        self._origins: dict[int, int] = {
+            d.dataset_id: d.origin_node for d in datasets.values()
+        }
+        self._locations: dict[int, set[int]] = {
+            d.dataset_id: {d.origin_node} for d in datasets.values()
+        }
+
+    # -- queries ----------------------------------------------------------
+
+    def origin(self, dataset_id: int) -> int:
+        """Origin node of a dataset."""
+        return self._origins[dataset_id]
+
+    def nodes(self, dataset_id: int) -> frozenset[int]:
+        """Nodes currently holding the dataset (origin included)."""
+        return frozenset(self._locations[dataset_id])
+
+    def count(self, dataset_id: int) -> int:
+        """Copies of the dataset in the system (origin included)."""
+        return len(self._locations[dataset_id])
+
+    def has(self, dataset_id: int, node: int) -> bool:
+        """Whether ``node`` holds a copy of the dataset."""
+        return node in self._locations[dataset_id]
+
+    def can_place(self, dataset_id: int, node: int) -> bool:
+        """Whether a new replica may be placed at ``node`` (slot + absent)."""
+        locs = self._locations[dataset_id]
+        return node not in locs and len(locs) < self.max_replicas
+
+    def remaining_slots(self, dataset_id: int) -> int:
+        """How many more replicas of the dataset may be created."""
+        return self.max_replicas - len(self._locations[dataset_id])
+
+    def datasets_on(self, node: int) -> frozenset[int]:
+        """Datasets with a copy on ``node``."""
+        return frozenset(
+            d for d, locs in self._locations.items() if node in locs
+        )
+
+    def total_replicas(self) -> int:
+        """Total copies across all datasets (origins included)."""
+        return sum(len(locs) for locs in self._locations.values())
+
+    def replica_map(self) -> dict[int, tuple[int, ...]]:
+        """Immutable-ish export: dataset id → sorted node tuple."""
+        return {d: tuple(sorted(locs)) for d, locs in self._locations.items()}
+
+    # -- mutations ----------------------------------------------------------
+
+    def place(self, dataset_id: int, node: int) -> None:
+        """Place a new replica of ``dataset_id`` at ``node``.
+
+        Raises
+        ------
+        ReplicaError
+            If the node already holds the dataset or ``K`` is exhausted.
+        """
+        locs = self._locations[dataset_id]
+        if node in locs:
+            raise ReplicaError(
+                f"dataset {dataset_id} already has a copy on node {node}"
+            )
+        if len(locs) >= self.max_replicas:
+            raise ReplicaError(
+                f"dataset {dataset_id} already has K={self.max_replicas} copies"
+            )
+        locs.add(node)
+
+    def remove(self, dataset_id: int, node: int) -> None:
+        """Drop a replica (the origin copy is permanent).
+
+        Raises
+        ------
+        ReplicaError
+            If removing the origin copy or a copy that does not exist.
+        """
+        if node == self._origins[dataset_id]:
+            raise ReplicaError(
+                f"cannot remove the origin copy of dataset {dataset_id}"
+            )
+        try:
+            self._locations[dataset_id].remove(node)
+        except KeyError:
+            raise ReplicaError(
+                f"dataset {dataset_id} has no copy on node {node}"
+            ) from None
+
+    # -- snapshots ------------------------------------------------------------
+
+    def snapshot(self) -> dict[int, frozenset[int]]:
+        """Copy of the location table, for rollback."""
+        return {d: frozenset(locs) for d, locs in self._locations.items()}
+
+    def restore(self, snap: Mapping[int, Iterable[int]]) -> None:
+        """Replace the location table with a snapshot copy."""
+        self._locations = {d: set(locs) for d, locs in snap.items()}

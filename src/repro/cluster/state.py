@@ -1,0 +1,176 @@
+"""Combined mutable cluster state with transactional rollback.
+
+:class:`ClusterState` owns one :class:`~repro.cluster.node.ComputeNode` per
+placement node plus the :class:`~repro.cluster.replicas.ReplicaStore`, and
+provides the two operations every placement algorithm needs:
+
+* ``serve(query, dataset, node)`` — place a replica if needed and allocate
+  ``|S_n|·r_m`` GHz on the node, returning the resulting
+  :class:`~repro.core.types.Assignment`;
+* ``transaction()`` — a context manager that snapshots state on entry and
+  rolls back unless the block calls :meth:`Transaction.commit` (used for
+  all-or-nothing admission of multi-dataset queries).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.cluster.node import CapacityError, ComputeNode
+from repro.cluster.replicas import ReplicaStore
+from repro.core.instance import ProblemInstance
+from repro.core.types import Assignment, Dataset, Query
+
+__all__ = ["ClusterState", "Transaction"]
+
+
+class Transaction:
+    """Handle for an open :meth:`ClusterState.transaction` block."""
+
+    __slots__ = ("_committed",)
+
+    def __init__(self) -> None:
+        self._committed = False
+
+    def commit(self) -> None:
+        """Keep the mutations made inside the block."""
+        self._committed = True
+
+    @property
+    def committed(self) -> bool:
+        """Whether :meth:`commit` was called."""
+        return self._committed
+
+
+class ClusterState:
+    """Mutable compute + replica state for one problem instance.
+
+    Parameters
+    ----------
+    instance:
+        The problem instance; capacities and origin copies are read from it.
+    reserved_fraction:
+        Fraction of each node's capacity already consumed by background
+        work (``A(v) = (1 - reserved_fraction)·B(v)``). Defaults to 0 —
+        the whole capacity is available, as in the paper's simulations.
+    """
+
+    def __init__(
+        self, instance: ProblemInstance, *, reserved_fraction: float = 0.0
+    ) -> None:
+        if not 0.0 <= reserved_fraction < 1.0:
+            raise ValueError(
+                f"reserved_fraction must be in [0, 1), got {reserved_fraction}"
+            )
+        self.instance = instance
+        self.nodes: dict[int, ComputeNode] = {
+            v: ComputeNode(
+                v,
+                instance.topology.capacity(v),
+                reserved_ghz=reserved_fraction * instance.topology.capacity(v),
+            )
+            for v in instance.placement_nodes
+        }
+        self.replicas = ReplicaStore(instance.datasets, instance.max_replicas)
+
+    # -- feasibility ------------------------------------------------------
+
+    def pair_latency(self, query: Query, dataset: Dataset, node: int) -> float:
+        """Analytic per-dataset latency of serving at ``node`` (§2.3)."""
+        return self.instance.pair_latency(query, dataset, node)
+
+    def meets_deadline(self, query: Query, dataset: Dataset, node: int) -> bool:
+        """Whether serving ``dataset`` at ``node`` respects ``d_qm``."""
+        return self.pair_latency(query, dataset, node) <= query.deadline_s
+
+    def compute_demand(self, query: Query, dataset: Dataset) -> float:
+        """Compute the pair would consume: ``|S_n|·r_m`` GHz."""
+        return dataset.volume_gb * query.compute_rate
+
+    def can_serve(self, query: Query, dataset: Dataset, node: int) -> bool:
+        """Deadline + capacity + replica feasibility of serving at ``node``."""
+        if not self.nodes[node].can_fit(self.compute_demand(query, dataset)):
+            return False
+        if not (
+            self.replicas.has(dataset.dataset_id, node)
+            or self.replicas.can_place(dataset.dataset_id, node)
+        ):
+            return False
+        return self.meets_deadline(query, dataset, node)
+
+    # -- mutation ---------------------------------------------------------
+
+    def serve(self, query: Query, dataset: Dataset, node: int) -> Assignment:
+        """Commit serving ``dataset`` for ``query`` at ``node``.
+
+        Places a replica when the node lacks one (consuming a ``K`` slot)
+        and allocates the pair's compute.  Raises
+        :class:`~repro.cluster.node.CapacityError` /
+        :class:`~repro.cluster.replicas.ReplicaError` / ``ValueError``
+        when infeasible, leaving state unchanged.
+        """
+        latency = self.pair_latency(query, dataset, node)
+        if latency > query.deadline_s:
+            raise ValueError(
+                f"query {query.query_id} at node {node}: latency {latency:.3f}s "
+                f"exceeds deadline {query.deadline_s:.3f}s"
+            )
+        placed_here = False
+        if not self.replicas.has(dataset.dataset_id, node):
+            self.replicas.place(dataset.dataset_id, node)  # may raise ReplicaError
+            placed_here = True
+        tag = (query.query_id, dataset.dataset_id)
+        try:
+            self.nodes[node].allocate(tag, self.compute_demand(query, dataset))
+        except CapacityError:
+            if placed_here:
+                self.replicas.remove(dataset.dataset_id, node)
+            raise
+        return Assignment(
+            query_id=query.query_id,
+            dataset_id=dataset.dataset_id,
+            node=node,
+            latency_s=latency,
+            compute_ghz=self.compute_demand(query, dataset),
+        )
+
+    def release(self, assignment: Assignment) -> None:
+        """Undo an assignment's compute allocation (replicas stay placed)."""
+        self.nodes[assignment.node].release(
+            (assignment.query_id, assignment.dataset_id)
+        )
+
+    # -- transactions -------------------------------------------------------
+
+    @contextmanager
+    def transaction(self) -> Iterator[Transaction]:
+        """Snapshot state; roll back on exit unless committed.
+
+        Examples
+        --------
+        >>> # inside an algorithm:
+        >>> # with state.transaction() as txn:
+        >>> #     for ds in query_datasets: state.serve(query, ds, pick(ds))
+        >>> #     txn.commit()   # omit to roll everything back
+        """
+        node_snaps = {v: n.snapshot() for v, n in self.nodes.items()}
+        replica_snap = self.replicas.snapshot()
+        txn = Transaction()
+        try:
+            yield txn
+        finally:
+            if not txn.committed:
+                for v, ledger in node_snaps.items():
+                    self.nodes[v].restore(ledger)
+                self.replicas.restore(replica_snap)
+
+    # -- reporting -----------------------------------------------------------
+
+    def total_allocated(self) -> float:
+        """Total compute allocated across all nodes (GHz)."""
+        return sum(n.allocated_ghz for n in self.nodes.values())
+
+    def utilization_by_node(self) -> dict[int, float]:
+        """Node id → utilisation fraction."""
+        return {v: n.utilization for v, n in self.nodes.items()}

@@ -1,0 +1,242 @@
+"""The edge-cloud controller: one object driving the whole lifecycle.
+
+The paper's testbed runs "a controller that executes the proposed
+algorithms" (§4.3).  This module is that controller as a library facade: a
+single stateful object owning a topology + dataset collection, exposing
+the operations an operator would script —
+
+* :meth:`EdgeCloudController.place` — plan a query batch (any registered
+  algorithm), verify it, and make it the active placement,
+* :meth:`EdgeCloudController.execute` — run the active placement through
+  the event simulator and report measured latencies,
+* :meth:`EdgeCloudController.maintenance_report` — §2.4 consistency cost
+  of the active placement,
+* :meth:`EdgeCloudController.invoice` — pay-as-you-go economics,
+* :meth:`EdgeCloudController.handle_failure` — fail nodes, repair, and
+  adopt the repaired placement,
+* :meth:`EdgeCloudController.next_epoch` — swap in a new query batch and
+  re-plan with replica carry-over (the migration planner).
+
+Every operation appends to an audit :attr:`~EdgeCloudController.log`, so a
+session is replayable from its event trail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.cluster.consistency import ConsistencyModel, SyncReport
+from repro.core.billing import Invoice, PricingModel, bill_solution
+from repro.core.instance import ProblemInstance
+from repro.core.metrics import SolutionMetrics, evaluate_solution, verify_solution
+from repro.core.migration import EpochReport, MigrationPlanner
+from repro.core.registry import make_algorithm
+from repro.core.repair import RepairReport, fail_nodes, repair_placement
+from repro.core.types import Dataset, PlacementSolution, Query
+from repro.sim.events import ExecutionReport
+from repro.sim.execution import ExecutionConfig, execute_placement
+from repro.topology.twotier import EdgeCloudTopology
+from repro.util.validation import ValidationError
+
+__all__ = ["ControllerEvent", "EdgeCloudController"]
+
+
+@dataclass(frozen=True)
+class ControllerEvent:
+    """One audit-log entry.
+
+    Attributes
+    ----------
+    epoch:
+        Epoch counter at the time of the operation.
+    operation:
+        ``"place"``, ``"execute"``, ``"failure"``, ``"epoch"``, ...
+    detail:
+        Human-readable summary.
+    """
+
+    epoch: int
+    operation: str
+    detail: str
+
+
+class EdgeCloudController:
+    """Stateful controller over one topology + dataset collection.
+
+    Parameters
+    ----------
+    topology:
+        The two-tier edge cloud being operated.
+    datasets:
+        The dataset collection ``S`` (fixed across epochs).
+    max_replicas:
+        The replication bound ``K``.
+    algorithm:
+        Registry name used by :meth:`place` (default the paper's
+        ``appro-g``).
+    """
+
+    def __init__(
+        self,
+        topology: EdgeCloudTopology,
+        datasets: dict[int, Dataset],
+        *,
+        max_replicas: int = 3,
+        algorithm: str = "appro-g",
+    ) -> None:
+        self.topology = topology
+        self.datasets = dict(datasets)
+        self.max_replicas = max_replicas
+        self.algorithm = algorithm
+        self.epoch = 0
+        self.log: list[ControllerEvent] = []
+        self._instance: ProblemInstance | None = None
+        self._solution: PlacementSolution | None = None
+        self._planner = MigrationPlanner("carry")
+        self._failed: set[int] = set()
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def instance(self) -> ProblemInstance:
+        """The active problem instance (raises before the first placement)."""
+        if self._instance is None:
+            raise ValidationError("no active placement; call place() first")
+        return self._instance
+
+    @property
+    def solution(self) -> PlacementSolution:
+        """The active placement (raises before the first placement)."""
+        if self._solution is None:
+            raise ValidationError("no active placement; call place() first")
+        return self._solution
+
+    @property
+    def has_placement(self) -> bool:
+        """Whether a placement is active."""
+        return self._solution is not None
+
+    def metrics(self) -> SolutionMetrics:
+        """The active placement's volume/throughput metrics."""
+        return evaluate_solution(self.instance, self.solution)
+
+    def _record(self, operation: str, detail: str) -> None:
+        self.log.append(ControllerEvent(self.epoch, operation, detail))
+
+    def _make_instance(self, queries: Sequence[Query]) -> ProblemInstance:
+        return ProblemInstance(
+            topology=self.topology,
+            datasets=self.datasets,
+            queries=queries,
+            max_replicas=self.max_replicas,
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def place(self, queries: Sequence[Query]) -> SolutionMetrics:
+        """Plan and adopt a placement for ``queries`` (epoch 0 of a session)."""
+        instance = self._make_instance(queries)
+        solution = make_algorithm(self.algorithm).solve(instance)
+        verify_solution(instance, solution)
+        self._instance, self._solution = instance, solution
+        self._planner.reset()
+        self._failed.clear()
+        metrics = self.metrics()
+        self._record(
+            "place",
+            f"{self.algorithm}: admitted {metrics.num_admitted}/"
+            f"{metrics.num_queries}, {metrics.admitted_volume_gb:.1f} GB",
+        )
+        return metrics
+
+    def execute(self, *, contention: bool = True) -> ExecutionReport:
+        """Run the active placement in the event simulator."""
+        report = execute_placement(
+            self.instance,
+            self.solution,
+            ExecutionConfig(contention=contention),
+        )
+        self._record(
+            "execute",
+            f"{report.num_executed} queries, mean "
+            f"{report.mean_response_s * 1000:.0f} ms, "
+            f"{report.deadline_violations} violations",
+        )
+        return report
+
+    def maintenance_report(
+        self,
+        model: ConsistencyModel | None = None,
+        horizon_days: float = 30.0,
+    ) -> SyncReport:
+        """Consistency-maintenance cost of the active placement (§2.4)."""
+        model = model or ConsistencyModel()
+        report = model.report(self.instance, self.solution.replicas, horizon_days)
+        self._record(
+            "maintenance",
+            f"{report.syncs} syncs, {report.shipped_gb:.1f} GB over "
+            f"{horizon_days:.0f} days",
+        )
+        return report
+
+    def invoice(self, pricing: PricingModel | None = None) -> Invoice:
+        """Provider economics of the active placement."""
+        result = bill_solution(self.instance, self.solution, pricing)
+        self._record(
+            "invoice",
+            f"revenue ${result.revenue:.2f}, profit ${result.profit:.2f}",
+        )
+        return result
+
+    def handle_failure(self, nodes: Iterable[int]) -> RepairReport:
+        """Fail ``nodes``, repair the placement, and adopt the result."""
+        impact = fail_nodes(self.instance, self.solution, nodes)
+        report = repair_placement(self.instance, self.solution, impact)
+        verify_solution(self.instance, report.solution)
+        self._solution = report.solution
+        self._failed |= set(impact.failed_nodes)
+        self._record(
+            "failure",
+            f"failed {sorted(impact.failed_nodes)}: recovered "
+            f"{len(report.recovered_queries)}, dropped "
+            f"{len(report.dropped_queries)}, retention "
+            f"{report.availability:.0%}",
+        )
+        return report
+
+    def next_epoch(self, queries: Sequence[Query]) -> EpochReport:
+        """Swap in a new query batch, re-planning with replica carry-over."""
+        if self._solution is None:
+            raise ValidationError("start a session with place() before epochs")
+        instance = self._make_instance(queries)
+        # Seed the planner's carried state from the active placement on the
+        # first epoch transition (failed nodes never carry forward).
+        if self._planner.carried is None:
+            self._planner.seed_carry(
+                {
+                    d_id: tuple(
+                        v
+                        for v in nodes
+                        if v != self.datasets[d_id].origin_node
+                        and v not in self._failed
+                    )
+                    for d_id, nodes in self.solution.replicas.items()
+                }
+            )
+        report = self._planner.plan_epoch(instance)
+        self.epoch += 1
+        self._instance, self._solution = instance, report.solution
+        self._record(
+            "epoch",
+            f"epoch {self.epoch}: {report.admitted_volume_gb:.1f} GB, "
+            f"kept {report.kept}, added {report.added} "
+            f"(+{report.migration_gb:.1f} GB migration), dropped {report.dropped}",
+        )
+        return report
+
+    def audit_trail(self) -> str:
+        """The session log as text, one line per operation."""
+        return "\n".join(
+            f"[epoch {e.epoch}] {e.operation}: {e.detail}" for e in self.log
+        )

@@ -1,0 +1,110 @@
+"""Core placement problem and all algorithms.
+
+The paper's contribution (:class:`~repro.core.primal_dual.ApproS`,
+:class:`~repro.core.primal_dual.ApproG`), the three benchmark families
+(Greedy, Graph-partitioning, Popularity), the ILP/LP machinery, and the
+shared problem/solution datatypes.
+"""
+
+from repro.core.types import Dataset, Query, Assignment, PlacementSolution
+from repro.core.instance import ProblemInstance
+from repro.core.base import PlacementAlgorithm, SolutionBuilder
+from repro.core.feasibility import CandidateNode, candidate_nodes, delay_feasible_nodes
+from repro.core.metrics import (
+    SolutionMetrics,
+    evaluate_solution,
+    verify_solution,
+    InvariantViolation,
+)
+from repro.core.duals import NodePrices, dual_certificate
+from repro.core.primal_dual import PrimalDualConfig, ApproS, ApproG
+from repro.core.greedy import GreedyS, GreedyG
+from repro.core.graph_partition import GraphS, GraphG, partition_placement_nodes
+from repro.core.popularity import PopularityS, PopularityG, node_popularity
+from repro.core.bandwidth import BandwidthAwareState, BandwidthApproG
+from repro.core.billing import PricingModel, Invoice, bill_solution
+from repro.core.explain import (
+    RejectionReason,
+    PairDiagnosis,
+    QueryDiagnosis,
+    explain_rejections,
+    rejection_histogram,
+)
+from repro.core.lp_rounding import LpRoundingG
+from repro.core.migration import EpochReport, MigrationPlanner
+from repro.core.repair import FailureImpact, RepairReport, fail_nodes, repair_placement
+from repro.core.online import (
+    OnlineConfig,
+    OnlineReport,
+    OnlineSession,
+    appro_rule,
+    greedy_rule,
+)
+from repro.core.ilp import (
+    LpModel,
+    LpSolution,
+    build_lp_model,
+    solve_lp_relaxation,
+    solve_ilp,
+)
+from repro.core.registry import ALGORITHMS, make_algorithm, available_algorithms
+
+__all__ = [
+    "Dataset",
+    "Query",
+    "Assignment",
+    "PlacementSolution",
+    "ProblemInstance",
+    "PlacementAlgorithm",
+    "SolutionBuilder",
+    "CandidateNode",
+    "candidate_nodes",
+    "delay_feasible_nodes",
+    "SolutionMetrics",
+    "evaluate_solution",
+    "verify_solution",
+    "InvariantViolation",
+    "NodePrices",
+    "dual_certificate",
+    "PrimalDualConfig",
+    "ApproS",
+    "ApproG",
+    "GreedyS",
+    "GreedyG",
+    "GraphS",
+    "GraphG",
+    "partition_placement_nodes",
+    "PopularityS",
+    "PopularityG",
+    "LpRoundingG",
+    "BandwidthAwareState",
+    "BandwidthApproG",
+    "PricingModel",
+    "RejectionReason",
+    "PairDiagnosis",
+    "QueryDiagnosis",
+    "explain_rejections",
+    "rejection_histogram",
+    "Invoice",
+    "bill_solution",
+    "EpochReport",
+    "MigrationPlanner",
+    "FailureImpact",
+    "RepairReport",
+    "fail_nodes",
+    "repair_placement",
+    "OnlineConfig",
+    "OnlineReport",
+    "OnlineSession",
+    "appro_rule",
+    "greedy_rule",
+    "node_popularity",
+    "LpModel",
+    "LpSolution",
+    "build_lp_model",
+    "solve_lp_relaxation",
+    "solve_ilp",
+    "ALGORITHMS",
+    "make_algorithm",
+    "available_algorithms",
+]

@@ -1,0 +1,108 @@
+"""Algorithm interface and the solution-assembly helper.
+
+Every placement algorithm implements :class:`PlacementAlgorithm`: a named,
+stateless object whose :meth:`~PlacementAlgorithm.solve` maps a
+:class:`~repro.core.instance.ProblemInstance` to a
+:class:`~repro.core.types.PlacementSolution`.  Algorithms mutate a private
+:class:`~repro.cluster.state.ClusterState` internally and export an
+immutable solution through :class:`SolutionBuilder`.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.cluster.state import ClusterState
+from repro.core.instance import ProblemInstance
+from repro.core.types import Assignment, PlacementSolution
+from repro.util.validation import ValidationError
+
+__all__ = ["PlacementAlgorithm", "SolutionBuilder", "require_special_case"]
+
+
+def require_special_case(instance: ProblemInstance, algorithm: str) -> None:
+    """Raise unless every query demands exactly one dataset.
+
+    The ``-S`` algorithm variants implement the paper's special case and
+    refuse general instances rather than silently mis-solving them.
+    """
+    if not instance.is_special_case():
+        raise ValidationError(
+            f"{algorithm} handles the special case only (one dataset per "
+            f"query); use the -G variant for general instances"
+        )
+
+
+class PlacementAlgorithm(abc.ABC):
+    """A proactive data replication and placement algorithm."""
+
+    #: Registry / display name, e.g. ``"appro-s"``.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def solve(self, instance: ProblemInstance) -> PlacementSolution:
+        """Produce a placement solution for ``instance``.
+
+        Implementations must be deterministic given the instance (any
+        internal randomness must derive from instance content or fixed
+        seeds) and must leave the instance unmodified.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class SolutionBuilder:
+    """Accumulates admission decisions and exports a frozen solution."""
+
+    def __init__(self, instance: ProblemInstance, algorithm: str) -> None:
+        self._instance = instance
+        self._algorithm = algorithm
+        self._assignments: dict[tuple[int, int], Assignment] = {}
+        self._admitted: set[int] = set()
+        self._rejected: set[int] = set()
+        self._extras: dict[str, float] = {}
+
+    def admit(self, query_id: int, assignments: list[Assignment]) -> None:
+        """Record an admitted query with its committed assignments."""
+        if query_id in self._admitted or query_id in self._rejected:
+            raise ValidationError(f"query {query_id} decided twice")
+        if not assignments:
+            raise ValidationError(f"cannot admit query {query_id} with no assignments")
+        self._admitted.add(query_id)
+        for a in assignments:
+            key = (a.query_id, a.dataset_id)
+            if key in self._assignments:
+                raise ValidationError(f"pair {key} assigned twice")
+            self._assignments[key] = a
+
+    def reject(self, query_id: int) -> None:
+        """Record a rejected query."""
+        if query_id in self._admitted or query_id in self._rejected:
+            raise ValidationError(f"query {query_id} decided twice")
+        self._rejected.add(query_id)
+
+    def extra(self, key: str, value: float) -> None:
+        """Attach a diagnostic scalar (dual objective, iterations, ...)."""
+        self._extras[key] = float(value)
+
+    @property
+    def admitted(self) -> frozenset[int]:
+        """Queries admitted so far."""
+        return frozenset(self._admitted)
+
+    def build(self, state: ClusterState) -> PlacementSolution:
+        """Freeze the solution, exporting replica locations from ``state``."""
+        undecided = (
+            set(range(self._instance.num_queries)) - self._admitted - self._rejected
+        )
+        if undecided:
+            raise ValidationError(f"queries left undecided: {sorted(undecided)}")
+        return PlacementSolution(
+            algorithm=self._algorithm,
+            replicas=state.replicas.replica_map(),
+            assignments=dict(self._assignments),
+            admitted=frozenset(self._admitted),
+            rejected=frozenset(self._rejected),
+            extras=dict(self._extras),
+        )

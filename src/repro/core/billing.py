@@ -1,0 +1,146 @@
+"""Pay-as-you-go billing: the paper's economic motivation, quantified.
+
+§1: "maximizing the volume of datasets demanded by admitted queries means
+that users pay more for evaluating queries to the cloud service providers
+who can thus obtain maximum income."  This module turns a placement into
+an invoice: processing revenue on the admitted volume, against the
+provider's compute, transfer (replica seeding + intermediate results) and
+consistency-maintenance costs.
+
+Default rates are loosely modelled on public-cloud list prices (compute
+per GHz-hour, egress per GB); they are knobs, not claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.consistency import ConsistencyModel
+from repro.core.instance import ProblemInstance
+from repro.core.types import PlacementSolution
+from repro.util.validation import check_non_negative, check_positive
+
+__all__ = ["PricingModel", "Invoice", "bill_solution"]
+
+
+@dataclass(frozen=True)
+class PricingModel:
+    """Provider-side prices and costs.
+
+    Attributes
+    ----------
+    revenue_per_gb:
+        What users pay per GB of demanded data evaluated ($/GB).
+    compute_cost_per_ghz_hour:
+        Provider cost of compute ($/GHz/h); charged for the evaluation
+        window ``busy_hours``.
+    transfer_cost_per_gb:
+        Provider cost of moving a GB (replica seeding, intermediate
+        results, sync deltas).
+    busy_hours:
+        Hours the admitted allocations are considered held per billing
+        horizon (batch evaluation windows repeating over the horizon).
+    horizon_days:
+        Billing horizon, also used for consistency-maintenance volume.
+    consistency:
+        The §2.4 threshold model supplying sync traffic.
+    """
+
+    revenue_per_gb: float = 1.00
+    compute_cost_per_ghz_hour: float = 0.04
+    transfer_cost_per_gb: float = 0.05
+    busy_hours: float = 4.0
+    horizon_days: float = 30.0
+    consistency: ConsistencyModel = ConsistencyModel()
+
+    def __post_init__(self) -> None:
+        check_positive("revenue_per_gb", self.revenue_per_gb)
+        check_non_negative("compute_cost_per_ghz_hour", self.compute_cost_per_ghz_hour)
+        check_non_negative("transfer_cost_per_gb", self.transfer_cost_per_gb)
+        check_positive("busy_hours", self.busy_hours)
+        check_positive("horizon_days", self.horizon_days)
+
+
+@dataclass(frozen=True)
+class Invoice:
+    """One placement's provider economics over the billing horizon.
+
+    Attributes
+    ----------
+    revenue:
+        Income from evaluated volume.
+    compute_cost, transfer_cost, sync_cost:
+        Provider costs (replica seeding and intermediate-result movement
+        are in ``transfer_cost``; threshold-sync traffic in ``sync_cost``).
+    served_gb, seeded_gb, intermediate_gb, sync_gb:
+        The underlying volumes.
+    """
+
+    revenue: float
+    compute_cost: float
+    transfer_cost: float
+    sync_cost: float
+    served_gb: float
+    seeded_gb: float
+    intermediate_gb: float
+    sync_gb: float
+
+    @property
+    def total_cost(self) -> float:
+        """All provider costs."""
+        return self.compute_cost + self.transfer_cost + self.sync_cost
+
+    @property
+    def profit(self) -> float:
+        """Revenue minus all costs."""
+        return self.revenue - self.total_cost
+
+
+def bill_solution(
+    instance: ProblemInstance,
+    solution: PlacementSolution,
+    pricing: PricingModel | None = None,
+) -> Invoice:
+    """Price one placement under ``pricing``.
+
+    Volumes charged:
+
+    * **served** — Σ over assignments of the dataset volume (revenue side);
+    * **seeded** — every non-origin replica ships its dataset once;
+    * **intermediate** — each assignment ships ``α·|S_n|`` from serving
+      node to home (zero when they coincide);
+    * **sync** — the consistency model's shipped volume over the horizon.
+    """
+    pricing = pricing or PricingModel()
+
+    served_gb = 0.0
+    intermediate_gb = 0.0
+    compute_ghz = 0.0
+    for (q_id, d_id), a in solution.assignments.items():
+        dataset = instance.dataset(d_id)
+        query = instance.query(q_id)
+        served_gb += dataset.volume_gb
+        compute_ghz += a.compute_ghz
+        if a.node != query.home_node:
+            intermediate_gb += query.alpha_for(d_id) * dataset.volume_gb
+
+    seeded_gb = sum(
+        (len(nodes) - 1) * instance.dataset(d_id).volume_gb
+        for d_id, nodes in solution.replicas.items()
+    )
+    sync_gb = pricing.consistency.report(
+        instance, solution.replicas, pricing.horizon_days
+    ).shipped_gb
+
+    return Invoice(
+        revenue=pricing.revenue_per_gb * served_gb,
+        compute_cost=(
+            pricing.compute_cost_per_ghz_hour * compute_ghz * pricing.busy_hours
+        ),
+        transfer_cost=pricing.transfer_cost_per_gb * (seeded_gb + intermediate_gb),
+        sync_cost=pricing.transfer_cost_per_gb * sync_gb,
+        served_gb=served_gb,
+        seeded_gb=seeded_gb,
+        intermediate_gb=intermediate_gb,
+        sync_gb=sync_gb,
+    )

@@ -1,0 +1,186 @@
+"""Rejection diagnosis: *why* was a query not admitted?
+
+A placement that rejects 60% of queries is only actionable if the
+operator can see which constraint binds.  For each rejected query this
+module classifies every demanded dataset against the final cluster state
+implied by a solution:
+
+* ``NO_DELAY_FEASIBLE_NODE`` — no placement node can meet the pair's
+  deadline at all (the QoS is unsatisfiable; only a better network fixes
+  it),
+* ``REPLICAS_EXHAUSTED`` — delay-feasible nodes exist, but none holds a
+  replica and the dataset's ``K`` budget is spent elsewhere (raise K or
+  place differently),
+* ``CAPACITY_EXHAUSTED`` — a delay-feasible replica holder exists, but
+  its compute is full (add compute or admit differently),
+* ``SERVABLE`` — the pair could actually be served against the final
+  state; the query was rejected because a *sibling* dataset failed
+  (all-or-nothing coupling) or by price-based admission control.
+
+The summary histogram over all rejections tells the operator which knob
+(network, K, compute, β) to turn.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from types import MappingProxyType
+from typing import Mapping
+
+from repro.core.instance import ProblemInstance
+from repro.core.types import PlacementSolution, Query
+
+__all__ = ["RejectionReason", "PairDiagnosis", "QueryDiagnosis", "explain_rejections"]
+
+
+class RejectionReason(enum.Enum):
+    """Binding constraint for one unserved (query, dataset) pair."""
+
+    NO_DELAY_FEASIBLE_NODE = "no_delay_feasible_node"
+    REPLICAS_EXHAUSTED = "replicas_exhausted"
+    CAPACITY_EXHAUSTED = "capacity_exhausted"
+    SERVABLE = "servable"
+
+
+@dataclass(frozen=True)
+class PairDiagnosis:
+    """Diagnosis of one demanded dataset of a rejected query.
+
+    Attributes
+    ----------
+    dataset_id:
+        The dataset.
+    reason:
+        The binding constraint.
+    delay_feasible_nodes:
+        How many placement nodes meet the pair's deadline.
+    feasible_holders:
+        Delay-feasible nodes that hold a replica in the final placement.
+    """
+
+    dataset_id: int
+    reason: RejectionReason
+    delay_feasible_nodes: int
+    feasible_holders: int
+
+
+@dataclass(frozen=True)
+class QueryDiagnosis:
+    """Diagnosis of one rejected query.
+
+    Attributes
+    ----------
+    query_id:
+        The query.
+    pairs:
+        Per-dataset diagnoses.
+    """
+
+    query_id: int
+    pairs: tuple[PairDiagnosis, ...]
+
+    @property
+    def bottleneck(self) -> RejectionReason:
+        """The hardest constraint across the query's datasets.
+
+        Ordered from most to least fundamental: no feasible node >
+        replicas exhausted > capacity exhausted > servable.
+        """
+        order = [
+            RejectionReason.NO_DELAY_FEASIBLE_NODE,
+            RejectionReason.REPLICAS_EXHAUSTED,
+            RejectionReason.CAPACITY_EXHAUSTED,
+            RejectionReason.SERVABLE,
+        ]
+        reasons = {p.reason for p in self.pairs}
+        for reason in order:
+            if reason in reasons:
+                return reason
+        return RejectionReason.SERVABLE  # pragma: no cover - pairs never empty
+
+
+def _node_loads(
+    instance: ProblemInstance, solution: PlacementSolution
+) -> dict[int, float]:
+    load = {v: 0.0 for v in instance.placement_nodes}
+    for a in solution.assignments.values():
+        load[a.node] += a.compute_ghz
+    return load
+
+
+def _diagnose_pair(
+    instance: ProblemInstance,
+    solution: PlacementSolution,
+    loads: Mapping[int, float],
+    query: Query,
+    dataset_id: int,
+) -> PairDiagnosis:
+    dataset = instance.dataset(dataset_id)
+    demand = dataset.volume_gb * query.compute_rate
+    holders = set(solution.replicas.get(dataset_id, ()))
+    slots_left = instance.max_replicas - len(holders)
+
+    delay_ok = [
+        v
+        for v in instance.placement_nodes
+        if instance.pair_latency(query, dataset, v) <= query.deadline_s
+    ]
+    if not delay_ok:
+        return PairDiagnosis(
+            dataset_id, RejectionReason.NO_DELAY_FEASIBLE_NODE, 0, 0
+        )
+    feasible_holders = [v for v in delay_ok if v in holders]
+    open_nodes = feasible_holders + (
+        [v for v in delay_ok if v not in holders] if slots_left > 0 else []
+    )
+    if not open_nodes:
+        return PairDiagnosis(
+            dataset_id,
+            RejectionReason.REPLICAS_EXHAUSTED,
+            len(delay_ok),
+            0,
+        )
+    cap_ok = any(
+        loads[v] + demand
+        <= instance.topology.capacity(v) * (1 + 1e-9)
+        for v in open_nodes
+    )
+    reason = (
+        RejectionReason.SERVABLE if cap_ok else RejectionReason.CAPACITY_EXHAUSTED
+    )
+    return PairDiagnosis(
+        dataset_id, reason, len(delay_ok), len(feasible_holders)
+    )
+
+
+def explain_rejections(
+    instance: ProblemInstance, solution: PlacementSolution
+) -> Mapping[int, QueryDiagnosis]:
+    """Diagnose every rejected query against the final placement state.
+
+    Returns a read-only mapping query id → :class:`QueryDiagnosis`.  The
+    classification is against the *final* loads and replica locations, so
+    a ``SERVABLE`` verdict means "there is room now" — the query fell to
+    ordering, all-or-nothing coupling, or price-based rejection.
+    """
+    loads = _node_loads(instance, solution)
+    out: dict[int, QueryDiagnosis] = {}
+    for q_id in sorted(solution.rejected):
+        query = instance.query(q_id)
+        pairs = tuple(
+            _diagnose_pair(instance, solution, loads, query, d_id)
+            for d_id in query.demanded
+        )
+        out[q_id] = QueryDiagnosis(query_id=q_id, pairs=pairs)
+    return MappingProxyType(out)
+
+
+def rejection_histogram(
+    diagnoses: Mapping[int, QueryDiagnosis]
+) -> dict[RejectionReason, int]:
+    """Count rejected queries by their bottleneck reason."""
+    hist = {reason: 0 for reason in RejectionReason}
+    for diagnosis in diagnoses.values():
+        hist[diagnosis.bottleneck] += 1
+    return hist

@@ -1,0 +1,91 @@
+"""Shared feasibility queries used by every placement algorithm.
+
+A (query, dataset) pair can be served at node ``v`` iff
+
+1. **deadline** — ``|S_n|·d(v) + |S_n|·α·dt(p(v, h_m)) ≤ d_qm`` (§2.3),
+2. **capacity** — ``|S_n|·r_m`` GHz fits in the node's available compute,
+3. **replica** — ``v`` already holds a copy of ``S_n``, or a new replica
+   may still be placed (< K copies exist).
+
+Keeping these checks in one module guarantees all algorithms (the paper's
+and the baselines) compete under identical rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.state import ClusterState
+from repro.core.types import Dataset, Query
+
+__all__ = ["CandidateNode", "candidate_nodes", "delay_feasible_nodes"]
+
+
+@dataclass(frozen=True)
+class CandidateNode:
+    """One feasible serving option for a (query, dataset) pair.
+
+    Attributes
+    ----------
+    node:
+        Placement node id.
+    latency_s:
+        Analytic pair latency at this node.
+    has_replica:
+        Whether the node already holds the dataset (serving here consumes
+        no ``K`` slot).
+    """
+
+    node: int
+    latency_s: float
+    has_replica: bool
+
+
+def delay_feasible_nodes(
+    state: ClusterState, query: Query, dataset: Dataset
+) -> np.ndarray:
+    """Placement-node ids meeting the pair's deadline (vectorised).
+
+    Computes ``|S_n|·(d(v) + α·dt(v → h_m)) ≤ d_qm`` over all placement
+    nodes at once; capacity and replica slots are *not* checked here.
+    """
+    inst = state.instance
+    alpha = query.alpha_for(dataset.dataset_id)
+    home_vec = inst.home_delay_vectors.get(query.home_node)
+    if home_vec is None:
+        home_vec = inst.paths.placement_delays_to(query.home_node)
+    latency = dataset.volume_gb * (inst.proc_delays + alpha * home_vec)
+    mask = latency <= query.deadline_s
+    nodes = np.fromiter(inst.placement_nodes, dtype=np.intp)
+    return nodes[mask]
+
+
+def candidate_nodes(
+    state: ClusterState, query: Query, dataset: Dataset
+) -> list[CandidateNode]:
+    """All fully feasible serving options for (query, dataset), by node id.
+
+    Applies the deadline check vectorised, then filters by capacity and
+    replica availability against the *current* cluster state.
+    """
+    demand = state.compute_demand(query, dataset)
+    replica_nodes = state.replicas.nodes(dataset.dataset_id)
+    slots_left = state.replicas.remaining_slots(dataset.dataset_id) > 0
+    inst = state.instance
+    alpha = query.alpha_for(dataset.dataset_id)
+    out: list[CandidateNode] = []
+    for node in delay_feasible_nodes(state, query, dataset):
+        node = int(node)
+        has_replica = node in replica_nodes
+        if not has_replica and not slots_left:
+            continue
+        if not state.nodes[node].can_fit(demand):
+            continue
+        latency = dataset.volume_gb * (
+            inst.topology.proc_delay(node)
+            + alpha * inst.paths.delay(node, query.home_node)
+        )
+        out.append(CandidateNode(node=node, latency_s=latency, has_replica=has_replica))
+    return out

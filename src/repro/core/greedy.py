@@ -1,0 +1,106 @@
+"""Greedy baseline (paper §4.1, benchmark 1).
+
+"It selects a data center or cloudlet with largest available computing
+resource to place a replica of a dataset.  If the delay requirement cannot
+be satisfied, it then selects a data center or a cloudlet with the second
+largest available computing resource to place the replica.  This procedure
+continues until the query is admitted or there are already K replicas of
+the dataset in the system."
+
+The greedy walk consumes replica slots at capacity-rich nodes regardless of
+where the query's home is, which is exactly why it underperforms: remote
+queries exhaust ``K`` on nodes that cannot meet their deadline.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.state import ClusterState
+from repro.core.base import PlacementAlgorithm, SolutionBuilder, require_special_case
+from repro.core.instance import ProblemInstance
+from repro.core.types import Assignment, PlacementSolution, Query
+
+__all__ = ["GreedyS", "GreedyG"]
+
+
+def _greedy_place_pair(
+    state: ClusterState, query: Query, dataset_id: int
+) -> Assignment | None:
+    """One paper-faithful greedy step for a (query, dataset) pair.
+
+    Walks placement nodes in descending available compute.  At each node it
+    first materialises a replica if none is there (burning a ``K`` slot —
+    the replica stays even when the node then fails the delay check, per
+    the benchmark's description), then serves if deadline and capacity
+    hold.  Gives up when all nodes were tried.
+    """
+    dataset = state.instance.dataset(dataset_id)
+    nodes = sorted(
+        state.nodes.values(),
+        key=lambda n: (-n.available_ghz, n.node_id),
+    )
+    for node in nodes:
+        has_replica = state.replicas.has(dataset_id, node.node_id)
+        if not has_replica:
+            if not state.replicas.can_place(dataset_id, node.node_id):
+                continue  # K exhausted: only replica-holding nodes remain usable
+            state.replicas.place(dataset_id, node.node_id)
+        if state.meets_deadline(query, dataset, node.node_id) and node.can_fit(
+            state.compute_demand(query, dataset)
+        ):
+            return state.serve(query, dataset, node.node_id)
+    return None
+
+
+class GreedyS(PlacementAlgorithm):
+    """Greedy baseline for the special case (one dataset per query)."""
+
+    name = "greedy-s"
+
+    def solve(self, instance: ProblemInstance) -> PlacementSolution:
+        require_special_case(instance, self.name)
+        state = ClusterState(instance)
+        builder = SolutionBuilder(instance, self.name)
+        for query in instance.queries:
+            assignment = _greedy_place_pair(state, query, query.demanded[0])
+            if assignment is None:
+                builder.reject(query.query_id)
+            else:
+                builder.admit(query.query_id, [assignment])
+        builder.extra("replicas_total", state.replicas.total_replicas())
+        return builder.build(state)
+
+
+class GreedyG(PlacementAlgorithm):
+    """Greedy baseline for the general case (all-or-nothing admission).
+
+    When a query is rejected, the compute its earlier pairs allocated is
+    released — but the replicas materialised while probing stay in place,
+    as in the benchmark's description ("to place a replica ... this
+    procedure continues"): proactive replication is not undone, so
+    rejected probes permanently consume ``K`` slots on capacity-rich but
+    poorly-placed nodes.  This persistence is the benchmark's documented
+    failure mode.
+    """
+
+    name = "greedy-g"
+
+    def solve(self, instance: ProblemInstance) -> PlacementSolution:
+        state = ClusterState(instance)
+        builder = SolutionBuilder(instance, self.name)
+        for query in instance.queries:
+            assignments: list[Assignment] = []
+            failed = False
+            for d_id in query.demanded:
+                a = _greedy_place_pair(state, query, d_id)
+                if a is None:
+                    failed = True
+                    break
+                assignments.append(a)
+            if failed:
+                for a in assignments:
+                    state.release(a)
+                builder.reject(query.query_id)
+            else:
+                builder.admit(query.query_id, assignments)
+        builder.extra("replicas_total", state.replicas.total_replicas())
+        return builder.build(state)

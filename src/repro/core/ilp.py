@@ -1,0 +1,397 @@
+"""The paper's ILP (§3.2), its LP relaxation, and a small branch-and-bound.
+
+The primal program (1)–(7), concretised per (query, dataset, node) triple:
+
+* ``π_{mnl} ∈ {0,1}`` — query ``q_m`` evaluates dataset ``S_n`` at node
+  ``v_l`` (only delay-feasible triples are instantiated, which encodes
+  Constraint (4) exactly);
+* ``x_{nl} ∈ {0,1}`` — a replica of ``S_n`` sits at ``v_l``;
+* maximise ``Σ |S_n|·π_{mnl}`` subject to node capacities (2), assignment
+  requires replica (3), the ``K`` bound (5), and each pair served at most
+  once.
+
+:func:`solve_lp_relaxation` gives a rigorous upper bound on every integral
+solution (used for the optimality-gap certificates);
+:func:`solve_ilp` runs LP-based best-first branch-and-bound for exact
+optima on small instances (tests, gap benches).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy.optimize import linprog
+from scipy.sparse import coo_matrix
+
+from repro.core.instance import ProblemInstance
+from repro.util.validation import check_positive
+
+__all__ = ["LpModel", "LpSolution", "build_lp_model", "solve_lp_relaxation", "solve_ilp"]
+
+_INT_TOL = 1e-6
+
+
+@dataclass(frozen=True)
+class LpModel:
+    """Index structure of the instantiated LP/ILP.
+
+    Attributes
+    ----------
+    triples:
+        All delay-feasible ``(query_id, dataset_id, node)`` triples; the
+        first ``len(triples)`` variables are their ``π``.
+    placements:
+        All ``(dataset_id, node)`` pairs with an ``x`` variable (origins
+        included); variables follow the ``π`` block.
+    costs:
+        ``linprog`` objective vector (negated volumes on ``π``).
+    a_ub, b_ub:
+        Inequality system.
+    bounds:
+        Per-variable bounds (origin copies pinned at 1).
+    """
+
+    triples: tuple[tuple[int, int, int], ...]
+    placements: tuple[tuple[int, int], ...]
+    costs: np.ndarray
+    a_ub: coo_matrix
+    b_ub: np.ndarray
+    bounds: tuple[tuple[float, float], ...]
+
+    @property
+    def num_vars(self) -> int:
+        """Total variable count (π block then x block)."""
+        return len(self.triples) + len(self.placements)
+
+
+@dataclass(frozen=True)
+class LpSolution:
+    """Result of an LP or ILP solve.
+
+    Attributes
+    ----------
+    objective:
+        Admitted-volume objective value (GB); for the relaxation this
+        upper-bounds every integral solution.
+    pi:
+        Values of the ``π`` variables, aligned with ``model.triples``.
+    x:
+        Values of the ``x`` variables, aligned with ``model.placements``.
+    integral:
+        Whether all variables are within tolerance of {0, 1}.
+    nodes_explored:
+        Branch-and-bound nodes processed (1 for a bare LP solve).
+    """
+
+    objective: float
+    pi: np.ndarray
+    x: np.ndarray
+    integral: bool
+    nodes_explored: int = 1
+
+
+def build_lp_model(instance: ProblemInstance) -> LpModel:
+    """Instantiate the paper's program for ``instance``.
+
+    Only delay-feasible triples get a ``π`` variable; a pair with no
+    feasible node simply cannot contribute, exactly as Constraint (4)
+    forces ``π = 0`` there.
+    """
+    triples: list[tuple[int, int, int]] = []
+    placement_vars: dict[tuple[int, int], int] = {}
+
+    def placement_index(key: tuple[int, int]) -> int:
+        if key not in placement_vars:
+            placement_vars[key] = len(placement_vars)
+        return placement_vars[key]
+
+    # Origin copies always have an x variable (pinned to 1 below).
+    for dataset in instance.datasets.values():
+        placement_index((dataset.dataset_id, dataset.origin_node))
+
+    for query in instance.queries:
+        for d_id in query.demanded:
+            dataset = instance.dataset(d_id)
+            for v in instance.placement_nodes:
+                if instance.pair_latency(query, dataset, v) <= query.deadline_s:
+                    triples.append((query.query_id, d_id, v))
+                    placement_index((d_id, v))
+
+    n_pi = len(triples)
+    placements = tuple(
+        key for key, _ in sorted(placement_vars.items(), key=lambda kv: kv[1])
+    )
+    n_x = len(placements)
+    n = n_pi + n_x
+
+    costs = np.zeros(n)
+    for t, (q_id, d_id, _) in enumerate(triples):
+        costs[t] = -instance.dataset(d_id).volume_gb  # linprog minimises
+
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[float] = []
+    b: list[float] = []
+    row = 0
+
+    # (2) node capacity
+    triples_at_node: dict[int, list[int]] = {}
+    for t, (_, _, v) in enumerate(triples):
+        triples_at_node.setdefault(v, []).append(t)
+    for v in instance.placement_nodes:
+        idxs = triples_at_node.get(v, [])
+        if not idxs:
+            continue
+        for t in idxs:
+            q_id, d_id, _ = triples[t]
+            rows.append(row)
+            cols.append(t)
+            vals.append(
+                instance.dataset(d_id).volume_gb
+                * instance.query(q_id).compute_rate
+            )
+        b.append(instance.topology.capacity(v))
+        row += 1
+
+    # (3) π ≤ x
+    for t, (_, d_id, v) in enumerate(triples):
+        rows.extend((row, row))
+        cols.extend((t, n_pi + placement_vars[(d_id, v)]))
+        vals.extend((1.0, -1.0))
+        b.append(0.0)
+        row += 1
+
+    # (5) Σ_l x ≤ K
+    x_by_dataset: dict[int, list[int]] = {}
+    for (d_id, _), xi in placement_vars.items():
+        x_by_dataset.setdefault(d_id, []).append(xi)
+    for d_id, xis in sorted(x_by_dataset.items()):
+        for xi in xis:
+            rows.append(row)
+            cols.append(n_pi + xi)
+            vals.append(1.0)
+        b.append(float(instance.max_replicas))
+        row += 1
+
+    # Each (query, dataset) pair served at most once.
+    pair_triples: dict[tuple[int, int], list[int]] = {}
+    for t, (q_id, d_id, _) in enumerate(triples):
+        pair_triples.setdefault((q_id, d_id), []).append(t)
+    for _, idxs in sorted(pair_triples.items()):
+        for t in idxs:
+            rows.append(row)
+            cols.append(t)
+            vals.append(1.0)
+        b.append(1.0)
+        row += 1
+
+    a_ub = coo_matrix((vals, (rows, cols)), shape=(row, n))
+    origin_keys = {
+        (d.dataset_id, d.origin_node) for d in instance.datasets.values()
+    }
+    bounds = tuple(
+        (0.0, 1.0) if i < n_pi or placements[i - n_pi] not in origin_keys
+        else (1.0, 1.0)
+        for i in range(n)
+    )
+    return LpModel(
+        triples=tuple(triples),
+        placements=placements,
+        costs=costs,
+        a_ub=a_ub,
+        b_ub=np.array(b),
+        bounds=bounds,
+    )
+
+
+def _solve(model: LpModel, bounds: tuple[tuple[float, float], ...]) -> LpSolution | None:
+    """Solve one LP node; ``None`` when infeasible."""
+    if model.num_vars == 0:
+        return LpSolution(0.0, np.empty(0), np.empty(0), True)
+    res = linprog(
+        model.costs,
+        A_ub=model.a_ub,
+        b_ub=model.b_ub,
+        bounds=list(bounds),
+        method="highs",
+    )
+    if not res.success:
+        return None
+    z = np.asarray(res.x)
+    n_pi = len(model.triples)
+    integral = bool(
+        np.all(np.minimum(np.abs(z), np.abs(1.0 - z)) <= _INT_TOL)
+    )
+    return LpSolution(
+        objective=float(-res.fun),
+        pi=z[:n_pi],
+        x=z[n_pi:],
+        integral=integral,
+    )
+
+
+def solve_lp_relaxation(instance: ProblemInstance) -> LpSolution:
+    """Solve the LP relaxation; its objective upper-bounds OPT.
+
+    Raises
+    ------
+    RuntimeError
+        If the solver fails (should not happen: the all-zero point plus
+        origin copies is always feasible).
+    """
+    model = build_lp_model(instance)
+    sol = _solve(model, model.bounds)
+    if sol is None:
+        raise RuntimeError("LP relaxation reported infeasible")
+    return sol
+
+
+def _greedy_incumbent(
+    model: LpModel,
+    instance: ProblemInstance,
+    pi_hint: np.ndarray | None = None,
+) -> LpSolution:
+    """A feasible integral solution by volume-greedy packing.
+
+    Seeds and tightens branch-and-bound incumbents: triples are committed
+    in decreasing (hint, volume) order, respecting capacity, the ``K``
+    bound and one-node-per-pair, re-using already-open replicas first.
+    ``pi_hint`` (a node's fractional LP values) biases the order toward
+    the relaxation's preferences.
+    """
+    n_pi = len(model.triples)
+    pi = np.zeros(n_pi)
+    placement_index = {key: i for i, key in enumerate(model.placements)}
+    x = np.zeros(len(model.placements))
+    for d in instance.datasets.values():
+        x[placement_index[(d.dataset_id, d.origin_node)]] = 1.0
+
+    load: dict[int, float] = {v: 0.0 for v in instance.placement_nodes}
+    replicas: dict[int, set[int]] = {
+        d.dataset_id: {d.origin_node} for d in instance.datasets.values()
+    }
+    served: set[tuple[int, int]] = set()
+
+    def volume(t: int) -> float:
+        return instance.dataset(model.triples[t][1]).volume_gb
+
+    # Two passes: first triples landing on existing replicas, then ones
+    # needing a new copy — so K slots go to genuinely uncovered demand.
+    if pi_hint is None:
+        order = sorted(range(n_pi), key=lambda t: (-volume(t), t))
+    else:
+        order = sorted(
+            range(n_pi), key=lambda t: (-pi_hint[t] * volume(t), -volume(t), t)
+        )
+    for needs_new in (False, True):
+        for t in order:
+            q_id, d_id, v = model.triples[t]
+            if (q_id, d_id) in served:
+                continue
+            has = v in replicas[d_id]
+            if has == needs_new:
+                continue
+            if not has and len(replicas[d_id]) >= instance.max_replicas:
+                continue
+            demand = (
+                instance.dataset(d_id).volume_gb
+                * instance.query(q_id).compute_rate
+            )
+            if load[v] + demand > instance.topology.capacity(v) * (1 + 1e-12):
+                continue
+            load[v] += demand
+            served.add((q_id, d_id))
+            pi[t] = 1.0
+            if not has:
+                replicas[d_id].add(v)
+                x[placement_index[(d_id, v)]] = 1.0
+    objective = float(sum(volume(t) for t in range(n_pi) if pi[t] > 0.5))
+    return LpSolution(objective=objective, pi=pi, x=x, integral=True)
+
+
+@dataclass(order=True)
+class _BnbNode:
+    """Best-first queue entry: larger LP bound explored first."""
+
+    neg_bound: float
+    counter: int
+    bounds: tuple[tuple[float, float], ...] = field(compare=False)
+
+
+def _most_fractional(z: np.ndarray) -> int | None:
+    """Index of the variable farthest from integrality, or ``None``."""
+    frac = np.minimum(np.abs(z), np.abs(1.0 - z))
+    idx = int(np.argmax(frac))
+    return idx if frac[idx] > _INT_TOL else None
+
+
+def solve_ilp(
+    instance: ProblemInstance, *, max_nodes: int = 20000
+) -> LpSolution:
+    """Exact optimum by LP-based best-first branch-and-bound.
+
+    Intended for small instances (tests, gap benches); raises if the node
+    budget is exhausted before proving optimality.
+
+    Parameters
+    ----------
+    max_nodes:
+        Branch-and-bound node budget.
+    """
+    check_positive("max_nodes", max_nodes)
+    model = build_lp_model(instance)
+    root = _solve(model, model.bounds)
+    if root is None:
+        raise RuntimeError("root LP infeasible")
+    if root.integral:
+        return root
+
+    counter = itertools.count()
+    heap: list[_BnbNode] = [
+        _BnbNode(-root.objective, next(counter), model.bounds)
+    ]
+    # Seed the incumbent with a greedy integral packing: pruning against a
+    # strong lower bound keeps the tree small.
+    best: LpSolution | None = _greedy_incumbent(model, instance)
+    best_obj = best.objective
+    explored = 0
+    while heap:
+        node = heapq.heappop(heap)
+        if -node.neg_bound <= best_obj + 1e-9:
+            continue  # cannot beat the incumbent
+        explored += 1
+        if explored > max_nodes:
+            raise RuntimeError(
+                f"branch-and-bound exceeded {max_nodes} nodes; instance too large"
+            )
+        sol = _solve(model, node.bounds)
+        if sol is None or sol.objective <= best_obj + 1e-9:
+            continue
+        # Round this node's fractional solution into an incumbent: cheap,
+        # and every improvement tightens pruning for the whole tree.
+        rounded = _greedy_incumbent(model, instance, pi_hint=sol.pi)
+        if rounded.objective > best_obj:
+            best, best_obj = rounded, rounded.objective
+            if sol.objective <= best_obj + 1e-9:
+                continue
+        z = np.concatenate([sol.pi, sol.x])
+        branch_var = _most_fractional(z)
+        if branch_var is None:
+            best, best_obj = sol, sol.objective
+            continue
+        for fixed in (0.0, 1.0):
+            child = list(node.bounds)
+            child[branch_var] = (fixed, fixed)
+            heapq.heappush(
+                heap, _BnbNode(-sol.objective, next(counter), tuple(child))
+            )
+    return LpSolution(
+        objective=best.objective,
+        pi=best.pi,
+        x=best.x,
+        integral=True,
+        nodes_explored=explored,
+    )

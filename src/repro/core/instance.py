@@ -1,0 +1,161 @@
+"""Problem instances: topology + workload + replication bound ``K``.
+
+A :class:`ProblemInstance` bundles everything a placement algorithm needs
+and precomputes the arrays used in inner loops (path-delay vectors, node
+capacity vectors), so algorithms stay allocation-free per decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from types import MappingProxyType
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.types import Dataset, Query
+from repro.network.paths import PathCache
+from repro.topology.twotier import EdgeCloudTopology
+from repro.util.validation import ValidationError, check_positive
+
+__all__ = ["ProblemInstance"]
+
+
+@dataclass(frozen=True)
+class ProblemInstance:
+    """One instance of the proactive data replication and placement problem.
+
+    Attributes
+    ----------
+    topology:
+        The two-tier edge cloud.
+    datasets:
+        Dataset id → :class:`Dataset`.
+    queries:
+        The query set ``Q`` (ids must be dense ``0..M-1``).
+    max_replicas:
+        ``K``, the maximum number of replicas per dataset (the origin copy
+        counts toward ``K``; the paper's "at most K replicas in the
+        system").
+    """
+
+    topology: EdgeCloudTopology
+    datasets: Mapping[int, Dataset]
+    queries: Sequence[Query]
+    max_replicas: int = 3
+
+    def __post_init__(self) -> None:
+        check_positive("max_replicas", self.max_replicas)
+        object.__setattr__(self, "datasets", MappingProxyType(dict(self.datasets)))
+        object.__setattr__(self, "queries", tuple(self.queries))
+        placement = set(self.topology.placement_nodes)
+        for ds in self.datasets.values():
+            if ds.origin_node not in placement:
+                raise ValidationError(
+                    f"dataset {ds.dataset_id} originates at non-placement node "
+                    f"{ds.origin_node}"
+                )
+        for i, q in enumerate(self.queries):
+            if q.query_id != i:
+                raise ValidationError(
+                    f"query ids must be dense 0..M-1; position {i} has id "
+                    f"{q.query_id}"
+                )
+            if q.home_node not in placement:
+                raise ValidationError(
+                    f"query {q.query_id} has non-placement home node {q.home_node}"
+                )
+            for d in q.demanded:
+                if d not in self.datasets:
+                    raise ValidationError(
+                        f"query {q.query_id} demands unknown dataset {d}"
+                    )
+
+    # -- cached derived structures ---------------------------------------
+
+    @cached_property
+    def paths(self) -> PathCache:
+        """All-pairs minimum-delay oracle for :attr:`topology`."""
+        return PathCache(self.topology)
+
+    @cached_property
+    def placement_nodes(self) -> tuple[int, ...]:
+        """Placement node ids, in the canonical placement order."""
+        return self.topology.placement_nodes
+
+    @cached_property
+    def node_index(self) -> dict[int, int]:
+        """Node id → dense index into placement-order arrays."""
+        return {v: i for i, v in enumerate(self.placement_nodes)}
+
+    @cached_property
+    def capacities(self) -> np.ndarray:
+        """``B(v)`` over placement nodes (placement order), GHz."""
+        arr = self.topology.capacities_array()
+        arr.flags.writeable = False
+        return arr
+
+    @cached_property
+    def proc_delays(self) -> np.ndarray:
+        """``d(v)`` over placement nodes (placement order), s/GB."""
+        arr = self.topology.proc_delays_array()
+        arr.flags.writeable = False
+        return arr
+
+    @cached_property
+    def home_delay_vectors(self) -> dict[int, np.ndarray]:
+        """For each distinct home node: ``dt(p(v, home))`` over placement nodes."""
+        vectors: dict[int, np.ndarray] = {}
+        for q in self.queries:
+            if q.home_node not in vectors:
+                vec = self.paths.placement_delays_to(q.home_node)
+                vec.flags.writeable = False
+                vectors[q.home_node] = vec
+        return vectors
+
+    # -- convenience ------------------------------------------------------
+
+    @property
+    def num_queries(self) -> int:
+        """``|Q|``."""
+        return len(self.queries)
+
+    @property
+    def num_datasets(self) -> int:
+        """``|S|``."""
+        return len(self.datasets)
+
+    @property
+    def num_placement_nodes(self) -> int:
+        """``|V| = |CL ∪ DC|``."""
+        return len(self.placement_nodes)
+
+    def dataset(self, dataset_id: int) -> Dataset:
+        """Lookup one dataset."""
+        return self.datasets[dataset_id]
+
+    def query(self, query_id: int) -> Query:
+        """Lookup one query."""
+        return self.queries[query_id]
+
+    def total_demanded_volume(self) -> float:
+        """Σ over queries of the volume they demand (upper bound on the objective)."""
+        return sum(
+            self.datasets[d].volume_gb for q in self.queries for d in q.demanded
+        )
+
+    def is_special_case(self) -> bool:
+        """Whether every query demands exactly one dataset (Appro-S regime)."""
+        return all(q.num_datasets == 1 for q in self.queries)
+
+    def pair_latency(self, query: Query, dataset: Dataset, node: int) -> float:
+        """Analytic latency of serving ``dataset`` for ``query`` at ``node``.
+
+        ``|S_n|·d(v) + |S_n|·α_{nm}·dt(p(v, h_m))`` (§2.3).
+        """
+        alpha = query.alpha_for(dataset.dataset_id)
+        dt = self.paths.delay(node, query.home_node)
+        return dataset.volume_gb * (
+            self.topology.proc_delay(node) + alpha * dt
+        )

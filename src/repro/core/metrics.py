@@ -1,0 +1,184 @@
+"""Solution metrics and invariant verification.
+
+The two headline metrics of the paper's evaluation:
+
+* **admitted volume** — Σ over admitted queries of the volume of the
+  datasets they demand (the paper's objective, Eq. (1)),
+* **system throughput** — admitted queries / total queries (§4.2).
+
+:func:`verify_solution` re-checks every constraint of the ILP against a
+finished :class:`~repro.core.types.PlacementSolution`; the experiment
+runner calls it on every run, so no algorithm can win by cheating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.instance import ProblemInstance
+from repro.core.types import PlacementSolution
+
+__all__ = ["SolutionMetrics", "evaluate_solution", "verify_solution", "InvariantViolation"]
+
+#: Relative tolerance for floating-point capacity/deadline comparisons.
+_RTOL = 1e-9
+
+
+class InvariantViolation(AssertionError):
+    """A placement solution violates one of the problem's constraints."""
+
+
+@dataclass(frozen=True)
+class SolutionMetrics:
+    """Headline metrics of one solution.
+
+    Attributes
+    ----------
+    admitted_volume_gb:
+        The paper's objective: Σ volumes demanded by admitted queries.
+    throughput:
+        Admitted / total queries, in [0, 1].
+    num_admitted, num_queries:
+        Raw counts.
+    replicas_placed:
+        Replicas beyond the origin copies.
+    mean_utilization:
+        Mean compute utilisation over placement nodes implied by the
+        solution's assignments.
+    """
+
+    admitted_volume_gb: float
+    throughput: float
+    num_admitted: int
+    num_queries: int
+    replicas_placed: int
+    mean_utilization: float
+
+
+def evaluate_solution(
+    instance: ProblemInstance, solution: PlacementSolution
+) -> SolutionMetrics:
+    """Compute the paper's metrics for one solution.
+
+    The objective is summed over *served* (query, dataset) assignments —
+    ``Σ |S_n|·π_ml`` exactly as in Eq. (1) — which coincides with the
+    demanded volume of admitted queries under all-or-nothing admission and
+    remains correct under partial admission.
+    """
+    volume = sum(
+        instance.dataset(d_id).volume_gb for (_, d_id) in solution.assignments
+    )
+    throughput = (
+        len(solution.admitted) / instance.num_queries if instance.num_queries else 0.0
+    )
+    extra_replicas = sum(
+        max(0, len(nodes) - 1) for nodes in solution.replicas.values()
+    )
+    load: dict[int, float] = {v: 0.0 for v in instance.placement_nodes}
+    for a in solution.assignments.values():
+        load[a.node] += a.compute_ghz
+    utils = [
+        load[v] / instance.topology.capacity(v) for v in instance.placement_nodes
+    ]
+    return SolutionMetrics(
+        admitted_volume_gb=volume,
+        throughput=throughput,
+        num_admitted=len(solution.admitted),
+        num_queries=instance.num_queries,
+        replicas_placed=extra_replicas,
+        mean_utilization=sum(utils) / len(utils) if utils else 0.0,
+    )
+
+
+def verify_solution(
+    instance: ProblemInstance,
+    solution: PlacementSolution,
+    *,
+    all_or_nothing: bool = True,
+) -> None:
+    """Re-check every ILP constraint; raise :class:`InvariantViolation` on failure.
+
+    Checks performed:
+
+    1. every dataset has ≤ K copies, and its origin copy is present;
+    2. every assignment's node holds the dataset's replica;
+    3. per-node compute load ≤ capacity (Constraint (2));
+    4. every assignment meets its query's deadline (Constraint (4));
+    5. admitted queries have all demanded pairs assigned (all-or-nothing
+       mode) or at least one (partial mode); rejected queries have none;
+    6. admitted ∪ rejected covers exactly the query set.
+    """
+    placement = set(instance.placement_nodes)
+
+    for dataset_id, nodes in solution.replicas.items():
+        dataset = instance.dataset(dataset_id)
+        if len(nodes) > instance.max_replicas:
+            raise InvariantViolation(
+                f"dataset {dataset_id} has {len(nodes)} > K="
+                f"{instance.max_replicas} copies"
+            )
+        if dataset.origin_node not in nodes:
+            raise InvariantViolation(
+                f"dataset {dataset_id} lost its origin copy at "
+                f"{dataset.origin_node}"
+            )
+        for v in nodes:
+            if v not in placement:
+                raise InvariantViolation(
+                    f"dataset {dataset_id} replicated to non-placement node {v}"
+                )
+
+    load: dict[int, float] = {}
+    for (q_id, d_id), a in solution.assignments.items():
+        if a.query_id != q_id or a.dataset_id != d_id:
+            raise InvariantViolation(f"assignment key/value mismatch at ({q_id}, {d_id})")
+        query = instance.query(q_id)
+        dataset = instance.dataset(d_id)
+        if d_id not in query.demanded:
+            raise InvariantViolation(
+                f"query {q_id} assigned dataset {d_id} it never demanded"
+            )
+        if a.node not in solution.replicas.get(d_id, ()):
+            raise InvariantViolation(
+                f"pair ({q_id}, {d_id}) served at node {a.node} without a replica"
+            )
+        expected = instance.pair_latency(query, dataset, a.node)
+        if a.latency_s > query.deadline_s * (1.0 + _RTOL):
+            raise InvariantViolation(
+                f"pair ({q_id}, {d_id}) latency {a.latency_s:.4f}s exceeds "
+                f"deadline {query.deadline_s:.4f}s"
+            )
+        if abs(expected - a.latency_s) > 1e-6 * max(1.0, expected):
+            raise InvariantViolation(
+                f"pair ({q_id}, {d_id}) recorded latency {a.latency_s:.6f} != "
+                f"analytic {expected:.6f}"
+            )
+        load[a.node] = load.get(a.node, 0.0) + a.compute_ghz
+
+    for v, used in load.items():
+        cap = instance.topology.capacity(v)
+        if used > cap * (1.0 + _RTOL):
+            raise InvariantViolation(
+                f"node {v} load {used:.3f} GHz exceeds capacity {cap:.3f} GHz"
+            )
+
+    all_ids = set(range(instance.num_queries))
+    if set(solution.admitted) | set(solution.rejected) != all_ids:
+        raise InvariantViolation("admitted ∪ rejected does not cover the query set")
+
+    for q_id in solution.admitted:
+        query = instance.query(q_id)
+        served = {d for (q, d) in solution.assignments if q == q_id}
+        if all_or_nothing and served != set(query.demanded):
+            raise InvariantViolation(
+                f"admitted query {q_id} served {sorted(served)} but demanded "
+                f"{sorted(query.demanded)}"
+            )
+        if not served:
+            raise InvariantViolation(f"admitted query {q_id} has no assignments")
+    for q_id in solution.rejected:
+        served = {d for (q, d) in solution.assignments if q == q_id}
+        if served:
+            raise InvariantViolation(
+                f"rejected query {q_id} still holds assignments {sorted(served)}"
+            )

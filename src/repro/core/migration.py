@@ -1,0 +1,240 @@
+"""Epoch-to-epoch replica migration under workload drift.
+
+The paper places replicas proactively for a *known* query batch.  Real
+edge workloads drift: the next evaluation window brings a different query
+mix.  This module plans successive epochs:
+
+* replicas placed in earlier epochs are **carried over** (they already
+  hold the data — serving from them costs nothing extra),
+* the placement algorithm runs on the carried-over state, placing new
+  replicas where the drifted demand needs them,
+* carried replicas that served *nothing* this epoch are **garbage
+  collected**, freeing their ``K`` slots for the next epoch,
+* every *newly placed* replica is charged migration traffic: its volume
+  shipped from the nearest existing copy.
+
+Three strategies bound the design space (and the migration bench compares
+them): ``carry`` (the above), ``fresh`` (ignore history — maximal
+migration traffic), ``frozen`` (never place after epoch 0 — zero traffic,
+degrading admission as demand drifts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.cluster.state import ClusterState
+from repro.core.instance import ProblemInstance
+from repro.core.metrics import evaluate_solution, verify_solution
+from repro.core.primal_dual import ApproG, PrimalDualConfig
+from repro.core.types import PlacementSolution
+from repro.util.validation import ValidationError
+
+__all__ = ["EpochReport", "MigrationPlanner"]
+
+_STRATEGIES = ("carry", "fresh", "frozen")
+
+
+@dataclass(frozen=True)
+class EpochReport:
+    """Outcome of planning one epoch.
+
+    Attributes
+    ----------
+    solution:
+        The epoch's placement (verified).
+    admitted_volume_gb:
+        The epoch's objective value.
+    kept, added, dropped:
+        Non-origin replica counts: carried over and still useful / newly
+        placed this epoch / garbage-collected after serving nothing.
+    migration_gb:
+        Volume shipped to seed the newly placed replicas.
+    migration_cost_s:
+        Σ over new replicas of ``volume × dt(nearest existing copy →
+        new node)`` — the network time the seeding occupies.
+    """
+
+    solution: PlacementSolution
+    admitted_volume_gb: float
+    kept: int
+    added: int
+    dropped: int
+    migration_gb: float
+    migration_cost_s: float
+
+
+class MigrationPlanner:
+    """Plans a sequence of epochs over a fixed topology + dataset collection.
+
+    Parameters
+    ----------
+    strategy:
+        ``"carry"`` (default), ``"fresh"`` or ``"frozen"`` (see module
+        docs).
+    config:
+        Primal-dual tunables for the per-epoch Appro-G pass.
+    """
+
+    def __init__(
+        self,
+        strategy: str = "carry",
+        config: PrimalDualConfig | None = None,
+    ) -> None:
+        if strategy not in _STRATEGIES:
+            raise ValidationError(
+                f"strategy must be one of {_STRATEGIES}, got {strategy!r}"
+            )
+        self.strategy = strategy
+        self.config = config or PrimalDualConfig()
+        self._carried: dict[int, tuple[int, ...]] | None = None
+
+    def reset(self) -> None:
+        """Forget carried replicas (start a fresh sequence)."""
+        self._carried = None
+
+    @property
+    def carried(self) -> Mapping[int, tuple[int, ...]] | None:
+        """Replicas carried into the next epoch (``None`` before any)."""
+        return self._carried
+
+    def seed_carry(self, replicas: Mapping[int, tuple[int, ...]]) -> None:
+        """Adopt an externally produced replica map as the carried state.
+
+        Used by the controller to chain an initial batch placement into
+        the epoch sequence.  Origin copies need not be excluded; they are
+        re-seeded by every epoch's cluster state anyway.
+        """
+        self._carried = {d: tuple(nodes) for d, nodes in replicas.items()}
+
+    def _seed_state(self, instance: ProblemInstance) -> ClusterState:
+        """Cluster state with the strategy's carried replicas pre-placed."""
+        state = ClusterState(instance)
+        if self.strategy == "fresh" or self._carried is None:
+            return state
+        for d_id, nodes in self._carried.items():
+            if d_id not in instance.datasets:
+                continue
+            for v in nodes:
+                if v in state.nodes and state.replicas.can_place(d_id, v):
+                    state.replicas.place(d_id, v)
+        return state
+
+    def plan_epoch(self, instance: ProblemInstance) -> EpochReport:
+        """Place this epoch's workload and account the migration."""
+        state = self._seed_state(instance)
+        carried = {
+            d_id: set(state.replicas.nodes(d_id)) for d_id in instance.datasets
+        }
+
+        if self.strategy == "frozen" and self._carried is not None:
+            # After epoch 0 the replica set is fixed: admit only against
+            # copies that already exist.
+            solution = _solve_frozen(instance, state, self.config)
+        else:
+            solution = ApproG(self.config).solve_on_state(instance, state)
+        verify_solution(instance, solution)
+
+        used_nodes: dict[int, set[int]] = {d: set() for d in instance.datasets}
+        for (q_id, d_id), a in solution.assignments.items():
+            used_nodes[d_id].add(a.node)
+
+        kept = added = dropped = 0
+        migration_gb = 0.0
+        migration_cost_s = 0.0
+        next_carry: dict[int, tuple[int, ...]] = {}
+        # Only the adaptive strategy garbage-collects: "frozen" keeps its
+        # epoch-0 replica set verbatim.
+        gc_stale = self.strategy == "carry"
+        for d_id, nodes in solution.replicas.items():
+            dataset = instance.dataset(d_id)
+            origin = dataset.origin_node
+            survivors = []
+            for v in nodes:
+                if v == origin:
+                    continue
+                was_carried = v in carried[d_id]
+                if was_carried:
+                    if v in used_nodes[d_id] or not gc_stale:
+                        kept += 1
+                        survivors.append(v)
+                    else:
+                        dropped += 1  # garbage-collect the stale copy
+                else:
+                    added += 1
+                    survivors.append(v)
+                    sources = carried[d_id] or {origin}
+                    nearest = min(
+                        instance.paths.delay(src, v) for src in sources
+                    )
+                    migration_gb += dataset.volume_gb
+                    migration_cost_s += dataset.volume_gb * nearest
+            next_carry[d_id] = tuple(sorted(survivors))
+        if self.strategy != "fresh":
+            self._carried = next_carry
+
+        return EpochReport(
+            solution=solution,
+            admitted_volume_gb=evaluate_solution(
+                instance, solution
+            ).admitted_volume_gb,
+            kept=kept,
+            added=added,
+            dropped=dropped,
+            migration_gb=migration_gb,
+            migration_cost_s=migration_cost_s,
+        )
+
+    def run(self, epochs: Sequence[ProblemInstance]) -> list[EpochReport]:
+        """Plan a sequence of epochs, carrying state per the strategy."""
+        self.reset()
+        return [self.plan_epoch(instance) for instance in epochs]
+
+
+def _solve_frozen(
+    instance: ProblemInstance,
+    state: ClusterState,
+    config: PrimalDualConfig,
+) -> PlacementSolution:
+    """Admission against a fixed replica set (no new placements).
+
+    Reuses the Appro-G kernel but filters its candidate choice to nodes
+    already holding each dataset.
+    """
+    from repro.core.base import SolutionBuilder
+    from repro.core.primal_dual import _Kernel, _query_order
+    from repro.core.types import Assignment
+
+    kernel = _Kernel(config, instance)
+    builder = SolutionBuilder(instance, "appro-g-frozen")
+    for query in _query_order(instance, config.order):
+        assignments: list[Assignment] = []
+        failed = False
+        with state.transaction() as txn:
+            for d_id in query.demanded:
+                dataset = instance.dataset(d_id)
+                holders = [
+                    v
+                    for v in state.replicas.nodes(d_id)
+                    if state.can_serve(query, dataset, v)
+                ]
+                if not holders:
+                    failed = True
+                    break
+                best = min(
+                    holders,
+                    key=lambda v: (
+                        kernel.prices.theta(state, v),
+                        state.pair_latency(query, dataset, v),
+                        v,
+                    ),
+                )
+                assignments.append(state.serve(query, dataset, best))
+            if not failed:
+                txn.commit()
+        if failed or not assignments:
+            builder.reject(query.query_id)
+        else:
+            builder.admit(query.query_id, assignments)
+    return builder.build(state)

@@ -1,0 +1,198 @@
+"""Online variant: queries arrive over time and release compute on completion.
+
+The paper solves a *static* batch (§2.4 explicitly defers dynamics).  This
+extension runs the same placement machinery in an online session:
+
+* queries arrive at Poisson instants;
+* an admitted query holds its compute only while it runs (its analytic
+  latency scaled by ``hold_factor``), then releases it;
+* replicas placed along the way **persist** — they are proactive state
+  that keeps serving later arrivals.
+
+Because capacity churns, the primal-dual price term matters more than in
+the batch setting: a node that is busy *now* prices itself out, and later
+arrivals re-use the freed capacity.  ``OnlineSession`` accepts any
+per-pair placement rule; adapters for Appro's kernel and the greedy walk
+are provided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol
+
+from repro.cluster.state import ClusterState
+from repro.core.greedy import _greedy_place_pair
+from repro.core.instance import ProblemInstance
+from repro.core.primal_dual import PrimalDualConfig, _Kernel
+from repro.core.types import Assignment, Query
+from repro.sim.engine import Simulator
+from repro.util.rng import spawn_rng
+from repro.util.validation import check_positive
+
+__all__ = [
+    "OnlineConfig",
+    "OnlineOutcome",
+    "OnlineReport",
+    "OnlineSession",
+    "appro_rule",
+    "greedy_rule",
+]
+
+
+class PlacementRule(Protocol):
+    """Per-pair placement rule used by the online session."""
+
+    def __call__(
+        self, state: ClusterState, query: Query, dataset_id: int
+    ) -> Assignment | None:
+        """Serve the pair now, or return ``None`` to refuse."""
+        ...
+
+
+def appro_rule(
+    instance: ProblemInstance, config: PrimalDualConfig | None = None
+) -> PlacementRule:
+    """The primal-dual kernel as an online rule."""
+    kernel = _Kernel(config or PrimalDualConfig(), instance)
+    return kernel.place_pair
+
+
+def greedy_rule(instance: ProblemInstance) -> PlacementRule:
+    """The §4.1 greedy walk as an online rule."""
+    del instance  # greedy needs no precomputation
+    return _greedy_place_pair
+
+
+@dataclass(frozen=True)
+class OnlineConfig:
+    """Online-session parameters.
+
+    Attributes
+    ----------
+    mean_interarrival_s:
+        Mean Poisson gap between query arrivals.
+    hold_factor:
+        Compute hold time = ``hold_factor`` × the query's analytic
+        response latency (analytics jobs occupy their allocation for the
+        duration of evaluation; >1 models result post-processing).
+    seed:
+        Arrival-draw seed.
+    """
+
+    mean_interarrival_s: float = 0.2
+    hold_factor: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive("mean_interarrival_s", self.mean_interarrival_s)
+        check_positive("hold_factor", self.hold_factor)
+
+
+@dataclass(frozen=True)
+class OnlineOutcome:
+    """Decision record for one arrival."""
+
+    query_id: int
+    arrival_s: float
+    admitted: bool
+    volume_gb: float
+
+
+@dataclass(frozen=True)
+class OnlineReport:
+    """Aggregate result of one online session.
+
+    Attributes
+    ----------
+    outcomes:
+        Per-arrival decisions, in arrival order.
+    admitted_volume_gb:
+        Σ volume of admitted queries' demanded datasets.
+    throughput:
+        Admitted / total arrivals.
+    peak_allocated_ghz:
+        Maximum total compute held at any instant.
+    replicas_placed:
+        Replicas beyond origins at session end.
+    """
+
+    outcomes: tuple[OnlineOutcome, ...]
+    admitted_volume_gb: float
+    throughput: float
+    peak_allocated_ghz: float
+    replicas_placed: int
+
+
+class OnlineSession:
+    """Run a problem instance's queries as an online arrival stream."""
+
+    def __init__(self, config: OnlineConfig | None = None) -> None:
+        self.config = config or OnlineConfig()
+
+    def run(
+        self,
+        instance: ProblemInstance,
+        rule_factory: Callable[[ProblemInstance], PlacementRule],
+    ) -> OnlineReport:
+        """Play all queries through ``rule_factory(instance)``.
+
+        Queries arrive in id order at Poisson instants; each arrival is an
+        all-or-nothing admission attempt against the *current* cluster
+        state; admitted queries release their compute after their hold
+        time.
+        """
+        rule = rule_factory(instance)
+        state = ClusterState(instance)
+        sim = Simulator()
+        rng = spawn_rng(self.config.seed, "online/arrivals")
+
+        outcomes: list[OnlineOutcome] = []
+        peak = [0.0]
+
+        def on_arrival(query: Query) -> None:
+            assignments: list[Assignment] = []
+            failed = False
+            with state.transaction() as txn:
+                for d_id in query.demanded:
+                    a = rule(state, query, d_id)
+                    if a is None:
+                        failed = True
+                        break
+                    assignments.append(a)
+                if not failed:
+                    txn.commit()
+            if failed:
+                # Replicas placed during the failed probe are rolled back
+                # with the transaction for *all* rules — the online setting
+                # compares placement quality, not bookkeeping styles.
+                outcomes.append(
+                    OnlineOutcome(query.query_id, sim.now, False, 0.0)
+                )
+                return
+            peak[0] = max(peak[0], state.total_allocated())
+            response = max(a.latency_s for a in assignments)
+            hold = response * self.config.hold_factor
+            for a in assignments:
+                sim.schedule_in(hold, lambda a=a: state.release(a))
+            volume = query.demanded_volume(instance.datasets)
+            outcomes.append(
+                OnlineOutcome(query.query_id, sim.now, True, volume)
+            )
+
+        t = 0.0
+        for query in instance.queries:
+            t += float(rng.exponential(self.config.mean_interarrival_s))
+            sim.schedule(t, lambda q=query: on_arrival(q))
+        sim.run()
+
+        admitted = [o for o in outcomes if o.admitted]
+        return OnlineReport(
+            outcomes=tuple(outcomes),
+            admitted_volume_gb=sum(o.volume_gb for o in admitted),
+            throughput=len(admitted) / len(outcomes) if outcomes else 0.0,
+            peak_allocated_ghz=peak[0],
+            replicas_placed=sum(
+                max(0, state.replicas.count(d) - 1) for d in instance.datasets
+            ),
+        )

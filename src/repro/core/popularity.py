@@ -1,0 +1,109 @@
+"""Popularity baseline (paper §4.3 testbed benchmark; Hou et al. [13]).
+
+"The benchmark work first calculates the popularity of a node (cloudlet
+and data center) according to the ratio of the number of dataset replicas
+on the node to the total number of dataset replicas of all nodes.  It then
+selects a node with the highest popularity for each dataset, and places a
+replica of the dataset if the delay requirement of a query can be
+satisfied; otherwise, it then selects another node with the second highest
+popularity to place the replica; this procedure continues until the query
+is admitted or there are already K replicas of the dataset."
+
+Popularity is recomputed against the *live* replica distribution, so
+placement is rich-get-richer: nodes that start with origin copies attract
+further replicas until their compute saturates — the failure mode the
+proposed algorithm's capacity pricing avoids.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.state import ClusterState
+from repro.core.base import PlacementAlgorithm, SolutionBuilder, require_special_case
+from repro.core.instance import ProblemInstance
+from repro.core.types import Assignment, PlacementSolution, Query
+
+__all__ = ["PopularityS", "PopularityG", "node_popularity"]
+
+
+def node_popularity(state: ClusterState) -> dict[int, float]:
+    """Replica share per node: replicas-on-node / total replicas."""
+    total = state.replicas.total_replicas()
+    counts: dict[int, float] = {v: 0.0 for v in state.nodes}
+    if total == 0:
+        return counts
+    for d_id in state.instance.datasets:
+        for v in state.replicas.nodes(d_id):
+            counts[v] += 1.0
+    return {v: c / total for v, c in counts.items()}
+
+
+def _popularity_place_pair(
+    state: ClusterState, query: Query, dataset_id: int
+) -> Assignment | None:
+    """One popularity-guided step for a (query, dataset) pair."""
+    dataset = state.instance.dataset(dataset_id)
+    popularity = node_popularity(state)
+    ranked = sorted(
+        state.nodes, key=lambda v: (-popularity[v], v)
+    )
+    for v in ranked:
+        has_replica = state.replicas.has(dataset_id, v)
+        if not has_replica and not state.replicas.can_place(dataset_id, v):
+            continue
+        if not state.meets_deadline(query, dataset, v):
+            continue
+        if not state.nodes[v].can_fit(state.compute_demand(query, dataset)):
+            continue
+        return state.serve(query, dataset, v)
+    return None
+
+
+class PopularityS(PlacementAlgorithm):
+    """Popularity baseline, special case."""
+
+    name = "popularity-s"
+
+    def solve(self, instance: ProblemInstance) -> PlacementSolution:
+        require_special_case(instance, self.name)
+        state = ClusterState(instance)
+        builder = SolutionBuilder(instance, self.name)
+        for query in instance.queries:
+            assignment = _popularity_place_pair(state, query, query.demanded[0])
+            if assignment is None:
+                builder.reject(query.query_id)
+            else:
+                builder.admit(query.query_id, [assignment])
+        builder.extra("replicas_total", state.replicas.total_replicas())
+        return builder.build(state)
+
+
+class PopularityG(PlacementAlgorithm):
+    """Popularity baseline, general case (all-or-nothing).
+
+    As with :class:`~repro.core.greedy.GreedyG`, replicas created while
+    probing a query persist even when the query is ultimately rejected
+    (proactive placement is not undone); only the compute is returned.
+    """
+
+    name = "popularity-g"
+
+    def solve(self, instance: ProblemInstance) -> PlacementSolution:
+        state = ClusterState(instance)
+        builder = SolutionBuilder(instance, self.name)
+        for query in instance.queries:
+            assignments: list[Assignment] = []
+            failed = False
+            for d_id in query.demanded:
+                a = _popularity_place_pair(state, query, d_id)
+                if a is None:
+                    failed = True
+                    break
+                assignments.append(a)
+            if failed:
+                for a in assignments:
+                    state.release(a)
+                builder.reject(query.query_id)
+            else:
+                builder.admit(query.query_id, assignments)
+        builder.extra("replicas_total", state.replicas.total_replicas())
+        return builder.build(state)

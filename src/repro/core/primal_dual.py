@@ -1,0 +1,312 @@
+"""The paper's contribution: primal-dual placement (Appro-S / Appro-G).
+
+Algorithm 1 (``Appro-S``) handles the special case where each query demands
+one dataset; Algorithm 2 (``Appro-G``) handles the general case by invoking
+the single-dataset kernel once per demanded dataset.
+
+Concretisation of the paper's pseudo-code
+-----------------------------------------
+The paper raises the dual variables ``θ_l`` (compute price), ``η_ml``
+(delay price), ``µ_qm`` (replica price) uniformly until dual constraint (9)
+tightens for some node, then assigns the query there.  Under uniform
+raising, the constraint for node ``v_l`` tightens at a time proportional to
+the node's *cost rate*; picking the tightening node is therefore picking
+the feasible node with the minimum price-weighted cost rate
+
+``cost(m, n, l) = θ_l + γ_delay·(lat/d_qm) + γ_replica·(used_slots/K)·[new replica]``
+
+where
+
+* ``θ_l`` is the multiplicative compute price of
+  :class:`~repro.core.duals.NodePrices` (idle nodes cheap, full nodes
+  priced at the query's whole gain — the "dynamic update"),
+* the delay term charges pairs that would sit close to their deadline,
+  implementing ``η_ml`` (it leaves slack for later queries with tighter
+  QoS),
+* the replica term charges the creation of a new copy against the
+  dataset's remaining ``K`` budget, implementing ``µ_qm``.
+
+A query is admitted at the argmin node iff its cost rate does not exceed
+the relaxed complementary-slackness factor ``β`` (Eq. (17)): when every
+feasible node is expensive — nearly full, nearly deadline-violating, or
+requiring the last replica slots — the query is rejected even though it
+would *fit*, preserving resources for higher-value queries.  Queries are
+examined in descending order of demanded volume, the order in which the
+uniform raising tightens constraints when gains are heterogeneous (and the
+order that serves the pay-as-you-go objective first).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.state import ClusterState
+from repro.core.base import PlacementAlgorithm, SolutionBuilder, require_special_case
+from repro.core.duals import NodePrices, dual_certificate
+from repro.core.feasibility import CandidateNode, candidate_nodes
+from repro.core.instance import ProblemInstance
+from repro.core.types import Assignment, PlacementSolution, Query
+from repro.util.validation import check_fraction, check_positive
+
+__all__ = ["PrimalDualConfig", "ApproS", "ApproG"]
+
+
+@dataclass(frozen=True)
+class PrimalDualConfig:
+    """Tunables of the primal-dual scheme.
+
+    Attributes
+    ----------
+    theta_floor:
+        Idle compute price (see :class:`~repro.core.duals.NodePrices`).
+    gamma_delay:
+        Weight of the delay price ``η`` in the cost rate.
+    gamma_replica:
+        Weight of the replica price ``µ`` in the cost rate.
+    beta:
+        Relaxed complementary-slackness admission threshold (Eq. (17)):
+        admit iff the best cost rate ≤ ``β``.  With the three cost terms
+        bounded by ``1 + γ_delay + γ_replica``, setting ``β`` at or above
+        that sum disables price-based rejection entirely.
+    order:
+        Query examination order.  ``"density"`` (default) examines queries
+        by ascending compute rate then ascending volume — the queries whose
+        admission costs the least compute per GB of objective first, i.e.
+        the primal-dual gain/cost ratio.  ``"volume"`` is descending
+        demanded volume; ``"arrival"`` is input order.
+    capacity_pricing:
+        Ablation switch: ``False`` freezes ``θ_l`` at the floor, removing
+        capacity awareness from the cost rate.
+    """
+
+    theta_floor: float = 0.01
+    gamma_delay: float = 0.1
+    gamma_replica: float = 0.5
+    beta: float = 1.6
+    order: str = "density"
+    capacity_pricing: bool = True
+
+    def __post_init__(self) -> None:
+        check_fraction("theta_floor", self.theta_floor)
+        if self.theta_floor >= 1.0:
+            raise ValueError("theta_floor must be < 1")
+        check_positive("gamma_delay", self.gamma_delay)
+        check_positive("gamma_replica", self.gamma_replica)
+        check_positive("beta", self.beta)
+        if self.order not in ("volume", "density", "arrival"):
+            raise ValueError(f"unknown order {self.order!r}")
+
+
+def _query_order(instance: ProblemInstance, order: str) -> list[Query]:
+    """Queries in the configured examination order (stable, deterministic)."""
+    queries = list(instance.queries)
+    if order == "arrival":
+        return queries
+    if order == "volume":
+        key = lambda q: (-q.demanded_volume(instance.datasets), q.query_id)
+    else:  # density: cheapest compute per GB of objective first
+        key = lambda q: (
+            q.compute_rate,
+            q.demanded_volume(instance.datasets),
+            q.query_id,
+        )
+    queries.sort(key=key)
+    return queries
+
+
+class _Kernel:
+    """Single-(query, dataset) primal-dual placement step, shared by S and G.
+
+    On construction it precomputes, per dataset, each node's *coverage*:
+    the total volume of demand the node could serve within deadline if it
+    held the dataset.  Creating a replica at a low-coverage node is charged
+    a higher ``µ`` — this is the "overall perspective" the paper credits
+    Appro with: replica slots are a global budget (K per dataset) and the
+    dual price of a slot reflects the demand it could unlock, not just the
+    current query.
+    """
+
+    def __init__(self, config: PrimalDualConfig, instance: ProblemInstance) -> None:
+        self.config = config
+        self.prices = NodePrices(theta_floor=config.theta_floor)
+        self._coverage = self._demand_coverage(instance)
+        cap_max = max(
+            instance.topology.capacity(v) for v in instance.placement_nodes
+        )
+        self._smallness = {
+            v: 1.0 - instance.topology.capacity(v) / cap_max
+            for v in instance.placement_nodes
+        }
+
+    @staticmethod
+    def _demand_coverage(
+        instance: ProblemInstance,
+    ) -> dict[int, dict[int, float]]:
+        """Per dataset: node → fraction of demanded volume reachable in time.
+
+        Vectorised over placement nodes: for each (query, dataset) pair the
+        whole latency vector ``|S_n|·(d(v) + α·dt(v → h_m))`` comes from
+        the instance's precomputed arrays in one NumPy expression — this
+        precomputation dominates the algorithm's runtime on large
+        instances when done scalar-wise.
+        """
+        nodes = instance.placement_nodes
+        proc = instance.proc_delays
+        acc = {d: np.zeros(len(nodes)) for d in instance.datasets}
+        for query in instance.queries:
+            home_vec = instance.home_delay_vectors[query.home_node]
+            for d_id, alpha in zip(query.demanded, query.selectivity):
+                volume = instance.dataset(d_id).volume_gb
+                latency = volume * (proc + alpha * home_vec)
+                acc[d_id] += volume * (latency <= query.deadline_s)
+        coverage: dict[int, dict[int, float]] = {}
+        for d_id, vec in acc.items():
+            top = float(vec.max()) if vec.size else 0.0
+            if top > 0.0:
+                vec = vec / top
+            coverage[d_id] = {v: float(vec[i]) for i, v in enumerate(nodes)}
+        return coverage
+
+    def cost_rate(
+        self,
+        state: ClusterState,
+        query: Query,
+        candidate: CandidateNode,
+        dataset_id: int,
+    ) -> float:
+        """Price-weighted cost rate of one serving option (see module docs)."""
+        cfg = self.config
+        theta = (
+            self.prices.theta(state, candidate.node)
+            if cfg.capacity_pricing
+            else cfg.theta_floor
+        )
+        cost = theta + cfg.gamma_delay * (candidate.latency_s / query.deadline_s)
+        if not candidate.has_replica:
+            used = state.replicas.count(dataset_id)
+            scarcity = used / state.replicas.max_replicas
+            misplacement = 1.0 - self._coverage[dataset_id][candidate.node]
+            smallness = self._smallness[candidate.node]
+            cost += cfg.gamma_replica * (scarcity + misplacement + smallness)
+        return cost
+
+    def place_pair(
+        self, state: ClusterState, query: Query, dataset_id: int
+    ) -> Assignment | None:
+        """Serve one (query, dataset) pair at the cheapest node, or refuse.
+
+        Returns the committed assignment, or ``None`` when no feasible node
+        exists or the cheapest cost rate exceeds ``β`` (price rejection).
+        """
+        dataset = state.instance.dataset(dataset_id)
+        candidates = candidate_nodes(state, query, dataset)
+        if not candidates:
+            return None
+        best = min(
+            candidates,
+            key=lambda c: (self.cost_rate(state, query, c, dataset_id), c.node),
+        )
+        if self.cost_rate(state, query, best, dataset_id) > self.config.beta:
+            return None
+        return state.serve(query, dataset, best.node)
+
+
+class ApproS(PlacementAlgorithm):
+    """Algorithm 1 — primal-dual placement for single-dataset queries."""
+
+    name = "appro-s"
+
+    def __init__(self, config: PrimalDualConfig | None = None) -> None:
+        self.config = config or PrimalDualConfig()
+
+    def solve(self, instance: ProblemInstance) -> PlacementSolution:
+        require_special_case(instance, self.name)
+        state = ClusterState(instance)
+        kernel = _Kernel(self.config, instance)
+        builder = SolutionBuilder(instance, self.name)
+        for query in _query_order(instance, self.config.order):
+            assignment = kernel.place_pair(state, query, query.demanded[0])
+            if assignment is None:
+                builder.reject(query.query_id)
+            else:
+                builder.admit(query.query_id, [assignment])
+        builder.extra(
+            "dual_objective", dual_certificate(instance, state, kernel.prices)
+        )
+        builder.extra("replicas_total", state.replicas.total_replicas())
+        return builder.build(state)
+
+
+class ApproG(PlacementAlgorithm):
+    """Algorithm 2 — the general case via the single-dataset kernel.
+
+    For each query, the kernel places every demanded dataset inside a
+    cluster-state transaction; the query is admitted only if *all* its
+    datasets were servable (its QoS covers the max over datasets), else the
+    transaction rolls back and the query is rejected.  With
+    ``partial_admission=True`` the literal Algorithm 2 accumulation is used
+    instead: each servable pair is kept, and a query counts as admitted if
+    at least one pair was served.
+    """
+
+    name = "appro-g"
+
+    def __init__(
+        self,
+        config: PrimalDualConfig | None = None,
+        *,
+        partial_admission: bool = False,
+    ) -> None:
+        self.config = config or PrimalDualConfig()
+        self.partial_admission = partial_admission
+
+    def solve(self, instance: ProblemInstance) -> PlacementSolution:
+        return self.solve_on_state(instance, ClusterState(instance))
+
+    def solve_on_state(
+        self, instance: ProblemInstance, state: ClusterState
+    ) -> PlacementSolution:
+        """Run the kernel against a caller-prepared cluster state.
+
+        Used by :mod:`repro.core.migration` to carry replica placements
+        over from a previous epoch; ``state`` must belong to ``instance``
+        and carry no compute allocations.
+        """
+        kernel = _Kernel(self.config, instance)
+        builder = SolutionBuilder(instance, self.name)
+        for query in _query_order(instance, self.config.order):
+            # Place the query's largest datasets first: they are the most
+            # constrained (fewest delay-feasible nodes), so a doomed query
+            # aborts its transaction early.
+            datasets = sorted(
+                query.demanded,
+                key=lambda d: (-instance.dataset(d).volume_gb, d),
+            )
+            assignments: list[Assignment] = []
+            with state.transaction() as txn:
+                for d_id in datasets:
+                    a = kernel.place_pair(state, query, d_id)
+                    if a is None:
+                        if not self.partial_admission:
+                            assignments.clear()
+                            break
+                        continue
+                    assignments.append(a)
+                else:
+                    txn.commit()
+                if self.partial_admission:
+                    if assignments:
+                        txn.commit()
+                    else:
+                        assignments.clear()
+            if assignments:
+                builder.admit(query.query_id, assignments)
+            else:
+                builder.reject(query.query_id)
+        builder.extra(
+            "dual_objective", dual_certificate(instance, state, kernel.prices)
+        )
+        builder.extra("replicas_total", state.replicas.total_replicas())
+        return builder.build(state)

@@ -1,0 +1,56 @@
+"""Algorithm registry: name → factory.
+
+Experiments and examples refer to algorithms by their paper names
+(``appro-s``, ``greedy-g``, ...); the registry centralises construction so
+sweep code never hard-codes classes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.base import PlacementAlgorithm
+from repro.core.graph_partition import GraphG, GraphS
+from repro.core.greedy import GreedyG, GreedyS
+from repro.core.popularity import PopularityG, PopularityS
+from repro.core.bandwidth import BandwidthApproG
+from repro.core.lp_rounding import LpRoundingG
+from repro.core.primal_dual import ApproG, ApproS
+
+__all__ = ["ALGORITHMS", "make_algorithm", "available_algorithms"]
+
+#: Name → zero-argument factory for every algorithm in the paper.
+ALGORITHMS: dict[str, Callable[[], PlacementAlgorithm]] = {
+    "appro-s": ApproS,
+    "appro-g": ApproG,
+    "greedy-s": GreedyS,
+    "greedy-g": GreedyG,
+    "graph-s": GraphS,
+    "graph-g": GraphG,
+    "popularity-s": PopularityS,
+    "popularity-g": PopularityG,
+    "lp-rounding-g": LpRoundingG,
+    "appro-bw-g": BandwidthApproG,
+}
+
+
+def make_algorithm(name: str) -> PlacementAlgorithm:
+    """Instantiate an algorithm by its registry name.
+
+    Raises
+    ------
+    KeyError
+        With the list of known names, when ``name`` is not registered.
+    """
+    try:
+        factory = ALGORITHMS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown algorithm {name!r}; available: {sorted(ALGORITHMS)}"
+        ) from None
+    return factory()
+
+
+def available_algorithms() -> tuple[str, ...]:
+    """Registered algorithm names, sorted."""
+    return tuple(sorted(ALGORITHMS))

@@ -1,0 +1,226 @@
+"""Node failures and placement repair (availability, §2.3 motivation).
+
+The paper replicates datasets partly "to make datasets in the two-tier
+edge cloud highly available, reliable and scalable".  This module
+quantifies that claim: knock out placement nodes, measure which admitted
+queries lose service, and repair the placement by failing the affected
+pairs over to surviving replicas (placing fresh replicas with the freed
+``K`` slots where necessary).
+
+The headline metric is **availability**: the fraction of the originally
+admitted volume still served after failure + repair.  The availability
+bench sweeps K to show the paper's replication premium paying off exactly
+when nodes fail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.cluster.state import ClusterState
+from repro.core.feasibility import candidate_nodes
+from repro.core.instance import ProblemInstance
+from repro.core.metrics import evaluate_solution
+from repro.core.types import Assignment, PlacementSolution
+from repro.util.validation import ValidationError
+
+__all__ = ["FailureImpact", "RepairReport", "fail_nodes", "repair_placement"]
+
+
+@dataclass(frozen=True)
+class FailureImpact:
+    """What a set of node failures breaks in a placement.
+
+    Attributes
+    ----------
+    failed_nodes:
+        The nodes taken offline.
+    lost_pairs:
+        (query, dataset) assignments that were served on failed nodes.
+    lost_replicas:
+        (dataset, node) replica copies destroyed, origins included.
+    affected_queries:
+        Queries with at least one lost pair.
+    orphaned_datasets:
+        Datasets that lost *every* copy (origin included) — unrecoverable
+        without regeneration.
+    """
+
+    failed_nodes: frozenset[int]
+    lost_pairs: tuple[tuple[int, int], ...]
+    lost_replicas: tuple[tuple[int, int], ...]
+    affected_queries: frozenset[int]
+    orphaned_datasets: frozenset[int]
+
+
+@dataclass(frozen=True)
+class RepairReport:
+    """Outcome of repairing a placement after failures.
+
+    Attributes
+    ----------
+    impact:
+        The failure being repaired.
+    solution:
+        The repaired placement (over the surviving topology's nodes).
+    recovered_queries, dropped_queries:
+        Affected queries whose service was restored / had to be rejected.
+    availability:
+        Served-volume after repair ÷ served-volume before failure, in
+        [0, 1].
+    """
+
+    impact: FailureImpact
+    solution: PlacementSolution
+    recovered_queries: frozenset[int]
+    dropped_queries: frozenset[int]
+    availability: float
+
+
+def fail_nodes(
+    instance: ProblemInstance,
+    solution: PlacementSolution,
+    nodes: Iterable[int],
+) -> FailureImpact:
+    """Compute the impact of taking ``nodes`` offline under ``solution``."""
+    failed = frozenset(int(v) for v in nodes)
+    unknown = failed - set(instance.placement_nodes)
+    if unknown:
+        raise ValidationError(f"cannot fail non-placement nodes: {sorted(unknown)}")
+
+    lost_pairs = tuple(
+        sorted(key for key, a in solution.assignments.items() if a.node in failed)
+    )
+    lost_replicas = tuple(
+        sorted(
+            (d_id, v)
+            for d_id, reps in solution.replicas.items()
+            for v in reps
+            if v in failed
+        )
+    )
+    orphaned = frozenset(
+        d_id
+        for d_id, reps in solution.replicas.items()
+        if set(reps) <= failed
+    )
+    return FailureImpact(
+        failed_nodes=failed,
+        lost_pairs=lost_pairs,
+        lost_replicas=lost_replicas,
+        affected_queries=frozenset(q for q, _ in lost_pairs),
+        orphaned_datasets=orphaned,
+    )
+
+
+def _rebuild_state(
+    instance: ProblemInstance,
+    solution: PlacementSolution,
+    impact: FailureImpact,
+) -> tuple[ClusterState, dict[tuple[int, int], Assignment]]:
+    """Reconstruct post-failure cluster state with surviving assignments."""
+    state = ClusterState(instance)
+    # Mirror surviving replica placements (skip origins: already seeded;
+    # skip copies on failed nodes entirely).
+    for d_id, reps in solution.replicas.items():
+        for v in reps:
+            if v in impact.failed_nodes:
+                continue
+            if not state.replicas.has(d_id, v):
+                state.replicas.place(d_id, v)
+    # Failed nodes can host nothing: pin their capacity to zero by
+    # allocating it away (the topology object itself is immutable).
+    for v in impact.failed_nodes:
+        state.nodes[v].allocate("__failed__", state.nodes[v].available_ghz)
+
+    surviving: dict[tuple[int, int], Assignment] = {}
+    for key, a in solution.assignments.items():
+        if a.node in impact.failed_nodes:
+            continue
+        query = instance.query(a.query_id)
+        dataset = instance.dataset(a.dataset_id)
+        state.nodes[a.node].allocate(key, state.compute_demand(query, dataset))
+        surviving[key] = a
+    return state, surviving
+
+
+def repair_placement(
+    instance: ProblemInstance,
+    solution: PlacementSolution,
+    impact: FailureImpact,
+    *,
+    all_or_nothing: bool = True,
+) -> RepairReport:
+    """Fail the lost pairs over to surviving or fresh replicas.
+
+    For each affected query (ascending id), every lost pair is re-served
+    at the cheapest-latency feasible surviving node; under all-or-nothing
+    semantics a query that cannot recover *all* its lost pairs is dropped
+    entirely (its surviving allocations are released too).
+
+    Notes
+    -----
+    Destroyed non-origin copies free their ``K`` slots (repair may re-clone
+    from any surviving copy), while the origin's ledger entry is never
+    dropped — the record of the authoritative copy remains even when its
+    node is down, so it still occupies one slot.  A pair whose dataset lost
+    *every* copy (orphaned) is unrecoverable and drops its query.
+    """
+    state, surviving = _rebuild_state(instance, solution, impact)
+
+    recovered: set[int] = set()
+    dropped: set[int] = set()
+    new_assignments: dict[tuple[int, int], Assignment] = dict(surviving)
+
+    for q_id in sorted(impact.affected_queries):
+        query = instance.query(q_id)
+        lost = [d for (qq, d) in impact.lost_pairs if qq == q_id]
+        repaired: list[Assignment] = []
+        failed_repair = False
+        with state.transaction() as txn:
+            for d_id in lost:
+                if d_id in impact.orphaned_datasets:
+                    failed_repair = True  # no surviving copy to clone from
+                    break
+                dataset = instance.dataset(d_id)
+                options = [
+                    c
+                    for c in candidate_nodes(state, query, dataset)
+                    if c.node not in impact.failed_nodes
+                ]
+                if not options:
+                    failed_repair = True
+                    break
+                best = min(options, key=lambda c: (c.latency_s, c.node))
+                repaired.append(state.serve(query, dataset, best.node))
+            if not failed_repair:
+                txn.commit()
+        if failed_repair and all_or_nothing:
+            dropped.add(q_id)
+            for key in [k for k in new_assignments if k[0] == q_id]:
+                state.release(new_assignments.pop(key))
+        else:
+            recovered.add(q_id)
+            for a in repaired:
+                new_assignments[(a.query_id, a.dataset_id)] = a
+
+    admitted = frozenset(solution.admitted) - frozenset(dropped)
+    replicas = state.replicas.replica_map()
+    repaired_solution = PlacementSolution(
+        algorithm=f"{solution.algorithm}+repair",
+        replicas=replicas,
+        assignments=new_assignments,
+        admitted=admitted,
+        rejected=frozenset(range(instance.num_queries)) - admitted,
+        extras=dict(solution.extras),
+    )
+    before = evaluate_solution(instance, solution).admitted_volume_gb
+    after = evaluate_solution(instance, repaired_solution).admitted_volume_gb
+    return RepairReport(
+        impact=impact,
+        solution=repaired_solution,
+        recovered_queries=frozenset(recovered),
+        dropped_queries=frozenset(dropped),
+        availability=(after / before) if before > 0 else 1.0,
+    )

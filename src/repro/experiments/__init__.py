@@ -1,0 +1,61 @@
+"""Experiment harness: runners, figure reproducers, table rendering.
+
+Reproduces every evaluation figure of the paper:
+
+====== ===========================================================
+Figure Producer
+====== ===========================================================
+2a/2b  :func:`repro.experiments.figures.figure2`
+3a/3b  :func:`repro.experiments.figures.figure3`
+4a/4b  :func:`repro.experiments.figures.figure4`
+5a/5b  :func:`repro.experiments.figures.figure5`
+7a/7b  :func:`repro.experiments.figures.figure7`
+8a/8b  :func:`repro.experiments.figures.figure8`
+====== ===========================================================
+
+Each producer returns a :class:`~repro.experiments.figures.FigureSeries`
+whose rows average the paper's 15 random topologies (configurable);
+``render_figure`` prints it as the text table the benchmark harness emits.
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import AggregateMetrics, run_algorithm, compare_algorithms
+from repro.experiments.figures import (
+    FigureSeries,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure7,
+    figure8,
+    FIGURES,
+)
+from repro.experiments.tables import render_figure, render_comparison
+from repro.experiments.plots import bar_chart, plot_figure
+from repro.experiments.stats import ConfidenceInterval, mean_ci, paired_ratio_ci, paired_test
+from repro.experiments.report import RESULT_SECTIONS, build_report
+
+__all__ = [
+    "ExperimentConfig",
+    "AggregateMetrics",
+    "run_algorithm",
+    "compare_algorithms",
+    "FigureSeries",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure7",
+    "figure8",
+    "FIGURES",
+    "render_figure",
+    "render_comparison",
+    "bar_chart",
+    "plot_figure",
+    "ConfidenceInterval",
+    "mean_ci",
+    "paired_ratio_ci",
+    "paired_test",
+    "RESULT_SECTIONS",
+    "build_report",
+]

@@ -1,0 +1,39 @@
+"""Experiment configuration shared by all figure reproducers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.topology.twotier import TwoTierConfig
+from repro.util.validation import check_positive
+from repro.workload.params import PaperDefaults
+
+__all__ = ["ExperimentConfig"]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """How figure experiments are run.
+
+    Attributes
+    ----------
+    repeats:
+        Topologies averaged per data point — "each value in the figures is
+        the mean of the results by applying each mentioned algorithm on 15
+        different topologies" (§4.1).
+    seed:
+        Root seed; repeat ``i`` derives its topology/workload streams from
+        ``(seed, i)``.
+    topology:
+        Base two-tier configuration (network-size sweeps scale it).
+    params:
+        Base workload parameters.
+    """
+
+    repeats: int = 15
+    seed: int = 2019
+    topology: TwoTierConfig = field(default_factory=TwoTierConfig)
+    params: PaperDefaults = field(default_factory=PaperDefaults)
+
+    def __post_init__(self) -> None:
+        check_positive("repeats", self.repeats)

@@ -1,0 +1,270 @@
+"""Reproducers for every figure in the paper's evaluation (§4.2–4.3).
+
+Each ``figureN`` function regenerates the data behind both panels of the
+paper's figure N — panel (a) is the volume of datasets demanded by
+admitted queries, panel (b) the system throughput — as a
+:class:`FigureSeries` of per-algorithm rows over the swept parameter.
+
+Notes on paper fidelity
+-----------------------
+* The paper's Fig. 3 caption and prose are swapped with Fig. 4's; we
+  follow the prose: Fig. 3 sweeps network size in the general case,
+  Fig. 4 sweeps ``F`` (max datasets per query).
+* Fig. 7 is labelled ``Appro-S``/``Popularity-S`` while sweeping ``F``;
+  a ``F > 1`` sweep is only meaningful for the general variants, so the
+  testbed sweep runs ``appro-g``/``popularity-g`` (at ``F = 1`` they
+  coincide with the -S algorithms).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from types import MappingProxyType
+from typing import Callable, Mapping, Sequence
+
+from repro.core.registry import make_algorithm
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import compare_algorithms
+from repro.sim.testbed import TestbedExperiment, run_testbed_experiment
+from repro.util.rng import derive_seed
+from repro.workload.params import PaperDefaults
+
+__all__ = [
+    "FigureSeries",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure7",
+    "figure8",
+    "FIGURES",
+]
+
+#: Core network sizes for the size sweeps (paper base: 32 = 6 DC + 24 CL + 2 SW,
+#: swept "up to 200" with a dip observed at the largest size).
+NETWORK_SIZES: tuple[int, ...] = (32, 60, 100, 150, 200)
+
+#: F values for the datasets-per-query sweeps (Figs. 4 and 7).
+F_VALUES: tuple[int, ...] = (1, 2, 3, 4, 5, 6)
+
+#: K values for the replica-bound sweeps (Figs. 5 and 8).
+K_VALUES: tuple[int, ...] = (1, 2, 3, 4, 5, 6, 7)
+
+
+@dataclass(frozen=True)
+class FigureSeries:
+    """Data behind one two-panel figure.
+
+    Attributes
+    ----------
+    figure_id:
+        E.g. ``"fig2"``.
+    title:
+        Human-readable description.
+    x_label, x_values:
+        The swept parameter.
+    volume:
+        Algorithm → series for panel (a), GB.
+    throughput:
+        Algorithm → series for panel (b), fraction.
+    """
+
+    figure_id: str
+    title: str
+    x_label: str
+    x_values: tuple
+    volume: Mapping[str, tuple[float, ...]]
+    throughput: Mapping[str, tuple[float, ...]]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "volume", MappingProxyType(dict(self.volume)))
+        object.__setattr__(
+            self, "throughput", MappingProxyType(dict(self.throughput))
+        )
+        for table in (self.volume, self.throughput):
+            for alg, series in table.items():
+                if len(series) != len(self.x_values):
+                    raise ValueError(
+                        f"{self.figure_id}: series {alg} has {len(series)} points "
+                        f"for {len(self.x_values)} x-values"
+                    )
+
+    @property
+    def algorithms(self) -> tuple[str, ...]:
+        """Algorithms present, in insertion order."""
+        return tuple(self.volume)
+
+
+def _sweep(
+    figure_id: str,
+    title: str,
+    x_label: str,
+    x_values: Sequence,
+    algorithms: list[str],
+    config: ExperimentConfig,
+    point: Callable[[object], tuple],
+) -> FigureSeries:
+    """Run ``compare_algorithms`` at each sweep point.
+
+    ``point(x)`` maps an x-value to ``(topology_config, params)``.
+    """
+    volume: dict[str, list[float]] = {a: [] for a in algorithms}
+    throughput: dict[str, list[float]] = {a: [] for a in algorithms}
+    for x in x_values:
+        topology_config, params = point(x)
+        results = compare_algorithms(
+            algorithms, config, topology_config=topology_config, params=params
+        )
+        for a in algorithms:
+            volume[a].append(results[a].volume_mean)
+            throughput[a].append(results[a].throughput_mean)
+    return FigureSeries(
+        figure_id=figure_id,
+        title=title,
+        x_label=x_label,
+        x_values=tuple(x_values),
+        volume={a: tuple(v) for a, v in volume.items()},
+        throughput={a: tuple(v) for a, v in throughput.items()},
+    )
+
+
+def figure2(config: ExperimentConfig | None = None) -> FigureSeries:
+    """Fig. 2 — special case vs network size: Appro-S, Greedy-S, Graph-S."""
+    config = config or ExperimentConfig()
+    params = config.params.single_dataset()
+    return _sweep(
+        "fig2",
+        "Special case (one dataset per query) vs network size",
+        "network size (core nodes)",
+        NETWORK_SIZES,
+        ["appro-s", "greedy-s", "graph-s"],
+        config,
+        lambda n: (config.topology.scaled_to(int(n)), params),
+    )
+
+
+def figure3(config: ExperimentConfig | None = None) -> FigureSeries:
+    """Fig. 3 — general case vs network size: Appro-G, Greedy-G, Graph-G."""
+    config = config or ExperimentConfig()
+    return _sweep(
+        "fig3",
+        "General case (multiple datasets per query) vs network size",
+        "network size (core nodes)",
+        NETWORK_SIZES,
+        ["appro-g", "greedy-g", "graph-g"],
+        config,
+        lambda n: (config.topology.scaled_to(int(n)), config.params),
+    )
+
+
+def figure4(config: ExperimentConfig | None = None) -> FigureSeries:
+    """Fig. 4 — impact of ``F`` (max datasets per query), general case."""
+    config = config or ExperimentConfig()
+    return _sweep(
+        "fig4",
+        "Impact of the maximum number of datasets demanded by each query",
+        "F (max datasets per query)",
+        F_VALUES,
+        ["appro-g", "greedy-g", "graph-g"],
+        config,
+        lambda f: (
+            config.topology,
+            config.params.with_max_datasets_per_query(int(f)),
+        ),
+    )
+
+
+def figure5(config: ExperimentConfig | None = None) -> FigureSeries:
+    """Fig. 5 — impact of ``K`` (max replicas per dataset), general case."""
+    config = config or ExperimentConfig()
+    return _sweep(
+        "fig5",
+        "Impact of the maximum number K of replicas of each dataset",
+        "K (max replicas per dataset)",
+        K_VALUES,
+        ["appro-g", "greedy-g", "graph-g"],
+        config,
+        lambda k: (config.topology, config.params.with_max_replicas(int(k))),
+    )
+
+
+def _testbed_sweep(
+    figure_id: str,
+    title: str,
+    x_label: str,
+    x_values: Sequence,
+    algorithms: list[str],
+    config: ExperimentConfig,
+    params_for: Callable[[object], PaperDefaults],
+) -> FigureSeries:
+    """Average testbed runs per sweep point (paired seeds across algorithms)."""
+    volume: dict[str, list[float]] = {a: [] for a in algorithms}
+    throughput: dict[str, list[float]] = {a: [] for a in algorithms}
+    for x in x_values:
+        params = params_for(x)
+        sums = {a: [0.0, 0.0] for a in algorithms}
+        for repeat in range(config.repeats):
+            seed = derive_seed(config.seed, f"testbed/{figure_id}/{repeat}")
+            experiment = TestbedExperiment(params=params, seed=seed)
+            for a in algorithms:
+                report = run_testbed_experiment(make_algorithm(a), experiment)
+                if not report.results_faithful:
+                    raise RuntimeError(
+                        f"{a}: replica evaluation diverged from origin data"
+                    )
+                sums[a][0] += report.metrics.admitted_volume_gb
+                sums[a][1] += report.metrics.throughput
+        for a in algorithms:
+            volume[a].append(sums[a][0] / config.repeats)
+            throughput[a].append(sums[a][1] / config.repeats)
+    return FigureSeries(
+        figure_id=figure_id,
+        title=title,
+        x_label=x_label,
+        x_values=tuple(x_values),
+        volume={a: tuple(v) for a, v in volume.items()},
+        throughput={a: tuple(v) for a, v in throughput.items()},
+    )
+
+
+def figure7(config: ExperimentConfig | None = None) -> FigureSeries:
+    """Fig. 7 — testbed, impact of ``F``: Appro vs Popularity.
+
+    The paper labels these series ``-S``; the sweep requires the general
+    variants for ``F > 1`` (see module notes).
+    """
+    config = config or ExperimentConfig(repeats=5)
+    return _testbed_sweep(
+        "fig7",
+        "Testbed: impact of F (Appro vs Popularity)",
+        "F (max datasets per query)",
+        F_VALUES,
+        ["appro-g", "popularity-g"],
+        config,
+        lambda f: config.params.with_max_datasets_per_query(int(f)),
+    )
+
+
+def figure8(config: ExperimentConfig | None = None) -> FigureSeries:
+    """Fig. 8 — testbed, impact of ``K``: Appro-G vs Popularity-G."""
+    config = config or ExperimentConfig(repeats=5)
+    return _testbed_sweep(
+        "fig8",
+        "Testbed: impact of K (Appro-G vs Popularity-G)",
+        "K (max replicas per dataset)",
+        K_VALUES,
+        ["appro-g", "popularity-g"],
+        config,
+        lambda k: config.params.with_max_replicas(int(k)),
+    )
+
+
+#: Figure id → producer, for harness code that iterates all figures.
+FIGURES: dict[str, Callable[[ExperimentConfig | None], FigureSeries]] = {
+    "fig2": figure2,
+    "fig3": figure3,
+    "fig4": figure4,
+    "fig5": figure5,
+    "fig7": figure7,
+    "fig8": figure8,
+}

@@ -1,0 +1,89 @@
+"""Terminal plots: render figure series as Unicode charts.
+
+No plotting dependency is available offline, so the harness renders its
+own: grouped bar charts for per-algorithm series over a swept parameter.
+Used by ``python -m repro figure --plot`` and handy in notebooks/logs.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import FigureSeries
+from repro.util.validation import ValidationError, check_positive
+
+__all__ = ["bar_chart", "plot_figure"]
+
+#: Eighth-block characters for sub-cell bar resolution.
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def _bar(value: float, vmax: float, width: int) -> str:
+    """Render one horizontal bar of ``value`` against scale ``vmax``."""
+    if vmax <= 0.0:
+        return ""
+    cells = value / vmax * width
+    full = int(cells)
+    frac = int(round((cells - full) * 8))
+    if frac == 8:
+        full += 1
+        frac = 0
+    bar = _BLOCKS[-1] * min(full, width)
+    if full < width and frac > 0:
+        bar += _BLOCKS[frac]
+    return bar
+
+
+def bar_chart(
+    title: str,
+    rows: dict[str, float],
+    *,
+    width: int = 40,
+    fmt: str = ".1f",
+) -> str:
+    """A labelled horizontal bar chart.
+
+    >>> print(bar_chart("demo", {"a": 2.0, "b": 1.0}, width=4))  # doctest: +SKIP
+    demo
+    a │████ 2.0
+    b │██   1.0
+    """
+    check_positive("width", width)
+    if not rows:
+        raise ValidationError("bar_chart needs at least one row")
+    vmax = max(rows.values())
+    name_w = max(len(k) for k in rows)
+    lines = [title]
+    for name, value in rows.items():
+        lines.append(
+            f"{name.ljust(name_w)} │{_bar(value, vmax, width).ljust(width)} "
+            f"{value:{fmt}}"
+        )
+    return "\n".join(lines)
+
+
+def plot_figure(series: FigureSeries, *, width: int = 36) -> str:
+    """Render both panels of a figure as grouped bar charts.
+
+    One group per x-value; within a group, one bar per algorithm.
+    """
+    check_positive("width", width)
+    out: list[str] = [f"=== {series.figure_id}: {series.title} ==="]
+    panels = [
+        (f"{series.figure_id}(a) volume (GB)", series.volume, ".1f"),
+        (f"{series.figure_id}(b) throughput", series.throughput, ".3f"),
+    ]
+    name_w = max(len(a) for a in series.algorithms)
+    for header, table, fmt in panels:
+        out.append("")
+        out.append(f"--- {header} ---")
+        vmax = max(
+            (v for vs in table.values() for v in vs), default=0.0
+        )
+        for i, x in enumerate(series.x_values):
+            out.append(f"{series.x_label} = {x}")
+            for alg in series.algorithms:
+                value = table[alg][i]
+                out.append(
+                    f"  {alg.ljust(name_w)} │"
+                    f"{_bar(value, vmax, width).ljust(width)} {value:{fmt}}"
+                )
+    return "\n".join(out)

@@ -1,0 +1,70 @@
+"""Assemble one markdown report from persisted bench tables.
+
+Every bench writes its rendered table to ``benchmarks/results/<name>.txt``;
+:func:`build_report` stitches them into a single markdown document (the
+regenerated companion to EXPERIMENTS.md), and the CLI exposes it as
+``report``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.util.validation import ValidationError
+
+__all__ = ["RESULT_SECTIONS", "build_report"]
+
+#: Canonical section order; files not listed are appended alphabetically.
+RESULT_SECTIONS: tuple[tuple[str, str], ...] = (
+    ("fig2", "Fig. 2 — special case vs network size"),
+    ("fig3", "Fig. 3 — general case vs network size"),
+    ("fig4", "Fig. 4 — impact of F (max datasets per query)"),
+    ("fig5", "Fig. 5 — impact of K (max replicas)"),
+    ("fig7", "Fig. 7 — testbed, impact of F"),
+    ("fig8", "Fig. 8 — testbed, impact of K"),
+    ("ablation_pricing", "Ablation — capacity pricing"),
+    ("ablation_admission", "Ablation — admission semantics"),
+    ("optimality_gap", "Ablation — optimality gap"),
+    ("consistency", "Ablation — consistency maintenance"),
+    ("sensitivity", "Ablation — knob sensitivity"),
+    ("online", "Extension — online arrivals"),
+    ("availability", "Extension — availability under failures"),
+    ("migration", "Extension — migration under drift"),
+    ("bandwidth", "Extension — link budgets"),
+)
+
+
+def build_report(results_dir: str | Path) -> str:
+    """Concatenate persisted bench tables into one markdown report.
+
+    Raises
+    ------
+    ValidationError
+        If the directory has no ``.txt`` result files (run the benches
+        first).
+    """
+    results_dir = Path(results_dir)
+    available = {p.stem: p for p in sorted(results_dir.glob("*.txt"))}
+    if not available:
+        raise ValidationError(
+            f"no bench results in {results_dir}; run "
+            f"`pytest benchmarks/ --benchmark-only` first"
+        )
+    parts = [
+        "# Regenerated results",
+        "",
+        "Produced by `python -m repro report` from the tables the benches",
+        f"persisted under `{results_dir}/`.",
+    ]
+    seen: set[str] = set()
+    for stem, title in RESULT_SECTIONS:
+        if stem in available:
+            seen.add(stem)
+            parts += ["", f"## {title}", "", "```"]
+            parts.append(available[stem].read_text().rstrip())
+            parts.append("```")
+    for stem in sorted(set(available) - seen):
+        parts += ["", f"## {stem}", "", "```"]
+        parts.append(available[stem].read_text().rstrip())
+        parts.append("```")
+    return "\n".join(parts) + "\n"

@@ -1,0 +1,122 @@
+"""Run algorithms across repeated random topologies and aggregate metrics.
+
+Every solution is re-verified against the full constraint set before its
+metrics count, so a buggy algorithm fails loudly rather than winning a
+figure.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass
+
+from repro.core.instance import ProblemInstance
+from repro.core.metrics import evaluate_solution, verify_solution
+from repro.core.registry import make_algorithm
+from repro.experiments.config import ExperimentConfig
+from repro.topology.twotier import TwoTierConfig, generate_two_tier
+from repro.util.rng import derive_seed, spawn_rng
+from repro.workload.params import PaperDefaults
+from repro.workload.queries import generate_workload
+
+__all__ = ["AggregateMetrics", "make_instance", "run_algorithm", "compare_algorithms"]
+
+
+@dataclass(frozen=True)
+class AggregateMetrics:
+    """Mean ± stdev of the paper's metrics over the repeats.
+
+    Attributes
+    ----------
+    algorithm:
+        Registry name.
+    volume_mean, volume_std:
+        Admitted volume (GB).
+    throughput_mean, throughput_std:
+        System throughput.
+    repeats:
+        Sample count.
+    """
+
+    algorithm: str
+    volume_mean: float
+    volume_std: float
+    throughput_mean: float
+    throughput_std: float
+    repeats: int
+
+
+def make_instance(
+    topology_config: TwoTierConfig,
+    params: PaperDefaults,
+    seed: int,
+    repeat: int,
+) -> ProblemInstance:
+    """Build the problem instance for one experiment repeat.
+
+    Topology and workload derive independent streams from
+    ``(seed, repeat)``, so changing the workload parameters does not
+    reshuffle the topology and vice versa.
+    """
+    repeat_seed = derive_seed(seed, f"repeat/{repeat}")
+    topology = generate_two_tier(topology_config, seed=repeat_seed)
+    return generate_workload(
+        topology, spawn_rng(repeat_seed, "workload"), params
+    )
+
+
+def run_algorithm(
+    name: str,
+    config: ExperimentConfig,
+    *,
+    topology_config: TwoTierConfig | None = None,
+    params: PaperDefaults | None = None,
+) -> AggregateMetrics:
+    """Average one algorithm's metrics over the configured repeats."""
+    topology_config = topology_config or config.topology
+    params = params or config.params
+    volumes: list[float] = []
+    throughputs: list[float] = []
+    for repeat in range(config.repeats):
+        instance = make_instance(topology_config, params, config.seed, repeat)
+        algorithm = make_algorithm(name)
+        solution = algorithm.solve(instance)
+        verify_solution(instance, solution)
+        metrics = evaluate_solution(instance, solution)
+        volumes.append(metrics.admitted_volume_gb)
+        throughputs.append(metrics.throughput)
+    return AggregateMetrics(
+        algorithm=name,
+        volume_mean=statistics.fmean(volumes),
+        volume_std=statistics.stdev(volumes) if len(volumes) > 1 else 0.0,
+        throughput_mean=statistics.fmean(throughputs),
+        throughput_std=(
+            statistics.stdev(throughputs) if len(throughputs) > 1 else 0.0
+        ),
+        repeats=config.repeats,
+    )
+
+
+def compare_algorithms(
+    names: list[str],
+    config: ExperimentConfig,
+    *,
+    topology_config: TwoTierConfig | None = None,
+    params: PaperDefaults | None = None,
+) -> dict[str, AggregateMetrics]:
+    """Aggregate several algorithms on the *same* instances.
+
+    Instances are deterministic in ``(seed, repeat)``, so every algorithm
+    sees identical topologies and workloads — the paper's paired design.
+    """
+    results = {
+        name: run_algorithm(
+            name, config, topology_config=topology_config, params=params
+        )
+        for name in names
+    }
+    for m in results.values():
+        if not math.isfinite(m.volume_mean):
+            raise RuntimeError(f"non-finite metrics for {m.algorithm}")
+    return results

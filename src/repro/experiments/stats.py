@@ -1,0 +1,138 @@
+"""Statistical support for experiment comparisons.
+
+The paper reports bare means over 15 topologies; a production harness
+should say how confident those means are.  This module provides:
+
+* :func:`mean_ci` — a Student-t confidence interval on a sample mean,
+* :func:`paired_ratio_ci` — a bootstrap CI on the mean per-instance ratio
+  between two algorithms run on *paired* instances (the experiment
+  runner's design), which is the right way to state "Appro is X× Greedy",
+* :func:`paired_test` — a paired t-test p-value for "algorithm A beats
+  algorithm B" on the same instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import stats
+
+from repro.util.rng import spawn_rng
+from repro.util.validation import ValidationError, check_fraction, check_positive
+
+__all__ = ["ConfidenceInterval", "mean_ci", "paired_ratio_ci", "paired_test"]
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A point estimate with a two-sided confidence interval.
+
+    Attributes
+    ----------
+    estimate:
+        The point estimate (a mean or mean ratio).
+    low, high:
+        Interval bounds.
+    confidence:
+        Coverage level, e.g. 0.95.
+    """
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+
+    def __post_init__(self) -> None:
+        if not self.low <= self.estimate <= self.high:
+            raise ValidationError(
+                f"estimate {self.estimate} outside [{self.low}, {self.high}]"
+            )
+
+    @property
+    def half_width(self) -> float:
+        """Half the interval width."""
+        return (self.high - self.low) / 2.0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.estimate:.3f} [{self.low:.3f}, {self.high:.3f}]"
+
+
+def mean_ci(
+    samples: Sequence[float], confidence: float = 0.95
+) -> ConfidenceInterval:
+    """Student-t confidence interval on the mean of ``samples``.
+
+    A single sample yields a degenerate interval at the point estimate.
+    """
+    check_fraction("confidence", confidence)
+    if not samples:
+        raise ValidationError("mean_ci needs at least one sample")
+    arr = np.asarray(samples, dtype=float)
+    mean = float(arr.mean())
+    if arr.size == 1 or np.allclose(arr, mean):
+        return ConfidenceInterval(mean, mean, mean, confidence)
+    sem = float(stats.sem(arr))
+    half = float(stats.t.ppf(0.5 + confidence / 2.0, df=arr.size - 1)) * sem
+    return ConfidenceInterval(mean, mean - half, mean + half, confidence)
+
+
+def paired_ratio_ci(
+    numerator: Sequence[float],
+    denominator: Sequence[float],
+    *,
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: int = 0,
+) -> ConfidenceInterval:
+    """Bootstrap CI on the ratio of paired means ``mean(num)/mean(den)``.
+
+    Instances are paired (same topology/workload per index), so both
+    series are resampled with the *same* indices.  Zero-mean denominators
+    in a resample are skipped (the ratio is unbounded there).
+    """
+    check_fraction("confidence", confidence)
+    check_positive("resamples", resamples)
+    if len(numerator) != len(denominator) or not numerator:
+        raise ValidationError("paired series must be equal-length and non-empty")
+    num = np.asarray(numerator, dtype=float)
+    den = np.asarray(denominator, dtype=float)
+    if den.mean() == 0.0:
+        raise ValidationError("denominator mean is zero")
+    point = float(num.mean() / den.mean())
+
+    rng = spawn_rng(seed, "stats/bootstrap")
+    n = len(num)
+    ratios = []
+    for _ in range(resamples):
+        idx = rng.integers(0, n, size=n)
+        d = den[idx].mean()
+        if d != 0.0:
+            ratios.append(num[idx].mean() / d)
+    if not ratios:
+        return ConfidenceInterval(point, point, point, confidence)
+    tail = (1.0 - confidence) / 2.0
+    low, high = np.quantile(ratios, [tail, 1.0 - tail])
+    # The bootstrap distribution may not contain the point estimate for
+    # tiny samples; clamp to keep the interval well-formed.
+    return ConfidenceInterval(
+        point, min(float(low), point), max(float(high), point), confidence
+    )
+
+
+def paired_test(
+    a: Sequence[float], b: Sequence[float]
+) -> tuple[float, float]:
+    """Paired t-test of ``a > b`` on paired instances.
+
+    Returns ``(mean_difference, one_sided_p_value)``; a small p-value
+    supports "A beats B".  Identical series return p = 0.5 (no evidence).
+    """
+    if len(a) != len(b) or not a:
+        raise ValidationError("paired series must be equal-length and non-empty")
+    diff = np.asarray(a, dtype=float) - np.asarray(b, dtype=float)
+    if np.allclose(diff, 0.0):
+        return 0.0, 0.5
+    result = stats.ttest_rel(a, b, alternative="greater")
+    return float(diff.mean()), float(result.pvalue)

@@ -1,0 +1,76 @@
+"""Plain-text rendering of figure series and comparisons.
+
+The benchmark harness prints these tables — the textual equivalent of the
+paper's plots, one row per algorithm per panel.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import FigureSeries
+from repro.experiments.runner import AggregateMetrics
+
+__all__ = ["render_figure", "render_comparison"]
+
+
+def _panel(
+    header: str,
+    x_label: str,
+    x_values: tuple,
+    rows: dict[str, tuple[float, ...]],
+    fmt: str,
+) -> list[str]:
+    name_w = max(len("algorithm"), *(len(a) for a in rows))
+    col_w = max(8, *(len(f"{x}") for x in x_values))
+    lines = [header]
+    head = "algorithm".ljust(name_w) + " | " + " ".join(
+        f"{x!s:>{col_w}}" for x in x_values
+    )
+    lines.append(head)
+    lines.append("-" * len(head))
+    for alg, series in rows.items():
+        lines.append(
+            alg.ljust(name_w)
+            + " | "
+            + " ".join(f"{v:>{col_w}{fmt}}" for v in series)
+        )
+    lines.append(f"(x-axis: {x_label})")
+    return lines
+
+
+def render_figure(series: FigureSeries) -> str:
+    """Render both panels of a figure as an aligned text table."""
+    lines = [f"=== {series.figure_id}: {series.title} ==="]
+    lines += _panel(
+        f"--- {series.figure_id}(a): volume of datasets demanded by admitted queries (GB) ---",
+        series.x_label,
+        series.x_values,
+        dict(series.volume),
+        ".1f",
+    )
+    lines.append("")
+    lines += _panel(
+        f"--- {series.figure_id}(b): system throughput ---",
+        series.x_label,
+        series.x_values,
+        dict(series.throughput),
+        ".3f",
+    )
+    return "\n".join(lines)
+
+
+def render_comparison(results: dict[str, AggregateMetrics]) -> str:
+    """Render one-point algorithm comparison (mean ± std over repeats)."""
+    name_w = max(len("algorithm"), *(len(a) for a in results))
+    lines = [
+        "algorithm".ljust(name_w)
+        + " |   volume(GB)      throughput    (repeats)"
+    ]
+    lines.append("-" * len(lines[0]))
+    for alg, m in results.items():
+        lines.append(
+            alg.ljust(name_w)
+            + f" | {m.volume_mean:8.1f}±{m.volume_std:<6.1f}"
+            + f" {m.throughput_mean:6.3f}±{m.throughput_std:<6.3f}"
+            + f" ({m.repeats})"
+        )
+    return "\n".join(lines)

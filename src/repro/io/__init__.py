@@ -1,0 +1,37 @@
+"""Persistence: save and load topologies, instances, solutions, traces.
+
+Experiments become shareable artifacts: a problem instance round-trips
+through JSON (human-diffable), usage traces through compressed ``.npz``
+(columnar).  All loaders validate through the same constructors as
+programmatic creation, so a corrupted file fails loudly rather than
+producing an invalid instance.
+"""
+
+from repro.io.serialize import (
+    instance_to_dict,
+    instance_from_dict,
+    save_instance,
+    load_instance,
+    solution_to_dict,
+    solution_from_dict,
+    save_solution,
+    load_solution,
+    topology_to_dict,
+    topology_from_dict,
+)
+from repro.io.traceio import save_trace, load_trace
+
+__all__ = [
+    "instance_to_dict",
+    "instance_from_dict",
+    "save_instance",
+    "load_instance",
+    "solution_to_dict",
+    "solution_from_dict",
+    "save_solution",
+    "load_solution",
+    "topology_to_dict",
+    "topology_from_dict",
+    "save_trace",
+    "load_trace",
+]

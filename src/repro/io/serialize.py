@@ -1,0 +1,224 @@
+"""JSON serialisation of topologies, instances and solutions.
+
+The wire format is versioned (``format`` key) and round-trips through the
+library's validating constructors — loading re-runs every invariant check
+construction does.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.instance import ProblemInstance
+from repro.core.types import Assignment, Dataset, PlacementSolution, Query
+from repro.topology.nodes import NodeKind, NodeSpec
+from repro.topology.twotier import EdgeCloudTopology
+from repro.util.validation import ValidationError
+
+__all__ = [
+    "topology_to_dict",
+    "topology_from_dict",
+    "instance_to_dict",
+    "instance_from_dict",
+    "save_instance",
+    "load_instance",
+    "solution_to_dict",
+    "solution_from_dict",
+    "save_solution",
+    "load_solution",
+]
+
+_FORMAT_TOPOLOGY = "repro/topology/v1"
+_FORMAT_INSTANCE = "repro/instance/v1"
+_FORMAT_SOLUTION = "repro/solution/v1"
+
+
+def _require_format(payload: dict, expected: str) -> None:
+    got = payload.get("format")
+    if got != expected:
+        raise ValidationError(f"expected format {expected!r}, got {got!r}")
+
+
+# -- topology ---------------------------------------------------------------
+
+def topology_to_dict(topology: EdgeCloudTopology) -> dict[str, Any]:
+    """Serialise a topology to plain JSON-compatible data."""
+    return {
+        "format": _FORMAT_TOPOLOGY,
+        "nodes": [
+            {
+                "node_id": s.node_id,
+                "kind": s.kind.value,
+                "name": s.name,
+                "capacity_ghz": s.capacity_ghz,
+                "proc_delay_s_per_gb": s.proc_delay_s_per_gb,
+                "x": s.x,
+                "y": s.y,
+                "region": s.region,
+            }
+            for s in topology.nodes
+        ],
+        "links": [
+            {"u": u, "v": v, "delay": d}
+            for (u, v), d in sorted(topology.link_delays.items())
+        ],
+    }
+
+
+def topology_from_dict(payload: dict[str, Any]) -> EdgeCloudTopology:
+    """Reconstruct a topology; validation happens in the constructors."""
+    _require_format(payload, _FORMAT_TOPOLOGY)
+    specs = [
+        NodeSpec(
+            node_id=n["node_id"],
+            kind=NodeKind(n["kind"]),
+            name=n["name"],
+            capacity_ghz=n["capacity_ghz"],
+            proc_delay_s_per_gb=n["proc_delay_s_per_gb"],
+            x=n["x"],
+            y=n["y"],
+            region=n.get("region", ""),
+        )
+        for n in payload["nodes"]
+    ]
+    delays = {(l["u"], l["v"]): l["delay"] for l in payload["links"]}
+    return EdgeCloudTopology(specs, delays)
+
+
+# -- instance ----------------------------------------------------------------
+
+def instance_to_dict(instance: ProblemInstance) -> dict[str, Any]:
+    """Serialise a problem instance (topology embedded)."""
+    return {
+        "format": _FORMAT_INSTANCE,
+        "topology": topology_to_dict(instance.topology),
+        "max_replicas": instance.max_replicas,
+        "datasets": [
+            {
+                "dataset_id": d.dataset_id,
+                "volume_gb": d.volume_gb,
+                "origin_node": d.origin_node,
+                "name": d.name,
+            }
+            for d in instance.datasets.values()
+        ],
+        "queries": [
+            {
+                "query_id": q.query_id,
+                "home_node": q.home_node,
+                "demanded": list(q.demanded),
+                "selectivity": list(q.selectivity),
+                "compute_rate": q.compute_rate,
+                "deadline_s": q.deadline_s,
+                "name": q.name,
+            }
+            for q in instance.queries
+        ],
+    }
+
+
+def instance_from_dict(payload: dict[str, Any]) -> ProblemInstance:
+    """Reconstruct a problem instance with full validation."""
+    _require_format(payload, _FORMAT_INSTANCE)
+    topology = topology_from_dict(payload["topology"])
+    datasets = {
+        d["dataset_id"]: Dataset(
+            dataset_id=d["dataset_id"],
+            volume_gb=d["volume_gb"],
+            origin_node=d["origin_node"],
+            name=d.get("name", ""),
+        )
+        for d in payload["datasets"]
+    }
+    queries = [
+        Query(
+            query_id=q["query_id"],
+            home_node=q["home_node"],
+            demanded=tuple(q["demanded"]),
+            selectivity=tuple(q["selectivity"]),
+            compute_rate=q["compute_rate"],
+            deadline_s=q["deadline_s"],
+            name=q.get("name", ""),
+        )
+        for q in sorted(payload["queries"], key=lambda q: q["query_id"])
+    ]
+    return ProblemInstance(
+        topology=topology,
+        datasets=datasets,
+        queries=queries,
+        max_replicas=payload["max_replicas"],
+    )
+
+
+def save_instance(instance: ProblemInstance, path: str | Path) -> None:
+    """Write an instance to a JSON file."""
+    Path(path).write_text(json.dumps(instance_to_dict(instance), indent=1))
+
+
+def load_instance(path: str | Path) -> ProblemInstance:
+    """Read an instance from a JSON file."""
+    return instance_from_dict(json.loads(Path(path).read_text()))
+
+
+# -- solution -----------------------------------------------------------------
+
+def solution_to_dict(solution: PlacementSolution) -> dict[str, Any]:
+    """Serialise a placement solution."""
+    return {
+        "format": _FORMAT_SOLUTION,
+        "algorithm": solution.algorithm,
+        "replicas": {
+            str(d_id): list(nodes) for d_id, nodes in solution.replicas.items()
+        },
+        "assignments": [
+            {
+                "query_id": a.query_id,
+                "dataset_id": a.dataset_id,
+                "node": a.node,
+                "latency_s": a.latency_s,
+                "compute_ghz": a.compute_ghz,
+            }
+            for a in solution.assignments.values()
+        ],
+        "admitted": sorted(solution.admitted),
+        "rejected": sorted(solution.rejected),
+        "extras": dict(solution.extras),
+    }
+
+
+def solution_from_dict(payload: dict[str, Any]) -> PlacementSolution:
+    """Reconstruct a placement solution."""
+    _require_format(payload, _FORMAT_SOLUTION)
+    assignments = {
+        (a["query_id"], a["dataset_id"]): Assignment(
+            query_id=a["query_id"],
+            dataset_id=a["dataset_id"],
+            node=a["node"],
+            latency_s=a["latency_s"],
+            compute_ghz=a["compute_ghz"],
+        )
+        for a in payload["assignments"]
+    }
+    return PlacementSolution(
+        algorithm=payload["algorithm"],
+        replicas={
+            int(d_id): tuple(nodes)
+            for d_id, nodes in payload["replicas"].items()
+        },
+        assignments=assignments,
+        admitted=frozenset(payload["admitted"]),
+        rejected=frozenset(payload["rejected"]),
+        extras=payload.get("extras", {}),
+    )
+
+
+def save_solution(solution: PlacementSolution, path: str | Path) -> None:
+    """Write a solution to a JSON file."""
+    Path(path).write_text(json.dumps(solution_to_dict(solution), indent=1))
+
+
+def load_solution(path: str | Path) -> PlacementSolution:
+    """Read a solution from a JSON file."""
+    return solution_from_dict(json.loads(Path(path).read_text()))

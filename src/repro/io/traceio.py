@@ -1,0 +1,43 @@
+"""Columnar persistence for usage traces (compressed ``.npz``)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.util.validation import ValidationError
+from repro.workload.trace import UsageTrace
+
+__all__ = ["save_trace", "load_trace"]
+
+_FORMAT = "repro/trace/v1"
+
+
+def save_trace(trace: UsageTrace, path: str | Path) -> None:
+    """Write a usage trace to a compressed ``.npz`` file."""
+    np.savez_compressed(
+        Path(path),
+        format=np.array(_FORMAT),
+        user=trace.user,
+        app=trace.app,
+        timestamp_s=trace.timestamp_s,
+        duration_s=trace.duration_s,
+        nbytes=trace.nbytes,
+    )
+
+
+def load_trace(path: str | Path) -> UsageTrace:
+    """Read a usage trace; re-validates column alignment on construction."""
+    with np.load(Path(path)) as data:
+        if str(data["format"]) != _FORMAT:
+            raise ValidationError(
+                f"expected format {_FORMAT!r}, got {data['format']!r}"
+            )
+        return UsageTrace(
+            user=data["user"],
+            app=data["app"],
+            timestamp_s=data["timestamp_s"],
+            duration_s=data["duration_s"],
+            nbytes=data["nbytes"],
+        )

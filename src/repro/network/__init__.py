@@ -1,0 +1,16 @@
+"""Minimum-delay routing over the edge cloud.
+
+When a query assigned to node ``v`` ships intermediate results to its home
+location ``h``, the transfer follows the path with minimum total
+per-unit-data delay, ``dt(p(v, h)) = Σ_{e ∈ p} dt(e)`` (§3.2: "via a
+shortest path whose transmission delay is the minimum one").
+
+:class:`repro.network.paths.PathCache` precomputes all-pairs minimum delays
+with a vectorised Dijkstra (``scipy.sparse.csgraph``) so algorithm inner
+loops are pure array lookups.
+"""
+
+from repro.network.paths import PathCache, all_pairs_min_delay
+from repro.network.routing import extract_path, path_delay
+
+__all__ = ["PathCache", "all_pairs_min_delay", "extract_path", "path_delay"]

@@ -1,0 +1,110 @@
+"""All-pairs minimum-delay computation and caching.
+
+The placement algorithms repeatedly need ``dt(p(v, h))`` — the minimum
+per-unit-data transmission delay between a candidate serving node and a
+query's home location.  We precompute the full matrix once per topology
+with ``scipy.sparse.csgraph.dijkstra`` (C-speed, vectorised over sources)
+and serve lookups from the dense result, following the "profile first,
+vectorise the bottleneck" discipline: path computation dominates naive
+implementations, and caching removes it from the hot loop entirely.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import dijkstra
+
+from repro.topology.twotier import EdgeCloudTopology
+
+__all__ = ["all_pairs_min_delay", "PathCache"]
+
+
+def _adjacency(topology: EdgeCloudTopology) -> csr_matrix:
+    """Symmetric sparse adjacency with link delays as weights."""
+    n = topology.num_nodes
+    delays = topology.link_delays
+    if not delays:
+        return csr_matrix((n, n))
+    rows, cols, vals = [], [], []
+    for (u, v), d in delays.items():
+        rows.extend((u, v))
+        cols.extend((v, u))
+        vals.extend((d, d))
+    return csr_matrix((vals, (rows, cols)), shape=(n, n))
+
+
+def all_pairs_min_delay(
+    topology: EdgeCloudTopology,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Compute minimum delays and predecessors between all node pairs.
+
+    Returns
+    -------
+    (delays, predecessors)
+        ``delays[u, v]`` is the minimum total per-unit-data delay (s/GB)
+        between ``u`` and ``v`` (``inf`` if disconnected, ``0`` on the
+        diagonal).  ``predecessors[u, v]`` is the node preceding ``v`` on
+        the best path from ``u`` (``-9999`` where undefined, scipy's
+        sentinel).
+    """
+    adj = _adjacency(topology)
+    delays, predecessors = dijkstra(
+        adj, directed=False, return_predecessors=True
+    )
+    return delays, predecessors
+
+
+class PathCache:
+    """Precomputed minimum-delay oracle for one topology.
+
+    Examples
+    --------
+    >>> from repro.topology import example_figure1
+    >>> topo = example_figure1()
+    >>> cache = PathCache(topo)
+    >>> cache.delay(topo.placement_nodes[0], topo.placement_nodes[1]) >= 0
+    True
+    """
+
+    def __init__(self, topology: EdgeCloudTopology) -> None:
+        self._topology = topology
+        self._delays, self._pred = all_pairs_min_delay(topology)
+
+    @property
+    def topology(self) -> EdgeCloudTopology:
+        """The topology this cache was built for."""
+        return self._topology
+
+    def delay(self, u: int, v: int) -> float:
+        """Minimum per-unit-data delay between ``u`` and ``v`` (s/GB)."""
+        return float(self._delays[u, v])
+
+    def delays_from(self, u: int) -> np.ndarray:
+        """Vector of minimum delays from ``u`` to every node."""
+        return self._delays[u]
+
+    def delays_matrix(self) -> np.ndarray:
+        """Read-only view of the full delay matrix."""
+        view = self._delays.view()
+        view.flags.writeable = False
+        return view
+
+    def placement_delays_to(self, home: int) -> np.ndarray:
+        """Delays from each *placement* node (in placement order) to ``home``.
+
+        This is the vector the placement algorithms consume: entry ``i``
+        is ``dt(p(placement_nodes[i], home))``.
+        """
+        idx = np.fromiter(
+            self._topology.placement_nodes, dtype=np.intp
+        )
+        return self._delays[idx, home]
+
+    def reachable(self, u: int, v: int) -> bool:
+        """Whether any path connects ``u`` and ``v``."""
+        return bool(np.isfinite(self._delays[u, v]))
+
+    def predecessor(self, source: int, node: int) -> int:
+        """Predecessor of ``node`` on the best path from ``source`` (-9999 if none)."""
+        return int(self._pred[source, node])

@@ -1,0 +1,48 @@
+"""Explicit path extraction from a :class:`~repro.network.paths.PathCache`.
+
+The placement algorithms only need path *delays*; the discrete-event
+simulator additionally walks the explicit hop sequence to serialise
+transfers on individual links.
+"""
+
+from __future__ import annotations
+
+from repro.network.paths import PathCache
+from repro.topology.twotier import EdgeCloudTopology
+
+__all__ = ["extract_path", "path_delay"]
+
+_NO_PREDECESSOR = -9999  # scipy.sparse.csgraph sentinel
+
+
+def extract_path(cache: PathCache, source: int, target: int) -> list[int]:
+    """Reconstruct the minimum-delay path from ``source`` to ``target``.
+
+    Returns the node sequence ``[source, ..., target]``; ``[source]`` when
+    they coincide.
+
+    Raises
+    ------
+    ValueError
+        If no path exists.
+    """
+    if source == target:
+        return [source]
+    if not cache.reachable(source, target):
+        raise ValueError(f"no path from {source} to {target}")
+    hops = [target]
+    node = target
+    while node != source:
+        node = cache.predecessor(source, node)
+        if node == _NO_PREDECESSOR:
+            raise ValueError(f"no path from {source} to {target}")
+        hops.append(node)
+    hops.reverse()
+    return hops
+
+
+def path_delay(topology: EdgeCloudTopology, path: list[int]) -> float:
+    """Total per-unit-data delay (s/GB) along an explicit hop sequence."""
+    return sum(
+        topology.link_delay(u, v) for u, v in zip(path, path[1:])
+    )

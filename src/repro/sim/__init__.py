@@ -1,0 +1,47 @@
+"""Discrete-event execution of placements, and the §4.3 testbed emulation.
+
+The placement algorithms reason about *analytic* latencies
+(``|S_n|·d(v) + |S_n|·α·dt(p)``).  This subpackage actually *runs* a
+placement: admitted queries arrive, processing tasks occupy node compute,
+intermediate results traverse the explicit minimum-delay paths hop by hop,
+and per-query response times are measured.
+
+Two fidelity levels:
+
+* ``contention=False`` (default) — links are pure delay pipes and node
+  compute is reserved per the placement; realized latencies equal the
+  analytic model exactly, which is how integration tests prove the
+  admission logic sound end-to-end.
+* ``contention=True`` — transfers serialise FIFO per link and compute
+  over-subscription queues, exposing effects the analytic model ignores
+  (used by the testbed experiments and robustness ablations).
+"""
+
+from repro.sim.engine import Simulator, Event
+from repro.sim.resources import FifoResource, ComputePool
+from repro.sim.events import PairTrace, QueryOutcome, ExecutionReport
+from repro.sim.execution import ExecutionConfig, execute_placement
+from repro.sim.testbed import TestbedExperiment, TestbedReport, run_testbed_experiment
+from repro.sim.consistency_sim import (
+    ConsistencySimConfig,
+    ConsistencySimReport,
+    simulate_consistency,
+)
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "FifoResource",
+    "ComputePool",
+    "PairTrace",
+    "QueryOutcome",
+    "ExecutionReport",
+    "ExecutionConfig",
+    "execute_placement",
+    "TestbedExperiment",
+    "TestbedReport",
+    "run_testbed_experiment",
+    "ConsistencySimConfig",
+    "ConsistencySimReport",
+    "simulate_consistency",
+]

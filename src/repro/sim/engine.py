@@ -1,0 +1,96 @@
+"""Minimal deterministic discrete-event engine.
+
+A binary-heap event queue with a monotonically increasing sequence number
+as tie-break, so simultaneous events fire in schedule order and every run
+is exactly reproducible.  Callbacks schedule further events; the engine
+knows nothing about queries or networks.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["Event", "Simulator"]
+
+
+@dataclass(order=True, frozen=True)
+class Event:
+    """One scheduled callback.
+
+    Ordering is by ``(time, seq)``: earlier time first, FIFO among
+    simultaneous events.
+    """
+
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+
+
+class Simulator:
+    """Deterministic event loop.
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> sim.schedule(1.5, lambda: fired.append(sim.now))
+    >>> sim.run()
+    >>> fired
+    [1.5]
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (seconds)."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total events fired so far."""
+        return self._processed
+
+    def schedule(self, time: float, action: Callable[[], None]) -> None:
+        """Schedule ``action`` at absolute ``time`` (>= now)."""
+        if time < self._now - 1e-12:
+            raise ValueError(
+                f"cannot schedule at {time} before current time {self._now}"
+            )
+        heapq.heappush(self._queue, Event(max(time, self._now), next(self._seq), action))
+
+    def schedule_in(self, delay: float, action: Callable[[], None]) -> None:
+        """Schedule ``action`` after a relative ``delay`` (>= 0)."""
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        self.schedule(self._now + delay, action)
+
+    def run(self, until: float | None = None, max_events: int = 10_000_000) -> None:
+        """Process events in order until the queue drains.
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event is strictly later (that event stays
+            queued).
+        max_events:
+            Safety valve against runaway schedules.
+        """
+        while self._queue:
+            if until is not None and self._queue[0].time > until:
+                break
+            event = heapq.heappop(self._queue)
+            self._now = event.time
+            self._processed += 1
+            if self._processed > max_events:
+                raise RuntimeError(f"exceeded {max_events} events; runaway schedule?")
+            event.action()
+        if until is not None and self._now < until:
+            self._now = until

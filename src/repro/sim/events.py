@@ -1,0 +1,99 @@
+"""Telemetry records produced by placement execution."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["PairTrace", "QueryOutcome", "ExecutionReport"]
+
+
+@dataclass(frozen=True)
+class PairTrace:
+    """Timeline of one (query, dataset) evaluation.
+
+    Attributes
+    ----------
+    dataset_id, node:
+        What ran where.
+    started_s, processed_s, delivered_s:
+        Absolute times: processing start, processing end (= transfer
+        start), and arrival of the intermediate result at the home node.
+    """
+
+    dataset_id: int
+    node: int
+    started_s: float
+    processed_s: float
+    delivered_s: float
+
+
+@dataclass(frozen=True)
+class QueryOutcome:
+    """Measured execution of one admitted query.
+
+    Attributes
+    ----------
+    query_id:
+        The query.
+    arrival_s:
+        When it arrived.
+    response_s:
+        Measured response latency — max over demanded datasets of
+        (delivery time − arrival).
+    deadline_s:
+        Its QoS requirement.
+    pairs:
+        Per-dataset traces.
+    """
+
+    query_id: int
+    arrival_s: float
+    response_s: float
+    deadline_s: float
+    pairs: tuple[PairTrace, ...] = field(default_factory=tuple)
+
+    @property
+    def met_deadline(self) -> bool:
+        """Whether the measured response beat the QoS deadline."""
+        return self.response_s <= self.deadline_s * (1.0 + 1e-9)
+
+
+@dataclass(frozen=True)
+class ExecutionReport:
+    """Aggregate result of executing a placement.
+
+    Attributes
+    ----------
+    outcomes:
+        One record per executed (admitted) query.
+    makespan_s:
+        Time the last intermediate result was delivered.
+    events:
+        Events processed by the engine.
+    """
+
+    outcomes: tuple[QueryOutcome, ...]
+    makespan_s: float
+    events: int
+
+    @property
+    def num_executed(self) -> int:
+        """Queries executed."""
+        return len(self.outcomes)
+
+    @property
+    def deadline_violations(self) -> int:
+        """Queries whose measured latency exceeded their deadline."""
+        return sum(1 for o in self.outcomes if not o.met_deadline)
+
+    @property
+    def mean_response_s(self) -> float:
+        """Mean measured response latency (0 when nothing ran)."""
+        if not self.outcomes:
+            return 0.0
+        return sum(o.response_s for o in self.outcomes) / len(self.outcomes)
+
+    @property
+    def max_response_s(self) -> float:
+        """Worst measured response latency (0 when nothing ran)."""
+        return max((o.response_s for o in self.outcomes), default=0.0)

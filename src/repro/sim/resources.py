@@ -1,0 +1,131 @@
+"""Simulation resources: FIFO links and capacity-limited compute pools.
+
+Both resources express "hold some capacity for a duration, then release",
+with waiters queued FIFO.  They drive all contention effects in
+``contention=True`` executions; in contention-free mode the execution layer
+bypasses them entirely.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.sim.engine import Simulator
+from repro.util.validation import check_non_negative, check_positive
+
+__all__ = ["FifoResource", "ComputePool"]
+
+
+class FifoResource:
+    """A unit-capacity resource (e.g. a link) serving holds FIFO.
+
+    ``acquire(duration, then)`` runs ``then`` once the hold *starts*; the
+    resource frees itself ``duration`` later.  Used to serialise transfers
+    crossing the same physical link.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "") -> None:
+        self._sim = sim
+        self.name = name
+        self._busy = False
+        self._waiters: deque[tuple[float, Callable[[], None]]] = deque()
+        self.total_busy_s = 0.0
+
+    @property
+    def busy(self) -> bool:
+        """Whether a hold is in progress."""
+        return self._busy
+
+    @property
+    def queue_length(self) -> int:
+        """Holds waiting to start."""
+        return len(self._waiters)
+
+    def acquire(self, duration: float, then: Callable[[], None]) -> None:
+        """Request a hold of ``duration``; ``then`` fires when it starts."""
+        check_non_negative("duration", duration)
+        if self._busy:
+            self._waiters.append((duration, then))
+            return
+        self._start(duration, then)
+
+    def _start(self, duration: float, then: Callable[[], None]) -> None:
+        self._busy = True
+        self.total_busy_s += duration
+        then()
+        self._sim.schedule_in(duration, self._release)
+
+    def _release(self) -> None:
+        self._busy = False
+        if self._waiters:
+            duration, then = self._waiters.popleft()
+            self._start(duration, then)
+
+
+class ComputePool:
+    """A node's compute, shared by concurrent tasks up to ``capacity_ghz``.
+
+    Tasks request an amount of GHz for a duration; requests that do not fit
+    wait FIFO (head-of-line blocking, like a slot scheduler) until running
+    tasks release enough capacity.
+    """
+
+    def __init__(self, sim: Simulator, capacity_ghz: float, name: str = "") -> None:
+        check_positive("capacity_ghz", capacity_ghz)
+        self._sim = sim
+        self.name = name
+        self.capacity_ghz = capacity_ghz
+        self._in_use = 0.0
+        self._waiters: deque[tuple[float, float, Callable[[], None]]] = deque()
+        self.peak_ghz = 0.0
+        self.ghz_seconds = 0.0
+
+    @property
+    def in_use_ghz(self) -> float:
+        """Compute currently held by running tasks."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Tasks waiting for capacity."""
+        return len(self._waiters)
+
+    def acquire(
+        self, amount_ghz: float, duration: float, then: Callable[[], None]
+    ) -> None:
+        """Hold ``amount_ghz`` for ``duration``; ``then`` fires at start.
+
+        Raises
+        ------
+        ValueError
+            If a single request exceeds the pool's total capacity (it
+            could never run).
+        """
+        check_non_negative("amount_ghz", amount_ghz)
+        check_non_negative("duration", duration)
+        if amount_ghz > self.capacity_ghz * (1 + 1e-9):
+            raise ValueError(
+                f"task needs {amount_ghz} GHz but pool {self.name!r} has "
+                f"{self.capacity_ghz}"
+            )
+        self._waiters.append((amount_ghz, duration, then))
+        self._pump()
+
+    def _pump(self) -> None:
+        while self._waiters:
+            amount, duration, then = self._waiters[0]
+            if self._in_use + amount > self.capacity_ghz * (1 + 1e-9):
+                return  # head of line does not fit yet
+            self._waiters.popleft()
+            self._in_use += amount
+            self.peak_ghz = max(self.peak_ghz, self._in_use)
+            self.ghz_seconds += amount * duration
+            then()
+            self._sim.schedule_in(duration, lambda a=amount: self._finish(a))
+
+    def _finish(self, amount: float) -> None:
+        self._in_use -= amount
+        if self._in_use < 0.0:
+            self._in_use = 0.0
+        self._pump()

@@ -1,0 +1,70 @@
+"""Two-tier edge-cloud topologies.
+
+This subpackage builds the network substrate of the paper's system model
+(Fig. 1): base stations, WMAN switches, edge cloudlets co-located with
+switches, and remote data centers reached through gateway switches, joined
+by links carrying a per-unit-data transmission delay.
+
+Generators
+----------
+* :func:`repro.topology.twotier.generate_two_tier` — random two-tier edge
+  clouds in the style the paper produces with GT-ITM (flat random linking
+  with probability 0.2, plus connectivity repair).
+* :func:`repro.topology.waxman.waxman_graph` — a from-scratch Waxman
+  generator (the other GT-ITM flat model), used in ablations.
+* :func:`repro.topology.testbed.digitalocean_testbed` — the geo-distributed
+  testbed of §4.3 (4 data-center VMs + 16 cloudlet VMs across San
+  Francisco, New York, Toronto and Singapore), with link delays derived
+  from great-circle distances.
+"""
+
+from repro.topology.nodes import NodeKind, NodeSpec
+from repro.topology.twotier import (
+    EdgeCloudTopology,
+    TwoTierConfig,
+    generate_two_tier,
+    example_figure1,
+)
+from repro.topology.waxman import waxman_graph, gnp_connected_graph
+from repro.topology.delays import (
+    DelayModel,
+    UniformLinkDelays,
+    DistanceLinkDelays,
+    assign_link_delays,
+)
+from repro.topology.geo import GeoPoint, great_circle_km, propagation_delay_s
+from repro.topology.testbed import TestbedConfig, digitalocean_testbed, REGIONS
+from repro.topology.transit_stub import TransitStubConfig, generate_transit_stub
+from repro.topology.render import (
+    render_summary,
+    render_map,
+    render_adjacency,
+    render_topology,
+)
+
+__all__ = [
+    "NodeKind",
+    "NodeSpec",
+    "EdgeCloudTopology",
+    "TwoTierConfig",
+    "generate_two_tier",
+    "example_figure1",
+    "waxman_graph",
+    "gnp_connected_graph",
+    "DelayModel",
+    "UniformLinkDelays",
+    "DistanceLinkDelays",
+    "assign_link_delays",
+    "GeoPoint",
+    "great_circle_km",
+    "propagation_delay_s",
+    "TestbedConfig",
+    "digitalocean_testbed",
+    "REGIONS",
+    "TransitStubConfig",
+    "generate_transit_stub",
+    "render_summary",
+    "render_map",
+    "render_adjacency",
+    "render_topology",
+]

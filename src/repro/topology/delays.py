@@ -1,0 +1,125 @@
+"""Link-delay assignment models.
+
+Each link ``e`` carries a per-unit-data transmission delay ``dt(e)`` in
+seconds per GB (§2.1).  The paper draws topologies with GT-ITM and assigns
+delays implicitly through "transfer delay in real cables"; we provide two
+concrete models:
+
+* :class:`UniformLinkDelays` — delay drawn uniformly per link class
+  (WMAN-internal links are fast; gateway→data-center links cross the
+  Internet and are an order of magnitude slower).  This is the default for
+  the simulation experiments.
+* :class:`DistanceLinkDelays` — delay proportional to Euclidean distance
+  between endpoints plus a per-hop constant; used for geo testbeds and
+  ablations where layout matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from repro.topology.nodes import NodeKind, NodeSpec
+from repro.util.validation import check_non_negative, check_positive
+
+__all__ = [
+    "DelayModel",
+    "UniformLinkDelays",
+    "DistanceLinkDelays",
+    "assign_link_delays",
+    "is_internet_link",
+]
+
+
+def is_internet_link(a: NodeSpec, b: NodeSpec) -> bool:
+    """Whether the link between ``a`` and ``b`` crosses the Internet.
+
+    In the two-tier model, any link incident to a data center traverses the
+    wide-area Internet via a gateway; everything else stays inside the WMAN.
+    """
+    return NodeKind.DATA_CENTER in (a.kind, b.kind)
+
+
+class DelayModel(Protocol):
+    """Strategy producing ``dt(e)`` for a link between two nodes."""
+
+    def link_delay(
+        self, a: NodeSpec, b: NodeSpec, rng: np.random.Generator
+    ) -> float:
+        """Per-unit-data delay in seconds/GB for link ``(a, b)``."""
+        ...
+
+
+@dataclass(frozen=True)
+class UniformLinkDelays:
+    """Uniform per-class link delays (the simulation default).
+
+    Attributes
+    ----------
+    wman_low, wman_high:
+        Delay range (s/GB) for links inside the WMAN (switch/cloudlet/BS).
+    internet_low, internet_high:
+        Delay range (s/GB) for gateway→data-center links.
+    """
+
+    wman_low: float = 0.01
+    wman_high: float = 0.05
+    internet_low: float = 0.30
+    internet_high: float = 0.55
+
+    def __post_init__(self) -> None:
+        check_positive("wman_low", self.wman_low)
+        check_positive("internet_low", self.internet_low)
+        if self.wman_high < self.wman_low:
+            raise ValueError("wman_high must be >= wman_low")
+        if self.internet_high < self.internet_low:
+            raise ValueError("internet_high must be >= internet_low")
+
+    def link_delay(self, a: NodeSpec, b: NodeSpec, rng: np.random.Generator) -> float:
+        if is_internet_link(a, b):
+            return float(rng.uniform(self.internet_low, self.internet_high))
+        return float(rng.uniform(self.wman_low, self.wman_high))
+
+
+@dataclass(frozen=True)
+class DistanceLinkDelays:
+    """Link delay proportional to Euclidean distance between endpoints.
+
+    ``dt(e) = base + per_unit_distance * dist(a, b)``, with an extra
+    ``internet_penalty`` added on Internet links.
+    """
+
+    base: float = 0.005
+    per_unit_distance: float = 0.05
+    internet_penalty: float = 0.10
+
+    def __post_init__(self) -> None:
+        check_positive("base", self.base)
+        check_non_negative("per_unit_distance", self.per_unit_distance)
+        check_non_negative("internet_penalty", self.internet_penalty)
+
+    def link_delay(self, a: NodeSpec, b: NodeSpec, rng: np.random.Generator) -> float:
+        dist = float(np.hypot(a.x - b.x, a.y - b.y))
+        delay = self.base + self.per_unit_distance * dist
+        if is_internet_link(a, b):
+            delay += self.internet_penalty
+        return delay
+
+
+def assign_link_delays(
+    nodes: list[NodeSpec],
+    edges: list[tuple[int, int]],
+    model: DelayModel,
+    rng: np.random.Generator,
+) -> dict[tuple[int, int], float]:
+    """Assign a delay to every edge under ``model``.
+
+    Returns a dict keyed by the normalised ``(min(u, v), max(u, v))`` pair.
+    """
+    delays: dict[tuple[int, int], float] = {}
+    for u, v in edges:
+        key = (u, v) if u < v else (v, u)
+        delays[key] = model.link_delay(nodes[u], nodes[v], rng)
+    return delays

@@ -1,0 +1,85 @@
+"""Geographic helpers for the geo-distributed testbed.
+
+The §4.3 testbed leases VMs in San Francisco, New York, Toronto and
+Singapore.  The only way geography enters the algorithms is through
+inter-node delay, so we model it from first principles: great-circle
+distance → propagation delay at roughly two-thirds the speed of light in
+fibre, plus a serialisation component per GB set by the link bandwidth.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.util.validation import check_in_range, check_positive
+
+__all__ = ["GeoPoint", "great_circle_km", "propagation_delay_s", "transfer_delay_s_per_gb"]
+
+#: Mean Earth radius (km).
+EARTH_RADIUS_KM = 6371.0
+
+#: Effective signal speed in optical fibre (km/s), ≈ 2/3 of c.
+FIBRE_SPEED_KM_S = 2.0e5
+
+#: Routing inflation factor: real paths are not great circles.
+PATH_STRETCH = 1.4
+
+
+@dataclass(frozen=True)
+class GeoPoint:
+    """A latitude/longitude pair in degrees."""
+
+    lat: float
+    lon: float
+
+    def __post_init__(self) -> None:
+        check_in_range("lat", self.lat, -90.0, 90.0)
+        check_in_range("lon", self.lon, -180.0, 180.0)
+
+
+def great_circle_km(a: GeoPoint, b: GeoPoint) -> float:
+    """Great-circle distance between two points (haversine formula).
+
+    >>> sf = GeoPoint(37.77, -122.42); nyc = GeoPoint(40.71, -74.01)
+    >>> 4000 < great_circle_km(sf, nyc) < 4200
+    True
+    """
+    phi1, phi2 = math.radians(a.lat), math.radians(b.lat)
+    dphi = phi2 - phi1
+    dlam = math.radians(b.lon - a.lon)
+    h = math.sin(dphi / 2.0) ** 2 + math.cos(phi1) * math.cos(phi2) * math.sin(dlam / 2.0) ** 2
+    return 2.0 * EARTH_RADIUS_KM * math.asin(math.sqrt(h))
+
+
+def propagation_delay_s(a: GeoPoint, b: GeoPoint) -> float:
+    """One-way propagation delay between two points over stretched fibre."""
+    return PATH_STRETCH * great_circle_km(a, b) / FIBRE_SPEED_KM_S
+
+
+def transfer_delay_s_per_gb(
+    a: GeoPoint,
+    b: GeoPoint,
+    *,
+    bandwidth_gbps: float = 1.0,
+    rtt_handshakes: float = 8.0,
+) -> float:
+    """Per-GB transfer delay between two geographic points.
+
+    The per-unit-data delay ``dt(e)`` of §2.1 combines serialisation at the
+    link bandwidth with a propagation term amortised over the transfer
+    (long-haul TCP pays several round trips per flow; ``rtt_handshakes``
+    controls how many are charged per GB).
+
+    Parameters
+    ----------
+    bandwidth_gbps:
+        Link bandwidth in gigabits per second.
+    rtt_handshakes:
+        Propagation round-trips charged per GB transferred.
+    """
+    check_positive("bandwidth_gbps", bandwidth_gbps)
+    check_positive("rtt_handshakes", rtt_handshakes)
+    serialisation = 8.0 / bandwidth_gbps  # seconds to push one GB
+    propagation = 2.0 * propagation_delay_s(a, b) * rtt_handshakes
+    return serialisation + propagation

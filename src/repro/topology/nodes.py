@@ -1,0 +1,93 @@
+"""Node taxonomy for the two-tier edge cloud.
+
+The paper's system model distinguishes four node roles.  Only cloudlets and
+data centers are *placement nodes* (they hold dataset replicas and evaluate
+queries); switches and base stations participate in routing and user
+attachment respectively.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.util.validation import check_non_negative, check_positive
+
+__all__ = ["NodeKind", "NodeSpec"]
+
+
+class NodeKind(enum.Enum):
+    """Role of a node in the two-tier edge cloud ``G = (BS ∪ SW ∪ CL ∪ DC, E)``."""
+
+    BASE_STATION = "base_station"
+    SWITCH = "switch"
+    CLOUDLET = "cloudlet"
+    DATA_CENTER = "data_center"
+
+    @property
+    def is_placement(self) -> bool:
+        """Whether this kind of node may hold replicas and evaluate queries."""
+        return self in (NodeKind.CLOUDLET, NodeKind.DATA_CENTER)
+
+    @property
+    def short(self) -> str:
+        """Two-letter prefix used in display names (``dc``, ``cl``, ``sw``, ``bs``)."""
+        return {
+            NodeKind.BASE_STATION: "bs",
+            NodeKind.SWITCH: "sw",
+            NodeKind.CLOUDLET: "cl",
+            NodeKind.DATA_CENTER: "dc",
+        }[self]
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Immutable description of one node.
+
+    Attributes
+    ----------
+    node_id:
+        Dense integer id, unique within a topology.
+    kind:
+        Role of the node.
+    name:
+        Human-readable name such as ``"dc0"`` or ``"cl17"``.
+    capacity_ghz:
+        Computing capacity ``B(v)`` in GHz.  Zero for non-placement nodes.
+    proc_delay_s_per_gb:
+        Per-unit-data processing delay ``d(v)`` in seconds per GB.  Zero for
+        non-placement nodes.
+    x, y:
+        Layout coordinates (unit square for synthetic topologies; longitude
+        and latitude for geo testbeds).  Used by distance-based delay models.
+    region:
+        Optional region label for geo testbeds (e.g. ``"nyc"``).
+    """
+
+    node_id: int
+    kind: NodeKind
+    name: str
+    capacity_ghz: float = 0.0
+    proc_delay_s_per_gb: float = 0.0
+    x: float = 0.0
+    y: float = 0.0
+    region: str = ""
+
+    def __post_init__(self) -> None:
+        check_non_negative("capacity_ghz", self.capacity_ghz)
+        check_non_negative("proc_delay_s_per_gb", self.proc_delay_s_per_gb)
+        if self.kind.is_placement:
+            check_positive("capacity_ghz (placement node)", self.capacity_ghz)
+            check_positive(
+                "proc_delay_s_per_gb (placement node)", self.proc_delay_s_per_gb
+            )
+        elif self.capacity_ghz != 0.0:
+            raise ValueError(
+                f"non-placement node {self.name!r} must have zero capacity, "
+                f"got {self.capacity_ghz}"
+            )
+
+    @property
+    def is_placement(self) -> bool:
+        """Whether this node may hold replicas and evaluate queries."""
+        return self.kind.is_placement

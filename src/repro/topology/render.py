@@ -1,0 +1,109 @@
+"""Text rendering of edge-cloud topologies (Figs. 1 and 6, in ASCII).
+
+The paper's Fig. 1 (system model) and Fig. 6 (testbed) are diagrams; this
+module renders any :class:`~repro.topology.twotier.EdgeCloudTopology` as
+
+* a roster/summary block (per-tier counts, capacity totals, delay ranges),
+* a coordinate map — nodes plotted on a character grid by their layout
+  coordinates, labelled ``D``/``c``/``s``/``b`` per role,
+* an adjacency sketch for small topologies (each node's neighbours).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.topology.nodes import NodeKind
+from repro.topology.twotier import EdgeCloudTopology
+from repro.util.validation import check_positive
+
+__all__ = ["render_summary", "render_map", "render_adjacency", "render_topology"]
+
+_GLYPH = {
+    NodeKind.DATA_CENTER: "D",
+    NodeKind.CLOUDLET: "c",
+    NodeKind.SWITCH: "s",
+    NodeKind.BASE_STATION: "b",
+}
+
+
+def render_summary(topology: EdgeCloudTopology) -> str:
+    """Per-tier roster with capacity and delay statistics."""
+    delays = list(topology.link_delays.values())
+    lines = ["=== topology summary ==="]
+    for kind in NodeKind:
+        ids = topology.of_kind(kind)
+        if not ids:
+            continue
+        line = f"{kind.value:13s}: {len(ids):3d}"
+        if kind.is_placement:
+            caps = [topology.capacity(v) for v in ids]
+            line += (
+                f"  capacity {sum(caps):8.1f} GHz "
+                f"(min {min(caps):6.1f}, max {max(caps):6.1f})"
+            )
+        lines.append(line)
+    lines.append(
+        f"links        : {topology.num_edges:3d}  "
+        f"dt(e) ∈ [{min(delays):.3f}, {max(delays):.3f}] s/GB"
+        if delays
+        else "links        :   0"
+    )
+    return "\n".join(lines)
+
+
+def render_map(
+    topology: EdgeCloudTopology, *, width: int = 60, height: int = 20
+) -> str:
+    """Plot nodes on a character grid by their layout coordinates.
+
+    Data centers = ``D``, cloudlets = ``c``, switches = ``s``, base
+    stations = ``b``; collisions keep the most "important" glyph
+    (D > s > c > b).
+    """
+    check_positive("width", width)
+    check_positive("height", height)
+    xs = np.array([s.x for s in topology.nodes])
+    ys = np.array([s.y for s in topology.nodes])
+    x_lo, x_hi = float(xs.min()), float(xs.max())
+    y_lo, y_hi = float(ys.min()), float(ys.max())
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    priority = {"D": 3, "s": 2, "c": 1, "b": 0}
+    for spec in topology.nodes:
+        col = int((spec.x - x_lo) / x_span * (width - 1))
+        row = int((y_hi - spec.y) / y_span * (height - 1))
+        glyph = _GLYPH[spec.kind]
+        if priority[glyph] >= priority.get(grid[row][col], -1):
+            grid[row][col] = glyph
+    border = "+" + "-" * width + "+"
+    body = "\n".join("|" + "".join(row) + "|" for row in grid)
+    legend = "D=data center  c=cloudlet  s=switch  b=base station"
+    return f"{border}\n{body}\n{border}\n{legend}"
+
+
+def render_adjacency(topology: EdgeCloudTopology, *, max_nodes: int = 40) -> str:
+    """Per-node neighbour lists (small topologies only)."""
+    check_positive("max_nodes", max_nodes)
+    if topology.num_nodes > max_nodes:
+        return (
+            f"(adjacency omitted: {topology.num_nodes} nodes "
+            f"> max_nodes={max_nodes})"
+        )
+    lines = ["=== adjacency ==="]
+    for spec in topology.nodes:
+        neighbours = sorted(topology.graph.neighbors(spec.node_id))
+        names = ", ".join(topology.spec(v).name for v in neighbours)
+        lines.append(f"{spec.name:8s} — {names}")
+    return "\n".join(lines)
+
+
+def render_topology(topology: EdgeCloudTopology) -> str:
+    """Summary + map + (small-topology) adjacency in one report."""
+    parts = [render_summary(topology), "", render_map(topology)]
+    adjacency = render_adjacency(topology)
+    if not adjacency.startswith("(adjacency omitted"):
+        parts += ["", adjacency]
+    return "\n".join(parts)

@@ -1,0 +1,158 @@
+"""Geo-distributed testbed topology (paper §4.3).
+
+The paper leases 20 DigitalOcean VMs — 4 acting as data centers and 16 as
+cloudlets — across San Francisco, New York, Toronto and Singapore, plus a
+local controller and two switches (Fig. 6).  The algorithms only observe
+node capacities and inter-node delays, so we reconstruct the testbed from
+public geography: every VM attaches to one of the two lab switches, and the
+switch→VM link delay is derived from the great-circle distance between the
+lab and the VM's region (see :mod:`repro.topology.geo`).  Data-center VMs
+pay an extra wide-area penalty, preserving the two-tier structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.topology.geo import GeoPoint, transfer_delay_s_per_gb
+from repro.topology.nodes import NodeKind, NodeSpec
+from repro.topology.twotier import EdgeCloudTopology
+from repro.util.rng import spawn_rng
+from repro.util.validation import ValidationError, check_positive
+
+__all__ = ["REGIONS", "LAB_LOCATION", "TestbedConfig", "digitalocean_testbed"]
+
+#: DigitalOcean regions used in §4.3, with approximate coordinates.
+REGIONS: dict[str, GeoPoint] = {
+    "sfo": GeoPoint(37.77, -122.42),   # San Francisco
+    "nyc": GeoPoint(40.71, -74.01),    # New York
+    "tor": GeoPoint(43.65, -79.38),    # Toronto
+    "sgp": GeoPoint(1.35, 103.82),     # Singapore
+}
+
+#: The controller / switches sit in the authors' lab (Dalian, China).
+LAB_LOCATION = GeoPoint(38.91, 121.60)
+
+
+@dataclass(frozen=True)
+class TestbedConfig:
+    """Parameters of the emulated DigitalOcean testbed.
+
+    Defaults reproduce §4.3: 4 data-center VMs (one per region), 16
+    cloudlet VMs (four per region) and 2 switches.  VM capacities keep the
+    simulation's DC≫cloudlet ratio at leased-VM scale.
+    """
+
+    cloudlets_per_region: int = 4
+    data_centers_per_region: int = 1
+    num_switches: int = 2
+    dc_capacity: tuple[float, float] = (50.0, 100.0)
+    cl_capacity: tuple[float, float] = (4.0, 8.0)
+    dc_proc_delay: tuple[float, float] = (0.01, 0.03)
+    cl_proc_delay: tuple[float, float] = (0.03, 0.10)
+    lan_delay_s_per_gb: float = 0.004
+    wan_bandwidth_gbps: float = 1.0
+    dc_extra_delay_s_per_gb: float = 0.05
+
+    def __post_init__(self) -> None:
+        check_positive("cloudlets_per_region", self.cloudlets_per_region)
+        check_positive("data_centers_per_region", self.data_centers_per_region)
+        check_positive("num_switches", self.num_switches)
+        check_positive("lan_delay_s_per_gb", self.lan_delay_s_per_gb)
+        for name in ("dc_capacity", "cl_capacity", "dc_proc_delay", "cl_proc_delay"):
+            low, high = getattr(self, name)
+            check_positive(f"{name}[0]", low)
+            if high < low:
+                raise ValidationError(f"{name} range is inverted: ({low}, {high})")
+
+
+def digitalocean_testbed(
+    config: TestbedConfig | None = None,
+    *,
+    seed: int = 0,
+    regions: dict[str, GeoPoint] | None = None,
+) -> EdgeCloudTopology:
+    """Build the emulated §4.3 testbed as an :class:`EdgeCloudTopology`.
+
+    Every VM connects to both lab switches (redundant uplinks, as in the
+    paper's Fig. 6); the switches are bridged by a LAN link.  The per-GB
+    delay of a VM's uplink is the geographic transfer delay from the lab to
+    the VM's region, with the wide-area penalty added for data-center VMs.
+
+    Parameters
+    ----------
+    config:
+        Testbed shape and capacity parameters.
+    seed:
+        Seed for capacity/processing-delay draws (geography is fixed).
+    regions:
+        Override the region map (name → location); defaults to §4.3's four.
+    """
+    config = config or TestbedConfig()
+    regions = regions or REGIONS
+    rng = spawn_rng(seed, "testbed/capacities")
+
+    specs: list[NodeSpec] = []
+    nid = 0
+    for region_name, point in regions.items():
+        for i in range(config.data_centers_per_region):
+            specs.append(
+                NodeSpec(
+                    node_id=nid,
+                    kind=NodeKind.DATA_CENTER,
+                    name=f"dc-{region_name}{i}",
+                    capacity_ghz=float(rng.uniform(*config.dc_capacity)),
+                    proc_delay_s_per_gb=float(rng.uniform(*config.dc_proc_delay)),
+                    x=point.lon,
+                    y=point.lat,
+                    region=region_name,
+                )
+            )
+            nid += 1
+        for i in range(config.cloudlets_per_region):
+            specs.append(
+                NodeSpec(
+                    node_id=nid,
+                    kind=NodeKind.CLOUDLET,
+                    name=f"cl-{region_name}{i}",
+                    capacity_ghz=float(rng.uniform(*config.cl_capacity)),
+                    proc_delay_s_per_gb=float(rng.uniform(*config.cl_proc_delay)),
+                    x=point.lon,
+                    y=point.lat,
+                    region=region_name,
+                )
+            )
+            nid += 1
+
+    switch_ids: list[int] = []
+    for i in range(config.num_switches):
+        specs.append(
+            NodeSpec(
+                node_id=nid,
+                kind=NodeKind.SWITCH,
+                name=f"sw{i}",
+                x=LAB_LOCATION.lon,
+                y=LAB_LOCATION.lat,
+                region="lab",
+            )
+        )
+        switch_ids.append(nid)
+        nid += 1
+
+    delays: dict[tuple[int, int], float] = {}
+    # Bridge the switches with a LAN link.
+    for a, b in zip(switch_ids, switch_ids[1:]):
+        delays[(a, b)] = config.lan_delay_s_per_gb
+    # Uplink every VM to every switch.
+    for s in specs:
+        if s.kind is NodeKind.SWITCH:
+            continue
+        wan = transfer_delay_s_per_gb(
+            LAB_LOCATION, regions[s.region], bandwidth_gbps=config.wan_bandwidth_gbps
+        )
+        if s.kind is NodeKind.DATA_CENTER:
+            wan += config.dc_extra_delay_s_per_gb
+        for sw in switch_ids:
+            key = (min(s.node_id, sw), max(s.node_id, sw))
+            delays[key] = wan
+    return EdgeCloudTopology(specs, delays)

@@ -1,0 +1,181 @@
+"""GT-ITM transit-stub topologies for the two-tier edge cloud.
+
+The paper generates topologies "by the GT-ITM tool" [8].  Besides the flat
+random model (:mod:`repro.topology.waxman`, the evaluation default), GT-ITM
+is best known for its hierarchical **transit-stub** model [Zegura et al.
+1996]: a connected transit core, each transit node sponsoring several stub
+domains.  This module provides that model as an alternative generator for
+robustness studies: transit nodes become the WMAN switch fabric, stub
+domains become cloudlet clusters, and data centers hang off randomly
+chosen transit nodes through gateway links.
+
+The structural difference from the flat model — stub traffic must climb
+into the transit core to reach other domains — lengthens inter-domain
+paths and strengthens locality, which is exactly the property ablations
+want to vary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.topology.delays import DelayModel, UniformLinkDelays, assign_link_delays
+from repro.topology.nodes import NodeKind, NodeSpec
+from repro.topology.twotier import EdgeCloudTopology
+from repro.topology.waxman import gnp_connected_graph
+from repro.util.rng import spawn_rng
+from repro.util.validation import ValidationError, check_fraction, check_positive
+
+__all__ = ["TransitStubConfig", "generate_transit_stub"]
+
+
+@dataclass(frozen=True)
+class TransitStubConfig:
+    """Parameters of the transit-stub construction.
+
+    Attributes
+    ----------
+    num_transit:
+        Switches in the transit core (connected G(n, p) among themselves).
+    stubs_per_transit:
+        Stub domains sponsored by each transit node.
+    cloudlets_per_stub:
+        Cloudlets per stub domain (connected G(n, p) internally, one
+        uplink to the sponsoring transit node).
+    num_data_centers:
+        Data centers, each attached to one random transit node.
+    transit_link_prob, stub_link_prob:
+        Intra-core / intra-stub connectivity.
+    capacity and processing-delay ranges:
+        As in :class:`~repro.topology.twotier.TwoTierConfig`.
+    """
+
+    num_transit: int = 4
+    stubs_per_transit: int = 2
+    cloudlets_per_stub: int = 3
+    num_data_centers: int = 6
+    transit_link_prob: float = 0.5
+    stub_link_prob: float = 0.6
+    dc_capacity: tuple[float, float] = (200.0, 700.0)
+    cl_capacity: tuple[float, float] = (8.0, 16.0)
+    dc_proc_delay: tuple[float, float] = (0.005, 0.02)
+    cl_proc_delay: tuple[float, float] = (0.02, 0.08)
+    delay_model: DelayModel = field(default_factory=UniformLinkDelays)
+
+    def __post_init__(self) -> None:
+        check_positive("num_transit", self.num_transit)
+        check_positive("stubs_per_transit", self.stubs_per_transit)
+        check_positive("cloudlets_per_stub", self.cloudlets_per_stub)
+        check_positive("num_data_centers", self.num_data_centers)
+        check_fraction("transit_link_prob", self.transit_link_prob)
+        check_fraction("stub_link_prob", self.stub_link_prob)
+        for name in ("dc_capacity", "cl_capacity", "dc_proc_delay", "cl_proc_delay"):
+            low, high = getattr(self, name)
+            check_positive(f"{name}[0]", low)
+            if high < low:
+                raise ValidationError(f"{name} range is inverted: ({low}, {high})")
+
+    @property
+    def num_cloudlets(self) -> int:
+        """Total cloudlets across all stub domains."""
+        return self.num_transit * self.stubs_per_transit * self.cloudlets_per_stub
+
+
+def generate_transit_stub(
+    config: TransitStubConfig | None = None,
+    *,
+    seed: int = 0,
+) -> EdgeCloudTopology:
+    """Generate a transit-stub two-tier edge cloud.
+
+    Layout: transit switches on an inner ring, each stub domain's
+    cloudlets clustered around its sponsor, data centers on an outer ring
+    (so distance-based delay models see the hierarchy).
+    """
+    config = config or TransitStubConfig()
+    rng = spawn_rng(seed, "transit-stub/nodes")
+    rng_links = spawn_rng(seed, "transit-stub/links")
+    rng_delays = spawn_rng(seed, "transit-stub/delays")
+
+    specs: list[NodeSpec] = []
+    nid = 0
+
+    # Transit core on an inner ring.
+    transit_ids: list[int] = []
+    for t in range(config.num_transit):
+        angle = 2.0 * np.pi * t / config.num_transit
+        specs.append(
+            NodeSpec(
+                node_id=nid,
+                kind=NodeKind.SWITCH,
+                name=f"transit{t}",
+                x=0.5 + 0.2 * np.cos(angle),
+                y=0.5 + 0.2 * np.sin(angle),
+            )
+        )
+        transit_ids.append(nid)
+        nid += 1
+
+    edges: list[tuple[int, int]] = []
+    core_positions = np.array([[specs[i].x, specs[i].y] for i in transit_ids])
+    _, core_edges = gnp_connected_graph(
+        config.num_transit, config.transit_link_prob, rng_links, core_positions
+    )
+    edges.extend((transit_ids[u], transit_ids[v]) for u, v in core_edges)
+
+    # Stub domains: cloudlet clusters, internally connected, one uplink.
+    for t, sponsor in enumerate(transit_ids):
+        for s in range(config.stubs_per_transit):
+            base_angle = 2.0 * np.pi * (
+                t * config.stubs_per_transit + s
+            ) / (config.num_transit * config.stubs_per_transit)
+            cx = 0.5 + 0.42 * np.cos(base_angle)
+            cy = 0.5 + 0.42 * np.sin(base_angle)
+            stub_ids: list[int] = []
+            for c in range(config.cloudlets_per_stub):
+                specs.append(
+                    NodeSpec(
+                        node_id=nid,
+                        kind=NodeKind.CLOUDLET,
+                        name=f"cl-t{t}s{s}c{c}",
+                        capacity_ghz=float(rng.uniform(*config.cl_capacity)),
+                        proc_delay_s_per_gb=float(
+                            rng.uniform(*config.cl_proc_delay)
+                        ),
+                        x=cx + float(rng.normal(0.0, 0.03)),
+                        y=cy + float(rng.normal(0.0, 0.03)),
+                    )
+                )
+                stub_ids.append(nid)
+                nid += 1
+            positions = np.array([[specs[i].x, specs[i].y] for i in stub_ids])
+            _, stub_edges = gnp_connected_graph(
+                len(stub_ids), config.stub_link_prob, rng_links, positions
+            )
+            edges.extend((stub_ids[u], stub_ids[v]) for u, v in stub_edges)
+            # Exactly one stub→transit uplink (the transit-stub signature).
+            uplink = stub_ids[int(rng_links.integers(len(stub_ids)))]
+            edges.append((sponsor, uplink))
+
+    # Data centers on an outer ring, one gateway link each.
+    for d in range(config.num_data_centers):
+        angle = 2.0 * np.pi * d / config.num_data_centers
+        specs.append(
+            NodeSpec(
+                node_id=nid,
+                kind=NodeKind.DATA_CENTER,
+                name=f"dc{d}",
+                capacity_ghz=float(rng.uniform(*config.dc_capacity)),
+                proc_delay_s_per_gb=float(rng.uniform(*config.dc_proc_delay)),
+                x=0.5 + 2.0 * np.cos(angle),
+                y=0.5 + 2.0 * np.sin(angle),
+            )
+        )
+        gateway = transit_ids[int(rng_links.integers(len(transit_ids)))]
+        edges.append((gateway, nid))
+        nid += 1
+
+    delays = assign_link_delays(specs, edges, config.delay_model, rng_delays)
+    return EdgeCloudTopology(specs, delays)

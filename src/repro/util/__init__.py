@@ -1,0 +1,48 @@
+"""Shared utilities: seeded RNG management, unit helpers, validation.
+
+These helpers are deliberately dependency-light; every other subpackage may
+import from here, but :mod:`repro.util` imports nothing from the rest of the
+library.
+"""
+
+from repro.util.rng import RngStream, spawn_rng, derive_seed
+from repro.util.units import (
+    GB,
+    GHZ,
+    MS,
+    gb,
+    ghz,
+    ms_to_s,
+    s_to_ms,
+    format_volume,
+    format_delay,
+)
+from repro.util.validation import (
+    check_positive,
+    check_non_negative,
+    check_fraction,
+    check_in_range,
+    check_type,
+    ValidationError,
+)
+
+__all__ = [
+    "RngStream",
+    "spawn_rng",
+    "derive_seed",
+    "GB",
+    "GHZ",
+    "MS",
+    "gb",
+    "ghz",
+    "ms_to_s",
+    "s_to_ms",
+    "format_volume",
+    "format_delay",
+    "check_positive",
+    "check_non_negative",
+    "check_fraction",
+    "check_in_range",
+    "check_type",
+    "ValidationError",
+]

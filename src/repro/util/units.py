@@ -1,0 +1,88 @@
+"""Unit conventions used throughout the library.
+
+The paper's quantities and the units we adopt:
+
+===========================  =======================================
+Quantity                     Unit
+===========================  =======================================
+Dataset volume ``|S_n|``     gigabytes (GB)
+Compute capacity ``B(v)``    gigahertz (GHz)
+Compute rate ``r_m``         GHz allocated per GB scanned
+Processing delay ``d(v)``    seconds per GB
+Link delay ``dt(e)``         seconds per GB transferred on the link
+Deadline ``d_qm``            seconds
+===========================  =======================================
+
+All internal arithmetic is in these base units (GB, GHz, seconds); the
+constants and helpers here exist to make call sites self-documenting and to
+render human-readable reports.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "GB",
+    "GHZ",
+    "MS",
+    "gb",
+    "ghz",
+    "ms_to_s",
+    "s_to_ms",
+    "format_volume",
+    "format_delay",
+]
+
+#: One gigabyte, the base volume unit.
+GB: float = 1.0
+
+#: One gigahertz, the base compute unit.
+GHZ: float = 1.0
+
+#: One millisecond expressed in the base time unit (seconds).
+MS: float = 1e-3
+
+
+def gb(value: float) -> float:
+    """Express ``value`` gigabytes in base volume units (identity helper)."""
+    return value * GB
+
+
+def ghz(value: float) -> float:
+    """Express ``value`` gigahertz in base compute units (identity helper)."""
+    return value * GHZ
+
+
+def ms_to_s(value_ms: float) -> float:
+    """Convert milliseconds to seconds."""
+    return value_ms * MS
+
+
+def s_to_ms(value_s: float) -> float:
+    """Convert seconds to milliseconds."""
+    return value_s / MS
+
+
+def format_volume(volume_gb: float) -> str:
+    """Render a volume as a compact human-readable string.
+
+    >>> format_volume(3.0)
+    '3.00 GB'
+    >>> format_volume(2048.0)
+    '2.00 TB'
+    """
+    if volume_gb >= 1024.0:
+        return f"{volume_gb / 1024.0:.2f} TB"
+    return f"{volume_gb:.2f} GB"
+
+
+def format_delay(delay_s: float) -> str:
+    """Render a delay as a compact human-readable string.
+
+    >>> format_delay(0.0425)
+    '42.5 ms'
+    >>> format_delay(3.5)
+    '3.50 s'
+    """
+    if delay_s < 1.0:
+        return f"{s_to_ms(delay_s):.1f} ms"
+    return f"{delay_s:.2f} s"

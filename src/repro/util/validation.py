@@ -1,0 +1,63 @@
+"""Argument validation helpers.
+
+The library validates aggressively at construction boundaries (problem
+instances, topologies, workloads) so that algorithm code can assume clean
+inputs and stay branch-free on hot paths, per the optimisation guidance of
+"make it work reliably before making it fast".
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = [
+    "ValidationError",
+    "check_positive",
+    "check_non_negative",
+    "check_fraction",
+    "check_in_range",
+    "check_type",
+]
+
+
+class ValidationError(ValueError):
+    """Raised when a constructor argument violates the library's contracts."""
+
+
+def check_positive(name: str, value: float) -> float:
+    """Require ``value > 0``; return it for chaining."""
+    if not value > 0:
+        raise ValidationError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Require ``value >= 0``; return it for chaining."""
+    if not value >= 0:
+        raise ValidationError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_fraction(name: str, value: float, *, inclusive_low: bool = False) -> float:
+    """Require ``value`` in ``(0, 1]`` (or ``[0, 1]`` with ``inclusive_low``)."""
+    low_ok = value >= 0 if inclusive_low else value > 0
+    if not (low_ok and value <= 1):
+        bracket = "[0, 1]" if inclusive_low else "(0, 1]"
+        raise ValidationError(f"{name} must be in {bracket}, got {value!r}")
+    return value
+
+
+def check_in_range(name: str, value: float, low: float, high: float) -> float:
+    """Require ``low <= value <= high``; return it for chaining."""
+    if not (low <= value <= high):
+        raise ValidationError(f"{name} must be in [{low}, {high}], got {value!r}")
+    return value
+
+
+def check_type(name: str, value: Any, expected: type) -> Any:
+    """Require ``isinstance(value, expected)``; return it for chaining."""
+    if not isinstance(value, expected):
+        raise ValidationError(
+            f"{name} must be {expected.__name__}, got {type(value).__name__}"
+        )
+    return value

@@ -1,0 +1,80 @@
+"""Workload generation: datasets, queries, and the mobile-usage trace.
+
+Two workload families are provided:
+
+* **Parametric** (§4.1) — datasets and queries drawn from the paper's
+  simulation ranges (:class:`repro.workload.params.PaperDefaults`), via
+  :func:`repro.workload.datasets.generate_datasets` and
+  :func:`repro.workload.queries.generate_queries`.
+* **Trace-driven** (§4.3) — a synthetic mobile-app usage trace standing in
+  for the paper's proprietary 3M-user dataset
+  (:mod:`repro.workload.trace`), split into datasets by creation time, with
+  the paper's three analytics query families actually executable over it
+  (:mod:`repro.workload.analytics`).
+"""
+
+from repro.workload.params import PaperDefaults
+from repro.workload.datasets import generate_datasets
+from repro.workload.queries import generate_queries, generate_workload
+from repro.workload.trace import (
+    UsageTrace,
+    TraceConfig,
+    generate_usage_trace,
+    split_trace_by_time,
+)
+from repro.workload.arrivals import poisson_arrivals, diurnal_arrivals
+from repro.workload.summary import InstanceProfile, profile_instance, render_profile
+from repro.workload.scenarios import (
+    ScenarioInstance,
+    smart_city_scenario,
+    iot_telemetry_scenario,
+    media_analytics_scenario,
+)
+from repro.workload.queryplan import (
+    FilterOp,
+    AggregateOp,
+    QueryPlan,
+    execute_plan,
+    execute_distributed,
+    estimated_selectivity,
+)
+from repro.workload.analytics import (
+    AnalyticsQueryKind,
+    top_k_apps,
+    usage_by_hour,
+    app_usage_pattern,
+    execute_analytics,
+    trace_queries,
+)
+
+__all__ = [
+    "PaperDefaults",
+    "generate_datasets",
+    "generate_queries",
+    "generate_workload",
+    "UsageTrace",
+    "TraceConfig",
+    "generate_usage_trace",
+    "split_trace_by_time",
+    "AnalyticsQueryKind",
+    "top_k_apps",
+    "usage_by_hour",
+    "app_usage_pattern",
+    "execute_analytics",
+    "trace_queries",
+    "poisson_arrivals",
+    "diurnal_arrivals",
+    "InstanceProfile",
+    "profile_instance",
+    "render_profile",
+    "ScenarioInstance",
+    "smart_city_scenario",
+    "iot_telemetry_scenario",
+    "media_analytics_scenario",
+    "FilterOp",
+    "AggregateOp",
+    "QueryPlan",
+    "execute_plan",
+    "execute_distributed",
+    "estimated_selectivity",
+]

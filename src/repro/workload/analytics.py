@@ -1,0 +1,182 @@
+"""Executable analytics queries over the usage trace (§4.3).
+
+The paper's testbed issues three query families against the mobile-usage
+datasets: "the most popular applications, at what time the found
+applications would be used, and the usage pattern of some mobile
+applications".  We implement all three as vectorised NumPy aggregations so
+integration tests can verify a placement end-to-end: evaluating a query on
+*replicas* must produce exactly the result of evaluating it on the
+*original* datasets.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.types import Dataset, Query
+from repro.topology.twotier import EdgeCloudTopology
+from repro.util.validation import ValidationError, check_positive
+from repro.workload.params import PaperDefaults
+from repro.workload.queries import _draw_home
+from repro.workload.trace import UsageTrace
+
+__all__ = [
+    "AnalyticsQueryKind",
+    "top_k_apps",
+    "usage_by_hour",
+    "app_usage_pattern",
+    "execute_analytics",
+    "trace_queries",
+]
+
+
+class AnalyticsQueryKind(enum.Enum):
+    """The three §4.3 query families."""
+
+    TOP_K_APPS = "top_k_apps"
+    USAGE_BY_HOUR = "usage_by_hour"
+    APP_USAGE_PATTERN = "app_usage_pattern"
+
+
+def _gather(
+    trace: UsageTrace, segments: Sequence[tuple[int, int]], window_ids: Sequence[int]
+) -> np.ndarray:
+    """Event indices belonging to the demanded time windows."""
+    if not window_ids:
+        raise ValidationError("analytics query demands no trace windows")
+    parts = [np.arange(*segments[w]) for w in window_ids]
+    return np.concatenate(parts) if parts else np.empty(0, dtype=np.intp)
+
+
+def top_k_apps(
+    trace: UsageTrace,
+    segments: Sequence[tuple[int, int]],
+    window_ids: Sequence[int],
+    k: int = 10,
+) -> np.ndarray:
+    """Ids of the ``k`` most-used apps in the demanded windows.
+
+    Usage is measured in events; ties break toward the lower app id so the
+    result is deterministic.
+    """
+    check_positive("k", k)
+    idx = _gather(trace, segments, window_ids)
+    if idx.size == 0:
+        return np.empty(0, dtype=np.int64)
+    counts = np.bincount(trace.app[idx])
+    order = np.lexsort((np.arange(len(counts)), -counts))
+    return order[: min(k, int((counts > 0).sum()))].astype(np.int64)
+
+
+def usage_by_hour(
+    trace: UsageTrace,
+    segments: Sequence[tuple[int, int]],
+    window_ids: Sequence[int],
+    app: int | None = None,
+) -> np.ndarray:
+    """Event counts per hour-of-day (length-24 vector), optionally per app.
+
+    Answers "at what time the found applications would be used".
+    """
+    idx = _gather(trace, segments, window_ids)
+    if app is not None:
+        idx = idx[trace.app[idx] == app]
+    hours = ((trace.timestamp_s[idx] % 86400.0) // 3600.0).astype(np.intp)
+    return np.bincount(hours, minlength=24).astype(np.int64)
+
+
+def app_usage_pattern(
+    trace: UsageTrace,
+    segments: Sequence[tuple[int, int]],
+    window_ids: Sequence[int],
+    app: int,
+) -> np.ndarray:
+    """Total usage duration (seconds) per day for one app.
+
+    The vector spans from day 0 to the last day with any event in the
+    demanded windows.
+    """
+    idx = _gather(trace, segments, window_ids)
+    idx = idx[trace.app[idx] == app]
+    if idx.size == 0:
+        return np.zeros(0)
+    days = (trace.timestamp_s[idx] // 86400.0).astype(np.intp)
+    return np.bincount(days, weights=trace.duration_s[idx])
+
+
+def execute_analytics(
+    kind: AnalyticsQueryKind,
+    trace: UsageTrace,
+    segments: Sequence[tuple[int, int]],
+    window_ids: Sequence[int],
+    *,
+    k: int = 10,
+    app: int | None = None,
+) -> np.ndarray:
+    """Dispatch one analytics query and return its result array."""
+    if kind is AnalyticsQueryKind.TOP_K_APPS:
+        return top_k_apps(trace, segments, window_ids, k=k)
+    if kind is AnalyticsQueryKind.USAGE_BY_HOUR:
+        return usage_by_hour(trace, segments, window_ids, app=app)
+    if kind is AnalyticsQueryKind.APP_USAGE_PATTERN:
+        if app is None:
+            raise ValidationError("app_usage_pattern requires an app id")
+        return app_usage_pattern(trace, segments, window_ids, app=app)
+    raise ValidationError(f"unknown analytics kind: {kind}")  # pragma: no cover
+
+
+def trace_queries(
+    topology: EdgeCloudTopology,
+    datasets: dict[int, Dataset],
+    rng: np.random.Generator,
+    params: PaperDefaults | None = None,
+    *,
+    count: int = 50,
+) -> tuple[list[Query], list[AnalyticsQueryKind]]:
+    """Generate placement queries mirroring the §4.3 analytics workload.
+
+    Each query demands a *contiguous* run of time-window datasets (analytics
+    over a date range), with modest selectivity (aggregates ship partial
+    counts, not raw events).  Returns the queries plus the analytics kind of
+    each, so testbed runs can actually execute them.
+    """
+    params = params or PaperDefaults()
+    check_positive("count", count)
+    if not datasets:
+        raise ValidationError("trace_queries needs a non-empty dataset collection")
+    n = len(datasets)
+    kinds = list(AnalyticsQueryKind)
+    f_low, f_high = params.datasets_per_query
+    f_high = min(f_high, n)
+    f_low = min(f_low, f_high)
+
+    queries: list[Query] = []
+    chosen_kinds: list[AnalyticsQueryKind] = []
+    for m in range(count):
+        f = int(rng.integers(f_low, f_high + 1))
+        start = int(rng.integers(0, n - f + 1))
+        demanded = tuple(range(start, start + f))
+        # Aggregation queries ship compact partials: keep α in the lower
+        # half of the configured selectivity range.
+        a_lo, a_hi = params.selectivity
+        a_hi = a_lo + (a_hi - a_lo) / 2.0
+        selectivity = tuple(float(a) for a in rng.uniform(a_lo, a_hi, size=f))
+        pivot = max(datasets[d].volume_gb for d in demanded)
+        deadline = pivot * float(rng.uniform(*params.deadline_s_per_gb))
+        kind = kinds[int(rng.integers(len(kinds)))]
+        queries.append(
+            Query(
+                query_id=m,
+                home_node=_draw_home(topology, rng, params.cloudlet_home_fraction),
+                demanded=demanded,
+                selectivity=selectivity,
+                compute_rate=float(rng.uniform(*params.compute_rate)),
+                deadline_s=deadline,
+                name=f"{kind.value}-{m}",
+            )
+        )
+        chosen_kinds.append(kind)
+    return queries, chosen_kinds

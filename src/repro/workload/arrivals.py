@@ -1,0 +1,61 @@
+"""Arrival processes for online sessions.
+
+The batch experiments evaluate all queries at once; the online extension
+(:mod:`repro.core.online`) plays them as a stream.  This module supplies
+arrival processes:
+
+* :func:`poisson_arrivals` — homogeneous Poisson (the online default),
+* :func:`diurnal_arrivals` — an inhomogeneous process following the same
+  hour-of-day activity profile as the usage trace (evening peak), so
+  query load and data-generation load share a clock.
+
+Both return sorted absolute arrival times in seconds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import check_positive
+from repro.workload.trace import _DIURNAL_WEIGHTS
+
+__all__ = ["poisson_arrivals", "diurnal_arrivals"]
+
+
+def poisson_arrivals(
+    count: int,
+    mean_interarrival_s: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """``count`` homogeneous Poisson arrival times."""
+    check_positive("count", count)
+    check_positive("mean_interarrival_s", mean_interarrival_s)
+    return np.cumsum(rng.exponential(mean_interarrival_s, size=count))
+
+
+def diurnal_arrivals(
+    count: int,
+    span_s: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """``count`` arrivals over ``[0, span_s)`` following the diurnal profile.
+
+    Hours are drawn from the trace generator's hour-of-day weights
+    (morning bump, strong evening peak) repeated over as many days as
+    ``span_s`` covers; position within the hour is uniform.
+    """
+    check_positive("count", count)
+    check_positive("span_s", span_s)
+    num_days = max(1, int(np.ceil(span_s / 86_400.0)))
+    hour_weights = _DIURNAL_WEIGHTS / _DIURNAL_WEIGHTS.sum()
+    day = rng.integers(0, num_days, size=count)
+    hour = rng.choice(24, size=count, p=hour_weights)
+    within = rng.random(count) * 3600.0
+    times = day * 86_400.0 + hour * 3600.0 + within
+    times = times[times < span_s]
+    while times.size < count:  # top up draws clipped by the span
+        extra_day = rng.integers(0, num_days, size=count)
+        extra_hour = rng.choice(24, size=count, p=hour_weights)
+        extra = extra_day * 86_400.0 + extra_hour * 3600.0 + rng.random(count) * 3600.0
+        times = np.concatenate([times, extra[extra < span_s]])
+    return np.sort(times[:count])

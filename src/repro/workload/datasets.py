@@ -1,0 +1,74 @@
+"""Parametric dataset generation (§4.1).
+
+Datasets are the unit of replication: each has a volume in the paper's
+[1, 6] GB range and an *origin node* where its authoritative copy lives
+(mostly remote data centers, where legacy services generate their logs;
+some at cloudlets, per §2.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.types import Dataset
+from repro.topology.twotier import EdgeCloudTopology
+from repro.util.validation import ValidationError
+from repro.workload.params import PaperDefaults
+
+__all__ = ["generate_datasets"]
+
+
+def generate_datasets(
+    topology: EdgeCloudTopology,
+    rng: np.random.Generator,
+    params: PaperDefaults | None = None,
+    *,
+    count: int | None = None,
+) -> dict[int, Dataset]:
+    """Draw a dataset collection ``S`` for ``topology``.
+
+    Parameters
+    ----------
+    topology:
+        Supplies candidate origin nodes (data centers and cloudlets).
+    rng:
+        Source of randomness; pass a stream derived per experiment repeat.
+    params:
+        Parameter ranges; defaults to the paper's.
+    count:
+        Fix ``|S|`` instead of drawing it from ``params.num_datasets``.
+
+    Returns
+    -------
+    dict[int, Dataset]
+        Dataset id → dataset, ids dense from 0.
+    """
+    params = params or PaperDefaults()
+    if count is None:
+        low, high = params.num_datasets
+        count = int(rng.integers(low, high + 1))
+    if count <= 0:
+        raise ValidationError(f"dataset count must be positive, got {count}")
+
+    dcs = topology.data_centers
+    cls_ = topology.cloudlets
+    if not dcs and not cls_:
+        raise ValidationError("topology has no placement nodes")
+
+    volumes = rng.uniform(*params.dataset_volume_gb, size=count)
+    datasets: dict[int, Dataset] = {}
+    for n in range(count):
+        # Origin: data center with probability dc_origin_fraction, else
+        # cloudlet (falling back when a tier is absent).
+        use_dc = bool(dcs) and (
+            not cls_ or rng.random() < params.dc_origin_fraction
+        )
+        pool = dcs if use_dc else cls_
+        origin = int(pool[int(rng.integers(len(pool)))])
+        datasets[n] = Dataset(
+            dataset_id=n,
+            volume_gb=float(volumes[n]),
+            origin_node=origin,
+            name=f"S{n}",
+        )
+    return datasets

@@ -1,0 +1,119 @@
+"""The paper's §4.1 simulation parameters, in one tunable place.
+
+Every range quoted in the paper's experimental-environment paragraph has a
+field here; fields not stated explicitly in the paper (selectivity range,
+deadline scaling, origin mix) are documented with the modelling choice
+made.  Experiments construct workloads exclusively through this object so
+that sweeps (network size, ``F``, ``K``) change exactly one knob.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.util.validation import ValidationError, check_fraction, check_positive
+
+__all__ = ["PaperDefaults"]
+
+
+@dataclass(frozen=True)
+class PaperDefaults:
+    """Workload parameter set with the paper's defaults.
+
+    Attributes
+    ----------
+    num_datasets:
+        Range for ``|S|`` — "randomly drawn in the range of [5, 20]".
+    num_queries:
+        Range for ``|Q|`` — "[10, 100]".
+    dataset_volume_gb:
+        Range for ``|S_n|`` — "[1, 6] GB".
+    compute_rate:
+        Range for ``r_m`` — "[0.75, 1.25] GHz" per GB.
+    datasets_per_query:
+        Range for the number of datasets a query demands — "[1, 7]".
+        The upper bound is the sweep variable ``F`` in Figs. 4 and 7.
+    max_replicas:
+        Default ``K``; the sweep variable of Figs. 5 and 8.
+    selectivity:
+        Range for ``α_{nm}`` (not stated in the paper beyond
+        ``0 < α ≤ 1`` [21]).  The default upper half keeps intermediate
+        results heavy enough that wide-area transfers matter, which is the
+        regime the paper's evaluation exhibits (remote data centers are
+        delay-infeasible for a large share of queries).
+    deadline_s_per_gb:
+        The paper sets each query's deadline proportional to the volume it
+        demands ("the QoS ... depends on the size of dataset demanded by
+        the query"); since demanded datasets are evaluated in parallel, the
+        deadline is the *largest* demanded dataset's volume times a rate
+        drawn from this range (seconds per GB).  The default range is
+        calibrated so the paper's regime holds: QoS binds, cloudlet compute
+        is scarce, and the evaluation's algorithm ordering emerges.
+    dc_origin_fraction:
+        Probability that a dataset originates in a data center rather than
+        a cloudlet (§2.2: big data is generated both at remote data centers
+        and at cloudlets; most legacy services live in the cloud).
+    cloudlet_home_fraction:
+        Probability that a query's home location is a cloudlet (users sit
+        at the network edge).
+    """
+
+    num_datasets: tuple[int, int] = (5, 20)
+    num_queries: tuple[int, int] = (10, 100)
+    dataset_volume_gb: tuple[float, float] = (1.0, 6.0)
+    compute_rate: tuple[float, float] = (0.75, 1.25)
+    datasets_per_query: tuple[int, int] = (1, 7)
+    max_replicas: int = 3
+    selectivity: tuple[float, float] = (0.4, 1.0)
+    deadline_s_per_gb: tuple[float, float] = (0.04, 0.18)
+    dc_origin_fraction: float = 0.7
+    cloudlet_home_fraction: float = 0.8
+
+    def __post_init__(self) -> None:
+        for name in (
+            "num_datasets",
+            "num_queries",
+            "dataset_volume_gb",
+            "compute_rate",
+            "datasets_per_query",
+            "selectivity",
+            "deadline_s_per_gb",
+        ):
+            low, high = getattr(self, name)
+            check_positive(f"{name}[0]", low)
+            if high < low:
+                raise ValidationError(f"{name} range is inverted: ({low}, {high})")
+        check_positive("max_replicas", self.max_replicas)
+        check_fraction("dc_origin_fraction", self.dc_origin_fraction, inclusive_low=True)
+        check_fraction(
+            "cloudlet_home_fraction", self.cloudlet_home_fraction, inclusive_low=True
+        )
+        if self.selectivity[1] > 1.0:
+            raise ValidationError("selectivity upper bound must be <= 1")
+
+    # -- sweep helpers ----------------------------------------------------
+
+    def with_max_datasets_per_query(self, f: int) -> "PaperDefaults":
+        """Clamp the demanded-datasets range to ``[min, F]`` (Figs. 4, 7)."""
+        check_positive("f", f)
+        low = min(self.datasets_per_query[0], f)
+        return replace(self, datasets_per_query=(low, f))
+
+    def single_dataset(self) -> "PaperDefaults":
+        """The special case: every query demands exactly one dataset."""
+        return replace(self, datasets_per_query=(1, 1))
+
+    def with_max_replicas(self, k: int) -> "PaperDefaults":
+        """Set ``K`` (Figs. 5, 8)."""
+        check_positive("k", k)
+        return replace(self, max_replicas=k)
+
+    def with_num_queries(self, low: int, high: int | None = None) -> "PaperDefaults":
+        """Fix the query-count range (scaling benches)."""
+        high = low if high is None else high
+        return replace(self, num_queries=(low, high))
+
+    def with_num_datasets(self, low: int, high: int | None = None) -> "PaperDefaults":
+        """Fix the dataset-count range (scaling benches)."""
+        high = low if high is None else high
+        return replace(self, num_datasets=(low, high))

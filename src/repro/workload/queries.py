@@ -1,0 +1,123 @@
+"""Parametric query generation (§4.1) and whole-workload convenience.
+
+Each query draws a home location (mostly cloudlets — users sit at the
+edge), a demanded dataset subset of size up to ``F``, per-dataset
+selectivities, a compute rate ``r_m`` and a QoS deadline proportional to
+its demanded volume ("to avoid some users who demand more dataset require
+the same delay as users who demand few dataset", §4.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.instance import ProblemInstance
+from repro.core.types import Dataset, Query
+from repro.topology.twotier import EdgeCloudTopology
+from repro.util.validation import ValidationError
+from repro.workload.datasets import generate_datasets
+from repro.workload.params import PaperDefaults
+
+__all__ = ["generate_queries", "generate_workload"]
+
+
+def _draw_home(
+    topology: EdgeCloudTopology,
+    rng: np.random.Generator,
+    cloudlet_fraction: float,
+) -> int:
+    """Draw a query home location: cloudlet-biased over placement nodes."""
+    cls_ = topology.cloudlets
+    dcs = topology.data_centers
+    use_cl = bool(cls_) and (not dcs or rng.random() < cloudlet_fraction)
+    pool = cls_ if use_cl else dcs
+    return int(pool[int(rng.integers(len(pool)))])
+
+
+def generate_queries(
+    topology: EdgeCloudTopology,
+    datasets: dict[int, Dataset],
+    rng: np.random.Generator,
+    params: PaperDefaults | None = None,
+    *,
+    count: int | None = None,
+) -> list[Query]:
+    """Draw the query set ``Q`` against an existing dataset collection.
+
+    Parameters
+    ----------
+    topology:
+        Supplies home-location candidates.
+    datasets:
+        The collection ``S`` the queries may demand from.
+    rng:
+        Source of randomness.
+    params:
+        Parameter ranges; defaults to the paper's.
+    count:
+        Fix ``|Q|`` instead of drawing from ``params.num_queries``.
+    """
+    params = params or PaperDefaults()
+    if not datasets:
+        raise ValidationError("cannot generate queries over an empty dataset set")
+    if count is None:
+        low, high = params.num_queries
+        count = int(rng.integers(low, high + 1))
+    if count <= 0:
+        raise ValidationError(f"query count must be positive, got {count}")
+
+    ids = np.fromiter(datasets.keys(), dtype=np.intp)
+    f_low, f_high = params.datasets_per_query
+    f_high = min(f_high, len(ids))
+    f_low = min(f_low, f_high)
+
+    queries: list[Query] = []
+    for m in range(count):
+        f = int(rng.integers(f_low, f_high + 1))
+        demanded = tuple(
+            int(d) for d in rng.choice(ids, size=f, replace=False)
+        )
+        selectivity = tuple(
+            float(a) for a in rng.uniform(*params.selectivity, size=f)
+        )
+        # Datasets are evaluated in parallel (§2.3): the largest demanded
+        # dataset dominates the response time, so the QoS deadline scales
+        # with it ("the QoS ... depends on the size of dataset demanded").
+        pivot = max(datasets[d].volume_gb for d in demanded)
+        deadline = pivot * float(rng.uniform(*params.deadline_s_per_gb))
+        queries.append(
+            Query(
+                query_id=m,
+                home_node=_draw_home(topology, rng, params.cloudlet_home_fraction),
+                demanded=demanded,
+                selectivity=selectivity,
+                compute_rate=float(rng.uniform(*params.compute_rate)),
+                deadline_s=deadline,
+                name=f"q{m}",
+            )
+        )
+    return queries
+
+
+def generate_workload(
+    topology: EdgeCloudTopology,
+    rng: np.random.Generator,
+    params: PaperDefaults | None = None,
+    *,
+    num_datasets: int | None = None,
+    num_queries: int | None = None,
+) -> ProblemInstance:
+    """Draw a complete :class:`~repro.core.instance.ProblemInstance`.
+
+    Convenience wrapper combining :func:`generate_datasets`,
+    :func:`generate_queries` and the ``K`` bound from ``params``.
+    """
+    params = params or PaperDefaults()
+    datasets = generate_datasets(topology, rng, params, count=num_datasets)
+    queries = generate_queries(topology, datasets, rng, params, count=num_queries)
+    return ProblemInstance(
+        topology=topology,
+        datasets=datasets,
+        queries=queries,
+        max_replicas=params.max_replicas,
+    )

@@ -1,0 +1,242 @@
+"""Logical analytics plans: scan → filter → aggregate, merged at home.
+
+§2.2 describes query evaluation as extracting *intermediate results* from
+each demanded dataset (possibly at different nodes) and aggregating them
+at the query's home location.  This module gives that story executable
+semantics beyond the three fixed §4.3 query families:
+
+* a :class:`QueryPlan` is ``Scan(windows) → Filter* → Aggregate``,
+* :func:`execute_plan` evaluates it centrally over the trace,
+* :func:`execute_distributed` evaluates each demanded window *separately*
+  (what a serving replica node does), ships the partial vectors, and
+  merges them at home.
+
+The key algebraic property — tested, and relied on by the whole placement
+story — is that distributed evaluation is exact: per-window partials sum
+to the central answer, because the supported aggregates are commutative
+monoids over disjoint event sets.
+
+:func:`estimated_selectivity` grounds the paper's ``α_{nm}`` in something
+measurable: the bytes of a plan's partial result relative to the bytes of
+the window it scanned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.util.validation import ValidationError, check_positive
+from repro.workload.trace import UsageTrace
+
+__all__ = [
+    "FilterOp",
+    "AggregateOp",
+    "QueryPlan",
+    "execute_plan",
+    "execute_distributed",
+    "estimated_selectivity",
+]
+
+_GROUPS = ("app", "hour", "day")
+_MEASURES = ("count", "duration", "bytes")
+
+
+@dataclass(frozen=True)
+class FilterOp:
+    """A conjunctive event filter.
+
+    Attributes
+    ----------
+    app:
+        Keep only events of this app id (``None`` = no app filter).
+    user:
+        Keep only events of this user id.
+    hour_range:
+        Keep events whose hour-of-day lies in ``[start, stop)``; wraps
+        past midnight when ``start > stop``.
+    """
+
+    app: int | None = None
+    user: int | None = None
+    hour_range: tuple[int, int] | None = None
+
+    def __post_init__(self) -> None:
+        if self.hour_range is not None:
+            a, b = self.hour_range
+            if not (0 <= a < 24 and 0 <= b <= 24):
+                raise ValidationError(f"hour_range out of bounds: {self.hour_range}")
+
+    def mask(self, trace: UsageTrace, idx: np.ndarray) -> np.ndarray:
+        """Boolean mask over ``idx`` selecting the surviving events."""
+        keep = np.ones(idx.shape[0], dtype=bool)
+        if self.app is not None:
+            keep &= trace.app[idx] == self.app
+        if self.user is not None:
+            keep &= trace.user[idx] == self.user
+        if self.hour_range is not None:
+            hours = (trace.timestamp_s[idx] % 86400.0) // 3600.0
+            a, b = self.hour_range
+            keep &= (hours >= a) & (hours < b) if a <= b else (hours >= a) | (hours < b)
+        return keep
+
+
+@dataclass(frozen=True)
+class AggregateOp:
+    """Group-by aggregation over filtered events.
+
+    Attributes
+    ----------
+    group_by:
+        ``"app"``, ``"hour"`` (of day) or ``"day"``.
+    measure:
+        ``"count"`` (events), ``"duration"`` (seconds) or ``"bytes"``.
+    size:
+        Dense output-vector length (group ids ≥ size are dropped); hour
+        grouping forces 24.
+    """
+
+    group_by: str = "app"
+    measure: str = "count"
+    size: int = 256
+
+    def __post_init__(self) -> None:
+        if self.group_by not in _GROUPS:
+            raise ValidationError(f"group_by must be one of {_GROUPS}")
+        if self.measure not in _MEASURES:
+            raise ValidationError(f"measure must be one of {_MEASURES}")
+        check_positive("size", self.size)
+
+    @property
+    def width(self) -> int:
+        """Length of the dense result vector."""
+        return 24 if self.group_by == "hour" else self.size
+
+    def keys(self, trace: UsageTrace, idx: np.ndarray) -> np.ndarray:
+        """Group key per event."""
+        if self.group_by == "app":
+            return trace.app[idx]
+        if self.group_by == "hour":
+            return ((trace.timestamp_s[idx] % 86400.0) // 3600.0).astype(np.int64)
+        return (trace.timestamp_s[idx] // 86400.0).astype(np.int64)
+
+    def weights(self, trace: UsageTrace, idx: np.ndarray) -> np.ndarray | None:
+        """Per-event weight, or ``None`` for plain counting."""
+        if self.measure == "count":
+            return None
+        if self.measure == "duration":
+            return trace.duration_s[idx]
+        return trace.nbytes[idx].astype(np.float64)
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """A logical analytics plan over trace windows.
+
+    Attributes
+    ----------
+    windows:
+        Dataset (time-window) ids the plan scans — its ``S(q_m)``.
+    filters:
+        Conjunctive filters applied after the scan.
+    aggregate:
+        The terminal aggregation.
+    """
+
+    windows: tuple[int, ...]
+    filters: tuple[FilterOp, ...] = field(default_factory=tuple)
+    aggregate: AggregateOp = field(default_factory=AggregateOp)
+
+    def __post_init__(self) -> None:
+        if not self.windows:
+            raise ValidationError("a plan must scan at least one window")
+        if len(set(self.windows)) != len(self.windows):
+            raise ValidationError("duplicate windows in plan")
+
+
+def _window_result(
+    plan: QueryPlan,
+    trace: UsageTrace,
+    segments: Sequence[tuple[int, int]],
+    window: int,
+) -> np.ndarray:
+    """Partial result of one window: the unit of distributed evaluation."""
+    start, stop = segments[window]
+    idx = np.arange(start, stop)
+    for f in plan.filters:
+        idx = idx[f.mask(trace, idx)]
+    agg = plan.aggregate
+    out = np.zeros(agg.width)
+    if idx.size == 0:
+        return out
+    keys = agg.keys(trace, idx)
+    weights = agg.weights(trace, idx)
+    keep = keys < agg.width
+    binned = np.bincount(
+        keys[keep],
+        weights=None if weights is None else weights[keep],
+        minlength=agg.width,
+    )
+    out[: len(binned)] += binned[: agg.width]
+    return out
+
+
+def execute_plan(
+    plan: QueryPlan,
+    trace: UsageTrace,
+    segments: Sequence[tuple[int, int]],
+) -> np.ndarray:
+    """Central (single-site) evaluation: scan all windows at once."""
+    result = np.zeros(plan.aggregate.width)
+    for window in plan.windows:
+        result += _window_result(plan, trace, segments, window)
+    return result
+
+
+def execute_distributed(
+    plan: QueryPlan,
+    trace: UsageTrace,
+    segments: Sequence[tuple[int, int]],
+) -> tuple[np.ndarray, list[np.ndarray]]:
+    """Replica-style evaluation: per-window partials merged at home.
+
+    Returns ``(merged, partials)`` where ``partials[i]`` is the
+    intermediate result the serving node of window ``plan.windows[i]``
+    would ship.  ``merged`` equals :func:`execute_plan`'s answer exactly
+    (the aggregates are commutative monoids over disjoint events).
+    """
+    partials = [
+        _window_result(plan, trace, segments, w) for w in plan.windows
+    ]
+    merged = np.sum(partials, axis=0) if partials else np.zeros(
+        plan.aggregate.width
+    )
+    return merged, partials
+
+
+def estimated_selectivity(
+    plan: QueryPlan,
+    trace: UsageTrace,
+    segments: Sequence[tuple[int, int]],
+    *,
+    floor: float = 0.01,
+) -> dict[int, float]:
+    """Per-window ``α``: partial-result bytes over scanned-window bytes.
+
+    The partial is a dense float64 vector (8 bytes/entry); a window's
+    bytes are its events' payloads.  Clamped to ``[floor, 1]`` so the
+    value is usable directly as a :class:`~repro.core.types.Query`
+    selectivity.
+    """
+    if not 0.0 < floor <= 1.0:
+        raise ValidationError(f"floor must be in (0, 1], got {floor}")
+    alphas: dict[int, float] = {}
+    for w in plan.windows:
+        start, stop = segments[w]
+        window_bytes = float(trace.nbytes[start:stop].sum())
+        partial_bytes = 8.0 * plan.aggregate.width
+        alpha = partial_bytes / window_bytes if window_bytes > 0 else 1.0
+        alphas[w] = min(1.0, max(floor, alpha))
+    return alphas

@@ -1,0 +1,199 @@
+"""Pre-canned workload scenarios for the paper's motivating applications.
+
+§1 motivates the problem with emerging edge applications; this module
+ships ready-made instances for three of them, so examples, tests and
+demos don't hand-roll workloads:
+
+* :func:`smart_city_scenario` — camera/sensor archives ingested at
+  cloudlets, three QoS tiers (alerts, dashboards, planning studies),
+* :func:`iot_telemetry_scenario` — many small sensor datasets generated
+  at the edge, aggregation-heavy queries with mid deadlines,
+* :func:`media_analytics_scenario` — few very large media datasets in
+  the cloud, high-selectivity feature-extraction queries.
+
+Each returns a validated :class:`~repro.core.instance.ProblemInstance`
+plus a tag per query naming its tier/class, and is deterministic in its
+seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.instance import ProblemInstance
+from repro.core.types import Dataset, Query
+from repro.topology.twotier import EdgeCloudTopology, TwoTierConfig, generate_two_tier
+from repro.util.rng import spawn_rng
+from repro.util.validation import check_positive
+
+__all__ = [
+    "ScenarioInstance",
+    "smart_city_scenario",
+    "iot_telemetry_scenario",
+    "media_analytics_scenario",
+]
+
+
+class ScenarioInstance:
+    """A scenario's instance plus per-query class tags.
+
+    Attributes
+    ----------
+    instance:
+        The placement problem.
+    tags:
+        Query id → class label (e.g. ``"alert"``).
+    name:
+        Scenario name.
+    """
+
+    def __init__(
+        self, name: str, instance: ProblemInstance, tags: dict[int, str]
+    ) -> None:
+        self.name = name
+        self.instance = instance
+        self.tags = dict(tags)
+
+    def queries_of(self, tag: str) -> list[int]:
+        """Query ids carrying ``tag``."""
+        return [q for q, t in self.tags.items() if t == tag]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ScenarioInstance({self.name!r}, Q={self.instance.num_queries}, "
+            f"S={self.instance.num_datasets})"
+        )
+
+
+def _pick(pool, rng: np.random.Generator) -> int:
+    return int(pool[int(rng.integers(len(pool)))])
+
+
+def smart_city_scenario(seed: int = 0, *, num_queries: int = 80) -> ScenarioInstance:
+    """Camera/sensor archives at cloudlets, three QoS tiers.
+
+    Tiers: ``alert`` (sub-100ms/GB deadlines, tiny results),
+    ``dashboard`` (mid), ``planning`` (relaxed, large results).
+    """
+    check_positive("num_queries", num_queries)
+    rng = spawn_rng(seed, "scenario/smart-city")
+    topology = generate_two_tier(
+        TwoTierConfig(num_data_centers=4, num_cloudlets=20, num_switches=2),
+        seed=seed,
+    )
+    datasets = {
+        n: Dataset(
+            dataset_id=n,
+            volume_gb=float(rng.uniform(2.0, 6.0)),
+            origin_node=_pick(topology.cloudlets, rng),
+            name=f"district-{n}",
+        )
+        for n in range(12)
+    }
+    tiers = {
+        "alert": (0.05, 0.10, 0.35),
+        "dashboard": (0.15, 0.45, 0.40),
+        "planning": (0.50, 0.90, 0.25),
+    }
+    return _tiered(
+        "smart-city", topology, datasets, tiers, rng, num_queries, max_f=3
+    )
+
+
+def iot_telemetry_scenario(seed: int = 0, *, num_queries: int = 100) -> ScenarioInstance:
+    """Many small sensor datasets at the extreme edge, rollup-style queries.
+
+    Tiers: ``realtime`` rollups vs ``batch`` history scans.
+    """
+    check_positive("num_queries", num_queries)
+    rng = spawn_rng(seed, "scenario/iot")
+    topology = generate_two_tier(
+        TwoTierConfig(num_data_centers=3, num_cloudlets=28, num_switches=3),
+        seed=seed,
+    )
+    datasets = {
+        n: Dataset(
+            dataset_id=n,
+            volume_gb=float(rng.uniform(0.5, 2.0)),
+            origin_node=_pick(topology.cloudlets, rng),
+            name=f"sensor-feed-{n}",
+        )
+        for n in range(24)
+    }
+    tiers = {
+        "realtime": (0.08, 0.15, 0.6),
+        "batch": (0.40, 0.60, 0.4),
+    }
+    return _tiered("iot-telemetry", topology, datasets, tiers, rng, num_queries, max_f=6)
+
+
+def media_analytics_scenario(seed: int = 0, *, num_queries: int = 50) -> ScenarioInstance:
+    """Few huge media datasets in the cloud, heavy feature extraction.
+
+    Tiers: ``interactive`` clip queries vs ``pipeline`` full-corpus passes.
+    """
+    check_positive("num_queries", num_queries)
+    rng = spawn_rng(seed, "scenario/media")
+    topology = generate_two_tier(
+        TwoTierConfig(num_data_centers=6, num_cloudlets=12, num_switches=2),
+        seed=seed,
+    )
+    datasets = {
+        n: Dataset(
+            dataset_id=n,
+            volume_gb=float(rng.uniform(8.0, 16.0)),
+            origin_node=_pick(topology.data_centers, rng),
+            name=f"media-corpus-{n}",
+        )
+        for n in range(6)
+    }
+    tiers = {
+        "interactive": (0.10, 0.25, 0.5),
+        "pipeline": (0.60, 0.85, 0.5),
+    }
+    return _tiered("media-analytics", topology, datasets, tiers, rng, num_queries, max_f=2)
+
+
+def _tiered(
+    name: str,
+    topology: EdgeCloudTopology,
+    datasets: dict[int, Dataset],
+    tiers: dict[str, tuple[float, float, float]],
+    rng: np.random.Generator,
+    num_queries: int,
+    *,
+    max_f: int,
+) -> ScenarioInstance:
+    """Shared tiered-query construction.
+
+    ``tiers`` maps label → (deadline s/GB, selectivity, probability).
+    """
+    labels = list(tiers)
+    probs = np.array([tiers[t][2] for t in labels])
+    probs = probs / probs.sum()
+    ids = np.fromiter(datasets.keys(), dtype=np.intp)
+
+    queries: list[Query] = []
+    tags: dict[int, str] = {}
+    for m in range(num_queries):
+        tier = labels[int(rng.choice(len(labels), p=probs))]
+        rate, alpha, _ = tiers[tier]
+        f = int(rng.integers(1, min(max_f, len(ids)) + 1))
+        demanded = tuple(int(d) for d in rng.choice(ids, size=f, replace=False))
+        pivot = max(datasets[d].volume_gb for d in demanded)
+        queries.append(
+            Query(
+                query_id=m,
+                home_node=_pick(topology.cloudlets, rng),
+                demanded=demanded,
+                selectivity=tuple(alpha for _ in demanded),
+                compute_rate=float(rng.uniform(0.75, 1.25)),
+                deadline_s=pivot * rate,
+                name=f"{tier}-{m}",
+            )
+        )
+        tags[m] = tier
+    instance = ProblemInstance(
+        topology=topology, datasets=datasets, queries=queries, max_replicas=3
+    )
+    return ScenarioInstance(name, instance, tags)

@@ -1,0 +1,149 @@
+"""Instance diagnostics: what regime is this workload actually in?
+
+Calibrating the paper's evaluation regime (EXPERIMENTS.md) needs answers
+to questions the raw instance doesn't surface: how much of the demand
+could *any* placement serve within deadline?  How often are data centers
+delay-feasible?  How tight is cloudlet compute against demand?  This
+module computes that profile; the CLI exposes it as ``describe``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.instance import ProblemInstance
+
+__all__ = ["InstanceProfile", "profile_instance", "render_profile"]
+
+
+@dataclass(frozen=True)
+class InstanceProfile:
+    """Regime diagnostics for one problem instance.
+
+    Attributes
+    ----------
+    num_queries, num_datasets, num_placement_nodes:
+        Instance dimensions.
+    total_demand_gb:
+        Σ demanded volumes over all queries.
+    total_compute_demand_ghz:
+        Compute needed to serve every pair (``Σ |S_n|·r_m``).
+    cloudlet_capacity_ghz, dc_capacity_ghz:
+        Aggregate capacities per tier.
+    mean_feasible_nodes_per_pair:
+        Average count of delay-feasible nodes over all (query, dataset)
+        pairs — the QoS tightness dial.
+    dc_feasible_pair_fraction:
+        Fraction of pairs for which at least one *data center* meets the
+        deadline — the greedy trap dial (low = DCs useless).
+    unservable_pair_fraction:
+        Pairs no node can serve in time (intrinsically infeasible).
+    unservable_query_fraction:
+        Queries with at least one unservable pair (can never be admitted).
+    """
+
+    num_queries: int
+    num_datasets: int
+    num_placement_nodes: int
+    total_demand_gb: float
+    total_compute_demand_ghz: float
+    cloudlet_capacity_ghz: float
+    dc_capacity_ghz: float
+    mean_feasible_nodes_per_pair: float
+    dc_feasible_pair_fraction: float
+    unservable_pair_fraction: float
+    unservable_query_fraction: float
+
+    @property
+    def compute_pressure(self) -> float:
+        """Total compute demand over cloudlet capacity (>1 ⇒ DCs or
+        rejections must absorb the excess)."""
+        if self.cloudlet_capacity_ghz == 0:
+            return float("inf")
+        return self.total_compute_demand_ghz / self.cloudlet_capacity_ghz
+
+
+def profile_instance(instance: ProblemInstance) -> InstanceProfile:
+    """Compute the regime profile of ``instance`` (vectorised per pair)."""
+    topo = instance.topology
+    dc_mask = np.array(
+        [v in set(topo.data_centers) for v in instance.placement_nodes]
+    )
+    proc = instance.proc_delays
+
+    feasible_counts: list[int] = []
+    dc_feasible = 0
+    unservable_pairs = 0
+    unservable_queries = 0
+    total_pairs = 0
+    compute_demand = 0.0
+    demand_gb = 0.0
+
+    for query in instance.queries:
+        home_vec = instance.home_delay_vectors[query.home_node]
+        query_unservable = False
+        for d_id, alpha in zip(query.demanded, query.selectivity):
+            volume = instance.dataset(d_id).volume_gb
+            demand_gb += volume
+            compute_demand += volume * query.compute_rate
+            latency = volume * (proc + alpha * home_vec)
+            ok = latency <= query.deadline_s
+            count = int(ok.sum())
+            feasible_counts.append(count)
+            total_pairs += 1
+            if count == 0:
+                unservable_pairs += 1
+                query_unservable = True
+            if bool((ok & dc_mask).any()):
+                dc_feasible += 1
+        if query_unservable:
+            unservable_queries += 1
+
+    return InstanceProfile(
+        num_queries=instance.num_queries,
+        num_datasets=instance.num_datasets,
+        num_placement_nodes=instance.num_placement_nodes,
+        total_demand_gb=demand_gb,
+        total_compute_demand_ghz=compute_demand,
+        cloudlet_capacity_ghz=sum(topo.capacity(v) for v in topo.cloudlets),
+        dc_capacity_ghz=sum(topo.capacity(v) for v in topo.data_centers),
+        mean_feasible_nodes_per_pair=(
+            float(np.mean(feasible_counts)) if feasible_counts else 0.0
+        ),
+        dc_feasible_pair_fraction=(
+            dc_feasible / total_pairs if total_pairs else 0.0
+        ),
+        unservable_pair_fraction=(
+            unservable_pairs / total_pairs if total_pairs else 0.0
+        ),
+        unservable_query_fraction=(
+            unservable_queries / instance.num_queries
+            if instance.num_queries
+            else 0.0
+        ),
+    )
+
+
+def render_profile(profile: InstanceProfile) -> str:
+    """Human-readable regime report."""
+    lines = [
+        "=== instance profile ===",
+        f"dimensions       : {profile.num_queries} queries, "
+        f"{profile.num_datasets} datasets, "
+        f"{profile.num_placement_nodes} placement nodes",
+        f"demand           : {profile.total_demand_gb:.1f} GB "
+        f"({profile.total_compute_demand_ghz:.1f} GHz to serve everything)",
+        f"capacity         : cloudlets {profile.cloudlet_capacity_ghz:.1f} GHz, "
+        f"data centers {profile.dc_capacity_ghz:.1f} GHz",
+        f"compute pressure : {profile.compute_pressure:.2f}× cloudlet capacity",
+        f"QoS tightness    : {profile.mean_feasible_nodes_per_pair:.1f} "
+        f"delay-feasible nodes per pair (of {profile.num_placement_nodes})",
+        f"DC feasibility   : {profile.dc_feasible_pair_fraction:.0%} of pairs "
+        f"can use a data center",
+        f"unservable       : {profile.unservable_pair_fraction:.0%} of pairs, "
+        f"{profile.unservable_query_fraction:.0%} of queries "
+        f"(infeasible at any node)",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,75 @@
+"""Tests for the threshold-based consistency model."""
+
+import pytest
+
+from repro.cluster.consistency import ConsistencyModel, SyncReport
+from repro.core import make_algorithm
+from repro.util.validation import ValidationError
+
+
+class TestSyncsOver:
+    def test_basic_counting(self):
+        model = ConsistencyModel(threshold=0.1, growth_rate_per_day=0.05)
+        # 30 days × 5%/day = 150% growth → 15 syncs at 10% threshold.
+        assert model.syncs_over(30.0) == 15
+
+    def test_no_growth_no_syncs(self):
+        model = ConsistencyModel(threshold=0.1, growth_rate_per_day=0.0)
+        assert model.syncs_over(365.0) == 0
+
+    def test_looser_threshold_fewer_syncs(self):
+        tight = ConsistencyModel(threshold=0.05)
+        loose = ConsistencyModel(threshold=0.5)
+        assert tight.syncs_over(30.0) > loose.syncs_over(30.0)
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ValidationError):
+            ConsistencyModel(threshold=0.0)
+
+    def test_bad_horizon_rejected(self):
+        with pytest.raises(ValidationError):
+            ConsistencyModel().syncs_over(0.0)
+
+
+class TestReport:
+    def test_origin_only_placement_costs_nothing(self, paper_instance):
+        model = ConsistencyModel()
+        replicas = {
+            d: (ds.origin_node,) for d, ds in paper_instance.datasets.items()
+        }
+        report = model.report(paper_instance, replicas)
+        assert report == SyncReport(0, 0.0, 0.0)
+
+    def test_cost_scales_with_replicas(self, paper_instance):
+        model = ConsistencyModel()
+        solution = make_algorithm("appro-g").solve(paper_instance)
+        one = model.report(paper_instance, solution.replicas)
+        # Doubling the horizon roughly doubles everything.
+        two = model.report(paper_instance, solution.replicas, horizon_days=60.0)
+        assert two.syncs >= 2 * one.syncs - len(solution.replicas)
+        assert two.shipped_gb >= one.shipped_gb * 1.9
+
+    def test_shipped_volume_formula(self, paper_instance):
+        model = ConsistencyModel(threshold=0.25, growth_rate_per_day=0.05)
+        d0 = next(iter(paper_instance.datasets.values()))
+        other = next(
+            v
+            for v in paper_instance.placement_nodes
+            if v != d0.origin_node
+        )
+        replicas = {d0.dataset_id: (d0.origin_node, other)}
+        report = model.report(paper_instance, replicas, horizon_days=30.0)
+        syncs = model.syncs_over(30.0)  # floor(1.5/0.25) = 6
+        assert report.syncs == syncs
+        assert report.shipped_gb == pytest.approx(syncs * 0.25 * d0.volume_gb)
+        assert report.transfer_cost_s == pytest.approx(
+            syncs
+            * 0.25
+            * d0.volume_gb
+            * paper_instance.paths.delay(d0.origin_node, other)
+        )
+
+    def test_report_addition(self):
+        a = SyncReport(1, 2.0, 3.0)
+        b = SyncReport(4, 5.0, 6.0)
+        assert a + b == SyncReport(5, 7.0, 9.0)

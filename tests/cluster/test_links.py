@@ -1,0 +1,95 @@
+"""Tests for per-link bandwidth ledgers."""
+
+import pytest
+
+from repro.cluster.links import LinkBudgetError, LinkLedger
+
+
+@pytest.fixture()
+def ledger(small_topology):
+    return LinkLedger(small_topology, budget_gb=10.0)
+
+
+@pytest.fixture()
+def a_path(small_topology):
+    """Some real 2+ node path in the topology."""
+    (u, v), _ = next(iter(small_topology.link_delays.items()))
+    return [u, v]
+
+
+class TestConstruction:
+    def test_uniform_budget(self, small_topology, ledger):
+        for (u, v) in small_topology.link_delays:
+            assert ledger.capacity(u, v) == 10.0
+            assert ledger.available(u, v) == 10.0
+
+    def test_per_link_budgets(self, small_topology):
+        budgets = {e: 5.0 for e in small_topology.link_delays}
+        ledger = LinkLedger(small_topology, budgets)
+        u, v = next(iter(budgets))
+        assert ledger.capacity(u, v) == 5.0
+
+    def test_missing_link_budget_rejected(self, small_topology):
+        with pytest.raises(LinkBudgetError):
+            LinkLedger(small_topology, {})
+
+    def test_non_positive_budget_rejected(self, small_topology):
+        with pytest.raises(Exception):
+            LinkLedger(small_topology, 0.0)
+
+
+class TestAllocation:
+    def test_allocate_and_release(self, ledger, a_path):
+        u, v = a_path
+        ledger.allocate_path("t", a_path, 4.0)
+        assert ledger.available(u, v) == pytest.approx(6.0)
+        ledger.release("t")
+        assert ledger.available(u, v) == pytest.approx(10.0)
+
+    def test_symmetric_lookup(self, ledger, a_path):
+        u, v = a_path
+        ledger.allocate_path("t", a_path, 4.0)
+        assert ledger.available(v, u) == pytest.approx(6.0)
+
+    def test_over_budget_rejected_atomically(self, ledger, a_path):
+        ledger.allocate_path("a", a_path, 8.0)
+        u, v = a_path
+        with pytest.raises(LinkBudgetError):
+            ledger.allocate_path("b", a_path, 3.0)
+        assert ledger.available(u, v) == pytest.approx(2.0)
+
+    def test_duplicate_tag_rejected(self, ledger, a_path):
+        ledger.allocate_path("a", a_path, 1.0)
+        with pytest.raises(LinkBudgetError):
+            ledger.allocate_path("a", a_path, 1.0)
+
+    def test_release_unknown_tag_rejected(self, ledger):
+        with pytest.raises(LinkBudgetError):
+            ledger.release("ghost")
+
+    def test_path_fits(self, ledger, a_path):
+        assert ledger.path_fits(a_path, 10.0)
+        assert not ledger.path_fits(a_path, 10.1)
+
+    def test_single_node_path_trivially_fits(self, ledger):
+        assert ledger.path_fits([0], 1e9)
+
+    def test_utilization(self, ledger, a_path):
+        ledger.allocate_path("a", a_path, 5.0)
+        util = ledger.utilization()
+        u, v = a_path
+        key = (min(u, v), max(u, v))
+        assert util[key] == pytest.approx(0.5)
+
+
+class TestSnapshot:
+    def test_snapshot_restore(self, ledger, a_path):
+        ledger.allocate_path("a", a_path, 2.0)
+        snap = ledger.snapshot()
+        ledger.allocate_path("b", a_path, 3.0)
+        ledger.restore(snap)
+        u, v = a_path
+        assert ledger.available(u, v) == pytest.approx(8.0)
+        ledger.release("a")  # still present after restore
+        with pytest.raises(LinkBudgetError):
+            ledger.release("b")  # rolled back

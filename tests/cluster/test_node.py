@@ -1,0 +1,99 @@
+"""Tests for per-node compute accounting."""
+
+import pytest
+
+from repro.cluster.node import CapacityError, ComputeNode
+
+
+class TestConstruction:
+    def test_basic(self):
+        node = ComputeNode(0, 10.0)
+        assert node.available_ghz == 10.0
+        assert node.allocated_ghz == 0.0
+        assert node.utilization == 0.0
+
+    def test_reservation(self):
+        node = ComputeNode(0, 10.0, reserved_ghz=4.0)
+        assert node.available_ghz == 6.0
+        assert node.utilization == pytest.approx(0.4)
+
+    def test_over_reservation_rejected(self):
+        with pytest.raises(CapacityError):
+            ComputeNode(0, 10.0, reserved_ghz=11.0)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(Exception):
+            ComputeNode(0, 0.0)
+
+
+class TestAllocate:
+    def test_allocate_and_release(self):
+        node = ComputeNode(0, 10.0)
+        node.allocate("a", 4.0)
+        assert node.allocated_ghz == 4.0
+        assert node.available_ghz == 6.0
+        freed = node.release("a")
+        assert freed == 4.0
+        assert node.available_ghz == 10.0
+
+    def test_exact_fit(self):
+        node = ComputeNode(0, 10.0)
+        node.allocate("a", 10.0)
+        assert node.available_ghz == pytest.approx(0.0)
+
+    def test_over_allocation_rejected(self):
+        node = ComputeNode(0, 10.0)
+        node.allocate("a", 8.0)
+        with pytest.raises(CapacityError):
+            node.allocate("b", 3.0)
+        # failed allocation leaves state unchanged
+        assert node.allocated_ghz == 8.0
+
+    def test_duplicate_tag_rejected(self):
+        node = ComputeNode(0, 10.0)
+        node.allocate("a", 1.0)
+        with pytest.raises(CapacityError):
+            node.allocate("a", 1.0)
+
+    def test_release_unknown_tag_rejected(self):
+        node = ComputeNode(0, 10.0)
+        with pytest.raises(CapacityError):
+            node.release("ghost")
+
+    def test_can_fit(self):
+        node = ComputeNode(0, 10.0)
+        node.allocate("a", 7.0)
+        assert node.can_fit(3.0)
+        assert not node.can_fit(3.1)
+
+    def test_zero_allocation_allowed(self):
+        node = ComputeNode(0, 10.0)
+        node.allocate("z", 0.0)
+        assert node.allocated_ghz == 0.0
+        node.release("z")
+
+    def test_tuple_tags(self):
+        node = ComputeNode(0, 10.0)
+        node.allocate((1, 2), 2.0)
+        node.allocate((1, 3), 2.0)
+        assert node.allocation_tags() == ((1, 2), (1, 3))
+        node.release((1, 2))
+        assert node.allocation_tags() == ((1, 3),)
+
+
+class TestSnapshot:
+    def test_snapshot_restore(self):
+        node = ComputeNode(0, 10.0)
+        node.allocate("a", 2.0)
+        snap = node.snapshot()
+        node.allocate("b", 3.0)
+        node.restore(snap)
+        assert node.allocated_ghz == 2.0
+        assert node.allocation_tags() == ("a",)
+
+    def test_snapshot_is_copy(self):
+        node = ComputeNode(0, 10.0)
+        node.allocate("a", 2.0)
+        snap = node.snapshot()
+        node.release("a")
+        assert snap == {"a": 2.0}

@@ -1,0 +1,106 @@
+"""Tests for the replica ledger."""
+
+import pytest
+
+from repro.cluster.replicas import ReplicaError, ReplicaStore
+from repro.core.types import Dataset
+
+
+@pytest.fixture()
+def datasets():
+    return {
+        0: Dataset(dataset_id=0, volume_gb=2.0, origin_node=10),
+        1: Dataset(dataset_id=1, volume_gb=3.0, origin_node=11),
+    }
+
+
+@pytest.fixture()
+def store(datasets):
+    return ReplicaStore(datasets, max_replicas=3)
+
+
+class TestSeeding:
+    def test_origin_seeded(self, store):
+        assert store.nodes(0) == {10}
+        assert store.origin(0) == 10
+        assert store.count(0) == 1
+
+    def test_total_replicas(self, store):
+        assert store.total_replicas() == 2
+
+
+class TestPlace:
+    def test_place_and_query(self, store):
+        store.place(0, 20)
+        assert store.has(0, 20)
+        assert store.count(0) == 2
+        assert store.remaining_slots(0) == 1
+
+    def test_duplicate_rejected(self, store):
+        store.place(0, 20)
+        with pytest.raises(ReplicaError):
+            store.place(0, 20)
+
+    def test_k_bound_enforced(self, store):
+        store.place(0, 20)
+        store.place(0, 21)
+        assert store.remaining_slots(0) == 0
+        with pytest.raises(ReplicaError):
+            store.place(0, 22)
+
+    def test_can_place(self, store):
+        assert store.can_place(0, 20)
+        assert not store.can_place(0, 10)  # origin already there
+        store.place(0, 20)
+        store.place(0, 21)
+        assert not store.can_place(0, 22)  # K exhausted
+
+    def test_k_counts_origin(self, datasets):
+        store = ReplicaStore(datasets, max_replicas=1)
+        assert store.remaining_slots(0) == 0
+        with pytest.raises(ReplicaError):
+            store.place(0, 20)
+
+
+class TestRemove:
+    def test_remove_replica(self, store):
+        store.place(0, 20)
+        store.remove(0, 20)
+        assert not store.has(0, 20)
+
+    def test_origin_permanent(self, store):
+        with pytest.raises(ReplicaError):
+            store.remove(0, 10)
+
+    def test_remove_missing_rejected(self, store):
+        with pytest.raises(ReplicaError):
+            store.remove(0, 99)
+
+
+class TestQueries:
+    def test_datasets_on(self, store):
+        store.place(0, 20)
+        store.place(1, 20)
+        assert store.datasets_on(20) == {0, 1}
+        assert store.datasets_on(10) == {0}
+
+    def test_replica_map_sorted(self, store):
+        store.place(0, 30)
+        store.place(0, 5)
+        assert store.replica_map()[0] == (5, 10, 30)
+
+
+class TestSnapshot:
+    def test_snapshot_restore(self, store):
+        store.place(0, 20)
+        snap = store.snapshot()
+        store.place(0, 21)
+        store.place(1, 21)
+        store.restore(snap)
+        assert store.nodes(0) == {10, 20}
+        assert store.nodes(1) == {11}
+
+    def test_snapshot_is_deep(self, store):
+        snap = store.snapshot()
+        store.place(0, 20)
+        assert 20 not in snap[0]

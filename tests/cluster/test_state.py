@@ -1,0 +1,164 @@
+"""Tests for transactional cluster state."""
+
+import pytest
+
+from repro.cluster.node import CapacityError
+from repro.cluster.replicas import ReplicaError
+from repro.cluster.state import ClusterState
+
+
+class TestServe:
+    def test_serve_places_replica_and_allocates(self, tiny_instance):
+        state = ClusterState(tiny_instance)
+        query = tiny_instance.query(0)
+        dataset = tiny_instance.dataset(0)
+        node = tiny_instance.placement_nodes[4]
+        assignment = state.serve(query, dataset, node)
+        assert assignment.node == node
+        assert state.replicas.has(0, node)
+        assert state.nodes[node].allocated_ghz == pytest.approx(
+            dataset.volume_gb * query.compute_rate
+        )
+
+    def test_serve_at_origin_consumes_no_slot(self, tiny_instance):
+        state = ClusterState(tiny_instance)
+        query = tiny_instance.query(0)
+        dataset = tiny_instance.dataset(0)
+        before = state.replicas.count(0)
+        state.serve(query, dataset, dataset.origin_node)
+        assert state.replicas.count(0) == before
+
+    def test_serve_rejects_deadline_violation(self, tiny_instance):
+        state = ClusterState(tiny_instance)
+        query = tiny_instance.query(0)
+        # Shrink the deadline below any achievable latency.
+        import dataclasses
+
+        tight = dataclasses.replace(query, deadline_s=1e-9)
+        with pytest.raises(ValueError, match="deadline"):
+            state.serve(tight, tiny_instance.dataset(0), tiny_instance.placement_nodes[0])
+
+    def test_serve_rolls_back_replica_on_capacity_error(self, tiny_instance):
+        state = ClusterState(tiny_instance)
+        query = tiny_instance.query(1)
+        dataset = tiny_instance.dataset(1)
+        node = tiny_instance.placement_nodes[4]
+        # Fill the node first.
+        state.nodes[node].allocate("filler", state.nodes[node].available_ghz)
+        with pytest.raises(CapacityError):
+            state.serve(query, dataset, node)
+        assert not state.replicas.has(1, node)
+
+    def test_release_returns_compute(self, tiny_instance):
+        state = ClusterState(tiny_instance)
+        query = tiny_instance.query(0)
+        dataset = tiny_instance.dataset(0)
+        node = dataset.origin_node
+        assignment = state.serve(query, dataset, node)
+        state.release(assignment)
+        assert state.nodes[node].allocated_ghz == 0.0
+
+    def test_k_exhaustion_raises(self, tiny_instance):
+        state = ClusterState(tiny_instance)  # K = 2
+        query = tiny_instance.query(0)
+        dataset = tiny_instance.dataset(0)
+        nodes = [
+            v for v in tiny_instance.placement_nodes if v != dataset.origin_node
+        ]
+        state.replicas.place(0, nodes[0])  # slot 2 of 2 used
+        with pytest.raises(ReplicaError):
+            state.serve(query, dataset, nodes[1])
+
+
+class TestFeasibilityHelpers:
+    def test_compute_demand(self, tiny_instance):
+        state = ClusterState(tiny_instance)
+        q = tiny_instance.query(2)
+        d = tiny_instance.dataset(1)
+        assert state.compute_demand(q, d) == pytest.approx(4.0 * 1.2)
+
+    def test_can_serve_consistent_with_serve(self, tiny_instance):
+        state = ClusterState(tiny_instance)
+        for q in tiny_instance.queries:
+            for d_id in q.demanded:
+                d = tiny_instance.dataset(d_id)
+                for v in tiny_instance.placement_nodes:
+                    if state.can_serve(q, d, v):
+                        with state.transaction():
+                            state.serve(q, d, v)  # must not raise
+                        break
+
+    def test_reserved_fraction(self, tiny_instance):
+        state = ClusterState(tiny_instance, reserved_fraction=0.5)
+        for v, node in state.nodes.items():
+            assert node.available_ghz == pytest.approx(
+                0.5 * tiny_instance.topology.capacity(v)
+            )
+
+    def test_bad_reserved_fraction(self, tiny_instance):
+        with pytest.raises(ValueError):
+            ClusterState(tiny_instance, reserved_fraction=1.0)
+
+
+class TestTransaction:
+    def test_rollback_restores_everything(self, tiny_instance):
+        state = ClusterState(tiny_instance)
+        node = tiny_instance.placement_nodes[5]
+        with state.transaction():
+            state.serve(tiny_instance.query(0), tiny_instance.dataset(0), node)
+            # no commit
+        assert not state.replicas.has(0, node)
+        assert state.nodes[node].allocated_ghz == 0.0
+
+    def test_commit_keeps_mutations(self, tiny_instance):
+        state = ClusterState(tiny_instance)
+        node = tiny_instance.placement_nodes[5]
+        with state.transaction() as txn:
+            state.serve(tiny_instance.query(0), tiny_instance.dataset(0), node)
+            txn.commit()
+        assert state.replicas.has(0, node)
+        assert state.nodes[node].allocated_ghz > 0.0
+
+    def test_rollback_on_exception(self, tiny_instance):
+        state = ClusterState(tiny_instance)
+        node = tiny_instance.placement_nodes[5]
+        with pytest.raises(RuntimeError):
+            with state.transaction():
+                state.serve(tiny_instance.query(0), tiny_instance.dataset(0), node)
+                raise RuntimeError("boom")
+        assert not state.replicas.has(0, node)
+
+    def test_nested_state_unaffected_before_transaction(self, tiny_instance):
+        state = ClusterState(tiny_instance)
+        pre = state.serve(
+            tiny_instance.query(0),
+            tiny_instance.dataset(0),
+            tiny_instance.dataset(0).origin_node,
+        )
+        with state.transaction():
+            state.serve(
+                tiny_instance.query(2),
+                tiny_instance.dataset(1),
+                tiny_instance.dataset(1).origin_node,
+            )
+        # Pre-transaction allocation survives the rollback.
+        assert (pre.query_id, pre.dataset_id) in [
+            tag for n in state.nodes.values() for tag in n.allocation_tags()
+        ]
+
+
+class TestReporting:
+    def test_total_allocated(self, tiny_instance):
+        state = ClusterState(tiny_instance)
+        q = tiny_instance.query(0)
+        d = tiny_instance.dataset(0)
+        state.serve(q, d, d.origin_node)
+        assert state.total_allocated() == pytest.approx(
+            state.compute_demand(q, d)
+        )
+
+    def test_utilization_by_node(self, tiny_instance):
+        state = ClusterState(tiny_instance)
+        utils = state.utilization_by_node()
+        assert set(utils) == set(tiny_instance.placement_nodes)
+        assert all(u == 0.0 for u in utils.values())

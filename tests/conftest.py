@@ -1,0 +1,87 @@
+"""Shared test fixtures: canonical small topologies, workloads, instances."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.instance import ProblemInstance
+from repro.core.types import Dataset, Query
+from repro.topology.twotier import EdgeCloudTopology, TwoTierConfig, generate_two_tier
+from repro.util.rng import spawn_rng
+from repro.workload.params import PaperDefaults
+from repro.workload.queries import generate_workload
+
+SMALL_TOPOLOGY = TwoTierConfig(
+    num_data_centers=2,
+    num_cloudlets=6,
+    num_switches=2,
+    num_base_stations=2,
+)
+
+
+@pytest.fixture(scope="session")
+def paper_topology() -> EdgeCloudTopology:
+    """The paper's base topology (6 DC, 24 CL, 2 SW), fixed seed."""
+    return generate_two_tier(seed=1)
+
+
+@pytest.fixture(scope="session")
+def small_topology() -> EdgeCloudTopology:
+    """A small topology for fast exact/feasibility tests."""
+    return generate_two_tier(SMALL_TOPOLOGY, seed=2)
+
+
+@pytest.fixture(scope="session")
+def paper_instance(paper_topology) -> ProblemInstance:
+    """Default-parameter workload on the paper topology."""
+    return generate_workload(paper_topology, spawn_rng(1, "wl"), PaperDefaults())
+
+
+@pytest.fixture(scope="session")
+def special_instance(paper_topology) -> ProblemInstance:
+    """Single-dataset-per-query workload (the -S algorithms' regime)."""
+    return generate_workload(
+        paper_topology, spawn_rng(1, "wl-s"), PaperDefaults().single_dataset()
+    )
+
+
+@pytest.fixture()
+def tiny_instance(small_topology) -> ProblemInstance:
+    """A hand-built 2-dataset / 3-query instance with generous deadlines."""
+    placement = small_topology.placement_nodes
+    datasets = {
+        0: Dataset(dataset_id=0, volume_gb=2.0, origin_node=placement[0], name="S0"),
+        1: Dataset(dataset_id=1, volume_gb=4.0, origin_node=placement[1], name="S1"),
+    }
+    queries = [
+        Query(
+            query_id=0,
+            home_node=placement[2],
+            demanded=(0,),
+            selectivity=(0.5,),
+            compute_rate=1.0,
+            deadline_s=10.0,
+        ),
+        Query(
+            query_id=1,
+            home_node=placement[3],
+            demanded=(0, 1),
+            selectivity=(0.5, 0.8),
+            compute_rate=1.0,
+            deadline_s=10.0,
+        ),
+        Query(
+            query_id=2,
+            home_node=placement[2],
+            demanded=(1,),
+            selectivity=(0.9,),
+            compute_rate=1.2,
+            deadline_s=10.0,
+        ),
+    ]
+    return ProblemInstance(
+        topology=small_topology,
+        datasets=datasets,
+        queries=queries,
+        max_replicas=2,
+    )

@@ -1,0 +1,137 @@
+"""Tests for bandwidth-aware placement."""
+
+import pytest
+
+from repro.core import (
+    BandwidthApproG,
+    evaluate_solution,
+    make_algorithm,
+    verify_solution,
+)
+from repro.core.bandwidth import BandwidthAwareState
+from repro.experiments.runner import make_instance
+from repro.network.routing import extract_path
+from repro.sim import ExecutionConfig, execute_placement
+from repro.topology.twotier import TwoTierConfig
+from repro.workload.params import PaperDefaults
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return make_instance(TwoTierConfig(), PaperDefaults(), 0, 0)
+
+
+class TestBandwidthAwareState:
+    def test_serve_charges_path_links(self, instance):
+        state = BandwidthAwareState(instance, link_budget_gb=50.0)
+        query = instance.queries[0]
+        dataset = instance.dataset(query.demanded[0])
+        node = next(
+            v
+            for v in instance.placement_nodes
+            if v != query.home_node and state.can_serve(query, dataset, v)
+        )
+        assignment = state.serve(query, dataset, node)
+        path = extract_path(instance.paths, node, query.home_node)
+        flow = query.alpha_for(dataset.dataset_id) * dataset.volume_gb
+        for u, v in zip(path, path[1:]):
+            assert state.links.available(u, v) == pytest.approx(50.0 - flow)
+        state.release(assignment)
+        for u, v in zip(path, path[1:]):
+            assert state.links.available(u, v) == pytest.approx(50.0)
+
+    def test_home_service_charges_nothing(self, instance):
+        state = BandwidthAwareState(instance, link_budget_gb=50.0)
+        query = next(
+            q
+            for q in instance.queries
+            for d in q.demanded
+            if state.can_serve(q, instance.dataset(d), q.home_node)
+        )
+        d_id = next(
+            d
+            for d in query.demanded
+            if state.can_serve(query, instance.dataset(d), query.home_node)
+        )
+        state.serve(query, instance.dataset(d_id), query.home_node)
+        assert all(u <= 1e-12 for u in state.links.utilization().values())
+
+    def test_transaction_rolls_back_links(self, instance):
+        state = BandwidthAwareState(instance, link_budget_gb=50.0)
+        query = instance.queries[0]
+        dataset = instance.dataset(query.demanded[0])
+        node = next(
+            v
+            for v in instance.placement_nodes
+            if v != query.home_node and state.can_serve(query, dataset, v)
+        )
+        with state.transaction():
+            state.serve(query, dataset, node)
+        assert all(u <= 1e-12 for u in state.links.utilization().values())
+
+    def test_can_serve_respects_budget(self, instance):
+        state = BandwidthAwareState(instance, link_budget_gb=1e-6)
+        query = instance.queries[0]
+        dataset = instance.dataset(query.demanded[0])
+        for v in instance.placement_nodes:
+            if v == query.home_node:
+                continue
+            assert not state.can_serve(query, dataset, v)
+
+
+class TestBandwidthApproG:
+    def test_solves_and_verifies(self, instance):
+        solution = BandwidthApproG(link_budget_gb=20.0).solve(instance)
+        verify_solution(instance, solution)
+        assert solution.extras["max_link_utilization"] <= 1.0 + 1e-9
+
+    def test_registered(self):
+        algo = make_algorithm("appro-bw-g")
+        assert algo.name == "appro-bw-g"
+
+    def test_generous_budget_matches_plain(self, instance):
+        plain = evaluate_solution(
+            instance, make_algorithm("appro-g").solve(instance)
+        ).admitted_volume_gb
+        generous = evaluate_solution(
+            instance, BandwidthApproG(link_budget_gb=1e9).solve(instance)
+        ).admitted_volume_gb
+        assert generous == pytest.approx(plain)
+
+    @pytest.mark.parametrize("budget", [2.0, 5.0, 20.0])
+    def test_link_budgets_respected(self, instance, budget):
+        """The defining invariant: recomputed per-link flow ≤ budget.
+
+        (Admitted volume is *not* monotone in the budget — sequential
+        admission can reject early queries and thereby fit later, larger
+        ones — so the bound is the property, not monotonicity.)
+        """
+        solution = BandwidthApproG(link_budget_gb=budget).solve(instance)
+        load: dict[tuple[int, int], float] = {}
+        for (q_id, d_id), a in solution.assignments.items():
+            query = instance.query(q_id)
+            if a.node == query.home_node:
+                continue
+            flow = query.alpha_for(d_id) * instance.dataset(d_id).volume_gb
+            path = extract_path(instance.paths, a.node, query.home_node)
+            for u, v in zip(path, path[1:]):
+                key = (min(u, v), max(u, v))
+                load[key] = load.get(key, 0.0) + flow
+        assert all(total <= budget * (1 + 1e-9) for total in load.values())
+
+    def test_tight_budget_reduces_contention_violations(self):
+        """The extension's point: fewer deadline misses under contention."""
+        tight_viol = plain_viol = 0
+        for seed in range(5):
+            inst = make_instance(TwoTierConfig(), PaperDefaults(), seed, 0)
+            plain = make_algorithm("appro-g").solve(inst)
+            tight = BandwidthApproG(link_budget_gb=5.0).solve(inst)
+            cfg = ExecutionConfig(contention=True)
+            plain_viol += execute_placement(inst, plain, cfg).deadline_violations
+            tight_viol += execute_placement(inst, tight, cfg).deadline_violations
+        assert tight_viol <= plain_viol
+
+    def test_deterministic(self, instance):
+        s1 = BandwidthApproG(link_budget_gb=10.0).solve(instance)
+        s2 = BandwidthApproG(link_budget_gb=10.0).solve(instance)
+        assert s1.admitted == s2.admitted

@@ -1,0 +1,102 @@
+"""Tests for pay-as-you-go billing."""
+
+import pytest
+
+from repro.cluster.consistency import ConsistencyModel
+from repro.core import PricingModel, bill_solution, make_algorithm
+from repro.core.types import PlacementSolution
+from repro.experiments.runner import make_instance
+from repro.topology.twotier import TwoTierConfig
+from repro.util.validation import ValidationError
+from repro.workload.params import PaperDefaults
+
+
+@pytest.fixture(scope="module")
+def billed():
+    instance = make_instance(TwoTierConfig(), PaperDefaults(), 1, 0)
+    solution = make_algorithm("appro-g").solve(instance)
+    return instance, solution, bill_solution(instance, solution)
+
+
+class TestInvoice:
+    def test_revenue_tracks_served_volume(self, billed):
+        instance, solution, invoice = billed
+        served = sum(
+            instance.dataset(d).volume_gb for (_, d) in solution.assignments
+        )
+        assert invoice.served_gb == pytest.approx(served)
+        assert invoice.revenue == pytest.approx(
+            PricingModel().revenue_per_gb * served
+        )
+
+    def test_profit_identity(self, billed):
+        _, _, invoice = billed
+        assert invoice.profit == pytest.approx(
+            invoice.revenue - invoice.total_cost
+        )
+
+    def test_seeded_counts_non_origin_copies(self, billed):
+        instance, solution, invoice = billed
+        expected = sum(
+            (len(nodes) - 1) * instance.dataset(d).volume_gb
+            for d, nodes in solution.replicas.items()
+        )
+        assert invoice.seeded_gb == pytest.approx(expected)
+
+    def test_local_service_has_no_intermediate_transfer(self, billed):
+        instance, solution, invoice = billed
+        remote = sum(
+            instance.query(q).alpha_for(d) * instance.dataset(d).volume_gb
+            for (q, d), a in solution.assignments.items()
+            if a.node != instance.query(q).home_node
+        )
+        assert invoice.intermediate_gb == pytest.approx(remote)
+
+    def test_sync_cost_scales_with_growth(self, billed):
+        instance, solution, _ = billed
+        calm = bill_solution(
+            instance,
+            solution,
+            PricingModel(consistency=ConsistencyModel(growth_rate_per_day=0.0)),
+        )
+        busy = bill_solution(
+            instance,
+            solution,
+            PricingModel(consistency=ConsistencyModel(growth_rate_per_day=0.2)),
+        )
+        assert calm.sync_cost == 0.0
+        assert busy.sync_cost > 0.0
+
+    def test_empty_solution_costs_only_nothing(self, billed):
+        instance, _, _ = billed
+        empty = PlacementSolution(
+            algorithm="none",
+            replicas={
+                d: (ds.origin_node,) for d, ds in instance.datasets.items()
+            },
+            assignments={},
+            admitted=frozenset(),
+            rejected=frozenset(range(instance.num_queries)),
+        )
+        invoice = bill_solution(instance, empty)
+        assert invoice.revenue == 0.0
+        assert invoice.total_cost == 0.0
+
+    def test_invalid_pricing_rejected(self):
+        with pytest.raises(ValidationError):
+            PricingModel(revenue_per_gb=0.0)
+
+
+class TestProviderIncomeClaim:
+    def test_appro_maximises_provider_profit(self):
+        """The paper's §1 claim: the volume objective maximises income."""
+        profits = {n: 0.0 for n in ("appro-g", "greedy-g", "popularity-g")}
+        for seed in range(6):
+            instance = make_instance(TwoTierConfig(), PaperDefaults(), seed, 0)
+            for name in profits:
+                invoice = bill_solution(
+                    instance, make_algorithm(name).solve(instance)
+                )
+                profits[name] += invoice.profit / 6
+        assert profits["appro-g"] > profits["greedy-g"]
+        assert profits["appro-g"] > profits["popularity-g"]

@@ -1,0 +1,90 @@
+"""Tests for rejection diagnosis."""
+
+import pytest
+
+from repro.core import make_algorithm
+from repro.core.explain import (
+    RejectionReason,
+    explain_rejections,
+    rejection_histogram,
+)
+from repro.experiments.runner import make_instance
+from repro.topology.twotier import TwoTierConfig
+from repro.workload.params import PaperDefaults
+
+
+@pytest.fixture(scope="module")
+def diagnosed():
+    instance = make_instance(TwoTierConfig(), PaperDefaults(), 0, 0)
+    solution = make_algorithm("appro-g").solve(instance)
+    return instance, solution, explain_rejections(instance, solution)
+
+
+class TestExplainRejections:
+    def test_covers_exactly_the_rejected(self, diagnosed):
+        _, solution, diagnoses = diagnosed
+        assert set(diagnoses) == set(solution.rejected)
+
+    def test_every_pair_diagnosed(self, diagnosed):
+        instance, _, diagnoses = diagnosed
+        for q_id, diagnosis in diagnoses.items():
+            query = instance.query(q_id)
+            assert {p.dataset_id for p in diagnosis.pairs} == set(query.demanded)
+
+    def test_counts_consistent(self, diagnosed):
+        instance, solution, diagnoses = diagnosed
+        for diagnosis in diagnoses.values():
+            for pair in diagnosis.pairs:
+                assert 0 <= pair.feasible_holders <= pair.delay_feasible_nodes
+                assert pair.delay_feasible_nodes <= instance.num_placement_nodes
+
+    def test_no_delay_reason_means_zero_feasible(self, diagnosed):
+        _, _, diagnoses = diagnosed
+        for diagnosis in diagnoses.values():
+            for pair in diagnosis.pairs:
+                if pair.reason is RejectionReason.NO_DELAY_FEASIBLE_NODE:
+                    assert pair.delay_feasible_nodes == 0
+                else:
+                    assert pair.delay_feasible_nodes > 0
+
+    def test_read_only(self, diagnosed):
+        _, _, diagnoses = diagnosed
+        with pytest.raises(TypeError):
+            diagnoses[99999] = None
+
+    def test_bottleneck_ordering(self, diagnosed):
+        """The bottleneck is the most fundamental reason among the pairs."""
+        _, _, diagnoses = diagnosed
+        for diagnosis in diagnoses.values():
+            reasons = {p.reason for p in diagnosis.pairs}
+            if RejectionReason.NO_DELAY_FEASIBLE_NODE in reasons:
+                assert (
+                    diagnosis.bottleneck
+                    is RejectionReason.NO_DELAY_FEASIBLE_NODE
+                )
+
+
+class TestHistogram:
+    def test_histogram_totals(self, diagnosed):
+        _, solution, diagnoses = diagnosed
+        hist = rejection_histogram(diagnoses)
+        assert sum(hist.values()) == len(solution.rejected)
+        assert set(hist) == set(RejectionReason)
+
+    def test_tight_k_shows_replica_exhaustion(self):
+        """With K = 1, rejections are dominated by replica exhaustion (the
+        origin is the only copy) rather than capacity."""
+        params = PaperDefaults().with_max_replicas(1)
+        instance = make_instance(TwoTierConfig(), params, 3, 0)
+        solution = make_algorithm("appro-g").solve(instance)
+        hist = rejection_histogram(explain_rejections(instance, solution))
+        assert hist[RejectionReason.REPLICAS_EXHAUSTED] >= hist[
+            RejectionReason.CAPACITY_EXHAUSTED
+        ]
+
+    def test_loose_everything_rejects_nothing(self, tiny_instance):
+        solution = make_algorithm("appro-g").solve(tiny_instance)
+        diagnoses = explain_rejections(tiny_instance, solution)
+        assert diagnoses == {} or all(
+            d.bottleneck is RejectionReason.SERVABLE for d in diagnoses.values()
+        )

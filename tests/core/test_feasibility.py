@@ -1,0 +1,80 @@
+"""Tests for shared feasibility queries."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.state import ClusterState
+from repro.core.feasibility import candidate_nodes, delay_feasible_nodes
+
+
+class TestDelayFeasibleNodes:
+    def test_matches_scalar_check(self, paper_instance):
+        state = ClusterState(paper_instance)
+        for q in paper_instance.queries[:10]:
+            for d_id in q.demanded:
+                d = paper_instance.dataset(d_id)
+                fast = set(int(v) for v in delay_feasible_nodes(state, q, d))
+                slow = {
+                    v
+                    for v in paper_instance.placement_nodes
+                    if paper_instance.pair_latency(q, d, v) <= q.deadline_s
+                }
+                assert fast == slow
+
+    def test_generous_deadline_all_feasible(self, tiny_instance):
+        state = ClusterState(tiny_instance)
+        q = tiny_instance.query(0)
+        d = tiny_instance.dataset(0)
+        assert len(delay_feasible_nodes(state, q, d)) == len(
+            tiny_instance.placement_nodes
+        )
+
+
+class TestCandidateNodes:
+    def test_candidates_subset_of_delay_feasible(self, paper_instance):
+        state = ClusterState(paper_instance)
+        q = paper_instance.queries[0]
+        d = paper_instance.dataset(q.demanded[0])
+        delay_ok = set(int(v) for v in delay_feasible_nodes(state, q, d))
+        for c in candidate_nodes(state, q, d):
+            assert c.node in delay_ok
+
+    def test_latency_recorded_correctly(self, paper_instance):
+        state = ClusterState(paper_instance)
+        q = paper_instance.queries[0]
+        d = paper_instance.dataset(q.demanded[0])
+        for c in candidate_nodes(state, q, d):
+            assert c.latency_s == pytest.approx(
+                paper_instance.pair_latency(q, d, c.node)
+            )
+            assert c.latency_s <= q.deadline_s
+
+    def test_has_replica_flag(self, tiny_instance):
+        state = ClusterState(tiny_instance)
+        q = tiny_instance.query(0)
+        d = tiny_instance.dataset(0)
+        flags = {c.node: c.has_replica for c in candidate_nodes(state, q, d)}
+        assert flags[d.origin_node] is True
+        assert not any(
+            has for node, has in flags.items() if node != d.origin_node
+        )
+
+    def test_k_exhaustion_limits_candidates(self, tiny_instance):
+        state = ClusterState(tiny_instance)  # K = 2
+        d = tiny_instance.dataset(0)
+        others = [
+            v for v in tiny_instance.placement_nodes if v != d.origin_node
+        ]
+        state.replicas.place(0, others[0])
+        q = tiny_instance.query(0)
+        nodes = {c.node for c in candidate_nodes(state, q, d)}
+        assert nodes == {d.origin_node, others[0]}
+
+    def test_full_node_excluded(self, tiny_instance):
+        state = ClusterState(tiny_instance)
+        q = tiny_instance.query(0)
+        d = tiny_instance.dataset(0)
+        victim = d.origin_node
+        state.nodes[victim].allocate("filler", state.nodes[victim].available_ghz)
+        nodes = {c.node for c in candidate_nodes(state, q, d)}
+        assert victim not in nodes

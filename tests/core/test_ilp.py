@@ -1,0 +1,111 @@
+"""Tests for the ILP model, LP relaxation and branch-and-bound."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ApproG,
+    build_lp_model,
+    evaluate_solution,
+    make_algorithm,
+    solve_ilp,
+    solve_lp_relaxation,
+)
+from repro.experiments.runner import make_instance
+from repro.topology.twotier import TwoTierConfig
+from repro.workload.params import PaperDefaults
+
+SMALL = TwoTierConfig(
+    num_data_centers=2, num_cloudlets=5, num_switches=1, num_base_stations=1
+)
+SMALL_PARAMS = (
+    PaperDefaults()
+    .with_num_queries(6)
+    .with_num_datasets(3)
+    .with_max_datasets_per_query(2)
+)
+
+
+@pytest.fixture(scope="module")
+def small_instances():
+    return [make_instance(SMALL, SMALL_PARAMS, 13, r) for r in range(4)]
+
+
+class TestBuildModel:
+    def test_triples_are_delay_feasible(self, small_instances):
+        instance = small_instances[0]
+        model = build_lp_model(instance)
+        for q_id, d_id, v in model.triples:
+            q = instance.query(q_id)
+            d = instance.dataset(d_id)
+            assert instance.pair_latency(q, d, v) <= q.deadline_s
+
+    def test_origin_bounds_pinned(self, small_instances):
+        instance = small_instances[0]
+        model = build_lp_model(instance)
+        n_pi = len(model.triples)
+        origins = {
+            (d.dataset_id, d.origin_node) for d in instance.datasets.values()
+        }
+        for i, key in enumerate(model.placements):
+            low, high = model.bounds[n_pi + i]
+            if key in origins:
+                assert (low, high) == (1.0, 1.0)
+            else:
+                assert (low, high) == (0.0, 1.0)
+
+    def test_objective_negated_volumes(self, small_instances):
+        instance = small_instances[0]
+        model = build_lp_model(instance)
+        for t, (q_id, d_id, _) in enumerate(model.triples):
+            assert model.costs[t] == -instance.dataset(d_id).volume_gb
+
+
+class TestLpRelaxation:
+    def test_bounds_any_algorithm(self, small_instances):
+        for instance in small_instances:
+            lp = solve_lp_relaxation(instance)
+            for name in ("appro-g", "greedy-g", "graph-g", "popularity-g"):
+                primal = evaluate_solution(
+                    instance, make_algorithm(name).solve(instance)
+                ).admitted_volume_gb
+                assert primal <= lp.objective + 1e-6
+
+    def test_solution_within_box(self, small_instances):
+        lp = solve_lp_relaxation(small_instances[0])
+        z = np.concatenate([lp.pi, lp.x])
+        assert np.all(z >= -1e-9)
+        assert np.all(z <= 1.0 + 1e-9)
+
+    def test_upper_bounded_by_total_demand(self, small_instances):
+        for instance in small_instances:
+            lp = solve_lp_relaxation(instance)
+            assert lp.objective <= instance.total_demanded_volume() + 1e-6
+
+
+class TestBranchAndBound:
+    def test_ilp_between_primal_and_lp(self, small_instances):
+        for instance in small_instances:
+            lp = solve_lp_relaxation(instance)
+            ilp = solve_ilp(instance)
+            assert ilp.integral
+            assert ilp.objective <= lp.objective + 1e-6
+            primal = evaluate_solution(
+                instance, ApproG(partial_admission=True).solve(instance)
+            ).admitted_volume_gb
+            assert primal <= ilp.objective + 1e-6
+
+    def test_integral_solution_variables(self, small_instances):
+        ilp = solve_ilp(small_instances[0])
+        z = np.concatenate([ilp.pi, ilp.x])
+        frac = np.minimum(np.abs(z), np.abs(1 - z))
+        assert frac.max() <= 1e-6
+
+    def test_node_budget_enforced(self, small_instances):
+        with pytest.raises(RuntimeError, match="nodes"):
+            solve_ilp(small_instances[0], max_nodes=1)
+
+    def test_deterministic(self, small_instances):
+        o1 = solve_ilp(small_instances[1]).objective
+        o2 = solve_ilp(small_instances[1]).objective
+        assert o1 == pytest.approx(o2)

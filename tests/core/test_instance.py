@@ -1,0 +1,126 @@
+"""Tests for problem-instance validation and derived structures."""
+
+import numpy as np
+import pytest
+
+from repro.core.instance import ProblemInstance
+from repro.core.types import Dataset, Query
+from repro.util.validation import ValidationError
+
+
+def _query(query_id, home, demanded=(0,), deadline=5.0):
+    return Query(
+        query_id=query_id,
+        home_node=home,
+        demanded=demanded,
+        selectivity=tuple(0.5 for _ in demanded),
+        compute_rate=1.0,
+        deadline_s=deadline,
+    )
+
+
+class TestValidation:
+    def test_valid(self, tiny_instance):
+        assert tiny_instance.num_queries == 3
+        assert tiny_instance.num_datasets == 2
+
+    def test_non_placement_origin_rejected(self, small_topology):
+        switch = small_topology.switches[0]
+        datasets = {0: Dataset(dataset_id=0, volume_gb=1.0, origin_node=switch)}
+        with pytest.raises(ValidationError, match="non-placement"):
+            ProblemInstance(
+                topology=small_topology,
+                datasets=datasets,
+                queries=[_query(0, small_topology.placement_nodes[0])],
+            )
+
+    def test_non_dense_query_ids_rejected(self, small_topology):
+        placement = small_topology.placement_nodes
+        datasets = {0: Dataset(dataset_id=0, volume_gb=1.0, origin_node=placement[0])}
+        with pytest.raises(ValidationError, match="dense"):
+            ProblemInstance(
+                topology=small_topology,
+                datasets=datasets,
+                queries=[_query(5, placement[0])],
+            )
+
+    def test_unknown_demanded_dataset_rejected(self, small_topology):
+        placement = small_topology.placement_nodes
+        datasets = {0: Dataset(dataset_id=0, volume_gb=1.0, origin_node=placement[0])}
+        with pytest.raises(ValidationError, match="unknown dataset"):
+            ProblemInstance(
+                topology=small_topology,
+                datasets=datasets,
+                queries=[_query(0, placement[0], demanded=(7,))],
+            )
+
+    def test_non_placement_home_rejected(self, small_topology):
+        placement = small_topology.placement_nodes
+        datasets = {0: Dataset(dataset_id=0, volume_gb=1.0, origin_node=placement[0])}
+        with pytest.raises(ValidationError, match="home"):
+            ProblemInstance(
+                topology=small_topology,
+                datasets=datasets,
+                queries=[_query(0, small_topology.switches[0])],
+            )
+
+    def test_zero_max_replicas_rejected(self, small_topology):
+        placement = small_topology.placement_nodes
+        datasets = {0: Dataset(dataset_id=0, volume_gb=1.0, origin_node=placement[0])}
+        with pytest.raises(Exception):
+            ProblemInstance(
+                topology=small_topology,
+                datasets=datasets,
+                queries=[_query(0, placement[0])],
+                max_replicas=0,
+            )
+
+
+class TestDerived:
+    def test_capacities_order(self, tiny_instance):
+        caps = tiny_instance.capacities
+        for i, v in enumerate(tiny_instance.placement_nodes):
+            assert caps[i] == tiny_instance.topology.capacity(v)
+
+    def test_arrays_read_only(self, tiny_instance):
+        with pytest.raises(ValueError):
+            tiny_instance.capacities[0] = 1.0
+        with pytest.raises(ValueError):
+            tiny_instance.proc_delays[0] = 1.0
+
+    def test_home_delay_vectors(self, tiny_instance):
+        for q in tiny_instance.queries:
+            vec = tiny_instance.home_delay_vectors[q.home_node]
+            assert len(vec) == tiny_instance.num_placement_nodes
+            idx = tiny_instance.node_index[q.home_node]
+            assert vec[idx] == 0.0
+
+    def test_node_index_inverse(self, tiny_instance):
+        for v, i in tiny_instance.node_index.items():
+            assert tiny_instance.placement_nodes[i] == v
+
+    def test_total_demanded_volume(self, tiny_instance):
+        # q0: S0(2) + q1: S0(2)+S1(4) + q2: S1(4) = 12
+        assert tiny_instance.total_demanded_volume() == pytest.approx(12.0)
+
+    def test_is_special_case(self, tiny_instance, special_instance):
+        assert not tiny_instance.is_special_case()
+        assert special_instance.is_special_case()
+
+    def test_pair_latency_formula(self, tiny_instance):
+        q = tiny_instance.query(1)
+        d = tiny_instance.dataset(1)
+        v = tiny_instance.placement_nodes[0]
+        expected = d.volume_gb * (
+            tiny_instance.topology.proc_delay(v)
+            + q.alpha_for(1) * tiny_instance.paths.delay(v, q.home_node)
+        )
+        assert tiny_instance.pair_latency(q, d, v) == pytest.approx(expected)
+
+    def test_pair_latency_at_home_is_processing_only(self, tiny_instance):
+        q = tiny_instance.query(0)
+        d = tiny_instance.dataset(0)
+        home = q.home_node
+        assert tiny_instance.pair_latency(q, d, home) == pytest.approx(
+            d.volume_gb * tiny_instance.topology.proc_delay(home)
+        )

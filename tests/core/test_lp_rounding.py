@@ -1,0 +1,72 @@
+"""Tests for the LP-rounding placement algorithm."""
+
+import pytest
+
+from repro.core import (
+    LpRoundingG,
+    evaluate_solution,
+    solve_ilp,
+    solve_lp_relaxation,
+    verify_solution,
+)
+from repro.experiments.runner import make_instance
+from repro.topology.twotier import TwoTierConfig
+from repro.workload.params import PaperDefaults
+
+SMALL = TwoTierConfig(
+    num_data_centers=2, num_cloudlets=6, num_switches=1, num_base_stations=1
+)
+SMALL_PARAMS = (
+    PaperDefaults()
+    .with_num_queries(8)
+    .with_num_datasets(4)
+    .with_max_datasets_per_query(2)
+)
+
+
+@pytest.fixture(scope="module", params=range(3))
+def small_instance(request):
+    return make_instance(SMALL, SMALL_PARAMS, 41, request.param)
+
+
+class TestLpRounding:
+    def test_solves_and_verifies(self, small_instance):
+        solution = LpRoundingG().solve(small_instance)
+        verify_solution(small_instance, solution)
+
+    def test_partial_mode(self, small_instance):
+        solution = LpRoundingG(partial_admission=True).solve(small_instance)
+        verify_solution(small_instance, solution, all_or_nothing=False)
+
+    def test_below_lp_bound(self, small_instance):
+        lp = solve_lp_relaxation(small_instance)
+        primal = evaluate_solution(
+            small_instance, LpRoundingG().solve(small_instance)
+        ).admitted_volume_gb
+        assert primal <= lp.objective + 1e-6
+
+    def test_reports_lp_objective(self, small_instance):
+        solution = LpRoundingG().solve(small_instance)
+        lp = solve_lp_relaxation(small_instance)
+        assert solution.extras["lp_objective"] == pytest.approx(lp.objective)
+
+    def test_deterministic(self, small_instance):
+        s1 = LpRoundingG().solve(small_instance)
+        s2 = LpRoundingG().solve(small_instance)
+        assert s1.admitted == s2.admitted
+
+    def test_near_optimal_on_small_instances(self, small_instance):
+        """Partial-mode rounding stays within a reasonable factor of OPT."""
+        opt = solve_ilp(small_instance).objective
+        got = evaluate_solution(
+            small_instance,
+            LpRoundingG(partial_admission=True).solve(small_instance),
+        ).admitted_volume_gb
+        if opt > 0:
+            assert got >= 0.5 * opt
+
+    def test_runs_on_paper_instance(self, paper_instance):
+        solution = LpRoundingG().solve(paper_instance)
+        verify_solution(paper_instance, solution)
+        metrics = evaluate_solution(paper_instance, solution)
+        assert metrics.admitted_volume_gb > 0

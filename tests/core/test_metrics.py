@@ -1,0 +1,170 @@
+"""Tests for solution metrics and the invariant checker."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.metrics import (
+    InvariantViolation,
+    evaluate_solution,
+    verify_solution,
+)
+from repro.core.types import Assignment, PlacementSolution
+from repro.core import make_algorithm
+
+
+def _mutate(solution: PlacementSolution, **kw) -> PlacementSolution:
+    return PlacementSolution(
+        algorithm=solution.algorithm,
+        replicas=kw.get("replicas", dict(solution.replicas)),
+        assignments=kw.get("assignments", dict(solution.assignments)),
+        admitted=kw.get("admitted", solution.admitted),
+        rejected=kw.get("rejected", solution.rejected),
+        extras=dict(solution.extras),
+    )
+
+
+@pytest.fixture(scope="module")
+def solved(request):
+    return None
+
+
+@pytest.fixture()
+def appro_solution(paper_instance):
+    return make_algorithm("appro-g").solve(paper_instance)
+
+
+class TestEvaluate:
+    def test_volume_equals_assignment_sum(self, paper_instance, appro_solution):
+        metrics = evaluate_solution(paper_instance, appro_solution)
+        expected = sum(
+            paper_instance.dataset(d).volume_gb
+            for (_, d) in appro_solution.assignments
+        )
+        assert metrics.admitted_volume_gb == pytest.approx(expected)
+
+    def test_throughput_fraction(self, paper_instance, appro_solution):
+        metrics = evaluate_solution(paper_instance, appro_solution)
+        assert metrics.throughput == pytest.approx(
+            len(appro_solution.admitted) / paper_instance.num_queries
+        )
+        assert 0.0 <= metrics.throughput <= 1.0
+
+    def test_utilization_bounded(self, paper_instance, appro_solution):
+        metrics = evaluate_solution(paper_instance, appro_solution)
+        assert 0.0 <= metrics.mean_utilization <= 1.0
+
+    def test_replicas_placed_excludes_origins(self, paper_instance, appro_solution):
+        metrics = evaluate_solution(paper_instance, appro_solution)
+        assert metrics.replicas_placed == sum(
+            len(nodes) - 1 for nodes in appro_solution.replicas.values()
+        )
+
+
+class TestVerify:
+    def test_valid_solution_passes(self, paper_instance, appro_solution):
+        verify_solution(paper_instance, appro_solution)
+
+    def test_detects_over_k(self, paper_instance, appro_solution):
+        replicas = dict(appro_solution.replicas)
+        d_id = next(iter(replicas))
+        replicas[d_id] = tuple(paper_instance.placement_nodes)  # way over K
+        bad = _mutate(appro_solution, replicas=replicas)
+        with pytest.raises(InvariantViolation, match="copies"):
+            verify_solution(paper_instance, bad)
+
+    def test_detects_lost_origin(self, paper_instance, appro_solution):
+        replicas = dict(appro_solution.replicas)
+        d_id = next(iter(replicas))
+        origin = paper_instance.dataset(d_id).origin_node
+        replicas[d_id] = tuple(v for v in replicas[d_id] if v != origin) or (
+            paper_instance.placement_nodes[0]
+            if paper_instance.placement_nodes[0] != origin
+            else paper_instance.placement_nodes[1],
+        )
+        bad = _mutate(appro_solution, replicas=replicas)
+        with pytest.raises(InvariantViolation, match="origin"):
+            verify_solution(paper_instance, bad)
+
+    def test_detects_assignment_without_replica(self, paper_instance, appro_solution):
+        assignments = dict(appro_solution.assignments)
+        (q_id, d_id), a = next(iter(assignments.items()))
+        wrong_node = next(
+            v
+            for v in paper_instance.placement_nodes
+            if v not in appro_solution.replicas[d_id]
+        )
+        assignments[(q_id, d_id)] = dataclasses.replace(a, node=wrong_node)
+        bad = _mutate(appro_solution, assignments=assignments)
+        with pytest.raises(InvariantViolation):
+            verify_solution(paper_instance, bad)
+
+    def test_detects_uncovered_query(self, paper_instance, appro_solution):
+        admitted = set(appro_solution.admitted)
+        rejected = set(appro_solution.rejected)
+        moved = next(iter(rejected))
+        rejected.remove(moved)
+        bad = _mutate(
+            appro_solution,
+            admitted=frozenset(admitted),
+            rejected=frozenset(rejected),
+        )
+        with pytest.raises(InvariantViolation, match="cover"):
+            verify_solution(paper_instance, bad)
+
+    def test_detects_admitted_without_full_coverage(
+        self, paper_instance, appro_solution
+    ):
+        admitted = set(appro_solution.admitted)
+        rejected = set(appro_solution.rejected)
+        moved = next(iter(rejected))
+        rejected.remove(moved)
+        admitted.add(moved)  # admitted but has no assignments
+        bad = _mutate(
+            appro_solution,
+            admitted=frozenset(admitted),
+            rejected=frozenset(rejected),
+        )
+        with pytest.raises(InvariantViolation):
+            verify_solution(paper_instance, bad)
+
+    def test_detects_rejected_with_assignments(self, paper_instance, appro_solution):
+        admitted = set(appro_solution.admitted)
+        rejected = set(appro_solution.rejected)
+        moved = next(iter(admitted))
+        admitted.remove(moved)
+        rejected.add(moved)
+        bad = _mutate(
+            appro_solution,
+            admitted=frozenset(admitted),
+            rejected=frozenset(rejected),
+        )
+        with pytest.raises(InvariantViolation, match="rejected"):
+            verify_solution(paper_instance, bad)
+
+    def test_detects_capacity_violation(self, paper_instance, appro_solution):
+        assignments = dict(appro_solution.assignments)
+        (key, a) = next(iter(assignments.items()))
+        assignments[key] = dataclasses.replace(
+            a, compute_ghz=a.compute_ghz + 10_000.0
+        )
+        bad = _mutate(appro_solution, assignments=assignments)
+        with pytest.raises(InvariantViolation, match="capacity"):
+            verify_solution(paper_instance, bad)
+
+    def test_partial_mode_allows_subset(self, paper_instance, appro_solution):
+        # Drop one assignment of a multi-dataset admitted query.
+        victim = next(
+            q_id
+            for q_id in appro_solution.admitted
+            if paper_instance.query(q_id).num_datasets > 1
+        )
+        assignments = {
+            k: v
+            for k, v in appro_solution.assignments.items()
+            if k != (victim, paper_instance.query(victim).demanded[0])
+        }
+        partial = _mutate(appro_solution, assignments=assignments)
+        with pytest.raises(InvariantViolation):
+            verify_solution(paper_instance, partial, all_or_nothing=True)
+        verify_solution(paper_instance, partial, all_or_nothing=False)

@@ -1,0 +1,108 @@
+"""Tests for epoch-to-epoch replica migration."""
+
+import pytest
+
+from repro.core import MigrationPlanner, verify_solution
+from repro.core.instance import ProblemInstance
+from repro.topology.twotier import generate_two_tier
+from repro.util.rng import spawn_rng
+from repro.util.validation import ValidationError
+from repro.workload.datasets import generate_datasets
+from repro.workload.params import PaperDefaults
+from repro.workload.queries import generate_queries
+
+
+@pytest.fixture(scope="module")
+def epochs():
+    topology = generate_two_tier(seed=9)
+    params = PaperDefaults()
+    datasets = generate_datasets(topology, spawn_rng(9, "ds"), params, count=12)
+    out = []
+    for e in range(4):
+        queries = generate_queries(
+            topology, datasets, spawn_rng(9, f"q{e}"), params, count=50
+        )
+        out.append(
+            ProblemInstance(
+                topology=topology,
+                datasets=datasets,
+                queries=queries,
+                max_replicas=3,
+            )
+        )
+    return out
+
+
+class TestPlannerBasics:
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValidationError):
+            MigrationPlanner("random")
+
+    def test_reports_verified_solutions(self, epochs):
+        reports = MigrationPlanner("carry").run(epochs)
+        assert len(reports) == len(epochs)
+        for instance, report in zip(epochs, reports):
+            verify_solution(instance, report.solution)
+
+    def test_epoch0_identical_across_strategies(self, epochs):
+        """No history yet: every strategy solves epoch 0 the same way."""
+        vols = {
+            s: MigrationPlanner(s).run(epochs[:1])[0].admitted_volume_gb
+            for s in ("carry", "fresh", "frozen")
+        }
+        assert len(set(round(v, 6) for v in vols.values())) == 1
+
+    def test_deterministic(self, epochs):
+        r1 = MigrationPlanner("carry").run(epochs)
+        r2 = MigrationPlanner("carry").run(epochs)
+        assert [r.admitted_volume_gb for r in r1] == [
+            r.admitted_volume_gb for r in r2
+        ]
+
+    def test_reset_forgets_history(self, epochs):
+        planner = MigrationPlanner("carry")
+        first = planner.plan_epoch(epochs[0])
+        planner.reset()
+        again = planner.plan_epoch(epochs[0])
+        assert again.admitted_volume_gb == pytest.approx(
+            first.admitted_volume_gb
+        )
+        assert again.kept == 0  # nothing carried after reset
+
+
+class TestStrategySemantics:
+    def test_fresh_never_carries(self, epochs):
+        reports = MigrationPlanner("fresh").run(epochs)
+        assert all(r.kept == 0 for r in reports)
+        # Every epoch pays full seeding traffic.
+        assert all(r.migration_gb > 0 for r in reports)
+
+    def test_frozen_stops_migrating_after_epoch0(self, epochs):
+        reports = MigrationPlanner("frozen").run(epochs)
+        assert reports[0].migration_gb > 0
+        assert all(r.migration_gb == 0 for r in reports[1:])
+        assert all(r.added == 0 for r in reports[1:])
+        assert all(r.dropped == 0 for r in reports)  # no GC when frozen
+
+    def test_carry_migrates_less_than_fresh(self, epochs):
+        carry = MigrationPlanner("carry").run(epochs)
+        fresh = MigrationPlanner("fresh").run(epochs)
+        carry_traffic = sum(r.migration_gb for r in carry[1:])
+        fresh_traffic = sum(r.migration_gb for r in fresh[1:])
+        assert carry_traffic < fresh_traffic
+
+    def test_carry_serves_at_least_frozen(self, epochs):
+        """Adapting to drift cannot lose to never adapting, on average."""
+        carry = MigrationPlanner("carry").run(epochs)
+        frozen = MigrationPlanner("frozen").run(epochs)
+        assert sum(r.admitted_volume_gb for r in carry) >= sum(
+            r.admitted_volume_gb for r in frozen
+        )
+
+    def test_migration_cost_consistent_with_volume(self, epochs):
+        reports = MigrationPlanner("carry").run(epochs)
+        for r in reports:
+            if r.migration_gb == 0:
+                assert r.migration_cost_s == 0.0
+            else:
+                assert r.migration_cost_s > 0.0

@@ -1,0 +1,79 @@
+"""Tests for the online arrival session."""
+
+import pytest
+
+from repro.core import OnlineConfig, OnlineSession, appro_rule, greedy_rule
+from repro.experiments.runner import make_instance
+from repro.topology.twotier import TwoTierConfig
+from repro.util.validation import ValidationError
+from repro.workload.params import PaperDefaults
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return make_instance(TwoTierConfig(), PaperDefaults(), 3, 0)
+
+
+class TestOnlineSession:
+    def test_every_arrival_decided(self, instance):
+        report = OnlineSession().run(instance, appro_rule)
+        assert len(report.outcomes) == instance.num_queries
+        assert {o.query_id for o in report.outcomes} == set(
+            range(instance.num_queries)
+        )
+
+    def test_arrivals_in_time_order(self, instance):
+        report = OnlineSession().run(instance, appro_rule)
+        times = [o.arrival_s for o in report.outcomes]
+        assert times == sorted(times)
+        assert times[0] > 0.0
+
+    def test_volume_consistent_with_outcomes(self, instance):
+        report = OnlineSession().run(instance, appro_rule)
+        assert report.admitted_volume_gb == pytest.approx(
+            sum(o.volume_gb for o in report.outcomes if o.admitted)
+        )
+        assert report.throughput == pytest.approx(
+            sum(1 for o in report.outcomes if o.admitted) / len(report.outcomes)
+        )
+
+    def test_deterministic(self, instance):
+        cfg = OnlineConfig(seed=7)
+        r1 = OnlineSession(cfg).run(instance, appro_rule)
+        r2 = OnlineSession(cfg).run(instance, appro_rule)
+        assert r1.outcomes == r2.outcomes
+
+    def test_peak_allocation_positive_when_admitting(self, instance):
+        report = OnlineSession().run(instance, appro_rule)
+        if report.throughput > 0:
+            assert report.peak_allocated_ghz > 0.0
+
+    def test_appro_beats_greedy_online(self, instance):
+        """Capacity churn rewards price-aware placement even more than the
+        batch setting does."""
+        va = vg = 0.0
+        for seed in range(3):
+            cfg = OnlineConfig(seed=seed)
+            va += OnlineSession(cfg).run(instance, appro_rule).admitted_volume_gb
+            vg += OnlineSession(cfg).run(instance, greedy_rule).admitted_volume_gb
+        assert va > vg
+
+    def test_churn_beats_batch_admission(self, instance):
+        """With releases, the online session serves at least as much volume
+        as the batch all-or-nothing solution on the same instance."""
+        from repro.core import evaluate_solution, make_algorithm
+
+        batch = evaluate_solution(
+            instance, make_algorithm("appro-g").solve(instance)
+        ).admitted_volume_gb
+        # Slow arrivals → the cluster is nearly empty at each arrival.
+        online = OnlineSession(OnlineConfig(mean_interarrival_s=10.0)).run(
+            instance, appro_rule
+        )
+        assert online.admitted_volume_gb >= batch * 0.9
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ValidationError):
+            OnlineConfig(mean_interarrival_s=0.0)
+        with pytest.raises(ValidationError):
+            OnlineConfig(hold_factor=0.0)

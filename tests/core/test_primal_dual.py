@@ -1,0 +1,152 @@
+"""Tests for the primal-dual algorithms Appro-S and Appro-G."""
+
+import pytest
+
+from repro.core import (
+    ApproG,
+    ApproS,
+    PrimalDualConfig,
+    evaluate_solution,
+    solve_lp_relaxation,
+    verify_solution,
+)
+from repro.core.duals import NodePrices
+from repro.util.validation import ValidationError
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        cfg = PrimalDualConfig()
+        assert cfg.order == "density"
+        assert cfg.capacity_pricing
+
+    def test_unknown_order_rejected(self):
+        with pytest.raises(ValueError):
+            PrimalDualConfig(order="random")
+
+    def test_bad_theta_floor_rejected(self):
+        with pytest.raises(Exception):
+            PrimalDualConfig(theta_floor=1.0)
+
+
+class TestApproS:
+    def test_solves_and_verifies(self, special_instance):
+        solution = ApproS().solve(special_instance)
+        verify_solution(special_instance, solution)
+        assert solution.algorithm == "appro-s"
+
+    def test_rejects_general_instance(self, paper_instance):
+        with pytest.raises(ValidationError, match="special case"):
+            ApproS().solve(paper_instance)
+
+    def test_deterministic(self, special_instance):
+        s1 = ApproS().solve(special_instance)
+        s2 = ApproS().solve(special_instance)
+        assert s1.admitted == s2.admitted
+        assert dict(s1.replicas) == dict(s2.replicas)
+
+    def test_reports_dual_objective(self, special_instance):
+        solution = ApproS().solve(special_instance)
+        assert "dual_objective" in solution.extras
+        metrics = evaluate_solution(special_instance, solution)
+        # The dual certificate upper-bounds the primal objective.
+        assert solution.extras["dual_objective"] >= metrics.admitted_volume_gb
+
+    def test_all_admitted_have_deadline_met(self, special_instance):
+        solution = ApproS().solve(special_instance)
+        for a in solution.assignments.values():
+            q = special_instance.query(a.query_id)
+            assert a.latency_s <= q.deadline_s
+
+    def test_instance_not_mutated(self, special_instance):
+        before = [q.deadline_s for q in special_instance.queries]
+        ApproS().solve(special_instance)
+        assert [q.deadline_s for q in special_instance.queries] == before
+
+
+class TestApproG:
+    def test_solves_and_verifies(self, paper_instance):
+        solution = ApproG().solve(paper_instance)
+        verify_solution(paper_instance, solution)
+
+    def test_all_or_nothing_semantics(self, paper_instance):
+        solution = ApproG().solve(paper_instance)
+        for q_id in solution.admitted:
+            q = paper_instance.query(q_id)
+            served = {d for (qq, d) in solution.assignments if qq == q_id}
+            assert served == set(q.demanded)
+
+    def test_partial_mode_serves_at_least_as_much(self, paper_instance):
+        aon = evaluate_solution(
+            paper_instance, ApproG().solve(paper_instance)
+        ).admitted_volume_gb
+        part_solution = ApproG(partial_admission=True).solve(paper_instance)
+        verify_solution(paper_instance, part_solution, all_or_nothing=False)
+        part = evaluate_solution(paper_instance, part_solution).admitted_volume_gb
+        assert part >= aon - 1e-9
+
+    def test_deterministic(self, paper_instance):
+        s1 = ApproG().solve(paper_instance)
+        s2 = ApproG().solve(paper_instance)
+        assert s1.admitted == s2.admitted
+        assert set(s1.assignments) == set(s2.assignments)
+
+    def test_primal_below_lp_bound(self, tiny_instance):
+        solution = ApproG(partial_admission=True).solve(tiny_instance)
+        primal = evaluate_solution(tiny_instance, solution).admitted_volume_gb
+        lp = solve_lp_relaxation(tiny_instance)
+        assert primal <= lp.objective + 1e-6
+
+    def test_handles_special_instance_too(self, special_instance):
+        solution = ApproG().solve(special_instance)
+        verify_solution(special_instance, solution)
+
+    @pytest.mark.parametrize("order", ["density", "volume", "arrival"])
+    def test_all_orders_valid(self, paper_instance, order):
+        solution = ApproG(PrimalDualConfig(order=order)).solve(paper_instance)
+        verify_solution(paper_instance, solution)
+
+    def test_capacity_pricing_off_still_valid(self, paper_instance):
+        cfg = PrimalDualConfig(capacity_pricing=False)
+        solution = ApproG(cfg).solve(paper_instance)
+        verify_solution(paper_instance, solution)
+
+    def test_beta_zero_rejects_everything(self, paper_instance):
+        cfg = PrimalDualConfig(beta=1e-9)
+        solution = ApproG(cfg).solve(paper_instance)
+        assert solution.num_admitted == 0
+
+    def test_tiny_instance_full_admission(self, tiny_instance):
+        """Generous deadlines + ample capacity ⇒ everything admitted."""
+        solution = ApproG().solve(tiny_instance)
+        assert solution.num_admitted == 3
+
+
+class TestNodePrices:
+    def test_idle_price_is_floor(self, tiny_instance):
+        from repro.cluster.state import ClusterState
+
+        state = ClusterState(tiny_instance)
+        prices = NodePrices(theta_floor=0.02)
+        v = tiny_instance.placement_nodes[0]
+        assert prices.theta(state, v) == pytest.approx(0.02)
+
+    def test_full_price_is_one(self, tiny_instance):
+        from repro.cluster.state import ClusterState
+
+        state = ClusterState(tiny_instance)
+        prices = NodePrices(theta_floor=0.02)
+        v = tiny_instance.placement_nodes[0]
+        state.nodes[v].allocate("fill", state.nodes[v].available_ghz)
+        assert prices.theta(state, v) == pytest.approx(1.0)
+
+    def test_price_monotone_in_load(self, tiny_instance):
+        from repro.cluster.state import ClusterState
+
+        state = ClusterState(tiny_instance)
+        prices = NodePrices()
+        v = tiny_instance.placement_nodes[0]
+        p0 = prices.theta(state, v)
+        state.nodes[v].allocate("h", state.nodes[v].available_ghz / 2)
+        p1 = prices.theta(state, v)
+        assert p1 > p0

@@ -1,0 +1,83 @@
+"""Tests for the algorithm registry and the SolutionBuilder contract."""
+
+import pytest
+
+from repro.cluster.state import ClusterState
+from repro.core import available_algorithms, make_algorithm
+from repro.core.base import SolutionBuilder
+from repro.core.types import Assignment
+from repro.util.validation import ValidationError
+
+
+class TestRegistry:
+    def test_all_paper_algorithms_present(self):
+        names = available_algorithms()
+        assert set(names) == {
+            "appro-s",
+            "appro-g",
+            "greedy-s",
+            "greedy-g",
+            "graph-s",
+            "graph-g",
+            "popularity-s",
+            "popularity-g",
+            "lp-rounding-g",
+            "appro-bw-g",
+        }
+
+    def test_factories_produce_named_instances(self):
+        for name in available_algorithms():
+            algo = make_algorithm(name)
+            assert algo.name == name
+
+    def test_factories_produce_fresh_instances(self):
+        assert make_algorithm("appro-g") is not make_algorithm("appro-g")
+
+    def test_unknown_name_raises_with_suggestions(self):
+        with pytest.raises(KeyError, match="appro-g"):
+            make_algorithm("nope")
+
+
+class TestSolutionBuilder:
+    def _assignment(self, q, d):
+        return Assignment(query_id=q, dataset_id=d, node=0, latency_s=0.1, compute_ghz=1.0)
+
+    def test_double_decision_rejected(self, tiny_instance):
+        builder = SolutionBuilder(tiny_instance, "t")
+        builder.reject(0)
+        with pytest.raises(ValidationError, match="twice"):
+            builder.admit(0, [self._assignment(0, 0)])
+
+    def test_admit_without_assignments_rejected(self, tiny_instance):
+        builder = SolutionBuilder(tiny_instance, "t")
+        with pytest.raises(ValidationError):
+            builder.admit(0, [])
+
+    def test_duplicate_pair_rejected(self, tiny_instance):
+        builder = SolutionBuilder(tiny_instance, "t")
+        builder.admit(0, [self._assignment(0, 0)])
+        with pytest.raises(ValidationError, match="twice|assigned"):
+            builder.admit(1, [self._assignment(0, 0)])
+
+    def test_build_requires_all_queries_decided(self, tiny_instance):
+        builder = SolutionBuilder(tiny_instance, "t")
+        builder.reject(0)
+        with pytest.raises(ValidationError, match="undecided"):
+            builder.build(ClusterState(tiny_instance))
+
+    def test_build_exports_replica_map(self, tiny_instance):
+        builder = SolutionBuilder(tiny_instance, "t")
+        for q in range(3):
+            builder.reject(q)
+        state = ClusterState(tiny_instance)
+        solution = builder.build(state)
+        assert dict(solution.replicas) == state.replicas.replica_map()
+        assert solution.algorithm == "t"
+
+    def test_extras_recorded(self, tiny_instance):
+        builder = SolutionBuilder(tiny_instance, "t")
+        builder.extra("foo", 1.5)
+        for q in range(3):
+            builder.reject(q)
+        solution = builder.build(ClusterState(tiny_instance))
+        assert solution.extras["foo"] == 1.5

@@ -1,0 +1,134 @@
+"""Tests for node failure and placement repair."""
+
+import pytest
+
+from repro.core import evaluate_solution, make_algorithm, verify_solution
+from repro.core.repair import fail_nodes, repair_placement
+from repro.experiments.runner import make_instance
+from repro.topology.twotier import TwoTierConfig
+from repro.util.validation import ValidationError
+from repro.workload.params import PaperDefaults
+
+
+@pytest.fixture(scope="module")
+def placed():
+    instance = make_instance(TwoTierConfig(), PaperDefaults(), 0, 0)
+    solution = make_algorithm("appro-g").solve(instance)
+    return instance, solution
+
+
+def _loaded_nodes(solution, n=2):
+    load: dict[int, float] = {}
+    for a in solution.assignments.values():
+        load[a.node] = load.get(a.node, 0.0) + a.compute_ghz
+    return sorted(load, key=load.get, reverse=True)[:n]
+
+
+class TestFailNodes:
+    def test_impact_fields_consistent(self, placed):
+        instance, solution = placed
+        victims = _loaded_nodes(solution)
+        impact = fail_nodes(instance, solution, victims)
+        assert impact.failed_nodes == frozenset(victims)
+        for q_id, d_id in impact.lost_pairs:
+            assert solution.assignments[(q_id, d_id)].node in impact.failed_nodes
+        assert impact.affected_queries == frozenset(
+            q for q, _ in impact.lost_pairs
+        )
+
+    def test_failing_idle_node_breaks_nothing(self, placed):
+        instance, solution = placed
+        used = {a.node for a in solution.assignments.values()}
+        replica_nodes = {v for reps in solution.replicas.values() for v in reps}
+        idle = next(
+            v
+            for v in instance.placement_nodes
+            if v not in used and v not in replica_nodes
+        )
+        impact = fail_nodes(instance, solution, [idle])
+        assert not impact.lost_pairs
+        assert not impact.affected_queries
+
+    def test_non_placement_node_rejected(self, placed):
+        instance, solution = placed
+        switch = instance.topology.switches[0]
+        with pytest.raises(ValidationError):
+            fail_nodes(instance, solution, [switch])
+
+    def test_orphan_detection(self, placed):
+        instance, solution = placed
+        # Failing every node orphans every dataset.
+        impact = fail_nodes(instance, solution, instance.placement_nodes)
+        assert impact.orphaned_datasets == frozenset(instance.datasets)
+
+
+class TestRepair:
+    def test_repaired_solution_is_valid(self, placed):
+        instance, solution = placed
+        impact = fail_nodes(instance, solution, _loaded_nodes(solution))
+        report = repair_placement(instance, solution, impact)
+        verify_solution(instance, report.solution)
+
+    def test_no_assignment_on_failed_node(self, placed):
+        instance, solution = placed
+        impact = fail_nodes(instance, solution, _loaded_nodes(solution))
+        report = repair_placement(instance, solution, impact)
+        for a in report.solution.assignments.values():
+            assert a.node not in impact.failed_nodes
+
+    def test_availability_in_unit_interval(self, placed):
+        instance, solution = placed
+        impact = fail_nodes(instance, solution, _loaded_nodes(solution, 3))
+        report = repair_placement(instance, solution, impact)
+        assert 0.0 <= report.availability <= 1.0 + 1e-9
+
+    def test_recovered_plus_dropped_covers_affected(self, placed):
+        instance, solution = placed
+        impact = fail_nodes(instance, solution, _loaded_nodes(solution))
+        report = repair_placement(instance, solution, impact)
+        assert (
+            report.recovered_queries | report.dropped_queries
+            == impact.affected_queries
+        )
+        assert not (report.recovered_queries & report.dropped_queries)
+
+    def test_unaffected_queries_keep_service(self, placed):
+        instance, solution = placed
+        impact = fail_nodes(instance, solution, _loaded_nodes(solution))
+        report = repair_placement(instance, solution, impact)
+        unaffected = solution.admitted - impact.affected_queries
+        assert unaffected <= report.solution.admitted
+
+    def test_failing_nothing_changes_nothing(self, placed):
+        instance, solution = placed
+        impact = fail_nodes(instance, solution, [])
+        report = repair_placement(instance, solution, impact)
+        assert report.availability == pytest.approx(1.0)
+        assert report.solution.admitted == solution.admitted
+
+    def test_total_failure_drops_everything_served_there(self, placed):
+        instance, solution = placed
+        impact = fail_nodes(instance, solution, instance.placement_nodes)
+        report = repair_placement(instance, solution, impact)
+        # Every affected query is dropped (orphaned datasets everywhere).
+        assert report.dropped_queries == impact.affected_queries
+        assert report.recovered_queries == frozenset()
+
+    def test_more_replicas_higher_availability(self):
+        """The paper's availability claim: K buys failure resilience."""
+        avail = {}
+        for k in (1, 5):
+            params = PaperDefaults().with_max_replicas(k)
+            total = count = 0.0
+            for seed in range(6):
+                instance = make_instance(TwoTierConfig(), params, seed, 0)
+                solution = make_algorithm("appro-g").solve(instance)
+                if not solution.assignments:
+                    continue
+                victims = _loaded_nodes(solution, 2)
+                impact = fail_nodes(instance, solution, victims)
+                report = repair_placement(instance, solution, impact)
+                total += report.availability
+                count += 1
+            avail[k] = total / count if count else 1.0
+        assert avail[5] >= avail[1]

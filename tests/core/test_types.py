@@ -1,0 +1,139 @@
+"""Tests for the model datatypes."""
+
+import pytest
+
+from repro.core.types import Assignment, Dataset, PlacementSolution, Query
+from repro.util.validation import ValidationError
+
+
+class TestDataset:
+    def test_valid(self):
+        ds = Dataset(dataset_id=0, volume_gb=3.0, origin_node=5)
+        assert ds.volume_gb == 3.0
+
+    def test_zero_volume_rejected(self):
+        with pytest.raises(ValidationError):
+            Dataset(dataset_id=0, volume_gb=0.0, origin_node=5)
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValidationError):
+            Dataset(dataset_id=-1, volume_gb=1.0, origin_node=5)
+
+
+class TestQuery:
+    def _query(self, **kw):
+        defaults = dict(
+            query_id=0,
+            home_node=1,
+            demanded=(0, 1),
+            selectivity=(0.5, 0.8),
+            compute_rate=1.0,
+            deadline_s=2.0,
+        )
+        defaults.update(kw)
+        return Query(**defaults)
+
+    def test_valid(self):
+        q = self._query()
+        assert q.num_datasets == 2
+
+    def test_empty_demanded_rejected(self):
+        with pytest.raises(ValidationError):
+            self._query(demanded=(), selectivity=())
+
+    def test_duplicate_demanded_rejected(self):
+        with pytest.raises(ValidationError):
+            self._query(demanded=(0, 0), selectivity=(0.5, 0.5))
+
+    def test_selectivity_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            self._query(selectivity=(0.5,))
+
+    def test_selectivity_out_of_range_rejected(self):
+        with pytest.raises(ValidationError):
+            self._query(selectivity=(0.5, 1.5))
+
+    def test_alpha_for(self):
+        q = self._query()
+        assert q.alpha_for(0) == 0.5
+        assert q.alpha_for(1) == 0.8
+
+    def test_alpha_for_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            self._query().alpha_for(99)
+
+    def test_demanded_volume(self):
+        q = self._query()
+        datasets = {
+            0: Dataset(dataset_id=0, volume_gb=2.0, origin_node=0),
+            1: Dataset(dataset_id=1, volume_gb=3.5, origin_node=0),
+        }
+        assert q.demanded_volume(datasets) == pytest.approx(5.5)
+
+    def test_zero_deadline_rejected(self):
+        with pytest.raises(ValidationError):
+            self._query(deadline_s=0.0)
+
+
+class TestAssignment:
+    def test_valid(self):
+        a = Assignment(query_id=0, dataset_id=1, node=2, latency_s=0.5, compute_ghz=3.0)
+        assert a.node == 2
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValidationError):
+            Assignment(query_id=0, dataset_id=1, node=2, latency_s=-0.1, compute_ghz=3.0)
+
+
+class TestPlacementSolution:
+    def _assignment(self, q=0, d=0, node=1):
+        return Assignment(query_id=q, dataset_id=d, node=node, latency_s=0.1, compute_ghz=1.0)
+
+    def test_valid(self):
+        sol = PlacementSolution(
+            algorithm="x",
+            replicas={0: (1, 2)},
+            assignments={(0, 0): self._assignment()},
+            admitted=frozenset({0}),
+            rejected=frozenset({1}),
+        )
+        assert sol.num_admitted == 1
+        assert sol.replica_count(0) == 2
+        assert sol.replica_count(9) == 0
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ValidationError):
+            PlacementSolution(
+                algorithm="x",
+                replicas={},
+                assignments={},
+                admitted=frozenset({0}),
+                rejected=frozenset({0}),
+            )
+
+    def test_served_pairs(self):
+        sol = PlacementSolution(
+            algorithm="x",
+            replicas={0: (1,), 1: (1,)},
+            assignments={
+                (0, 0): self._assignment(0, 0),
+                (0, 1): self._assignment(0, 1),
+                (2, 0): self._assignment(2, 0),
+            },
+            admitted=frozenset({0, 2}),
+            rejected=frozenset(),
+        )
+        assert len(sol.served_pairs(0)) == 2
+        assert len(sol.served_pairs(2)) == 1
+        assert sol.served_pairs(5) == []
+
+    def test_mappings_read_only(self):
+        sol = PlacementSolution(
+            algorithm="x",
+            replicas={0: (1,)},
+            assignments={},
+            admitted=frozenset(),
+            rejected=frozenset({0}),
+        )
+        with pytest.raises(TypeError):
+            sol.replicas[1] = (2,)

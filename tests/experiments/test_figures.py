@@ -1,0 +1,108 @@
+"""Tests for the figure reproducers (fast configurations)."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import (
+    FIGURES,
+    FigureSeries,
+    figure4,
+    figure5,
+)
+
+FAST = ExperimentConfig(repeats=2, seed=31)
+
+
+class TestFigureSeries:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            FigureSeries(
+                figure_id="x",
+                title="t",
+                x_label="x",
+                x_values=(1, 2),
+                volume={"a": (1.0,)},
+                throughput={"a": (1.0, 2.0)},
+            )
+
+    def test_algorithms_property(self):
+        series = FigureSeries(
+            figure_id="x",
+            title="t",
+            x_label="x",
+            x_values=(1,),
+            volume={"a": (1.0,), "b": (2.0,)},
+            throughput={"a": (0.1,), "b": (0.2,)},
+        )
+        assert series.algorithms == ("a", "b")
+
+
+class TestFigure4:
+    def test_structure(self):
+        series = figure4(FAST)
+        assert series.figure_id == "fig4"
+        assert series.x_values == (1, 2, 3, 4, 5, 6)
+        assert set(series.algorithms) == {"appro-g", "greedy-g", "graph-g"}
+
+    def test_throughput_trend(self):
+        series = figure4(FAST)
+        t = series.throughput["appro-g"]
+        assert t[0] > t[-1]  # F=1 easier than F=6
+
+    def test_deterministic(self):
+        s1 = figure4(FAST)
+        s2 = figure4(FAST)
+        assert s1.volume == s2.volume
+
+
+class TestFigure5:
+    def test_k_growth(self):
+        series = figure5(FAST)
+        v = series.volume["appro-g"]
+        assert v[-1] > v[0]
+
+
+class TestFiguresIndex:
+    def test_all_figures_registered(self):
+        assert set(FIGURES) == {"fig2", "fig3", "fig4", "fig5", "fig7", "fig8"}
+
+    def test_producers_callable(self):
+        for producer in FIGURES.values():
+            assert callable(producer)
+
+
+class TestFigure2:
+    def test_structure_and_special_case(self):
+        from repro.experiments.figures import figure2, NETWORK_SIZES
+
+        series = figure2(ExperimentConfig(repeats=1, seed=5))
+        assert series.x_values == NETWORK_SIZES
+        assert set(series.algorithms) == {"appro-s", "greedy-s", "graph-s"}
+        for alg in series.algorithms:
+            assert all(v >= 0 for v in series.volume[alg])
+            assert all(0 <= t <= 1 for t in series.throughput[alg])
+
+
+class TestFigure3:
+    def test_general_case_algorithms(self):
+        from repro.experiments.figures import figure3
+
+        series = figure3(ExperimentConfig(repeats=1, seed=5))
+        assert set(series.algorithms) == {"appro-g", "greedy-g", "graph-g"}
+
+
+class TestTestbedFigures:
+    def test_figure7_structure(self):
+        from repro.experiments.figures import figure7
+
+        series = figure7(ExperimentConfig(repeats=1, seed=5))
+        assert series.x_values == (1, 2, 3, 4, 5, 6)
+        assert set(series.algorithms) == {"appro-g", "popularity-g"}
+
+    def test_figure8_structure(self):
+        from repro.experiments.figures import figure8
+
+        series = figure8(ExperimentConfig(repeats=1, seed=5))
+        assert series.x_values == (1, 2, 3, 4, 5, 6, 7)
+        v = series.volume["appro-g"]
+        assert v[-1] >= v[0]

@@ -1,0 +1,63 @@
+"""Tests for terminal chart rendering."""
+
+import pytest
+
+from repro.experiments.figures import FigureSeries
+from repro.experiments.plots import bar_chart, plot_figure
+from repro.util.validation import ValidationError
+
+
+def _series() -> FigureSeries:
+    return FigureSeries(
+        figure_id="figX",
+        title="demo",
+        x_label="K",
+        x_values=(1, 2),
+        volume={"appro-g": (10.0, 30.0), "greedy-g": (5.0, 6.0)},
+        throughput={"appro-g": (0.2, 0.6), "greedy-g": (0.1, 0.12)},
+    )
+
+
+class TestBarChart:
+    def test_max_value_fills_width(self):
+        chart = bar_chart("t", {"a": 2.0, "b": 1.0}, width=10)
+        lines = chart.splitlines()
+        assert lines[0] == "t"
+        assert lines[1].count("█") == 10
+        assert 4 <= lines[2].count("█") <= 6
+
+    def test_values_printed(self):
+        chart = bar_chart("t", {"a": 2.0}, fmt=".2f")
+        assert "2.00" in chart
+
+    def test_zero_values_render(self):
+        chart = bar_chart("t", {"a": 0.0, "b": 0.0})
+        assert "a" in chart and "b" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            bar_chart("t", {})
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(Exception):
+            bar_chart("t", {"a": 1.0}, width=0)
+
+
+class TestPlotFigure:
+    def test_contains_all_groups_and_algorithms(self):
+        text = plot_figure(_series())
+        assert "K = 1" in text and "K = 2" in text
+        assert text.count("appro-g") == 4  # 2 panels × 2 x-values
+        assert "figX(a)" in text and "figX(b)" in text
+
+    def test_bars_scale_across_panel(self):
+        text = plot_figure(_series(), width=20)
+        lines = [l for l in text.splitlines() if "appro-g" in l]
+        # The volume-30 bar (panel a, K=2) is the longest appro bar.
+        blocks = [l.count("█") for l in lines]
+        assert max(blocks) == blocks[1]
+
+    def test_values_rendered(self):
+        text = plot_figure(_series())
+        assert "30.0" in text
+        assert "0.600" in text

@@ -1,0 +1,34 @@
+"""Tests for report assembly."""
+
+import pytest
+
+from repro.experiments.report import RESULT_SECTIONS, build_report
+from repro.util.validation import ValidationError
+
+
+class TestBuildReport:
+    def test_known_sections_titled_and_ordered(self, tmp_path):
+        (tmp_path / "fig5.txt").write_text("K table\n")
+        (tmp_path / "fig2.txt").write_text("size table\n")
+        report = build_report(tmp_path)
+        assert "## Fig. 2" in report and "## Fig. 5" in report
+        assert report.index("## Fig. 2") < report.index("## Fig. 5")
+        assert "K table" in report
+
+    def test_unknown_files_appended(self, tmp_path):
+        (tmp_path / "custom_thing.txt").write_text("x\n")
+        report = build_report(tmp_path)
+        assert "## custom_thing" in report
+
+    def test_empty_dir_rejected(self, tmp_path):
+        with pytest.raises(ValidationError, match="bench"):
+            build_report(tmp_path)
+
+    def test_section_stems_unique(self):
+        stems = [s for s, _ in RESULT_SECTIONS]
+        assert len(stems) == len(set(stems))
+
+    def test_tables_fenced(self, tmp_path):
+        (tmp_path / "fig4.txt").write_text("body\n")
+        report = build_report(tmp_path)
+        assert report.count("```") % 2 == 0

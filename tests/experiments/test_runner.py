@@ -1,0 +1,69 @@
+"""Tests for the experiment runner."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import (
+    compare_algorithms,
+    make_instance,
+    run_algorithm,
+)
+from repro.topology.twotier import TwoTierConfig
+from repro.workload.params import PaperDefaults
+
+FAST = ExperimentConfig(repeats=3, seed=99)
+
+
+class TestMakeInstance:
+    def test_deterministic(self):
+        i1 = make_instance(TwoTierConfig(), PaperDefaults(), 5, 0)
+        i2 = make_instance(TwoTierConfig(), PaperDefaults(), 5, 0)
+        assert i1.num_queries == i2.num_queries
+        assert [q.deadline_s for q in i1.queries] == [
+            q.deadline_s for q in i2.queries
+        ]
+
+    def test_repeats_differ(self):
+        i1 = make_instance(TwoTierConfig(), PaperDefaults(), 5, 0)
+        i2 = make_instance(TwoTierConfig(), PaperDefaults(), 5, 1)
+        assert (
+            i1.num_queries != i2.num_queries
+            or i1.topology.link_delays != i2.topology.link_delays
+        )
+
+    def test_params_change_keeps_topology(self):
+        i1 = make_instance(TwoTierConfig(), PaperDefaults(), 5, 0)
+        i2 = make_instance(
+            TwoTierConfig(), PaperDefaults().with_max_replicas(7), 5, 0
+        )
+        assert i1.topology.link_delays == i2.topology.link_delays
+        assert i2.max_replicas == 7
+
+
+class TestRunAlgorithm:
+    def test_aggregates(self):
+        result = run_algorithm("appro-g", FAST)
+        assert result.repeats == 3
+        assert result.volume_mean > 0
+        assert 0.0 <= result.throughput_mean <= 1.0
+        assert result.volume_std >= 0.0
+
+    def test_deterministic(self):
+        r1 = run_algorithm("appro-g", FAST)
+        r2 = run_algorithm("appro-g", FAST)
+        assert r1.volume_mean == pytest.approx(r2.volume_mean)
+
+
+class TestCompareAlgorithms:
+    def test_paired_instances(self):
+        results = compare_algorithms(["appro-g", "greedy-g"], FAST)
+        assert set(results) == {"appro-g", "greedy-g"}
+        # On the calibrated default regime Appro wins on average.
+        assert results["appro-g"].volume_mean >= results["greedy-g"].volume_mean
+
+    def test_param_override(self):
+        base = compare_algorithms(["appro-g"], FAST)
+        wide = compare_algorithms(
+            ["appro-g"], FAST, params=PaperDefaults().with_max_replicas(7)
+        )
+        assert wide["appro-g"].volume_mean >= base["appro-g"].volume_mean

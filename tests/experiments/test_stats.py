@@ -1,0 +1,125 @@
+"""Tests for the statistics helpers."""
+
+import pytest
+
+from repro.experiments.stats import (
+    ConfidenceInterval,
+    mean_ci,
+    paired_ratio_ci,
+    paired_test,
+)
+from repro.util.validation import ValidationError
+
+
+class TestMeanCi:
+    def test_contains_mean(self):
+        ci = mean_ci([1.0, 2.0, 3.0, 4.0])
+        assert ci.low <= 2.5 <= ci.high
+        assert ci.estimate == pytest.approx(2.5)
+
+    def test_single_sample_degenerate(self):
+        ci = mean_ci([5.0])
+        assert ci.low == ci.high == ci.estimate == 5.0
+
+    def test_constant_samples_degenerate(self):
+        ci = mean_ci([3.0, 3.0, 3.0])
+        assert ci.half_width == 0.0
+
+    def test_higher_confidence_wider(self):
+        data = [1.0, 2.5, 2.0, 4.0, 3.0, 1.5]
+        assert mean_ci(data, 0.99).half_width > mean_ci(data, 0.8).half_width
+
+    def test_more_samples_tighter(self):
+        few = mean_ci([1.0, 3.0, 2.0, 4.0])
+        many = mean_ci([1.0, 3.0, 2.0, 4.0] * 10)
+        assert many.half_width < few.half_width
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            mean_ci([])
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValidationError):
+            ConfidenceInterval(5.0, 6.0, 7.0, 0.95)
+
+
+class TestPairedRatioCi:
+    def test_point_estimate(self):
+        ci = paired_ratio_ci([2.0, 4.0, 6.0], [1.0, 2.0, 3.0])
+        assert ci.estimate == pytest.approx(2.0)
+        assert ci.low <= 2.0 <= ci.high
+
+    def test_deterministic(self):
+        a = [3.0, 5.0, 4.0, 6.0]
+        b = [1.0, 2.0, 2.0, 3.0]
+        c1 = paired_ratio_ci(a, b, seed=1)
+        c2 = paired_ratio_ci(a, b, seed=1)
+        assert (c1.low, c1.high) == (c2.low, c2.high)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValidationError):
+            paired_ratio_ci([1.0], [1.0, 2.0])
+
+    def test_zero_denominator_rejected(self):
+        with pytest.raises(ValidationError):
+            paired_ratio_ci([1.0, 2.0], [1.0, -1.0])
+
+    def test_noisy_ratio_interval_reasonable(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        base = rng.uniform(50, 150, size=30)
+        a = base * 2.0 + rng.normal(0, 5, size=30)
+        ci = paired_ratio_ci(list(a), list(base))
+        assert 1.8 < ci.estimate < 2.2
+        assert ci.low > 1.5 and ci.high < 2.5
+
+
+class TestPairedTest:
+    def test_clear_winner_small_p(self):
+        a = [10.0, 12.0, 11.0, 13.0, 12.5]
+        b = [5.0, 6.0, 5.5, 6.5, 6.0]
+        diff, p = paired_test(a, b)
+        assert diff > 0
+        assert p < 0.01
+
+    def test_identical_series_neutral(self):
+        diff, p = paired_test([1.0, 2.0], [1.0, 2.0])
+        assert diff == 0.0
+        assert p == 0.5
+
+    def test_loser_large_p(self):
+        _, p = paired_test([1.0, 2.2, 1.5], [5.0, 6.1, 5.4])
+        assert p > 0.9
+
+    def test_mismatched_rejected(self):
+        with pytest.raises(ValidationError):
+            paired_test([1.0], [])
+
+
+class TestOnRealExperiment:
+    def test_appro_beats_greedy_significantly(self):
+        """The paper's headline comparison passes a significance test."""
+        from repro.core import evaluate_solution, make_algorithm
+        from repro.experiments.runner import make_instance
+        from repro.topology.twotier import TwoTierConfig
+        from repro.workload.params import PaperDefaults
+
+        appro, greedy = [], []
+        for seed in range(10):
+            instance = make_instance(TwoTierConfig(), PaperDefaults(), seed, 0)
+            appro.append(
+                evaluate_solution(
+                    instance, make_algorithm("appro-g").solve(instance)
+                ).admitted_volume_gb
+            )
+            greedy.append(
+                evaluate_solution(
+                    instance, make_algorithm("greedy-g").solve(instance)
+                ).admitted_volume_gb
+            )
+        diff, p = paired_test(appro, greedy)
+        assert diff > 0
+        assert p < 0.01
+        ratio = paired_ratio_ci(appro, greedy)
+        assert ratio.low > 1.0  # the whole CI sits above parity

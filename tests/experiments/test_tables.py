@@ -1,0 +1,54 @@
+"""Tests for text-table rendering."""
+
+from repro.experiments.figures import FigureSeries
+from repro.experiments.runner import AggregateMetrics
+from repro.experiments.tables import render_comparison, render_figure
+
+
+def _series() -> FigureSeries:
+    return FigureSeries(
+        figure_id="fig9",
+        title="demo",
+        x_label="K",
+        x_values=(1, 2, 3),
+        volume={"appro-g": (10.0, 20.0, 30.0), "greedy-g": (5.0, 6.0, 7.0)},
+        throughput={"appro-g": (0.1, 0.2, 0.3), "greedy-g": (0.05, 0.06, 0.07)},
+    )
+
+
+class TestRenderFigure:
+    def test_contains_both_panels(self):
+        text = render_figure(_series())
+        assert "fig9(a)" in text
+        assert "fig9(b)" in text
+
+    def test_contains_all_algorithms_and_values(self):
+        text = render_figure(_series())
+        assert "appro-g" in text and "greedy-g" in text
+        assert "30.0" in text
+        assert "0.300" in text
+
+    def test_x_label_mentioned(self):
+        assert "(x-axis: K)" in render_figure(_series())
+
+    def test_rows_aligned(self):
+        text = render_figure(_series())
+        panel_a = [
+            line
+            for line in text.splitlines()
+            if line.startswith(("appro-g", "greedy-g"))
+        ]
+        widths = {len(line) for line in panel_a}
+        assert len(widths) <= 2  # per-panel alignment
+
+
+class TestRenderComparison:
+    def test_contains_means_and_stds(self):
+        results = {
+            "appro-g": AggregateMetrics("appro-g", 100.0, 5.0, 0.5, 0.02, 15),
+            "greedy-g": AggregateMetrics("greedy-g", 40.0, 3.0, 0.2, 0.01, 15),
+        }
+        text = render_comparison(results)
+        assert "100.0" in text
+        assert "±" in text
+        assert "(15)" in text

@@ -1,0 +1,74 @@
+"""Tests for the all-pairs minimum-delay cache."""
+
+import numpy as np
+import pytest
+
+from repro.network.paths import PathCache, all_pairs_min_delay
+from repro.topology.nodes import NodeKind, NodeSpec
+from repro.topology.twotier import EdgeCloudTopology
+
+
+def _line_topology() -> EdgeCloudTopology:
+    """cl0 —0.1— cl1 —0.2— cl2, plus a shortcut cl0 —0.5— cl2."""
+    specs = [
+        NodeSpec(i, NodeKind.CLOUDLET, f"cl{i}", 8.0, 0.05) for i in range(3)
+    ]
+    return EdgeCloudTopology(
+        specs, {(0, 1): 0.1, (1, 2): 0.2, (0, 2): 0.5}
+    )
+
+
+@pytest.fixture(scope="module")
+def line_cache():
+    return PathCache(_line_topology())
+
+
+class TestAllPairs:
+    def test_diagonal_zero(self, line_cache):
+        for v in range(3):
+            assert line_cache.delay(v, v) == 0.0
+
+    def test_min_delay_beats_direct_link(self, line_cache):
+        # 0→1→2 costs 0.3 < the direct 0.5 link.
+        assert line_cache.delay(0, 2) == pytest.approx(0.3)
+
+    def test_symmetric(self, line_cache):
+        assert line_cache.delay(0, 2) == line_cache.delay(2, 0)
+
+    def test_matrix_read_only(self, line_cache):
+        matrix = line_cache.delays_matrix()
+        with pytest.raises(ValueError):
+            matrix[0, 0] = 5.0
+
+    def test_disconnected_is_infinite(self):
+        specs = [
+            NodeSpec(i, NodeKind.CLOUDLET, f"cl{i}", 8.0, 0.05) for i in range(3)
+        ]
+        topo = EdgeCloudTopology(specs, {(0, 1): 0.1})
+        cache = PathCache(topo)
+        assert not cache.reachable(0, 2)
+        assert np.isinf(cache.delay(0, 2))
+
+    def test_raw_function_matches_cache(self, line_cache):
+        delays, _ = all_pairs_min_delay(line_cache.topology)
+        assert delays[0, 2] == pytest.approx(line_cache.delay(0, 2))
+
+
+class TestPlacementVectors:
+    def test_placement_delays_to(self, paper_topology):
+        cache = PathCache(paper_topology)
+        home = paper_topology.placement_nodes[0]
+        vec = cache.placement_delays_to(home)
+        assert len(vec) == len(paper_topology.placement_nodes)
+        for i, v in enumerate(paper_topology.placement_nodes):
+            assert vec[i] == pytest.approx(cache.delay(v, home))
+
+    def test_triangle_inequality_holds(self, paper_topology):
+        cache = PathCache(paper_topology)
+        nodes = paper_topology.placement_nodes[:6]
+        for a in nodes:
+            for b in nodes:
+                for c in nodes:
+                    assert cache.delay(a, c) <= cache.delay(a, b) + cache.delay(
+                        b, c
+                    ) + 1e-12

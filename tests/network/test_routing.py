@@ -1,0 +1,71 @@
+"""Tests for explicit path extraction."""
+
+import pytest
+
+from repro.network.paths import PathCache
+from repro.network.routing import extract_path, path_delay
+from repro.topology.nodes import NodeKind, NodeSpec
+from repro.topology.twotier import EdgeCloudTopology
+
+
+@pytest.fixture(scope="module")
+def diamond():
+    """0 — 1 — 3 (0.1 + 0.1) vs 0 — 2 — 3 (0.3 + 0.3)."""
+    specs = [
+        NodeSpec(i, NodeKind.CLOUDLET, f"cl{i}", 8.0, 0.05) for i in range(4)
+    ]
+    topo = EdgeCloudTopology(
+        specs, {(0, 1): 0.1, (1, 3): 0.1, (0, 2): 0.3, (2, 3): 0.3}
+    )
+    return topo, PathCache(topo)
+
+
+class TestExtractPath:
+    def test_chooses_min_delay_branch(self, diamond):
+        _, cache = diamond
+        assert extract_path(cache, 0, 3) == [0, 1, 3]
+
+    def test_self_path(self, diamond):
+        _, cache = diamond
+        assert extract_path(cache, 2, 2) == [2]
+
+    def test_path_endpoints(self, diamond):
+        _, cache = diamond
+        path = extract_path(cache, 3, 0)
+        assert path[0] == 3 and path[-1] == 0
+
+    def test_no_path_raises(self):
+        specs = [
+            NodeSpec(i, NodeKind.CLOUDLET, f"cl{i}", 8.0, 0.05) for i in range(3)
+        ]
+        topo = EdgeCloudTopology(specs, {(0, 1): 0.1})
+        cache = PathCache(topo)
+        with pytest.raises(ValueError, match="no path"):
+            extract_path(cache, 0, 2)
+
+    def test_path_hops_are_edges(self, diamond):
+        topo, cache = diamond
+        path = extract_path(cache, 0, 3)
+        for u, v in zip(path, path[1:]):
+            topo.link_delay(u, v)  # raises KeyError if not an edge
+
+
+class TestPathDelay:
+    def test_matches_cache_delay(self, diamond):
+        topo, cache = diamond
+        path = extract_path(cache, 0, 3)
+        assert path_delay(topo, path) == pytest.approx(cache.delay(0, 3))
+
+    def test_single_node_path_zero(self, diamond):
+        topo, _ = diamond
+        assert path_delay(topo, [1]) == 0.0
+
+    def test_paper_topology_consistency(self, paper_topology):
+        cache = PathCache(paper_topology)
+        nodes = paper_topology.placement_nodes
+        for u in nodes[:5]:
+            for v in nodes[5:10]:
+                path = extract_path(cache, u, v)
+                assert path_delay(paper_topology, path) == pytest.approx(
+                    cache.delay(u, v)
+                )

@@ -1,0 +1,96 @@
+"""Tests for the event-driven consistency simulation."""
+
+import pytest
+
+from repro.cluster.consistency import ConsistencyModel
+from repro.core import make_algorithm
+from repro.sim.consistency_sim import ConsistencySimConfig, simulate_consistency
+
+
+@pytest.fixture(scope="module")
+def placed(paper_instance):
+    solution = make_algorithm("appro-g").solve(paper_instance)
+    return paper_instance, solution.replicas
+
+
+class TestAgreementWithAnalyticModel:
+    @pytest.mark.parametrize("threshold", [0.05, 0.1, 0.25])
+    def test_sync_count_matches(self, placed, threshold):
+        instance, replicas = placed
+        model = ConsistencyModel(threshold=threshold)
+        sim = simulate_consistency(
+            instance, replicas, ConsistencySimConfig(model=model)
+        )
+        analytic = model.report(instance, replicas)
+        assert sim.syncs == analytic.syncs
+
+    @pytest.mark.parametrize("threshold", [0.05, 0.1, 0.25])
+    def test_shipped_volume_matches(self, placed, threshold):
+        instance, replicas = placed
+        model = ConsistencyModel(threshold=threshold)
+        sim = simulate_consistency(
+            instance, replicas, ConsistencySimConfig(model=model)
+        )
+        analytic = model.report(instance, replicas)
+        assert sim.shipped_gb == pytest.approx(analytic.shipped_gb)
+
+
+class TestStaleness:
+    def test_staleness_scales_with_threshold(self, placed):
+        """The sawtooth average is ~threshold·|S|/2: doubling the threshold
+        doubles mean staleness.  Thresholds are chosen to divide the
+        horizon's total growth exactly (30 days × 5%/day = 1.5), so no
+        undelivered tail skews the ratio."""
+        instance, replicas = placed
+        s1 = simulate_consistency(
+            instance,
+            replicas,
+            ConsistencySimConfig(model=ConsistencyModel(threshold=0.075)),
+        ).mean_staleness_gb
+        s2 = simulate_consistency(
+            instance,
+            replicas,
+            ConsistencySimConfig(model=ConsistencyModel(threshold=0.15)),
+        ).mean_staleness_gb
+        assert s2 == pytest.approx(2.0 * s1, rel=0.05)
+
+    def test_no_growth_no_staleness(self, placed):
+        instance, replicas = placed
+        report = simulate_consistency(
+            instance,
+            replicas,
+            ConsistencySimConfig(
+                model=ConsistencyModel(growth_rate_per_day=0.0)
+            ),
+        )
+        assert report.syncs == 0
+        assert report.mean_staleness_gb == 0.0
+
+    def test_origin_only_placement_trivial(self, paper_instance):
+        replicas = {
+            d: (ds.origin_node,) for d, ds in paper_instance.datasets.items()
+        }
+        report = simulate_consistency(paper_instance, replicas)
+        assert report.syncs == 0
+        assert report.shipped_gb == 0.0
+
+
+class TestContention:
+    def test_contention_reports_link_busy(self, placed):
+        instance, replicas = placed
+        loaded = simulate_consistency(
+            instance, replicas, ConsistencySimConfig(contention=True)
+        )
+        free = simulate_consistency(
+            instance, replicas, ConsistencySimConfig(contention=False)
+        )
+        assert loaded.max_link_busy_s > 0.0
+        assert free.max_link_busy_s == 0.0
+        # Same data ships either way.
+        assert loaded.shipped_gb == pytest.approx(free.shipped_gb)
+
+    def test_deterministic(self, placed):
+        instance, replicas = placed
+        r1 = simulate_consistency(instance, replicas)
+        r2 = simulate_consistency(instance, replicas)
+        assert r1 == r2

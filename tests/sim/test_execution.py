@@ -1,0 +1,108 @@
+"""Tests for placement execution in the event simulator."""
+
+import math
+
+import pytest
+
+from repro.core import make_algorithm
+from repro.sim.execution import ExecutionConfig, execute_placement
+
+
+@pytest.fixture(scope="module")
+def solved(paper_instance):
+    return make_algorithm("appro-g").solve(paper_instance)
+
+
+class TestContentionFree:
+    def test_measured_equals_analytic(self, paper_instance, solved):
+        report = execute_placement(paper_instance, solved)
+        for outcome in report.outcomes:
+            analytic = max(
+                a.latency_s for a in solved.served_pairs(outcome.query_id)
+            )
+            assert math.isclose(outcome.response_s, analytic, rel_tol=1e-9)
+
+    def test_no_deadline_violations(self, paper_instance, solved):
+        report = execute_placement(paper_instance, solved)
+        assert report.deadline_violations == 0
+
+    def test_one_outcome_per_admitted_query(self, paper_instance, solved):
+        report = execute_placement(paper_instance, solved)
+        assert {o.query_id for o in report.outcomes} == set(solved.admitted)
+
+    def test_pair_traces_cover_demands(self, paper_instance, solved):
+        report = execute_placement(paper_instance, solved)
+        for outcome in report.outcomes:
+            q = paper_instance.query(outcome.query_id)
+            assert {t.dataset_id for t in outcome.pairs} == set(q.demanded)
+
+    def test_trace_timeline_ordered(self, paper_instance, solved):
+        report = execute_placement(paper_instance, solved)
+        for outcome in report.outcomes:
+            for t in outcome.pairs:
+                assert t.started_s <= t.processed_s <= t.delivered_s
+
+    def test_deterministic(self, paper_instance, solved):
+        r1 = execute_placement(paper_instance, solved)
+        r2 = execute_placement(paper_instance, solved)
+        assert [o.response_s for o in r1.outcomes] == [
+            o.response_s for o in r2.outcomes
+        ]
+
+
+class TestContention:
+    def test_contention_never_faster(self, paper_instance, solved):
+        free = execute_placement(paper_instance, solved)
+        loaded = execute_placement(
+            paper_instance, solved, ExecutionConfig(contention=True)
+        )
+        free_by_q = {o.query_id: o.response_s for o in free.outcomes}
+        for o in loaded.outcomes:
+            assert o.response_s >= free_by_q[o.query_id] - 1e-9
+
+    def test_makespan_at_least_max_response(self, paper_instance, solved):
+        report = execute_placement(
+            paper_instance, solved, ExecutionConfig(contention=True)
+        )
+        assert report.makespan_s >= report.max_response_s - 1e-9
+
+
+class TestArrivals:
+    def test_poisson_spreads_arrivals(self, paper_instance, solved):
+        report = execute_placement(
+            paper_instance,
+            solved,
+            ExecutionConfig(arrival="poisson", mean_interarrival_s=0.1, seed=1),
+        )
+        arrivals = sorted(o.arrival_s for o in report.outcomes)
+        assert arrivals[0] > 0.0
+        assert arrivals[-1] > arrivals[0]
+
+    def test_poisson_deterministic_given_seed(self, paper_instance, solved):
+        cfg = ExecutionConfig(arrival="poisson", seed=3)
+        r1 = execute_placement(paper_instance, solved, cfg)
+        r2 = execute_placement(paper_instance, solved, cfg)
+        assert [o.arrival_s for o in r1.outcomes] == [
+            o.arrival_s for o in r2.outcomes
+        ]
+
+    def test_unknown_arrival_mode_rejected(self):
+        with pytest.raises(ValueError):
+            ExecutionConfig(arrival="burst")
+
+
+class TestReportProperties:
+    def test_empty_solution_empty_report(self, paper_instance):
+        from repro.core.types import PlacementSolution
+
+        empty = PlacementSolution(
+            algorithm="none",
+            replicas={},
+            assignments={},
+            admitted=frozenset(),
+            rejected=frozenset(range(paper_instance.num_queries)),
+        )
+        report = execute_placement(paper_instance, empty)
+        assert report.num_executed == 0
+        assert report.mean_response_s == 0.0
+        assert report.max_response_s == 0.0

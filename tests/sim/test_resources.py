@@ -1,0 +1,93 @@
+"""Tests for simulation resources (FIFO links, compute pools)."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.resources import ComputePool, FifoResource
+
+
+class TestFifoResource:
+    def test_serialises_holds(self):
+        sim = Simulator()
+        link = FifoResource(sim, "l")
+        starts = []
+        sim.schedule(0.0, lambda: link.acquire(2.0, lambda: starts.append(sim.now)))
+        sim.schedule(0.0, lambda: link.acquire(1.0, lambda: starts.append(sim.now)))
+        sim.run()
+        assert starts == [0.0, 2.0]
+        assert link.total_busy_s == pytest.approx(3.0)
+
+    def test_idle_resource_starts_immediately(self):
+        sim = Simulator()
+        link = FifoResource(sim)
+        starts = []
+        sim.schedule(1.0, lambda: link.acquire(0.5, lambda: starts.append(sim.now)))
+        sim.run()
+        assert starts == [1.0]
+
+    def test_queue_length(self):
+        sim = Simulator()
+        link = FifoResource(sim)
+        lengths = []
+        sim.schedule(0.0, lambda: link.acquire(5.0, lambda: None))
+        sim.schedule(0.0, lambda: link.acquire(5.0, lambda: None))
+        sim.schedule(0.0, lambda: lengths.append(link.queue_length))
+        sim.run(until=1.0)
+        assert lengths == [1]
+
+    def test_zero_duration_hold(self):
+        sim = Simulator()
+        link = FifoResource(sim)
+        fired = []
+        sim.schedule(0.0, lambda: link.acquire(0.0, lambda: fired.append(True)))
+        sim.run()
+        assert fired == [True]
+        assert not link.busy
+
+
+class TestComputePool:
+    def test_concurrent_within_capacity(self):
+        sim = Simulator()
+        pool = ComputePool(sim, 10.0)
+        starts = []
+        sim.schedule(0.0, lambda: pool.acquire(4.0, 2.0, lambda: starts.append(sim.now)))
+        sim.schedule(0.0, lambda: pool.acquire(5.0, 2.0, lambda: starts.append(sim.now)))
+        sim.run()
+        assert starts == [0.0, 0.0]
+        assert pool.peak_ghz == pytest.approx(9.0)
+
+    def test_queues_when_full(self):
+        sim = Simulator()
+        pool = ComputePool(sim, 10.0)
+        starts = []
+        sim.schedule(0.0, lambda: pool.acquire(8.0, 2.0, lambda: starts.append(sim.now)))
+        sim.schedule(0.0, lambda: pool.acquire(5.0, 1.0, lambda: starts.append(sim.now)))
+        sim.run()
+        assert starts == [0.0, 2.0]
+
+    def test_head_of_line_blocking(self):
+        sim = Simulator()
+        pool = ComputePool(sim, 10.0)
+        starts = {}
+        sim.schedule(0.0, lambda: pool.acquire(8.0, 4.0, lambda: starts.setdefault("big", sim.now)))
+        sim.schedule(0.0, lambda: pool.acquire(6.0, 1.0, lambda: starts.setdefault("blocked", sim.now)))
+        sim.schedule(0.0, lambda: pool.acquire(1.0, 1.0, lambda: starts.setdefault("small", sim.now)))
+        sim.run()
+        # FIFO: the small task waits behind the blocked head-of-line task.
+        assert starts["big"] == 0.0
+        assert starts["blocked"] == 4.0
+        assert starts["small"] == 4.0
+
+    def test_oversized_request_rejected(self):
+        sim = Simulator()
+        pool = ComputePool(sim, 10.0)
+        with pytest.raises(ValueError, match="GHz"):
+            pool.acquire(11.0, 1.0, lambda: None)
+
+    def test_ghz_seconds_accounting(self):
+        sim = Simulator()
+        pool = ComputePool(sim, 10.0)
+        sim.schedule(0.0, lambda: pool.acquire(2.0, 3.0, lambda: None))
+        sim.run()
+        assert pool.ghz_seconds == pytest.approx(6.0)
+        assert pool.in_use_ghz == 0.0

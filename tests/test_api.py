@@ -1,0 +1,63 @@
+"""Public-API surface checks: everything advertised is importable and real."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.util",
+    "repro.topology",
+    "repro.network",
+    "repro.workload",
+    "repro.cluster",
+    "repro.core",
+    "repro.sim",
+    "repro.experiments",
+    "repro.io",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+class TestExports:
+    def test_all_names_resolve(self, package):
+        module = importlib.import_module(package)
+        assert hasattr(module, "__all__"), f"{package} lacks __all__"
+        for name in module.__all__:
+            assert hasattr(module, name), f"{package}.{name} missing"
+
+    def test_all_names_unique(self, package):
+        module = importlib.import_module(package)
+        assert len(module.__all__) == len(set(module.__all__))
+
+    def test_module_docstring(self, package):
+        module = importlib.import_module(package)
+        assert module.__doc__ and module.__doc__.strip()
+
+
+class TestPublicDocstrings:
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_every_public_item_documented(self, package):
+        module = importlib.import_module(package)
+        undocumented = []
+        for name in module.__all__:
+            obj = getattr(module, name)
+            if callable(obj) or isinstance(obj, type):
+                if not (getattr(obj, "__doc__", None) or "").strip():
+                    undocumented.append(name)
+        assert not undocumented, f"{package}: undocumented {undocumented}"
+
+
+class TestVersion:
+    def test_version_string(self):
+        import repro
+
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(p.isdigit() for p in parts)
+
+    def test_quick_compare_smoke(self):
+        from repro import quick_compare
+
+        results = quick_compare(seed=9, algorithms=("appro-g",))
+        assert "appro-g" in results

@@ -1,0 +1,140 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+    def test_compare_defaults(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.repeats == 15
+        assert "appro-g" in args.algorithms
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "appro-g" in out
+        assert "greedy-s" in out
+
+    def test_compare(self, capsys):
+        code = main(
+            ["compare", "--repeats", "2", "--seed", "7",
+             "--algorithms", "appro-g,greedy-g"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "appro-g" in out and "greedy-g" in out
+        assert "±" in out
+
+    def test_compare_unknown_algorithm(self, capsys):
+        code = main(["compare", "--algorithms", "nope"])
+        assert code == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_figure(self, capsys):
+        code = main(["figure", "fig4", "--repeats", "1", "--seed", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig4(a)" in out and "fig4(b)" in out
+
+    def test_testbed(self, capsys):
+        code = main(
+            ["testbed", "--queries", "15", "--datasets", "6", "--seed", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "admitted" in out
+        assert "faithful: True" in out
+
+    def test_testbed_unknown_algorithm(self, capsys):
+        code = main(["testbed", "--algorithm", "bogus"])
+        assert code == 2
+        assert "unknown" in capsys.readouterr().err
+
+
+class TestExtensionCommands:
+    def test_online(self, capsys):
+        code = main(["online", "--gap", "0.5", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "admitted volume" in out
+        assert "throughput" in out
+
+    def test_online_greedy_rule(self, capsys):
+        assert main(["online", "--rule", "greedy", "--gap", "0.5"]) == 0
+        assert "greedy" in capsys.readouterr().out
+
+    def test_failover(self, capsys):
+        code = main(["failover", "--failures", "2", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "volume retention" in out
+
+    def test_failover_unknown_algorithm(self, capsys):
+        assert main(["failover", "--algorithm", "zzz"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_figure_plot_mode(self, capsys):
+        code = main(["figure", "fig4", "--repeats", "1", "--plot"])
+        assert code == 0
+        assert "│" in capsys.readouterr().out
+
+    def test_explain(self, capsys):
+        code = main(["explain", "--seed", "0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "admitted" in out and "rejected" in out
+
+    def test_explain_unknown_algorithm(self, capsys):
+        assert main(["explain", "--algorithm", "zzz"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_describe(self, capsys):
+        code = main(["describe", "--seed", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "instance profile" in out
+        assert "compute pressure" in out
+
+    @pytest.mark.parametrize("kind", ["paper", "testbed", "figure1"])
+    def test_topology(self, capsys, kind):
+        code = main(["topology", "--kind", kind])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "topology summary" in out
+        assert "D=data center" in out
+
+    def test_report_to_stdout(self, capsys, tmp_path):
+        from repro.experiments.report import build_report
+
+        (tmp_path / "fig2.txt").write_text("demo table\n")
+        code = main(["report", "--results-dir", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Regenerated results" in out
+        assert "demo table" in out
+
+    def test_report_missing_dir(self, capsys, tmp_path):
+        code = main(["report", "--results-dir", str(tmp_path / "nope")])
+        assert code == 2
+        assert "bench" in capsys.readouterr().err
+
+    def test_report_to_file(self, tmp_path, capsys):
+        (tmp_path / "fig4.txt").write_text("t\n")
+        out_file = tmp_path / "REPORT.md"
+        code = main([
+            "report", "--results-dir", str(tmp_path), "--output", str(out_file)
+        ])
+        assert code == 0
+        assert out_file.read_text().startswith("# Regenerated results")

@@ -1,0 +1,120 @@
+"""Tests for the edge-cloud controller facade."""
+
+import pytest
+
+from repro.controller import EdgeCloudController
+from repro.topology.twotier import generate_two_tier
+from repro.util.rng import spawn_rng
+from repro.util.validation import ValidationError
+from repro.workload.datasets import generate_datasets
+from repro.workload.params import PaperDefaults
+from repro.workload.queries import generate_queries
+
+
+@pytest.fixture()
+def setup():
+    topology = generate_two_tier(seed=12)
+    params = PaperDefaults()
+    datasets = generate_datasets(topology, spawn_rng(12, "ds"), params, count=10)
+    queries = [
+        generate_queries(topology, datasets, spawn_rng(12, f"q{e}"), params, count=40)
+        for e in range(3)
+    ]
+    controller = EdgeCloudController(topology, datasets)
+    return controller, queries
+
+
+class TestLifecycle:
+    def test_place_and_metrics(self, setup):
+        controller, queries = setup
+        metrics = controller.place(queries[0])
+        assert controller.has_placement
+        assert metrics.admitted_volume_gb >= 0
+        assert controller.metrics().num_queries == 40
+
+    def test_operations_before_place_rejected(self, setup):
+        controller, _ = setup
+        with pytest.raises(ValidationError, match="place"):
+            controller.execute()
+        with pytest.raises(ValidationError):
+            _ = controller.solution
+
+    def test_execute_reports_latencies(self, setup):
+        controller, queries = setup
+        controller.place(queries[0])
+        report = controller.execute(contention=False)
+        assert report.num_executed == controller.metrics().num_admitted
+        assert report.deadline_violations == 0
+
+    def test_maintenance_and_invoice(self, setup):
+        controller, queries = setup
+        controller.place(queries[0])
+        sync = controller.maintenance_report()
+        invoice = controller.invoice()
+        assert sync.shipped_gb >= 0
+        assert invoice.revenue >= 0
+
+    def test_failure_adopts_repaired_placement(self, setup):
+        controller, queries = setup
+        controller.place(queries[0])
+        victim = next(
+            a.node for a in controller.solution.assignments.values()
+        )
+        report = controller.handle_failure([victim])
+        assert 0.0 <= report.availability <= 1.0 + 1e-9
+        # The adopted placement no longer uses the failed node.
+        assert all(
+            a.node != victim for a in controller.solution.assignments.values()
+        )
+
+    def test_epoch_transition_carries_replicas(self, setup):
+        controller, queries = setup
+        controller.place(queries[0])
+        report = controller.next_epoch(queries[1])
+        assert controller.epoch == 1
+        assert report.kept + report.added >= 0
+        # The controller's active instance is the new epoch's.
+        assert controller.instance.queries[0] == queries[1][0]
+
+    def test_epoch_before_place_rejected(self, setup):
+        controller, queries = setup
+        with pytest.raises(ValidationError):
+            controller.next_epoch(queries[0])
+
+    def test_failed_nodes_not_recarried(self, setup):
+        controller, queries = setup
+        controller.place(queries[0])
+        victim = next(
+            v
+            for nodes in controller.solution.replicas.values()
+            for v in nodes
+        )
+        controller.handle_failure([victim])
+        controller.next_epoch(queries[1])
+        # Replicas carried into the new epoch exclude the failed node,
+        # except for immovable origin records.
+        origins = {d.origin_node for d in controller.instance.datasets.values()}
+        for nodes in controller.solution.replicas.items():
+            pass  # structural check below
+        carried = controller._planner.carried or {}
+        for nodes in carried.values():
+            assert victim not in nodes or victim in origins
+
+
+class TestAuditTrail:
+    def test_log_records_operations(self, setup):
+        controller, queries = setup
+        controller.place(queries[0])
+        controller.execute()
+        controller.maintenance_report()
+        controller.next_epoch(queries[1])
+        trail = controller.audit_trail()
+        for op in ("place", "execute", "maintenance", "epoch"):
+            assert op in trail
+
+    def test_epoch_counter_in_log(self, setup):
+        controller, queries = setup
+        controller.place(queries[0])
+        controller.next_epoch(queries[1])
+        controller.next_epoch(queries[2])
+        assert controller.log[-1].epoch == 2

@@ -1,0 +1,159 @@
+"""Degenerate and boundary instances every component must survive."""
+
+import pytest
+
+from repro.core import (
+    evaluate_solution,
+    make_algorithm,
+    solve_ilp,
+    solve_lp_relaxation,
+    verify_solution,
+)
+from repro.core.instance import ProblemInstance
+from repro.core.types import Dataset, Query
+from repro.sim import execute_placement
+from repro.topology.twotier import TwoTierConfig, generate_two_tier
+
+ALL_GENERAL = (
+    "appro-g",
+    "greedy-g",
+    "graph-g",
+    "popularity-g",
+    "lp-rounding-g",
+    "appro-bw-g",
+)
+
+
+@pytest.fixture(scope="module")
+def micro_topology():
+    return generate_two_tier(
+        TwoTierConfig(
+            num_data_centers=1,
+            num_cloudlets=2,
+            num_switches=1,
+            num_base_stations=1,
+        ),
+        seed=0,
+    )
+
+
+class TestEmptyQuerySet:
+    @pytest.mark.parametrize("algo", ALL_GENERAL)
+    def test_all_algorithms_handle_no_queries(self, micro_topology, algo):
+        pn = micro_topology.placement_nodes
+        instance = ProblemInstance(
+            topology=micro_topology,
+            datasets={0: Dataset(0, 1.0, pn[0])},
+            queries=[],
+            max_replicas=2,
+        )
+        solution = make_algorithm(algo).solve(instance)
+        verify_solution(instance, solution)
+        metrics = evaluate_solution(instance, solution)
+        assert metrics.admitted_volume_gb == 0.0
+        assert metrics.throughput == 0.0
+
+    def test_lp_and_ilp_on_empty(self, micro_topology):
+        pn = micro_topology.placement_nodes
+        instance = ProblemInstance(
+            topology=micro_topology,
+            datasets={0: Dataset(0, 1.0, pn[0])},
+            queries=[],
+            max_replicas=2,
+        )
+        assert solve_lp_relaxation(instance).objective == pytest.approx(0.0)
+        assert solve_ilp(instance).objective == pytest.approx(0.0)
+
+    def test_execute_empty_solution(self, micro_topology):
+        pn = micro_topology.placement_nodes
+        instance = ProblemInstance(
+            topology=micro_topology,
+            datasets={0: Dataset(0, 1.0, pn[0])},
+            queries=[],
+            max_replicas=2,
+        )
+        solution = make_algorithm("appro-g").solve(instance)
+        report = execute_placement(instance, solution)
+        assert report.num_executed == 0
+
+
+class TestExtremeK:
+    @pytest.mark.parametrize("algo", ("appro-g", "greedy-g", "graph-g"))
+    def test_k_larger_than_node_count(self, micro_topology, algo):
+        pn = micro_topology.placement_nodes
+        instance = ProblemInstance(
+            topology=micro_topology,
+            datasets={0: Dataset(0, 1.0, pn[0])},
+            queries=[Query(0, pn[0], (0,), (0.5,), 1.0, 100.0)],
+            max_replicas=10_000,
+        )
+        solution = make_algorithm(algo).solve(instance)
+        verify_solution(instance, solution)
+        # Replicas can never exceed the node count regardless of K.
+        assert all(
+            len(nodes) <= len(pn) for nodes in solution.replicas.values()
+        )
+
+
+class TestSingleNodeWorld:
+    def test_everything_served_at_origin(self):
+        topology = generate_two_tier(
+            TwoTierConfig(
+                num_data_centers=1,
+                num_cloudlets=1,
+                num_switches=1,
+                num_base_stations=1,
+            ),
+            seed=3,
+        )
+        cl = topology.cloudlets[0]
+        instance = ProblemInstance(
+            topology=topology,
+            datasets={0: Dataset(0, 2.0, cl)},
+            queries=[Query(0, cl, (0,), (0.5,), 1.0, 10.0)],
+            max_replicas=1,
+        )
+        solution = make_algorithm("appro-g").solve(instance)
+        verify_solution(instance, solution)
+        assert solution.num_admitted == 1
+        assert solution.assignments[(0, 0)].node == cl
+
+
+class TestHugeDemandSingleQuery:
+    def test_oversized_query_rejected_cleanly(self, micro_topology):
+        """A query whose compute demand exceeds every node is rejected,
+        never crashes capacity accounting."""
+        pn = micro_topology.placement_nodes
+        instance = ProblemInstance(
+            topology=micro_topology,
+            datasets={0: Dataset(0, 5000.0, pn[0])},
+            queries=[Query(0, pn[0], (0,), (0.5,), 1.0, 1e9)],
+            max_replicas=2,
+        )
+        for algo in ("appro-g", "greedy-g", "popularity-g"):
+            solution = make_algorithm(algo).solve(instance)
+            verify_solution(instance, solution)
+            assert solution.num_admitted == 0
+
+
+class TestAllQueriesIdentical:
+    def test_capacity_splits_identical_queries(self, micro_topology):
+        """Many copies of one query fill capacity then reject the rest."""
+        pn = micro_topology.placement_nodes
+        queries = [
+            Query(m, pn[1], (0,), (0.5,), 1.0, 100.0) for m in range(200)
+        ]
+        instance = ProblemInstance(
+            topology=micro_topology,
+            datasets={0: Dataset(0, 4.0, pn[0])},
+            queries=queries,
+            max_replicas=3,
+        )
+        solution = make_algorithm("appro-g").solve(instance)
+        verify_solution(instance, solution)
+        total_capacity = sum(
+            micro_topology.capacity(v) for v in pn
+        )
+        used = sum(a.compute_ghz for a in solution.assignments.values())
+        assert used <= total_capacity * (1 + 1e-9)
+        assert 0 < solution.num_admitted < 200

@@ -1,0 +1,127 @@
+"""End-to-end integration tests across all subsystems.
+
+Each test exercises a full pipeline: topology → workload → placement →
+verification → event-simulated execution (→ analytics where applicable).
+"""
+
+from __future__ import annotations
+
+import math
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import quick_compare
+from repro.core import evaluate_solution, make_algorithm, verify_solution
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import figure4
+from repro.experiments.runner import make_instance
+from repro.sim.execution import ExecutionConfig, execute_placement
+from repro.topology.twotier import TwoTierConfig
+from repro.workload.params import PaperDefaults
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+class TestFullSimulationPipeline:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("algo", ["appro-g", "greedy-g", "graph-g", "popularity-g"])
+    def test_placement_executes_within_deadlines(self, seed, algo):
+        """Analytic admission is sound: the event simulator confirms every
+        admitted query's measured latency beats its QoS deadline."""
+        instance = make_instance(TwoTierConfig(), PaperDefaults(), seed, 0)
+        solution = make_algorithm(algo).solve(instance)
+        verify_solution(instance, solution)
+        report = execute_placement(instance, solution)
+        assert report.deadline_violations == 0
+        for outcome in report.outcomes:
+            analytic = max(
+                a.latency_s for a in solution.served_pairs(outcome.query_id)
+            )
+            assert math.isclose(outcome.response_s, analytic, rel_tol=1e-9)
+
+    def test_paper_ordering_on_default_regime(self):
+        """Averaged over several instances, the paper's ordering holds:
+        Appro ≥ Graph > Greedy and Appro > Popularity on volume."""
+        sums = {n: 0.0 for n in ("appro-g", "greedy-g", "graph-g", "popularity-g")}
+        for seed in range(8):
+            instance = make_instance(TwoTierConfig(), PaperDefaults(), seed, 0)
+            for name in sums:
+                sums[name] += evaluate_solution(
+                    instance, make_algorithm(name).solve(instance)
+                ).admitted_volume_gb
+        assert sums["appro-g"] > sums["graph-g"]
+        assert sums["graph-g"] > sums["greedy-g"]
+        assert sums["appro-g"] > 1.5 * sums["greedy-g"]
+        assert sums["appro-g"] > 1.5 * sums["popularity-g"]
+
+    def test_special_case_ordering(self):
+        sums = {n: 0.0 for n in ("appro-s", "greedy-s", "graph-s")}
+        params = PaperDefaults().single_dataset()
+        for seed in range(8):
+            instance = make_instance(TwoTierConfig(), params, seed, 0)
+            for name in sums:
+                sums[name] += evaluate_solution(
+                    instance, make_algorithm(name).solve(instance)
+                ).admitted_volume_gb
+        assert sums["appro-s"] >= sums["graph-s"] * 0.95
+        assert sums["appro-s"] > 2.0 * sums["greedy-s"]
+
+    def test_quick_compare_entry_point(self):
+        results = quick_compare(seed=4)
+        assert set(results) == {"appro-g", "greedy-g", "graph-g", "popularity-g"}
+        for metrics in results.values():
+            assert 0.0 <= metrics.throughput <= 1.0
+
+
+class TestFigurePipeline:
+    def test_figure4_shapes_at_low_repeats(self):
+        series = figure4(ExperimentConfig(repeats=2, seed=17))
+        t = series.throughput["appro-g"]
+        assert t[0] > t[-1]
+        v = series.volume["appro-g"]
+        assert max(v) > v[0] * 0.9
+
+
+class TestMoreReplicasNeverHurt:
+    def test_k_monotonicity_on_average(self):
+        """Raising K weakly improves Appro-G's admitted volume on average
+        (paper Fig. 5 trend)."""
+        totals = []
+        for k in (1, 3, 5):
+            params = PaperDefaults().with_max_replicas(k)
+            total = 0.0
+            for seed in range(6):
+                instance = make_instance(TwoTierConfig(), params, seed, 0)
+                total += evaluate_solution(
+                    instance, make_algorithm("appro-g").solve(instance)
+                ).admitted_volume_gb
+            totals.append(total)
+        assert totals[0] < totals[1] < totals[2]
+
+
+class TestExamplesRun:
+    """Every shipped example must execute cleanly as a script."""
+
+    @pytest.mark.parametrize(
+        "script",
+        [
+            "quickstart.py",
+            "edge_video_analytics.py",
+            "mobile_usage_testbed.py",
+            "capacity_planning.py",
+            "distributed_query_plans.py",
+            "operations_lifecycle.py",
+        ],
+    )
+    def test_example_runs(self, script):
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / script)],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.strip()

@@ -1,0 +1,119 @@
+"""Tests for serialisation round-trips."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import evaluate_solution, make_algorithm, verify_solution
+from repro.io import (
+    instance_from_dict,
+    instance_to_dict,
+    load_instance,
+    load_solution,
+    load_trace,
+    save_instance,
+    save_solution,
+    save_trace,
+    solution_from_dict,
+    solution_to_dict,
+    topology_from_dict,
+    topology_to_dict,
+)
+from repro.util.rng import spawn_rng
+from repro.util.validation import ValidationError
+from repro.workload.trace import TraceConfig, generate_usage_trace
+
+
+class TestTopologyRoundTrip:
+    def test_preserves_everything(self, paper_topology):
+        clone = topology_from_dict(topology_to_dict(paper_topology))
+        assert clone.link_delays == paper_topology.link_delays
+        assert len(clone.nodes) == len(paper_topology.nodes)
+        for a, b in zip(clone.nodes, paper_topology.nodes):
+            assert a == b
+
+    def test_json_serialisable(self, paper_topology):
+        json.dumps(topology_to_dict(paper_topology))
+
+    def test_format_checked(self, paper_topology):
+        payload = topology_to_dict(paper_topology)
+        payload["format"] = "bogus"
+        with pytest.raises(ValidationError, match="format"):
+            topology_from_dict(payload)
+
+
+class TestInstanceRoundTrip:
+    def test_preserves_workload(self, paper_instance):
+        clone = instance_from_dict(instance_to_dict(paper_instance))
+        assert clone.num_queries == paper_instance.num_queries
+        assert clone.max_replicas == paper_instance.max_replicas
+        for a, b in zip(clone.queries, paper_instance.queries):
+            assert a == b
+        assert dict(clone.datasets) == dict(paper_instance.datasets)
+
+    def test_file_round_trip(self, paper_instance, tmp_path):
+        path = tmp_path / "instance.json"
+        save_instance(paper_instance, path)
+        clone = load_instance(path)
+        assert clone.total_demanded_volume() == pytest.approx(
+            paper_instance.total_demanded_volume()
+        )
+
+    def test_algorithms_agree_on_clone(self, paper_instance, tmp_path):
+        """A reloaded instance produces bit-identical solutions."""
+        path = tmp_path / "instance.json"
+        save_instance(paper_instance, path)
+        clone = load_instance(path)
+        s1 = make_algorithm("appro-g").solve(paper_instance)
+        s2 = make_algorithm("appro-g").solve(clone)
+        assert s1.admitted == s2.admitted
+        assert dict(s1.replicas) == dict(s2.replicas)
+
+    def test_corrupted_instance_rejected(self, paper_instance):
+        payload = instance_to_dict(paper_instance)
+        payload["queries"][0]["demanded"] = [999]  # unknown dataset
+        with pytest.raises(ValidationError):
+            instance_from_dict(payload)
+
+
+class TestSolutionRoundTrip:
+    def test_preserves_solution(self, paper_instance, tmp_path):
+        solution = make_algorithm("appro-g").solve(paper_instance)
+        path = tmp_path / "solution.json"
+        save_solution(solution, path)
+        clone = load_solution(path)
+        assert clone.admitted == solution.admitted
+        assert dict(clone.replicas) == dict(solution.replicas)
+        assert set(clone.assignments) == set(solution.assignments)
+        verify_solution(paper_instance, clone)
+        assert evaluate_solution(
+            paper_instance, clone
+        ).admitted_volume_gb == pytest.approx(
+            evaluate_solution(paper_instance, solution).admitted_volume_gb
+        )
+
+    def test_extras_preserved(self, paper_instance):
+        solution = make_algorithm("appro-g").solve(paper_instance)
+        clone = solution_from_dict(solution_to_dict(solution))
+        assert dict(clone.extras) == dict(solution.extras)
+
+
+class TestTraceRoundTrip:
+    def test_npz_round_trip(self, tmp_path):
+        trace = generate_usage_trace(
+            TraceConfig(num_users=50, num_apps=10, days=5), spawn_rng(0, "t")
+        )
+        path = tmp_path / "trace.npz"
+        save_trace(trace, path)
+        clone = load_trace(path)
+        assert np.array_equal(clone.user, trace.user)
+        assert np.array_equal(clone.app, trace.app)
+        assert np.array_equal(clone.timestamp_s, trace.timestamp_s)
+        assert clone.total_bytes == trace.total_bytes
+
+    def test_bad_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez_compressed(path, format=np.array("other"), user=np.zeros(1))
+        with pytest.raises(ValidationError):
+            load_trace(path)

@@ -1,0 +1,93 @@
+"""Coverage for small contracts not exercised elsewhere."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.sim.engine import Event
+from repro.sim.events import ExecutionReport, QueryOutcome
+from repro.topology.nodes import NodeKind
+from repro.util.validation import ValidationError
+
+
+class TestExperimentConfig:
+    def test_defaults(self):
+        config = ExperimentConfig()
+        assert config.repeats == 15  # the paper's averaging
+        assert config.topology.core_size == 32
+
+    def test_zero_repeats_rejected(self):
+        with pytest.raises(ValidationError):
+            ExperimentConfig(repeats=0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            ExperimentConfig().repeats = 3
+
+
+class TestEventOrdering:
+    def test_time_then_sequence(self):
+        a = Event(1.0, 0, lambda: None)
+        b = Event(1.0, 1, lambda: None)
+        c = Event(0.5, 2, lambda: None)
+        assert sorted([b, a, c]) == [c, a, b]
+
+    def test_action_not_compared(self):
+        # Identical (time, seq) would be a scheduler bug, but ordering must
+        # never touch the callback.
+        a = Event(1.0, 0, lambda: 1)
+        b = Event(2.0, 1, lambda: 2)
+        assert a < b
+
+
+class TestOutcomeRecords:
+    def test_met_deadline_boundary(self):
+        on_time = QueryOutcome(0, 0.0, 1.0, 1.0)
+        late = QueryOutcome(0, 0.0, 1.0 + 1e-6, 1.0)
+        assert on_time.met_deadline
+        assert not late.met_deadline
+
+    def test_report_aggregates(self):
+        outcomes = (
+            QueryOutcome(0, 0.0, 0.5, 1.0),
+            QueryOutcome(1, 0.0, 1.5, 1.0),
+        )
+        report = ExecutionReport(outcomes=outcomes, makespan_s=2.0, events=10)
+        assert report.num_executed == 2
+        assert report.deadline_violations == 1
+        assert report.mean_response_s == pytest.approx(1.0)
+        assert report.max_response_s == pytest.approx(1.5)
+
+
+class TestTopologyKinds:
+    def test_of_kind_partitions_nodes(self, paper_topology):
+        total = sum(
+            len(paper_topology.of_kind(kind)) for kind in NodeKind
+        )
+        assert total == paper_topology.num_nodes
+
+    def test_proc_delay_zero_for_switches(self, paper_topology):
+        for v in paper_topology.switches:
+            assert paper_topology.proc_delay(v) == 0.0
+
+    def test_link_delay_unknown_edge_raises(self, paper_topology):
+        bs = paper_topology.base_stations
+        with pytest.raises(KeyError):
+            # Two base stations are never directly linked.
+            paper_topology.link_delay(bs[0], bs[1])
+
+
+class TestPaperDefaultsComposition:
+    def test_sweep_helpers_compose(self):
+        from repro.workload.params import PaperDefaults
+
+        params = (
+            PaperDefaults()
+            .with_max_replicas(5)
+            .with_max_datasets_per_query(4)
+            .with_num_queries(30)
+        )
+        assert params.max_replicas == 5
+        assert params.datasets_per_query == (1, 4)
+        assert params.num_queries == (30, 30)
+        # Untouched fields keep the paper's values.
+        assert params.dataset_volume_gb == (1.0, 6.0)

@@ -1,0 +1,187 @@
+"""Property-based tests (hypothesis) for the DESIGN.md §6 invariants.
+
+Instances are drawn from a broad strategy over topology shapes, workload
+parameters and replica bounds; every invariant must hold for every
+algorithm on every drawn instance.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.node import ComputeNode
+from repro.cluster.replicas import ReplicaStore
+from repro.cluster.state import ClusterState
+from repro.core import (
+    evaluate_solution,
+    make_algorithm,
+    solve_lp_relaxation,
+    verify_solution,
+)
+from repro.core.types import Dataset
+from repro.experiments.runner import make_instance
+from repro.topology.twotier import TwoTierConfig
+from repro.util.rng import spawn_rng
+from repro.workload.params import PaperDefaults
+
+GENERAL_ALGOS = ("appro-g", "greedy-g", "graph-g", "popularity-g")
+
+SLOW = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def instances(draw):
+    """Random problem instances across topology and workload space."""
+    topology = TwoTierConfig(
+        num_data_centers=draw(st.integers(1, 4)),
+        num_cloudlets=draw(st.integers(3, 12)),
+        num_switches=draw(st.integers(1, 3)),
+        num_base_stations=1,
+        link_prob=draw(st.floats(0.15, 0.6)),
+    )
+    params = PaperDefaults(
+        num_datasets=(3, 8),
+        num_queries=(5, 25),
+        datasets_per_query=(1, draw(st.integers(1, 4))),
+        max_replicas=draw(st.integers(1, 5)),
+        deadline_s_per_gb=(
+            draw(st.floats(0.02, 0.08)),
+            draw(st.floats(0.2, 0.6)),
+        ),
+    )
+    seed = draw(st.integers(0, 10_000))
+    return make_instance(topology, params, seed, 0)
+
+
+class TestSolutionInvariants:
+    @SLOW
+    @given(instance=instances(), algo=st.sampled_from(GENERAL_ALGOS))
+    def test_every_constraint_holds(self, instance, algo):
+        """Invariants 1–4: deadlines, capacity, K bound, coverage."""
+        solution = make_algorithm(algo).solve(instance)
+        verify_solution(instance, solution)
+
+    @SLOW
+    @given(instance=instances(), algo=st.sampled_from(GENERAL_ALGOS))
+    def test_metrics_well_formed(self, instance, algo):
+        """Invariant 4: objective bounded by total demand; throughput in [0,1]."""
+        solution = make_algorithm(algo).solve(instance)
+        metrics = evaluate_solution(instance, solution)
+        assert 0.0 <= metrics.throughput <= 1.0
+        assert 0.0 <= metrics.admitted_volume_gb <= (
+            instance.total_demanded_volume() + 1e-9
+        )
+        assert 0.0 <= metrics.mean_utilization <= 1.0 + 1e-9
+
+    @SLOW
+    @given(instance=instances(), algo=st.sampled_from(GENERAL_ALGOS))
+    def test_determinism(self, instance, algo):
+        """Invariant 6: same instance ⇒ identical solution."""
+        s1 = make_algorithm(algo).solve(instance)
+        s2 = make_algorithm(algo).solve(instance)
+        assert s1.admitted == s2.admitted
+        assert dict(s1.replicas) == dict(s2.replicas)
+
+    @settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(instance=instances())
+    def test_weak_duality(self, instance):
+        """Invariant 5: every algorithm's objective ≤ LP relaxation optimum."""
+        lp = solve_lp_relaxation(instance)
+        for algo in GENERAL_ALGOS:
+            solution = make_algorithm(algo).solve(instance)
+            primal = evaluate_solution(instance, solution).admitted_volume_gb
+            assert primal <= lp.objective + 1e-6
+
+
+class TestClusterStateProperties:
+    @SLOW
+    @given(instance=instances(), data=st.data())
+    def test_rollback_is_exact(self, instance, data):
+        """Invariant 7: an aborted transaction leaves no trace."""
+        state = ClusterState(instance)
+        before_nodes = {v: n.snapshot() for v, n in state.nodes.items()}
+        before_replicas = state.replicas.snapshot()
+        q_idx = data.draw(st.integers(0, instance.num_queries - 1))
+        query = instance.query(q_idx)
+        with state.transaction():
+            for d_id in query.demanded:
+                dataset = instance.dataset(d_id)
+                for v in instance.placement_nodes:
+                    if state.can_serve(query, dataset, v):
+                        state.serve(query, dataset, v)
+                        break
+            # no commit → rollback
+        assert {v: n.snapshot() for v, n in state.nodes.items()} == before_nodes
+        assert state.replicas.snapshot() == before_replicas
+
+    @given(
+        capacity=st.floats(0.5, 1000.0),
+        amounts=st.lists(st.floats(0.0, 50.0), min_size=1, max_size=30),
+    )
+    def test_node_capacity_never_exceeded(self, capacity, amounts):
+        """Invariant 2: the ledger refuses over-allocation, always."""
+        node = ComputeNode(0, capacity)
+        for i, amount in enumerate(amounts):
+            if node.can_fit(amount):
+                node.allocate(i, amount)
+        assert node.allocated_ghz <= capacity * (1 + 1e-9)
+
+    @given(
+        amounts=st.lists(
+            st.tuples(st.integers(0, 9), st.floats(0.1, 5.0)),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_allocate_release_round_trip(self, amounts):
+        """Releasing everything restores a pristine ledger."""
+        node = ComputeNode(0, 1e9)
+        live = {}
+        for i, (_, amount) in enumerate(amounts):
+            node.allocate(i, amount)
+            live[i] = amount
+        for tag in list(live):
+            assert node.release(tag) == live.pop(tag)
+        assert node.allocated_ghz == pytest.approx(0.0, abs=1e-6)
+
+    @given(
+        k=st.integers(1, 6),
+        placements=st.lists(st.integers(0, 15), min_size=0, max_size=40),
+    )
+    def test_replica_store_never_exceeds_k(self, k, placements):
+        """Invariant 3: ≤ K copies no matter the operation sequence."""
+        datasets = {0: Dataset(dataset_id=0, volume_gb=1.0, origin_node=99)}
+        store = ReplicaStore(datasets, max_replicas=k)
+        for node in placements:
+            if store.can_place(0, node):
+                store.place(0, node)
+        assert store.count(0) <= k
+        assert store.has(0, 99)  # origin never lost
+
+
+class TestPartialVsAllOrNothing:
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(instance=instances())
+    def test_partial_mode_is_sound(self, instance):
+        """Partial-admission solutions satisfy every constraint, and each
+        admitted query serves a subset of its demanded datasets with at
+        least one pair.  (Volume/count dominance over all-or-nothing does
+        NOT hold per instance — kept partial pairs can crowd out later
+        full admissions — so the admission-semantics ablation compares the
+        two in the mean instead.)"""
+        from repro.core import ApproG
+
+        part_sol = ApproG(partial_admission=True).solve(instance)
+        verify_solution(instance, part_sol, all_or_nothing=False)
+        for q_id in part_sol.admitted:
+            served = {d for (qq, d) in part_sol.assignments if qq == q_id}
+            assert served
+            assert served <= set(instance.query(q_id).demanded)

@@ -1,0 +1,184 @@
+"""Extended property tests: serialisation, topology generators, the referee.
+
+Complements ``test_properties.py`` with properties over the persistence
+layer, random topology configurations, and adversarial mutations of valid
+solutions (the invariant checker must catch every corruption).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import InvariantViolation, make_algorithm, verify_solution
+from repro.util.validation import ValidationError
+from repro.core.types import Assignment, PlacementSolution
+from repro.experiments.runner import make_instance
+from repro.io import (
+    instance_from_dict,
+    instance_to_dict,
+    solution_from_dict,
+    solution_to_dict,
+)
+from repro.topology.transit_stub import TransitStubConfig, generate_transit_stub
+from repro.topology.twotier import TwoTierConfig, generate_two_tier
+from repro.workload.params import PaperDefaults
+
+RELAXED = settings(
+    max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+@st.composite
+def small_instances(draw):
+    topology = TwoTierConfig(
+        num_data_centers=draw(st.integers(1, 3)),
+        num_cloudlets=draw(st.integers(2, 8)),
+        num_switches=1,
+        num_base_stations=1,
+    )
+    params = PaperDefaults(
+        num_datasets=(2, 6),
+        num_queries=(3, 15),
+        datasets_per_query=(1, 3),
+        max_replicas=draw(st.integers(1, 4)),
+    )
+    return make_instance(topology, params, draw(st.integers(0, 5000)), 0)
+
+
+class TestSerializationProperties:
+    @RELAXED
+    @given(instance=small_instances())
+    def test_instance_round_trip_preserves_solutions(self, instance):
+        """Solving a JSON round-tripped instance gives the identical answer."""
+        clone = instance_from_dict(instance_to_dict(instance))
+        s1 = make_algorithm("appro-g").solve(instance)
+        s2 = make_algorithm("appro-g").solve(clone)
+        assert s1.admitted == s2.admitted
+        assert dict(s1.replicas) == dict(s2.replicas)
+
+    @RELAXED
+    @given(instance=small_instances())
+    def test_solution_round_trip_still_verifies(self, instance):
+        solution = make_algorithm("appro-g").solve(instance)
+        clone = solution_from_dict(solution_to_dict(solution))
+        verify_solution(instance, clone)
+        assert clone.admitted == solution.admitted
+
+
+class TestTopologyGeneratorProperties:
+    @RELAXED
+    @given(
+        n_dc=st.integers(1, 5),
+        n_cl=st.integers(1, 20),
+        n_sw=st.integers(1, 4),
+        p=st.floats(0.05, 0.9),
+        seed=st.integers(0, 10_000),
+    )
+    def test_two_tier_always_connected_and_valid(self, n_dc, n_cl, n_sw, p, seed):
+        topology = generate_two_tier(
+            TwoTierConfig(
+                num_data_centers=n_dc,
+                num_cloudlets=n_cl,
+                num_switches=n_sw,
+                num_base_stations=2,
+                link_prob=p,
+            ),
+            seed=seed,
+        )
+        assert topology.is_connected()
+        assert len(topology.placement_nodes) == n_dc + n_cl
+        assert all(d > 0 for d in topology.link_delays.values())
+
+    @RELAXED
+    @given(
+        n_transit=st.integers(1, 4),
+        stubs=st.integers(1, 3),
+        per_stub=st.integers(1, 4),
+        seed=st.integers(0, 10_000),
+    )
+    def test_transit_stub_always_connected(self, n_transit, stubs, per_stub, seed):
+        topology = generate_transit_stub(
+            TransitStubConfig(
+                num_transit=n_transit,
+                stubs_per_transit=stubs,
+                cloudlets_per_stub=per_stub,
+                num_data_centers=2,
+            ),
+            seed=seed,
+        )
+        assert topology.is_connected()
+
+
+def _mutate_solution(solution: PlacementSolution, mutation: str, instance):
+    """Apply one named corruption to a valid solution."""
+    replicas = dict(solution.replicas)
+    assignments = dict(solution.assignments)
+    admitted = set(solution.admitted)
+    rejected = set(solution.rejected)
+    if mutation == "drop_origin":
+        d_id = next(iter(replicas))
+        origin = instance.dataset(d_id).origin_node
+        others = [v for v in instance.placement_nodes if v != origin]
+        replicas[d_id] = tuple(others[:1])
+    elif mutation == "over_k":
+        d_id = next(iter(replicas))
+        replicas[d_id] = tuple(instance.placement_nodes)
+    elif mutation == "inflate_latency":
+        key, a = next(iter(assignments.items()))
+        assignments[key] = dataclasses.replace(
+            a, latency_s=instance.query(key[0]).deadline_s * 10 + 1.0
+        )
+    elif mutation == "blow_capacity":
+        key, a = next(iter(assignments.items()))
+        assignments[key] = dataclasses.replace(a, compute_ghz=1e9)
+    elif mutation == "double_decide":
+        moved = next(iter(admitted))
+        rejected.add(moved)
+        return PlacementSolution(
+            algorithm=solution.algorithm,
+            replicas=replicas,
+            assignments=assignments,
+            admitted=frozenset(admitted),
+            rejected=frozenset(rejected),
+        )
+    return PlacementSolution(
+        algorithm=solution.algorithm,
+        replicas=replicas,
+        assignments=assignments,
+        admitted=frozenset(admitted),
+        rejected=frozenset(rejected),
+    )
+
+
+class TestRefereeCatchesCorruption:
+    """Mutation tests: every corruption of a valid solution must be caught."""
+
+    @RELAXED
+    @given(
+        instance=small_instances(),
+        mutation=st.sampled_from(
+            ["drop_origin", "over_k", "inflate_latency", "blow_capacity", "double_decide"]
+        ),
+    )
+    def test_verify_rejects_mutants(self, instance, mutation):
+        solution = make_algorithm("appro-g").solve(instance)
+        # Skip draws where the mutation cannot produce a corruption.
+        if mutation in ("inflate_latency", "blow_capacity") and not (
+            solution.assignments
+        ):
+            return
+        if mutation == "double_decide" and not solution.admitted:
+            return
+        if mutation == "over_k" and (
+            instance.num_placement_nodes <= instance.max_replicas
+        ):
+            return  # replicating everywhere would still respect K
+        # Corruption is caught either at solution construction
+        # (ValidationError) or by the referee (InvariantViolation).
+        with pytest.raises((InvariantViolation, ValidationError)):
+            mutant = _mutate_solution(solution, mutation, instance)
+            verify_solution(instance, mutant)

@@ -1,0 +1,87 @@
+"""Tests for link-delay models."""
+
+import numpy as np
+import pytest
+
+from repro.topology.delays import (
+    DistanceLinkDelays,
+    UniformLinkDelays,
+    assign_link_delays,
+    is_internet_link,
+)
+from repro.topology.nodes import NodeKind, NodeSpec
+
+
+def _cl(node_id: int, x=0.0, y=0.0) -> NodeSpec:
+    return NodeSpec(node_id, NodeKind.CLOUDLET, f"cl{node_id}", 8.0, 0.05, x, y)
+
+
+def _dc(node_id: int, x=0.0, y=0.0) -> NodeSpec:
+    return NodeSpec(node_id, NodeKind.DATA_CENTER, f"dc{node_id}", 300.0, 0.01, x, y)
+
+
+def _sw(node_id: int, x=0.0, y=0.0) -> NodeSpec:
+    return NodeSpec(node_id, NodeKind.SWITCH, f"sw{node_id}", x=x, y=y)
+
+
+class TestIsInternetLink:
+    def test_dc_links_cross_internet(self):
+        assert is_internet_link(_dc(0), _sw(1))
+        assert is_internet_link(_sw(0), _dc(1))
+        assert is_internet_link(_dc(0), _dc(1))
+
+    def test_wman_links_do_not(self):
+        assert not is_internet_link(_cl(0), _sw(1))
+        assert not is_internet_link(_cl(0), _cl(1))
+
+
+class TestUniformLinkDelays:
+    def test_ranges_respected(self):
+        model = UniformLinkDelays()
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            wman = model.link_delay(_cl(0), _sw(1), rng)
+            assert model.wman_low <= wman <= model.wman_high
+            internet = model.link_delay(_dc(0), _sw(1), rng)
+            assert model.internet_low <= internet <= model.internet_high
+
+    def test_internet_slower_than_wman(self):
+        model = UniformLinkDelays()
+        assert model.internet_low > model.wman_high
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(ValueError):
+            UniformLinkDelays(wman_low=0.1, wman_high=0.05)
+
+
+class TestDistanceLinkDelays:
+    def test_monotone_in_distance(self):
+        model = DistanceLinkDelays()
+        rng = np.random.default_rng(0)
+        near = model.link_delay(_cl(0, 0, 0), _cl(1, 0.1, 0), rng)
+        far = model.link_delay(_cl(0, 0, 0), _cl(1, 0.9, 0), rng)
+        assert far > near
+
+    def test_internet_penalty_applied(self):
+        model = DistanceLinkDelays()
+        rng = np.random.default_rng(0)
+        wman = model.link_delay(_cl(0), _cl(1), rng)
+        internet = model.link_delay(_dc(0), _cl(1), rng)
+        assert internet == pytest.approx(wman + model.internet_penalty)
+
+
+class TestAssignLinkDelays:
+    def test_keys_normalised(self):
+        nodes = [_cl(0), _cl(1), _sw(2)]
+        delays = assign_link_delays(
+            nodes, [(1, 0), (2, 1)], UniformLinkDelays(), np.random.default_rng(0)
+        )
+        assert set(delays) == {(0, 1), (1, 2)}
+
+    def test_one_delay_per_edge(self):
+        nodes = [_cl(0), _cl(1)]
+        delays = assign_link_delays(
+            nodes, [(0, 1)], UniformLinkDelays(), np.random.default_rng(0)
+        )
+        assert len(delays) == 1
+        assert delays[(0, 1)] > 0

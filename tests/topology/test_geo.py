@@ -1,0 +1,69 @@
+"""Tests for geographic delay modelling."""
+
+import pytest
+
+from repro.topology.geo import (
+    GeoPoint,
+    great_circle_km,
+    propagation_delay_s,
+    transfer_delay_s_per_gb,
+)
+from repro.util.validation import ValidationError
+
+SF = GeoPoint(37.77, -122.42)
+NYC = GeoPoint(40.71, -74.01)
+SGP = GeoPoint(1.35, 103.82)
+
+
+class TestGeoPoint:
+    def test_valid(self):
+        GeoPoint(0.0, 0.0)
+        GeoPoint(-90.0, 180.0)
+
+    def test_bad_latitude(self):
+        with pytest.raises(ValidationError):
+            GeoPoint(91.0, 0.0)
+
+    def test_bad_longitude(self):
+        with pytest.raises(ValidationError):
+            GeoPoint(0.0, -181.0)
+
+
+class TestGreatCircle:
+    def test_known_distance_sf_nyc(self):
+        # ~4130 km
+        assert 4000 < great_circle_km(SF, NYC) < 4250
+
+    def test_zero_distance(self):
+        assert great_circle_km(SF, SF) == pytest.approx(0.0)
+
+    def test_symmetry(self):
+        assert great_circle_km(SF, SGP) == pytest.approx(great_circle_km(SGP, SF))
+
+    def test_triangle_inequality(self):
+        assert great_circle_km(SF, SGP) <= (
+            great_circle_km(SF, NYC) + great_circle_km(NYC, SGP) + 1e-9
+        )
+
+
+class TestDelays:
+    def test_propagation_sane_sf_nyc(self):
+        # One-way fibre delay across the US: tens of milliseconds.
+        delay = propagation_delay_s(SF, NYC)
+        assert 0.015 < delay < 0.06
+
+    def test_transfer_delay_dominated_by_serialisation_nearby(self):
+        near = transfer_delay_s_per_gb(SF, SF, bandwidth_gbps=1.0)
+        assert near == pytest.approx(8.0, rel=0.01)
+
+    def test_transfer_delay_grows_with_distance(self):
+        assert transfer_delay_s_per_gb(SF, SGP) > transfer_delay_s_per_gb(SF, NYC)
+
+    def test_bandwidth_scales_serialisation(self):
+        slow = transfer_delay_s_per_gb(SF, NYC, bandwidth_gbps=1.0)
+        fast = transfer_delay_s_per_gb(SF, NYC, bandwidth_gbps=10.0)
+        assert fast < slow
+
+    def test_bad_bandwidth_rejected(self):
+        with pytest.raises(ValidationError):
+            transfer_delay_s_per_gb(SF, NYC, bandwidth_gbps=0.0)

@@ -1,0 +1,51 @@
+"""Tests for the node taxonomy."""
+
+import pytest
+
+from repro.topology.nodes import NodeKind, NodeSpec
+from repro.util.validation import ValidationError
+
+
+class TestNodeKind:
+    def test_placement_roles(self):
+        assert NodeKind.CLOUDLET.is_placement
+        assert NodeKind.DATA_CENTER.is_placement
+        assert not NodeKind.SWITCH.is_placement
+        assert not NodeKind.BASE_STATION.is_placement
+
+    def test_short_prefixes_unique(self):
+        shorts = {kind.short for kind in NodeKind}
+        assert shorts == {"bs", "sw", "cl", "dc"}
+
+
+class TestNodeSpec:
+    def test_valid_cloudlet(self):
+        spec = NodeSpec(0, NodeKind.CLOUDLET, "cl0", 8.0, 0.05)
+        assert spec.is_placement
+        assert spec.capacity_ghz == 8.0
+
+    def test_placement_requires_capacity(self):
+        with pytest.raises(ValidationError):
+            NodeSpec(0, NodeKind.CLOUDLET, "cl0", 0.0, 0.05)
+
+    def test_placement_requires_proc_delay(self):
+        with pytest.raises(ValidationError):
+            NodeSpec(0, NodeKind.DATA_CENTER, "dc0", 100.0, 0.0)
+
+    def test_switch_rejects_capacity(self):
+        with pytest.raises(ValueError):
+            NodeSpec(0, NodeKind.SWITCH, "sw0", capacity_ghz=5.0)
+
+    def test_switch_ok_with_zero_capacity(self):
+        spec = NodeSpec(3, NodeKind.SWITCH, "sw0")
+        assert not spec.is_placement
+        assert spec.capacity_ghz == 0.0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValidationError):
+            NodeSpec(0, NodeKind.CLOUDLET, "cl0", -1.0, 0.05)
+
+    def test_frozen(self):
+        spec = NodeSpec(0, NodeKind.CLOUDLET, "cl0", 8.0, 0.05)
+        with pytest.raises(AttributeError):
+            spec.capacity_ghz = 16.0

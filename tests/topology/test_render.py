@@ -1,0 +1,86 @@
+"""Tests for topology text rendering."""
+
+import pytest
+
+from repro.topology.render import (
+    render_adjacency,
+    render_map,
+    render_summary,
+    render_topology,
+)
+from repro.topology.twotier import example_figure1
+
+
+@pytest.fixture(scope="module")
+def small():
+    return example_figure1()
+
+
+class TestSummary:
+    def test_mentions_every_tier(self, small):
+        text = render_summary(small)
+        for tier in ("data_center", "cloudlet", "switch", "base_station"):
+            assert tier in text
+
+    def test_counts_correct(self, small):
+        text = render_summary(small)
+        assert f"cloudlet     : {len(small.cloudlets):3d}" in text
+
+    def test_delay_range(self, small):
+        text = render_summary(small)
+        assert "dt(e)" in text
+
+
+class TestMap:
+    def test_dimensions(self, small):
+        text = render_map(small, width=30, height=10)
+        lines = text.splitlines()
+        assert lines[0] == "+" + "-" * 30 + "+"
+        body = [l for l in lines if l.startswith("|")]
+        assert len(body) == 10
+        assert all(len(l) == 32 for l in body)
+
+    def test_all_glyphs_present(self, small):
+        text = render_map(small)
+        for glyph in ("D", "c", "s", "b"):
+            assert glyph in text
+
+    def test_glyph_counts_bounded(self, small):
+        text = render_map(small, width=80, height=30)
+        grid = "".join(l for l in text.splitlines() if l.startswith("|"))
+        assert grid.count("D") <= len(small.data_centers)
+        assert grid.count("c") <= len(small.cloudlets)
+
+
+class TestAdjacency:
+    def test_lists_every_node(self, small):
+        text = render_adjacency(small)
+        for spec in small.nodes:
+            assert spec.name in text
+
+    def test_omitted_for_large(self, paper_topology):
+        text = render_adjacency(paper_topology, max_nodes=10)
+        assert text.startswith("(adjacency omitted")
+
+    def test_neighbours_symmetric(self, small):
+        text = render_adjacency(small)
+        # dc0's row lists some neighbour; that neighbour's row lists dc0.
+        lines = {l.split(" — ")[0].strip(): l for l in text.splitlines()[1:]}
+        first = lines["dc0"].split(" — ")[1].split(", ")[0]
+        assert "dc0" in lines[first]
+
+
+class TestFullReport:
+    def test_combined_sections(self, small):
+        text = render_topology(small)
+        assert "topology summary" in text
+        assert "adjacency" in text
+        assert "legend" not in text  # legend line is unlabelled
+        assert "D=data center" in text
+
+    def test_large_topology_skips_adjacency(self):
+        from repro.topology.twotier import TwoTierConfig, generate_two_tier
+
+        big = generate_two_tier(TwoTierConfig().scaled_to(60), seed=0)
+        text = render_topology(big)
+        assert "adjacency" not in text

@@ -1,0 +1,86 @@
+"""Tests for the emulated DigitalOcean testbed topology."""
+
+import pytest
+
+from repro.topology.nodes import NodeKind
+from repro.topology.testbed import REGIONS, digitalocean_testbed
+from repro.topology.testbed import TestbedConfig as TbConfig  # avoid Test* collection
+from repro.util.validation import ValidationError
+
+
+@pytest.fixture(scope="module")
+def testbed():
+    return digitalocean_testbed(seed=0)
+
+
+class TestShape:
+    def test_paper_fleet(self, testbed):
+        # §4.3: 4 DC VMs + 16 cloudlet VMs + 2 switches.
+        assert len(testbed.data_centers) == 4
+        assert len(testbed.cloudlets) == 16
+        assert len(testbed.switches) == 2
+
+    def test_four_regions(self, testbed):
+        regions = {testbed.spec(v).region for v in testbed.placement_nodes}
+        assert regions == set(REGIONS)
+
+    def test_connected(self, testbed):
+        assert testbed.is_connected()
+
+    def test_every_vm_uplinked_to_both_switches(self, testbed):
+        for v in testbed.placement_nodes:
+            neighbours = set(testbed.graph.neighbors(v))
+            assert set(testbed.switches) <= neighbours
+
+
+class TestDelays:
+    def test_singapore_farther_than_toronto(self, testbed):
+        """The lab is in Dalian: Singapore uplink < Toronto uplink? No —
+        check relative geography honestly: Singapore is much closer to
+        Dalian than Toronto is, so its uplink delay must be smaller."""
+        sw = testbed.switches[0]
+        sgp = next(
+            v for v in testbed.cloudlets if testbed.spec(v).region == "sgp"
+        )
+        tor = next(
+            v for v in testbed.cloudlets if testbed.spec(v).region == "tor"
+        )
+        assert testbed.link_delay(sgp, sw) < testbed.link_delay(tor, sw)
+
+    def test_dc_uplink_slower_than_cloudlet_same_region(self, testbed):
+        sw = testbed.switches[0]
+        for region in REGIONS:
+            dc = next(
+                v for v in testbed.data_centers if testbed.spec(v).region == region
+            )
+            cl = next(
+                v for v in testbed.cloudlets if testbed.spec(v).region == region
+            )
+            assert testbed.link_delay(dc, sw) > testbed.link_delay(cl, sw)
+
+
+class TestConfig:
+    def test_custom_fleet(self):
+        topo = digitalocean_testbed(
+            TbConfig(cloudlets_per_region=2, data_centers_per_region=2)
+        )
+        assert len(topo.cloudlets) == 8
+        assert len(topo.data_centers) == 8
+
+    def test_capacity_ranges(self, testbed):
+        config = TbConfig()
+        for v in testbed.data_centers:
+            low, high = config.dc_capacity
+            assert low <= testbed.capacity(v) <= high
+        for v in testbed.cloudlets:
+            low, high = config.cl_capacity
+            assert low <= testbed.capacity(v) <= high
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(ValidationError):
+            TbConfig(dc_capacity=(100.0, 50.0))
+
+    def test_deterministic(self):
+        t1 = digitalocean_testbed(seed=4)
+        t2 = digitalocean_testbed(seed=4)
+        assert t1.link_delays == t2.link_delays

@@ -1,0 +1,71 @@
+"""Tests for the GT-ITM transit-stub generator."""
+
+import pytest
+
+from repro.topology.nodes import NodeKind
+from repro.topology.transit_stub import TransitStubConfig, generate_transit_stub
+from repro.util.validation import ValidationError
+
+
+@pytest.fixture(scope="module")
+def ts():
+    return generate_transit_stub(seed=3)
+
+
+class TestStructure:
+    def test_node_counts(self, ts):
+        config = TransitStubConfig()
+        assert len(ts.switches) == config.num_transit
+        assert len(ts.cloudlets) == config.num_cloudlets
+        assert len(ts.data_centers) == config.num_data_centers
+
+    def test_connected(self, ts):
+        assert ts.is_connected()
+
+    def test_data_centers_attach_to_transit_only(self, ts):
+        transit = set(ts.switches)
+        for dc in ts.data_centers:
+            neighbours = set(ts.graph.neighbors(dc))
+            assert neighbours <= transit
+            assert len(neighbours) == 1  # single gateway link
+
+    def test_stub_uplink_structure(self, ts):
+        """Each stub domain reaches the core via exactly one uplink, so
+        removing all transit nodes shatters the cloudlets into stubs."""
+        config = TransitStubConfig()
+        import networkx as nx
+
+        stripped = ts.graph.subgraph(ts.cloudlets)
+        components = list(nx.connected_components(stripped))
+        assert len(components) == config.num_transit * config.stubs_per_transit
+        assert all(len(c) == config.cloudlets_per_stub for c in components)
+
+    def test_deterministic(self):
+        t1 = generate_transit_stub(seed=9)
+        t2 = generate_transit_stub(seed=9)
+        assert t1.link_delays == t2.link_delays
+
+    def test_custom_shape(self):
+        config = TransitStubConfig(
+            num_transit=2, stubs_per_transit=3, cloudlets_per_stub=2,
+            num_data_centers=1,
+        )
+        topo = generate_transit_stub(config, seed=0)
+        assert len(topo.cloudlets) == 12
+        assert topo.is_connected()
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(ValidationError):
+            TransitStubConfig(cl_capacity=(16.0, 8.0))
+
+
+class TestUsableAsSubstrate:
+    def test_placement_algorithms_run(self, ts):
+        from repro.core import make_algorithm, verify_solution
+        from repro.util.rng import spawn_rng
+        from repro.workload.queries import generate_workload
+
+        instance = generate_workload(ts, spawn_rng(1, "wl"))
+        for name in ("appro-g", "greedy-g"):
+            solution = make_algorithm(name).solve(instance)
+            verify_solution(instance, solution)

@@ -1,0 +1,132 @@
+"""Tests for the two-tier topology builder."""
+
+import pytest
+
+from repro.topology.nodes import NodeKind, NodeSpec
+from repro.topology.twotier import (
+    EdgeCloudTopology,
+    TwoTierConfig,
+    example_figure1,
+    generate_two_tier,
+)
+from repro.util.validation import ValidationError
+
+
+class TestTwoTierConfig:
+    def test_paper_defaults(self):
+        config = TwoTierConfig()
+        assert config.num_data_centers == 6
+        assert config.num_cloudlets == 24
+        assert config.num_switches == 2
+        assert config.link_prob == 0.2
+        assert config.dc_capacity == (200.0, 700.0)
+        assert config.cl_capacity == (8.0, 16.0)
+
+    def test_core_size(self):
+        assert TwoTierConfig().core_size == 32
+
+    def test_scaled_to_preserves_ratio(self):
+        scaled = TwoTierConfig().scaled_to(160)
+        assert scaled.core_size == 160
+        # 6:24:2 ratio → 30 DCs, 10 switches at core 160.
+        assert scaled.num_data_centers == 30
+        assert scaled.num_switches == 10
+
+    def test_scaled_to_small(self):
+        scaled = TwoTierConfig().scaled_to(4)
+        assert scaled.num_data_centers >= 1
+        assert scaled.num_cloudlets >= 1
+        assert scaled.num_switches >= 1
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(ValidationError):
+            TwoTierConfig(dc_capacity=(700.0, 200.0))
+
+
+class TestGenerateTwoTier:
+    def test_node_counts(self, paper_topology):
+        assert len(paper_topology.data_centers) == 6
+        assert len(paper_topology.cloudlets) == 24
+        assert len(paper_topology.switches) == 2
+        assert len(paper_topology.base_stations) == 8
+
+    def test_connected(self, paper_topology):
+        assert paper_topology.is_connected()
+
+    def test_placement_nodes(self, paper_topology):
+        assert set(paper_topology.placement_nodes) == set(
+            paper_topology.data_centers
+        ) | set(paper_topology.cloudlets)
+
+    def test_capacities_in_paper_ranges(self, paper_topology):
+        for v in paper_topology.data_centers:
+            assert 200.0 <= paper_topology.capacity(v) <= 700.0
+        for v in paper_topology.cloudlets:
+            assert 8.0 <= paper_topology.capacity(v) <= 16.0
+
+    def test_deterministic(self):
+        t1 = generate_two_tier(seed=5)
+        t2 = generate_two_tier(seed=5)
+        assert t1.link_delays == t2.link_delays
+        assert [s.capacity_ghz for s in t1.nodes] == [
+            s.capacity_ghz for s in t2.nodes
+        ]
+
+    def test_seed_changes_topology(self):
+        t1 = generate_two_tier(seed=5)
+        t2 = generate_two_tier(seed=6)
+        assert t1.link_delays != t2.link_delays
+
+    def test_base_stations_attached(self, paper_topology):
+        for bs in paper_topology.base_stations:
+            assert paper_topology.graph.degree[bs] >= 1
+
+    def test_capacity_arrays_match(self, paper_topology):
+        caps = paper_topology.capacities_array()
+        for i, v in enumerate(paper_topology.placement_nodes):
+            assert caps[i] == paper_topology.capacity(v)
+
+    def test_positive_link_delays(self, paper_topology):
+        assert all(d > 0 for d in paper_topology.link_delays.values())
+
+
+class TestEdgeCloudTopologyValidation:
+    def _spec(self, node_id: int, kind=NodeKind.CLOUDLET) -> NodeSpec:
+        cap = 8.0 if kind.is_placement else 0.0
+        proc = 0.05 if kind.is_placement else 0.0
+        return NodeSpec(node_id, kind, f"n{node_id}", cap, proc)
+
+    def test_dense_ids_enforced(self):
+        specs = [self._spec(0), self._spec(2)]
+        with pytest.raises(ValidationError):
+            EdgeCloudTopology(specs, {})
+
+    def test_self_loop_rejected(self):
+        specs = [self._spec(0), self._spec(1)]
+        with pytest.raises(ValidationError):
+            EdgeCloudTopology(specs, {(0, 0): 0.1})
+
+    def test_unknown_edge_endpoint_rejected(self):
+        specs = [self._spec(0), self._spec(1)]
+        with pytest.raises(ValidationError):
+            EdgeCloudTopology(specs, {(0, 5): 0.1})
+
+    def test_non_positive_delay_rejected(self):
+        specs = [self._spec(0), self._spec(1)]
+        with pytest.raises(ValidationError):
+            EdgeCloudTopology(specs, {(0, 1): 0.0})
+
+    def test_link_delay_symmetric_lookup(self):
+        specs = [self._spec(0), self._spec(1)]
+        topo = EdgeCloudTopology(specs, {(1, 0): 0.3})
+        assert topo.link_delay(0, 1) == 0.3
+        assert topo.link_delay(1, 0) == 0.3
+
+
+class TestExampleFigure1:
+    def test_shape(self):
+        topo = example_figure1()
+        assert len(topo.data_centers) == 2
+        assert len(topo.cloudlets) == 4
+        assert len(topo.switches) == 3
+        assert topo.is_connected()

@@ -1,0 +1,115 @@
+"""Tests for the GT-ITM-style random graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.topology.waxman import (
+    connect_components,
+    gnp_connected_graph,
+    waxman_graph,
+)
+from repro.util.validation import ValidationError
+
+
+def _is_connected(n: int, edges: list[tuple[int, int]]) -> bool:
+    adjacency: dict[int, list[int]] = {i: [] for i in range(n)}
+    for u, v in edges:
+        adjacency[u].append(v)
+        adjacency[v].append(u)
+    seen = {0}
+    stack = [0]
+    while stack:
+        for nxt in adjacency[stack.pop()]:
+            if nxt not in seen:
+                seen.add(nxt)
+                stack.append(nxt)
+    return len(seen) == n
+
+
+class TestGnp:
+    def test_connected_even_with_zero_prob(self):
+        rng = np.random.default_rng(0)
+        positions, edges = gnp_connected_graph(10, 1e-9, rng)
+        assert _is_connected(10, edges)
+        assert positions.shape == (10, 2)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_connected_at_paper_probability(self, seed):
+        rng = np.random.default_rng(seed)
+        _, edges = gnp_connected_graph(32, 0.2, rng)
+        assert _is_connected(32, edges)
+
+    def test_edge_density_tracks_probability(self):
+        rng = np.random.default_rng(1)
+        n = 60
+        _, edges = gnp_connected_graph(n, 0.2, rng)
+        expected = 0.2 * n * (n - 1) / 2
+        assert 0.6 * expected <= len(edges) <= 1.4 * expected
+
+    def test_deterministic_given_rng_seed(self):
+        e1 = gnp_connected_graph(20, 0.3, np.random.default_rng(9))[1]
+        e2 = gnp_connected_graph(20, 0.3, np.random.default_rng(9))[1]
+        assert e1 == e2
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValidationError):
+            gnp_connected_graph(5, 1.5, np.random.default_rng(0))
+
+    def test_rejects_bad_positions_shape(self):
+        with pytest.raises(ValueError):
+            gnp_connected_graph(
+                5, 0.5, np.random.default_rng(0), positions=np.zeros((4, 2))
+            )
+
+    def test_single_node(self):
+        _, edges = gnp_connected_graph(1, 0.5, np.random.default_rng(0))
+        assert edges == []
+
+    def test_edges_normalised(self):
+        _, edges = gnp_connected_graph(15, 0.4, np.random.default_rng(3))
+        for u, v in edges:
+            assert u != v
+
+
+class TestWaxman:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_connected(self, seed):
+        rng = np.random.default_rng(seed)
+        _, edges = waxman_graph(25, rng)
+        assert _is_connected(25, edges)
+
+    def test_distance_decay(self):
+        """Waxman links short pairs more often than long pairs."""
+        rng = np.random.default_rng(4)
+        positions = rng.random((80, 2))
+        _, edges = waxman_graph(
+            80, np.random.default_rng(5), alpha=0.15, beta=0.6, positions=positions
+        )
+        linked = [
+            float(np.hypot(*(positions[u] - positions[v]))) for u, v in edges
+        ]
+        iu, ju = np.triu_indices(80, k=1)
+        all_pairs = np.hypot(
+            positions[iu, 0] - positions[ju, 0], positions[iu, 1] - positions[ju, 1]
+        )
+        assert np.mean(linked) < np.mean(all_pairs)
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValidationError):
+            waxman_graph(5, np.random.default_rng(0), alpha=0.0)
+
+
+class TestConnectComponents:
+    def test_bridges_two_islands(self):
+        positions = np.array([[0.0, 0.0], [0.1, 0.0], [1.0, 1.0], [1.1, 1.0]])
+        edges = [(0, 1), (2, 3)]
+        added = connect_components(positions, edges, np.random.default_rng(0))
+        assert len(added) == 1
+        u, v = added[0]
+        # The closest cross pair is (1, 2).
+        assert {u, v} == {1, 2}
+
+    def test_no_op_when_connected(self):
+        positions = np.random.default_rng(0).random((4, 2))
+        edges = [(0, 1), (1, 2), (2, 3)]
+        assert connect_components(positions, edges, np.random.default_rng(0)) == []

@@ -1,0 +1,47 @@
+"""Tests for unit helpers."""
+
+from repro.util.units import (
+    MS,
+    format_delay,
+    format_volume,
+    gb,
+    ghz,
+    ms_to_s,
+    s_to_ms,
+)
+
+
+class TestConversions:
+    def test_identity_helpers(self):
+        assert gb(3.5) == 3.5
+        assert ghz(2.0) == 2.0
+
+    def test_ms_round_trip(self):
+        assert ms_to_s(1500.0) == 1.5
+        assert s_to_ms(1.5) == 1500.0
+        assert s_to_ms(ms_to_s(42.0)) == 42.0
+
+    def test_ms_constant(self):
+        assert MS == 1e-3
+
+
+class TestFormatting:
+    def test_volume_gb(self):
+        assert format_volume(3.0) == "3.00 GB"
+
+    def test_volume_tb(self):
+        assert format_volume(2048.0) == "2.00 TB"
+
+    def test_volume_boundary(self):
+        assert format_volume(1024.0) == "1.00 TB"
+        assert format_volume(1023.9).endswith("GB")
+
+    def test_delay_ms(self):
+        assert format_delay(0.0425) == "42.5 ms"
+
+    def test_delay_s(self):
+        assert format_delay(3.5) == "3.50 s"
+
+    def test_delay_boundary(self):
+        assert format_delay(0.9999).endswith("ms")
+        assert format_delay(1.0).endswith("s")

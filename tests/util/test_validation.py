@@ -1,0 +1,70 @@
+"""Tests for argument validators."""
+
+import pytest
+
+from repro.util.validation import (
+    ValidationError,
+    check_fraction,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_type,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 0.5) == 0.5
+
+    @pytest.mark.parametrize("bad", [0, -1, -0.001])
+    def test_rejects_non_positive(self, bad):
+        with pytest.raises(ValidationError, match="x"):
+            check_positive("x", bad)
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative("x", 0.0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_non_negative("x", -1e-9)
+
+
+class TestCheckFraction:
+    def test_accepts_one(self):
+        assert check_fraction("a", 1.0) == 1.0
+
+    def test_rejects_zero_by_default(self):
+        with pytest.raises(ValidationError):
+            check_fraction("a", 0.0)
+
+    def test_inclusive_low_accepts_zero(self):
+        assert check_fraction("a", 0.0, inclusive_low=True) == 0.0
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ValidationError):
+            check_fraction("a", 1.0001)
+
+    def test_error_mentions_bracket(self):
+        with pytest.raises(ValidationError, match=r"\(0, 1\]"):
+            check_fraction("a", 2.0)
+
+
+class TestCheckInRange:
+    def test_accepts_bounds(self):
+        assert check_in_range("r", 1.0, 1.0, 2.0) == 1.0
+        assert check_in_range("r", 2.0, 1.0, 2.0) == 2.0
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValidationError):
+            check_in_range("r", 2.1, 1.0, 2.0)
+
+
+class TestCheckType:
+    def test_accepts_instance(self):
+        assert check_type("t", 3, int) == 3
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(ValidationError, match="int"):
+            check_type("t", "3", int)

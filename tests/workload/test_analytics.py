@@ -1,0 +1,132 @@
+"""Tests for the executable analytics queries."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import spawn_rng
+from repro.util.validation import ValidationError
+from repro.workload.analytics import (
+    AnalyticsQueryKind,
+    app_usage_pattern,
+    execute_analytics,
+    top_k_apps,
+    trace_queries,
+    usage_by_hour,
+)
+from repro.workload.trace import TraceConfig, generate_usage_trace, split_trace_by_time
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_usage_trace(
+        TraceConfig(num_users=200, num_apps=30, days=20), spawn_rng(0, "t")
+    )
+
+
+@pytest.fixture(scope="module")
+def segments(trace, paper_topology):
+    _, segs = split_trace_by_time(trace, 8, paper_topology, spawn_rng(1, "s"))
+    return segs
+
+
+class TestTopKApps:
+    def test_returns_k_apps(self, trace, segments):
+        top = top_k_apps(trace, segments, [0, 1, 2], k=5)
+        assert len(top) == 5
+        assert len(set(top.tolist())) == 5
+
+    def test_rank_order(self, trace, segments):
+        top = top_k_apps(trace, segments, list(range(8)), k=10)
+        idx = np.concatenate([np.arange(*segments[w]) for w in range(8)])
+        counts = np.bincount(trace.app[idx])
+        top_counts = [counts[a] for a in top]
+        assert top_counts == sorted(top_counts, reverse=True)
+
+    def test_window_restriction_matters(self, trace, segments):
+        all_windows = top_k_apps(trace, segments, list(range(8)), k=3)
+        # Counting only one window must still return valid apps.
+        one_window = top_k_apps(trace, segments, [0], k=3)
+        assert len(one_window) == 3
+        assert set(one_window.tolist()) <= set(range(30))
+        assert len(all_windows) == 3
+
+    def test_empty_windows_rejected(self, trace, segments):
+        with pytest.raises(ValidationError):
+            top_k_apps(trace, segments, [])
+
+
+class TestUsageByHour:
+    def test_length_24(self, trace, segments):
+        hours = usage_by_hour(trace, segments, [0, 1])
+        assert len(hours) == 24
+
+    def test_total_matches_window_size(self, trace, segments):
+        hours = usage_by_hour(trace, segments, [2])
+        a, b = segments[2]
+        assert hours.sum() == b - a
+
+    def test_per_app_filter(self, trace, segments):
+        app = int(trace.app[0])
+        hours = usage_by_hour(trace, segments, list(range(8)), app=app)
+        assert hours.sum() == int((trace.app == app).sum())
+
+
+class TestAppUsagePattern:
+    def test_daily_durations_positive(self, trace, segments):
+        pattern = app_usage_pattern(trace, segments, list(range(8)), app=0)
+        assert (pattern >= 0).all()
+        assert pattern.sum() > 0
+
+    def test_unused_app_empty(self, trace, segments):
+        pattern = app_usage_pattern(trace, segments, [0], app=29_999)
+        assert pattern.size == 0
+
+    def test_total_duration_matches(self, trace, segments):
+        app = 1
+        pattern = app_usage_pattern(trace, segments, list(range(8)), app=app)
+        expected = trace.duration_s[trace.app == app].sum()
+        assert pattern.sum() == pytest.approx(expected)
+
+
+class TestExecuteAnalytics:
+    def test_dispatch_matches_direct_calls(self, trace, segments):
+        windows = [0, 1, 2]
+        assert np.array_equal(
+            execute_analytics(AnalyticsQueryKind.TOP_K_APPS, trace, segments, windows),
+            top_k_apps(trace, segments, windows),
+        )
+        assert np.array_equal(
+            execute_analytics(
+                AnalyticsQueryKind.USAGE_BY_HOUR, trace, segments, windows, app=2
+            ),
+            usage_by_hour(trace, segments, windows, app=2),
+        )
+
+    def test_pattern_requires_app(self, trace, segments):
+        with pytest.raises(ValidationError):
+            execute_analytics(
+                AnalyticsQueryKind.APP_USAGE_PATTERN, trace, segments, [0]
+            )
+
+
+class TestTraceQueries:
+    def test_contiguous_windows(self, paper_topology, trace, segments):
+        datasets, _ = split_trace_by_time(
+            trace, 8, paper_topology, spawn_rng(2, "s")
+        )
+        queries, kinds = trace_queries(
+            paper_topology, datasets, spawn_rng(3, "q"), count=40
+        )
+        assert len(queries) == len(kinds) == 40
+        for q in queries:
+            span = list(q.demanded)
+            assert span == list(range(span[0], span[0] + len(span)))
+
+    def test_kinds_cover_all_families(self, paper_topology, trace):
+        datasets, _ = split_trace_by_time(
+            trace, 8, paper_topology, spawn_rng(4, "s")
+        )
+        _, kinds = trace_queries(
+            paper_topology, datasets, spawn_rng(5, "q"), count=100
+        )
+        assert set(kinds) == set(AnalyticsQueryKind)

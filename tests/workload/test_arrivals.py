@@ -1,0 +1,58 @@
+"""Tests for arrival processes."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import spawn_rng
+from repro.util.validation import ValidationError
+from repro.workload.arrivals import diurnal_arrivals, poisson_arrivals
+
+
+class TestPoissonArrivals:
+    def test_count_and_order(self):
+        times = poisson_arrivals(100, 0.5, spawn_rng(0, "a"))
+        assert len(times) == 100
+        assert np.all(np.diff(times) >= 0)
+        assert times[0] > 0
+
+    def test_mean_gap_approx(self):
+        times = poisson_arrivals(5000, 0.5, spawn_rng(1, "a"))
+        gaps = np.diff(times)
+        assert 0.45 < gaps.mean() < 0.55
+
+    def test_deterministic(self):
+        t1 = poisson_arrivals(10, 1.0, spawn_rng(2, "a"))
+        t2 = poisson_arrivals(10, 1.0, spawn_rng(2, "a"))
+        assert np.array_equal(t1, t2)
+
+    def test_bad_args(self):
+        with pytest.raises(ValidationError):
+            poisson_arrivals(0, 1.0, spawn_rng(0, "a"))
+        with pytest.raises(ValidationError):
+            poisson_arrivals(1, 0.0, spawn_rng(0, "a"))
+
+
+class TestDiurnalArrivals:
+    def test_count_order_and_span(self):
+        span = 3 * 86_400.0
+        times = diurnal_arrivals(500, span, spawn_rng(3, "a"))
+        assert len(times) == 500
+        assert np.all(np.diff(times) >= 0)
+        assert times[0] >= 0
+        assert times[-1] < span
+
+    def test_evening_peak(self):
+        times = diurnal_arrivals(20_000, 7 * 86_400.0, spawn_rng(4, "a"))
+        hours = ((times % 86_400.0) // 3600.0).astype(int)
+        by_hour = np.bincount(hours, minlength=24)
+        assert by_hour[21] > 2 * by_hour[3]
+
+    def test_short_span_still_fills(self):
+        times = diurnal_arrivals(50, 7200.0, spawn_rng(5, "a"))
+        assert len(times) == 50
+        assert times[-1] < 7200.0
+
+    def test_deterministic(self):
+        t1 = diurnal_arrivals(30, 86_400.0, spawn_rng(6, "a"))
+        t2 = diurnal_arrivals(30, 86_400.0, spawn_rng(6, "a"))
+        assert np.array_equal(t1, t2)

@@ -1,0 +1,67 @@
+"""Tests for dataset generation."""
+
+import pytest
+
+from repro.util.rng import spawn_rng
+from repro.util.validation import ValidationError
+from repro.workload.datasets import generate_datasets
+from repro.workload.params import PaperDefaults
+
+
+class TestGenerateDatasets:
+    def test_count_in_paper_range(self, paper_topology):
+        for seed in range(10):
+            datasets = generate_datasets(paper_topology, spawn_rng(seed, "d"))
+            assert 5 <= len(datasets) <= 20
+
+    def test_fixed_count(self, paper_topology):
+        datasets = generate_datasets(
+            paper_topology, spawn_rng(0, "d"), count=12
+        )
+        assert len(datasets) == 12
+
+    def test_dense_ids(self, paper_topology):
+        datasets = generate_datasets(paper_topology, spawn_rng(1, "d"), count=8)
+        assert sorted(datasets) == list(range(8))
+        for d_id, ds in datasets.items():
+            assert ds.dataset_id == d_id
+
+    def test_volumes_in_range(self, paper_topology):
+        datasets = generate_datasets(paper_topology, spawn_rng(2, "d"), count=50)
+        for ds in datasets.values():
+            assert 1.0 <= ds.volume_gb <= 6.0
+
+    def test_origins_are_placement_nodes(self, paper_topology):
+        datasets = generate_datasets(paper_topology, spawn_rng(3, "d"), count=50)
+        placement = set(paper_topology.placement_nodes)
+        for ds in datasets.values():
+            assert ds.origin_node in placement
+
+    def test_origin_mix_biased_to_data_centers(self, paper_topology):
+        datasets = generate_datasets(
+            paper_topology, spawn_rng(4, "d"), count=400
+        )
+        dc = set(paper_topology.data_centers)
+        dc_share = sum(1 for ds in datasets.values() if ds.origin_node in dc) / len(
+            datasets
+        )
+        assert 0.55 <= dc_share <= 0.85  # around dc_origin_fraction = 0.7
+
+    def test_all_cloudlet_origins_when_fraction_zero(self, paper_topology):
+        params = PaperDefaults(dc_origin_fraction=0.0)
+        datasets = generate_datasets(
+            paper_topology, spawn_rng(5, "d"), params, count=30
+        )
+        cl = set(paper_topology.cloudlets)
+        assert all(ds.origin_node in cl for ds in datasets.values())
+
+    def test_deterministic(self, paper_topology):
+        d1 = generate_datasets(paper_topology, spawn_rng(6, "d"), count=10)
+        d2 = generate_datasets(paper_topology, spawn_rng(6, "d"), count=10)
+        assert {k: (v.volume_gb, v.origin_node) for k, v in d1.items()} == {
+            k: (v.volume_gb, v.origin_node) for k, v in d2.items()
+        }
+
+    def test_zero_count_rejected(self, paper_topology):
+        with pytest.raises(ValidationError):
+            generate_datasets(paper_topology, spawn_rng(7, "d"), count=0)

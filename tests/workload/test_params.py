@@ -1,0 +1,58 @@
+"""Tests for the paper parameter set."""
+
+import pytest
+
+from repro.util.validation import ValidationError
+from repro.workload.params import PaperDefaults
+
+
+class TestDefaults:
+    def test_paper_ranges(self):
+        p = PaperDefaults()
+        assert p.num_datasets == (5, 20)
+        assert p.num_queries == (10, 100)
+        assert p.dataset_volume_gb == (1.0, 6.0)
+        assert p.compute_rate == (0.75, 1.25)
+        assert p.datasets_per_query == (1, 7)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            PaperDefaults().max_replicas = 5
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(ValidationError):
+            PaperDefaults(num_queries=(100, 10))
+
+    def test_selectivity_capped_at_one(self):
+        with pytest.raises(ValidationError):
+            PaperDefaults(selectivity=(0.5, 1.2))
+
+
+class TestSweepHelpers:
+    def test_with_max_datasets_per_query(self):
+        p = PaperDefaults().with_max_datasets_per_query(3)
+        assert p.datasets_per_query == (1, 3)
+
+    def test_with_f_below_low_clamps(self):
+        p = PaperDefaults(datasets_per_query=(2, 7)).with_max_datasets_per_query(1)
+        assert p.datasets_per_query == (1, 1)
+
+    def test_single_dataset(self):
+        assert PaperDefaults().single_dataset().datasets_per_query == (1, 1)
+
+    def test_with_max_replicas(self):
+        assert PaperDefaults().with_max_replicas(7).max_replicas == 7
+
+    def test_with_num_queries_scalar(self):
+        assert PaperDefaults().with_num_queries(40).num_queries == (40, 40)
+
+    def test_with_num_queries_range(self):
+        assert PaperDefaults().with_num_queries(10, 30).num_queries == (10, 30)
+
+    def test_with_num_datasets(self):
+        assert PaperDefaults().with_num_datasets(8).num_datasets == (8, 8)
+
+    def test_helpers_do_not_mutate_original(self):
+        p = PaperDefaults()
+        p.with_max_replicas(7)
+        assert p.max_replicas == 3

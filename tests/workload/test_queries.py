@@ -1,0 +1,109 @@
+"""Tests for query and whole-workload generation."""
+
+import pytest
+
+from repro.util.rng import spawn_rng
+from repro.util.validation import ValidationError
+from repro.workload.datasets import generate_datasets
+from repro.workload.params import PaperDefaults
+from repro.workload.queries import generate_queries, generate_workload
+
+
+@pytest.fixture(scope="module")
+def datasets(paper_topology):
+    return generate_datasets(paper_topology, spawn_rng(0, "ds"), count=15)
+
+
+class TestGenerateQueries:
+    def test_count_in_paper_range(self, paper_topology, datasets):
+        for seed in range(5):
+            queries = generate_queries(
+                paper_topology, datasets, spawn_rng(seed, "q")
+            )
+            assert 10 <= len(queries) <= 100
+
+    def test_dense_ids(self, paper_topology, datasets):
+        queries = generate_queries(
+            paper_topology, datasets, spawn_rng(1, "q"), count=20
+        )
+        assert [q.query_id for q in queries] == list(range(20))
+
+    def test_demanded_within_collection(self, paper_topology, datasets):
+        queries = generate_queries(
+            paper_topology, datasets, spawn_rng(2, "q"), count=50
+        )
+        for q in queries:
+            assert all(d in datasets for d in q.demanded)
+            assert len(set(q.demanded)) == len(q.demanded)
+
+    def test_f_range_respected(self, paper_topology, datasets):
+        params = PaperDefaults().with_max_datasets_per_query(3)
+        queries = generate_queries(
+            paper_topology, datasets, spawn_rng(3, "q"), params, count=60
+        )
+        assert all(1 <= q.num_datasets <= 3 for q in queries)
+
+    def test_compute_rate_in_range(self, paper_topology, datasets):
+        queries = generate_queries(
+            paper_topology, datasets, spawn_rng(4, "q"), count=60
+        )
+        assert all(0.75 <= q.compute_rate <= 1.25 for q in queries)
+
+    def test_deadline_scales_with_largest_dataset(self, paper_topology, datasets):
+        params = PaperDefaults()
+        queries = generate_queries(
+            paper_topology, datasets, spawn_rng(5, "q"), params, count=80
+        )
+        low, high = params.deadline_s_per_gb
+        for q in queries:
+            pivot = max(datasets[d].volume_gb for d in q.demanded)
+            assert low * pivot <= q.deadline_s <= high * pivot
+
+    def test_homes_are_placement_nodes(self, paper_topology, datasets):
+        queries = generate_queries(
+            paper_topology, datasets, spawn_rng(6, "q"), count=60
+        )
+        placement = set(paper_topology.placement_nodes)
+        assert all(q.home_node in placement for q in queries)
+
+    def test_homes_biased_to_cloudlets(self, paper_topology, datasets):
+        queries = generate_queries(
+            paper_topology, datasets, spawn_rng(7, "q"), count=400
+        )
+        cl = set(paper_topology.cloudlets)
+        share = sum(1 for q in queries if q.home_node in cl) / len(queries)
+        assert 0.7 <= share <= 0.9  # around cloudlet_home_fraction = 0.8
+
+    def test_empty_datasets_rejected(self, paper_topology):
+        with pytest.raises(ValidationError):
+            generate_queries(paper_topology, {}, spawn_rng(8, "q"))
+
+    def test_f_clamped_to_collection_size(self, paper_topology):
+        datasets = generate_datasets(paper_topology, spawn_rng(9, "d"), count=3)
+        queries = generate_queries(
+            paper_topology, datasets, spawn_rng(9, "q"), count=30
+        )
+        assert all(q.num_datasets <= 3 for q in queries)
+
+
+class TestGenerateWorkload:
+    def test_builds_valid_instance(self, paper_topology):
+        instance = generate_workload(paper_topology, spawn_rng(10, "wl"))
+        assert instance.num_queries >= 10
+        assert instance.num_datasets >= 5
+        assert instance.max_replicas == PaperDefaults().max_replicas
+
+    def test_deterministic(self, paper_topology):
+        i1 = generate_workload(paper_topology, spawn_rng(11, "wl"))
+        i2 = generate_workload(paper_topology, spawn_rng(11, "wl"))
+        assert i1.num_queries == i2.num_queries
+        assert [q.deadline_s for q in i1.queries] == [
+            q.deadline_s for q in i2.queries
+        ]
+
+    def test_explicit_sizes(self, paper_topology):
+        instance = generate_workload(
+            paper_topology, spawn_rng(12, "wl"), num_datasets=7, num_queries=33
+        )
+        assert instance.num_datasets == 7
+        assert instance.num_queries == 33

@@ -1,0 +1,168 @@
+"""Tests for the logical analytics query plans."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.rng import spawn_rng
+from repro.util.validation import ValidationError
+from repro.workload.queryplan import (
+    AggregateOp,
+    FilterOp,
+    QueryPlan,
+    estimated_selectivity,
+    execute_distributed,
+    execute_plan,
+)
+from repro.workload.trace import TraceConfig, generate_usage_trace, split_trace_by_time
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_usage_trace(
+        TraceConfig(num_users=150, num_apps=40, days=15), spawn_rng(0, "qp")
+    )
+
+
+@pytest.fixture(scope="module")
+def segments(trace, paper_topology):
+    _, segs = split_trace_by_time(trace, 6, paper_topology, spawn_rng(1, "qp"))
+    return segs
+
+
+class TestValidation:
+    def test_empty_windows_rejected(self):
+        with pytest.raises(ValidationError):
+            QueryPlan(windows=())
+
+    def test_duplicate_windows_rejected(self):
+        with pytest.raises(ValidationError):
+            QueryPlan(windows=(0, 0))
+
+    def test_bad_group_by_rejected(self):
+        with pytest.raises(ValidationError):
+            AggregateOp(group_by="nope")
+
+    def test_bad_hour_range_rejected(self):
+        with pytest.raises(ValidationError):
+            FilterOp(hour_range=(25, 3))
+
+
+class TestExecution:
+    def test_count_by_app_matches_numpy(self, trace, segments):
+        plan = QueryPlan(windows=(0, 1), aggregate=AggregateOp("app", "count", 64))
+        result = execute_plan(plan, trace, segments)
+        idx = np.arange(segments[0][0], segments[1][1])
+        expected = np.bincount(trace.app[idx], minlength=64)[:64]
+        assert np.array_equal(result, expected)
+
+    def test_filter_by_app(self, trace, segments):
+        app = int(trace.app[0])
+        plan = QueryPlan(
+            windows=tuple(range(6)),
+            filters=(FilterOp(app=app),),
+            aggregate=AggregateOp("app", "count", 64),
+        )
+        result = execute_plan(plan, trace, segments)
+        assert result[app] == (trace.app == app).sum()
+        assert result.sum() == result[app]
+
+    def test_hour_filter_wraps_midnight(self, trace, segments):
+        plan = QueryPlan(
+            windows=tuple(range(6)),
+            filters=(FilterOp(hour_range=(22, 2)),),
+            aggregate=AggregateOp("hour", "count"),
+        )
+        result = execute_plan(plan, trace, segments)
+        active = {h for h in range(24) if result[h] > 0}
+        assert active <= {22, 23, 0, 1}
+
+    def test_duration_measure(self, trace, segments):
+        plan = QueryPlan(
+            windows=(2,), aggregate=AggregateOp("app", "duration", 64)
+        )
+        result = execute_plan(plan, trace, segments)
+        a, b = segments[2]
+        assert result.sum() == pytest.approx(trace.duration_s[a:b].sum())
+
+    def test_conjunctive_filters(self, trace, segments):
+        user = int(trace.user[0])
+        app = int(trace.app[0])
+        plan = QueryPlan(
+            windows=tuple(range(6)),
+            filters=(FilterOp(user=user), FilterOp(app=app)),
+            aggregate=AggregateOp("app", "count", 64),
+        )
+        result = execute_plan(plan, trace, segments)
+        expected = int(((trace.user == user) & (trace.app == app)).sum())
+        assert result.sum() == expected
+
+
+class TestDistributedExactness:
+    """The load-bearing property: replica evaluation is exact."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        data=st.data(),
+        group_by=st.sampled_from(["app", "hour", "day"]),
+        measure=st.sampled_from(["count", "duration", "bytes"]),
+    )
+    def test_partials_merge_to_central_answer(
+        self, trace, segments, data, group_by, measure
+    ):
+        n = len(segments)
+        windows = tuple(
+            sorted(
+                data.draw(
+                    st.sets(st.integers(0, n - 1), min_size=1, max_size=n)
+                )
+            )
+        )
+        filters = []
+        if data.draw(st.booleans()):
+            filters.append(FilterOp(app=data.draw(st.integers(0, 39))))
+        if data.draw(st.booleans()):
+            a = data.draw(st.integers(0, 23))
+            b = data.draw(st.integers(0, 24))
+            filters.append(FilterOp(hour_range=(a, b)))
+        plan = QueryPlan(
+            windows=windows,
+            filters=tuple(filters),
+            aggregate=AggregateOp(group_by, measure, 64),
+        )
+        central = execute_plan(plan, trace, segments)
+        merged, partials = execute_distributed(plan, trace, segments)
+        assert len(partials) == len(windows)
+        assert np.allclose(merged, central)
+
+    def test_partials_are_per_window(self, trace, segments):
+        plan = QueryPlan(windows=(0, 3), aggregate=AggregateOp("app", "count", 64))
+        _, partials = execute_distributed(plan, trace, segments)
+        a, b = segments[0]
+        assert partials[0].sum() == b - a
+
+
+class TestSelectivity:
+    def test_in_unit_interval(self, trace, segments):
+        plan = QueryPlan(windows=tuple(range(6)))
+        alphas = estimated_selectivity(plan, trace, segments)
+        assert set(alphas) == set(range(6))
+        assert all(0.0 < a <= 1.0 for a in alphas.values())
+
+    def test_floor_applies(self, trace, segments):
+        plan = QueryPlan(windows=(0,))
+        alphas = estimated_selectivity(plan, trace, segments, floor=0.5)
+        assert alphas[0] >= 0.5
+
+    def test_aggregates_are_tiny(self, trace, segments):
+        """Dense-vector partials are far smaller than raw windows."""
+        plan = QueryPlan(windows=(0,), aggregate=AggregateOp("hour", "count"))
+        alphas = estimated_selectivity(plan, trace, segments, floor=1e-9)
+        assert alphas[0] < 0.01
+
+    def test_bad_floor_rejected(self, trace, segments):
+        with pytest.raises(ValidationError):
+            estimated_selectivity(
+                QueryPlan(windows=(0,)), trace, segments, floor=0.0
+            )

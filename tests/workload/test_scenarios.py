@@ -1,0 +1,93 @@
+"""Tests for the pre-canned workload scenarios."""
+
+import pytest
+
+from repro.core import evaluate_solution, make_algorithm, verify_solution
+from repro.workload.scenarios import (
+    iot_telemetry_scenario,
+    media_analytics_scenario,
+    smart_city_scenario,
+)
+
+ALL_SCENARIOS = [
+    smart_city_scenario,
+    iot_telemetry_scenario,
+    media_analytics_scenario,
+]
+
+
+@pytest.mark.parametrize("factory", ALL_SCENARIOS)
+class TestScenarioShape:
+    def test_builds_valid_instance(self, factory):
+        scenario = factory(seed=1)
+        assert scenario.instance.num_queries > 0
+        assert scenario.instance.num_datasets > 0
+
+    def test_tags_cover_all_queries(self, factory):
+        scenario = factory(seed=1)
+        assert set(scenario.tags) == set(range(scenario.instance.num_queries))
+
+    def test_deterministic(self, factory):
+        s1, s2 = factory(seed=4), factory(seed=4)
+        assert [q.deadline_s for q in s1.instance.queries] == [
+            q.deadline_s for q in s2.instance.queries
+        ]
+        assert s1.tags == s2.tags
+
+    def test_seed_changes_workload(self, factory):
+        s1, s2 = factory(seed=1), factory(seed=2)
+        assert [q.deadline_s for q in s1.instance.queries] != [
+            q.deadline_s for q in s2.instance.queries
+        ]
+
+    def test_solvable_and_verified(self, factory):
+        scenario = factory(seed=1)
+        solution = make_algorithm("appro-g").solve(scenario.instance)
+        verify_solution(scenario.instance, solution)
+
+    def test_queries_of(self, factory):
+        scenario = factory(seed=1)
+        total = sum(len(scenario.queries_of(t)) for t in set(scenario.tags.values()))
+        assert total == scenario.instance.num_queries
+
+
+class TestScenarioCharacter:
+    def test_smart_city_tiers(self):
+        scenario = smart_city_scenario(seed=3, num_queries=200)
+        assert set(scenario.tags.values()) == {"alert", "dashboard", "planning"}
+        # Alert deadlines are per-GB tighter than planning deadlines.
+        inst = scenario.instance
+        def per_gb(q_id):
+            q = inst.query(q_id)
+            pivot = max(inst.dataset(d).volume_gb for d in q.demanded)
+            return q.deadline_s / pivot
+        alerts = [per_gb(q) for q in scenario.queries_of("alert")]
+        plans = [per_gb(q) for q in scenario.queries_of("planning")]
+        assert max(alerts) < min(plans)
+
+    def test_iot_datasets_small_and_many(self):
+        scenario = iot_telemetry_scenario(seed=3)
+        volumes = [d.volume_gb for d in scenario.instance.datasets.values()]
+        assert len(volumes) >= 20
+        assert max(volumes) <= 2.0
+
+    def test_media_datasets_large_and_cloud_origin(self):
+        scenario = media_analytics_scenario(seed=3)
+        inst = scenario.instance
+        dcs = set(inst.topology.data_centers)
+        for d in inst.datasets.values():
+            assert d.volume_gb >= 8.0
+            assert d.origin_node in dcs
+
+    def test_appro_beats_greedy_across_scenarios(self):
+        for factory in ALL_SCENARIOS:
+            scenario = factory(seed=5)
+            appro = evaluate_solution(
+                scenario.instance,
+                make_algorithm("appro-g").solve(scenario.instance),
+            ).admitted_volume_gb
+            greedy = evaluate_solution(
+                scenario.instance,
+                make_algorithm("greedy-g").solve(scenario.instance),
+            ).admitted_volume_gb
+            assert appro >= greedy

@@ -1,0 +1,65 @@
+"""Tests for instance profiling."""
+
+import pytest
+
+from repro.workload.summary import profile_instance, render_profile
+
+
+@pytest.fixture(scope="module")
+def profile(paper_instance):
+    return profile_instance(paper_instance)
+
+
+class TestProfile:
+    def test_dimensions(self, paper_instance, profile):
+        assert profile.num_queries == paper_instance.num_queries
+        assert profile.num_datasets == paper_instance.num_datasets
+        assert profile.num_placement_nodes == paper_instance.num_placement_nodes
+
+    def test_demand_matches_instance(self, paper_instance, profile):
+        assert profile.total_demand_gb == pytest.approx(
+            paper_instance.total_demanded_volume()
+        )
+
+    def test_capacities_split_by_tier(self, paper_instance, profile):
+        topo = paper_instance.topology
+        assert profile.cloudlet_capacity_ghz == pytest.approx(
+            sum(topo.capacity(v) for v in topo.cloudlets)
+        )
+        assert profile.dc_capacity_ghz == pytest.approx(
+            sum(topo.capacity(v) for v in topo.data_centers)
+        )
+
+    def test_fractions_in_unit_interval(self, profile):
+        for value in (
+            profile.dc_feasible_pair_fraction,
+            profile.unservable_pair_fraction,
+            profile.unservable_query_fraction,
+        ):
+            assert 0.0 <= value <= 1.0
+
+    def test_feasible_count_bounded(self, profile):
+        assert 0.0 <= profile.mean_feasible_nodes_per_pair <= (
+            profile.num_placement_nodes
+        )
+
+    def test_default_regime_characteristics(self, profile):
+        """The calibrated regime: tight DC feasibility, real compute
+        pressure (this is what EXPERIMENTS.md's calibration section
+        claims)."""
+        assert profile.dc_feasible_pair_fraction < 0.6
+        assert profile.compute_pressure > 0.5
+
+    def test_compute_pressure_formula(self, profile):
+        assert profile.compute_pressure == pytest.approx(
+            profile.total_compute_demand_ghz / profile.cloudlet_capacity_ghz
+        )
+
+
+class TestRender:
+    def test_render_mentions_key_numbers(self, profile):
+        text = render_profile(profile)
+        assert "instance profile" in text
+        assert f"{profile.num_queries} queries" in text
+        assert "compute pressure" in text
+        assert "DC feasibility" in text

@@ -1,0 +1,114 @@
+"""Tests for the synthetic mobile-app usage trace."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import spawn_rng
+from repro.util.validation import ValidationError
+from repro.workload.trace import (
+    TraceConfig,
+    UsageTrace,
+    generate_usage_trace,
+    split_trace_by_time,
+)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_usage_trace(
+        TraceConfig(num_users=300, num_apps=50, days=30), spawn_rng(0, "t")
+    )
+
+
+class TestGenerateUsageTrace:
+    def test_sorted_by_time(self, trace):
+        assert np.all(np.diff(trace.timestamp_s) >= 0)
+
+    def test_columns_aligned(self, trace):
+        n = len(trace)
+        assert len(trace.user) == n
+        assert len(trace.app) == n
+        assert len(trace.duration_s) == n
+        assert len(trace.nbytes) == n
+
+    def test_expected_event_count(self, trace):
+        # 300 users × 30 days × mean 2.25 events/user/day ≈ 20k.
+        assert 10_000 < trace.num_events < 35_000
+
+    def test_apps_within_range(self, trace):
+        assert trace.app.min() >= 0
+        assert trace.app.max() < 50
+
+    def test_zipf_popularity(self, trace):
+        counts = np.bincount(trace.app, minlength=50)
+        # Rank-1 app clearly dominates a tail app.
+        assert counts[0] > 5 * counts[30]
+
+    def test_timestamps_within_horizon(self, trace):
+        assert trace.timestamp_s.min() >= 0
+        assert trace.timestamp_s.max() < 30 * 86400.0
+
+    def test_diurnal_evening_peak(self, trace):
+        hours = ((trace.timestamp_s % 86400.0) // 3600.0).astype(int)
+        by_hour = np.bincount(hours, minlength=24)
+        assert by_hour[21] > 2 * by_hour[3]
+
+    def test_columns_immutable(self, trace):
+        with pytest.raises(ValueError):
+            trace.app[0] = 1
+
+    def test_deterministic(self):
+        cfg = TraceConfig(num_users=50, num_apps=10, days=5)
+        t1 = generate_usage_trace(cfg, spawn_rng(1, "t"))
+        t2 = generate_usage_trace(cfg, spawn_rng(1, "t"))
+        assert np.array_equal(t1.timestamp_s, t2.timestamp_s)
+        assert np.array_equal(t1.app, t2.app)
+
+    def test_slice(self, trace):
+        sub = trace.slice(10, 20)
+        assert len(sub) == 10
+        assert np.array_equal(sub.app, trace.app[10:20])
+
+    def test_mismatched_columns_rejected(self):
+        with pytest.raises(ValidationError):
+            UsageTrace(
+                np.zeros(3, dtype=np.int64),
+                np.zeros(2, dtype=np.int64),
+                np.zeros(3),
+                np.zeros(3),
+                np.zeros(3, dtype=np.int64),
+            )
+
+
+class TestSplitTraceByTime:
+    def test_segments_partition_trace(self, trace, paper_topology):
+        datasets, segments = split_trace_by_time(
+            trace, 10, paper_topology, spawn_rng(2, "s")
+        )
+        assert len(datasets) == 10
+        assert segments[0][0] == 0
+        assert segments[-1][1] == len(trace)
+        for (a1, b1), (a2, b2) in zip(segments, segments[1:]):
+            assert b1 == a2
+            assert a1 < b1
+
+    def test_volumes_in_paper_range(self, trace, paper_topology):
+        datasets, _ = split_trace_by_time(
+            trace, 8, paper_topology, spawn_rng(3, "s")
+        )
+        for ds in datasets.values():
+            assert 1.0 <= ds.volume_gb <= 6.0
+
+    def test_origins_valid(self, trace, paper_topology):
+        datasets, _ = split_trace_by_time(
+            trace, 8, paper_topology, spawn_rng(4, "s")
+        )
+        placement = set(paper_topology.placement_nodes)
+        assert all(ds.origin_node in placement for ds in datasets.values())
+
+    def test_too_many_datasets_rejected(self, paper_topology):
+        tiny = generate_usage_trace(
+            TraceConfig(num_users=1, num_apps=2, days=1), spawn_rng(5, "t")
+        )
+        with pytest.raises(ValidationError):
+            split_trace_by_time(tiny, len(tiny) + 1, paper_topology, spawn_rng(5, "s"))

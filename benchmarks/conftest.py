@@ -4,6 +4,11 @@ Set ``REPRO_BENCH_REPEATS`` to trade fidelity for speed (default 5; the
 paper averages 15 topologies per point).  Every figure bench writes its
 rendered table to ``benchmarks/results/<figure>.txt`` in addition to
 printing it, so results survive output capture.
+
+Set ``REPRO_BENCH_PROFILE=1`` to run every bench under a metrics registry
+and print a per-span time breakdown afterwards (see
+``docs/observability.md``); off by default so bench numbers stay free of
+instrumentation overhead.
 """
 
 from __future__ import annotations
@@ -14,6 +19,7 @@ from pathlib import Path
 import pytest
 
 from repro.experiments import ExperimentConfig
+from repro.obs.profile import profiled
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -28,6 +34,13 @@ def repeats() -> int:
 def experiment_config(repeats: int) -> ExperimentConfig:
     """Config shared by all figure benches."""
     return ExperimentConfig(repeats=repeats)
+
+
+@pytest.fixture(autouse=True)
+def bench_profile(request):
+    """Per-span breakdown after each bench when ``REPRO_BENCH_PROFILE=1``."""
+    with profiled(request.node.name):
+        yield
 
 
 @pytest.fixture(scope="session")

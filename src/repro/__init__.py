@@ -19,7 +19,9 @@ The package provides:
   §2.4 consistency model,
 * :mod:`repro.sim` — a discrete-event simulator that executes placements
   and the full testbed emulation,
-* :mod:`repro.experiments` — reproducers for every evaluation figure.
+* :mod:`repro.experiments` — reproducers for every evaluation figure,
+* :mod:`repro.obs` — opt-in tracing spans, metrics, and profiling hooks
+  (no-op unless a registry is installed; see ``docs/observability.md``).
 
 Quickstart
 ----------

@@ -17,6 +17,14 @@ Commands
     after repair.
 ``list``
     List the registered placement algorithms.
+
+Global flags
+------------
+``--trace PATH``
+    Collect trace spans and metrics during the run and write a JSONL
+    event stream to ``PATH`` (see ``docs/observability.md``).
+``--metrics PATH``
+    Write a Prometheus-style text metrics dump to ``PATH`` after the run.
 """
 
 from __future__ import annotations
@@ -41,6 +49,8 @@ from repro.experiments.runner import compare_algorithms
 from repro.experiments.plots import plot_figure
 from repro.experiments.report import build_report
 from repro.experiments.tables import render_comparison, render_figure
+from repro.obs import MetricsRegistry, use_registry
+from repro.obs.export import write_jsonl, write_prometheus
 from repro.sim.testbed import TestbedExperiment, run_testbed_experiment
 from repro.util.units import format_delay, format_volume
 
@@ -57,6 +67,20 @@ def build_parser() -> argparse.ArgumentParser:
             "QoS-aware proactive data replication for edge-cloud analytics "
             "(reproduction of Xia et al., ICPP 2019 Workshops)"
         ),
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="collect observability data and write a JSONL span/metric "
+        "trace of the run to PATH",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="collect observability data and write a Prometheus-style "
+        "text metrics dump to PATH",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -293,7 +317,20 @@ def main(argv: Sequence[str] | None = None) -> int:
         "report": _cmd_report,
         "list": _cmd_list,
     }
-    return handlers[args.command](args)
+    handler = handlers[args.command]
+    if args.trace is None and args.metrics is None:
+        return handler(args)
+    # Observability requested: run the command under a collecting registry,
+    # the whole invocation wrapped in one root span.
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        with registry.span(f"cli.{args.command}", command=args.command):
+            code = handler(args)
+    if args.trace is not None:
+        write_jsonl(registry, args.trace)
+    if args.metrics is not None:
+        write_prometheus(registry, args.metrics)
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -18,7 +18,10 @@ the operations an operator would script —
   re-plan with replica carry-over (the migration planner).
 
 Every operation appends to an audit :attr:`~EdgeCloudController.log`, so a
-session is replayable from its event trail.
+session is replayable from its event trail.  Each operation also opens a
+``controller.<operation>`` trace span (see :mod:`repro.obs` and
+``docs/observability.md``) carrying matching ``operation`` / ``epoch``
+attributes — a no-op unless a metrics registry is installed.
 """
 
 from __future__ import annotations
@@ -34,6 +37,7 @@ from repro.core.migration import EpochReport, MigrationPlanner
 from repro.core.registry import make_algorithm
 from repro.core.repair import RepairReport, fail_nodes, repair_placement
 from repro.core.types import Dataset, PlacementSolution, Query
+from repro.obs import get_registry
 from repro.sim.events import ExecutionReport
 from repro.sim.execution import ExecutionConfig, execute_placement
 from repro.topology.twotier import EdgeCloudTopology
@@ -123,6 +127,9 @@ class EdgeCloudController:
 
     def _record(self, operation: str, detail: str) -> None:
         self.log.append(ControllerEvent(self.epoch, operation, detail))
+        obs = get_registry()
+        obs.inc("controller.events")
+        obs.inc(f"controller.{operation}")
 
     def _make_instance(self, queries: Sequence[Query]) -> ProblemInstance:
         return ProblemInstance(
@@ -136,22 +143,38 @@ class EdgeCloudController:
 
     def place(self, queries: Sequence[Query]) -> SolutionMetrics:
         """Plan and adopt a placement for ``queries`` (epoch 0 of a session)."""
-        instance = self._make_instance(queries)
-        solution = make_algorithm(self.algorithm).solve(instance)
-        verify_solution(instance, solution)
-        self._instance, self._solution = instance, solution
-        self._planner.reset()
-        self._failed.clear()
-        metrics = self.metrics()
-        self._record(
-            "place",
-            f"{self.algorithm}: admitted {metrics.num_admitted}/"
-            f"{metrics.num_queries}, {metrics.admitted_volume_gb:.1f} GB",
-        )
-        return metrics
+        with get_registry().span(
+            "controller.place",
+            operation="place",
+            epoch=self.epoch,
+            algorithm=self.algorithm,
+        ) as sp:
+            instance = self._make_instance(queries)
+            solution = make_algorithm(self.algorithm).solve(instance)
+            verify_solution(instance, solution)
+            self._instance, self._solution = instance, solution
+            self._planner.reset()
+            self._failed.clear()
+            metrics = self.metrics()
+            sp.set(admitted=metrics.num_admitted, queries=metrics.num_queries)
+            self._record(
+                "place",
+                f"{self.algorithm}: admitted {metrics.num_admitted}/"
+                f"{metrics.num_queries}, {metrics.admitted_volume_gb:.1f} GB",
+            )
+            return metrics
 
     def execute(self, *, contention: bool = True) -> ExecutionReport:
         """Run the active placement in the event simulator."""
+        with get_registry().span(
+            "controller.execute",
+            operation="execute",
+            epoch=self.epoch,
+            contention=contention,
+        ):
+            return self._execute(contention=contention)
+
+    def _execute(self, *, contention: bool) -> ExecutionReport:
         report = execute_placement(
             self.instance,
             self.solution,
@@ -171,69 +194,90 @@ class EdgeCloudController:
         horizon_days: float = 30.0,
     ) -> SyncReport:
         """Consistency-maintenance cost of the active placement (§2.4)."""
-        model = model or ConsistencyModel()
-        report = model.report(self.instance, self.solution.replicas, horizon_days)
-        self._record(
-            "maintenance",
-            f"{report.syncs} syncs, {report.shipped_gb:.1f} GB over "
-            f"{horizon_days:.0f} days",
-        )
-        return report
+        with get_registry().span(
+            "controller.maintenance", operation="maintenance", epoch=self.epoch
+        ):
+            model = model or ConsistencyModel()
+            report = model.report(
+                self.instance, self.solution.replicas, horizon_days
+            )
+            self._record(
+                "maintenance",
+                f"{report.syncs} syncs, {report.shipped_gb:.1f} GB over "
+                f"{horizon_days:.0f} days",
+            )
+            return report
 
     def invoice(self, pricing: PricingModel | None = None) -> Invoice:
         """Provider economics of the active placement."""
-        result = bill_solution(self.instance, self.solution, pricing)
-        self._record(
-            "invoice",
-            f"revenue ${result.revenue:.2f}, profit ${result.profit:.2f}",
-        )
-        return result
+        with get_registry().span(
+            "controller.invoice", operation="invoice", epoch=self.epoch
+        ):
+            result = bill_solution(self.instance, self.solution, pricing)
+            self._record(
+                "invoice",
+                f"revenue ${result.revenue:.2f}, profit ${result.profit:.2f}",
+            )
+            return result
 
     def handle_failure(self, nodes: Iterable[int]) -> RepairReport:
         """Fail ``nodes``, repair the placement, and adopt the result."""
-        impact = fail_nodes(self.instance, self.solution, nodes)
-        report = repair_placement(self.instance, self.solution, impact)
-        verify_solution(self.instance, report.solution)
-        self._solution = report.solution
-        self._failed |= set(impact.failed_nodes)
-        self._record(
-            "failure",
-            f"failed {sorted(impact.failed_nodes)}: recovered "
-            f"{len(report.recovered_queries)}, dropped "
-            f"{len(report.dropped_queries)}, retention "
-            f"{report.availability:.0%}",
-        )
-        return report
+        with get_registry().span(
+            "controller.handle_failure", operation="failure", epoch=self.epoch
+        ) as sp:
+            impact = fail_nodes(self.instance, self.solution, nodes)
+            report = repair_placement(self.instance, self.solution, impact)
+            verify_solution(self.instance, report.solution)
+            self._solution = report.solution
+            self._failed |= set(impact.failed_nodes)
+            sp.set(
+                failed_nodes=len(impact.failed_nodes),
+                dropped=len(report.dropped_queries),
+            )
+            self._record(
+                "failure",
+                f"failed {sorted(impact.failed_nodes)}: recovered "
+                f"{len(report.recovered_queries)}, dropped "
+                f"{len(report.dropped_queries)}, retention "
+                f"{report.availability:.0%}",
+            )
+            return report
 
     def next_epoch(self, queries: Sequence[Query]) -> EpochReport:
         """Swap in a new query batch, re-planning with replica carry-over."""
         if self._solution is None:
             raise ValidationError("start a session with place() before epochs")
-        instance = self._make_instance(queries)
-        # Seed the planner's carried state from the active placement on the
-        # first epoch transition (failed nodes never carry forward).
-        if self._planner.carried is None:
-            self._planner.seed_carry(
-                {
-                    d_id: tuple(
-                        v
-                        for v in nodes
-                        if v != self.datasets[d_id].origin_node
-                        and v not in self._failed
-                    )
-                    for d_id, nodes in self.solution.replicas.items()
-                }
+        with get_registry().span(
+            "controller.next_epoch", operation="epoch", epoch=self.epoch
+        ) as sp:
+            instance = self._make_instance(queries)
+            # Seed the planner's carried state from the active placement on
+            # the first epoch transition (failed nodes never carry forward).
+            if self._planner.carried is None:
+                self._planner.seed_carry(
+                    {
+                        d_id: tuple(
+                            v
+                            for v in nodes
+                            if v != self.datasets[d_id].origin_node
+                            and v not in self._failed
+                        )
+                        for d_id, nodes in self.solution.replicas.items()
+                    }
+                )
+            report = self._planner.plan_epoch(instance)
+            self.epoch += 1
+            self._instance, self._solution = instance, report.solution
+            # The audit event carries the incremented epoch; keep the span
+            # attribute in lock-step so trails and traces correlate.
+            sp.set(epoch=self.epoch)
+            self._record(
+                "epoch",
+                f"epoch {self.epoch}: {report.admitted_volume_gb:.1f} GB, "
+                f"kept {report.kept}, added {report.added} "
+                f"(+{report.migration_gb:.1f} GB migration), dropped {report.dropped}",
             )
-        report = self._planner.plan_epoch(instance)
-        self.epoch += 1
-        self._instance, self._solution = instance, report.solution
-        self._record(
-            "epoch",
-            f"epoch {self.epoch}: {report.admitted_volume_gb:.1f} GB, "
-            f"kept {report.kept}, added {report.added} "
-            f"(+{report.migration_gb:.1f} GB migration), dropped {report.dropped}",
-        )
-        return report
+            return report
 
     def audit_trail(self) -> str:
         """The session log as text, one line per operation."""

@@ -18,6 +18,7 @@ from repro.cluster.state import ClusterState
 from repro.core.base import PlacementAlgorithm, SolutionBuilder, require_special_case
 from repro.core.instance import ProblemInstance
 from repro.core.types import Assignment, PlacementSolution, Query
+from repro.obs import get_registry
 
 __all__ = ["GreedyS", "GreedyG"]
 
@@ -44,6 +45,7 @@ def _greedy_place_pair(
             if not state.replicas.can_place(dataset_id, node.node_id):
                 continue  # K exhausted: only replica-holding nodes remain usable
             state.replicas.place(dataset_id, node.node_id)
+            get_registry().inc("algo.greedy.replicas_placed")
         if state.meets_deadline(query, dataset, node.node_id) and node.can_fit(
             state.compute_demand(query, dataset)
         ):
@@ -58,16 +60,23 @@ class GreedyS(PlacementAlgorithm):
 
     def solve(self, instance: ProblemInstance) -> PlacementSolution:
         require_special_case(instance, self.name)
-        state = ClusterState(instance)
-        builder = SolutionBuilder(instance, self.name)
-        for query in instance.queries:
-            assignment = _greedy_place_pair(state, query, query.demanded[0])
-            if assignment is None:
-                builder.reject(query.query_id)
-            else:
-                builder.admit(query.query_id, [assignment])
-        builder.extra("replicas_total", state.replicas.total_replicas())
-        return builder.build(state)
+        obs = get_registry()
+        with obs.span(f"algo.{self.name}.solve", queries=instance.num_queries):
+            state = ClusterState(instance)
+            builder = SolutionBuilder(instance, self.name)
+            for query in instance.queries:
+                with obs.time(f"algo.{self.name}.admission_s"):
+                    assignment = _greedy_place_pair(
+                        state, query, query.demanded[0]
+                    )
+                if assignment is None:
+                    obs.inc(f"algo.{self.name}.rejected")
+                    builder.reject(query.query_id)
+                else:
+                    obs.inc(f"algo.{self.name}.admitted")
+                    builder.admit(query.query_id, [assignment])
+            builder.extra("replicas_total", state.replicas.total_replicas())
+            return builder.build(state)
 
 
 class GreedyG(PlacementAlgorithm):
@@ -85,22 +94,27 @@ class GreedyG(PlacementAlgorithm):
     name = "greedy-g"
 
     def solve(self, instance: ProblemInstance) -> PlacementSolution:
-        state = ClusterState(instance)
-        builder = SolutionBuilder(instance, self.name)
-        for query in instance.queries:
-            assignments: list[Assignment] = []
-            failed = False
-            for d_id in query.demanded:
-                a = _greedy_place_pair(state, query, d_id)
-                if a is None:
-                    failed = True
-                    break
-                assignments.append(a)
-            if failed:
-                for a in assignments:
-                    state.release(a)
-                builder.reject(query.query_id)
-            else:
-                builder.admit(query.query_id, assignments)
-        builder.extra("replicas_total", state.replicas.total_replicas())
-        return builder.build(state)
+        obs = get_registry()
+        with obs.span(f"algo.{self.name}.solve", queries=instance.num_queries):
+            state = ClusterState(instance)
+            builder = SolutionBuilder(instance, self.name)
+            for query in instance.queries:
+                assignments: list[Assignment] = []
+                failed = False
+                with obs.time(f"algo.{self.name}.admission_s"):
+                    for d_id in query.demanded:
+                        a = _greedy_place_pair(state, query, d_id)
+                        if a is None:
+                            failed = True
+                            break
+                        assignments.append(a)
+                if failed:
+                    for a in assignments:
+                        state.release(a)
+                    obs.inc(f"algo.{self.name}.rejected")
+                    builder.reject(query.query_id)
+                else:
+                    obs.inc(f"algo.{self.name}.admitted")
+                    builder.admit(query.query_id, assignments)
+            builder.extra("replicas_total", state.replicas.total_replicas())
+            return builder.build(state)

@@ -25,6 +25,7 @@ from repro.core.base import PlacementAlgorithm, SolutionBuilder
 from repro.core.ilp import build_lp_model, solve_lp_relaxation
 from repro.core.instance import ProblemInstance
 from repro.core.types import Assignment, PlacementSolution
+from repro.obs import get_registry
 
 __all__ = ["LpRoundingG"]
 
@@ -47,8 +48,14 @@ class LpRoundingG(PlacementAlgorithm):
         self.partial_admission = partial_admission
 
     def solve(self, instance: ProblemInstance) -> PlacementSolution:
-        model = build_lp_model(instance)
-        lp = solve_lp_relaxation(instance)
+        obs = get_registry()
+        with obs.span(f"algo.{self.name}.solve", queries=instance.num_queries):
+            return self._solve(instance, obs)
+
+    def _solve(self, instance: ProblemInstance, obs) -> PlacementSolution:
+        with obs.time(f"algo.{self.name}.lp_solve_s"):
+            model = build_lp_model(instance)
+            lp = solve_lp_relaxation(instance)
         state = ClusterState(instance)
         builder = SolutionBuilder(instance, self.name)
         builder.extra("lp_objective", lp.objective)
@@ -63,6 +70,7 @@ class LpRoundingG(PlacementAlgorithm):
                 continue
             if state.replicas.can_place(d_id, node):
                 state.replicas.place(d_id, node)
+                obs.inc(f"algo.{self.name}.replicas_placed")
 
         # Step 3: round π by decreasing fractional mass against the rounded
         # replicas; tentative per-query assignment pools.
@@ -83,30 +91,35 @@ class LpRoundingG(PlacementAlgorithm):
             pool = by_query.get(query.query_id, {})
             assignments: list[Assignment] = []
             failed = False
-            with state.transaction() as txn:
-                for d_id in query.demanded:
-                    dataset = instance.dataset(d_id)
-                    node = pool.get(d_id)
-                    if node is None or not state.can_serve(query, dataset, node):
-                        # Fall back to any feasible replica holder.
-                        holders = [
-                            v
-                            for v in state.replicas.nodes(d_id)
-                            if state.can_serve(query, dataset, v)
-                        ]
-                        node = min(holders) if holders else None
-                    if node is None:
-                        if self.partial_admission:
-                            continue
-                        failed = True
-                        break
-                    assignments.append(state.serve(query, dataset, node))
-                if not failed and assignments:
-                    txn.commit()
-                else:
-                    assignments = []
+            with obs.time(f"algo.{self.name}.admission_s"):
+                with state.transaction() as txn:
+                    for d_id in query.demanded:
+                        dataset = instance.dataset(d_id)
+                        node = pool.get(d_id)
+                        if node is None or not state.can_serve(
+                            query, dataset, node
+                        ):
+                            # Fall back to any feasible replica holder.
+                            holders = [
+                                v
+                                for v in state.replicas.nodes(d_id)
+                                if state.can_serve(query, dataset, v)
+                            ]
+                            node = min(holders) if holders else None
+                        if node is None:
+                            if self.partial_admission:
+                                continue
+                            failed = True
+                            break
+                        assignments.append(state.serve(query, dataset, node))
+                    if not failed and assignments:
+                        txn.commit()
+                    else:
+                        assignments = []
             if assignments:
+                obs.inc(f"algo.{self.name}.admitted")
                 builder.admit(query.query_id, assignments)
             else:
+                obs.inc(f"algo.{self.name}.rejected")
                 builder.reject(query.query_id)
         return builder.build(state)

@@ -26,6 +26,7 @@ from repro.core.greedy import _greedy_place_pair
 from repro.core.instance import ProblemInstance
 from repro.core.primal_dual import PrimalDualConfig, _Kernel
 from repro.core.types import Assignment, Query
+from repro.obs import get_registry
 from repro.sim.engine import Simulator
 from repro.util.rng import spawn_rng
 from repro.util.validation import check_positive
@@ -146,6 +147,7 @@ class OnlineSession:
         state = ClusterState(instance)
         sim = Simulator()
         rng = spawn_rng(self.config.seed, "online/arrivals")
+        obs = get_registry()
 
         outcomes: list[OnlineOutcome] = []
         peak = [0.0]
@@ -153,16 +155,18 @@ class OnlineSession:
         def on_arrival(query: Query) -> None:
             assignments: list[Assignment] = []
             failed = False
-            with state.transaction() as txn:
-                for d_id in query.demanded:
-                    a = rule(state, query, d_id)
-                    if a is None:
-                        failed = True
-                        break
-                    assignments.append(a)
-                if not failed:
-                    txn.commit()
+            with obs.time("online.admission_s"):
+                with state.transaction() as txn:
+                    for d_id in query.demanded:
+                        a = rule(state, query, d_id)
+                        if a is None:
+                            failed = True
+                            break
+                        assignments.append(a)
+                    if not failed:
+                        txn.commit()
             if failed:
+                obs.inc("online.rejected")
                 # Replicas placed during the failed probe are rolled back
                 # with the transaction for *all* rules — the online setting
                 # compares placement quality, not bookkeeping styles.
@@ -170,6 +174,7 @@ class OnlineSession:
                     OnlineOutcome(query.query_id, sim.now, False, 0.0)
                 )
                 return
+            obs.inc("online.admitted")
             peak[0] = max(peak[0], state.total_allocated())
             response = max(a.latency_s for a in assignments)
             hold = response * self.config.hold_factor
@@ -180,11 +185,12 @@ class OnlineSession:
                 OnlineOutcome(query.query_id, sim.now, True, volume)
             )
 
-        t = 0.0
-        for query in instance.queries:
-            t += float(rng.exponential(self.config.mean_interarrival_s))
-            sim.schedule(t, lambda q=query: on_arrival(q))
-        sim.run()
+        with obs.span("online.session", queries=len(instance.queries)):
+            t = 0.0
+            for query in instance.queries:
+                t += float(rng.exponential(self.config.mean_interarrival_s))
+                sim.schedule(t, lambda q=query: on_arrival(q))
+            sim.run()
 
         admitted = [o for o in outcomes if o.admitted]
         return OnlineReport(

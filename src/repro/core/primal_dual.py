@@ -48,6 +48,7 @@ from repro.core.duals import NodePrices, dual_certificate
 from repro.core.feasibility import CandidateNode, candidate_nodes
 from repro.core.instance import ProblemInstance
 from repro.core.types import Assignment, PlacementSolution, Query
+from repro.obs import get_registry
 from repro.util.validation import check_fraction, check_positive
 
 __all__ = ["PrimalDualConfig", "ApproS", "ApproG"]
@@ -200,16 +201,21 @@ class _Kernel:
         Returns the committed assignment, or ``None`` when no feasible node
         exists or the cheapest cost rate exceeds ``β`` (price rejection).
         """
+        obs = get_registry()
         dataset = state.instance.dataset(dataset_id)
         candidates = candidate_nodes(state, query, dataset)
         if not candidates:
+            obs.inc("algo.appro.no_candidates")
             return None
         best = min(
             candidates,
             key=lambda c: (self.cost_rate(state, query, c, dataset_id), c.node),
         )
         if self.cost_rate(state, query, best, dataset_id) > self.config.beta:
+            obs.inc("algo.appro.price_rejections")
             return None
+        if not best.has_replica:
+            obs.inc("algo.appro.replicas_placed")
         return state.serve(query, dataset, best.node)
 
 
@@ -223,20 +229,27 @@ class ApproS(PlacementAlgorithm):
 
     def solve(self, instance: ProblemInstance) -> PlacementSolution:
         require_special_case(instance, self.name)
-        state = ClusterState(instance)
-        kernel = _Kernel(self.config, instance)
-        builder = SolutionBuilder(instance, self.name)
-        for query in _query_order(instance, self.config.order):
-            assignment = kernel.place_pair(state, query, query.demanded[0])
-            if assignment is None:
-                builder.reject(query.query_id)
-            else:
-                builder.admit(query.query_id, [assignment])
-        builder.extra(
-            "dual_objective", dual_certificate(instance, state, kernel.prices)
-        )
-        builder.extra("replicas_total", state.replicas.total_replicas())
-        return builder.build(state)
+        obs = get_registry()
+        with obs.span(f"algo.{self.name}.solve", queries=instance.num_queries):
+            state = ClusterState(instance)
+            kernel = _Kernel(self.config, instance)
+            builder = SolutionBuilder(instance, self.name)
+            for query in _query_order(instance, self.config.order):
+                with obs.time(f"algo.{self.name}.admission_s"):
+                    assignment = kernel.place_pair(
+                        state, query, query.demanded[0]
+                    )
+                if assignment is None:
+                    obs.inc(f"algo.{self.name}.rejected")
+                    builder.reject(query.query_id)
+                else:
+                    obs.inc(f"algo.{self.name}.admitted")
+                    builder.admit(query.query_id, [assignment])
+            builder.extra(
+                "dual_objective", dual_certificate(instance, state, kernel.prices)
+            )
+            builder.extra("replicas_total", state.replicas.total_replicas())
+            return builder.build(state)
 
 
 class ApproG(PlacementAlgorithm):
@@ -274,39 +287,44 @@ class ApproG(PlacementAlgorithm):
         over from a previous epoch; ``state`` must belong to ``instance``
         and carry no compute allocations.
         """
-        kernel = _Kernel(self.config, instance)
-        builder = SolutionBuilder(instance, self.name)
-        for query in _query_order(instance, self.config.order):
-            # Place the query's largest datasets first: they are the most
-            # constrained (fewest delay-feasible nodes), so a doomed query
-            # aborts its transaction early.
-            datasets = sorted(
-                query.demanded,
-                key=lambda d: (-instance.dataset(d).volume_gb, d),
-            )
-            assignments: list[Assignment] = []
-            with state.transaction() as txn:
-                for d_id in datasets:
-                    a = kernel.place_pair(state, query, d_id)
-                    if a is None:
-                        if not self.partial_admission:
-                            assignments.clear()
-                            break
-                        continue
-                    assignments.append(a)
+        obs = get_registry()
+        with obs.span(f"algo.{self.name}.solve", queries=instance.num_queries):
+            kernel = _Kernel(self.config, instance)
+            builder = SolutionBuilder(instance, self.name)
+            for query in _query_order(instance, self.config.order):
+                # Place the query's largest datasets first: they are the most
+                # constrained (fewest delay-feasible nodes), so a doomed query
+                # aborts its transaction early.
+                datasets = sorted(
+                    query.demanded,
+                    key=lambda d: (-instance.dataset(d).volume_gb, d),
+                )
+                assignments: list[Assignment] = []
+                with obs.time(f"algo.{self.name}.admission_s"):
+                    with state.transaction() as txn:
+                        for d_id in datasets:
+                            a = kernel.place_pair(state, query, d_id)
+                            if a is None:
+                                if not self.partial_admission:
+                                    assignments.clear()
+                                    break
+                                continue
+                            assignments.append(a)
+                        else:
+                            txn.commit()
+                        if self.partial_admission:
+                            if assignments:
+                                txn.commit()
+                            else:
+                                assignments.clear()
+                if assignments:
+                    obs.inc(f"algo.{self.name}.admitted")
+                    builder.admit(query.query_id, assignments)
                 else:
-                    txn.commit()
-                if self.partial_admission:
-                    if assignments:
-                        txn.commit()
-                    else:
-                        assignments.clear()
-            if assignments:
-                builder.admit(query.query_id, assignments)
-            else:
-                builder.reject(query.query_id)
-        builder.extra(
-            "dual_objective", dual_certificate(instance, state, kernel.prices)
-        )
-        builder.extra("replicas_total", state.replicas.total_replicas())
-        return builder.build(state)
+                    obs.inc(f"algo.{self.name}.rejected")
+                    builder.reject(query.query_id)
+            builder.extra(
+                "dual_objective", dual_certificate(instance, state, kernel.prices)
+            )
+            builder.extra("replicas_total", state.replicas.total_replicas())
+            return builder.build(state)

@@ -15,9 +15,13 @@ import numpy as np
 from scipy.sparse import csr_matrix
 from scipy.sparse.csgraph import dijkstra
 
+from repro.obs import get_registry
 from repro.topology.twotier import EdgeCloudTopology
 
 __all__ = ["all_pairs_min_delay", "PathCache"]
+
+#: scipy's predecessor sentinel for "no path" / "undefined".
+_NO_PREDECESSOR = -9999
 
 
 def _adjacency(topology: EdgeCloudTopology) -> csr_matrix:
@@ -49,6 +53,15 @@ def all_pairs_min_delay(
         sentinel).
     """
     adj = _adjacency(topology)
+    if adj.nnz == 0:
+        # Nodes but no links: every distinct pair is unreachable.  Build
+        # the result explicitly instead of leaning on how scipy happens to
+        # treat an all-zero adjacency matrix.
+        n = topology.num_nodes
+        delays = np.full((n, n), np.inf)
+        np.fill_diagonal(delays, 0.0)
+        predecessors = np.full((n, n), _NO_PREDECESSOR, dtype=np.int32)
+        return delays, predecessors
     delays, predecessors = dijkstra(
         adj, directed=False, return_predecessors=True
     )
@@ -69,7 +82,9 @@ class PathCache:
 
     def __init__(self, topology: EdgeCloudTopology) -> None:
         self._topology = topology
-        self._delays, self._pred = all_pairs_min_delay(topology)
+        with get_registry().time("pathcache.build_s"):
+            self._delays, self._pred = all_pairs_min_delay(topology)
+        self._placement_vectors: dict[int, np.ndarray] = {}
 
     @property
     def topology(self) -> EdgeCloudTopology:
@@ -78,6 +93,7 @@ class PathCache:
 
     def delay(self, u: int, v: int) -> float:
         """Minimum per-unit-data delay between ``u`` and ``v`` (s/GB)."""
+        get_registry().inc("pathcache.lookups")
         return float(self._delays[u, v])
 
     def delays_from(self, u: int) -> np.ndarray:
@@ -94,12 +110,23 @@ class PathCache:
         """Delays from each *placement* node (in placement order) to ``home``.
 
         This is the vector the placement algorithms consume: entry ``i``
-        is ``dt(p(placement_nodes[i], home))``.
+        is ``dt(p(placement_nodes[i], home))``.  Vectors are memoised per
+        home node (read-only); repeat calls are cache hits counted under
+        ``pathcache.hits`` / ``pathcache.misses``.
         """
-        idx = np.fromiter(
-            self._topology.placement_nodes, dtype=np.intp
-        )
-        return self._delays[idx, home]
+        obs = get_registry()
+        vec = self._placement_vectors.get(home)
+        if vec is None:
+            obs.inc("pathcache.misses")
+            idx = np.fromiter(
+                self._topology.placement_nodes, dtype=np.intp
+            )
+            vec = self._delays[idx, home]
+            vec.flags.writeable = False
+            self._placement_vectors[home] = vec
+        else:
+            obs.inc("pathcache.hits")
+        return vec
 
     def reachable(self, u: int, v: int) -> bool:
         """Whether any path connects ``u`` and ``v``."""

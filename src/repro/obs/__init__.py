@@ -1,0 +1,78 @@
+"""repro.obs — observability: tracing spans, metrics, profiling hooks.
+
+The runtime instrumentation layer of the reproduction (see
+``docs/observability.md``):
+
+* :class:`MetricsRegistry` — counters, gauges, and streaming summaries
+  (P² percentile estimates) plus nested, exception-safe trace spans;
+* :data:`NULL_REGISTRY` — the no-op default, so unconfigured runs pay
+  near-zero overhead and instrumentation can never alter algorithm
+  decisions (``tests/obs/test_parity.py`` enforces this);
+* :mod:`repro.obs.export` — JSONL event streams and Prometheus-style
+  text dumps (the CLI's ``--trace`` / ``--metrics`` flags);
+* :mod:`repro.obs.profile` — the ``REPRO_BENCH_PROFILE=1`` per-span
+  bench breakdown harness.
+
+Quickstart
+----------
+>>> from repro.obs import MetricsRegistry, use_registry
+>>> registry = MetricsRegistry()
+>>> with use_registry(registry):
+...     with registry.span("demo", answer=42):
+...         registry.inc("demo.counter")
+>>> registry.counter("demo.counter")
+1.0
+>>> registry.find_spans("demo")[0].attributes["answer"]
+42
+"""
+
+from repro.obs.registry import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    NullRegistry,
+    P2Quantile,
+    Summary,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from repro.obs.spans import Span, SpanContext
+from repro.obs.export import (
+    parse_prometheus_text,
+    prometheus_text,
+    read_jsonl,
+    to_events,
+    write_jsonl,
+    write_prometheus,
+)
+from repro.obs.profile import (
+    PROFILE_ENV,
+    profiled,
+    profiling_enabled,
+    render_breakdown,
+    span_breakdown,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "P2Quantile",
+    "Summary",
+    "Span",
+    "SpanContext",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+    "to_events",
+    "write_jsonl",
+    "read_jsonl",
+    "prometheus_text",
+    "write_prometheus",
+    "parse_prometheus_text",
+    "PROFILE_ENV",
+    "profiling_enabled",
+    "profiled",
+    "span_breakdown",
+    "render_breakdown",
+]

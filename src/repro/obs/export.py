@@ -1,0 +1,167 @@
+"""Exporters: JSONL event streams and Prometheus-style text dumps.
+
+Two complementary formats for one registry's contents:
+
+* **JSONL** (:func:`write_jsonl` / :func:`read_jsonl`) — one JSON object
+  per line, types ``span`` / ``counter`` / ``gauge`` / ``summary``.
+  Spans appear in completion order with their full attribute payload, so
+  a trace is replayable offline.
+* **Prometheus text** (:func:`prometheus_text` /
+  :func:`write_prometheus`) — the exposition format scrapers and
+  ``promtool`` understand.  Counters become ``repro_<name>_total``,
+  gauges ``repro_<name>``, summaries a ``{quantile="…"}`` series plus
+  ``_sum`` / ``_count``, and spans are aggregated per name into a
+  ``repro_span_<name>_seconds`` summary.  :func:`parse_prometheus_text`
+  is the matching (minimal) reader used by the round-trip tests.
+
+Metric names are sanitised (``[^a-zA-Z0-9_:]`` → ``_``), so dotted
+registry names like ``algo.appro-g.admitted`` export cleanly.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+from repro.obs.registry import MetricsRegistry
+
+__all__ = [
+    "to_events",
+    "write_jsonl",
+    "read_jsonl",
+    "prometheus_text",
+    "write_prometheus",
+    "parse_prometheus_text",
+]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _metric_name(name: str) -> str:
+    """Sanitised, ``repro_``-prefixed Prometheus metric name."""
+    return "repro_" + _NAME_RE.sub("_", name)
+
+
+def to_events(registry: MetricsRegistry) -> list[dict]:
+    """The registry's contents as a flat list of typed event dicts."""
+    events: list[dict] = []
+    for span in registry.spans:
+        events.append(
+            {
+                "type": "span",
+                "name": span.name,
+                "start_s": span.start_s,
+                "duration_s": span.duration_s,
+                "parent": span.parent,
+                "depth": span.depth,
+                "index": span.index,
+                "error": span.error,
+                "attributes": dict(span.attributes),
+            }
+        )
+    for name in sorted(registry.counters):
+        events.append(
+            {"type": "counter", "name": name, "value": registry.counters[name]}
+        )
+    for name in sorted(registry.gauges):
+        events.append(
+            {"type": "gauge", "name": name, "value": registry.gauges[name]}
+        )
+    for name in sorted(registry.summaries):
+        summary = registry.summaries[name]
+        events.append(
+            {
+                "type": "summary",
+                "name": name,
+                "count": summary.count,
+                "sum": summary.total,
+                "min": summary.min,
+                "max": summary.max,
+                "mean": summary.mean,
+                "quantiles": {str(q): v for q, v in summary.quantiles.items()},
+            }
+        )
+    return events
+
+
+def write_jsonl(registry: MetricsRegistry, path: str | Path) -> Path:
+    """Write the registry as one JSON object per line; returns the path."""
+    path = Path(path)
+    # default=str keeps exotic attribute values (enums, numpy scalars)
+    # exportable rather than crashing the dump.
+    lines = [json.dumps(e, default=str) for e in to_events(registry)]
+    path.write_text("\n".join(lines) + ("\n" if lines else ""))
+    return path
+
+
+def read_jsonl(path: str | Path) -> list[dict]:
+    """Read a JSONL event stream back into a list of dicts."""
+    out: list[dict] = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if line:
+            out.append(json.loads(line))
+    return out
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """The registry in the Prometheus text exposition format."""
+    lines: list[str] = []
+
+    for name in sorted(registry.counters):
+        metric = _metric_name(name) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {registry.counters[name]:g}")
+
+    for name in sorted(registry.gauges):
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {registry.gauges[name]:g}")
+
+    for name in sorted(registry.summaries):
+        summary = registry.summaries[name]
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} summary")
+        for q, value in summary.quantiles.items():
+            lines.append(f'{metric}{{quantile="{q:g}"}} {value:.9g}')
+        lines.append(f"{metric}_sum {summary.total:.9g}")
+        lines.append(f"{metric}_count {summary.count}")
+
+    # Spans aggregate per name into a seconds summary.
+    by_name: dict[str, tuple[int, float]] = {}
+    for span in registry.spans:
+        count, total = by_name.get(span.name, (0, 0.0))
+        by_name[span.name] = (count + 1, total + span.duration_s)
+    for name in sorted(by_name):
+        count, total = by_name[name]
+        metric = _metric_name("span." + name) + "_seconds"
+        lines.append(f"# TYPE {metric} summary")
+        lines.append(f"{metric}_sum {total:.9g}")
+        lines.append(f"{metric}_count {count}")
+
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(registry: MetricsRegistry, path: str | Path) -> Path:
+    """Write the Prometheus text dump; returns the path."""
+    path = Path(path)
+    path.write_text(prometheus_text(registry))
+    return path
+
+
+def parse_prometheus_text(text: str) -> dict[str, float]:
+    """Parse a Prometheus text dump into ``{sample_name: value}``.
+
+    Sample names keep their label string verbatim (e.g.
+    ``repro_x{quantile="0.5"}``); comment and type lines are skipped.
+    Minimal by design — just enough for round-trip tests.
+    """
+    samples: dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        samples[name] = float(value)
+    return samples

@@ -1,0 +1,135 @@
+"""Opt-in profiling harness: per-span time breakdowns for the benches.
+
+Benchmarks (and any other driver) wrap their workload in
+:func:`profiled`.  With ``REPRO_BENCH_PROFILE=1`` in the environment the
+block runs under a fresh :class:`~repro.obs.registry.MetricsRegistry`
+and a per-span time breakdown is printed afterwards; without it the
+wrapper installs nothing and costs nothing, so the default bench numbers
+stay clean of instrumentation overhead.
+
+``benchmarks/conftest.py`` applies this automatically around every bench
+test, so::
+
+    REPRO_BENCH_PROFILE=1 python -m pytest benchmarks/bench_fig2.py
+
+prints where each figure's time went (spans, hot-path timers, counters).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, TextIO
+
+from repro.obs.registry import MetricsRegistry, use_registry
+
+__all__ = [
+    "PROFILE_ENV",
+    "profiling_enabled",
+    "SpanStat",
+    "span_breakdown",
+    "render_breakdown",
+    "profiled",
+]
+
+#: Environment variable gating the bench profiling harness.
+PROFILE_ENV = "REPRO_BENCH_PROFILE"
+
+
+def profiling_enabled() -> bool:
+    """Whether ``REPRO_BENCH_PROFILE`` requests profiling."""
+    return os.environ.get(PROFILE_ENV, "").strip().lower() not in (
+        "",
+        "0",
+        "false",
+        "no",
+    )
+
+
+@dataclass(frozen=True)
+class SpanStat:
+    """Aggregate over all finished spans sharing one name."""
+
+    name: str
+    count: int
+    total_s: float
+    max_s: float
+
+    @property
+    def mean_s(self) -> float:
+        """Mean span duration, seconds."""
+        return self.total_s / self.count if self.count else 0.0
+
+
+def span_breakdown(registry: MetricsRegistry) -> list[SpanStat]:
+    """Per-name span aggregates, sorted by total time descending."""
+    acc: dict[str, list[float]] = {}
+    for span in registry.spans:
+        stat = acc.get(span.name)
+        if stat is None:
+            acc[span.name] = [1, span.duration_s, span.duration_s]
+        else:
+            stat[0] += 1
+            stat[1] += span.duration_s
+            stat[2] = max(stat[2], span.duration_s)
+    stats = [
+        SpanStat(name=n, count=int(c), total_s=t, max_s=m)
+        for n, (c, t, m) in acc.items()
+    ]
+    stats.sort(key=lambda s: (-s.total_s, s.name))
+    return stats
+
+
+def render_breakdown(registry: MetricsRegistry, title: str = "profile") -> str:
+    """Human-readable per-span time breakdown (plus timers and counters)."""
+    lines = [f"-- span breakdown: {title} --"]
+    stats = span_breakdown(registry)
+    if stats:
+        lines.append(
+            f"{'span':<40s} {'count':>7s} {'total':>10s} {'mean':>10s} {'max':>10s}"
+        )
+        for s in stats:
+            lines.append(
+                f"{s.name:<40s} {s.count:>7d} {s.total_s * 1e3:>8.1f}ms "
+                f"{s.mean_s * 1e3:>8.2f}ms {s.max_s * 1e3:>8.2f}ms"
+            )
+    else:
+        lines.append("(no spans recorded)")
+    if registry.summaries:
+        lines.append(
+            f"{'timer/summary':<40s} {'count':>7s} {'total':>10s} {'mean':>10s} {'p90':>10s}"
+        )
+        for name in sorted(registry.summaries):
+            summary = registry.summaries[name]
+            p90 = summary.quantile(0.9) if 0.9 in summary.quantiles else summary.max
+            lines.append(
+                f"{name:<40s} {summary.count:>7d} {summary.total * 1e3:>8.1f}ms "
+                f"{summary.mean * 1e3:>8.3f}ms {p90 * 1e3:>8.3f}ms"
+            )
+    if registry.counters:
+        lines.append(f"{'counter':<40s} {'value':>7s}")
+        for name in sorted(registry.counters):
+            lines.append(f"{name:<40s} {registry.counters[name]:>7g}")
+    return "\n".join(lines)
+
+
+@contextmanager
+def profiled(
+    label: str, *, stream: TextIO | None = None
+) -> Iterator[MetricsRegistry | None]:
+    """Run the block under a fresh registry and print its breakdown.
+
+    No-op (yields ``None``) unless :func:`profiling_enabled`, so callers
+    can wrap unconditionally.
+    """
+    if not profiling_enabled():
+        yield None
+        return
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        with registry.span(f"profile.{label}"):
+            yield registry
+    print(file=stream or sys.stdout)
+    print(render_breakdown(registry, title=label), file=stream or sys.stdout)

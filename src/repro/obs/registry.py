@@ -1,0 +1,339 @@
+"""Metrics primitives and the process-wide registry that collects them.
+
+The registry is the single sink for everything the instrumented code
+emits: **counters** (monotone floats), **gauges** (last-write-wins
+floats), **summaries** (streaming value distributions — count, sum,
+min/max and P² percentile estimates, used both for timers and for plain
+value histograms such as simulated query latencies), and finished
+**spans** (see :mod:`repro.obs.spans`).
+
+Observability is off by default: :func:`get_registry` returns the shared
+:data:`NULL_REGISTRY`, whose every method is an empty no-op, so
+unconfigured runs pay one attribute lookup and a dead call per
+instrumentation site.  Enabling collection is a matter of installing a
+:class:`MetricsRegistry` with :func:`set_registry` or, scoped, with the
+:func:`use_registry` context manager.
+
+Two invariants the instrumented code relies on:
+
+* **Decision neutrality** — nothing in this module consumes the
+  workload RNG streams, reorders collections, or feeds values back into
+  algorithm state; enabling a registry cannot change any
+  :class:`~repro.core.types.PlacementSolution` (enforced by
+  ``tests/obs/test_parity.py``).
+* **Monotonic timing** — all durations come from
+  :func:`time.perf_counter`, never wall-clock, so summaries are immune
+  to clock adjustments.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.obs.spans import Span, SpanContext
+
+__all__ = [
+    "P2Quantile",
+    "Summary",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+]
+
+#: Percentiles every summary estimates unless configured otherwise.
+DEFAULT_QUANTILES: tuple[float, ...] = (0.5, 0.9, 0.99)
+
+
+class P2Quantile:
+    """Streaming quantile estimate via the P² algorithm (Jain & Chlamtac).
+
+    Maintains five markers whose heights bracket the target quantile and
+    adjusts them with a piecewise-parabolic update on every observation —
+    O(1) memory, no sample retention, deterministic (no randomness).
+    With fewer than five observations the exact sample quantile is
+    returned instead.
+    """
+
+    __slots__ = ("q", "_heights", "_pos", "_want", "_inc")
+
+    def __init__(self, q: float) -> None:
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {q}")
+        self.q = q
+        self._heights: list[float] = []
+        self._pos = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self._want = [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0]
+        self._inc = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+
+    def observe(self, x: float) -> None:
+        """Fold one observation into the estimate."""
+        h = self._heights
+        if len(h) < 5:
+            h.append(x)
+            h.sort()
+            return
+        if x < h[0]:
+            h[0] = x
+            k = 0
+        elif x >= h[4]:
+            h[4] = x
+            k = 3
+        else:
+            k = next(i for i in range(4) if h[i] <= x < h[i + 1])
+        for i in range(k + 1, 5):
+            self._pos[i] += 1.0
+        for i in range(5):
+            self._want[i] += self._inc[i]
+        for i in (1, 2, 3):
+            d = self._want[i] - self._pos[i]
+            if (d >= 1.0 and self._pos[i + 1] - self._pos[i] > 1.0) or (
+                d <= -1.0 and self._pos[i - 1] - self._pos[i] < -1.0
+            ):
+                sign = 1.0 if d >= 0.0 else -1.0
+                candidate = self._parabolic(i, sign)
+                if h[i - 1] < candidate < h[i + 1]:
+                    h[i] = candidate
+                else:
+                    h[i] = self._linear(i, sign)
+                self._pos[i] += sign
+
+    def _parabolic(self, i: int, d: float) -> float:
+        h, n = self._heights, self._pos
+        return h[i] + d / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + d) * (h[i + 1] - h[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - d) * (h[i] - h[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, d: float) -> float:
+        h, n = self._heights, self._pos
+        j = i + int(d)
+        return h[i] + d * (h[j] - h[i]) / (n[j] - n[i])
+
+    def value(self) -> float:
+        """Current estimate (NaN before the first observation)."""
+        h = self._heights
+        if not h:
+            return math.nan
+        if len(h) < 5:
+            return h[min(len(h) - 1, int(self.q * len(h)))]
+        return h[2]
+
+
+class Summary:
+    """Streaming summary of a value stream: count/sum/min/max + quantiles."""
+
+    __slots__ = ("count", "total", "min", "max", "_estimators")
+
+    def __init__(self, quantiles: tuple[float, ...] = DEFAULT_QUANTILES) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._estimators = {q: P2Quantile(q) for q in quantiles}
+
+    def observe(self, value: float) -> None:
+        """Fold one value into the summary."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        for estimator in self._estimators.values():
+            estimator.observe(value)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observations (NaN when empty)."""
+        return self.total / self.count if self.count else math.nan
+
+    def quantile(self, q: float) -> float:
+        """Current estimate of quantile ``q`` (must be a tracked quantile)."""
+        return self._estimators[q].value()
+
+    @property
+    def quantiles(self) -> dict[float, float]:
+        """All tracked quantile estimates, q → value."""
+        return {q: est.value() for q, est in self._estimators.items()}
+
+
+class _Timing:
+    """Context manager recording a monotonic duration into a summary."""
+
+    __slots__ = ("_registry", "_name", "_start")
+
+    def __init__(self, registry: "MetricsRegistry", name: str) -> None:
+        self._registry = registry
+        self._name = name
+
+    def __enter__(self) -> "_Timing":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._registry.observe(self._name, time.perf_counter() - self._start)
+        return False
+
+
+class MetricsRegistry:
+    """Collecting registry: counters, gauges, summaries, finished spans."""
+
+    enabled = True
+
+    def __init__(self, *, quantiles: tuple[float, ...] = DEFAULT_QUANTILES) -> None:
+        self._quantiles = tuple(quantiles)
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.summaries: dict[str, Summary] = {}
+        self.spans: list[Span] = []
+        self._span_stack: list[SpanContext] = []
+
+    # -- write side -------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1.0) -> None:
+        """Add ``value`` to counter ``name`` (created at 0)."""
+        self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` (last write wins)."""
+        self.gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Fold ``value`` into summary ``name`` (created on first use)."""
+        summary = self.summaries.get(name)
+        if summary is None:
+            summary = self.summaries[name] = Summary(self._quantiles)
+        summary.observe(value)
+
+    def time(self, name: str) -> _Timing:
+        """Context manager timing its block into summary ``name`` (seconds)."""
+        return _Timing(self, name)
+
+    def span(self, name: str, **attributes) -> SpanContext:
+        """Context manager opening a trace span (nests under any open span)."""
+        return SpanContext(self, name, attributes)
+
+    # -- read side --------------------------------------------------------
+
+    def counter(self, name: str) -> float:
+        """Counter value (0.0 if never incremented)."""
+        return self.counters.get(name, 0.0)
+
+    def summary(self, name: str) -> Summary | None:
+        """The summary recorded under ``name``, or ``None``."""
+        return self.summaries.get(name)
+
+    def find_spans(self, name: str | None = None) -> list[Span]:
+        """Finished spans, optionally filtered by exact name."""
+        if name is None:
+            return list(self.spans)
+        return [s for s in self.spans if s.name == name]
+
+
+class _NullContext:
+    """Shared no-op stand-in for timers and spans of the null registry."""
+
+    __slots__ = ()
+
+    def set(self, **attributes) -> "_NullContext":
+        return self
+
+    def __enter__(self) -> "_NullContext":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+class NullRegistry:
+    """Default registry: every operation is a no-op.
+
+    Shares one context-manager singleton across all ``time``/``span``
+    calls, so an unconfigured run's instrumentation cost is a method call
+    that immediately returns.
+    """
+
+    enabled = False
+    __slots__ = ()
+
+    #: Read-side views are permanently empty.
+    spans: tuple = ()
+
+    def inc(self, name: str, value: float = 1.0) -> None:
+        pass
+
+    def set_gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+    def time(self, name: str) -> _NullContext:
+        return _NULL_CONTEXT
+
+    def span(self, name: str, **attributes) -> _NullContext:
+        return _NULL_CONTEXT
+
+    def counter(self, name: str) -> float:
+        return 0.0
+
+    def summary(self, name: str) -> None:
+        return None
+
+    def find_spans(self, name: str | None = None) -> list:
+        return []
+
+    @property
+    def counters(self) -> dict[str, float]:
+        return {}
+
+    @property
+    def gauges(self) -> dict[str, float]:
+        return {}
+
+    @property
+    def summaries(self) -> dict[str, Summary]:
+        return {}
+
+
+#: The shared do-nothing registry installed by default.
+NULL_REGISTRY = NullRegistry()
+
+_active: MetricsRegistry | NullRegistry = NULL_REGISTRY
+
+
+def get_registry() -> MetricsRegistry | NullRegistry:
+    """The currently installed registry (the null registry by default)."""
+    return _active
+
+
+def set_registry(
+    registry: MetricsRegistry | NullRegistry | None,
+) -> MetricsRegistry | NullRegistry:
+    """Install ``registry`` (``None`` → the null registry); returns the old one."""
+    global _active
+    previous = _active
+    _active = registry if registry is not None else NULL_REGISTRY
+    return previous
+
+
+@contextmanager
+def use_registry(
+    registry: MetricsRegistry | NullRegistry,
+) -> Iterator[MetricsRegistry | NullRegistry]:
+    """Install ``registry`` for the duration of the block, then restore."""
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)

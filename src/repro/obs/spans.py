@@ -1,0 +1,105 @@
+"""Trace spans: nested, exception-safe timing records.
+
+A span is one timed region of execution with a name, free-form
+attributes, and a parent — the span that was open when it started.
+Spans are recorded into a :class:`~repro.obs.registry.MetricsRegistry`
+on exit (in *completion* order: children precede their parents) and are
+exception-safe: a span closed by an exception still records its
+duration, carries the exception's ``repr`` in :attr:`Span.error`, and
+re-raises.
+
+Use through the registry::
+
+    with get_registry().span("controller.place", operation="place") as sp:
+        ...
+        sp.set(admitted=n)   # attributes may be added/updated mid-span
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Span", "SpanContext"]
+
+
+@dataclass(frozen=True)
+class Span:
+    """One finished trace span.
+
+    Attributes
+    ----------
+    name:
+        Dotted span name (see the taxonomy in ``docs/observability.md``).
+    attributes:
+        Free-form key → value pairs attached at open or via
+        :meth:`SpanContext.set`.
+    start_s:
+        :func:`time.perf_counter` timestamp at open (monotonic; only
+        differences between spans of one process are meaningful).
+    duration_s:
+        Wall time between open and close, seconds.
+    parent:
+        Name of the enclosing span, or ``None`` for a root span.
+    depth:
+        Nesting depth (0 for roots).
+    index:
+        Completion sequence number within the registry.
+    error:
+        ``repr`` of the exception that closed the span, or ``None``.
+    """
+
+    name: str
+    attributes: dict = field(default_factory=dict)
+    start_s: float = 0.0
+    duration_s: float = 0.0
+    parent: str | None = None
+    depth: int = 0
+    index: int = 0
+    error: str | None = None
+
+
+class SpanContext:
+    """Open-span handle; records a :class:`Span` into the registry on exit."""
+
+    __slots__ = ("_registry", "_name", "_attributes", "_start", "_parent", "_depth")
+
+    def __init__(self, registry, name: str, attributes: dict) -> None:
+        self._registry = registry
+        self._name = name
+        self._attributes = dict(attributes)
+        self._start = 0.0
+        self._parent: str | None = None
+        self._depth = 0
+
+    def set(self, **attributes) -> "SpanContext":
+        """Add or update span attributes while the span is open."""
+        self._attributes.update(attributes)
+        return self
+
+    def __enter__(self) -> "SpanContext":
+        stack = self._registry._span_stack
+        self._parent = stack[-1]._name if stack else None
+        self._depth = len(stack)
+        stack.append(self)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        duration = time.perf_counter() - self._start
+        stack = self._registry._span_stack
+        if stack and stack[-1] is self:
+            stack.pop()
+        self._registry.spans.append(
+            Span(
+                name=self._name,
+                attributes=dict(self._attributes),
+                start_s=self._start,
+                duration_s=duration,
+                parent=self._parent,
+                depth=self._depth,
+                index=len(self._registry.spans),
+                error=repr(exc) if exc is not None else None,
+            )
+        )
+        return False

@@ -13,6 +13,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.obs import get_registry
+
 __all__ = ["Event", "Simulator"]
 
 
@@ -83,14 +85,24 @@ class Simulator:
         max_events:
             Safety valve against runaway schedules.
         """
+        # Observability is resolved once per run; with the default null
+        # registry the loop body carries no instrumentation at all.
+        obs = get_registry()
+        observe = obs.observe if obs.enabled else None
+        fired = 0
         while self._queue:
             if until is not None and self._queue[0].time > until:
                 break
             event = heapq.heappop(self._queue)
             self._now = event.time
             self._processed += 1
+            fired += 1
             if self._processed > max_events:
                 raise RuntimeError(f"exceeded {max_events} events; runaway schedule?")
+            if observe is not None:
+                observe("sim.queue_depth", float(len(self._queue)))
             event.action()
+        if observe is not None:
+            obs.inc("sim.events", fired)
         if until is not None and self._now < until:
             self._now = until

@@ -23,6 +23,7 @@ import numpy as np
 from repro.core.instance import ProblemInstance
 from repro.core.types import PlacementSolution
 from repro.network.routing import extract_path
+from repro.obs import get_registry
 from repro.sim.engine import Simulator
 from repro.sim.events import ExecutionReport, PairTrace, QueryOutcome
 from repro.sim.resources import ComputePool, FifoResource
@@ -87,6 +88,7 @@ def execute_placement(
         Measured response times, one outcome per admitted query.
     """
     config = config or ExecutionConfig()
+    obs = get_registry()
     sim = Simulator()
     topo = instance.topology
 
@@ -118,6 +120,10 @@ def execute_placement(
             response = max(
                 t.delivered_s for t in deliveries[q_id]
             ) - arrivals[q_id]
+            if obs.enabled:
+                obs.observe("sim.query_response_s", response)
+                if response > query.deadline_s:
+                    obs.inc("sim.deadline_violations")
             outcomes.append(
                 QueryOutcome(
                     query_id=q_id,
@@ -200,7 +206,12 @@ def execute_placement(
                 QueryOutcome(q_id, arrivals[q_id], 0.0, query.deadline_s)
             )
 
-    sim.run()
+    with obs.span(
+        "sim.execute_placement",
+        queries=len(executed),
+        contention=config.contention,
+    ):
+        sim.run()
     outcomes.sort(key=lambda o: o.query_id)
     return ExecutionReport(
         outcomes=tuple(outcomes),

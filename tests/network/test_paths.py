@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.network.paths import PathCache, all_pairs_min_delay
+from repro.obs import MetricsRegistry, use_registry
 from repro.topology.nodes import NodeKind, NodeSpec
 from repro.topology.twotier import EdgeCloudTopology
 
@@ -52,6 +53,77 @@ class TestAllPairs:
     def test_raw_function_matches_cache(self, line_cache):
         delays, _ = all_pairs_min_delay(line_cache.topology)
         assert delays[0, 2] == pytest.approx(line_cache.delay(0, 2))
+
+
+class TestDisconnectedTopologies:
+    """Nodes without links must yield explicit ``inf``, not rely on
+    whatever scipy does with an all-zero adjacency matrix."""
+
+    @staticmethod
+    def _specs(n):
+        return [
+            NodeSpec(i, NodeKind.CLOUDLET, f"cl{i}", 8.0, 0.05) for i in range(n)
+        ]
+
+    def test_no_links_at_all(self):
+        topo = EdgeCloudTopology(self._specs(4), {})
+        cache = PathCache(topo)
+        for u in range(4):
+            for v in range(4):
+                if u == v:
+                    assert cache.delay(u, v) == 0.0
+                else:
+                    assert np.isinf(cache.delay(u, v))
+                    assert not cache.reachable(u, v)
+        assert cache.predecessor(0, 1) == -9999
+
+    def test_no_links_raw_function(self):
+        topo = EdgeCloudTopology(self._specs(3), {})
+        delays, pred = all_pairs_min_delay(topo)
+        assert np.all(np.diag(delays) == 0.0)
+        off_diag = ~np.eye(3, dtype=bool)
+        assert np.all(np.isinf(delays[off_diag]))
+        assert np.all(pred == -9999)
+
+    def test_two_components(self):
+        # {0–1} and {2–3} are internally connected, mutually unreachable.
+        topo = EdgeCloudTopology(self._specs(4), {(0, 1): 0.1, (2, 3): 0.2})
+        cache = PathCache(topo)
+        assert cache.delay(0, 1) == pytest.approx(0.1)
+        assert cache.delay(2, 3) == pytest.approx(0.2)
+        for u, v in [(0, 2), (0, 3), (1, 2), (1, 3)]:
+            assert np.isinf(cache.delay(u, v))
+            assert not cache.reachable(u, v)
+
+    def test_no_links_placement_vector_is_inf(self):
+        topo = EdgeCloudTopology(self._specs(3), {})
+        cache = PathCache(topo)
+        vec = cache.placement_delays_to(1)
+        # Entry for node 1 itself is 0; the others are unreachable.
+        assert vec[1] == 0.0
+        assert np.isinf(vec[0]) and np.isinf(vec[2])
+
+
+class TestLookupCounters:
+    def test_placement_vector_hit_miss_counters(self):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            cache = PathCache(_line_topology())
+            first = cache.placement_delays_to(2)
+            second = cache.placement_delays_to(2)
+        assert registry.counter("pathcache.misses") == 1
+        assert registry.counter("pathcache.hits") == 1
+        assert registry.summary("pathcache.build_s").count == 1
+        np.testing.assert_array_equal(first, second)
+        assert not second.flags.writeable
+
+    def test_delay_lookups_counted(self):
+        registry = MetricsRegistry()
+        cache = PathCache(_line_topology())
+        with use_registry(registry):
+            cache.delay(0, 1)
+            cache.delay(0, 2)
+        assert registry.counter("pathcache.lookups") == 2
 
 
 class TestPlacementVectors:

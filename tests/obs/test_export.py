@@ -1,0 +1,86 @@
+"""Exporter round-trips: JSONL event streams and Prometheus text dumps."""
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    parse_prometheus_text,
+    prometheus_text,
+    read_jsonl,
+    to_events,
+    write_jsonl,
+    write_prometheus,
+)
+
+
+@pytest.fixture()
+def populated() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    with reg.span("outer", epoch=1):
+        with reg.span("inner"):
+            pass
+    reg.inc("algo.appro-g.admitted", 7)
+    reg.set_gauge("queue.depth", 3)
+    for v in (0.1, 0.2, 0.3):
+        reg.observe("latency_s", v)
+    return reg
+
+
+class TestJsonl:
+    def test_round_trip(self, populated, tmp_path):
+        path = write_jsonl(populated, tmp_path / "trace.jsonl")
+        events = read_jsonl(path)
+        assert events == to_events(populated)
+        by_type = {}
+        for e in events:
+            by_type.setdefault(e["type"], []).append(e)
+        assert {s["name"] for s in by_type["span"]} == {"outer", "inner"}
+        (counter,) = by_type["counter"]
+        assert counter["name"] == "algo.appro-g.admitted"
+        assert counter["value"] == 7.0
+        (summary,) = by_type["summary"]
+        assert summary["count"] == 3
+        assert summary["sum"] == pytest.approx(0.6)
+
+    def test_span_events_carry_structure(self, populated, tmp_path):
+        events = read_jsonl(write_jsonl(populated, tmp_path / "t.jsonl"))
+        spans = {e["name"]: e for e in events if e["type"] == "span"}
+        assert spans["inner"]["parent"] == "outer"
+        assert spans["outer"]["attributes"] == {"epoch": 1}
+        assert spans["outer"]["error"] is None
+
+    def test_empty_registry_writes_empty_file(self, tmp_path):
+        path = write_jsonl(MetricsRegistry(), tmp_path / "empty.jsonl")
+        assert read_jsonl(path) == []
+
+
+class TestPrometheus:
+    def test_counter_gets_total_suffix(self, populated):
+        text = prometheus_text(populated)
+        assert "repro_algo_appro_g_admitted_total 7" in text
+
+    def test_summary_emits_quantiles_sum_count(self, populated):
+        samples = parse_prometheus_text(prometheus_text(populated))
+        assert samples["repro_latency_s_sum"] == pytest.approx(0.6)
+        assert samples["repro_latency_s_count"] == 3
+        assert 'repro_latency_s{quantile="0.5"}' in samples
+
+    def test_spans_aggregate_per_name(self, populated):
+        samples = parse_prometheus_text(prometheus_text(populated))
+        assert samples["repro_span_outer_seconds_count"] == 1
+        assert samples["repro_span_outer_seconds_sum"] >= 0.0
+
+    def test_round_trip_through_file(self, populated, tmp_path):
+        path = write_prometheus(populated, tmp_path / "metrics.prom")
+        samples = parse_prometheus_text(path.read_text())
+        assert samples["repro_algo_appro_g_admitted_total"] == 7.0
+        assert samples["repro_queue_depth"] == 3.0
+
+    def test_names_are_sanitised(self):
+        reg = MetricsRegistry()
+        reg.inc("weird.name-with/chars")
+        text = prometheus_text(reg)
+        assert "repro_weird_name_with_chars_total" in text
+
+    def test_empty_registry_renders_empty(self):
+        assert prometheus_text(MetricsRegistry()) == ""

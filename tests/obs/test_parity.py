@@ -1,0 +1,102 @@
+"""Instrumentation-parity property tests.
+
+The observability layer's core guarantee: enabling a metrics registry
+must never change what any algorithm decides.  For every registered
+algorithm, on randomized instances, the :class:`PlacementSolution`
+produced with collection enabled must be bit-identical to the one
+produced under the default no-op registry, and the evaluated metrics
+must match exactly.
+"""
+
+import pytest
+
+from repro.core.metrics import evaluate_solution
+from repro.core.registry import available_algorithms, make_algorithm
+from repro.obs import MetricsRegistry, NULL_REGISTRY, get_registry, use_registry
+from repro.topology.twotier import TwoTierConfig, generate_two_tier
+from repro.util.rng import spawn_rng
+from repro.workload.params import PaperDefaults
+from repro.workload.queries import generate_workload
+
+#: Small topology so the sweep over all algorithms (including the LP
+#: solve of lp-rounding-g) stays fast.
+_TOPOLOGY = TwoTierConfig(
+    num_data_centers=2,
+    num_cloudlets=6,
+    num_switches=2,
+    num_base_stations=2,
+)
+_SEEDS = (11, 23)
+
+
+def _instances(special: bool):
+    params = PaperDefaults()
+    if special:
+        params = params.single_dataset()
+    for seed in _SEEDS:
+        topology = generate_two_tier(_TOPOLOGY, seed=seed)
+        yield generate_workload(topology, spawn_rng(seed, "parity"), params)
+
+
+def _assert_identical(observed, baseline):
+    assert observed.algorithm == baseline.algorithm
+    assert observed.admitted == baseline.admitted
+    assert observed.rejected == baseline.rejected
+    assert dict(observed.replicas) == dict(baseline.replicas)
+    assert dict(observed.assignments) == dict(baseline.assignments)
+    assert dict(observed.extras) == dict(baseline.extras)
+
+
+@pytest.mark.parametrize("name", available_algorithms())
+def test_solution_identical_with_observability_enabled(name):
+    special = name.endswith("-s")
+    for instance in _instances(special):
+        baseline = make_algorithm(name).solve(instance)
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            observed = make_algorithm(name).solve(instance)
+        _assert_identical(observed, baseline)
+        assert evaluate_solution(instance, observed) == evaluate_solution(
+            instance, baseline
+        )
+
+
+@pytest.mark.parametrize("name", available_algorithms())
+def test_registry_restored_after_solve(name):
+    """Solving under a scoped registry leaves the global default intact."""
+    special = name.endswith("-s")
+    instance = next(iter(_instances(special)))
+    with use_registry(MetricsRegistry()):
+        make_algorithm(name).solve(instance)
+    assert get_registry() is NULL_REGISTRY
+
+
+@pytest.mark.parametrize(
+    "name", ["greedy-s", "greedy-g", "appro-s", "appro-g", "lp-rounding-g"]
+)
+def test_instrumented_algorithms_account_every_query(name):
+    """Admitted + rejected counters cover the whole batch, and the
+    per-query admission timer observed exactly one duration per query."""
+    special = name.endswith("-s")
+    for instance in _instances(special):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            make_algorithm(name).solve(instance)
+        admitted = registry.counter(f"algo.{name}.admitted")
+        rejected = registry.counter(f"algo.{name}.rejected")
+        assert admitted + rejected == instance.num_queries
+        timer = registry.summary(f"algo.{name}.admission_s")
+        assert timer is not None and timer.count == instance.num_queries
+        (span,) = registry.find_spans(f"algo.{name}.solve")
+        assert span.attributes["queries"] == instance.num_queries
+
+
+def test_repeated_instrumented_runs_are_stable():
+    """Two instrumented runs agree with each other (determinism holds
+    under collection, not just between on and off)."""
+    instance = next(iter(_instances(False)))
+    results = []
+    for _ in range(2):
+        with use_registry(MetricsRegistry()):
+            results.append(make_algorithm("appro-g").solve(instance))
+    _assert_identical(results[0], results[1])

@@ -1,0 +1,153 @@
+"""Tests for the metrics registry: counters, gauges, summaries, timers."""
+
+import math
+
+import pytest
+
+from repro.obs import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    NullRegistry,
+    P2Quantile,
+    Summary,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+
+
+class TestCounters:
+    def test_inc_defaults_to_one(self):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        reg.inc("a")
+        assert reg.counter("a") == 2.0
+
+    def test_inc_with_value(self):
+        reg = MetricsRegistry()
+        reg.inc("bytes", 10.5)
+        reg.inc("bytes", 2.5)
+        assert reg.counter("bytes") == pytest.approx(13.0)
+
+    def test_missing_counter_reads_zero(self):
+        assert MetricsRegistry().counter("never") == 0.0
+
+
+class TestGauges:
+    def test_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("depth", 3)
+        reg.set_gauge("depth", 7)
+        assert reg.gauges["depth"] == 7.0
+
+
+class TestSummaries:
+    def test_count_sum_min_max_mean(self):
+        summary = Summary()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            summary.observe(v)
+        assert summary.count == 4
+        assert summary.total == pytest.approx(10.0)
+        assert summary.min == 1.0
+        assert summary.max == 4.0
+        assert summary.mean == pytest.approx(2.5)
+
+    def test_empty_summary_mean_is_nan(self):
+        assert math.isnan(Summary().mean)
+
+    def test_registry_observe_creates_summary(self):
+        reg = MetricsRegistry()
+        reg.observe("lat", 0.5)
+        reg.observe("lat", 1.5)
+        assert reg.summary("lat").count == 2
+        assert reg.summary("missing") is None
+
+    def test_small_sample_quantile_is_exact_sample(self):
+        summary = Summary()
+        summary.observe(5.0)
+        summary.observe(1.0)
+        assert summary.quantile(0.5) in (1.0, 5.0)
+
+    def test_streaming_median_converges(self):
+        summary = Summary()
+        for v in range(1, 1001):
+            summary.observe(float(v))
+        # P² estimate of the median of 1..1000 lands near 500.
+        assert summary.quantile(0.5) == pytest.approx(500.0, rel=0.05)
+        assert summary.quantile(0.9) == pytest.approx(900.0, rel=0.05)
+
+    def test_quantile_validation(self):
+        with pytest.raises(ValueError):
+            P2Quantile(1.5)
+        assert math.isnan(P2Quantile(0.5).value())
+
+
+class TestTimers:
+    def test_timer_records_positive_duration(self):
+        reg = MetricsRegistry()
+        with reg.time("work_s"):
+            sum(range(1000))
+        summary = reg.summary("work_s")
+        assert summary.count == 1
+        assert summary.total > 0.0
+
+    def test_timer_records_even_on_exception(self):
+        reg = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with reg.time("bad_s"):
+                raise RuntimeError("boom")
+        assert reg.summary("bad_s").count == 1
+
+
+class TestGlobalRegistry:
+    def test_default_is_null_registry(self):
+        assert get_registry() is NULL_REGISTRY
+        assert not get_registry().enabled
+
+    def test_use_registry_installs_and_restores(self):
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            assert get_registry() is reg
+            get_registry().inc("x")
+        assert get_registry() is NULL_REGISTRY
+        assert reg.counter("x") == 1.0
+
+    def test_use_registry_restores_on_exception(self):
+        with pytest.raises(ValueError):
+            with use_registry(MetricsRegistry()):
+                raise ValueError("boom")
+        assert get_registry() is NULL_REGISTRY
+
+    def test_set_registry_none_installs_null(self):
+        previous = set_registry(None)
+        assert previous is NULL_REGISTRY
+        assert get_registry() is NULL_REGISTRY
+
+    def test_nested_use_registry(self):
+        outer, inner = MetricsRegistry(), MetricsRegistry()
+        with use_registry(outer):
+            with use_registry(inner):
+                get_registry().inc("n")
+            assert get_registry() is outer
+        assert inner.counter("n") == 1.0
+        assert outer.counter("n") == 0.0
+
+
+class TestNullRegistry:
+    def test_all_operations_are_noops(self):
+        null = NullRegistry()
+        null.inc("a")
+        null.set_gauge("g", 1)
+        null.observe("s", 2.0)
+        with null.time("t"):
+            pass
+        with null.span("sp", k=1) as sp:
+            sp.set(more=2)
+        assert null.counter("a") == 0.0
+        assert null.summary("s") is None
+        assert null.find_spans() == []
+        assert null.counters == {} and null.gauges == {} and null.summaries == {}
+
+    def test_null_contexts_are_shared_singletons(self):
+        null = NullRegistry()
+        assert null.time("a") is null.time("b") is null.span("c")

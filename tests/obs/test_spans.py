@@ -1,0 +1,105 @@
+"""Tests for trace spans: nesting, attributes, exception safety."""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+
+
+class TestNesting:
+    def test_root_span_has_no_parent(self):
+        reg = MetricsRegistry()
+        with reg.span("root"):
+            pass
+        (span,) = reg.spans
+        assert span.name == "root"
+        assert span.parent is None
+        assert span.depth == 0
+
+    def test_child_records_parent_and_depth(self):
+        reg = MetricsRegistry()
+        with reg.span("outer"):
+            with reg.span("inner"):
+                with reg.span("leaf"):
+                    pass
+        names = [s.name for s in reg.spans]
+        # Completion order: innermost first.
+        assert names == ["leaf", "inner", "outer"]
+        by_name = {s.name: s for s in reg.spans}
+        assert by_name["leaf"].parent == "inner"
+        assert by_name["leaf"].depth == 2
+        assert by_name["inner"].parent == "outer"
+        assert by_name["outer"].parent is None
+
+    def test_siblings_share_parent(self):
+        reg = MetricsRegistry()
+        with reg.span("parent"):
+            with reg.span("a"):
+                pass
+            with reg.span("b"):
+                pass
+        by_name = {s.name: s for s in reg.spans}
+        assert by_name["a"].parent == "parent"
+        assert by_name["b"].parent == "parent"
+        assert by_name["a"].index < by_name["b"].index
+
+    def test_stack_empty_after_exit(self):
+        reg = MetricsRegistry()
+        with reg.span("x"):
+            pass
+        assert reg._span_stack == []
+
+
+class TestAttributes:
+    def test_open_attributes_recorded(self):
+        reg = MetricsRegistry()
+        with reg.span("op", epoch=3, algorithm="appro-g"):
+            pass
+        span = reg.find_spans("op")[0]
+        assert span.attributes == {"epoch": 3, "algorithm": "appro-g"}
+
+    def test_set_updates_mid_span(self):
+        reg = MetricsRegistry()
+        with reg.span("op", epoch=0) as sp:
+            sp.set(epoch=1, admitted=5)
+        span = reg.find_spans("op")[0]
+        assert span.attributes["epoch"] == 1
+        assert span.attributes["admitted"] == 5
+
+    def test_duration_is_positive_wall_time(self):
+        reg = MetricsRegistry()
+        with reg.span("timed"):
+            sum(range(1000))
+        assert reg.spans[0].duration_s > 0.0
+
+
+class TestExceptionSafety:
+    def test_span_closed_by_exception_still_records_and_reraises(self):
+        reg = MetricsRegistry()
+        with pytest.raises(RuntimeError, match="boom"):
+            with reg.span("failing", attempt=1):
+                raise RuntimeError("boom")
+        (span,) = reg.spans
+        assert span.name == "failing"
+        assert span.error is not None and "boom" in span.error
+        assert span.duration_s >= 0.0
+        assert span.attributes == {"attempt": 1}
+        assert reg._span_stack == []
+
+    def test_parent_survives_child_exception(self):
+        reg = MetricsRegistry()
+        with reg.span("parent"):
+            with pytest.raises(ValueError):
+                with reg.span("child"):
+                    raise ValueError("inner")
+            with reg.span("sibling"):
+                pass
+        by_name = {s.name: s for s in reg.spans}
+        assert by_name["child"].error is not None
+        assert by_name["parent"].error is None
+        assert by_name["sibling"].parent == "parent"
+
+    def test_successful_span_has_no_error(self):
+        reg = MetricsRegistry()
+        with reg.span("fine"):
+            pass
+        assert reg.spans[0].error is None

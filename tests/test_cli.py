@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cli import build_parser, main
+from repro.obs import NULL_REGISTRY, get_registry, parse_prometheus_text, read_jsonl
 
 
 class TestParser:
@@ -138,3 +139,42 @@ class TestExtensionCommands:
         ])
         assert code == 0
         assert out_file.read_text().startswith("# Regenerated results")
+
+
+class TestObservabilityFlags:
+    def test_trace_and_metrics_files_written(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.prom"
+        code = main(
+            ["--trace", str(trace), "--metrics", str(metrics),
+             "failover", "--failures", "1", "--seed", "1"]
+        )
+        assert code == 0
+        events = read_jsonl(trace)
+        spans = [e for e in events if e["type"] == "span"]
+        # The whole invocation is one root span; the solve nests under it.
+        assert any(
+            s["name"] == "cli.failover" and s["parent"] is None for s in spans
+        )
+        assert any(s["name"] == "algo.appro-g.solve" for s in spans)
+        samples = parse_prometheus_text(metrics.read_text())
+        admitted = samples["repro_algo_appro_g_admitted_total"]
+        rejected = samples["repro_algo_appro_g_rejected_total"]
+        assert admitted + rejected > 0
+        assert samples["repro_algo_appro_g_admission_s_count"] == admitted + rejected
+
+    def test_trace_flag_alone(self, capsys, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        assert main(["--trace", str(trace), "list"]) == 0
+        events = read_jsonl(trace)
+        assert any(
+            e["type"] == "span" and e["name"] == "cli.list" for e in events
+        )
+
+    def test_registry_restored_after_run(self, capsys, tmp_path):
+        main(["--metrics", str(tmp_path / "m.prom"), "list"])
+        assert get_registry() is NULL_REGISTRY
+
+    def test_without_flags_no_files(self, capsys, tmp_path):
+        assert main(["list"]) == 0
+        assert list(tmp_path.iterdir()) == []

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.controller import EdgeCloudController
+from repro.obs import MetricsRegistry, use_registry
 from repro.topology.twotier import generate_two_tier
 from repro.util.rng import spawn_rng
 from repro.util.validation import ValidationError
@@ -118,3 +119,85 @@ class TestAuditTrail:
         controller.next_epoch(queries[1])
         controller.next_epoch(queries[2])
         assert controller.log[-1].epoch == 2
+
+    def test_every_operation_appends_exactly_one_event(self, setup):
+        controller, queries = setup
+        expected: list[str] = []
+
+        def check(operation):
+            expected.append(operation)
+            assert len(controller.log) == len(expected)
+            assert [e.operation for e in controller.log] == expected
+
+        controller.place(queries[0])
+        check("place")
+        controller.execute()
+        check("execute")
+        controller.maintenance_report()
+        check("maintenance")
+        controller.invoice()
+        check("invoice")
+        victim = next(a.node for a in controller.solution.assignments.values())
+        controller.handle_failure([victim])
+        check("failure")
+        controller.next_epoch(queries[1])
+        check("epoch")
+
+
+class TestObservability:
+    """Controller spans mirror the audit trail (see docs/observability.md)."""
+
+    def _run_session(self, controller, queries):
+        controller.place(queries[0])
+        controller.execute()
+        controller.maintenance_report()
+        controller.invoice()
+        victim = next(a.node for a in controller.solution.assignments.values())
+        controller.handle_failure([victim])
+        controller.next_epoch(queries[1])
+        controller.next_epoch(queries[2])
+
+    def test_one_span_per_controller_operation(self, setup):
+        controller, queries = setup
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            self._run_session(controller, queries)
+        controller_spans = [
+            s for s in registry.spans if s.name.startswith("controller.")
+        ]
+        assert len(controller_spans) == len(controller.log)
+        assert registry.counter("controller.events") == len(controller.log)
+
+    def test_spans_carry_matching_epoch_and_operation(self, setup):
+        controller, queries = setup
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            self._run_session(controller, queries)
+        controller_spans = [
+            s for s in registry.spans if s.name.startswith("controller.")
+        ]
+        # Controller operations are sequential, so completion order of the
+        # controller spans matches audit-log order.
+        for span, event in zip(controller_spans, controller.log):
+            assert span.attributes["operation"] == event.operation
+            assert span.attributes["epoch"] == event.epoch
+            assert span.error is None
+
+    def test_execute_nests_simulator_span(self, setup):
+        controller, queries = setup
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            controller.place(queries[0])
+            controller.execute()
+        (sim_span,) = registry.find_spans("sim.execute_placement")
+        assert sim_span.parent == "controller.execute"
+        latencies = registry.summary("sim.query_response_s")
+        assert latencies is not None
+        assert latencies.count == controller.metrics().num_admitted
+
+    def test_no_spans_recorded_under_default_registry(self, setup):
+        controller, queries = setup
+        controller.place(queries[0])
+        # Nothing was installed, so nothing could have been recorded; the
+        # audit trail is the only side channel.
+        assert len(controller.log) == 1

@@ -11,7 +11,8 @@ from __future__ import annotations
 import pytest
 
 from repro.cluster.state import ClusterState
-from repro.core.feasibility import candidate_nodes
+from repro.core.feasibility import candidate_nodes, candidate_set
+from repro.core.graph_partition import partition_placement_nodes
 from repro.core.ilp import build_lp_model
 from repro.core.primal_dual import PrimalDualConfig, _Kernel
 from repro.experiments.runner import make_instance
@@ -39,6 +40,29 @@ def test_candidate_enumeration(benchmark, instance):
     query = instance.queries[0]
     dataset = instance.dataset(query.demanded[0])
     benchmark(lambda: candidate_nodes(state, query, dataset))
+
+
+def test_candidate_set_vectorized(benchmark, instance):
+    state = ClusterState(instance)
+    query = instance.queries[0]
+    dataset = instance.dataset(query.demanded[0])
+    benchmark(lambda: candidate_set(state, query, dataset))
+
+
+def test_cost_vector(benchmark, instance):
+    kernel = _Kernel(PrimalDualConfig(), instance)
+    state = ClusterState(instance)
+    query = instance.queries[0]
+    dataset = instance.dataset(query.demanded[0])
+    cs = candidate_set(state, query, dataset)
+
+    benchmark(
+        lambda: kernel.cost_vector(state, query, cs, dataset.dataset_id)
+    )
+
+
+def test_graph_partition_fast(benchmark, instance):
+    benchmark(lambda: partition_placement_nodes(instance, 4, 0))
 
 
 def test_coverage_precompute(benchmark, instance):

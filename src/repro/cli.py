@@ -94,6 +94,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_compare.add_argument("--repeats", type=int, default=15)
     p_compare.add_argument("--seed", type=int, default=2019)
+    p_compare.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the repeat fan-out (results are "
+        "identical for any value)",
+    )
 
     p_figure = sub.add_parser(
         "figure", help="regenerate a paper figure as a text table"
@@ -101,6 +106,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_figure.add_argument("figure_id", choices=sorted(FIGURES))
     p_figure.add_argument("--repeats", type=int, default=15)
     p_figure.add_argument("--seed", type=int, default=2019)
+    p_figure.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the repeat fan-out (results are "
+        "identical for any value)",
+    )
     p_figure.add_argument(
         "--plot", action="store_true", help="render Unicode bar charts instead of tables"
     )
@@ -168,14 +178,18 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         print(f"unknown algorithm(s): {', '.join(unknown)}", file=sys.stderr)
         print(f"available: {', '.join(available_algorithms())}", file=sys.stderr)
         return 2
-    config = ExperimentConfig(repeats=args.repeats, seed=args.seed)
+    config = ExperimentConfig(
+        repeats=args.repeats, seed=args.seed, n_jobs=args.jobs
+    )
     results = compare_algorithms(names, config)
     print(render_comparison(results))
     return 0
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
-    config = ExperimentConfig(repeats=args.repeats, seed=args.seed)
+    config = ExperimentConfig(
+        repeats=args.repeats, seed=args.seed, n_jobs=args.jobs
+    )
     series = FIGURES[args.figure_id](config)
     print(plot_figure(series) if args.plot else render_figure(series))
     return 0

@@ -17,7 +17,9 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Iterator
 
-from repro.cluster.node import CapacityError, ComputeNode
+import numpy as np
+
+from repro.cluster.node import CapacityError, ComputeNode, _EPS
 from repro.cluster.replicas import ReplicaStore
 from repro.core.instance import ProblemInstance
 from repro.core.types import Assignment, Dataset, Query
@@ -87,6 +89,39 @@ class ClusterState:
     def compute_demand(self, query: Query, dataset: Dataset) -> float:
         """Compute the pair would consume: ``|S_n|·r_m`` GHz."""
         return dataset.volume_gb * query.compute_rate
+
+    # -- vectorised views -------------------------------------------------
+    #
+    # These build fresh arrays from the per-node ledgers on every call (no
+    # incremental state to fall out of sync with direct ComputeNode
+    # mutations); each element is the exact float the scalar property
+    # returns, so vectorised feasibility decisions match scalar ones
+    # bit-for-bit.
+
+    def available_array(self) -> np.ndarray:
+        """``A(v)`` per placement node, in placement order (GHz)."""
+        return np.fromiter(
+            (n.available_ghz for n in self.nodes.values()),
+            dtype=np.float64,
+            count=len(self.nodes),
+        )
+
+    def utilization_array(self) -> np.ndarray:
+        """Utilisation fraction per placement node, in placement order."""
+        return np.fromiter(
+            (n.utilization for n in self.nodes.values()),
+            dtype=np.float64,
+            count=len(self.nodes),
+        )
+
+    def can_fit_mask(self, amount_ghz: float) -> np.ndarray:
+        """Vectorised :meth:`~repro.cluster.node.ComputeNode.can_fit`.
+
+        Element ``i`` is whether placement node ``i`` (placement order)
+        can take an allocation of ``amount_ghz``, with the same epsilon
+        slack as the scalar check.
+        """
+        return amount_ghz <= self.available_array() + _EPS * self.instance.capacities
 
     def can_serve(self, query: Query, dataset: Dataset, node: int) -> bool:
         """Deadline + capacity + replica feasibility of serving at ``node``."""

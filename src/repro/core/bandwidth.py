@@ -22,7 +22,9 @@ from typing import Iterator
 from repro.cluster.links import LinkBudgetError, LinkLedger
 from repro.cluster.state import ClusterState, Transaction
 from repro.core.base import PlacementAlgorithm, SolutionBuilder
-from repro.core.feasibility import candidate_nodes
+import numpy as np
+
+from repro.core.feasibility import candidate_set
 from repro.core.instance import ProblemInstance
 from repro.core.primal_dual import PrimalDualConfig, _Kernel, _query_order
 from repro.core.types import Assignment, Dataset, PlacementSolution, Query
@@ -160,20 +162,23 @@ class BandwidthApproG(PlacementAlgorithm):
     ) -> Assignment | None:
         """The primal-dual step, filtered by link-budget feasibility."""
         dataset = state.instance.dataset(dataset_id)
-        candidates = [
-            c
-            for c in candidate_nodes(state, query, dataset)
-            if c.node == query.home_node
-            or state.links.path_fits(
-                state._path(query, c.node), state._flow(query, dataset)
+        cs = candidate_set(state, query, dataset)
+        if cs:
+            flow = state._flow(query, dataset)
+            fits = np.fromiter(
+                (
+                    int(v) == query.home_node
+                    or state.links.path_fits(state._path(query, int(v)), flow)
+                    for v in cs.nodes
+                ),
+                dtype=bool,
+                count=len(cs),
             )
-        ]
-        if not candidates:
+            cs = cs.take(fits)
+        if not cs:
             return None
-        best = min(
-            candidates,
-            key=lambda c: (kernel.cost_rate(state, query, c, dataset_id), c.node),
-        )
-        if kernel.cost_rate(state, query, best, dataset_id) > self.config.beta:
+        cost = kernel.cost_vector(state, query, cs, dataset_id)
+        best = kernel.argmin_candidate(cs, cost)
+        if cost[best] > self.config.beta:
             return None
-        return state.serve(query, dataset, best.node)
+        return state.serve(query, dataset, int(cs.nodes[best]))

@@ -64,6 +64,24 @@ class NodePrices:
         """Prices of all placement nodes."""
         return {v: self.theta(state, v) for v in state.nodes}
 
+    def theta_array(self, state: ClusterState) -> np.ndarray:
+        """Prices of all placement nodes, in placement order (vectorised).
+
+        Elementwise the same ``theta_floor ** (1 - min(1, u))`` as
+        :meth:`theta`.  The exponent vector is computed with array ops,
+        but the power itself goes through Python's ``**`` (C libm):
+        NumPy's SIMD ``pow`` differs from libm by 1 ulp on some inputs,
+        which would break bit-parity with the scalar path.
+        """
+        u = state.utilization_array()
+        exponents = 1.0 - np.minimum(1.0, u)
+        floor = self.theta_floor
+        return np.fromiter(
+            (floor**x for x in exponents.tolist()),
+            dtype=np.float64,
+            count=exponents.size,
+        )
+
 
 def dual_certificate(
     instance: ProblemInstance,

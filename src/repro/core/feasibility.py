@@ -9,6 +9,17 @@ A (query, dataset) pair can be served at node ``v`` iff
 
 Keeping these checks in one module guarantees all algorithms (the paper's
 and the baselines) compete under identical rules.
+
+The module exposes two granularities:
+
+* :func:`candidate_set` — the vectorised hot path.  One NumPy pass
+  produces the full candidate arrays (node ids, latency vector,
+  has-replica mask) for a pair; the latency vector computed for the
+  deadline check is *reused* as the per-candidate latency instead of
+  being re-derived scalar-wise per node.
+* :func:`candidate_nodes` — the scalar-object view (a list of
+  :class:`CandidateNode`), kept for callers that want per-candidate
+  objects; it is a thin materialisation of :func:`candidate_set`.
 """
 
 from __future__ import annotations
@@ -20,7 +31,14 @@ import numpy as np
 from repro.cluster.state import ClusterState
 from repro.core.types import Dataset, Query
 
-__all__ = ["CandidateNode", "candidate_nodes", "delay_feasible_nodes"]
+__all__ = [
+    "CandidateNode",
+    "CandidateSet",
+    "candidate_nodes",
+    "candidate_set",
+    "delay_feasible_nodes",
+    "pair_latency_vector",
+]
 
 
 @dataclass(frozen=True)
@@ -43,6 +61,63 @@ class CandidateNode:
     has_replica: bool
 
 
+@dataclass(frozen=True)
+class CandidateSet:
+    """All feasible serving options for one pair, as parallel NumPy arrays.
+
+    Attributes
+    ----------
+    nodes:
+        Candidate node ids (``intp``), in placement order.
+    indices:
+        Dense positions of the candidates in the instance's placement
+        order — index :attr:`~repro.core.instance.ProblemInstance.proc_delays`
+        and friends with these.
+    latency_s:
+        Analytic pair latency per candidate (the deadline check's latency
+        vector, sliced — not recomputed).
+    has_replica:
+        Per candidate: whether the node already holds the dataset.
+    """
+
+    nodes: np.ndarray
+    indices: np.ndarray
+    latency_s: np.ndarray
+    has_replica: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.nodes.size)
+
+    def __bool__(self) -> bool:
+        return bool(self.nodes.size)
+
+    def take(self, selector: np.ndarray) -> "CandidateSet":
+        """Subset of the candidates (boolean mask or positions)."""
+        return CandidateSet(
+            nodes=self.nodes[selector],
+            indices=self.indices[selector],
+            latency_s=self.latency_s[selector],
+            has_replica=self.has_replica[selector],
+        )
+
+
+def pair_latency_vector(
+    state: ClusterState, query: Query, dataset: Dataset
+) -> np.ndarray:
+    """Analytic pair latency over *all* placement nodes, in placement order.
+
+    ``|S_n|·(d(v) + α·dt(p(v, h_m)))`` as one NumPy expression; element
+    ``i`` equals ``instance.pair_latency(query, dataset, placement_nodes[i])``
+    bit-for-bit (same IEEE operations, elementwise).
+    """
+    inst = state.instance
+    alpha = query.alpha_for(dataset.dataset_id)
+    home_vec = inst.home_delay_vectors.get(query.home_node)
+    if home_vec is None:
+        home_vec = inst.paths.placement_delays_to(query.home_node)
+    return dataset.volume_gb * (inst.proc_delays + alpha * home_vec)
+
+
 def delay_feasible_nodes(
     state: ClusterState, query: Query, dataset: Dataset
 ) -> np.ndarray:
@@ -51,15 +126,46 @@ def delay_feasible_nodes(
     Computes ``|S_n|·(d(v) + α·dt(v → h_m)) ≤ d_qm`` over all placement
     nodes at once; capacity and replica slots are *not* checked here.
     """
-    inst = state.instance
-    alpha = query.alpha_for(dataset.dataset_id)
-    home_vec = inst.home_delay_vectors.get(query.home_node)
-    if home_vec is None:
-        home_vec = inst.paths.placement_delays_to(query.home_node)
-    latency = dataset.volume_gb * (inst.proc_delays + alpha * home_vec)
+    latency = pair_latency_vector(state, query, dataset)
     mask = latency <= query.deadline_s
-    nodes = np.fromiter(inst.placement_nodes, dtype=np.intp)
+    nodes = np.fromiter(state.instance.placement_nodes, dtype=np.intp)
     return nodes[mask]
+
+
+def candidate_set(
+    state: ClusterState, query: Query, dataset: Dataset
+) -> CandidateSet:
+    """All fully feasible serving options for (query, dataset), vectorised.
+
+    One pass over placement nodes: the deadline latency vector is computed
+    once and reused, the replica-holder mask is scattered from the (small)
+    holder set, and the capacity mask compares the pair's demand against
+    the cluster's available-compute vector — no per-node Python loop.
+    """
+    inst = state.instance
+    latency = pair_latency_vector(state, query, dataset)
+    mask = latency <= query.deadline_s
+
+    holders = state.replicas.nodes(dataset.dataset_id)
+    has_replica = np.zeros(inst.num_placement_nodes, dtype=bool)
+    if holders:
+        node_index = inst.node_index
+        has_replica[[node_index[v] for v in holders]] = True
+    if state.replicas.remaining_slots(dataset.dataset_id) <= 0:
+        # K exhausted: only replica-holding nodes remain usable.
+        mask &= has_replica
+
+    demand = state.compute_demand(query, dataset)
+    mask &= state.can_fit_mask(demand)
+
+    indices = np.nonzero(mask)[0]
+    nodes = np.fromiter(inst.placement_nodes, dtype=np.intp)[indices]
+    return CandidateSet(
+        nodes=nodes,
+        indices=indices,
+        latency_s=latency[indices],
+        has_replica=has_replica[indices],
+    )
 
 
 def candidate_nodes(
@@ -67,25 +173,11 @@ def candidate_nodes(
 ) -> list[CandidateNode]:
     """All fully feasible serving options for (query, dataset), by node id.
 
-    Applies the deadline check vectorised, then filters by capacity and
-    replica availability against the *current* cluster state.
+    Scalar-object view of :func:`candidate_set`, for callers that want
+    per-candidate objects rather than arrays.
     """
-    demand = state.compute_demand(query, dataset)
-    replica_nodes = state.replicas.nodes(dataset.dataset_id)
-    slots_left = state.replicas.remaining_slots(dataset.dataset_id) > 0
-    inst = state.instance
-    alpha = query.alpha_for(dataset.dataset_id)
-    out: list[CandidateNode] = []
-    for node in delay_feasible_nodes(state, query, dataset):
-        node = int(node)
-        has_replica = node in replica_nodes
-        if not has_replica and not slots_left:
-            continue
-        if not state.nodes[node].can_fit(demand):
-            continue
-        latency = dataset.volume_gb * (
-            inst.topology.proc_delay(node)
-            + alpha * inst.paths.delay(node, query.home_node)
-        )
-        out.append(CandidateNode(node=node, latency_s=latency, has_replica=has_replica))
-    return out
+    cs = candidate_set(state, query, dataset)
+    return [
+        CandidateNode(node=int(v), latency_s=float(lat), has_replica=bool(rep))
+        for v, lat, rep in zip(cs.nodes, cs.latency_s, cs.has_replica)
+    ]

@@ -24,12 +24,16 @@ against global admission, which is where Appro wins.
 
 from __future__ import annotations
 
+import random
+
 import networkx as nx
+import numpy as np
 
 from repro.cluster.state import ClusterState
 from repro.core.base import PlacementAlgorithm, SolutionBuilder, require_special_case
 from repro.core.feasibility import delay_feasible_nodes
 from repro.core.instance import ProblemInstance
+from repro.core.kl import kl_refine_sides
 from repro.core.types import Assignment, PlacementSolution, Query
 from repro.util.validation import check_positive
 
@@ -37,18 +41,85 @@ __all__ = ["GraphS", "GraphG", "partition_placement_nodes"]
 
 
 def partition_placement_nodes(
-    instance: ProblemInstance, num_parts: int, seed: int = 0
+    instance: ProblemInstance,
+    num_parts: int,
+    seed: int = 0,
+    *,
+    method: str = "fast",
 ) -> dict[int, int]:
     """Partition placement nodes by recursive Kernighan–Lin bisection.
 
     Edge weights are inverse path delays between placement nodes (closer
     nodes attract each other into a part).  Returns node id → part id.
+
+    ``method`` selects the bisection engine: ``"fast"`` (default) runs
+    the vectorised reimplementation in :mod:`repro.core.kl`, whose output
+    matches ``"networkx"`` — the original
+    ``networkx.algorithms.community.kernighan_lin_bisection`` path, kept
+    as the parity reference.
     """
     check_positive("num_parts", num_parts)
+    if method not in ("fast", "networkx"):
+        raise ValueError(f"unknown partition method: {method!r}")
     nodes = list(instance.placement_nodes)
     if num_parts <= 1 or len(nodes) <= 1:
         return {v: 0 for v in nodes}
+    if method == "networkx":
+        return _partition_reference(instance, num_parts, seed)
 
+    idx = np.fromiter(nodes, dtype=np.intp, count=len(nodes))
+    delays = np.asarray(instance.paths.delays_matrix())[np.ix_(idx, idx)]
+    # The reference adds each edge once in (earlier, later) node order and
+    # shares that weight in both directions; the all-pairs delay matrix is
+    # direction-asymmetric at ulp level (per-source summation order), so
+    # mirror the upper triangle before inverting.
+    delays = np.triu(delays, 1)
+    delays = delays + delays.T
+    # Inverse-delay attraction; unreachable pairs (inf delay) get weight 0,
+    # as does the (delay 0) diagonal — a 0-weight edge is value-identical
+    # to the reference's absent edge in every KL sum.
+    weights = np.zeros_like(delays)
+    np.divide(1.0, delays, out=weights, where=delays > 0)
+
+    pos = {v: i for i, v in enumerate(nodes)}
+    # Bookkeeping mirrors the reference *including its set semantics*: a
+    # networkx subgraph view iterates the filter set (hash order) whenever
+    # the part is less than half the graph, and that order feeds the
+    # seeded shuffle.  Performing the same set constructions in the same
+    # insertion order reproduces it exactly.
+    parts: list[set[int]] = [set(nodes)]
+    while len(parts) < num_parts:
+        # Split the currently largest part.
+        parts.sort(key=len, reverse=True)
+        largest = parts.pop(0)
+        if len(largest) <= 1:
+            parts.append(largest)
+            break
+        sub_filter = set(n for n in largest)
+        if 2 * len(sub_filter) < len(nodes):
+            sub_nodes = list(sub_filter)
+        else:
+            sub_nodes = [n for n in nodes if n in sub_filter]
+        random.Random(seed).shuffle(sub_nodes)
+        # Ascending-position submatrix: initial KL sums then run in the
+        # same ascending neighbour order as the reference's adjacency.
+        sel = np.asarray(sorted(pos[v] for v in sub_nodes), dtype=np.intp)
+        local = {p: i for i, p in enumerate(sel)}
+        side = np.zeros(len(sub_nodes), dtype=bool)
+        for v in sub_nodes[: len(sub_nodes) // 2]:
+            side[local[pos[v]]] = True
+        kl_refine_sides(weights[np.ix_(sel, sel)], side)
+        a = {v for v in sub_nodes if not side[local[pos[v]]]}
+        b = {v for v in sub_nodes if side[local[pos[v]]]}
+        parts.extend([set(a), set(b)])
+    return {v: i for i, part in enumerate(parts) for v in part}
+
+
+def _partition_reference(
+    instance: ProblemInstance, num_parts: int, seed: int
+) -> dict[int, int]:
+    """The original networkx-backed partitioner (parity reference)."""
+    nodes = list(instance.placement_nodes)
     graph = nx.Graph()
     graph.add_nodes_from(nodes)
     for i, u in enumerate(nodes):
@@ -59,7 +130,6 @@ def partition_placement_nodes(
 
     parts: list[set[int]] = [set(nodes)]
     while len(parts) < num_parts:
-        # Split the currently largest part.
         parts.sort(key=len, reverse=True)
         largest = parts.pop(0)
         if len(largest) <= 1:

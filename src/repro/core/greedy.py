@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from repro.cluster.state import ClusterState
 from repro.core.base import PlacementAlgorithm, SolutionBuilder, require_special_case
+from repro.core.feasibility import pair_latency_vector
 from repro.core.instance import ProblemInstance
 from repro.core.types import Assignment, PlacementSolution, Query
 from repro.obs import get_registry
@@ -33,8 +34,15 @@ def _greedy_place_pair(
     the replica stays even when the node then fails the delay check, per
     the benchmark's description), then serves if deadline and capacity
     hold.  Gives up when all nodes were tried.
+
+    The deadline check consults the pair's latency vector, computed once
+    for the whole walk instead of per node.
     """
     dataset = state.instance.dataset(dataset_id)
+    deadline_ok = (
+        pair_latency_vector(state, query, dataset) <= query.deadline_s
+    )
+    node_index = state.instance.node_index
     nodes = sorted(
         state.nodes.values(),
         key=lambda n: (-n.available_ghz, n.node_id),
@@ -46,7 +54,7 @@ def _greedy_place_pair(
                 continue  # K exhausted: only replica-holding nodes remain usable
             state.replicas.place(dataset_id, node.node_id)
             get_registry().inc("algo.greedy.replicas_placed")
-        if state.meets_deadline(query, dataset, node.node_id) and node.can_fit(
+        if deadline_ok[node_index[node.node_id]] and node.can_fit(
             state.compute_demand(query, dataset)
         ):
             return state.serve(query, dataset, node.node_id)

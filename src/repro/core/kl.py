@@ -1,0 +1,123 @@
+"""Vectorised Kernighan–Lin bisection matching networkx's seeded output.
+
+The graph-partitioning baseline spends essentially all of its runtime in
+``networkx.algorithms.community.kernighan_lin_bisection`` — a pure-Python
+lazy-heap implementation whose cost on the (complete) placement graph is
+quadratic with large constants.  This module reimplements the *same*
+algorithm over a dense weight matrix with NumPy inner loops:
+
+* the initial balanced partition comes from ``random.Random(seed)``
+  shuffling positions, exactly as networkx's ``py_random_state`` does;
+* per-sweep node costs are sequential left-to-right sums in neighbour
+  order (``cumsum``), matching Python's ``sum`` over the adjacency dict
+  bit-for-bit;
+* each swap applies the same ``value + 2·w`` updates in the same order,
+  so every selected node, sweep length and stopping decision reproduces
+  the networkx run.
+
+The only divergence is tie-breaking between *exactly equal* float costs:
+networkx breaks ties by heap insertion counter, this implementation by
+position.  With continuous (inverse-delay) weights exact collisions of
+evolved cost sums do not occur; ``tests/core/test_vector_parity.py``
+checks equality of whole partitions against networkx across seeds and
+topologies.
+
+Absent edges are modelled as weight ``0.0``, which contributes ``±0.0``
+to sequential sums and updates — value-identical to skipping the term.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+__all__ = ["kl_bisection_sides", "kl_refine_sides", "kl_sweep_pairs"]
+
+
+def kl_sweep_pairs(
+    weights2: np.ndarray, side: np.ndarray
+) -> list[tuple[float, int, tuple[int, int]]]:
+    """One modified-KL sweep: alternate-side pops with running total cost.
+
+    Parameters
+    ----------
+    weights2:
+        ``2·W`` — the doubled dense symmetric weight matrix (zero
+        diagonal), so the inner update is a single multiply-add.
+    side:
+        Boolean side assignment (not modified).
+
+    Returns
+    -------
+    list of ``(total_cost, i, (u, v))`` in pop order — the same tuples
+    networkx's ``_kernighan_lin_sweep`` yields, with ``u``/``v`` as
+    positions into ``side``.
+    """
+    n = side.shape[0]
+    sign = np.where(side, 1.0, -1.0)
+    # Initial "heap" values: cost_u summed sequentially over neighbours in
+    # position order (cumsum is a running left-to-right sum), negated on
+    # side 0 exactly as the side-0 heap stores it.
+    cost = np.cumsum(0.5 * weights2 * sign, axis=1)[:, -1]
+    val = np.where(side, cost, -cost)
+    active0 = ~side
+    active1 = side.copy()
+    inf = np.inf
+    results: list[tuple[float, int, tuple[int, int]]] = []
+    tot = 0.0
+    i = 0
+    while active0.any() and active1.any():
+        u = int(np.where(active0, val, inf).argmin())
+        cost_u = float(val[u])
+        active0[u] = False
+        # side0 pop: same-side neighbours are charged, opposite relieved.
+        val += weights2[u] * sign
+        v = int(np.where(active1, val, inf).argmin())
+        cost_v = float(val[v])
+        active1[v] = False
+        val += weights2[v] * -sign
+        tot = tot + (cost_u + cost_v)
+        i += 1
+        results.append((tot, i, (u, v)))
+    return results
+
+
+def kl_refine_sides(
+    weights: np.ndarray, side: np.ndarray, max_iter: int = 10
+) -> np.ndarray:
+    """Run KL improvement sweeps from an initial side assignment.
+
+    ``side`` is modified in place and returned: ``True`` marks the
+    positions of networkx's second returned set (``side == 1``),
+    ``False`` the first.
+    """
+    weights2 = 2.0 * weights
+    for _ in range(max_iter):
+        costs = kl_sweep_pairs(weights2, side)
+        min_cost, min_i, _ = min(costs)
+        if min_cost >= 0:
+            break
+        for _, _, (u, v) in costs[:min_i]:
+            side[u] = True
+            side[v] = False
+    return side
+
+
+def kl_bisection_sides(
+    weights: np.ndarray, seed: int, max_iter: int = 10
+) -> np.ndarray:
+    """Seeded KL bisection over a dense weight matrix, in position space.
+
+    The initial balanced split shuffles positions with
+    ``random.Random(seed)``; note that a networkx *subgraph* presents its
+    nodes in set-iteration order rather than position order, which
+    :func:`repro.core.graph_partition.partition_placement_nodes`
+    replicates before calling :func:`kl_refine_sides` directly.
+    """
+    n = weights.shape[0]
+    order = list(range(n))
+    random.Random(seed).shuffle(order)
+    side = np.zeros(n, dtype=bool)
+    side[order[: n // 2]] = True
+    return kl_refine_sides(weights, side, max_iter)

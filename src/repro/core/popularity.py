@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from repro.cluster.state import ClusterState
 from repro.core.base import PlacementAlgorithm, SolutionBuilder, require_special_case
+from repro.core.feasibility import pair_latency_vector
 from repro.core.instance import ProblemInstance
 from repro.core.types import Assignment, PlacementSolution, Query
 
@@ -40,8 +41,16 @@ def node_popularity(state: ClusterState) -> dict[int, float]:
 def _popularity_place_pair(
     state: ClusterState, query: Query, dataset_id: int
 ) -> Assignment | None:
-    """One popularity-guided step for a (query, dataset) pair."""
+    """One popularity-guided step for a (query, dataset) pair.
+
+    The deadline check consults the pair's latency vector, computed once
+    for the whole ranked walk instead of per node.
+    """
     dataset = state.instance.dataset(dataset_id)
+    deadline_ok = (
+        pair_latency_vector(state, query, dataset) <= query.deadline_s
+    )
+    node_index = state.instance.node_index
     popularity = node_popularity(state)
     ranked = sorted(
         state.nodes, key=lambda v: (-popularity[v], v)
@@ -50,7 +59,7 @@ def _popularity_place_pair(
         has_replica = state.replicas.has(dataset_id, v)
         if not has_replica and not state.replicas.can_place(dataset_id, v):
             continue
-        if not state.meets_deadline(query, dataset, v):
+        if not deadline_ok[node_index[v]]:
             continue
         if not state.nodes[v].can_fit(state.compute_demand(query, dataset)):
             continue

@@ -45,7 +45,7 @@ import numpy as np
 from repro.cluster.state import ClusterState
 from repro.core.base import PlacementAlgorithm, SolutionBuilder, require_special_case
 from repro.core.duals import NodePrices, dual_certificate
-from repro.core.feasibility import CandidateNode, candidate_nodes
+from repro.core.feasibility import CandidateNode, CandidateSet, candidate_set
 from repro.core.instance import ProblemInstance
 from repro.core.types import Assignment, PlacementSolution, Query
 from repro.obs import get_registry
@@ -132,20 +132,21 @@ class _Kernel:
     def __init__(self, config: PrimalDualConfig, instance: ProblemInstance) -> None:
         self.config = config
         self.prices = NodePrices(theta_floor=config.theta_floor)
+        self._node_index = instance.node_index
         self._coverage = self._demand_coverage(instance)
         cap_max = max(
             instance.topology.capacity(v) for v in instance.placement_nodes
         )
-        self._smallness = {
-            v: 1.0 - instance.topology.capacity(v) / cap_max
-            for v in instance.placement_nodes
-        }
+        # Smallness indexed by placement position (array) — the cost-rate
+        # vector gathers it with the candidate indices, no dict lookups.
+        self._smallness = 1.0 - instance.capacities / cap_max
 
     @staticmethod
     def _demand_coverage(
         instance: ProblemInstance,
-    ) -> dict[int, dict[int, float]]:
-        """Per dataset: node → fraction of demanded volume reachable in time.
+    ) -> dict[int, np.ndarray]:
+        """Per dataset: fraction of demanded volume reachable in time,
+        as a vector over placement positions.
 
         Vectorised over placement nodes: for each (query, dataset) pair the
         whole latency vector ``|S_n|·(d(v) + α·dt(v → h_m))`` comes from
@@ -162,12 +163,13 @@ class _Kernel:
                 volume = instance.dataset(d_id).volume_gb
                 latency = volume * (proc + alpha * home_vec)
                 acc[d_id] += volume * (latency <= query.deadline_s)
-        coverage: dict[int, dict[int, float]] = {}
+        coverage: dict[int, np.ndarray] = {}
         for d_id, vec in acc.items():
             top = float(vec.max()) if vec.size else 0.0
             if top > 0.0:
                 vec = vec / top
-            coverage[d_id] = {v: float(vec[i]) for i, v in enumerate(nodes)}
+            vec.flags.writeable = False
+            coverage[d_id] = vec
         return coverage
 
     def cost_rate(
@@ -177,7 +179,11 @@ class _Kernel:
         candidate: CandidateNode,
         dataset_id: int,
     ) -> float:
-        """Price-weighted cost rate of one serving option (see module docs)."""
+        """Price-weighted cost rate of one serving option (see module docs).
+
+        Scalar reference implementation; the hot path evaluates the same
+        expression over a whole candidate set with :meth:`cost_vector`.
+        """
         cfg = self.config
         theta = (
             self.prices.theta(state, candidate.node)
@@ -188,10 +194,53 @@ class _Kernel:
         if not candidate.has_replica:
             used = state.replicas.count(dataset_id)
             scarcity = used / state.replicas.max_replicas
-            misplacement = 1.0 - self._coverage[dataset_id][candidate.node]
-            smallness = self._smallness[candidate.node]
+            pos = self._node_index[candidate.node]
+            misplacement = 1.0 - self._coverage[dataset_id][pos]
+            smallness = self._smallness[pos]
             cost += cfg.gamma_replica * (scarcity + misplacement + smallness)
         return cost
+
+    def cost_vector(
+        self,
+        state: ClusterState,
+        query: Query,
+        candidates: CandidateSet,
+        dataset_id: int,
+    ) -> np.ndarray:
+        """Cost rate of every candidate at once (array ops, no dict lookups).
+
+        Elementwise identical to :meth:`cost_rate`: same operations in the
+        same order, evaluated over arrays.
+        """
+        cfg = self.config
+        if cfg.capacity_pricing:
+            theta = self.prices.theta_array(state)[candidates.indices]
+        else:
+            theta = cfg.theta_floor
+        cost = theta + cfg.gamma_delay * (candidates.latency_s / query.deadline_s)
+        new_replica = ~candidates.has_replica
+        if new_replica.any():
+            used = state.replicas.count(dataset_id)
+            scarcity = used / state.replicas.max_replicas
+            pos = candidates.indices[new_replica]
+            misplacement = 1.0 - self._coverage[dataset_id][pos]
+            smallness = self._smallness[pos]
+            cost[new_replica] += cfg.gamma_replica * (
+                scarcity + misplacement + smallness
+            )
+        return cost
+
+    @staticmethod
+    def argmin_candidate(candidates: CandidateSet, cost: np.ndarray) -> int:
+        """Position of the cheapest candidate, ties broken by node id.
+
+        Matches ``min(candidates, key=lambda c: (cost(c), c.node))`` on the
+        scalar path.
+        """
+        ties = np.nonzero(cost == cost.min())[0]
+        if ties.size == 1:
+            return int(ties[0])
+        return int(ties[np.argmin(candidates.nodes[ties])])
 
     def place_pair(
         self, state: ClusterState, query: Query, dataset_id: int
@@ -200,23 +249,23 @@ class _Kernel:
 
         Returns the committed assignment, or ``None`` when no feasible node
         exists or the cheapest cost rate exceeds ``β`` (price rejection).
+        The full cost-rate vector is evaluated once with array ops and the
+        minimum kept — no per-candidate re-evaluation.
         """
         obs = get_registry()
         dataset = state.instance.dataset(dataset_id)
-        candidates = candidate_nodes(state, query, dataset)
+        candidates = candidate_set(state, query, dataset)
         if not candidates:
             obs.inc("algo.appro.no_candidates")
             return None
-        best = min(
-            candidates,
-            key=lambda c: (self.cost_rate(state, query, c, dataset_id), c.node),
-        )
-        if self.cost_rate(state, query, best, dataset_id) > self.config.beta:
+        cost = self.cost_vector(state, query, candidates, dataset_id)
+        best = self.argmin_candidate(candidates, cost)
+        if cost[best] > self.config.beta:
             obs.inc("algo.appro.price_rejections")
             return None
-        if not best.has_replica:
+        if not candidates.has_replica[best]:
             obs.inc("algo.appro.replicas_placed")
-        return state.serve(query, dataset, best.node)
+        return state.serve(query, dataset, int(candidates.nodes[best]))
 
 
 class ApproS(PlacementAlgorithm):

@@ -28,12 +28,18 @@ class ExperimentConfig:
         Base two-tier configuration (network-size sweeps scale it).
     params:
         Base workload parameters.
+    n_jobs:
+        Worker processes for the repeat fan-out (1 = in-process serial).
+        Results are bit-identical for any value — see
+        :mod:`repro.experiments.parallel`.
     """
 
     repeats: int = 15
     seed: int = 2019
     topology: TwoTierConfig = field(default_factory=TwoTierConfig)
     params: PaperDefaults = field(default_factory=PaperDefaults)
+    n_jobs: int = 1
 
     def __post_init__(self) -> None:
         check_positive("repeats", self.repeats)
+        check_positive("n_jobs", self.n_jobs)

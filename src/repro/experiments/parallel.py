@@ -1,0 +1,110 @@
+"""Process-pool fan-out for experiment repeats, bit-identical to serial.
+
+The repeat loop is embarrassingly parallel: each ``(seed, repeat)``
+instance is constructed deterministically inside its worker (nothing
+random crosses the process boundary) and solved for every requested
+algorithm, so a repeat's metrics do not depend on which process computed
+them.  The parent collects results in submission order — repeat order —
+which makes the aggregated means and stdevs byte-for-byte equal to a
+serial run's, for any ``n_jobs``.
+
+Observability composes across the boundary: when the parent has a
+collecting registry installed, each worker records into a private
+:class:`~repro.obs.registry.MetricsRegistry` and ships a snapshot back
+with its result; the parent merges snapshots in repeat order (counters
+add, summaries merge exact stats, spans append — see
+:meth:`~repro.obs.registry.MetricsRegistry.merge_snapshot`).
+
+Workers memoise instances in their own module-level cache (the parent's
+cache is per-process), and executors are reused across calls so a figure
+sweep pays the pool start-up once.
+"""
+
+from __future__ import annotations
+
+import atexit
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.obs import get_registry
+from repro.topology.twotier import TwoTierConfig
+from repro.workload.params import PaperDefaults
+
+__all__ = ["run_repeats"]
+
+_executors: dict[int, ProcessPoolExecutor] = {}
+
+
+def _get_executor(n_jobs: int) -> ProcessPoolExecutor:
+    executor = _executors.get(n_jobs)
+    if executor is None:
+        executor = _executors[n_jobs] = ProcessPoolExecutor(max_workers=n_jobs)
+    return executor
+
+
+@atexit.register
+def _shutdown_executors() -> None:
+    for executor in _executors.values():
+        executor.shutdown(wait=False, cancel_futures=True)
+    _executors.clear()
+
+
+def _run_repeat(
+    names: list[str],
+    topology_config: TwoTierConfig,
+    params: PaperDefaults,
+    seed: int,
+    repeat: int,
+    collect: bool,
+) -> tuple[int, dict[str, tuple[float, float]], dict | None]:
+    """Worker body: build the repeat's instance, solve every algorithm.
+
+    Runs in the worker process (also callable in-process for tests).
+    Imports are local to keep ``runner`` ↔ ``parallel`` acyclic.
+    """
+    from repro.experiments.runner import cached_instance, solve_one
+    from repro.obs import MetricsRegistry, use_registry
+
+    instance = cached_instance(topology_config, params, seed, repeat)
+    if collect:
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            metrics = {name: solve_one(instance, name) for name in names}
+        return repeat, metrics, registry.snapshot()
+    metrics = {name: solve_one(instance, name) for name in names}
+    return repeat, metrics, None
+
+
+def run_repeats(
+    names: list[str],
+    topology_config: TwoTierConfig,
+    params: PaperDefaults,
+    seed: int,
+    repeats: int,
+    n_jobs: int,
+) -> dict[str, tuple[list[float], list[float]]]:
+    """Fan the repeat loop out over ``n_jobs`` worker processes.
+
+    Returns ``name → (volumes, throughputs)`` with repeat-ordered lists,
+    exactly as the serial loop in
+    :func:`repro.experiments.runner.compare_algorithms` produces them.
+    """
+    parent = get_registry()
+    collect = bool(parent.enabled)
+    executor = _get_executor(n_jobs)
+    futures = [
+        executor.submit(
+            _run_repeat, names, topology_config, params, seed, repeat, collect
+        )
+        for repeat in range(repeats)
+    ]
+    per_algo: dict[str, tuple[list[float], list[float]]] = {
+        name: ([], []) for name in names
+    }
+    for future in futures:
+        _, metrics, snapshot = future.result()
+        for name, (volume, throughput) in metrics.items():
+            per_algo[name][0].append(volume)
+            per_algo[name][1].append(throughput)
+        if snapshot is not None and parent.enabled:
+            parent.merge_snapshot(snapshot)
+    return per_algo

@@ -3,12 +3,21 @@
 Every solution is re-verified against the full constraint set before its
 metrics count, so a buggy algorithm fails loudly rather than winning a
 figure.
+
+Instances are deterministic in ``(seed, repeat)`` and immutable once
+built, so one build serves every algorithm of a comparison (the paper's
+paired design) and a small LRU keeps them across sweep calls.  With
+``config.n_jobs > 1`` the repeat loop fans out to worker processes (see
+:mod:`repro.experiments.parallel`); aggregation folds per-repeat metrics
+in repeat order either way, so serial and parallel runs are
+bit-identical.
 """
 
 from __future__ import annotations
 
 import math
 import statistics
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.core.instance import ProblemInstance
@@ -20,7 +29,14 @@ from repro.util.rng import derive_seed, spawn_rng
 from repro.workload.params import PaperDefaults
 from repro.workload.queries import generate_workload
 
-__all__ = ["AggregateMetrics", "make_instance", "run_algorithm", "compare_algorithms"]
+__all__ = [
+    "AggregateMetrics",
+    "cached_instance",
+    "compare_algorithms",
+    "make_instance",
+    "run_algorithm",
+    "solve_one",
+]
 
 
 @dataclass(frozen=True)
@@ -66,26 +82,51 @@ def make_instance(
     )
 
 
-def run_algorithm(
-    name: str,
-    config: ExperimentConfig,
-    *,
-    topology_config: TwoTierConfig | None = None,
-    params: PaperDefaults | None = None,
+#: Instances kept across calls; a fig3-size instance with its path cache
+#: is a few MB, so a few dozen covers a whole sweep point comfortably.
+_INSTANCE_CACHE_MAX = 48
+_instance_cache: OrderedDict[tuple, ProblemInstance] = OrderedDict()
+
+
+def cached_instance(
+    topology_config: TwoTierConfig,
+    params: PaperDefaults,
+    seed: int,
+    repeat: int,
+) -> ProblemInstance:
+    """LRU-cached :func:`make_instance`.
+
+    Instances (and their lazily built path caches) are immutable, so a
+    cached instance is safe to share across algorithms and callers.  The
+    key uses the configs' dataclass reprs — both are frozen dataclasses,
+    so the repr is a complete value description.
+    """
+    key = (repr(topology_config), repr(params), seed, repeat)
+    instance = _instance_cache.get(key)
+    if instance is None:
+        instance = make_instance(topology_config, params, seed, repeat)
+        _instance_cache[key] = instance
+        while len(_instance_cache) > _INSTANCE_CACHE_MAX:
+            _instance_cache.popitem(last=False)
+    else:
+        _instance_cache.move_to_end(key)
+    return instance
+
+
+def solve_one(instance: ProblemInstance, name: str) -> tuple[float, float]:
+    """Solve + verify one algorithm on one instance.
+
+    Returns ``(admitted_volume_gb, throughput)``.
+    """
+    solution = make_algorithm(name).solve(instance)
+    verify_solution(instance, solution)
+    metrics = evaluate_solution(instance, solution)
+    return metrics.admitted_volume_gb, metrics.throughput
+
+
+def _aggregate(
+    name: str, volumes: list[float], throughputs: list[float]
 ) -> AggregateMetrics:
-    """Average one algorithm's metrics over the configured repeats."""
-    topology_config = topology_config or config.topology
-    params = params or config.params
-    volumes: list[float] = []
-    throughputs: list[float] = []
-    for repeat in range(config.repeats):
-        instance = make_instance(topology_config, params, config.seed, repeat)
-        algorithm = make_algorithm(name)
-        solution = algorithm.solve(instance)
-        verify_solution(instance, solution)
-        metrics = evaluate_solution(instance, solution)
-        volumes.append(metrics.admitted_volume_gb)
-        throughputs.append(metrics.throughput)
     return AggregateMetrics(
         algorithm=name,
         volume_mean=statistics.fmean(volumes),
@@ -94,8 +135,21 @@ def run_algorithm(
         throughput_std=(
             statistics.stdev(throughputs) if len(throughputs) > 1 else 0.0
         ),
-        repeats=config.repeats,
+        repeats=len(volumes),
     )
+
+
+def run_algorithm(
+    name: str,
+    config: ExperimentConfig,
+    *,
+    topology_config: TwoTierConfig | None = None,
+    params: PaperDefaults | None = None,
+) -> AggregateMetrics:
+    """Average one algorithm's metrics over the configured repeats."""
+    return compare_algorithms(
+        [name], config, topology_config=topology_config, params=params
+    )[name]
 
 
 def compare_algorithms(
@@ -109,12 +163,38 @@ def compare_algorithms(
 
     Instances are deterministic in ``(seed, repeat)``, so every algorithm
     sees identical topologies and workloads — the paper's paired design.
+    Each ``(seed, repeat)`` instance is built exactly once and shared by
+    all algorithms; ``config.n_jobs`` selects the in-process loop or the
+    process-pool fan-out, with identical results.
     """
-    results = {
-        name: run_algorithm(
-            name, config, topology_config=topology_config, params=params
+    topology_config = topology_config or config.topology
+    params = params or config.params
+    per_algo: dict[str, tuple[list[float], list[float]]] = {
+        name: ([], []) for name in names
+    }
+    if config.n_jobs > 1:
+        from repro.experiments.parallel import run_repeats
+
+        per_algo = run_repeats(
+            names,
+            topology_config,
+            params,
+            config.seed,
+            config.repeats,
+            config.n_jobs,
         )
-        for name in names
+    else:
+        for repeat in range(config.repeats):
+            instance = cached_instance(
+                topology_config, params, config.seed, repeat
+            )
+            for name in names:
+                volume, throughput = solve_one(instance, name)
+                per_algo[name][0].append(volume)
+                per_algo[name][1].append(throughput)
+    results = {
+        name: _aggregate(name, volumes, throughputs)
+        for name, (volumes, throughputs) in per_algo.items()
     }
     for m in results.values():
         if not math.isfinite(m.volume_mean):

@@ -220,6 +220,47 @@ class MetricsRegistry:
         """Context manager opening a trace span (nests under any open span)."""
         return SpanContext(self, name, attributes)
 
+    # -- cross-process merge ----------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Picklable dump of everything collected so far.
+
+        Used to ship a worker process's registry back to the parent; feed
+        the result to :meth:`merge_snapshot`.
+        """
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "summaries": {
+                name: (s.count, s.total, s.min, s.max)
+                for name, s in self.summaries.items()
+            },
+            "spans": list(self.spans),
+        }
+
+    def merge_snapshot(self, snap: dict) -> None:
+        """Fold a :meth:`snapshot` from another registry into this one.
+
+        Counters add, gauges last-write-wins, spans append.  Summaries
+        merge their exact statistics (count/total/min/max); P² quantile
+        estimators cannot be merged across streams, so quantiles reflect
+        only values observed locally.
+        """
+        for name, value in snap["counters"].items():
+            self.inc(name, value)
+        self.gauges.update(snap["gauges"])
+        for name, (count, total, mn, mx) in snap["summaries"].items():
+            summary = self.summaries.get(name)
+            if summary is None:
+                summary = self.summaries[name] = Summary(self._quantiles)
+            summary.count += count
+            summary.total += total
+            if mn < summary.min:
+                summary.min = mn
+            if mx > summary.max:
+                summary.max = mx
+        self.spans.extend(snap["spans"])
+
     # -- read side --------------------------------------------------------
 
     def counter(self, name: str) -> float:

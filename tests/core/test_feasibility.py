@@ -4,7 +4,12 @@ import numpy as np
 import pytest
 
 from repro.cluster.state import ClusterState
-from repro.core.feasibility import candidate_nodes, delay_feasible_nodes
+from repro.core.feasibility import (
+    candidate_nodes,
+    candidate_set,
+    delay_feasible_nodes,
+    pair_latency_vector,
+)
 
 
 class TestDelayFeasibleNodes:
@@ -78,3 +83,48 @@ class TestCandidateNodes:
         state.nodes[victim].allocate("filler", state.nodes[victim].available_ghz)
         nodes = {c.node for c in candidate_nodes(state, q, d)}
         assert victim not in nodes
+
+
+class TestCandidateSet:
+    def test_arrays_are_parallel_and_consistent(self, paper_instance):
+        state = ClusterState(paper_instance)
+        q = paper_instance.queries[0]
+        d = paper_instance.dataset(q.demanded[0])
+        cs = candidate_set(state, q, d)
+        assert len(cs) == cs.nodes.size == cs.indices.size
+        assert cs.latency_s.size == cs.has_replica.size == len(cs)
+        placement = list(paper_instance.placement_nodes)
+        for node, idx in zip(cs.nodes, cs.indices):
+            assert placement[int(idx)] == int(node)
+
+    def test_latency_slice_reuses_deadline_vector(self, paper_instance):
+        state = ClusterState(paper_instance)
+        q = paper_instance.queries[0]
+        d = paper_instance.dataset(q.demanded[0])
+        cs = candidate_set(state, q, d)
+        full = pair_latency_vector(state, q, d)
+        assert np.array_equal(cs.latency_s, full[cs.indices])
+
+    def test_matches_candidate_nodes_view(self, paper_instance):
+        state = ClusterState(paper_instance)
+        for q in paper_instance.queries[:5]:
+            d = paper_instance.dataset(q.demanded[0])
+            cs = candidate_set(state, q, d)
+            objs = candidate_nodes(state, q, d)
+            assert [c.node for c in objs] == [int(v) for v in cs.nodes]
+            assert [c.has_replica for c in objs] == list(map(bool, cs.has_replica))
+
+    def test_take_boolean_mask(self, paper_instance):
+        state = ClusterState(paper_instance)
+        q = paper_instance.queries[0]
+        d = paper_instance.dataset(q.demanded[0])
+        cs = candidate_set(state, q, d)
+        if not cs:
+            pytest.skip("no candidates for this pair")
+        mask = np.zeros(len(cs), dtype=bool)
+        mask[0] = True
+        sub = cs.take(mask)
+        assert len(sub) == 1 and bool(sub)
+        assert int(sub.nodes[0]) == int(cs.nodes[0])
+        empty = cs.take(np.zeros(len(cs), dtype=bool))
+        assert len(empty) == 0 and not empty

@@ -1,0 +1,130 @@
+"""Parallel experiment runner: serial/parallel equality and obs merging.
+
+The contract under test (see ``docs/performance.md``): for any ``n_jobs``
+the aggregated results of :func:`repro.experiments.runner.compare_algorithms`
+are byte-for-byte identical — instances are rebuilt deterministically
+inside workers and results are collected in repeat order.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.parallel import _run_repeat, run_repeats
+from repro.experiments.runner import (
+    cached_instance,
+    compare_algorithms,
+    run_algorithm,
+)
+from repro.obs import MetricsRegistry, use_registry
+from repro.topology.twotier import TwoTierConfig
+from repro.util.validation import ValidationError
+from repro.workload.params import PaperDefaults
+
+_TOPOLOGY = TwoTierConfig(
+    num_data_centers=2,
+    num_cloudlets=6,
+    num_switches=2,
+    num_base_stations=2,
+)
+_NAMES = ["appro-g", "greedy-g"]
+
+
+def _config(**kw):
+    kw.setdefault("repeats", 3)
+    kw.setdefault("topology", _TOPOLOGY)
+    return ExperimentConfig(**kw)
+
+
+def test_n_jobs_validated():
+    with pytest.raises(ValidationError):
+        ExperimentConfig(n_jobs=0)
+    with pytest.raises(ValidationError):
+        ExperimentConfig(n_jobs=-2)
+
+
+def test_parallel_equals_serial():
+    config = _config()
+    serial = compare_algorithms(_NAMES, config)
+    parallel = compare_algorithms(_NAMES, replace(config, n_jobs=2))
+    assert parallel == serial
+
+
+def test_n_jobs_one_uses_in_process_loop():
+    config = _config()
+    assert compare_algorithms(_NAMES, replace(config, n_jobs=1)) == (
+        compare_algorithms(_NAMES, config)
+    )
+
+
+def test_run_algorithm_matches_compare():
+    config = _config()
+    assert run_algorithm("appro-g", config) == (
+        compare_algorithms(["appro-g"], config)["appro-g"]
+    )
+
+
+def test_run_repeats_orders_results_by_repeat():
+    out = run_repeats(
+        ["greedy-g"], _TOPOLOGY, PaperDefaults(), 2019, 4, 2
+    )
+    volumes, throughputs = out["greedy-g"]
+    assert len(volumes) == len(throughputs) == 4
+    # repeat order, not completion order: equal to in-process per-repeat runs
+    expected = [
+        _run_repeat(["greedy-g"], _TOPOLOGY, PaperDefaults(), 2019, r, False)[1][
+            "greedy-g"
+        ]
+        for r in range(4)
+    ]
+    assert volumes == [e[0] for e in expected]
+    assert throughputs == [e[1] for e in expected]
+
+
+def test_worker_metrics_merge_into_parent():
+    config = _config(n_jobs=2)
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        compare_algorithms(_NAMES, config)
+    # every repeat's admissions landed in the parent registry
+    admitted = registry.counter("algo.appro-g.admitted")
+    rejected = registry.counter("algo.appro-g.rejected")
+    assert admitted + rejected > 0
+    summary = registry.summary("algo.appro-g.admission_s")
+    assert summary is not None and summary.count > 0
+    assert summary.min <= summary.max
+
+
+def test_no_observability_cost_when_disabled():
+    out = _run_repeat(["greedy-g"], _TOPOLOGY, PaperDefaults(), 7, 0, False)
+    assert out[2] is None
+    out = _run_repeat(["greedy-g"], _TOPOLOGY, PaperDefaults(), 7, 0, True)
+    assert isinstance(out[2], dict)
+
+
+def test_instance_cache_reuses_objects():
+    a = cached_instance(_TOPOLOGY, PaperDefaults(), 5, 0)
+    b = cached_instance(_TOPOLOGY, PaperDefaults(), 5, 0)
+    assert a is b
+    c = cached_instance(_TOPOLOGY, PaperDefaults(), 5, 1)
+    assert c is not a
+
+
+def test_snapshot_merge_roundtrip():
+    source = MetricsRegistry()
+    source.inc("x", 2.0)
+    source.set_gauge("g", 1.5)
+    source.observe("s", 1.0)
+    source.observe("s", 3.0)
+    with source.span("work", kind="test"):
+        pass
+    target = MetricsRegistry()
+    target.inc("x", 1.0)
+    target.merge_snapshot(source.snapshot())
+    assert target.counter("x") == 3.0
+    assert target.gauges["g"] == 1.5
+    merged = target.summary("s")
+    assert merged.count == 2 and merged.total == 4.0
+    assert merged.min == 1.0 and merged.max == 3.0
+    assert [s.name for s in target.find_spans()] == ["work"]

@@ -1,0 +1,79 @@
+"""LP/ILP pipeline micro-benchmarks: model build, shared-model solve, B&B.
+
+Trajectory benches for the vectorised pipeline (see
+``docs/performance.md`` and ``benchmarks/results/perf_lp_pipeline.json``
+for point-in-time numbers).  Parity assertions ride along — they are
+noise-free and catch drift between the vector path and the scalar
+reference even on shared runners.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ilp import (
+    build_lp_model,
+    build_lp_model_scalar,
+    solve_ilp,
+    solve_lp_from_model,
+)
+from repro.experiments.runner import make_instance
+from repro.topology.twotier import TwoTierConfig
+from repro.workload.params import PaperDefaults
+
+GAP_TOPOLOGY = TwoTierConfig(
+    num_data_centers=2, num_cloudlets=8, num_switches=2, num_base_stations=3
+)
+GAP_PARAMS = (
+    PaperDefaults()
+    .with_num_queries(12)
+    .with_num_datasets(5)
+    .with_max_datasets_per_query(2)
+)
+
+
+@pytest.fixture(scope="module")
+def fig3_instance():
+    return make_instance(TwoTierConfig().scaled_to(200), PaperDefaults(), 23, 0)
+
+
+def test_model_build_vector(benchmark, fig3_instance):
+    model = benchmark(lambda: build_lp_model(fig3_instance))
+    reference = build_lp_model_scalar(fig3_instance)
+    assert model.triples == reference.triples
+    assert model.placements == reference.placements
+    assert np.array_equal(model.costs, reference.costs)
+    assert np.array_equal(model.bounds, reference.bounds)
+
+
+def test_model_build_scalar_reference(benchmark, fig3_instance):
+    benchmark(lambda: build_lp_model_scalar(fig3_instance))
+
+
+def test_shared_model_relaxation(benchmark, fig3_instance):
+    # Build once, solve from the shared model (the LpRoundingG prologue).
+    lp = benchmark.pedantic(
+        lambda: solve_lp_from_model(build_lp_model(fig3_instance)),
+        rounds=1,
+        iterations=1,
+    )
+    assert lp.objective > 0.0
+
+
+def test_warm_branch_and_bound(benchmark):
+    # Relaxation + exact B&B sharing one model; children hot-start in
+    # HiGHS, so thousands of nodes cost seconds, not minutes.
+    def pipeline():
+        total_nodes = 0
+        for repeat in range(3):
+            instance = make_instance(GAP_TOPOLOGY, GAP_PARAMS, 7, repeat)
+            model = build_lp_model(instance)
+            root = solve_lp_from_model(model)
+            result = solve_ilp(instance, model=model, root=root)
+            assert result.objective <= root.objective + 1e-9
+            total_nodes += result.nodes_explored
+        return total_nodes
+
+    nodes = benchmark.pedantic(pipeline, rounds=1, iterations=1)
+    assert nodes >= 3

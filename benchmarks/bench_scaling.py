@@ -39,3 +39,15 @@ def test_appro_g_scaling_queries(benchmark, num_queries):
 def test_algorithm_comparison_time(benchmark, name):
     instance = _instance(32, 100)
     benchmark(lambda: make_algorithm(name).solve(instance))
+
+
+@pytest.mark.parametrize("core_size", [32, 100, 200])
+def test_lp_rounding_scaling_network(benchmark, core_size):
+    # The LP baseline at sizes the scalar model build used to make
+    # painful; the solve is dominated by HiGHS, the build is vectorised.
+    instance = _instance(core_size, 60)
+    benchmark.pedantic(
+        lambda: make_algorithm("lp-rounding-g").solve(instance),
+        rounds=1,
+        iterations=1,
+    )

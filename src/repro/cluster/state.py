@@ -134,6 +134,27 @@ class ClusterState:
             return False
         return self.meets_deadline(query, dataset, node)
 
+    def can_serve_mask(self, query: Query, dataset: Dataset) -> np.ndarray:
+        """Vectorised :meth:`can_serve` over all placement nodes.
+
+        Element ``i`` equals ``can_serve(query, dataset, placement_nodes[i])``
+        — the same capacity epsilon, replica-slot rule (``has ∨ can_place``
+        collapses to ``has ∨ slots-remain``) and deadline comparison, each
+        evaluated as one array pass.
+        """
+        inst = self.instance
+        d_id = dataset.dataset_id
+        mask = self.can_fit_mask(self.compute_demand(query, dataset))
+        holders = self.replicas.nodes(d_id)
+        if self.replicas.remaining_slots(d_id) <= 0:
+            has_replica = np.zeros(inst.num_placement_nodes, dtype=bool)
+            if holders:
+                node_index = inst.node_index
+                has_replica[[node_index[v] for v in holders]] = True
+            mask &= has_replica
+        latency = inst.pair_latency_vector(query, dataset)
+        return mask & (latency <= query.deadline_s)
+
     # -- mutation ---------------------------------------------------------
 
     def serve(self, query: Query, dataset: Dataset, node: int) -> Assignment:

@@ -44,6 +44,8 @@ from repro.core.ilp import (
     LpModel,
     LpSolution,
     build_lp_model,
+    build_lp_model_scalar,
+    solve_lp_from_model,
     solve_lp_relaxation,
     solve_ilp,
 )
@@ -102,6 +104,8 @@ __all__ = [
     "LpModel",
     "LpSolution",
     "build_lp_model",
+    "build_lp_model_scalar",
+    "solve_lp_from_model",
     "solve_lp_relaxation",
     "solve_ilp",
     "ALGORITHMS",

@@ -108,14 +108,11 @@ def pair_latency_vector(
 
     ``|S_n|·(d(v) + α·dt(p(v, h_m)))`` as one NumPy expression; element
     ``i`` equals ``instance.pair_latency(query, dataset, placement_nodes[i])``
-    bit-for-bit (same IEEE operations, elementwise).
+    bit-for-bit (same IEEE operations, elementwise).  Thin wrapper over
+    :meth:`~repro.core.instance.ProblemInstance.pair_latency_vector` (which
+    the LP model build also uses).
     """
-    inst = state.instance
-    alpha = query.alpha_for(dataset.dataset_id)
-    home_vec = inst.home_delay_vectors.get(query.home_node)
-    if home_vec is None:
-        home_vec = inst.paths.placement_delays_to(query.home_node)
-    return dataset.volume_gb * (inst.proc_delays + alpha * home_vec)
+    return state.instance.pair_latency_vector(query, dataset)
 
 
 def delay_feasible_nodes(
@@ -128,8 +125,7 @@ def delay_feasible_nodes(
     """
     latency = pair_latency_vector(state, query, dataset)
     mask = latency <= query.deadline_s
-    nodes = np.fromiter(state.instance.placement_nodes, dtype=np.intp)
-    return nodes[mask]
+    return state.instance.placement_nodes_array[mask]
 
 
 def candidate_set(
@@ -159,7 +155,7 @@ def candidate_set(
     mask &= state.can_fit_mask(demand)
 
     indices = np.nonzero(mask)[0]
-    nodes = np.fromiter(inst.placement_nodes, dtype=np.intp)[indices]
+    nodes = inst.placement_nodes_array[indices]
     return CandidateSet(
         nodes=nodes,
         indices=indices,

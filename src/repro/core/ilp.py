@@ -14,6 +14,24 @@ The primal program (1)–(7), concretised per (query, dataset, node) triple:
 solution (used for the optimality-gap certificates);
 :func:`solve_ilp` runs LP-based best-first branch-and-bound for exact
 optima on small instances (tests, gap benches).
+
+Model assembly is vectorised: feasibility masks come from
+:meth:`~repro.core.instance.ProblemInstance.pair_latency_vector` (one array
+expression per (query, dataset) pair instead of a scalar ``pair_latency``
+call per node) and the four constraint blocks are built as COO arrays with
+``np.argsort``/``np.repeat``/``np.concatenate`` instead of per-row Python
+appends.  :func:`build_lp_model_scalar` keeps the original per-triple loop
+as the reference implementation; ``tests/core/test_lp_parity.py`` pins the
+two paths to *bit-identical* models (same triples, placements, costs,
+``A_ub``, ``b_ub`` and bounds).
+
+The solve path shares one model between the relaxation, LP-rounding and
+branch-and-bound (:func:`solve_lp_from_model`, the ``model=``/``root=``
+parameters of :func:`solve_ilp`), and branch-and-bound children are
+hot-started: the model is passed to HiGHS once and each node only changes
+variable bounds, which keeps the parent basis dual-feasible — child solves
+typically take a handful of dual simplex iterations instead of a full
+cold solve.
 """
 
 from __future__ import annotations
@@ -24,12 +42,20 @@ from dataclasses import dataclass, field
 
 import numpy as np
 from scipy.optimize import linprog
-from scipy.sparse import coo_matrix
+from scipy.sparse import coo_matrix, csc_matrix
 
 from repro.core.instance import ProblemInstance
 from repro.util.validation import check_positive
 
-__all__ = ["LpModel", "LpSolution", "build_lp_model", "solve_lp_relaxation", "solve_ilp"]
+__all__ = [
+    "LpModel",
+    "LpSolution",
+    "build_lp_model",
+    "build_lp_model_scalar",
+    "solve_lp_from_model",
+    "solve_lp_relaxation",
+    "solve_ilp",
+]
 
 _INT_TOL = 1e-6
 
@@ -51,7 +77,24 @@ class LpModel:
     a_ub, b_ub:
         Inequality system.
     bounds:
-        Per-variable bounds (origin copies pinned at 1).
+        Per-variable ``(lower, upper)`` bounds as an ``(n, 2)`` array
+        (origin copies pinned at 1).
+    pi_query, pi_dataset, pi_node:
+        Column views of :attr:`triples` (``intp`` arrays).
+    pi_node_index:
+        Dense placement-order index of each triple's node.
+    pi_x_index:
+        Index (within the ``x`` block) of each triple's placement
+        variable.
+    pi_pair_index:
+        Dense id of each triple's ``(query, dataset)`` pair, numbered in
+        sorted pair order (the order of the pair-once constraint rows).
+    x_dataset, x_node:
+        Column views of :attr:`placements`.
+    x_node_index:
+        Dense placement-order index of each placement's node.
+    x_origin_mask:
+        Which placement variables are origin copies (bounds pinned to 1).
     """
 
     triples: tuple[tuple[int, int, int], ...]
@@ -59,7 +102,17 @@ class LpModel:
     costs: np.ndarray
     a_ub: coo_matrix
     b_ub: np.ndarray
-    bounds: tuple[tuple[float, float], ...]
+    bounds: np.ndarray
+    pi_query: np.ndarray = field(repr=False)
+    pi_dataset: np.ndarray = field(repr=False)
+    pi_node: np.ndarray = field(repr=False)
+    pi_node_index: np.ndarray = field(repr=False)
+    pi_x_index: np.ndarray = field(repr=False)
+    pi_pair_index: np.ndarray = field(repr=False)
+    x_dataset: np.ndarray = field(repr=False)
+    x_node: np.ndarray = field(repr=False)
+    x_node_index: np.ndarray = field(repr=False)
+    x_origin_mask: np.ndarray = field(repr=False)
 
     @property
     def num_vars(self) -> int:
@@ -93,12 +146,193 @@ class LpSolution:
     nodes_explored: int = 1
 
 
-def build_lp_model(instance: ProblemInstance) -> LpModel:
+def _empty_intp() -> np.ndarray:
+    return np.empty(0, dtype=np.intp)
+
+
+def build_lp_model(
+    instance: ProblemInstance, *, method: str = "vector"
+) -> LpModel:
     """Instantiate the paper's program for ``instance``.
 
     Only delay-feasible triples get a ``π`` variable; a pair with no
     feasible node simply cannot contribute, exactly as Constraint (4)
     forces ``π = 0`` there.
+
+    Parameters
+    ----------
+    method:
+        ``"vector"`` (default) assembles the model with array operations;
+        ``"scalar"`` runs the original per-triple reference loop
+        (:func:`build_lp_model_scalar`).  Both produce bit-identical
+        models.
+    """
+    if method == "scalar":
+        return build_lp_model_scalar(instance)
+    if method != "vector":
+        raise ValueError(f"unknown build method {method!r}")
+
+    n_nodes = instance.num_placement_nodes
+    nodes_arr = instance.placement_nodes_array
+    node_index = instance.node_index
+
+    # -- delay-feasible triples, one vector comparison per pair ----------
+    tq_parts: list[np.ndarray] = []
+    td_parts: list[np.ndarray] = []
+    tn_parts: list[np.ndarray] = []
+    for query in instance.queries:
+        deadline = query.deadline_s
+        for d_id in query.demanded:
+            dataset = instance.dataset(d_id)
+            latency = instance.pair_latency_vector(query, dataset)
+            feasible = np.flatnonzero(latency <= deadline)
+            if feasible.size:
+                tq_parts.append(
+                    np.full(feasible.size, query.query_id, dtype=np.intp)
+                )
+                td_parts.append(np.full(feasible.size, d_id, dtype=np.intp))
+                tn_parts.append(feasible)
+    if tq_parts:
+        tq = np.concatenate(tq_parts)
+        td = np.concatenate(td_parts)
+        tn = np.concatenate(tn_parts)
+    else:
+        tq, td, tn = _empty_intp(), _empty_intp(), _empty_intp()
+    n_pi = tq.size
+
+    # -- placement variables: origins first, then first triple occurrence
+    datasets = list(instance.datasets.values())
+    origin_d = np.fromiter(
+        (d.dataset_id for d in datasets), np.intp, count=len(datasets)
+    )
+    origin_nidx = np.fromiter(
+        (node_index[d.origin_node] for d in datasets),
+        np.intp,
+        count=len(datasets),
+    )
+    stride = max(n_nodes, 1)  # (dataset, node) → unique scalar code
+    origin_codes = origin_d * stride + origin_nidx
+    codes = np.concatenate([origin_codes, td * stride + tn])
+    uniq, first_pos = np.unique(codes, return_index=True)
+    var_order = np.argsort(first_pos, kind="stable")
+    uniq_ordered = uniq[var_order]
+    rank = np.empty(uniq.size, dtype=np.intp)
+    rank[var_order] = np.arange(uniq.size, dtype=np.intp)
+    pi_x = rank[np.searchsorted(uniq, td * stride + tn)]
+    x_d = uniq_ordered // stride
+    x_nidx = uniq_ordered % stride
+    n_x = uniq_ordered.size
+    n = n_pi + n_x
+    x_origin = np.zeros(n_x, dtype=bool)
+    x_origin[rank[np.searchsorted(uniq, origin_codes)]] = True
+
+    # -- per-dataset / per-query coefficient tables ----------------------
+    ds_ids = origin_d
+    ds_sort = np.argsort(ds_ids, kind="stable")
+    sorted_ds_ids = ds_ids[ds_sort]
+    sorted_volumes = np.fromiter(
+        (d.volume_gb for d in datasets), np.float64, count=len(datasets)
+    )[ds_sort]
+    rates = np.fromiter(
+        (q.compute_rate for q in instance.queries),
+        np.float64,
+        count=len(instance.queries),
+    )
+    triple_volumes = (
+        sorted_volumes[np.searchsorted(sorted_ds_ids, td)]
+        if n_pi
+        else np.empty(0)
+    )
+
+    costs = np.zeros(n)
+    costs[:n_pi] = -triple_volumes  # linprog minimises
+
+    # -- (2) node capacity: triples grouped by node, t ascending ---------
+    demand = triple_volumes * rates[tq] if n_pi else np.empty(0)
+    cap_order = np.argsort(tn, kind="stable")
+    cap_nodes, cap_inv = np.unique(tn, return_inverse=True)
+    n_cap = cap_nodes.size
+    rows_cap = cap_inv[cap_order]
+    cols_cap = cap_order
+    vals_cap = demand[cap_order]
+    b_cap = instance.capacities[cap_nodes]
+
+    # -- (3) π ≤ x: one row per triple, (π, x) entries interleaved -------
+    base = n_cap
+    rows_px = np.repeat(base + np.arange(n_pi, dtype=np.intp), 2)
+    cols_px = np.empty(2 * n_pi, dtype=np.intp)
+    cols_px[0::2] = np.arange(n_pi, dtype=np.intp)
+    cols_px[1::2] = n_pi + pi_x
+    vals_px = np.tile(np.array([1.0, -1.0]), n_pi)
+    b_px = np.zeros(n_pi)
+
+    # -- (5) Σ_l x ≤ K: placements grouped by dataset id -----------------
+    base += n_pi
+    k_order = np.argsort(x_d, kind="stable")
+    k_ds, k_inv = np.unique(x_d, return_inverse=True)
+    rows_k = base + k_inv[k_order]
+    cols_k = n_pi + k_order
+    vals_k = np.ones(n_x)
+    b_k = np.full(k_ds.size, float(instance.max_replicas))
+
+    # -- each (query, dataset) pair served at most once ------------------
+    base += k_ds.size
+    max_d = int(sorted_ds_ids[-1]) + 1 if datasets else 1
+    pair_codes = tq * max_d + td
+    p_order = np.argsort(pair_codes, kind="stable")
+    _, pair_inv = np.unique(pair_codes, return_inverse=True)
+    n_pairs = int(pair_inv.max()) + 1 if n_pi else 0
+    rows_p = base + pair_inv[p_order]
+    cols_p = p_order
+    vals_p = np.ones(n_pi)
+    b_p = np.ones(n_pairs)
+
+    row_total = base + n_pairs
+    a_ub = coo_matrix(
+        (
+            np.concatenate([vals_cap, vals_px, vals_k, vals_p]),
+            (
+                np.concatenate([rows_cap, rows_px, rows_k, rows_p]),
+                np.concatenate([cols_cap, cols_px, cols_k, cols_p]),
+            ),
+        ),
+        shape=(row_total, n),
+    )
+    b_ub = np.concatenate([b_cap, b_px, b_k, b_p])
+
+    bounds = np.empty((n, 2))
+    bounds[:, 0] = 0.0
+    bounds[:, 1] = 1.0
+    bounds[n_pi:, 0][x_origin] = 1.0  # origin copies pinned
+
+    triple_nodes = nodes_arr[tn] if n_pi else _empty_intp()
+    x_nodes = nodes_arr[x_nidx] if n_x else _empty_intp()
+    return LpModel(
+        triples=tuple(zip(tq.tolist(), td.tolist(), triple_nodes.tolist())),
+        placements=tuple(zip(x_d.tolist(), x_nodes.tolist())),
+        costs=costs,
+        a_ub=a_ub,
+        b_ub=b_ub,
+        bounds=bounds,
+        pi_query=tq,
+        pi_dataset=td,
+        pi_node=triple_nodes,
+        pi_node_index=tn,
+        pi_x_index=pi_x,
+        pi_pair_index=pair_inv,
+        x_dataset=x_d,
+        x_node=x_nodes,
+        x_node_index=x_nidx,
+        x_origin_mask=x_origin,
+    )
+
+
+def build_lp_model_scalar(instance: ProblemInstance) -> LpModel:
+    """Reference model build: the original per-triple scalar loop.
+
+    Kept verbatim as the parity baseline for the vectorised
+    :func:`build_lp_model`; only the derived index arrays at the end are
+    new (computed with the same per-element Python lookups).
     """
     triples: list[tuple[int, int, int]] = []
     placement_vars: dict[tuple[int, int], int] = {}
@@ -192,11 +426,15 @@ def build_lp_model(instance: ProblemInstance) -> LpModel:
     origin_keys = {
         (d.dataset_id, d.origin_node) for d in instance.datasets.values()
     }
-    bounds = tuple(
-        (0.0, 1.0) if i < n_pi or placements[i - n_pi] not in origin_keys
-        else (1.0, 1.0)
-        for i in range(n)
-    )
+    bounds = np.empty((n, 2))
+    bounds[:, 0] = 0.0
+    bounds[:, 1] = 1.0
+    for i, key in enumerate(placements):
+        if key in origin_keys:
+            bounds[n_pi + i, 0] = 1.0
+
+    node_index = instance.node_index
+    pair_order = {pair: i for i, pair in enumerate(sorted(pair_triples))}
     return LpModel(
         triples=tuple(triples),
         placements=placements,
@@ -204,18 +442,46 @@ def build_lp_model(instance: ProblemInstance) -> LpModel:
         a_ub=a_ub,
         b_ub=np.array(b),
         bounds=bounds,
+        pi_query=np.fromiter(
+            (q for q, _, _ in triples), np.intp, count=n_pi
+        ),
+        pi_dataset=np.fromiter(
+            (d for _, d, _ in triples), np.intp, count=n_pi
+        ),
+        pi_node=np.fromiter(
+            (v for _, _, v in triples), np.intp, count=n_pi
+        ),
+        pi_node_index=np.fromiter(
+            (node_index[v] for _, _, v in triples), np.intp, count=n_pi
+        ),
+        pi_x_index=np.fromiter(
+            (placement_vars[(d, v)] for _, d, v in triples),
+            np.intp,
+            count=n_pi,
+        ),
+        pi_pair_index=np.fromiter(
+            (pair_order[(q, d)] for q, d, _ in triples), np.intp, count=n_pi
+        ),
+        x_dataset=np.fromiter((d for d, _ in placements), np.intp, count=n_x),
+        x_node=np.fromiter((v for _, v in placements), np.intp, count=n_x),
+        x_node_index=np.fromiter(
+            (node_index[v] for _, v in placements), np.intp, count=n_x
+        ),
+        x_origin_mask=np.fromiter(
+            (key in origin_keys for key in placements), bool, count=n_x
+        ),
     )
 
 
-def _solve(model: LpModel, bounds: tuple[tuple[float, float], ...]) -> LpSolution | None:
-    """Solve one LP node; ``None`` when infeasible."""
+def _solve(model: LpModel, bounds: np.ndarray) -> LpSolution | None:
+    """Solve one LP (cold) via ``linprog``; ``None`` when infeasible."""
     if model.num_vars == 0:
         return LpSolution(0.0, np.empty(0), np.empty(0), True)
     res = linprog(
         model.costs,
         A_ub=model.a_ub,
         b_ub=model.b_ub,
-        bounds=list(bounds),
+        bounds=bounds,
         method="highs",
     )
     if not res.success:
@@ -233,8 +499,12 @@ def _solve(model: LpModel, bounds: tuple[tuple[float, float], ...]) -> LpSolutio
     )
 
 
-def solve_lp_relaxation(instance: ProblemInstance) -> LpSolution:
-    """Solve the LP relaxation; its objective upper-bounds OPT.
+def solve_lp_from_model(model: LpModel) -> LpSolution:
+    """Solve the LP relaxation of an already-built model.
+
+    Use this (rather than :func:`solve_lp_relaxation`) when the model is
+    shared with rounding or branch-and-bound, so it is only assembled
+    once.
 
     Raises
     ------
@@ -242,11 +512,100 @@ def solve_lp_relaxation(instance: ProblemInstance) -> LpSolution:
         If the solver fails (should not happen: the all-zero point plus
         origin copies is always feasible).
     """
-    model = build_lp_model(instance)
     sol = _solve(model, model.bounds)
     if sol is None:
         raise RuntimeError("LP relaxation reported infeasible")
     return sol
+
+
+def solve_lp_relaxation(instance: ProblemInstance) -> LpSolution:
+    """Build the model and solve its LP relaxation (upper-bounds OPT).
+
+    Raises
+    ------
+    RuntimeError
+        If the solver fails (should not happen: the all-zero point plus
+        origin copies is always feasible).
+    """
+    return solve_lp_from_model(build_lp_model(instance))
+
+
+def _highs_core():
+    """scipy's bundled HiGHS bindings, or ``None`` when unavailable."""
+    try:
+        from scipy.optimize._highspy import _core  # type: ignore
+
+        return _core
+    except Exception:  # pragma: no cover - depends on scipy build
+        return None
+
+
+class _ChildSolver:
+    """Hot-started LP solves for branch-and-bound children.
+
+    The model is passed to HiGHS once; every node then only changes
+    variable bounds and re-runs.  Bound changes keep the previous basis
+    dual-feasible, so the dual simplex re-optimises in a handful of
+    iterations instead of solving from scratch.  Falls back to cold
+    ``linprog`` solves when the bundled bindings are unavailable.
+    """
+
+    def __init__(self, model: LpModel) -> None:
+        self._model = model
+        self._h = None
+        core = _highs_core()
+        if core is None:  # pragma: no cover - depends on scipy build
+            return
+        n = model.num_vars
+        a_csc = csc_matrix(model.a_ub)
+        h = core._Highs()
+        h.setOptionValue("output_flag", False)
+        h.setOptionValue("threads", 1)
+        lp = core.HighsLp()
+        lp.num_col_ = n
+        lp.num_row_ = a_csc.shape[0]
+        lp.col_cost_ = model.costs
+        lp.col_lower_ = model.bounds[:, 0]
+        lp.col_upper_ = model.bounds[:, 1]
+        lp.row_lower_ = np.full(a_csc.shape[0], -np.inf)
+        lp.row_upper_ = model.b_ub
+        lp.a_matrix_.format_ = core.MatrixFormat.kColwise
+        lp.a_matrix_.start_ = a_csc.indptr
+        lp.a_matrix_.index_ = a_csc.indices
+        lp.a_matrix_.value_ = a_csc.data
+        if h.passModel(lp) != core.HighsStatus.kOk:  # pragma: no cover
+            return
+        self._core = core
+        self._h = h
+        self._all_cols = np.arange(n, dtype=np.int32)
+
+    def solve(self, bounds: np.ndarray) -> LpSolution | None:
+        """Solve the model under ``bounds``; ``None`` when infeasible."""
+        model = self._model
+        if self._h is None:  # pragma: no cover - depends on scipy build
+            return _solve(model, bounds)
+        h, core = self._h, self._core
+        n = model.num_vars
+        h.changeColsBounds(
+            n, self._all_cols, bounds[:, 0].copy(), bounds[:, 1].copy()
+        )
+        h.run()
+        status = h.getModelStatus()
+        if status == core.HighsModelStatus.kInfeasible:
+            return None
+        if status != core.HighsModelStatus.kOptimal:  # pragma: no cover
+            return _solve(model, bounds)  # numerical trouble: cold solve
+        z = np.asarray(h.getSolution().col_value)
+        n_pi = len(model.triples)
+        integral = bool(
+            np.all(np.minimum(np.abs(z), np.abs(1.0 - z)) <= _INT_TOL)
+        )
+        return LpSolution(
+            objective=float(-h.getObjectiveValue()),
+            pi=z[:n_pi],
+            x=z[n_pi:],
+            integral=integral,
+        )
 
 
 def _greedy_incumbent(
@@ -261,54 +620,80 @@ def _greedy_incumbent(
     bound and one-node-per-pair, re-using already-open replicas first.
     ``pi_hint`` (a node's fractional LP values) biases the order toward
     the relaxation's preferences.
+
+    The ordering keys and per-triple coefficients come from the model's
+    precomputed arrays (stable argsort instead of a keyed ``sorted``, no
+    dict or dataclass lookups inside the commit loop); the committed
+    solution is bit-identical to the original per-tuple implementation.
     """
     n_pi = len(model.triples)
-    pi = np.zeros(n_pi)
-    placement_index = {key: i for i, key in enumerate(model.placements)}
-    x = np.zeros(len(model.placements))
+    volumes = -model.costs[:n_pi]  # exact: costs are negated volumes
+    rates = np.fromiter(
+        (q.compute_rate for q in instance.queries),
+        np.float64,
+        count=len(instance.queries),
+    )
+    demands = volumes * rates[model.pi_query] if n_pi else np.empty(0)
+
+    if pi_hint is None:
+        order = np.argsort(-volumes, kind="stable")
+    else:
+        # sorted(key=(-hint*vol, -vol, t)): lexsort is stable, so equal
+        # keys fall back to ascending t exactly like the tuple compare.
+        order = np.lexsort((-volumes, -(pi_hint * volumes)))
+
+    n_datasets = int(model.x_dataset.max()) + 1 if len(model.placements) else 0
+    replica_count = [0] * n_datasets
     for d in instance.datasets.values():
-        x[placement_index[(d.dataset_id, d.origin_node)]] = 1.0
+        replica_count[d.dataset_id] = 1  # the origin copy
+    max_replicas = instance.max_replicas
 
-    load: dict[int, float] = {v: 0.0 for v in instance.placement_nodes}
-    replicas: dict[int, set[int]] = {
-        d.dataset_id: {d.origin_node} for d in instance.datasets.values()
-    }
-    served: set[tuple[int, int]] = set()
+    x = np.zeros(len(model.placements))
+    x[model.x_origin_mask] = 1.0
+    placed = model.x_origin_mask.tolist()  # replica present per x var
 
-    def volume(t: int) -> float:
-        return instance.dataset(model.triples[t][1]).volume_gb
+    caps = instance.capacities.tolist()
+    load = [0.0] * instance.num_placement_nodes
+    n_pairs = int(model.pi_pair_index.max()) + 1 if n_pi else 0
+    served = [False] * n_pairs
 
+    t_node = model.pi_node_index.tolist()
+    t_xvar = model.pi_x_index.tolist()
+    t_pair = model.pi_pair_index.tolist()
+    t_dataset = model.pi_dataset.tolist()
+    vol_list = volumes.tolist()
+    dem_list = demands.tolist()
+
+    pi = np.zeros(n_pi)
+    order_list = order.tolist()
     # Two passes: first triples landing on existing replicas, then ones
     # needing a new copy — so K slots go to genuinely uncovered demand.
-    if pi_hint is None:
-        order = sorted(range(n_pi), key=lambda t: (-volume(t), t))
-    else:
-        order = sorted(
-            range(n_pi), key=lambda t: (-pi_hint[t] * volume(t), -volume(t), t)
-        )
     for needs_new in (False, True):
-        for t in order:
-            q_id, d_id, v = model.triples[t]
-            if (q_id, d_id) in served:
+        for t in order_list:
+            if served[t_pair[t]]:
                 continue
-            has = v in replicas[d_id]
+            xi = t_xvar[t]
+            has = placed[xi]
             if has == needs_new:
                 continue
-            if not has and len(replicas[d_id]) >= instance.max_replicas:
+            d_id = t_dataset[t]
+            if not has and replica_count[d_id] >= max_replicas:
                 continue
-            demand = (
-                instance.dataset(d_id).volume_gb
-                * instance.query(q_id).compute_rate
-            )
-            if load[v] + demand > instance.topology.capacity(v) * (1 + 1e-12):
+            v = t_node[t]
+            demand = dem_list[t]
+            if load[v] + demand > caps[v] * (1 + 1e-12):
                 continue
             load[v] += demand
-            served.add((q_id, d_id))
+            served[t_pair[t]] = True
             pi[t] = 1.0
             if not has:
-                replicas[d_id].add(v)
-                x[placement_index[(d_id, v)]] = 1.0
-    objective = float(sum(volume(t) for t in range(n_pi) if pi[t] > 0.5))
+                replica_count[d_id] += 1
+                placed[xi] = True
+                x[xi] = 1.0
+    pi_list = pi.tolist()
+    objective = float(
+        sum(vol_list[t] for t in range(n_pi) if pi_list[t] > 0.5)
+    )
     return LpSolution(objective=objective, pi=pi, x=x, integral=True)
 
 
@@ -318,7 +703,7 @@ class _BnbNode:
 
     neg_bound: float
     counter: int
-    bounds: tuple[tuple[float, float], ...] = field(compare=False)
+    bounds: np.ndarray = field(compare=False)
 
 
 def _most_fractional(z: np.ndarray) -> int | None:
@@ -329,7 +714,11 @@ def _most_fractional(z: np.ndarray) -> int | None:
 
 
 def solve_ilp(
-    instance: ProblemInstance, *, max_nodes: int = 20000
+    instance: ProblemInstance,
+    *,
+    max_nodes: int = 20000,
+    model: LpModel | None = None,
+    root: LpSolution | None = None,
 ) -> LpSolution:
     """Exact optimum by LP-based best-first branch-and-bound.
 
@@ -340,10 +729,18 @@ def solve_ilp(
     ----------
     max_nodes:
         Branch-and-bound node budget.
+    model:
+        A model previously built with :func:`build_lp_model`, to share
+        the assembly with the relaxation / rounding paths.
+    root:
+        The model's LP relaxation (from :func:`solve_lp_from_model`), to
+        avoid re-solving the root when the caller already has it.
     """
     check_positive("max_nodes", max_nodes)
-    model = build_lp_model(instance)
-    root = _solve(model, model.bounds)
+    if model is None:
+        model = build_lp_model(instance)
+    if root is None:
+        root = _solve(model, model.bounds)
     if root is None:
         raise RuntimeError("root LP infeasible")
     if root.integral:
@@ -353,6 +750,7 @@ def solve_ilp(
     heap: list[_BnbNode] = [
         _BnbNode(-root.objective, next(counter), model.bounds)
     ]
+    children = _ChildSolver(model)
     # Seed the incumbent with a greedy integral packing: pruning against a
     # strong lower bound keeps the tree small.
     best: LpSolution | None = _greedy_incumbent(model, instance)
@@ -367,7 +765,7 @@ def solve_ilp(
             raise RuntimeError(
                 f"branch-and-bound exceeded {max_nodes} nodes; instance too large"
             )
-        sol = _solve(model, node.bounds)
+        sol = children.solve(node.bounds)
         if sol is None or sol.objective <= best_obj + 1e-9:
             continue
         # Round this node's fractional solution into an incumbent: cheap,
@@ -383,10 +781,10 @@ def solve_ilp(
             best, best_obj = sol, sol.objective
             continue
         for fixed in (0.0, 1.0):
-            child = list(node.bounds)
+            child = node.bounds.copy()
             child[branch_var] = (fixed, fixed)
             heapq.heappush(
-                heap, _BnbNode(-sol.objective, next(counter), tuple(child))
+                heap, _BnbNode(-sol.objective, next(counter), child)
             )
     return LpSolution(
         objective=best.objective,

@@ -90,6 +90,15 @@ class ProblemInstance:
         return {v: i for i, v in enumerate(self.placement_nodes)}
 
     @cached_property
+    def placement_nodes_array(self) -> np.ndarray:
+        """Placement node ids as an ``intp`` array (placement order)."""
+        arr = np.fromiter(
+            self.placement_nodes, dtype=np.intp, count=len(self.placement_nodes)
+        )
+        arr.flags.writeable = False
+        return arr
+
+    @cached_property
     def capacities(self) -> np.ndarray:
         """``B(v)`` over placement nodes (placement order), GHz."""
         arr = self.topology.capacities_array()
@@ -159,3 +168,16 @@ class ProblemInstance:
         return dataset.volume_gb * (
             self.topology.proc_delay(node) + alpha * dt
         )
+
+    def pair_latency_vector(self, query: Query, dataset: Dataset) -> np.ndarray:
+        """:meth:`pair_latency` over *all* placement nodes, in placement order.
+
+        One NumPy expression; element ``i`` equals
+        ``pair_latency(query, dataset, placement_nodes[i])`` bit-for-bit
+        (same IEEE operations, elementwise).
+        """
+        alpha = query.alpha_for(dataset.dataset_id)
+        home_vec = self.home_delay_vectors.get(query.home_node)
+        if home_vec is None:
+            home_vec = self.paths.placement_delays_to(query.home_node)
+        return dataset.volume_gb * (self.proc_delays + alpha * home_vec)

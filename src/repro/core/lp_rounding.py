@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.cluster.state import ClusterState
 from repro.core.base import PlacementAlgorithm, SolutionBuilder
-from repro.core.ilp import build_lp_model, solve_lp_relaxation
+from repro.core.ilp import build_lp_model, solve_lp_from_model
 from repro.core.instance import ProblemInstance
 from repro.core.types import Assignment, PlacementSolution
 from repro.obs import get_registry
@@ -54,8 +54,10 @@ class LpRoundingG(PlacementAlgorithm):
 
     def _solve(self, instance: ProblemInstance, obs) -> PlacementSolution:
         with obs.time(f"algo.{self.name}.lp_solve_s"):
+            # One model, shared by the solve and the rounding lookups
+            # (this used to build the model twice).
             model = build_lp_model(instance)
-            lp = solve_lp_relaxation(instance)
+            lp = solve_lp_from_model(model)
         state = ClusterState(instance)
         builder = SolutionBuilder(instance, self.name)
         builder.extra("lp_objective", lp.objective)
@@ -87,6 +89,8 @@ class LpRoundingG(PlacementAlgorithm):
                 pool[d_id] = node
 
         # Step 4: commit per query in LP-value order (stable: by id).
+        node_index = instance.node_index
+        nodes_arr = instance.placement_nodes_array
         for query in instance.queries:
             pool = by_query.get(query.query_id, {})
             assignments: list[Assignment] = []
@@ -99,13 +103,20 @@ class LpRoundingG(PlacementAlgorithm):
                         if node is None or not state.can_serve(
                             query, dataset, node
                         ):
-                            # Fall back to any feasible replica holder.
-                            holders = [
-                                v
+                            # Fall back to the lowest-id feasible replica
+                            # holder: one can_serve_mask pass instead of a
+                            # scalar can_serve call per holder.
+                            feasible = state.can_serve_mask(query, dataset)
+                            holder_idx = [
+                                node_index[v]
                                 for v in state.replicas.nodes(d_id)
-                                if state.can_serve(query, dataset, v)
+                                if feasible[node_index[v]]
                             ]
-                            node = min(holders) if holders else None
+                            node = (
+                                int(nodes_arr[holder_idx].min())
+                                if holder_idx
+                                else None
+                            )
                         if node is None:
                             if self.partial_admission:
                                 continue

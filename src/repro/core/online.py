@@ -156,15 +156,29 @@ class OnlineSession:
             assignments: list[Assignment] = []
             failed = False
             with obs.time("online.admission_s"):
-                with state.transaction() as txn:
-                    for d_id in query.demanded:
-                        a = rule(state, query, d_id)
-                        if a is None:
-                            failed = True
-                            break
-                        assignments.append(a)
-                    if not failed:
-                        txn.commit()
+                # Vectorised pre-probe: a pair with no servable node now
+                # cannot gain one inside the transaction (capacity only
+                # shrinks, replica slots are per-dataset and ``demanded``
+                # has no duplicates), and ``serve`` enforces exactly the
+                # ``can_serve`` conditions — so when any demanded pair has
+                # an all-false mask, the all-or-nothing admission is doomed
+                # and the rule/transaction machinery can be skipped.
+                for d_id in query.demanded:
+                    if not state.can_serve_mask(
+                        query, instance.dataset(d_id)
+                    ).any():
+                        failed = True
+                        break
+                if not failed:
+                    with state.transaction() as txn:
+                        for d_id in query.demanded:
+                            a = rule(state, query, d_id)
+                            if a is None:
+                                failed = True
+                                break
+                            assignments.append(a)
+                        if not failed:
+                            txn.commit()
             if failed:
                 obs.inc("online.rejected")
                 # Replicas placed during the failed probe are rolled back

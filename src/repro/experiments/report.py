@@ -25,6 +25,7 @@ RESULT_SECTIONS: tuple[tuple[str, str], ...] = (
     ("ablation_pricing", "Ablation — capacity pricing"),
     ("ablation_admission", "Ablation — admission semantics"),
     ("optimality_gap", "Ablation — optimality gap"),
+    ("optimality_gap_medium", "Ablation — optimality gap (medium instances)"),
     ("consistency", "Ablation — consistency maintenance"),
     ("sensitivity", "Ablation — knob sensitivity"),
     ("online", "Extension — online arrivals"),

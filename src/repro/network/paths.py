@@ -30,12 +30,13 @@ def _adjacency(topology: EdgeCloudTopology) -> csr_matrix:
     delays = topology.link_delays
     if not delays:
         return csr_matrix((n, n))
-    rows, cols, vals = [], [], []
-    for (u, v), d in delays.items():
-        rows.extend((u, v))
-        cols.extend((v, u))
-        vals.extend((d, d))
-    return csr_matrix((vals, (rows, cols)), shape=(n, n))
+    endpoints = np.array(list(delays.keys()), dtype=np.intp)
+    vals = np.fromiter(delays.values(), dtype=np.float64, count=len(delays))
+    rows = np.concatenate([endpoints[:, 0], endpoints[:, 1]])
+    cols = np.concatenate([endpoints[:, 1], endpoints[:, 0]])
+    return csr_matrix(
+        (np.concatenate([vals, vals]), (rows, cols)), shape=(n, n)
+    )
 
 
 def all_pairs_min_delay(
@@ -85,6 +86,11 @@ class PathCache:
         with get_registry().time("pathcache.build_s"):
             self._delays, self._pred = all_pairs_min_delay(topology)
         self._placement_vectors: dict[int, np.ndarray] = {}
+        self._placement_index = np.fromiter(
+            topology.placement_nodes,
+            dtype=np.intp,
+            count=len(topology.placement_nodes),
+        )
 
     @property
     def topology(self) -> EdgeCloudTopology:
@@ -118,10 +124,7 @@ class PathCache:
         vec = self._placement_vectors.get(home)
         if vec is None:
             obs.inc("pathcache.misses")
-            idx = np.fromiter(
-                self._topology.placement_nodes, dtype=np.intp
-            )
-            vec = self._delays[idx, home]
+            vec = self._delays[self._placement_index, home]
             vec.flags.writeable = False
             self._placement_vectors[home] = vec
         else:

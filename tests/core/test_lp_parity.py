@@ -1,0 +1,295 @@
+"""Bit-parity of the vectorised LP/ILP pipeline against the scalar reference.
+
+Same contract as ``test_vector_parity.py``: every vectorised quantity must
+equal the scalar computation it replaced *bitwise* — identical triples,
+placements, costs, ``A_ub`` (including COO entry order), ``b_ub`` and
+bounds; identical LP objectives through the shared-model solve path;
+identical greedy incumbents; deterministic branch-and-bound.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.state import ClusterState
+from repro.core.ilp import (
+    _greedy_incumbent,
+    build_lp_model,
+    build_lp_model_scalar,
+    solve_ilp,
+    solve_lp_from_model,
+    solve_lp_relaxation,
+)
+from repro.core.instance import ProblemInstance
+from repro.core.types import Dataset, Query
+from repro.experiments.runner import make_instance
+from repro.topology.nodes import NodeKind, NodeSpec
+from repro.topology.twotier import (
+    EdgeCloudTopology,
+    TwoTierConfig,
+    generate_two_tier,
+)
+from repro.workload.params import PaperDefaults
+
+_TOPOLOGY = TwoTierConfig(
+    num_data_centers=2,
+    num_cloudlets=8,
+    num_switches=2,
+    num_base_stations=3,
+)
+_SMALL_TOPOLOGY = TwoTierConfig(
+    num_data_centers=2, num_cloudlets=6, num_switches=1, num_base_stations=2
+)
+_SMALL_PARAMS = (
+    PaperDefaults()
+    .with_num_queries(8)
+    .with_num_datasets(4)
+    .with_max_datasets_per_query(2)
+)
+_SEEDS = (11, 23, 47)
+
+_ARRAY_FIELDS = (
+    "costs",
+    "b_ub",
+    "bounds",
+    "pi_query",
+    "pi_dataset",
+    "pi_node",
+    "pi_node_index",
+    "pi_x_index",
+    "pi_pair_index",
+    "x_dataset",
+    "x_node",
+    "x_node_index",
+    "x_origin_mask",
+)
+
+
+def _instance(seed, special=False):
+    params = PaperDefaults()
+    if special:
+        params = params.single_dataset()
+    return make_instance(_TOPOLOGY, params, seed, 0)
+
+
+def _assert_models_identical(vector, scalar):
+    assert vector.triples == scalar.triples
+    assert vector.placements == scalar.placements
+    for name in _ARRAY_FIELDS:
+        assert np.array_equal(
+            getattr(vector, name), getattr(scalar, name)
+        ), name
+    # COO entry order pinned too, not just the dense matrix.
+    assert np.array_equal(vector.a_ub.row, scalar.a_ub.row)
+    assert np.array_equal(vector.a_ub.col, scalar.a_ub.col)
+    assert np.array_equal(vector.a_ub.data, scalar.a_ub.data)
+    assert vector.a_ub.shape == scalar.a_ub.shape
+
+
+# -- model build ---------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", _SEEDS)
+@pytest.mark.parametrize("special", [False, True])
+def test_model_build_matches_scalar(seed, special):
+    instance = _instance(seed, special=special)
+    _assert_models_identical(
+        build_lp_model(instance), build_lp_model_scalar(instance)
+    )
+
+
+def test_build_method_dispatch():
+    instance = _instance(11)
+    scalar = build_lp_model(instance, method="scalar")
+    _assert_models_identical(build_lp_model(instance), scalar)
+    with pytest.raises(ValueError, match="unknown build method"):
+        build_lp_model(instance, method="turbo")
+
+
+def _micro_topology():
+    return generate_two_tier(
+        TwoTierConfig(
+            num_data_centers=1,
+            num_cloudlets=2,
+            num_switches=1,
+            num_base_stations=1,
+        ),
+        seed=0,
+    )
+
+
+def test_empty_query_set_parity():
+    topology = _micro_topology()
+    pn = topology.placement_nodes
+    instance = ProblemInstance(
+        topology=topology,
+        datasets={0: Dataset(0, 1.0, pn[0])},
+        queries=[],
+        max_replicas=2,
+    )
+    vector = build_lp_model(instance)
+    _assert_models_identical(vector, build_lp_model_scalar(instance))
+    assert vector.triples == ()
+    # x variables exist for the origin copy even with no triples.
+    assert vector.placements == ((0, pn[0]),)
+    assert solve_lp_from_model(vector).objective == pytest.approx(0.0)
+
+
+def test_no_feasible_triple_parity():
+    # A deadline no node can meet: every pair is pruned, yet origins keep
+    # their x variables and the model stays solvable.
+    topology = _micro_topology()
+    pn = topology.placement_nodes
+    instance = ProblemInstance(
+        topology=topology,
+        datasets={0: Dataset(0, 2.0, pn[0])},
+        queries=[
+            Query(
+                query_id=0,
+                home_node=pn[0],
+                demanded=(0,),
+                selectivity=(0.5,),
+                compute_rate=0.5,
+                deadline_s=1e-9,
+            )
+        ],
+        max_replicas=2,
+    )
+    vector = build_lp_model(instance)
+    _assert_models_identical(vector, build_lp_model_scalar(instance))
+    assert vector.triples == ()
+    assert solve_lp_from_model(vector).objective == pytest.approx(0.0)
+    assert solve_ilp(instance).objective == pytest.approx(0.0)
+
+
+def test_disconnected_topology_parity():
+    # No links at all: cross-node delays are inf, so only each query's own
+    # home node can ever be delay-feasible.
+    specs = [
+        NodeSpec(i, NodeKind.CLOUDLET, f"cl{i}", 8.0, 0.05) for i in range(3)
+    ]
+    topology = EdgeCloudTopology(specs, {})
+    instance = ProblemInstance(
+        topology=topology,
+        datasets={0: Dataset(0, 1.0, 0)},
+        queries=[
+            Query(
+                query_id=0,
+                home_node=1,
+                demanded=(0,),
+                selectivity=(0.5,),
+                compute_rate=0.5,
+                deadline_s=10.0,
+            )
+        ],
+        max_replicas=2,
+    )
+    vector = build_lp_model(instance)
+    _assert_models_identical(vector, build_lp_model_scalar(instance))
+    assert all(node == 1 for _, _, node in vector.triples)
+
+
+# -- shared-model solve path ---------------------------------------------
+
+
+@pytest.mark.parametrize("seed", _SEEDS)
+def test_solve_from_model_matches_relaxation(seed):
+    instance = _instance(seed)
+    from_model = solve_lp_from_model(build_lp_model(instance))
+    standalone = solve_lp_relaxation(instance)
+    assert from_model.objective == standalone.objective
+    assert np.array_equal(from_model.pi, standalone.pi)
+    assert np.array_equal(from_model.x, standalone.x)
+
+
+# -- greedy incumbent ----------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", _SEEDS)
+def test_greedy_incumbent_parity(seed):
+    instance = _instance(seed)
+    vector = build_lp_model(instance)
+    scalar = build_lp_model_scalar(instance)
+    lp = solve_lp_from_model(vector)
+    for hint in (None, lp.pi):
+        got = _greedy_incumbent(vector, instance, pi_hint=hint)
+        ref = _greedy_incumbent(scalar, instance, pi_hint=hint)
+        assert got.objective == ref.objective
+        assert np.array_equal(got.pi, ref.pi)
+        assert np.array_equal(got.x, ref.x)
+        assert got.objective <= lp.objective + 1e-9
+
+
+# -- branch-and-bound ----------------------------------------------------
+
+
+@pytest.mark.parametrize("repeat", [0, 1, 2])
+def test_solve_ilp_deterministic(repeat):
+    instance = make_instance(_SMALL_TOPOLOGY, _SMALL_PARAMS, 7, repeat)
+    first = solve_ilp(instance)
+    second = solve_ilp(instance)
+    assert first.objective == second.objective
+    assert np.array_equal(first.pi, second.pi)
+    assert np.array_equal(first.x, second.x)
+    assert first.nodes_explored == second.nodes_explored
+
+
+@pytest.mark.parametrize("repeat", [0, 1, 2])
+def test_solve_ilp_shared_model_matches_standalone(repeat):
+    instance = make_instance(_SMALL_TOPOLOGY, _SMALL_PARAMS, 7, repeat)
+    model = build_lp_model(instance)
+    root = solve_lp_from_model(model)
+    shared = solve_ilp(instance, model=model, root=root)
+    standalone = solve_ilp(instance)
+    assert shared.objective == standalone.objective
+    assert np.array_equal(shared.pi, standalone.pi)
+    assert shared.nodes_explored == standalone.nodes_explored
+    # Sandwich: incumbent ≤ OPT ≤ root LP.
+    incumbent = _greedy_incumbent(model, instance)
+    assert incumbent.objective <= shared.objective + 1e-9
+    assert shared.objective <= root.objective + 1e-9
+
+
+# -- batched can_serve ---------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", _SEEDS)
+def test_can_serve_mask_matches_scalar(seed):
+    instance = _instance(seed)
+    state = ClusterState(instance)
+
+    def check_all():
+        for query in instance.queries[:10]:
+            for d_id in query.demanded:
+                dataset = instance.dataset(d_id)
+                mask = state.can_serve_mask(query, dataset)
+                for i, node in enumerate(instance.placement_nodes):
+                    assert mask[i] == state.can_serve(
+                        query, dataset, node
+                    ), (query.query_id, d_id, node)
+
+    check_all()
+    # Mutate: serve a few pairs (consuming capacity and replica slots,
+    # including exhausting K for one dataset) and re-check.
+    served = 0
+    for query in instance.queries:
+        for d_id in query.demanded:
+            dataset = instance.dataset(d_id)
+            mask = state.can_serve_mask(query, dataset)
+            if mask.any():
+                node = int(instance.placement_nodes_array[mask][0])
+                state.serve(query, dataset, node)
+                served += 1
+        if served >= 6:
+            break
+    assert served
+    d0 = next(iter(instance.datasets))
+    while state.replicas.remaining_slots(d0) > 0:
+        free = [
+            v
+            for v in instance.placement_nodes
+            if state.replicas.can_place(d0, v)
+        ]
+        if not free:
+            break
+        state.replicas.place(d0, free[0])
+    check_all()

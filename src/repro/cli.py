@@ -51,6 +51,7 @@ from repro.experiments.report import build_report
 from repro.experiments.tables import render_comparison, render_figure
 from repro.obs import MetricsRegistry, use_registry
 from repro.obs.export import write_jsonl, write_prometheus
+from repro.sim.faults import FaultConfig
 from repro.sim.testbed import TestbedExperiment, run_testbed_experiment
 from repro.util.units import format_delay, format_volume
 
@@ -130,6 +131,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_online.add_argument("--seed", type=int, default=0)
     p_online.add_argument("--gap", type=float, default=0.2,
                           help="mean inter-arrival seconds")
+    p_online.add_argument("--hold-factor", type=float, default=1.0,
+                          help="compute hold time as a multiple of the "
+                          "query's analytic latency")
+    p_online.add_argument("--faults", action="store_true",
+                          help="inject seeded node crash/recover events "
+                          "during the session")
+    p_online.add_argument("--mttf", type=float, default=5.0,
+                          help="mean seconds between node crashes "
+                          "(with --faults)")
+    p_online.add_argument("--downtime", type=float, default=1.0,
+                          help="mean node downtime seconds (with --faults)")
+    p_online.add_argument("--fault-seed", type=int, default=0,
+                          help="fault-schedule seed (with --faults)")
 
     p_failover = sub.add_parser(
         "failover", help="node-failure impact and repair for one placement"
@@ -220,8 +234,20 @@ def _cmd_testbed(args: argparse.Namespace) -> int:
 def _cmd_online(args: argparse.Namespace) -> int:
     instance = make_instance(TwoTierConfig(), PaperDefaults(), args.seed, 0)
     rule = appro_rule if args.rule == "appro" else greedy_rule
+    faults = None
+    if args.faults:
+        faults = FaultConfig(
+            mean_time_to_failure_s=args.mttf,
+            mean_downtime_s=args.downtime,
+            seed=args.fault_seed,
+        )
     report = OnlineSession(
-        OnlineConfig(mean_interarrival_s=args.gap, seed=args.seed)
+        OnlineConfig(
+            mean_interarrival_s=args.gap,
+            hold_factor=args.hold_factor,
+            seed=args.seed,
+            faults=faults,
+        )
     ).run(instance, rule)
     print(f"rule             : {args.rule}")
     print(f"arrivals         : {len(report.outcomes)}")
@@ -229,6 +255,17 @@ def _cmd_online(args: argparse.Namespace) -> int:
     print(f"throughput       : {report.throughput:.3f}")
     print(f"peak allocation  : {report.peak_allocated_ghz:.1f} GHz")
     print(f"replicas placed  : {report.replicas_placed}")
+    if report.faults is not None:
+        f = report.faults
+        print(f"crashes          : {f.crashes} ({f.recoveries} recovered)")
+        print(f"availability     : {f.time_weighted_availability:.3f} "
+              f"(time-weighted node uptime)")
+        print(f"failovers        : {f.failovers_succeeded}/{f.failovers_attempted} "
+              f"succeeded, MTTR {f.mttr_s * 1000:.1f} ms")
+        print(f"queries hit      : {f.queries_recovered} recovered, "
+              f"{f.queries_interrupted} interrupted")
+        print(f"degraded admit   : {f.degraded_admitted}/{f.degraded_arrivals} "
+              f"(throughput {f.degraded_throughput:.3f})")
     return 0
 
 

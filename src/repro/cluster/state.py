@@ -20,7 +20,7 @@ from typing import Iterator
 import numpy as np
 
 from repro.cluster.node import CapacityError, ComputeNode, _EPS
-from repro.cluster.replicas import ReplicaStore
+from repro.cluster.replicas import ReplicaError, ReplicaStore
 from repro.core.instance import ProblemInstance
 from repro.core.types import Assignment, Dataset, Query
 
@@ -75,6 +75,84 @@ class ClusterState:
             for v in instance.placement_nodes
         }
         self.replicas = ReplicaStore(instance.datasets, instance.max_replicas)
+        self._down: set[int] = set()
+
+    # -- liveness ---------------------------------------------------------
+    #
+    # Fault injection (``repro.sim.faults``) marks nodes down/up while an
+    # online session runs.  All feasibility queries and ``serve`` exclude
+    # down nodes; every check is guarded by ``self._down`` being non-empty
+    # so the fault-free paths stay bit-identical to the pre-fault code.
+
+    @property
+    def has_down_nodes(self) -> bool:
+        """Whether any placement node is currently marked down."""
+        return bool(self._down)
+
+    def is_up(self, node: int) -> bool:
+        """Whether ``node`` is currently serving (not crashed)."""
+        return node not in self._down
+
+    def down_nodes(self) -> frozenset[int]:
+        """The placement nodes currently marked down."""
+        return frozenset(self._down)
+
+    def up_mask(self) -> np.ndarray:
+        """Boolean up/down vector over placement nodes, in placement order."""
+        mask = np.ones(self.instance.num_placement_nodes, dtype=bool)
+        if self._down:
+            node_index = self.instance.node_index
+            mask[[node_index[v] for v in self._down]] = False
+        return mask
+
+    def has_live_copy(self, dataset_id: int) -> bool:
+        """Whether any *up* node holds a copy to serve or clone from."""
+        if not self._down:
+            return True
+        return any(v not in self._down for v in self.replicas.nodes(dataset_id))
+
+    def mark_down(self, node: int) -> None:
+        """Take ``node`` offline (idempotence is an error: a down node
+        cannot crash again)."""
+        if node not in self.nodes:
+            raise ValueError(f"unknown placement node {node}")
+        if node in self._down:
+            raise ValueError(f"node {node} is already down")
+        self._down.add(node)
+
+    def mark_up(self, node: int) -> None:
+        """Bring ``node`` back online."""
+        if node not in self._down:
+            raise ValueError(f"node {node} is not down")
+        self._down.discard(node)
+
+    def evict_allocations(self, node: int) -> tuple[object, ...]:
+        """Drop every live allocation on ``node`` (a crash kills them).
+
+        Returns the evicted tags in allocation (insertion) order so the
+        caller can map them back to running queries.
+        """
+        ledger = self.nodes[node]
+        tags = ledger.allocation_tags()
+        for tag in tags:
+            ledger.release(tag)
+        return tags
+
+    def drop_replicas(self, node: int) -> tuple[int, ...]:
+        """Destroy the non-origin replicas on ``node`` (freeing K slots).
+
+        Origin copies are *not* dropped — mirroring
+        :func:`repro.core.repair.repair_placement`, the record of the
+        authoritative copy survives its node being down (it still occupies
+        a ``K`` slot and returns to service when the node recovers).
+        Returns the dataset ids whose copy on ``node`` was destroyed.
+        """
+        dropped = []
+        for d_id in sorted(self.replicas.datasets_on(node)):
+            if self.replicas.origin(d_id) != node:
+                self.replicas.remove(d_id, node)
+                dropped.append(d_id)
+        return tuple(dropped)
 
     # -- feasibility ------------------------------------------------------
 
@@ -124,7 +202,14 @@ class ClusterState:
         return amount_ghz <= self.available_array() + _EPS * self.instance.capacities
 
     def can_serve(self, query: Query, dataset: Dataset, node: int) -> bool:
-        """Deadline + capacity + replica feasibility of serving at ``node``."""
+        """Deadline + capacity + replica (+ liveness) feasibility at ``node``."""
+        if self._down:
+            if node in self._down:
+                return False
+            if not self.replicas.has(dataset.dataset_id, node) and not (
+                self.has_live_copy(dataset.dataset_id)
+            ):
+                return False  # no surviving copy to clone a new replica from
         if not self.nodes[node].can_fit(self.compute_demand(query, dataset)):
             return False
         if not (
@@ -152,6 +237,12 @@ class ClusterState:
                 node_index = inst.node_index
                 has_replica[[node_index[v] for v in holders]] = True
             mask &= has_replica
+        if self._down:
+            mask &= self.up_mask()
+            if not self.has_live_copy(d_id):
+                # No surviving copy anywhere: non-holders cannot clone and
+                # every holder is down, so nothing can serve the pair.
+                mask &= False
         latency = inst.pair_latency_vector(query, dataset)
         return mask & (latency <= query.deadline_s)
 
@@ -166,6 +257,15 @@ class ClusterState:
         :class:`~repro.cluster.replicas.ReplicaError` / ``ValueError``
         when infeasible, leaving state unchanged.
         """
+        if self._down:
+            if node in self._down:
+                raise CapacityError(f"node {node} is down")
+            if not self.replicas.has(dataset.dataset_id, node) and not (
+                self.has_live_copy(dataset.dataset_id)
+            ):
+                raise ReplicaError(
+                    f"dataset {dataset.dataset_id} has no live copy to clone"
+                )
         latency = self.pair_latency(query, dataset, node)
         if latency > query.deadline_s:
             raise ValueError(
@@ -202,6 +302,10 @@ class ClusterState:
     @contextmanager
     def transaction(self) -> Iterator[Transaction]:
         """Snapshot state; roll back on exit unless committed.
+
+        Up/down liveness is *not* part of the snapshot: fault events fire
+        between engine callbacks, never inside a transaction block, so the
+        down set cannot change while one is open.
 
         Examples
         --------

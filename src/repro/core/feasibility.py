@@ -154,6 +154,13 @@ def candidate_set(
     demand = state.compute_demand(query, dataset)
     mask &= state.can_fit_mask(demand)
 
+    if state.has_down_nodes:
+        # Fault-aware sessions: down nodes cannot serve, and a fresh
+        # replica needs a surviving copy to clone from.
+        mask &= state.up_mask()
+        if not state.has_live_copy(dataset.dataset_id):
+            mask &= has_replica
+
     indices = np.nonzero(mask)[0]
     nodes = inst.placement_nodes_array[indices]
     return CandidateSet(

@@ -47,9 +47,14 @@ def _greedy_place_pair(
         state.nodes.values(),
         key=lambda n: (-n.available_ghz, n.node_id),
     )
+    faulty = state.has_down_nodes
     for node in nodes:
+        if faulty and not state.is_up(node.node_id):
+            continue  # crashed nodes serve nothing
         has_replica = state.replicas.has(dataset_id, node.node_id)
         if not has_replica:
+            if faulty and not state.has_live_copy(dataset_id):
+                continue  # no surviving copy to clone a new replica from
             if not state.replicas.can_place(dataset_id, node.node_id):
                 continue  # K exhausted: only replica-holding nodes remain usable
             state.replicas.place(dataset_id, node.node_id)

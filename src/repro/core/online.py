@@ -14,6 +14,18 @@ the batch setting: a node that is busy *now* prices itself out, and later
 arrivals re-use the freed capacity.  ``OnlineSession`` accepts any
 per-pair placement rule; adapters for Appro's kernel and the greedy walk
 are provided.
+
+With ``OnlineConfig.faults`` set, the session additionally injects seeded
+node crash/recover events (:mod:`repro.sim.faults`) into the same
+simulator.  A crash kills the node's replicas and in-flight allocations;
+each running query hit by it attempts an all-or-nothing failover of its
+lost pairs onto surviving replicas — the same
+:func:`repro.core.repair.best_failover_candidate` rule as the static
+repair pass — with bounded exponential-backoff retries.  The resulting
+:class:`~repro.sim.faults.FaultReport` (availability curve, MTTR,
+interrupted vs recovered queries, degraded-admission throughput) rides on
+the :class:`OnlineReport`.  With faults disabled the session runs the
+exact pre-fault code path, bit for bit.
 """
 
 from __future__ import annotations
@@ -25,9 +37,16 @@ from repro.cluster.state import ClusterState
 from repro.core.greedy import _greedy_place_pair
 from repro.core.instance import ProblemInstance
 from repro.core.primal_dual import PrimalDualConfig, _Kernel
+from repro.core.repair import best_failover_candidate
 from repro.core.types import Assignment, Query
 from repro.obs import get_registry
 from repro.sim.engine import Simulator
+from repro.sim.faults import (
+    FaultConfig,
+    FaultInjector,
+    FaultReport,
+    build_fault_schedule,
+)
 from repro.util.rng import spawn_rng
 from repro.util.validation import check_positive
 
@@ -79,11 +98,15 @@ class OnlineConfig:
         duration of evaluation; >1 models result post-processing).
     seed:
         Arrival-draw seed.
+    faults:
+        Optional fault-injection parameters; ``None`` (the default) runs
+        the fault-free session unchanged.
     """
 
     mean_interarrival_s: float = 0.2
     hold_factor: float = 1.0
     seed: int = 0
+    faults: FaultConfig | None = None
 
     def __post_init__(self) -> None:
         check_positive("mean_interarrival_s", self.mean_interarrival_s)
@@ -116,6 +139,9 @@ class OnlineReport:
         Maximum total compute held at any instant.
     replicas_placed:
         Replicas beyond origins at session end.
+    faults:
+        Fault-injection outcome (availability curve, MTTR, interrupted vs
+        recovered queries, …); ``None`` when faults were disabled.
     """
 
     outcomes: tuple[OnlineOutcome, ...]
@@ -123,6 +149,25 @@ class OnlineReport:
     throughput: float
     peak_allocated_ghz: float
     replicas_placed: int
+    faults: FaultReport | None = None
+
+
+class _ActiveQuery:
+    """Bookkeeping for one admitted query while its hold runs.
+
+    Only maintained when fault injection is on: maps each demanded dataset
+    to its live assignment so a crash can identify, evict, and fail over
+    exactly the lost pairs.
+    """
+
+    __slots__ = ("query", "assignments", "pending", "hit", "lost_at")
+
+    def __init__(self, query: Query, assignments: dict[int, Assignment]) -> None:
+        self.query = query
+        self.assignments = assignments  # dataset id → live assignment
+        self.pending: set[int] = set()  # dataset ids awaiting failover
+        self.hit = False  # ever lost a pair to a crash
+        self.lost_at = 0.0  # instant of the most recent loss
 
 
 class OnlineSession:
@@ -142,17 +187,104 @@ class OnlineSession:
         all-or-nothing admission attempt against the *current* cluster
         state; admitted queries release their compute after their hold
         time.
+
+        When :attr:`OnlineConfig.faults` is set, seeded crash/recover
+        events are injected into the same simulator (arrivals win FIFO
+        ties at equal instants).  Queries hit by a crash fail their lost
+        pairs over to surviving replicas, all-or-nothing per query, with
+        bounded exponential-backoff retries; a query whose service is
+        never fully restored before its hold ends counts as interrupted.
+        Failover does not extend the hold — the original completion
+        instant stands.
         """
         rule = rule_factory(instance)
         state = ClusterState(instance)
         sim = Simulator()
         rng = spawn_rng(self.config.seed, "online/arrivals")
         obs = get_registry()
+        fault_cfg = self.config.faults
 
         outcomes: list[OnlineOutcome] = []
         peak = [0.0]
+        injector: FaultInjector | None = None
+        active: dict[int, _ActiveQuery] = {}
+
+        def finish(q_id: int) -> None:
+            # Hold expired: release whatever the query still has allocated.
+            record = active.pop(q_id, None)
+            if record is None:
+                return  # interrupted earlier; nothing left to release
+            for a in record.assignments.values():
+                state.release(a)
+            if record.pending:
+                # The hold ended while lost pairs were still awaiting
+                # failover: service was never fully restored.
+                injector.note_interrupted()
+            elif record.hit:
+                injector.note_recovered()
+
+        def interrupt(q_id: int) -> None:
+            record = active.pop(q_id)
+            for a in record.assignments.values():
+                state.release(a)
+            injector.note_interrupted()
+
+        def attempt_failover(q_id: int, attempt: int) -> None:
+            record = active.get(q_id)
+            if record is None or not record.pending:
+                return  # finished, interrupted, or already failed over
+            query = record.query
+            repaired: list[Assignment] = []
+            ok = True
+            with obs.time("online.failover_s"):
+                with state.transaction() as txn:
+                    for d_id in sorted(record.pending):
+                        best = best_failover_candidate(
+                            state, query, instance.dataset(d_id)
+                        )
+                        if best is None:
+                            ok = False
+                            break
+                        repaired.append(
+                            state.serve(query, instance.dataset(d_id), best.node)
+                        )
+                    if ok:
+                        txn.commit()
+            injector.note_failover(ok, sim.now - record.lost_at)
+            if ok:
+                for a in repaired:
+                    record.assignments[a.dataset_id] = a
+                record.pending.clear()
+            elif attempt >= fault_cfg.failover_retries:
+                interrupt(q_id)
+            else:
+                # Bounded exponential backoff; a node recovery in the
+                # meantime can make the retry succeed.
+                sim.schedule_in(
+                    fault_cfg.failover_backoff_s * (2.0**attempt),
+                    lambda: attempt_failover(q_id, attempt + 1),
+                )
+
+        def on_pairs_lost(node: int, evicted: tuple[object, ...]) -> None:
+            # A crash evicted these (query, dataset) allocations; mark the
+            # pairs pending and drive failover per query, ascending id
+            # (the same order the static repair pass uses).
+            hit: set[int] = set()
+            for q_id, d_id in evicted:
+                record = active.get(q_id)
+                if record is None:
+                    continue
+                record.assignments.pop(d_id, None)
+                record.pending.add(d_id)
+                record.hit = True
+                record.lost_at = sim.now
+                hit.add(q_id)
+            for q_id in sorted(hit):
+                attempt_failover(q_id, 0)
 
         def on_arrival(query: Query) -> None:
+            if injector is not None:
+                injector.note_arrival(state.has_down_nodes)
             assignments: list[Assignment] = []
             failed = False
             with obs.time("online.admission_s"):
@@ -192,8 +324,15 @@ class OnlineSession:
             peak[0] = max(peak[0], state.total_allocated())
             response = max(a.latency_s for a in assignments)
             hold = response * self.config.hold_factor
-            for a in assignments:
-                sim.schedule_in(hold, lambda a=a: state.release(a))
+            if injector is None:
+                for a in assignments:
+                    sim.schedule_in(hold, lambda a=a: state.release(a))
+            else:
+                injector.note_admission(state.has_down_nodes)
+                active[query.query_id] = _ActiveQuery(
+                    query, {a.dataset_id: a for a in assignments}
+                )
+                sim.schedule_in(hold, lambda q=query.query_id: finish(q))
             volume = query.demanded_volume(instance.datasets)
             outcomes.append(
                 OnlineOutcome(query.query_id, sim.now, True, volume)
@@ -204,6 +343,15 @@ class OnlineSession:
             for query in instance.queries:
                 t += float(rng.exponential(self.config.mean_interarrival_s))
                 sim.schedule(t, lambda q=query: on_arrival(q))
+            if fault_cfg is not None:
+                # The fault horizon is the last arrival instant; faults are
+                # scheduled after the arrivals, so an arrival wins the FIFO
+                # tie against a crash at the same instant.
+                schedule = build_fault_schedule(
+                    instance.placement_nodes, t, fault_cfg
+                )
+                injector = FaultInjector(sim, state, schedule, on_pairs_lost)
+                injector.arm()
             sim.run()
 
         admitted = [o for o in outcomes if o.admitted]
@@ -215,4 +363,5 @@ class OnlineSession:
             replicas_placed=sum(
                 max(0, state.replicas.count(d) - 1) for d in instance.datasets
             ),
+            faults=injector.report(sim.now) if injector is not None else None,
         )

@@ -19,13 +19,47 @@ from dataclasses import dataclass
 from typing import Iterable
 
 from repro.cluster.state import ClusterState
-from repro.core.feasibility import candidate_nodes
+from repro.core.feasibility import CandidateNode, candidate_nodes
 from repro.core.instance import ProblemInstance
 from repro.core.metrics import evaluate_solution
-from repro.core.types import Assignment, PlacementSolution
+from repro.core.types import Assignment, Dataset, PlacementSolution, Query
 from repro.util.validation import ValidationError
 
-__all__ = ["FailureImpact", "RepairReport", "fail_nodes", "repair_placement"]
+__all__ = [
+    "FailureImpact",
+    "RepairReport",
+    "best_failover_candidate",
+    "fail_nodes",
+    "repair_placement",
+]
+
+
+def best_failover_candidate(
+    state: ClusterState,
+    query: Query,
+    dataset: Dataset,
+    *,
+    excluded: frozenset[int] = frozenset(),
+) -> CandidateNode | None:
+    """Cheapest surviving node a lost (query, dataset) pair can fail over to.
+
+    The repair rule shared by the static :func:`repair_placement` pass and
+    the dynamic fault-injection failover
+    (:mod:`repro.sim.faults` / ``OnlineSession``): among the fully feasible
+    candidates not in ``excluded``, pick the lowest analytic latency (node
+    id breaks ties).  ``None`` when no surviving node can serve the pair.
+    Fault-aware states already exclude down nodes via their feasibility
+    masks; ``excluded`` exists for the static pass, where failed nodes are
+    modelled by pinning capacity instead.
+    """
+    options = [
+        c
+        for c in candidate_nodes(state, query, dataset)
+        if c.node not in excluded
+    ]
+    if not options:
+        return None
+    return min(options, key=lambda c: (c.latency_s, c.node))
 
 
 @dataclass(frozen=True)
@@ -184,15 +218,12 @@ def repair_placement(
                     failed_repair = True  # no surviving copy to clone from
                     break
                 dataset = instance.dataset(d_id)
-                options = [
-                    c
-                    for c in candidate_nodes(state, query, dataset)
-                    if c.node not in impact.failed_nodes
-                ]
-                if not options:
+                best = best_failover_candidate(
+                    state, query, dataset, excluded=impact.failed_nodes
+                )
+                if best is None:
                     failed_repair = True
                     break
-                best = min(options, key=lambda c: (c.latency_s, c.node))
                 repaired.append(state.serve(query, dataset, best.node))
             if not failed_repair:
                 txn.commit()

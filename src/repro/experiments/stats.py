@@ -71,7 +71,11 @@ def mean_ci(
         raise ValidationError("mean_ci needs at least one sample")
     arr = np.asarray(samples, dtype=float)
     mean = float(arr.mean())
-    if arr.size == 1 or np.allclose(arr, mean):
+    # Exact zero-variance check: ``np.allclose`` with its default rtol
+    # would treat large-magnitude samples with real spread (e.g.
+    # [1e6 - 5, 1e6, 1e6 + 5]) as constant and silently return a
+    # zero-width interval.
+    if arr.size == 1 or bool((arr == arr[0]).all()):
         return ConfidenceInterval(mean, mean, mean, confidence)
     sem = float(stats.sem(arr))
     half = float(stats.t.ppf(0.5 + confidence / 2.0, df=arr.size - 1)) * sem

@@ -18,6 +18,13 @@ Two fidelity levels:
 """
 
 from repro.sim.engine import Simulator, Event
+from repro.sim.faults import (
+    FaultConfig,
+    FaultEvent,
+    FaultInjector,
+    FaultReport,
+    build_fault_schedule,
+)
 from repro.sim.resources import FifoResource, ComputePool
 from repro.sim.events import PairTrace, QueryOutcome, ExecutionReport
 from repro.sim.execution import ExecutionConfig, execute_placement
@@ -31,6 +38,11 @@ from repro.sim.consistency_sim import (
 __all__ = [
     "Simulator",
     "Event",
+    "FaultConfig",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultReport",
+    "build_fault_schedule",
     "FifoResource",
     "ComputePool",
     "PairTrace",

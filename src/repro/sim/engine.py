@@ -83,7 +83,11 @@ class Simulator:
             Stop once the next event is strictly later (that event stays
             queued).
         max_events:
-            Safety valve against runaway schedules.
+            Safety valve against runaway schedules.  The budget is
+            **per call**: each ``run()`` may fire up to ``max_events``
+            events regardless of how many earlier calls on the same
+            simulator processed (:attr:`events_processed` keeps the
+            cumulative total across calls).
         """
         # Observability is resolved once per run; with the default null
         # registry the loop body carries no instrumentation at all.
@@ -97,7 +101,7 @@ class Simulator:
             self._now = event.time
             self._processed += 1
             fired += 1
-            if self._processed > max_events:
+            if fired > max_events:
                 raise RuntimeError(f"exceeded {max_events} events; runaway schedule?")
             if observe is not None:
                 observe("sim.queue_depth", float(len(self._queue)))

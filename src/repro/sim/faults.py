@@ -1,0 +1,358 @@
+"""Seeded fault injection for online sessions (availability under churn).
+
+The paper motivates replication with availability — datasets are copied so
+the edge cloud stays "highly available, reliable and scalable" (§2.3) —
+but :mod:`repro.core.repair` only tests that claim statically: it knocks
+nodes out of a *finished* placement and repairs once.  This module makes
+failures *events*: node crashes and recoveries are drawn from a seeded
+renewal process and scheduled into the same :class:`~repro.sim.engine.Simulator`
+that drives query arrivals, so queries arrive, crash into, and fail over
+around live faults.
+
+Division of labour:
+
+* :func:`build_fault_schedule` — a pure function from
+  ``(nodes, horizon, config)`` to a fault-event sequence; the whole
+  schedule is derived up front from ``FaultConfig.seed`` so the same seed
+  reproduces the identical fault trace regardless of what the workload
+  does.
+* :class:`FaultInjector` — wires the schedule into a simulator, applies
+  crash/recover semantics to a fault-aware
+  :class:`~repro.cluster.state.ClusterState` (mark down, evict in-flight
+  allocations, destroy non-origin replicas), tracks the time-weighted
+  availability curve, and aggregates the :class:`FaultReport`.
+* The *failover policy* (which queries retry where, with what backoff)
+  lives in ``OnlineSession`` (:mod:`repro.core.online`), which reuses
+  :func:`repro.core.repair.best_failover_candidate` — the same
+  surviving-replica rule as the static repair pass.
+
+Crash semantics mirror ``repair_placement``: non-origin replicas on a
+crashed node are destroyed (their ``K`` slots free up), while the origin's
+ledger entry survives — the authoritative copy still occupies a slot and
+returns to service when its node recovers.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from repro.obs import get_registry
+from repro.util.rng import spawn_rng
+from repro.util.validation import check_non_negative, check_positive
+
+if TYPE_CHECKING:  # avoid sim → cluster → core import cycles at runtime
+    from repro.cluster.state import ClusterState
+    from repro.sim.engine import Simulator
+
+__all__ = [
+    "FaultConfig",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultReport",
+    "build_fault_schedule",
+]
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Fault-injection parameters for an online session.
+
+    Attributes
+    ----------
+    mean_time_to_failure_s:
+        Mean gap of the cluster-wide crash renewal process (exponential).
+        Each crash picks a victim uniformly among the currently-up nodes.
+    mean_downtime_s:
+        Mean node downtime per crash (exponential).
+    seed:
+        Schedule seed; the entire fault trace is a pure function of
+        ``(placement nodes, horizon, this config)``.
+    max_failures:
+        Cap on the number of crashes injected (``None`` = unlimited
+        within the horizon).
+    min_up_nodes:
+        Crash draws that would leave fewer than this many nodes up are
+        skipped (the draw still consumes its gap, keeping later events
+        identical).
+    failover_retries:
+        How many times a query's failed failover is retried before the
+        query is interrupted.
+    failover_backoff_s:
+        Base retry delay; attempt ``k`` waits ``backoff · 2^k`` (bounded
+        exponential backoff).
+    """
+
+    mean_time_to_failure_s: float = 5.0
+    mean_downtime_s: float = 1.0
+    seed: int = 0
+    max_failures: int | None = None
+    min_up_nodes: int = 1
+    failover_retries: int = 3
+    failover_backoff_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        check_positive("mean_time_to_failure_s", self.mean_time_to_failure_s)
+        check_positive("mean_downtime_s", self.mean_downtime_s)
+        if self.max_failures is not None and self.max_failures < 0:
+            raise ValueError(
+                f"max_failures must be >= 0 or None, got {self.max_failures}"
+            )
+        if self.min_up_nodes < 1:
+            raise ValueError(
+                f"min_up_nodes must be >= 1, got {self.min_up_nodes}"
+            )
+        if self.failover_retries < 0:
+            raise ValueError(
+                f"failover_retries must be >= 0, got {self.failover_retries}"
+            )
+        check_non_negative("failover_backoff_s", self.failover_backoff_s)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault transition.
+
+    ``kind`` is ``"crash"`` or ``"recover"``; events sort by
+    ``(time, kind, node)``, so a crash precedes a recovery at the same
+    instant.
+    """
+
+    time: float
+    kind: str
+    node: int
+
+
+@dataclass(frozen=True)
+class FaultReport:
+    """Aggregate fault + failover outcome of one online session.
+
+    Attributes
+    ----------
+    schedule:
+        The injected fault events, in firing order.
+    crashes, recoveries:
+        Transition counts actually fired.
+    availability_curve:
+        Step function ``(time, up_fraction)`` of the fraction of
+        placement nodes up, starting at ``(0.0, 1.0)``.
+    time_weighted_availability:
+        Integral of the curve over the session divided by its duration
+        (1.0 when no time elapses).
+    mttr_s:
+        Mean service-repair time over successful failovers: crash instant
+        → lost pairs re-served (0.0 when there were none).
+    failovers_attempted, failovers_succeeded:
+        Per-query failover transactions tried / committed (retries count
+        as new attempts).
+    queries_interrupted:
+        Admitted queries whose lost service was never fully restored
+        (retries exhausted, or the hold ended while pairs were pending).
+    queries_recovered:
+        Admitted queries that lost pairs and completed with full service
+        after failover.
+    degraded_arrivals, degraded_admitted:
+        Arrivals (and admissions among them) that landed while at least
+        one node was down.
+    degraded_throughput:
+        ``degraded_admitted / degraded_arrivals`` (1.0 when no arrival
+        landed during an outage).
+    """
+
+    schedule: tuple[FaultEvent, ...]
+    crashes: int
+    recoveries: int
+    availability_curve: tuple[tuple[float, float], ...]
+    time_weighted_availability: float
+    mttr_s: float
+    failovers_attempted: int
+    failovers_succeeded: int
+    queries_interrupted: int
+    queries_recovered: int
+    degraded_arrivals: int
+    degraded_admitted: int
+    degraded_throughput: float
+
+
+def build_fault_schedule(
+    nodes: Sequence[int], horizon: float, config: FaultConfig
+) -> tuple[FaultEvent, ...]:
+    """Draw the crash/recover schedule for ``nodes`` over ``[0, horizon)``.
+
+    Crashes arrive as an exponential renewal process with mean
+    ``mean_time_to_failure_s``; each picks a victim uniformly among the
+    nodes up at that instant and takes it down for an exponential
+    downtime.  Recoveries may land beyond ``horizon`` (every crash is
+    paired with its recovery).  Pure and deterministic: the same
+    arguments always return the identical schedule.
+    """
+    check_non_negative("horizon", horizon)
+    rng = spawn_rng(config.seed, "faults/schedule")
+    up = set(int(v) for v in nodes)
+    pending: list[tuple[float, int]] = []  # (recovery time, node)
+    events: list[FaultEvent] = []
+    crashes = 0
+    t = 0.0
+    while config.max_failures is None or crashes < config.max_failures:
+        t += float(rng.exponential(config.mean_time_to_failure_s))
+        if t >= horizon:
+            break
+        while pending and pending[0][0] <= t:
+            _, back = heapq.heappop(pending)
+            up.add(back)
+        if len(up) <= config.min_up_nodes:
+            continue  # too degraded to crash another node; skip this draw
+        ordered = sorted(up)
+        victim = ordered[int(rng.integers(0, len(ordered)))]
+        downtime = float(rng.exponential(config.mean_downtime_s))
+        events.append(FaultEvent(t, "crash", victim))
+        events.append(FaultEvent(t + downtime, "recover", victim))
+        up.remove(victim)
+        heapq.heappush(pending, (t + downtime, victim))
+        crashes += 1
+    return tuple(sorted(events, key=lambda e: (e.time, e.kind, e.node)))
+
+
+class FaultInjector:
+    """Applies a fault schedule to a live cluster inside a simulator.
+
+    Parameters
+    ----------
+    sim, state:
+        The session's event engine and (fault-aware) cluster state.
+    schedule:
+        Events to inject, from :func:`build_fault_schedule`.
+    on_pairs_lost:
+        Callback ``(node, evicted_tags)`` fired after a crash is applied;
+        the session maps the evicted ``(query_id, dataset_id)`` tags to
+        running queries and drives failover.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        state: "ClusterState",
+        schedule: Sequence[FaultEvent],
+        on_pairs_lost: Callable[[int, tuple[object, ...]], None],
+    ) -> None:
+        self._sim = sim
+        self._state = state
+        self.schedule = tuple(schedule)
+        self._on_pairs_lost = on_pairs_lost
+        self._total_nodes = len(state.nodes)
+        self._fired: list[FaultEvent] = []
+        self._curve: list[tuple[float, float]] = [(0.0, 1.0)]
+        self._repair_delays: list[float] = []
+        self.crashes = 0
+        self.recoveries = 0
+        self.failovers_attempted = 0
+        self.failovers_succeeded = 0
+        self.queries_interrupted = 0
+        self.queries_recovered = 0
+        self.degraded_arrivals = 0
+        self.degraded_admitted = 0
+
+    def arm(self) -> None:
+        """Schedule every fault event into the simulator."""
+        for event in self.schedule:
+            self._sim.schedule(event.time, lambda e=event: self._fire(e))
+
+    # -- event application -------------------------------------------------
+
+    def _fire(self, event: FaultEvent) -> None:
+        obs = get_registry()
+        state = self._state
+        self._fired.append(event)
+        if event.kind == "crash":
+            state.mark_down(event.node)
+            evicted = state.evict_allocations(event.node)
+            dropped = state.drop_replicas(event.node)
+            self.crashes += 1
+            obs.inc("faults.crashes")
+            obs.inc("faults.allocations_lost", len(evicted))
+            obs.inc("faults.replicas_lost", len(dropped))
+            self._record_point()
+            self._on_pairs_lost(event.node, evicted)
+        else:
+            state.mark_up(event.node)
+            self.recoveries += 1
+            obs.inc("faults.recoveries")
+            self._record_point()
+
+    def _record_point(self) -> None:
+        frac = 1.0 - len(self._state.down_nodes()) / self._total_nodes
+        self._curve.append((self._sim.now, frac))
+
+    # -- session accounting ------------------------------------------------
+
+    def note_arrival(self, degraded: bool) -> None:
+        """Record one arrival; ``degraded`` while any node is down."""
+        if degraded:
+            self.degraded_arrivals += 1
+
+    def note_admission(self, degraded: bool) -> None:
+        """Record one admission; ``degraded`` while any node is down."""
+        if degraded:
+            self.degraded_admitted += 1
+
+    def note_failover(self, success: bool, repair_delay_s: float) -> None:
+        """Record one failover transaction attempt and its outcome."""
+        self.failovers_attempted += 1
+        if success:
+            self.failovers_succeeded += 1
+            self._repair_delays.append(repair_delay_s)
+            get_registry().observe("faults.repair_s", repair_delay_s)
+
+    def note_interrupted(self) -> None:
+        """Record an admitted query whose service was never restored."""
+        self.queries_interrupted += 1
+        get_registry().inc("online.interrupted")
+
+    def note_recovered(self) -> None:
+        """Record an admitted query that completed after failing over."""
+        self.queries_recovered += 1
+        get_registry().inc("online.recovered")
+
+    # -- reporting ---------------------------------------------------------
+
+    def report(self, end_time: float) -> FaultReport:
+        """Assemble the :class:`FaultReport` for a session ending now."""
+        return FaultReport(
+            schedule=tuple(self._fired),
+            crashes=self.crashes,
+            recoveries=self.recoveries,
+            availability_curve=tuple(self._curve),
+            time_weighted_availability=_integrate_curve(self._curve, end_time),
+            mttr_s=(
+                sum(self._repair_delays) / len(self._repair_delays)
+                if self._repair_delays
+                else 0.0
+            ),
+            failovers_attempted=self.failovers_attempted,
+            failovers_succeeded=self.failovers_succeeded,
+            queries_interrupted=self.queries_interrupted,
+            queries_recovered=self.queries_recovered,
+            degraded_arrivals=self.degraded_arrivals,
+            degraded_admitted=self.degraded_admitted,
+            degraded_throughput=(
+                self.degraded_admitted / self.degraded_arrivals
+                if self.degraded_arrivals
+                else 1.0
+            ),
+        )
+
+
+def _integrate_curve(
+    curve: Sequence[tuple[float, float]], end_time: float
+) -> float:
+    """Time-weighted mean of a right-continuous step function on [0, end]."""
+    if end_time <= 0.0:
+        return 1.0
+    area = 0.0
+    for (t0, frac), (t1, _) in zip(curve, curve[1:]):
+        area += frac * (max(0.0, min(t1, end_time) - t0))
+    last_t, last_frac = curve[-1]
+    if end_time > last_t:
+        area += last_frac * (end_time - last_t)
+    return area / end_time

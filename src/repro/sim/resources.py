@@ -23,12 +23,17 @@ class FifoResource:
     ``acquire(duration, then)`` runs ``then`` once the hold *starts*; the
     resource frees itself ``duration`` later.  Used to serialise transfers
     crossing the same physical link.
+
+    ``total_busy_s`` accrues when a hold *completes*, so a run stopped
+    mid-hold (``Simulator.run(until=...)``) never reports busy time that
+    has not actually elapsed yet.
     """
 
     def __init__(self, sim: Simulator, name: str = "") -> None:
         self._sim = sim
         self.name = name
         self._busy = False
+        self._hold_s = 0.0
         self._waiters: deque[tuple[float, Callable[[], None]]] = deque()
         self.total_busy_s = 0.0
 
@@ -52,12 +57,14 @@ class FifoResource:
 
     def _start(self, duration: float, then: Callable[[], None]) -> None:
         self._busy = True
-        self.total_busy_s += duration
+        self._hold_s = duration
         then()
         self._sim.schedule_in(duration, self._release)
 
     def _release(self) -> None:
         self._busy = False
+        self.total_busy_s += self._hold_s
+        self._hold_s = 0.0
         if self._waiters:
             duration, then = self._waiters.popleft()
             self._start(duration, then)

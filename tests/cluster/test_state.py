@@ -128,6 +128,25 @@ class TestTransaction:
                 raise RuntimeError("boom")
         assert not state.replicas.has(0, node)
 
+    def test_rollback_after_partial_serve_failure(self, tiny_instance):
+        """A serve that fails mid-transaction after earlier pairs placed
+        replicas must leave no trace: the replica store and every node
+        ledger roll back together."""
+        state = ClusterState(tiny_instance)
+        query = tiny_instance.query(1)  # demands datasets 0 and 1
+        good = tiny_instance.placement_nodes[4]
+        full = tiny_instance.placement_nodes[5]
+        state.nodes[full].allocate("filler", state.nodes[full].available_ghz)
+        with pytest.raises(CapacityError):
+            with state.transaction():
+                state.serve(query, tiny_instance.dataset(0), good)
+                state.serve(query, tiny_instance.dataset(1), full)  # raises
+        assert not state.replicas.has(0, good)
+        assert state.nodes[good].allocated_ghz == 0.0
+        assert state.nodes[good].allocation_tags() == ()
+        # The pre-transaction filler allocation survives the rollback.
+        assert state.nodes[full].allocation_tags() == ("filler",)
+
     def test_nested_state_unaffected_before_transaction(self, tiny_instance):
         state = ClusterState(tiny_instance)
         pre = state.serve(
@@ -145,6 +164,111 @@ class TestTransaction:
         assert (pre.query_id, pre.dataset_id) in [
             tag for n in state.nodes.values() for tag in n.allocation_tags()
         ]
+
+
+class TestLiveness:
+    def test_fresh_state_all_up(self, tiny_instance):
+        state = ClusterState(tiny_instance)
+        assert not state.has_down_nodes
+        assert state.down_nodes() == frozenset()
+        assert all(state.is_up(v) for v in tiny_instance.placement_nodes)
+        assert state.up_mask().all()
+        assert state.has_live_copy(0)
+
+    def test_mark_down_then_up(self, tiny_instance):
+        state = ClusterState(tiny_instance)
+        node = tiny_instance.placement_nodes[4]
+        state.mark_down(node)
+        assert not state.is_up(node)
+        assert state.down_nodes() == frozenset({node})
+        idx = tiny_instance.node_index[node]
+        assert not state.up_mask()[idx]
+        state.mark_up(node)
+        assert state.is_up(node)
+        assert not state.has_down_nodes
+
+    def test_double_crash_rejected(self, tiny_instance):
+        state = ClusterState(tiny_instance)
+        node = tiny_instance.placement_nodes[4]
+        state.mark_down(node)
+        with pytest.raises(ValueError, match="already down"):
+            state.mark_down(node)
+
+    def test_mark_up_requires_down(self, tiny_instance):
+        state = ClusterState(tiny_instance)
+        with pytest.raises(ValueError, match="not down"):
+            state.mark_up(tiny_instance.placement_nodes[4])
+
+    def test_unknown_node_rejected(self, tiny_instance):
+        state = ClusterState(tiny_instance)
+        with pytest.raises(ValueError, match="unknown"):
+            state.mark_down(-1)
+
+    def test_down_node_cannot_serve(self, tiny_instance):
+        state = ClusterState(tiny_instance)
+        query = tiny_instance.query(0)
+        dataset = tiny_instance.dataset(0)
+        node = tiny_instance.placement_nodes[4]
+        assert state.can_serve(query, dataset, node)
+        state.mark_down(node)
+        assert not state.can_serve(query, dataset, node)
+        with pytest.raises(CapacityError, match="down"):
+            state.serve(query, dataset, node)
+
+    def test_no_live_copy_blocks_fresh_replica(self, tiny_instance):
+        state = ClusterState(tiny_instance)
+        query = tiny_instance.query(0)
+        dataset = tiny_instance.dataset(0)
+        state.mark_down(dataset.origin_node)  # the only copy
+        other = tiny_instance.placement_nodes[4]
+        assert not state.has_live_copy(0)
+        assert not state.can_serve(query, dataset, other)
+        with pytest.raises(ReplicaError, match="live copy"):
+            state.serve(query, dataset, other)
+
+    def test_surviving_replica_keeps_dataset_serveable(self, tiny_instance):
+        state = ClusterState(tiny_instance)
+        query = tiny_instance.query(0)
+        dataset = tiny_instance.dataset(0)
+        node = tiny_instance.placement_nodes[4]
+        assignment = state.serve(query, dataset, node)  # clones a replica
+        state.release(assignment)
+        state.mark_down(dataset.origin_node)
+        assert state.has_live_copy(0)
+        assert state.can_serve(query, dataset, node)
+
+    def test_can_serve_mask_consistent_under_faults(self, tiny_instance):
+        state = ClusterState(tiny_instance)
+        state.mark_down(tiny_instance.dataset(0).origin_node)
+        state.mark_down(tiny_instance.placement_nodes[4])
+        for q in tiny_instance.queries:
+            for d_id in q.demanded:
+                d = tiny_instance.dataset(d_id)
+                mask = state.can_serve_mask(q, d)
+                for i, v in enumerate(tiny_instance.placement_nodes):
+                    assert mask[i] == state.can_serve(q, d, v)
+
+    def test_evict_allocations(self, tiny_instance):
+        state = ClusterState(tiny_instance)
+        query = tiny_instance.query(0)
+        dataset = tiny_instance.dataset(0)
+        node = tiny_instance.placement_nodes[4]
+        state.serve(query, dataset, node)
+        tags = state.evict_allocations(node)
+        assert tags == ((0, 0),)
+        assert state.nodes[node].allocated_ghz == 0.0
+
+    def test_drop_replicas_keeps_origin(self, tiny_instance):
+        state = ClusterState(tiny_instance)
+        query = tiny_instance.query(0)
+        dataset = tiny_instance.dataset(0)
+        node = tiny_instance.placement_nodes[4]
+        state.serve(query, dataset, node)
+        assert state.drop_replicas(node) == (0,)
+        assert not state.replicas.has(0, node)
+        # The origin's ledger entry is never dropped.
+        assert state.drop_replicas(dataset.origin_node) == ()
+        assert state.replicas.has(0, dataset.origin_node)
 
 
 class TestReporting:

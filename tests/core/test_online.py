@@ -77,3 +77,75 @@ class TestOnlineSession:
             OnlineConfig(mean_interarrival_s=0.0)
         with pytest.raises(ValidationError):
             OnlineConfig(hold_factor=0.0)
+
+
+class TestNoFaultParity:
+    """With faults disabled the session must be bit-identical to the
+    pre-fault-layer behaviour — pinned against golden values captured
+    before the fault subsystem landed."""
+
+    def test_appro_golden_values(self, instance):
+        report = OnlineSession(OnlineConfig(seed=7)).run(instance, appro_rule)
+        assert report.faults is None
+        assert report.admitted_volume_gb == 649.6883870602176
+        assert report.throughput == 0.574468085106383
+        assert report.peak_allocated_ghz == 68.3429133942284
+        assert report.replicas_placed == 23
+        first = report.outcomes[0]
+        assert first.query_id == 0
+        assert first.arrival_s == 0.10333573166295018
+        assert first.admitted is True
+        assert first.volume_gb == 12.965732248723615
+
+    def test_greedy_golden_values(self, instance):
+        report = OnlineSession(OnlineConfig(seed=7)).run(instance, greedy_rule)
+        assert report.faults is None
+        assert report.admitted_volume_gb == 111.93933170440027
+        assert report.throughput == 0.11702127659574468
+        assert report.replicas_placed == 19
+
+
+class TestFaultSession:
+    def _config(self, **kwargs):
+        from repro.sim.faults import FaultConfig
+
+        defaults = dict(
+            mean_time_to_failure_s=1.0, mean_downtime_s=0.5, seed=11
+        )
+        defaults.update(kwargs)
+        return OnlineConfig(seed=7, hold_factor=20.0, faults=FaultConfig(**defaults))
+
+    def test_deterministic_with_faults(self, instance):
+        cfg = self._config()
+        r1 = OnlineSession(cfg).run(instance, appro_rule)
+        r2 = OnlineSession(cfg).run(instance, appro_rule)
+        assert r1 == r2  # full report: outcomes, fault schedule, metrics
+
+    def test_fault_report_attached_and_consistent(self, instance):
+        report = OnlineSession(self._config()).run(instance, appro_rule)
+        faults = report.faults
+        assert faults is not None
+        assert faults.crashes == sum(
+            1 for e in faults.schedule if e.kind == "crash"
+        )
+        assert 0.0 <= faults.time_weighted_availability <= 1.0
+        assert faults.failovers_succeeded <= faults.failovers_attempted
+        assert faults.queries_recovered + faults.queries_interrupted <= len(
+            report.outcomes
+        )
+        assert faults.degraded_admitted <= faults.degraded_arrivals
+
+    def test_fault_seed_changes_schedule_not_arrivals(self, instance):
+        r1 = OnlineSession(self._config(seed=1)).run(instance, appro_rule)
+        r2 = OnlineSession(self._config(seed=2)).run(instance, appro_rule)
+        assert r1.faults.schedule != r2.faults.schedule
+        assert [o.arrival_s for o in r1.outcomes] == [
+            o.arrival_s for o in r2.outcomes
+        ]
+
+    def test_faults_hurt_admission(self, instance):
+        clean = OnlineSession(OnlineConfig(seed=7, hold_factor=20.0)).run(
+            instance, appro_rule
+        )
+        faulty = OnlineSession(self._config()).run(instance, appro_rule)
+        assert faulty.admitted_volume_gb <= clean.admitted_volume_gb

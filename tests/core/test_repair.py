@@ -2,8 +2,10 @@
 
 import pytest
 
+from repro.cluster.state import ClusterState
 from repro.core import evaluate_solution, make_algorithm, verify_solution
-from repro.core.repair import fail_nodes, repair_placement
+from repro.core.feasibility import candidate_nodes
+from repro.core.repair import best_failover_candidate, fail_nodes, repair_placement
 from repro.experiments.runner import make_instance
 from repro.topology.twotier import TwoTierConfig
 from repro.util.validation import ValidationError
@@ -114,6 +116,20 @@ class TestRepair:
         assert report.dropped_queries == impact.affected_queries
         assert report.recovered_queries == frozenset()
 
+    def test_orphaned_dataset_drops_its_queries(self, placed):
+        """Failing every node holding a dataset's copies orphans it; the
+        queries served from it are unrecoverable and must be dropped."""
+        instance, solution = placed
+        (q_id, d_id), _ = next(iter(sorted(solution.assignments.items())))
+        victims = sorted(solution.replicas[d_id])
+        impact = fail_nodes(instance, solution, victims)
+        assert d_id in impact.orphaned_datasets
+        report = repair_placement(instance, solution, impact)
+        orphan_queries = {q for (q, d) in impact.lost_pairs if d == d_id}
+        assert q_id in orphan_queries
+        assert orphan_queries <= report.dropped_queries
+        verify_solution(instance, report.solution)
+
     def test_more_replicas_higher_availability(self):
         """The paper's availability claim: K buys failure resilience."""
         avail = {}
@@ -132,3 +148,57 @@ class TestRepair:
                 count += 1
             avail[k] = total / count if count else 1.0
         assert avail[5] >= avail[1]
+
+
+class TestBestFailoverCandidate:
+    def test_picks_cheapest_feasible(self, tiny_instance):
+        state = ClusterState(tiny_instance)
+        query = tiny_instance.query(0)
+        dataset = tiny_instance.dataset(0)
+        best = best_failover_candidate(state, query, dataset)
+        assert best is not None
+        options = candidate_nodes(state, query, dataset)
+        assert best.latency_s == min(c.latency_s for c in options)
+
+    def test_excluded_nodes_skipped(self, tiny_instance):
+        state = ClusterState(tiny_instance)
+        query = tiny_instance.query(0)
+        dataset = tiny_instance.dataset(0)
+        best = best_failover_candidate(state, query, dataset)
+        alt = best_failover_candidate(
+            state, query, dataset, excluded=frozenset({best.node})
+        )
+        assert alt is None or alt.node != best.node
+
+    def test_all_excluded_gives_none(self, tiny_instance):
+        state = ClusterState(tiny_instance)
+        assert (
+            best_failover_candidate(
+                state,
+                tiny_instance.query(0),
+                tiny_instance.dataset(0),
+                excluded=frozenset(tiny_instance.placement_nodes),
+            )
+            is None
+        )
+
+    def test_orphaned_dataset_has_no_candidate(self, tiny_instance):
+        state = ClusterState(tiny_instance)
+        dataset = tiny_instance.dataset(0)
+        state.mark_down(dataset.origin_node)  # the only copy is gone
+        assert (
+            best_failover_candidate(state, tiny_instance.query(0), dataset)
+            is None
+        )
+
+    def test_surviving_replica_found_after_origin_crash(self, tiny_instance):
+        state = ClusterState(tiny_instance)
+        query = tiny_instance.query(0)
+        dataset = tiny_instance.dataset(0)
+        node = tiny_instance.placement_nodes[4]
+        assignment = state.serve(query, dataset, node)  # clones a copy
+        state.release(assignment)
+        state.mark_down(dataset.origin_node)
+        best = best_failover_candidate(state, query, dataset)
+        assert best is not None
+        assert state.is_up(best.node)

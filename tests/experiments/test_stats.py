@@ -25,6 +25,19 @@ class TestMeanCi:
         ci = mean_ci([3.0, 3.0, 3.0])
         assert ci.half_width == 0.0
 
+    def test_large_magnitude_variance_detected(self):
+        """Regression: ``np.allclose(arr, mean)`` (default rtol 1e-5)
+        treated large-magnitude samples with real spread as constant and
+        silently returned a zero-width interval."""
+        ci = mean_ci([1e6 - 5.0, 1e6, 1e6 + 5.0])
+        assert ci.estimate == pytest.approx(1e6)
+        assert ci.half_width > 0.0
+        assert ci.low < 1e6 < ci.high
+
+    def test_large_magnitude_constant_still_degenerate(self):
+        ci = mean_ci([1e12, 1e12, 1e12])
+        assert ci.half_width == 0.0
+
     def test_higher_confidence_wider(self):
         data = [1.0, 2.5, 2.0, 4.0, 3.0, 1.5]
         assert mean_ci(data, 0.99).half_width > mean_ci(data, 0.8).half_width

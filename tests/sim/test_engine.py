@@ -87,3 +87,22 @@ class TestRunUntil:
         sim.schedule(0.0, forever)
         with pytest.raises(RuntimeError, match="events"):
             sim.run(max_events=100)
+
+    def test_max_events_budget_is_per_run(self):
+        """Regression: the budget used to be checked against the cumulative
+        ``events_processed``, so a second ``run()`` inherited the first
+        run's count and raised "runaway schedule" spuriously."""
+        sim = Simulator()
+        for i in range(8):
+            sim.schedule(float(i), lambda: None)
+        sim.run(until=4.0, max_events=5)  # fires 5 events, budget exactly met
+        sim.run(max_events=5)  # fires the remaining 3; used to raise at 6
+        assert sim.events_processed == 8
+
+    def test_events_processed_still_cumulative(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 2

@@ -1,0 +1,179 @@
+"""Tests for the fault-injection subsystem (schedule, injector, state)."""
+
+import pytest
+
+from repro.cluster.state import ClusterState
+from repro.sim.engine import Simulator
+from repro.sim.faults import (
+    FaultConfig,
+    FaultEvent,
+    FaultInjector,
+    build_fault_schedule,
+    _integrate_curve,
+)
+
+
+class TestFaultConfig:
+    def test_defaults_valid(self):
+        FaultConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"mean_time_to_failure_s": 0.0},
+            {"mean_downtime_s": -1.0},
+            {"max_failures": -1},
+            {"min_up_nodes": 0},
+            {"failover_retries": -1},
+            {"failover_backoff_s": -0.1},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultConfig(**kwargs)
+
+
+class TestSchedule:
+    NODES = (10, 20, 30, 40)
+
+    def test_deterministic(self):
+        cfg = FaultConfig(mean_time_to_failure_s=1.0, seed=5)
+        s1 = build_fault_schedule(self.NODES, 50.0, cfg)
+        s2 = build_fault_schedule(self.NODES, 50.0, cfg)
+        assert s1 == s2
+        assert s1  # a 50 s horizon at MTTF 1 s produces events
+
+    def test_different_seeds_differ(self):
+        a = build_fault_schedule(
+            self.NODES, 50.0, FaultConfig(mean_time_to_failure_s=1.0, seed=1)
+        )
+        b = build_fault_schedule(
+            self.NODES, 50.0, FaultConfig(mean_time_to_failure_s=1.0, seed=2)
+        )
+        assert a != b
+
+    def test_crash_recover_pairing(self):
+        cfg = FaultConfig(mean_time_to_failure_s=0.5, mean_downtime_s=0.3, seed=3)
+        schedule = build_fault_schedule(self.NODES, 30.0, cfg)
+        crashes = [e for e in schedule if e.kind == "crash"]
+        recoveries = [e for e in schedule if e.kind == "recover"]
+        assert len(crashes) == len(recoveries)
+        # Per node, transitions alternate crash/recover in time order.
+        for node in self.NODES:
+            kinds = [e.kind for e in schedule if e.node == node]
+            assert all(
+                k == ("crash" if i % 2 == 0 else "recover")
+                for i, k in enumerate(kinds)
+            )
+
+    def test_crashes_inside_horizon(self):
+        cfg = FaultConfig(mean_time_to_failure_s=0.5, seed=3)
+        schedule = build_fault_schedule(self.NODES, 10.0, cfg)
+        assert all(e.time < 10.0 for e in schedule if e.kind == "crash")
+
+    def test_sorted_by_time(self):
+        cfg = FaultConfig(mean_time_to_failure_s=0.5, seed=3)
+        schedule = build_fault_schedule(self.NODES, 30.0, cfg)
+        times = [e.time for e in schedule]
+        assert times == sorted(times)
+
+    def test_max_failures_cap(self):
+        cfg = FaultConfig(mean_time_to_failure_s=0.1, seed=3, max_failures=2)
+        schedule = build_fault_schedule(self.NODES, 100.0, cfg)
+        assert sum(1 for e in schedule if e.kind == "crash") == 2
+
+    def test_min_up_nodes_respected(self):
+        cfg = FaultConfig(
+            mean_time_to_failure_s=0.05,
+            mean_downtime_s=50.0,
+            seed=3,
+            min_up_nodes=3,
+        )
+        schedule = build_fault_schedule(self.NODES, 20.0, cfg)
+        down = set()
+        for event in schedule:
+            if event.kind == "crash":
+                down.add(event.node)
+                assert len(self.NODES) - len(down) >= 3
+            else:
+                down.discard(event.node)
+
+    def test_zero_failures_allowed(self):
+        cfg = FaultConfig(max_failures=0)
+        assert build_fault_schedule(self.NODES, 100.0, cfg) == ()
+
+
+class TestInjector:
+    def _injector(self, tiny_instance, schedule, lost):
+        state = ClusterState(tiny_instance)
+        sim = Simulator()
+        injector = FaultInjector(
+            sim, state, schedule, lambda node, tags: lost.append((node, tags))
+        )
+        injector.arm()
+        return sim, state, injector
+
+    def test_crash_marks_down_and_evicts(self, tiny_instance):
+        node = tiny_instance.placement_nodes[4]
+        query = tiny_instance.query(0)
+        dataset = tiny_instance.dataset(0)
+        lost = []
+        schedule = (FaultEvent(1.0, "crash", node), FaultEvent(2.0, "recover", node))
+        sim, state, injector = self._injector(tiny_instance, schedule, lost)
+        state.serve(query, dataset, node)  # replica + allocation on the victim
+        sim.run(until=1.5)
+        assert not state.is_up(node)
+        assert state.nodes[node].allocated_ghz == 0.0
+        assert not state.replicas.has(0, node)  # non-origin replica destroyed
+        assert lost == [(node, ((0, 0),))]
+        sim.run()
+        assert state.is_up(node)
+
+    def test_origin_copy_survives_crash(self, tiny_instance):
+        dataset = tiny_instance.dataset(0)
+        node = dataset.origin_node
+        schedule = (FaultEvent(1.0, "crash", node),)
+        sim, state, injector = self._injector(tiny_instance, schedule, [])
+        sim.run()
+        assert state.replicas.has(0, node)  # ledger entry survives
+        assert not state.is_up(node)
+
+    def test_availability_curve_and_report(self, tiny_instance):
+        node = tiny_instance.placement_nodes[0]
+        n = len(tiny_instance.placement_nodes)
+        schedule = (FaultEvent(1.0, "crash", node), FaultEvent(3.0, "recover", node))
+        sim, state, injector = self._injector(tiny_instance, schedule, [])
+        sim.run()
+        report = injector.report(4.0)
+        assert report.crashes == 1 and report.recoveries == 1
+        assert report.availability_curve == (
+            (0.0, 1.0),
+            (1.0, 1.0 - 1.0 / n),
+            (3.0, 1.0),
+        )
+        expected = (1.0 + 2.0 * (1.0 - 1.0 / n) + 1.0) / 4.0
+        assert report.time_weighted_availability == pytest.approx(expected)
+
+    def test_report_with_no_faults(self, tiny_instance):
+        sim, state, injector = self._injector(tiny_instance, (), [])
+        sim.run()
+        report = injector.report(0.0)
+        assert report.crashes == 0
+        assert report.time_weighted_availability == 1.0
+        assert report.mttr_s == 0.0
+        assert report.degraded_throughput == 1.0
+
+
+class TestCurveIntegration:
+    def test_zero_duration(self):
+        assert _integrate_curve([(0.0, 1.0)], 0.0) == 1.0
+
+    def test_step_function(self):
+        curve = [(0.0, 1.0), (2.0, 0.5), (6.0, 1.0)]
+        assert _integrate_curve(curve, 10.0) == pytest.approx(
+            (2.0 + 4.0 * 0.5 + 4.0) / 10.0
+        )
+
+    def test_end_before_last_point(self):
+        curve = [(0.0, 1.0), (2.0, 0.5), (6.0, 1.0)]
+        assert _integrate_curve(curve, 4.0) == pytest.approx((2.0 + 2.0 * 0.5) / 4.0)

@@ -44,6 +44,29 @@ class TestFifoResource:
         assert fired == [True]
         assert not link.busy
 
+    def test_busy_time_accrues_on_release(self):
+        """Regression: the full hold duration used to be added when the
+        hold *started*, over-reporting busy time for holds still in
+        progress when a bounded run stops."""
+        sim = Simulator()
+        link = FifoResource(sim)
+        sim.schedule(0.0, lambda: link.acquire(4.0, lambda: None))
+        sim.run(until=1.0)  # mid-hold: nothing has completed yet
+        assert link.busy
+        assert link.total_busy_s == 0.0
+        sim.run()
+        assert link.total_busy_s == pytest.approx(4.0)
+
+    def test_busy_time_counts_completed_holds_only(self):
+        sim = Simulator()
+        link = FifoResource(sim)
+        sim.schedule(0.0, lambda: link.acquire(2.0, lambda: None))
+        sim.schedule(0.0, lambda: link.acquire(3.0, lambda: None))
+        sim.run(until=2.5)  # first hold done, second still running
+        assert link.total_busy_s == pytest.approx(2.0)
+        sim.run()
+        assert link.total_busy_s == pytest.approx(5.0)
+
 
 class TestComputePool:
     def test_concurrent_within_capacity(self):

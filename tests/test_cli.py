@@ -76,6 +76,29 @@ class TestExtensionCommands:
         assert main(["online", "--rule", "greedy", "--gap", "0.5"]) == 0
         assert "greedy" in capsys.readouterr().out
 
+    def test_online_with_faults(self, capsys):
+        code = main(
+            [
+                "online",
+                "--gap", "0.5",
+                "--seed", "1",
+                "--hold-factor", "20",
+                "--faults",
+                "--mttf", "2.0",
+                "--downtime", "0.5",
+                "--fault-seed", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "crashes" in out
+        assert "availability" in out
+        assert "degraded admit" in out
+
+    def test_online_without_faults_omits_fault_lines(self, capsys):
+        assert main(["online", "--gap", "0.5", "--seed", "1"]) == 0
+        assert "crashes" not in capsys.readouterr().out
+
     def test_failover(self, capsys):
         code = main(["failover", "--failures", "2", "--seed", "1"])
         assert code == 0

@@ -1,0 +1,239 @@
+"""Extension bench — admission-gateway latency under load.
+
+Two phases, both at the paper-topology scale the figure benches use and
+driven by the same Zipf load generator:
+
+* **drain** — the micro-batching claim, measured where it lives: a
+  standing backlog of queries is pushed straight into the gateway's
+  batcher and drained by the admission worker alone (no TCP, no client
+  thread), with the micro-batch size swept.  Per-item admission latency
+  (enqueue → decision) falls as the batch grows because the worker
+  wake-up and the vectorised feasibility screen amortise over the
+  batch.  This cell is the acceptance gate: batched p99 must beat the
+  one-at-a-time baseline on an identical backlog (the decisions
+  themselves are pinned equal by ``tests/serve/test_gateway.py``).
+* **wire** — end-to-end behaviour over real TCP: closed-loop load
+  (fixed in-flight window) and open-loop Poisson load (fixed offered
+  rate) across batch sizes, plus a backpressure cell where a tight
+  queue bound under open-loop overload forces reject-newest shedding.
+  These rows are recorded for the latency/shed profile; the end-to-end
+  tail is dominated by per-request protocol costs shared by every
+  configuration, so no ordering is asserted between them.
+
+Writes the rendered table to ``results/serve.txt`` and the raw sweep to
+``results/serve.json`` (uploaded as a CI artifact by the serve smoke
+job).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import time
+
+import numpy as np
+
+from conftest import emit
+
+from repro.experiments.runner import make_instance
+from repro.serve import (
+    AdmissionGateway,
+    GatewayConfig,
+    GatewayThread,
+    QueryFactory,
+    run_closed_loop,
+    run_open_loop,
+)
+from repro.serve.gateway import _Pending
+from repro.topology.twotier import TwoTierConfig
+from repro.workload.params import PaperDefaults
+
+BATCH_SIZES = (1, 4, 16)
+NUM_REQUESTS = 600
+CLOSED_CONCURRENCY = 32
+#: Offered open-loop rate, chosen above the one-at-a-time service rate so
+#: a backlog forms and shedding/latency tails are visible.
+OPEN_RATE_RPS = 4000.0
+SEED = 71
+
+
+async def _drain_scenario(instance, max_batch: int, *, load_seed: int) -> dict:
+    """Drain one pre-loaded backlog through the admission worker.
+
+    Queries, arrival order and cluster state are identical across batch
+    sizes; only the worker's flush size differs, so the latency delta is
+    purely the admission path.  Holds are made effectively infinite so no
+    release fires mid-drain.
+    """
+    gateway = AdmissionGateway(
+        instance,
+        GatewayConfig(
+            max_batch=max_batch, queue_bound=NUM_REQUESTS, hold_factor=1e6
+        ),
+    )
+    loop = asyncio.get_running_loop()
+    factory = QueryFactory(instance, seed=load_seed)
+    done_at = [0.0] * NUM_REQUESTS
+    pendings = []
+    for i in range(NUM_REQUESTS):
+        future = loop.create_future()
+        future.add_done_callback(
+            lambda _f, i=i: done_at.__setitem__(i, time.perf_counter())
+        )
+        pendings.append(_Pending(factory.make(), future))
+    started = time.perf_counter()
+    for pending in pendings:
+        pending.enqueued_at = started
+        assert gateway._batcher.offer(pending)
+    worker = asyncio.create_task(gateway._admission_worker())
+    await asyncio.gather(*(p.future for p in pendings))
+    worker.cancel()
+    with contextlib.suppress(asyncio.CancelledError):
+        await worker
+    duration = time.perf_counter() - started
+    for handle in gateway._holds.values():
+        handle.cancel()
+    latencies_ms = (np.asarray(done_at) - started) * 1e3
+    return {
+        "mode": "drain",
+        "shed_cell": False,
+        "max_batch": max_batch,
+        "submitted": NUM_REQUESTS,
+        "admitted": gateway.counters["admitted"],
+        "rejected": gateway.counters["rejected"],
+        "shed": 0,
+        "protocol_errors": 0,
+        "duration_s": duration,
+        "throughput_rps": NUM_REQUESTS / duration,
+        "shed_rate": 0.0,
+        "latency_p50_ms": float(np.percentile(latencies_ms, 50)),
+        "latency_p99_ms": float(np.percentile(latencies_ms, 99)),
+        "batches": gateway.counters["batches"],
+        "mean_batch": NUM_REQUESTS / gateway.counters["batches"],
+    }
+
+
+def _wire_cell(
+    instance, mode: str, *, load_seed: int, shed_cell: bool = False, **config
+) -> dict:
+    """Run one TCP load scenario against a fresh gateway; return its summary."""
+    gateway = AdmissionGateway(instance, GatewayConfig(**config))
+    thread = GatewayThread(gateway)
+    host, port = thread.start()
+    try:
+        factory = QueryFactory(instance, seed=load_seed)
+        if mode == "closed":
+            report = asyncio.run(
+                run_closed_loop(
+                    host,
+                    port,
+                    factory,
+                    num_requests=NUM_REQUESTS,
+                    concurrency=CLOSED_CONCURRENCY,
+                )
+            )
+        else:
+            report = asyncio.run(
+                run_open_loop(
+                    host,
+                    port,
+                    factory,
+                    num_requests=NUM_REQUESTS,
+                    rate_rps=OPEN_RATE_RPS,
+                    seed=load_seed,
+                )
+            )
+    finally:
+        thread.stop()
+    row = {
+        "mode": mode,
+        "shed_cell": shed_cell,
+        **{k: v for k, v in config.items()},
+        **report.summary(),
+    }
+    row["batches"] = gateway.counters["batches"]
+    row["mean_batch"] = (
+        report.submitted / gateway.counters["batches"]
+        if gateway.counters["batches"]
+        else 0.0
+    )
+    return row
+
+
+def test_serve_batching_and_backpressure(benchmark, results_dir):
+    instance = make_instance(TwoTierConfig(), PaperDefaults(), SEED, 0)
+
+    def measure():
+        rows = []
+        for batch in BATCH_SIZES:
+            rows.append(
+                asyncio.run(_drain_scenario(instance, batch, load_seed=5))
+            )
+        for mode in ("closed", "open"):
+            for batch in BATCH_SIZES:
+                rows.append(
+                    _wire_cell(
+                        instance,
+                        mode,
+                        load_seed=5,
+                        max_batch=batch,
+                        queue_bound=256,
+                        hold_factor=1.0,
+                    )
+                )
+        # Backpressure cell: a tight queue bound under the same offered
+        # load forces reject-newest shedding (one-at-a-time service so
+        # the queue actually overflows).
+        rows.append(
+            _wire_cell(
+                instance,
+                "open",
+                load_seed=5,
+                max_batch=1,
+                queue_bound=16,
+                hold_factor=1.0,
+                shed_cell=True,
+            )
+        )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    lines = [
+        "=== admission gateway: micro-batching x load shape "
+        f"(paper topology, {NUM_REQUESTS} requests/cell) ===",
+        "mode   | batch | p50 (ms) | p99 (ms) | rps    | shed | mean batch",
+    ]
+    for r in rows:
+        label = f"{'shed' if r['shed_cell'] else r['mode']:6s} | {r['max_batch']:5d}"
+        lines.append(
+            f"{label} | {r['latency_p50_ms']:8.3f} | {r['latency_p99_ms']:8.3f} "
+            f"| {r['throughput_rps']:6.0f} | {r['shed_rate']:4.2f} "
+            f"| {r['mean_batch']:6.1f}"
+        )
+    emit(results_dir, "serve", "\n".join(lines))
+    (results_dir / "serve.json").write_text(json.dumps(rows, indent=2) + "\n")
+
+    by_key = {
+        (r["mode"], r["max_batch"]): r for r in rows if not r["shed_cell"]
+    }
+    for r in rows:
+        assert r["protocol_errors"] == 0
+        assert r["submitted"] == NUM_REQUESTS
+    # The tentpole claim, measured on the admission path itself: draining
+    # an identical standing backlog, micro-batching beats one-at-a-time
+    # admission on p99 enqueue-to-decision latency — the worker wake-up
+    # and the stacked feasibility screen amortise over the batch.
+    serial = by_key[("drain", 1)]
+    batched = by_key[("drain", 16)]
+    assert batched["latency_p99_ms"] < serial["latency_p99_ms"]
+    assert batched["mean_batch"] > 1.5  # batching actually engaged
+    # Same backlog, same state: the batched worker must reach the same
+    # decisions as the serial one (the prefilter is a screen, not a
+    # different policy).
+    assert batched["admitted"] == serial["admitted"]
+    # Backpressure engaged: the tight-queue cell shed a visible share of
+    # offered load and stayed protocol-clean while doing it.
+    shed_row = next(r for r in rows if r["shed_cell"])
+    assert shed_row["shed_rate"] > 0.1

@@ -15,6 +15,13 @@ Commands
 ``failover``
     Fail the most-loaded nodes under a placement and report availability
     after repair.
+``serve``
+    Run the admission gateway: a long-lived TCP service admitting a
+    stream of ad-hoc queries against a live cluster, with micro-batched
+    placement, backpressure, and periodic checkpoints (``docs/serving.md``).
+``load``
+    Drive a running gateway with generated Zipf load (closed- or
+    open-loop) and print the latency/shed report.
 ``list``
     List the registered placement algorithms.
 
@@ -30,6 +37,7 @@ Global flags
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from typing import Sequence
 
@@ -151,6 +159,50 @@ def build_parser() -> argparse.ArgumentParser:
     p_failover.add_argument("--algorithm", default="appro-g")
     p_failover.add_argument("--failures", type=int, default=2)
     p_failover.add_argument("--seed", type=int, default=0)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the long-lived admission gateway (docs/serving.md)"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="listen port (0 = OS-assigned, printed at start)")
+    p_serve.add_argument("--seed", type=int, default=0,
+                         help="instance seed; a load generator must use the "
+                         "same seed to target the same datasets")
+    p_serve.add_argument("--rule", choices=["appro", "greedy"], default="appro")
+    p_serve.add_argument("--max-batch", type=int, default=16,
+                         help="micro-batch flush size (1 disables batching)")
+    p_serve.add_argument("--max-wait-ms", type=float, default=0.0,
+                         help="micro-batch accumulation window "
+                         "(0 = eager: flush the queued backlog)")
+    p_serve.add_argument("--queue-bound", type=int, default=256,
+                         help="pending-queue capacity before shedding")
+    p_serve.add_argument("--checkpoint", metavar="PATH", default=None,
+                         help="checkpoint file; restored on startup when it "
+                         "exists, rewritten periodically and on shutdown")
+    p_serve.add_argument("--checkpoint-interval", type=float, default=5.0,
+                         help="seconds between periodic checkpoints")
+    p_serve.add_argument("--duration", type=float, default=None,
+                         help="stop after this many seconds (default: run "
+                         "until a shutdown request or Ctrl-C)")
+
+    p_load = sub.add_parser(
+        "load", help="drive a running gateway with generated Zipf load"
+    )
+    p_load.add_argument("--host", default="127.0.0.1")
+    p_load.add_argument("--port", type=int, required=True)
+    p_load.add_argument("--seed", type=int, default=0,
+                        help="instance seed (must match the gateway's)")
+    p_load.add_argument("--requests", type=int, default=200)
+    p_load.add_argument("--mode", choices=["closed", "open"], default="closed")
+    p_load.add_argument("--concurrency", type=int, default=8,
+                        help="in-flight requests (closed-loop mode)")
+    p_load.add_argument("--rate", type=float, default=200.0,
+                        help="offered requests/second (open-loop mode)")
+    p_load.add_argument("--load-seed", type=int, default=0,
+                        help="query-stream seed (vary for distinct workloads)")
+    p_load.add_argument("--shutdown", action="store_true",
+                        help="send a shutdown request after the run")
 
     p_report = sub.add_parser(
         "report", help="assemble persisted bench tables into one markdown report"
@@ -291,6 +343,98 @@ def _cmd_failover(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import AdmissionGateway, GatewayConfig
+
+    instance = make_instance(TwoTierConfig(), PaperDefaults(), args.seed, 0)
+    gateway = AdmissionGateway(
+        instance,
+        GatewayConfig(
+            host=args.host,
+            port=args.port,
+            rule=args.rule,
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+            queue_bound=args.queue_bound,
+            checkpoint_path=args.checkpoint,
+            checkpoint_interval_s=args.checkpoint_interval,
+        ),
+    )
+
+    async def run() -> None:
+        await gateway.start()
+        host, port = gateway.address
+        recovered = " (state recovered from checkpoint)" if gateway.recovered else ""
+        print(f"gateway listening on {host}:{port}{recovered}", flush=True)
+        try:
+            if args.duration is None:
+                await gateway.wait_closed()
+            else:
+                await gateway.run_for(args.duration)
+        except asyncio.CancelledError:
+            pass
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        counters = gateway.counters
+        with contextlib.suppress(BrokenPipeError):
+            print(
+                f"served {counters['submitted']} submissions: "
+                f"{counters['admitted']} admitted, {counters['rejected']} rejected, "
+                f"{counters['fast_rejected']} fast-rejected, {counters['shed']} shed"
+            )
+    return 0
+
+
+def _cmd_load(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import GatewayClient, QueryFactory, run_closed_loop, run_open_loop
+
+    instance = make_instance(TwoTierConfig(), PaperDefaults(), args.seed, 0)
+    factory = QueryFactory(instance, seed=args.load_seed)
+
+    async def run():
+        if args.mode == "closed":
+            report = await run_closed_loop(
+                args.host,
+                args.port,
+                factory,
+                num_requests=args.requests,
+                concurrency=args.concurrency,
+            )
+        else:
+            report = await run_open_loop(
+                args.host,
+                args.port,
+                factory,
+                num_requests=args.requests,
+                rate_rps=args.rate,
+                seed=args.load_seed,
+            )
+        if args.shutdown:
+            async with await GatewayClient.connect(args.host, args.port) as client:
+                await client.shutdown()
+        return report
+
+    try:
+        report = asyncio.run(run())
+    except ConnectionRefusedError:
+        print(f"no gateway at {args.host}:{args.port}", file=sys.stderr)
+        return 2
+    for key, value in report.summary().items():
+        if isinstance(value, float):
+            print(f"{key:18s}: {value:.3f}")
+        else:
+            print(f"{key:18s}: {value}")
+    return 1 if report.protocol_errors else 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     try:
         report = build_report(args.results_dir)
@@ -362,6 +506,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "testbed": _cmd_testbed,
         "online": _cmd_online,
         "failover": _cmd_failover,
+        "serve": _cmd_serve,
+        "load": _cmd_load,
         "explain": _cmd_explain,
         "describe": _cmd_describe,
         "topology": _cmd_topology,

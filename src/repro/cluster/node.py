@@ -100,9 +100,11 @@ class ComputeNode:
             raise CapacityError(
                 f"node {self.node_id}: no allocation under tag {tag!r}"
             ) from None
-        self._total -= amount
-        if self._total < 0.0:  # numerical safety net
-            self._total = 0.0
+        # Re-fold instead of decrementing: ``_total`` stays exactly the
+        # left-to-right sum of the surviving amounts, so a ledger rebuilt
+        # from a state dump (replaying allocations in insertion order)
+        # reproduces the live value bit-for-bit.
+        self._total = sum(self._allocations.values())
         return amount
 
     def allocation_tags(self) -> tuple[object, ...]:

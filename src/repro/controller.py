@@ -26,7 +26,9 @@ attributes — a no-op unless a metrics registry is installed.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.cluster.consistency import ConsistencyModel, SyncReport
@@ -44,6 +46,8 @@ from repro.topology.twotier import EdgeCloudTopology
 from repro.util.validation import ValidationError
 
 __all__ = ["ControllerEvent", "EdgeCloudController"]
+
+_FORMAT_CONTROLLER = "repro/controller/v1"
 
 
 @dataclass(frozen=True)
@@ -278,6 +282,115 @@ class EdgeCloudController:
                 f"(+{report.migration_gb:.1f} GB migration), dropped {report.dropped}",
             )
             return report
+
+    # -- persistence ---------------------------------------------------------
+
+    def snapshot(self, path: str | Path) -> None:
+        """Persist the whole session to ``path`` (atomic JSON write).
+
+        Captures the active instance and placement (when one exists), the
+        epoch counter, the failed-node set, and the audit log, using the
+        same versioned serialisers as :mod:`repro.io.serialize`.  A
+        ``snapshot`` audit event is recorded *before* writing, so the
+        snapshot's own log contains it and a later :meth:`restore` trail
+        shows when state was saved.
+        """
+        from repro.io.serialize import (
+            atomic_write_text,
+            dataset_to_dict,
+            instance_to_dict,
+            solution_to_dict,
+            topology_to_dict,
+        )
+
+        with get_registry().span(
+            "controller.snapshot", operation="snapshot", epoch=self.epoch
+        ):
+            self._record("snapshot", f"session state -> {path}")
+            payload = {
+                "format": _FORMAT_CONTROLLER,
+                "epoch": self.epoch,
+                "algorithm": self.algorithm,
+                "max_replicas": self.max_replicas,
+                "topology": topology_to_dict(self.topology),
+                "datasets": [
+                    dataset_to_dict(d) for d in self.datasets.values()
+                ],
+                "instance": (
+                    instance_to_dict(self._instance)
+                    if self._instance is not None
+                    else None
+                ),
+                "solution": (
+                    solution_to_dict(self._solution)
+                    if self._solution is not None
+                    else None
+                ),
+                "failed": sorted(self._failed),
+                "log": [
+                    {"epoch": e.epoch, "operation": e.operation, "detail": e.detail}
+                    for e in self.log
+                ],
+            }
+            atomic_write_text(path, json.dumps(payload, indent=1))
+
+    @classmethod
+    def restore(cls, path: str | Path) -> "EdgeCloudController":
+        """Rebuild a controller session from a :meth:`snapshot` file.
+
+        The restored controller carries the snapshot's placement, epoch,
+        failed-node set and audit log (verified against the full
+        constraint set, like any freshly planned placement), plus a new
+        ``restore`` audit event.
+        """
+        from repro.io.serialize import (
+            dataset_from_dict,
+            instance_from_dict,
+            solution_from_dict,
+            topology_from_dict,
+        )
+
+        payload = json.loads(Path(path).read_text())
+        got = payload.get("format")
+        if got != _FORMAT_CONTROLLER:
+            raise ValidationError(
+                f"expected format {_FORMAT_CONTROLLER!r}, got {got!r}"
+            )
+        instance = (
+            instance_from_dict(payload["instance"])
+            if payload["instance"] is not None
+            else None
+        )
+        topology = (
+            instance.topology
+            if instance is not None
+            else topology_from_dict(payload["topology"])
+        )
+        datasets = {
+            d["dataset_id"]: dataset_from_dict(d) for d in payload["datasets"]
+        }
+        controller = cls(
+            topology,
+            datasets,
+            max_replicas=payload["max_replicas"],
+            algorithm=payload["algorithm"],
+        )
+        with get_registry().span(
+            "controller.restore", operation="restore", epoch=payload["epoch"]
+        ):
+            controller.epoch = payload["epoch"]
+            controller._failed = set(payload["failed"])
+            controller.log = [
+                ControllerEvent(e["epoch"], e["operation"], e["detail"])
+                for e in payload["log"]
+            ]
+            if instance is not None:
+                solution = solution_from_dict(payload["solution"])
+                verify_solution(instance, solution)
+                controller._instance = instance
+                controller._solution = solution
+            controller._record("restore", f"session state <- {path}")
+        return controller
 
     def audit_trail(self) -> str:
         """The session log as text, one line per operation."""

@@ -2,34 +2,56 @@
 
 Experiments become shareable artifacts: a problem instance round-trips
 through JSON (human-diffable), usage traces through compressed ``.npz``
-(columnar).  All loaders validate through the same constructors as
-programmatic creation, so a corrupted file fails loudly rather than
-producing an invalid instance.
+(columnar), and live :class:`~repro.cluster.state.ClusterState` (node
+ledgers, replicas, liveness) through the same JSON layer — the serving
+gateway's checkpoints are `state` dumps.  All loaders validate through
+the same constructors as programmatic creation, so a corrupted file
+fails loudly rather than producing an invalid instance, and all savers
+write atomically (temp file + ``os.replace``) so a crash mid-write never
+leaves a truncated file.
 """
 
 from repro.io.serialize import (
+    atomic_write_text,
     instance_to_dict,
     instance_from_dict,
     save_instance,
     load_instance,
+    query_to_dict,
+    query_from_dict,
+    dataset_to_dict,
+    dataset_from_dict,
     solution_to_dict,
     solution_from_dict,
     save_solution,
     load_solution,
+    state_to_dict,
+    state_from_dict,
+    save_state,
+    load_state,
     topology_to_dict,
     topology_from_dict,
 )
 from repro.io.traceio import save_trace, load_trace
 
 __all__ = [
+    "atomic_write_text",
     "instance_to_dict",
     "instance_from_dict",
     "save_instance",
     "load_instance",
+    "query_to_dict",
+    "query_from_dict",
+    "dataset_to_dict",
+    "dataset_from_dict",
     "solution_to_dict",
     "solution_from_dict",
     "save_solution",
     "load_solution",
+    "state_to_dict",
+    "state_from_dict",
+    "save_state",
+    "load_state",
     "topology_to_dict",
     "topology_from_dict",
     "save_trace",

@@ -1,16 +1,26 @@
-"""JSON serialisation of topologies, instances and solutions.
+"""JSON serialisation of topologies, instances, solutions and cluster state.
 
 The wire format is versioned (``format`` key) and round-trips through the
 library's validating constructors — loading re-runs every invariant check
 construction does.
+
+All ``save_*`` helpers write **atomically**: the payload goes to a
+temporary file in the destination directory first and is then moved over
+the target with :func:`os.replace`, so a crash mid-write can never leave
+a truncated JSON file behind.  The serving gateway's checkpoints
+(:mod:`repro.serve.gateway`) reuse the same :func:`atomic_write_text`
+helper.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Any
 
+from repro.cluster.state import ClusterState
 from repro.core.instance import ProblemInstance
 from repro.core.types import Assignment, Dataset, PlacementSolution, Query
 from repro.topology.nodes import NodeKind, NodeSpec
@@ -18,6 +28,7 @@ from repro.topology.twotier import EdgeCloudTopology
 from repro.util.validation import ValidationError
 
 __all__ = [
+    "atomic_write_text",
     "topology_to_dict",
     "topology_from_dict",
     "instance_to_dict",
@@ -28,17 +39,50 @@ __all__ = [
     "solution_from_dict",
     "save_solution",
     "load_solution",
+    "query_to_dict",
+    "query_from_dict",
+    "dataset_to_dict",
+    "dataset_from_dict",
+    "state_to_dict",
+    "state_from_dict",
+    "save_state",
+    "load_state",
 ]
 
 _FORMAT_TOPOLOGY = "repro/topology/v1"
 _FORMAT_INSTANCE = "repro/instance/v1"
 _FORMAT_SOLUTION = "repro/solution/v1"
+_FORMAT_STATE = "repro/state/v1"
 
 
 def _require_format(payload: dict, expected: str) -> None:
     got = payload.get("format")
     if got != expected:
         raise ValidationError(f"expected format {expected!r}, got {got!r}")
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically.
+
+    The text lands in a temporary file in the same directory and is moved
+    over ``path`` with :func:`os.replace` (atomic on POSIX and Windows
+    within one filesystem), so readers either see the old file or the
+    complete new one — never a truncated write.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
 
 
 # -- topology ---------------------------------------------------------------
@@ -87,6 +131,54 @@ def topology_from_dict(payload: dict[str, Any]) -> EdgeCloudTopology:
     return EdgeCloudTopology(specs, delays)
 
 
+# -- queries and datasets -----------------------------------------------------
+
+def query_to_dict(query: Query) -> dict[str, Any]:
+    """Serialise one query (also the serving protocol's wire form)."""
+    return {
+        "query_id": query.query_id,
+        "home_node": query.home_node,
+        "demanded": list(query.demanded),
+        "selectivity": list(query.selectivity),
+        "compute_rate": query.compute_rate,
+        "deadline_s": query.deadline_s,
+        "name": query.name,
+    }
+
+
+def query_from_dict(payload: dict[str, Any]) -> Query:
+    """Reconstruct one query with full validation."""
+    return Query(
+        query_id=payload["query_id"],
+        home_node=payload["home_node"],
+        demanded=tuple(payload["demanded"]),
+        selectivity=tuple(payload["selectivity"]),
+        compute_rate=payload["compute_rate"],
+        deadline_s=payload["deadline_s"],
+        name=payload.get("name", ""),
+    )
+
+
+def dataset_to_dict(dataset: Dataset) -> dict[str, Any]:
+    """Serialise one dataset."""
+    return {
+        "dataset_id": dataset.dataset_id,
+        "volume_gb": dataset.volume_gb,
+        "origin_node": dataset.origin_node,
+        "name": dataset.name,
+    }
+
+
+def dataset_from_dict(payload: dict[str, Any]) -> Dataset:
+    """Reconstruct one dataset with full validation."""
+    return Dataset(
+        dataset_id=payload["dataset_id"],
+        volume_gb=payload["volume_gb"],
+        origin_node=payload["origin_node"],
+        name=payload.get("name", ""),
+    )
+
+
 # -- instance ----------------------------------------------------------------
 
 def instance_to_dict(instance: ProblemInstance) -> dict[str, Any]:
@@ -95,27 +187,8 @@ def instance_to_dict(instance: ProblemInstance) -> dict[str, Any]:
         "format": _FORMAT_INSTANCE,
         "topology": topology_to_dict(instance.topology),
         "max_replicas": instance.max_replicas,
-        "datasets": [
-            {
-                "dataset_id": d.dataset_id,
-                "volume_gb": d.volume_gb,
-                "origin_node": d.origin_node,
-                "name": d.name,
-            }
-            for d in instance.datasets.values()
-        ],
-        "queries": [
-            {
-                "query_id": q.query_id,
-                "home_node": q.home_node,
-                "demanded": list(q.demanded),
-                "selectivity": list(q.selectivity),
-                "compute_rate": q.compute_rate,
-                "deadline_s": q.deadline_s,
-                "name": q.name,
-            }
-            for q in instance.queries
-        ],
+        "datasets": [dataset_to_dict(d) for d in instance.datasets.values()],
+        "queries": [query_to_dict(q) for q in instance.queries],
     }
 
 
@@ -124,24 +197,10 @@ def instance_from_dict(payload: dict[str, Any]) -> ProblemInstance:
     _require_format(payload, _FORMAT_INSTANCE)
     topology = topology_from_dict(payload["topology"])
     datasets = {
-        d["dataset_id"]: Dataset(
-            dataset_id=d["dataset_id"],
-            volume_gb=d["volume_gb"],
-            origin_node=d["origin_node"],
-            name=d.get("name", ""),
-        )
-        for d in payload["datasets"]
+        d["dataset_id"]: dataset_from_dict(d) for d in payload["datasets"]
     }
     queries = [
-        Query(
-            query_id=q["query_id"],
-            home_node=q["home_node"],
-            demanded=tuple(q["demanded"]),
-            selectivity=tuple(q["selectivity"]),
-            compute_rate=q["compute_rate"],
-            deadline_s=q["deadline_s"],
-            name=q.get("name", ""),
-        )
+        query_from_dict(q)
         for q in sorted(payload["queries"], key=lambda q: q["query_id"])
     ]
     return ProblemInstance(
@@ -153,8 +212,8 @@ def instance_from_dict(payload: dict[str, Any]) -> ProblemInstance:
 
 
 def save_instance(instance: ProblemInstance, path: str | Path) -> None:
-    """Write an instance to a JSON file."""
-    Path(path).write_text(json.dumps(instance_to_dict(instance), indent=1))
+    """Write an instance to a JSON file (atomically)."""
+    atomic_write_text(path, json.dumps(instance_to_dict(instance), indent=1))
 
 
 def load_instance(path: str | Path) -> ProblemInstance:
@@ -215,10 +274,142 @@ def solution_from_dict(payload: dict[str, Any]) -> PlacementSolution:
 
 
 def save_solution(solution: PlacementSolution, path: str | Path) -> None:
-    """Write a solution to a JSON file."""
-    Path(path).write_text(json.dumps(solution_to_dict(solution), indent=1))
+    """Write a solution to a JSON file (atomically)."""
+    atomic_write_text(path, json.dumps(solution_to_dict(solution), indent=1))
 
 
 def load_solution(path: str | Path) -> PlacementSolution:
     """Read a solution from a JSON file."""
     return solution_from_dict(json.loads(Path(path).read_text()))
+
+
+# -- cluster state ------------------------------------------------------------
+
+def state_to_dict(
+    state: ClusterState, *, include_instance: bool = True
+) -> dict[str, Any]:
+    """Serialise live :class:`~repro.cluster.state.ClusterState`.
+
+    Captures everything the state owns beyond the (immutable) instance:
+    per-node reservations and allocation ledgers (in insertion order, so a
+    restore replays them identically), replica locations, and the
+    liveness layer (nodes currently down).  Origin copies are implied by
+    the instance's datasets; non-origin replicas are listed explicitly.
+
+    Allocation tags must be ``(query_id, dataset_id)`` integer pairs —
+    the only tags :meth:`ClusterState.serve` creates.  Exotic tags placed
+    by hand raise :class:`ValidationError` rather than serialising
+    unloadably.
+    """
+    nodes = []
+    for v, ledger in state.nodes.items():
+        amounts = ledger.snapshot()
+        allocations = []
+        for tag in ledger.allocation_tags():
+            if not (
+                isinstance(tag, tuple)
+                and len(tag) == 2
+                and all(isinstance(part, int) for part in tag)
+            ):
+                raise ValidationError(
+                    f"node {v}: allocation tag {tag!r} is not a "
+                    f"(query_id, dataset_id) pair"
+                )
+            allocations.append(
+                {
+                    "query_id": tag[0],
+                    "dataset_id": tag[1],
+                    "ghz": amounts[tag],
+                }
+            )
+        nodes.append(
+            {
+                "node": v,
+                "reserved_ghz": ledger.reserved_ghz,
+                "allocations": allocations,
+            }
+        )
+    payload: dict[str, Any] = {
+        "format": _FORMAT_STATE,
+        "nodes": nodes,
+        "replicas": {
+            str(d_id): list(locs)
+            for d_id, locs in sorted(state.replicas.replica_map().items())
+        },
+        "down": sorted(state.down_nodes()),
+    }
+    if include_instance:
+        payload["instance"] = instance_to_dict(state.instance)
+    return payload
+
+
+def state_from_dict(
+    payload: dict[str, Any], instance: ProblemInstance | None = None
+) -> ClusterState:
+    """Reconstruct a :class:`~repro.cluster.state.ClusterState`.
+
+    Parameters
+    ----------
+    payload:
+        A :func:`state_to_dict` dump.
+    instance:
+        Reuse an already-built instance (its cached arrays and path
+        oracle included) instead of rebuilding from the embedded copy.
+        Required when the dump was written with ``include_instance=False``.
+
+    Replays reservations, allocation ledgers (insertion order preserved),
+    replica placements and the down set through the same mutators live
+    operation uses, so the result is *bit-identical* to the serialised
+    state: equal available/utilisation arrays, equal replica maps, equal
+    allocation tags in equal order.
+    """
+    _require_format(payload, _FORMAT_STATE)
+    if instance is None:
+        embedded = payload.get("instance")
+        if embedded is None:
+            raise ValidationError(
+                "state dump carries no embedded instance; pass one explicitly"
+            )
+        instance = instance_from_dict(embedded)
+    state = ClusterState(instance)
+    for entry in payload["nodes"]:
+        v = entry["node"]
+        if v not in state.nodes:
+            raise ValidationError(f"state dump names unknown placement node {v}")
+        ledger = state.nodes[v]
+        reserved = float(entry["reserved_ghz"])
+        if not 0.0 <= reserved <= ledger.capacity_ghz:
+            raise ValidationError(
+                f"node {v}: reserved {reserved} outside [0, capacity]"
+            )
+        ledger.reserved_ghz = reserved
+        for alloc in entry["allocations"]:
+            ledger.allocate(
+                (alloc["query_id"], alloc["dataset_id"]), alloc["ghz"]
+            )
+    for d_id_str, locs in payload["replicas"].items():
+        d_id = int(d_id_str)
+        try:
+            origin = state.replicas.origin(d_id)
+        except KeyError:
+            raise ValidationError(
+                f"state dump names unknown dataset {d_id}"
+            ) from None
+        for node in locs:
+            if node != origin:
+                state.replicas.place(d_id, node)
+    for node in payload["down"]:
+        state.mark_down(node)
+    return state
+
+
+def save_state(state: ClusterState, path: str | Path) -> None:
+    """Write a cluster state to a JSON file (atomically)."""
+    atomic_write_text(path, json.dumps(state_to_dict(state), indent=1))
+
+
+def load_state(
+    path: str | Path, instance: ProblemInstance | None = None
+) -> ClusterState:
+    """Read a cluster state from a JSON file."""
+    return state_from_dict(json.loads(Path(path).read_text()), instance)

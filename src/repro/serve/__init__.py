@@ -1,0 +1,44 @@
+"""`repro.serve` — a long-running admission gateway over a live cluster.
+
+Every other entry point in the library is a one-shot batch run.  This
+package turns the admission machinery into a *service*: an asyncio
+gateway owns a live :class:`~repro.cluster.state.ClusterState`, accepts a
+stream of query submissions over a newline-delimited JSON TCP protocol,
+micro-batches them through the vectorised admission kernel, sheds load
+once its queue or compute crosses a watermark, and checkpoints its state
+atomically so a restart resumes bit-identical.  See ``docs/serving.md``.
+
+Pieces
+------
+* :mod:`repro.serve.protocol` — the wire format (versioned, validated).
+* :mod:`repro.serve.batcher` — the bounded micro-batching queue.
+* :mod:`repro.serve.gateway` — the admission gateway itself.
+* :mod:`repro.serve.client` — asyncio client + closed/open-loop load
+  generators driven by the Zipf workload machinery.
+"""
+
+from repro.serve.batcher import MicroBatcher
+from repro.serve.client import (
+    GatewayClient,
+    LoadReport,
+    QueryFactory,
+    run_closed_loop,
+    run_open_loop,
+)
+from repro.serve.gateway import AdmissionGateway, GatewayConfig, GatewayThread
+from repro.serve.protocol import ProtocolError, decode_message, encode_message
+
+__all__ = [
+    "AdmissionGateway",
+    "GatewayConfig",
+    "GatewayThread",
+    "GatewayClient",
+    "LoadReport",
+    "MicroBatcher",
+    "ProtocolError",
+    "QueryFactory",
+    "decode_message",
+    "encode_message",
+    "run_closed_loop",
+    "run_open_loop",
+]

@@ -1,0 +1,115 @@
+"""Bounded micro-batching queue for the admission gateway.
+
+Submissions land in a bounded :class:`asyncio.Queue`; the admission
+worker pulls *batches*: a flush happens when ``max_batch`` items are
+collected, when the queue runs dry (``max_wait_s = 0``, the eager
+default — the batch is exactly the backlog that accumulated while the
+previous batch was being served), or when ``max_wait_s`` has elapsed
+since the first item of the batch arrived.  Eager flushing never trades
+latency for batch size: a lone request under an idle gateway is served
+immediately, and batches form naturally exactly when there is a backlog
+to amortise.  A positive ``max_wait_s`` holds the flush open for
+stragglers instead — worth it only when per-batch overhead dominates
+per-item work.
+
+The queue bound is the backpressure primitive: :meth:`MicroBatcher.offer`
+never blocks — a full queue refuses the item and the gateway sheds the
+request with a ``retry_after_s`` hint instead of queueing unboundedly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Generic, TypeVar
+
+from repro.util.validation import check_non_negative, check_positive
+
+__all__ = ["MicroBatcher"]
+
+T = TypeVar("T")
+
+
+class MicroBatcher(Generic[T]):
+    """Coalesce queued items into batches (flush on size or deadline).
+
+    Parameters
+    ----------
+    max_batch:
+        Largest batch returned by :meth:`next_batch` (1 disables
+        coalescing — every item is its own batch).
+    max_wait_s:
+        Longest a batch's *first* item waits for company before the
+        partial batch is flushed.  ``0`` (the default) flushes eagerly:
+        the batch is whatever is already queued, never waiting.
+    queue_bound:
+        Capacity of the pending queue; :meth:`offer` refuses items
+        beyond it.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_batch: int = 16,
+        max_wait_s: float = 0.0,
+        queue_bound: int = 256,
+    ) -> None:
+        check_positive("max_batch", max_batch)
+        check_non_negative("max_wait_s", max_wait_s)
+        check_positive("queue_bound", queue_bound)
+        self.max_batch = int(max_batch)
+        self.max_wait_s = float(max_wait_s)
+        self.queue_bound = int(queue_bound)
+        self._queue: asyncio.Queue[T] = asyncio.Queue(maxsize=self.queue_bound)
+
+    @property
+    def depth(self) -> int:
+        """Items currently queued (pending admission)."""
+        return self._queue.qsize()
+
+    def offer(self, item: T) -> bool:
+        """Enqueue ``item`` without blocking; ``False`` when full (shed)."""
+        try:
+            self._queue.put_nowait(item)
+        except asyncio.QueueFull:
+            return False
+        return True
+
+    async def next_batch(self) -> list[T]:
+        """Await the next batch (never empty).
+
+        Blocks until at least one item exists, then collects up to
+        ``max_batch`` items: queued items are drained immediately, and —
+        only with a positive ``max_wait_s`` — the remainder of the batch
+        is awaited until ``max_wait_s`` after the first item was taken.
+        """
+        first = await self._queue.get()
+        batch: list[T] = [first]
+        if self.max_batch == 1:
+            return batch
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.max_wait_s
+        while len(batch) < self.max_batch:
+            try:
+                batch.append(self._queue.get_nowait())
+                continue
+            except asyncio.QueueEmpty:
+                pass
+            remaining = deadline - loop.time()
+            if remaining <= 0.0:
+                break
+            try:
+                batch.append(
+                    await asyncio.wait_for(self._queue.get(), timeout=remaining)
+                )
+            except asyncio.TimeoutError:
+                break
+        return batch
+
+    def drain_nowait(self) -> list[T]:
+        """Remove and return everything currently queued (shutdown path)."""
+        items: list[T] = []
+        while True:
+            try:
+                items.append(self._queue.get_nowait())
+            except asyncio.QueueEmpty:
+                return items

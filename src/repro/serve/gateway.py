@@ -1,0 +1,754 @@
+"""The admission gateway: a long-running service over a live cluster.
+
+The gateway owns one :class:`~repro.cluster.state.ClusterState` and
+exposes submit/status/snapshot/shutdown over the newline-delimited JSON
+protocol (:mod:`repro.serve.protocol`).  Three mechanisms keep it
+serviceable under heavy traffic:
+
+* **micro-batching** — submissions are coalesced by a
+  :class:`~repro.serve.batcher.MicroBatcher` and admitted a batch at a
+  time, so the per-request event-loop overhead (worker wake-up, queue
+  round-trip) amortises over the batch and the capacity probe's
+  available-compute vector is rebuilt only when an admission actually
+  mutates state (releases cannot fire mid-batch — the worker holds the
+  loop while a batch runs);
+* **backpressure** — the pending queue is bounded and the gateway sheds
+  (reject-newest with a ``retry_after_s`` hint derived from queue depth ×
+  the observed per-request admission time) once the queue is full or
+  allocated compute crosses ``compute_watermark``; queries whose deadline
+  is infeasible at *every* node are fast-rejected from the cached latency
+  vectors before they ever occupy a queue slot;
+* **snapshot persistence** — the state (node ledgers, replicas,
+  liveness) is checkpointed atomically every
+  ``checkpoint_interval_s`` and on shutdown; a gateway started over an
+  existing checkpoint restores a bit-identical
+  :class:`~repro.cluster.state.ClusterState` and re-arms a bounded
+  recovery hold for every restored allocation.
+
+Admission itself is exactly the online session's rule: a vectorised
+pre-probe (any demanded pair with an all-false feasibility mask dooms the
+all-or-nothing admission), then the placement rule inside a transaction.
+Admitted queries hold their compute for ``hold_factor ×`` their analytic
+response latency of wall-clock time, then release.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.cluster.node import _EPS
+from repro.cluster.state import ClusterState
+from repro.core.instance import ProblemInstance
+from repro.core.online import PlacementRule, appro_rule, greedy_rule
+from repro.core.types import Assignment, Query
+from repro.io.serialize import atomic_write_text, state_from_dict, state_to_dict
+from repro.obs import get_registry
+from repro.serve.batcher import MicroBatcher
+from repro.serve.protocol import (
+    ProtocolError,
+    decode_request,
+    encode_message,
+    error_response,
+    parse_submit_query,
+)
+from repro.util.validation import (
+    ValidationError,
+    check_non_negative,
+    check_positive,
+)
+
+__all__ = ["AdmissionGateway", "GatewayConfig", "GatewayThread"]
+
+_FORMAT_CHECKPOINT = "repro/serve-checkpoint/v1"
+
+#: Placement rules a gateway can run, by config name.
+_RULES: dict[str, Callable[[ProblemInstance], PlacementRule]] = {
+    "appro": appro_rule,
+    "greedy": greedy_rule,
+}
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Gateway tuning knobs.
+
+    Attributes
+    ----------
+    host, port:
+        Bind address; port 0 lets the OS pick (read
+        :attr:`AdmissionGateway.address` after start).
+    rule:
+        Placement rule: ``"appro"`` (primal-dual kernel) or ``"greedy"``.
+    max_batch, max_wait_ms:
+        Micro-batch flush thresholds.  ``max_batch=1`` disables batching
+        — the one-at-a-time baseline.  ``max_wait_ms=0`` (default)
+        flushes eagerly: a batch is exactly the backlog that accumulated
+        while the previous batch was served; a positive value holds the
+        flush open for stragglers.
+    queue_bound:
+        Pending-submission queue capacity; beyond it requests are shed.
+    compute_watermark:
+        Fraction of total cluster capacity; while allocated compute is at
+        or above it, new submissions are shed (admission could only
+        thrash).
+    hold_factor:
+        Wall-clock seconds an admitted query holds its compute, as a
+        multiple of its analytic response latency.
+    checkpoint_path:
+        Where checkpoints are written; ``None`` disables persistence.
+    checkpoint_interval_s:
+        Period of the background checkpoint loop.
+    recovery_hold_s:
+        Hold re-armed for allocations restored from a checkpoint (their
+        original release timers died with the previous process).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    rule: str = "appro"
+    max_batch: int = 16
+    max_wait_ms: float = 0.0
+    queue_bound: int = 256
+    compute_watermark: float = 0.98
+    hold_factor: float = 1.0
+    checkpoint_path: str | None = None
+    checkpoint_interval_s: float = 5.0
+    recovery_hold_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.rule not in _RULES:
+            raise ValidationError(
+                f"unknown rule {self.rule!r} (expected one of {sorted(_RULES)})"
+            )
+        check_positive("max_batch", self.max_batch)
+        check_non_negative("max_wait_ms", self.max_wait_ms)
+        check_positive("queue_bound", self.queue_bound)
+        check_positive("hold_factor", self.hold_factor)
+        check_positive("checkpoint_interval_s", self.checkpoint_interval_s)
+        check_positive("recovery_hold_s", self.recovery_hold_s)
+        if not 0.0 < self.compute_watermark <= 1.0:
+            raise ValidationError(
+                f"compute_watermark must be in (0, 1], got {self.compute_watermark}"
+            )
+
+
+class _Pending:
+    """One queued submission awaiting its batch."""
+
+    __slots__ = ("query", "future", "enqueued_at")
+
+    def __init__(self, query: Query, future: asyncio.Future) -> None:
+        self.query = query
+        self.future = future
+        self.enqueued_at = time.perf_counter()
+
+
+class AdmissionGateway:
+    """Serve admission decisions for one problem instance's cluster.
+
+    Parameters
+    ----------
+    instance:
+        Topology + datasets + ``K`` the cluster serves.  Submitted
+        queries are *ad hoc* — they need not appear in
+        ``instance.queries``; they only have to reference the instance's
+        datasets and placement nodes.
+    config:
+        Tuning knobs; see :class:`GatewayConfig`.
+    """
+
+    def __init__(
+        self, instance: ProblemInstance, config: GatewayConfig | None = None
+    ) -> None:
+        self.instance = instance
+        self.config = config or GatewayConfig()
+        self.state = ClusterState(instance)
+        self.recovered = False
+        self._rule: PlacementRule = _RULES[self.config.rule](instance)
+        self._batcher: MicroBatcher[_Pending] = MicroBatcher(
+            max_batch=self.config.max_batch,
+            max_wait_s=self.config.max_wait_ms / 1000.0,
+            queue_bound=self.config.queue_bound,
+        )
+        self._total_capacity = float(instance.capacities.sum())
+        self.counters: dict[str, int] = {
+            "submitted": 0,
+            "admitted": 0,
+            "rejected": 0,
+            "fast_rejected": 0,
+            "shed": 0,
+            "protocol_errors": 0,
+            "batches": 0,
+            "checkpoints": 0,
+        }
+        # Cached pair-latency vectors keyed by (dataset, home, selectivity):
+        # state-independent, so they survive any amount of churn.  Zipf
+        # traffic repeats keys heavily, which is what makes the SLO
+        # fast-reject and the admission probe cheap at p99.
+        self._latency_cache: dict[tuple[int, int, float], np.ndarray] = {}
+        self._ewma_admission_s = 0.001  # seed estimate for retry_after hints
+        self._started_at: float | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._tasks: list[asyncio.Task] = []
+        self._holds: dict[int, asyncio.TimerHandle] = {}
+        self._inflight: dict[int, tuple[Assignment, ...]] = {}
+        self._closed = asyncio.Event()
+        if self.config.checkpoint_path is not None:
+            path = Path(self.config.checkpoint_path)
+            if path.exists():
+                self._restore_checkpoint(path)
+
+    # -- checkpointing -----------------------------------------------------
+
+    def _restore_checkpoint(self, path: Path) -> None:
+        payload = json.loads(path.read_text())
+        fmt = payload.get("format")
+        if fmt != _FORMAT_CHECKPOINT:
+            raise ValidationError(
+                f"expected format {_FORMAT_CHECKPOINT!r}, got {fmt!r}"
+            )
+        self.state = state_from_dict(payload["state"], self.instance)
+        for name, value in payload["counters"].items():
+            if name in self.counters:
+                self.counters[name] = int(value)
+        self.recovered = True
+
+    def checkpoint(self) -> Path:
+        """Write a checkpoint now (atomic); returns the path written."""
+        if self.config.checkpoint_path is None:
+            raise ValidationError("gateway has no checkpoint_path configured")
+        path = Path(self.config.checkpoint_path)
+        payload = {
+            "format": _FORMAT_CHECKPOINT,
+            "state": state_to_dict(self.state),
+            "counters": dict(self.counters),
+        }
+        atomic_write_text(path, json.dumps(payload, indent=1))
+        self.counters["checkpoints"] += 1
+        get_registry().inc("serve.checkpoints")
+        return path
+
+    def _rearm_recovered_holds(self) -> None:
+        """Give restored allocations a bounded hold, then release them.
+
+        The previous process's release timers are gone; rather than leak
+        the compute forever, every allocation found in the checkpoint is
+        released ``recovery_hold_s`` after startup (queries they belonged
+        to were admitted — their service is honoured for the grace
+        period, not dishonoured retroactively).
+        """
+        loop = asyncio.get_running_loop()
+        tags = [
+            tag
+            for ledger in self.state.nodes.values()
+            for tag in ledger.allocation_tags()
+        ]
+        by_query: dict[int, list[tuple[int, int]]] = {}
+        for q_id, d_id in tags:
+            by_query.setdefault(q_id, []).append((q_id, d_id))
+        for q_id, q_tags in by_query.items():
+            handle = loop.call_later(
+                self.config.recovery_hold_s,
+                lambda q=q_id, ts=tuple(q_tags): self._release_tags(q, ts),
+            )
+            self._holds[q_id] = handle
+
+    def _release_tags(self, q_id: int, tags: tuple[tuple[int, int], ...]) -> None:
+        self._holds.pop(q_id, None)
+        self._inflight.pop(q_id, None)
+        for node_id, ledger in self.state.nodes.items():
+            for tag in tags:
+                if tag in ledger.allocation_tags():
+                    ledger.release(tag)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """Bound (host, port) — valid after :meth:`start`."""
+        if self._server is None:
+            raise RuntimeError("gateway is not started")
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    async def start(self) -> None:
+        """Bind the listener and spawn the worker/checkpoint tasks."""
+        self._started_at = time.perf_counter()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        if self.recovered:
+            self._rearm_recovered_holds()
+        self._tasks.append(asyncio.create_task(self._admission_worker()))
+        if self.config.checkpoint_path is not None:
+            self._tasks.append(asyncio.create_task(self._checkpoint_loop()))
+
+    async def stop(self) -> None:
+        """Checkpoint (when configured), stop accepting, cancel workers."""
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        for pending in self._batcher.drain_nowait():
+            if not pending.future.done():
+                pending.future.set_result(self._shed_response())
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            with contextlib.suppress(asyncio.CancelledError):
+                await task
+        self._tasks.clear()
+        for handle in self._holds.values():
+            handle.cancel()
+        if self.config.checkpoint_path is not None:
+            self.checkpoint()
+        self._closed.set()
+
+    async def wait_closed(self) -> None:
+        """Block until :meth:`stop` (or a shutdown request) completes."""
+        await self._closed.wait()
+
+    async def run_for(self, duration_s: float) -> None:
+        """Serve (already started) for at most ``duration_s``, then stop.
+
+        Returns early if a shutdown request stops the gateway first.
+        """
+        with contextlib.suppress(asyncio.TimeoutError):
+            await asyncio.wait_for(self._closed.wait(), timeout=duration_s)
+        if not self._closed.is_set():
+            await self.stop()
+
+    async def run(self, duration_s: float | None = None) -> None:
+        """Start, serve until shutdown (or for ``duration_s``), stop."""
+        await self.start()
+        if duration_s is None:
+            await self.wait_closed()
+        else:
+            await self.run_for(duration_s)
+
+    async def _checkpoint_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.config.checkpoint_interval_s)
+            self.checkpoint()
+
+    # -- feasibility probes ------------------------------------------------
+
+    def _latency_vector(self, query: Query, dataset_id: int) -> np.ndarray:
+        """Cached analytic pair-latency vector (placement order)."""
+        alpha = query.alpha_for(dataset_id)
+        key = (dataset_id, query.home_node, alpha)
+        vec = self._latency_cache.get(key)
+        if vec is None:
+            vec = self.instance.pair_latency_vector(
+                query, self.instance.dataset(dataset_id)
+            )
+            vec.flags.writeable = False
+            self._latency_cache[key] = vec
+        return vec
+
+    def _deadline_infeasible(self, query: Query) -> bool:
+        """SLO fast-reject: some demanded pair misses its deadline at
+        *every* placement node — state-free, so no queueing is needed."""
+        return any(
+            float(self._latency_vector(query, d_id).min()) > query.deadline_s
+            for d_id in query.demanded
+        )
+
+    def _probe_mask(
+        self, query: Query, dataset_id: int, available: np.ndarray
+    ) -> np.ndarray:
+        """:meth:`ClusterState.can_serve_mask` with a caller-held
+        available-compute vector (shared across a batch) and the cached
+        latency vector — element-for-element identical (pinned by
+        ``tests/serve/test_gateway.py``)."""
+        state, inst = self.state, self.instance
+        dataset = inst.dataset(dataset_id)
+        demand = dataset.volume_gb * query.compute_rate
+        mask = demand <= available + _EPS * inst.capacities
+        holders = state.replicas.nodes(dataset_id)
+        if state.replicas.remaining_slots(dataset_id) <= 0:
+            has_replica = np.zeros(inst.num_placement_nodes, dtype=bool)
+            if holders:
+                node_index = inst.node_index
+                has_replica[[node_index[v] for v in holders]] = True
+            mask &= has_replica
+        if state.has_down_nodes:
+            mask &= state.up_mask()
+            if not state.has_live_copy(dataset_id):
+                mask &= False
+        return mask & (self._latency_vector(query, dataset_id) <= query.deadline_s)
+
+    def _dataset_gate(self, dataset_id: int) -> np.ndarray | None:
+        """Replica-slot + liveness node gate for one dataset.
+
+        ``None`` means every node passes (slots remain, no nodes down) —
+        the common case, kept allocation-free.
+        """
+        state, inst = self.state, self.instance
+        gate: np.ndarray | None = None
+        if state.replicas.remaining_slots(dataset_id) <= 0:
+            gate = np.zeros(inst.num_placement_nodes, dtype=bool)
+            holders = state.replicas.nodes(dataset_id)
+            if holders:
+                gate[[inst.node_index[v] for v in holders]] = True
+        if state.has_down_nodes:
+            up = state.up_mask()
+            gate = up if gate is None else gate & up
+            if not state.has_live_copy(dataset_id):
+                gate = np.zeros(inst.num_placement_nodes, dtype=bool)
+        return gate
+
+    def _prefilter(
+        self, batch: list[_Pending], available: np.ndarray
+    ) -> list[bool]:
+        """Vectorised batch-start feasibility screen.
+
+        All of the batch's (query, dataset) pairs are checked in one
+        stacked pass — capacity, deadline, replica-slot and liveness — so
+        the per-pair numpy call overhead amortises over the batch.  The
+        screen is evaluated against batch-start state: since feasibility
+        only *shrinks* while the batch is served (admissions consume
+        capacity and replica slots; releases cannot fire mid-batch), a
+        ``False`` here is exact, while a ``True`` is optimistic and is
+        re-checked on the admission path.
+        """
+        inst = self.instance
+        pairs: list[tuple[int, int, Query]] = [
+            (i, d_id, pending.query)
+            for i, pending in enumerate(batch)
+            for d_id in pending.query.demanded
+        ]
+        num_nodes = inst.num_placement_nodes
+        latency = np.empty((len(pairs), num_nodes))
+        demand = np.empty(len(pairs))
+        deadline = np.empty(len(pairs))
+        for row, (_, d_id, query) in enumerate(pairs):
+            latency[row] = self._latency_vector(query, d_id)
+            demand[row] = inst.dataset(d_id).volume_gb * query.compute_rate
+            deadline[row] = query.deadline_s
+        node_ok = demand[:, None] <= available[None, :] + _EPS * inst.capacities
+        node_ok &= latency <= deadline[:, None]
+        gates: dict[int, np.ndarray | None] = {}
+        for row, (_, d_id, _query) in enumerate(pairs):
+            if d_id not in gates:
+                gates[d_id] = self._dataset_gate(d_id)
+            if gates[d_id] is not None:
+                node_ok[row] &= gates[d_id]
+        pair_ok = node_ok.any(axis=1)
+        verdict = [True] * len(batch)
+        for row, (i, _d_id, _query) in enumerate(pairs):
+            if not pair_ok[row]:
+                verdict[i] = False
+        return verdict
+
+    # -- admission ---------------------------------------------------------
+
+    def _admit_one(
+        self, pending: _Pending, available: np.ndarray, *, probe: bool = True
+    ) -> tuple[dict[str, Any], np.ndarray | None]:
+        """Decide one submission; returns (response, fresh avail or None).
+
+        A ``None`` second element means state did not change and the
+        caller's available vector remains valid for the rest of the batch.
+        ``probe=False`` skips the per-pair pre-probe when the caller's
+        batch prefilter verdict is still exact (no mid-batch mutation) —
+        the placement rule remains the authoritative feasibility check.
+        """
+        query = pending.query
+        state = self.state
+        if probe:
+            for d_id in query.demanded:
+                if not self._probe_mask(query, d_id, available).any():
+                    return self._rejected_response(), None
+        assignments: list[Assignment] = []
+        failed = False
+        with state.transaction() as txn:
+            for d_id in query.demanded:
+                a = self._rule(state, query, d_id)
+                if a is None:
+                    failed = True
+                    break
+                assignments.append(a)
+            if not failed:
+                txn.commit()
+        if failed:
+            return self._rejected_response(), state.available_array()
+        response_s = max(a.latency_s for a in assignments)
+        self._arm_hold(query.query_id, tuple(assignments), response_s)
+        return (
+            {
+                "result": "admitted",
+                "response_s": response_s,
+                "assignments": [
+                    {
+                        "dataset_id": a.dataset_id,
+                        "node": a.node,
+                        "latency_s": a.latency_s,
+                        "compute_ghz": a.compute_ghz,
+                    }
+                    for a in assignments
+                ],
+            },
+            state.available_array(),
+        )
+
+    def _arm_hold(
+        self, q_id: int, assignments: tuple[Assignment, ...], response_s: float
+    ) -> None:
+        previous = self._holds.pop(q_id, None)
+        if previous is not None:  # stale id reuse: release the old hold now
+            previous.cancel()
+            for a in self._inflight.pop(q_id, ()):
+                self.state.release(a)
+        self._inflight[q_id] = assignments
+        loop = asyncio.get_running_loop()
+        self._holds[q_id] = loop.call_later(
+            response_s * self.config.hold_factor,
+            lambda: self._release_query(q_id),
+        )
+
+    def _release_query(self, q_id: int) -> None:
+        self._holds.pop(q_id, None)
+        for a in self._inflight.pop(q_id, ()):
+            self.state.release(a)
+
+    @staticmethod
+    def _rejected_response() -> dict[str, Any]:
+        return {"result": "rejected", "reason": "infeasible"}
+
+    def _shed_response(self) -> dict[str, Any]:
+        retry = max(
+            (self._batcher.depth + 1) * self._ewma_admission_s, 0.001
+        )
+        return {"result": "shed", "retry_after_s": retry}
+
+    def _overloaded(self) -> bool:
+        return (
+            self.state.total_allocated()
+            >= self.config.compute_watermark * self._total_capacity
+        )
+
+    async def _admission_worker(self) -> None:
+        obs = get_registry()
+        while True:
+            batch = await self._batcher.next_batch()
+            started = time.perf_counter()
+            self.counters["batches"] += 1
+            obs.observe("serve.batch_size", len(batch))
+            available = self.state.available_array()
+            feasible = self._prefilter(batch, available)
+            mutated = False
+            for pending, prefilter_ok in zip(batch, feasible):
+                if not prefilter_ok:
+                    response = self._rejected_response()
+                else:
+                    # The prefilter verdict is exact until an admission
+                    # mutates state mid-batch; after that, re-probe.
+                    response, fresh = self._admit_one(
+                        pending, available, probe=mutated
+                    )
+                    if fresh is not None:
+                        available = fresh
+                        mutated = True
+                result = response["result"]
+                self.counters[result] += 1
+                obs.inc(f"serve.{result}")
+                obs.observe(
+                    "serve.admission_s",
+                    time.perf_counter() - pending.enqueued_at,
+                )
+                if not pending.future.done():
+                    pending.future.set_result(response)
+            elapsed = time.perf_counter() - started
+            per_item = elapsed / len(batch)
+            self._ewma_admission_s += 0.2 * (per_item - self._ewma_admission_s)
+            obs.set_gauge("serve.queue_depth", self._batcher.depth)
+            obs.set_gauge("serve.inflight_ghz", self.state.total_allocated())
+
+    # -- protocol ----------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        obs = get_registry()
+        write_lock = asyncio.Lock()
+        message_tasks: set[asyncio.Task] = set()
+
+        async def respond(payload: dict[str, Any]) -> None:
+            async with write_lock:
+                writer.write(encode_message(payload))
+                await writer.drain()
+
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionResetError, asyncio.IncompleteReadError):
+                    break
+                if not line:
+                    break
+                if line.strip() == b"":
+                    continue
+                try:
+                    request = decode_request(line)
+                except ProtocolError as exc:
+                    self.counters["protocol_errors"] += 1
+                    obs.inc("serve.protocol_errors")
+                    await respond(error_response(None, str(exc)))
+                    continue
+                task = asyncio.create_task(self._dispatch(request, respond))
+                message_tasks.add(task)
+                task.add_done_callback(message_tasks.discard)
+        except asyncio.CancelledError:
+            # Loop teardown cancels open connection handlers; exit
+            # cleanly so the cancellation never reaches the stream
+            # protocol's done-callback (which would log a traceback).
+            pass
+        finally:
+            for task in message_tasks:
+                task.cancel()
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _dispatch(
+        self,
+        request: dict[str, Any],
+        respond: Callable[[dict[str, Any]], Any],
+    ) -> None:
+        obs = get_registry()
+        request_id = request["id"]
+        op = request["op"]
+        try:
+            if op == "submit":
+                self.counters["submitted"] += 1
+                obs.inc("serve.submitted")
+                query = parse_submit_query(request)
+                if self._deadline_infeasible(query):
+                    self.counters["fast_rejected"] += 1
+                    obs.inc("serve.fast_rejected")
+                    await respond(
+                        {
+                            "id": request_id,
+                            "ok": True,
+                            "result": "rejected",
+                            "reason": "deadline-infeasible",
+                        }
+                    )
+                    return
+                if self._overloaded():
+                    self.counters["shed"] += 1
+                    obs.inc("serve.shed")
+                    await respond(
+                        {"id": request_id, "ok": True, **self._shed_response()}
+                    )
+                    return
+                future: asyncio.Future = asyncio.get_running_loop().create_future()
+                if not self._batcher.offer(_Pending(query, future)):
+                    self.counters["shed"] += 1
+                    obs.inc("serve.shed")
+                    await respond(
+                        {"id": request_id, "ok": True, **self._shed_response()}
+                    )
+                    return
+                response = await future
+                await respond({"id": request_id, "ok": True, **response})
+            elif op == "status":
+                await respond({"id": request_id, "ok": True, **self.status()})
+            elif op == "snapshot":
+                path = self.checkpoint()
+                await respond({"id": request_id, "ok": True, "path": str(path)})
+            elif op == "shutdown":
+                await respond({"id": request_id, "ok": True, "stopping": True})
+                asyncio.create_task(self.stop())
+        except ProtocolError as exc:
+            self.counters["protocol_errors"] += 1
+            obs.inc("serve.protocol_errors")
+            await respond(error_response(request_id, str(exc)))
+        except ValidationError as exc:
+            await respond(error_response(request_id, str(exc)))
+
+    # -- introspection -----------------------------------------------------
+
+    def status(self) -> dict[str, Any]:
+        """Service health snapshot (the ``status`` op's payload)."""
+        uptime = (
+            time.perf_counter() - self._started_at
+            if self._started_at is not None
+            else 0.0
+        )
+        return {
+            "uptime_s": uptime,
+            "queue_depth": self._batcher.depth,
+            "inflight_queries": len(self._inflight),
+            "inflight_ghz": self.state.total_allocated(),
+            "total_capacity_ghz": self._total_capacity,
+            "down_nodes": sorted(self.state.down_nodes()),
+            "recovered": self.recovered,
+            "counters": dict(self.counters),
+        }
+
+
+class GatewayThread:
+    """Run a gateway on a dedicated event-loop thread.
+
+    The synchronous harness benches and tests need a live server while
+    the calling thread drives load; this wrapper owns the loop/thread
+    pair and proxies start/stop.
+    """
+
+    def __init__(self, gateway: AdmissionGateway) -> None:
+        self.gateway = gateway
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    def start(self) -> tuple[str, int]:
+        """Start the loop thread and the gateway; returns the bound address."""
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        self._ready.wait()
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self.gateway.address
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+
+        async def main() -> None:
+            try:
+                await self.gateway.start()
+            except BaseException as exc:  # surface bind errors to start()
+                self._startup_error = exc
+                self._ready.set()
+                return
+            self._ready.set()
+            await self.gateway.wait_closed()
+
+        try:
+            self._loop.run_until_complete(main())
+        finally:
+            self._loop.close()
+
+    def stop(self) -> None:
+        """Stop the gateway (checkpointing) and join the thread."""
+        if self._loop is None or self._thread is None:
+            return
+        if not self.gateway._closed.is_set():
+            future = asyncio.run_coroutine_threadsafe(
+                self.gateway.stop(), self._loop
+            )
+            future.result(timeout=30)
+        self._thread.join(timeout=30)

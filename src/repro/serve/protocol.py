@@ -1,0 +1,114 @@
+"""Wire protocol of the admission gateway: newline-delimited JSON.
+
+Each message is one JSON object on one line (LF-terminated, UTF-8).
+Requests carry an ``op`` and a client-chosen ``id`` that the matching
+response echoes, so a client may pipeline many requests over one
+connection and correlate responses out of order.
+
+Requests
+--------
+``{"op": "submit", "id": 1, "query": {...}}``
+    Admit one query (the ``query`` object is the
+    :func:`repro.io.serialize.query_to_dict` form).
+``{"op": "status", "id": 2}``
+    Service health: queue depth, in-flight compute, counters.
+``{"op": "snapshot", "id": 3}``
+    Force a checkpoint now; responds with the path written.
+``{"op": "shutdown", "id": 4}``
+    Checkpoint and stop the gateway.
+
+Responses
+---------
+``{"id": ..., "ok": true, ...}`` on success.  A submit response carries
+``result`` — ``"admitted"`` (with per-dataset ``assignments`` and the
+query's ``response_s``), ``"rejected"`` (deadline/capacity/replica
+infeasible now), or ``"shed"`` (backpressure; retry after
+``retry_after_s``).  ``{"id": ..., "ok": false, "error": ...}`` reports a
+malformed or unserviceable request without closing the connection.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.types import Query
+from repro.io.serialize import query_from_dict
+from repro.util.validation import ValidationError
+
+__all__ = [
+    "MAX_LINE_BYTES",
+    "PROTOCOL_VERSION",
+    "OPS",
+    "ProtocolError",
+    "decode_message",
+    "decode_request",
+    "encode_message",
+    "error_response",
+    "parse_submit_query",
+]
+
+#: Protocol identifier/version echoed in hello-less messages' errors.
+PROTOCOL_VERSION = "repro/serve/v1"
+
+#: Hard bound on one message line, defending the reader against an
+#: unframed (non-protocol) peer streaming garbage without a newline.
+MAX_LINE_BYTES = 1 << 20
+
+#: Operations a request may carry.
+OPS = ("submit", "status", "snapshot", "shutdown")
+
+
+class ProtocolError(RuntimeError):
+    """A malformed message (bad JSON, missing fields, unknown op)."""
+
+
+def encode_message(payload: dict[str, Any]) -> bytes:
+    """Encode one message as a compact single-line JSON + LF."""
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_message(line: bytes) -> dict[str, Any]:
+    """Decode one received line into a message dict.
+
+    Raises
+    ------
+    ProtocolError
+        On oversized lines, invalid JSON, or a non-object payload.
+    """
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(f"message exceeds {MAX_LINE_BYTES} bytes")
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"invalid JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError(f"message must be a JSON object, got {type(payload).__name__}")
+    return payload
+
+
+def decode_request(line: bytes) -> dict[str, Any]:
+    """Decode and structurally validate one request line."""
+    payload = decode_message(line)
+    op = payload.get("op")
+    if op not in OPS:
+        raise ProtocolError(f"unknown op {op!r} (expected one of {OPS})")
+    if "id" not in payload:
+        raise ProtocolError("request carries no id")
+    return payload
+
+
+def parse_submit_query(payload: dict[str, Any]) -> Query:
+    """Extract and validate the query of a ``submit`` request."""
+    query_payload = payload.get("query")
+    if not isinstance(query_payload, dict):
+        raise ProtocolError("submit request carries no query object")
+    try:
+        return query_from_dict(query_payload)
+    except (ValidationError, KeyError, TypeError) as exc:
+        raise ProtocolError(f"invalid query: {exc}") from None
+
+
+def error_response(request_id: Any, message: str) -> dict[str, Any]:
+    """Build the failure response for one request."""
+    return {"id": request_id, "ok": False, "error": str(message)}

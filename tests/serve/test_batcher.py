@@ -1,0 +1,138 @@
+"""Tests for the micro-batching queue."""
+
+import asyncio
+
+import pytest
+
+from repro.serve import MicroBatcher
+from repro.util.validation import ValidationError
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestOffer:
+    def test_accepts_until_bound(self):
+        async def scenario():
+            batcher = MicroBatcher(queue_bound=3)
+            assert all(batcher.offer(i) for i in range(3))
+            assert batcher.offer(99) is False  # full: shed
+            assert batcher.depth == 3
+
+        run(scenario())
+
+    def test_depth_tracks_queue(self):
+        async def scenario():
+            batcher = MicroBatcher()
+            assert batcher.depth == 0
+            batcher.offer("a")
+            assert batcher.depth == 1
+            await batcher.next_batch()
+            assert batcher.depth == 0
+
+        run(scenario())
+
+
+class TestNextBatch:
+    def test_flushes_on_size(self):
+        async def scenario():
+            batcher = MicroBatcher(max_batch=4, max_wait_s=60.0)
+            for i in range(10):
+                batcher.offer(i)
+            assert await batcher.next_batch() == [0, 1, 2, 3]
+            assert await batcher.next_batch() == [4, 5, 6, 7]
+
+        run(scenario())
+
+    def test_flushes_on_deadline(self):
+        async def scenario():
+            batcher = MicroBatcher(max_batch=100, max_wait_s=0.01)
+            batcher.offer("only")
+            started = asyncio.get_running_loop().time()
+            batch = await batcher.next_batch()
+            waited = asyncio.get_running_loop().time() - started
+            assert batch == ["only"]
+            assert waited >= 0.009  # held the flush deadline open
+
+        run(scenario())
+
+    def test_eager_mode_flushes_backlog_without_waiting(self):
+        async def scenario():
+            batcher = MicroBatcher(max_batch=16)  # max_wait_s=0: eager
+            for i in range(5):
+                batcher.offer(i)
+            started = asyncio.get_running_loop().time()
+            batch = await batcher.next_batch()
+            waited = asyncio.get_running_loop().time() - started
+            assert batch == [0, 1, 2, 3, 4]  # the backlog, nothing more
+            assert waited < 0.05  # no accumulation window held open
+
+        run(scenario())
+
+    def test_max_batch_one_skips_coalescing(self):
+        async def scenario():
+            batcher = MicroBatcher(max_batch=1, max_wait_s=60.0)
+            batcher.offer("a")
+            batcher.offer("b")
+            assert await batcher.next_batch() == ["a"]
+            assert await batcher.next_batch() == ["b"]
+
+        run(scenario())
+
+    def test_waits_for_first_item(self):
+        async def scenario():
+            batcher = MicroBatcher(max_wait_s=0.005)
+
+            async def feed():
+                await asyncio.sleep(0.01)
+                batcher.offer("late")
+
+            feeder = asyncio.ensure_future(feed())
+            batch = await batcher.next_batch()
+            await feeder
+            assert batch == ["late"]
+
+        run(scenario())
+
+    def test_late_arrivals_join_open_batch(self):
+        async def scenario():
+            batcher = MicroBatcher(max_batch=3, max_wait_s=0.05)
+            batcher.offer("a")
+
+            async def feed():
+                await asyncio.sleep(0.005)
+                batcher.offer("b")
+
+            feeder = asyncio.ensure_future(feed())
+            batch = await batcher.next_batch()
+            await feeder
+            assert batch == ["a", "b"]
+
+        run(scenario())
+
+
+class TestDrain:
+    def test_drain_empties_queue(self):
+        async def scenario():
+            batcher = MicroBatcher()
+            for i in range(5):
+                batcher.offer(i)
+            assert batcher.drain_nowait() == [0, 1, 2, 3, 4]
+            assert batcher.depth == 0
+
+        run(scenario())
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_batch": 0},
+            {"max_wait_s": -0.001},
+            {"queue_bound": 0},
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ValidationError):
+            MicroBatcher(**kwargs)

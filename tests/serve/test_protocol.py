@@ -1,0 +1,85 @@
+"""Tests for the gateway wire protocol."""
+
+import json
+
+import pytest
+
+from repro.serve import decode_message, encode_message
+from repro.serve.protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    decode_request,
+    error_response,
+    parse_submit_query,
+)
+
+
+class TestFraming:
+    def test_encode_is_one_line(self):
+        data = encode_message({"op": "status", "id": 1})
+        assert data.endswith(b"\n")
+        assert data.count(b"\n") == 1
+
+    def test_round_trip(self):
+        payload = {"op": "submit", "id": 42, "query": {"query_id": 7}}
+        assert decode_message(encode_message(payload)) == payload
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ProtocolError, match="invalid JSON"):
+            decode_message(b"not json\n")
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ProtocolError, match="object"):
+            decode_message(b"[1, 2]\n")
+
+    def test_oversized_line_rejected(self):
+        line = b"x" * (MAX_LINE_BYTES + 1)
+        with pytest.raises(ProtocolError, match="exceeds"):
+            decode_message(line)
+
+
+class TestRequests:
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown op"):
+            decode_request(encode_message({"op": "teleport", "id": 1}))
+
+    def test_missing_id_rejected(self):
+        with pytest.raises(ProtocolError, match="id"):
+            decode_request(encode_message({"op": "status"}))
+
+    def test_valid_request_passes(self):
+        request = decode_request(encode_message({"op": "status", "id": 9}))
+        assert request["op"] == "status"
+
+    def test_submit_without_query_rejected(self):
+        with pytest.raises(ProtocolError, match="query"):
+            parse_submit_query({"op": "submit", "id": 1})
+
+    def test_submit_with_invalid_query_rejected(self):
+        with pytest.raises(ProtocolError, match="invalid query"):
+            parse_submit_query({"op": "submit", "id": 1, "query": {"query_id": 3}})
+
+    def test_submit_query_parsed(self):
+        query = parse_submit_query(
+            {
+                "op": "submit",
+                "id": 1,
+                "query": {
+                    "query_id": 3,
+                    "home_node": 0,
+                    "demanded": [0],
+                    "selectivity": [0.5],
+                    "compute_rate": 1.0,
+                    "deadline_s": 2.0,
+                },
+            }
+        )
+        assert query.query_id == 3
+        assert query.demanded == (0,)
+
+
+class TestErrorResponse:
+    def test_shape(self):
+        response = error_response(5, "boom")
+        assert response == {"id": 5, "ok": False, "error": "boom"}
+        json.dumps(response)

@@ -201,3 +201,64 @@ class TestObservability:
         # Nothing was installed, so nothing could have been recorded; the
         # audit trail is the only side channel.
         assert len(controller.log) == 1
+
+
+class TestPersistence:
+    def test_snapshot_restore_round_trip(self, setup, tmp_path):
+        controller, queries = setup
+        controller.place(queries[0])
+        controller.next_epoch(queries[1])
+        path = tmp_path / "session.json"
+        controller.snapshot(path)
+        clone = EdgeCloudController.restore(path)
+        assert clone.epoch == controller.epoch
+        assert clone.algorithm == controller.algorithm
+        assert clone.solution.admitted == controller.solution.admitted
+        assert dict(clone.solution.replicas) == dict(controller.solution.replicas)
+        assert clone.metrics().admitted_volume_gb == pytest.approx(
+            controller.metrics().admitted_volume_gb
+        )
+
+    def test_audit_events_recorded(self, setup, tmp_path):
+        controller, queries = setup
+        controller.place(queries[0])
+        path = tmp_path / "session.json"
+        controller.snapshot(path)
+        assert controller.log[-1].operation == "snapshot"
+        clone = EdgeCloudController.restore(path)
+        # The restored log carries the whole history: the original
+        # operations, the snapshot that saved them, and the restore.
+        assert [e.operation for e in clone.log] == [
+            "place",
+            "snapshot",
+            "restore",
+        ]
+
+    def test_snapshot_before_place(self, setup, tmp_path):
+        """A session without a placement still round-trips its datasets."""
+        controller, queries = setup
+        path = tmp_path / "session.json"
+        controller.snapshot(path)
+        clone = EdgeCloudController.restore(path)
+        assert not clone.has_placement
+        assert set(clone.datasets) == set(controller.datasets)
+        clone.place(queries[0])
+        assert clone.has_placement
+
+    def test_failed_nodes_survive_restore(self, setup, tmp_path):
+        controller, queries = setup
+        controller.place(queries[0])
+        victim = next(iter(controller.solution.replicas.values()))[0]
+        controller.handle_failure([victim])
+        path = tmp_path / "session.json"
+        controller.snapshot(path)
+        clone = EdgeCloudController.restore(path)
+        assert victim in clone._failed
+
+    def test_bad_format_rejected(self, setup, tmp_path):
+        import json
+
+        path = tmp_path / "bogus.json"
+        path.write_text(json.dumps({"format": "other"}))
+        with pytest.raises(ValidationError, match="format"):
+            EdgeCloudController.restore(path)

@@ -5,18 +5,24 @@ import json
 import numpy as np
 import pytest
 
+from repro.cluster.state import ClusterState
 from repro.core import evaluate_solution, make_algorithm, verify_solution
 from repro.io import (
+    atomic_write_text,
     instance_from_dict,
     instance_to_dict,
     load_instance,
     load_solution,
+    load_state,
     load_trace,
     save_instance,
     save_solution,
+    save_state,
     save_trace,
     solution_from_dict,
     solution_to_dict,
+    state_from_dict,
+    state_to_dict,
     topology_from_dict,
     topology_to_dict,
 )
@@ -97,6 +103,108 @@ class TestSolutionRoundTrip:
         solution = make_algorithm("appro-g").solve(paper_instance)
         clone = solution_from_dict(solution_to_dict(solution))
         assert dict(clone.extras) == dict(solution.extras)
+
+
+def _occupied_state(instance) -> ClusterState:
+    """A cluster state with live allocations and replicas to round-trip."""
+    state = ClusterState(instance)
+    for query in instance.queries:
+        for d_id in query.demanded:
+            dataset = instance.dataset(d_id)
+            mask = state.can_serve_mask(query, dataset)
+            if mask.any():
+                node = instance.placement_nodes[int(np.argmax(mask))]
+                state.serve(query, dataset, node)
+    return state
+
+
+class TestStateRoundTrip:
+    def test_bit_identical(self, tiny_instance):
+        state = _occupied_state(tiny_instance)
+        clone = state_from_dict(state_to_dict(state), tiny_instance)
+        assert np.array_equal(clone.available_array(), state.available_array())
+        assert clone.replicas.replica_map() == state.replicas.replica_map()
+        assert clone.down_nodes() == state.down_nodes()
+        for v, ledger in state.nodes.items():
+            assert clone.nodes[v].allocation_tags() == ledger.allocation_tags()
+            assert clone.nodes[v].snapshot() == ledger.snapshot()
+            assert clone.nodes[v].reserved_ghz == ledger.reserved_ghz
+
+    def test_bit_identical_after_release(self, tiny_instance):
+        """Allocate/release churn leaves no float drift vs a replayed clone."""
+        state = _occupied_state(tiny_instance)
+        query = tiny_instance.queries[1]
+        tag = (query.query_id, query.demanded[0])
+        for ledger in state.nodes.values():
+            if tag in ledger.allocation_tags():
+                ledger.release(tag)
+                break
+        clone = state_from_dict(state_to_dict(state), tiny_instance)
+        assert np.array_equal(clone.available_array(), state.available_array())
+
+    def test_liveness_round_trip(self, tiny_instance):
+        """Down nodes, evicted allocations, and the surviving origin ledger
+        all reappear after a dump/restore cycle (the PR-4 fault fields)."""
+        state = _occupied_state(tiny_instance)
+        victim = next(
+            v for v, ledger in state.nodes.items() if ledger.allocation_tags()
+        )
+        state.mark_down(victim)
+        evicted = state.evict_allocations(victim)
+        assert evicted
+        state.drop_replicas(victim)
+        clone = state_from_dict(state_to_dict(state), tiny_instance)
+        assert clone.down_nodes() == frozenset({victim})
+        assert clone.has_down_nodes
+        assert clone.nodes[victim].allocation_tags() == ()
+        assert clone.replicas.replica_map() == state.replicas.replica_map()
+        # The origin ledger is not derived from surviving copies: every
+        # dataset still knows its authoritative node.
+        for d_id in tiny_instance.datasets:
+            assert clone.replicas.origin(d_id) == state.replicas.origin(d_id)
+        assert np.array_equal(clone.up_mask(), state.up_mask())
+
+    def test_file_round_trip(self, tiny_instance, tmp_path):
+        state = _occupied_state(tiny_instance)
+        path = tmp_path / "state.json"
+        save_state(state, path)
+        clone = load_state(path, instance=tiny_instance)
+        assert np.array_equal(clone.available_array(), state.available_array())
+        assert clone.replicas.replica_map() == state.replicas.replica_map()
+
+    def test_embedded_instance_round_trip(self, tiny_instance, tmp_path):
+        """Without a shared instance, the dump's embedded copy rebuilds one."""
+        state = _occupied_state(tiny_instance)
+        path = tmp_path / "state.json"
+        save_state(state, path)
+        clone = load_state(path)
+        assert clone.instance.num_queries == tiny_instance.num_queries
+        assert np.array_equal(clone.available_array(), state.available_array())
+
+    def test_format_checked(self, tiny_instance):
+        payload = state_to_dict(_occupied_state(tiny_instance))
+        payload["format"] = "bogus"
+        with pytest.raises(ValidationError, match="format"):
+            state_from_dict(payload, tiny_instance)
+
+    def test_unknown_dataset_rejected(self, tiny_instance):
+        payload = state_to_dict(_occupied_state(tiny_instance))
+        payload["replicas"]["999"] = [tiny_instance.placement_nodes[0]]
+        with pytest.raises(ValidationError, match="unknown dataset"):
+            state_from_dict(payload, tiny_instance)
+
+
+class TestAtomicWrite:
+    def test_writes_and_overwrites(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "one")
+        assert path.read_text() == "one"
+        atomic_write_text(path, "two")
+        assert path.read_text() == "two"
+
+    def test_leaves_no_temp_files(self, tmp_path):
+        atomic_write_text(tmp_path / "out.txt", "payload")
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
 
 
 class TestTraceRoundTrip:

@@ -182,6 +182,23 @@ def build_parser() -> argparse.ArgumentParser:
                          "exists, rewritten periodically and on shutdown")
     p_serve.add_argument("--checkpoint-interval", type=float, default=5.0,
                          help="seconds between periodic checkpoints")
+    p_serve.add_argument("--reopt", action="store_true",
+                         help="enable the live re-optimization daemon "
+                              "(bounded-churn replica migration under drift)")
+    p_serve.add_argument("--reopt-interval", type=float, default=5.0,
+                         help="seconds between re-optimization cycles")
+    p_serve.add_argument("--reopt-window", type=int, default=128,
+                         help="recent submissions the planner sees")
+    p_serve.add_argument("--reopt-max-gb", type=float, default=50.0,
+                         help="per-cycle migration volume cap (GB)")
+    p_serve.add_argument("--reopt-max-moves", type=int, default=2,
+                         help="per-dataset replica mutations per cycle "
+                              "(0 = unbounded)")
+    p_serve.add_argument("--reopt-drift", type=float, default=0.25,
+                         help="total-variation drift threshold gating cycles")
+    p_serve.add_argument("--reopt-planner", choices=["appro", "lp"],
+                         default="appro",
+                         help="pipeline producing the target placement")
     p_serve.add_argument("--duration", type=float, default=None,
                          help="stop after this many seconds (default: run "
                          "until a shutdown request or Ctrl-C)")
@@ -201,6 +218,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="offered requests/second (open-loop mode)")
     p_load.add_argument("--load-seed", type=int, default=0,
                         help="query-stream seed (vary for distinct workloads)")
+    p_load.add_argument("--rotate", type=int, default=0,
+                        help="rotate Zipf dataset popularity by this many "
+                             "positions (synthesises demand drift)")
     p_load.add_argument("--shutdown", action="store_true",
                         help="send a shutdown request after the run")
 
@@ -346,8 +366,19 @@ def _cmd_failover(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
-    from repro.serve import AdmissionGateway, GatewayConfig
+    from repro.serve import AdmissionGateway, GatewayConfig, ReoptimizerConfig
 
+    reopt = None
+    if args.reopt:
+        reopt = ReoptimizerConfig(
+            interval_s=args.reopt_interval,
+            window=args.reopt_window,
+            min_window=min(16, args.reopt_window),
+            max_migration_gb=args.reopt_max_gb,
+            max_moves_per_dataset=args.reopt_max_moves or None,
+            drift_threshold=args.reopt_drift,
+            planner=args.reopt_planner,
+        )
     instance = make_instance(TwoTierConfig(), PaperDefaults(), args.seed, 0)
     gateway = AdmissionGateway(
         instance,
@@ -360,6 +391,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             queue_bound=args.queue_bound,
             checkpoint_path=args.checkpoint,
             checkpoint_interval_s=args.checkpoint_interval,
+            reopt=reopt,
         ),
     )
 
@@ -397,7 +429,7 @@ def _cmd_load(args: argparse.Namespace) -> int:
     from repro.serve import GatewayClient, QueryFactory, run_closed_loop, run_open_loop
 
     instance = make_instance(TwoTierConfig(), PaperDefaults(), args.seed, 0)
-    factory = QueryFactory(instance, seed=args.load_seed)
+    factory = QueryFactory(instance, seed=args.load_seed, rotate=args.rotate)
 
     async def run():
         if args.mode == "closed":

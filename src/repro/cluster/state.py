@@ -15,13 +15,14 @@ provides the two operations every placement algorithm needs:
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Iterator
+from typing import Iterable, Iterator, Mapping
 
 import numpy as np
 
 from repro.cluster.node import CapacityError, ComputeNode, _EPS
 from repro.cluster.replicas import ReplicaError, ReplicaStore
 from repro.core.instance import ProblemInstance
+from repro.core.metrics import InvariantViolation
 from repro.core.types import Assignment, Dataset, Query
 
 __all__ = ["ClusterState", "Transaction"]
@@ -303,9 +304,16 @@ class ClusterState:
     def transaction(self) -> Iterator[Transaction]:
         """Snapshot state; roll back on exit unless committed.
 
-        Up/down liveness is *not* part of the snapshot: fault events fire
-        between engine callbacks, never inside a transaction block, so the
-        down set cannot change while one is open.
+        Up/down liveness is *not* part of the snapshot, but a rollback is
+        liveness-aware: if a node crashed *while the transaction was
+        open* (the re-optimizer's write-behind migration steps and the
+        serving gateway interleave transactions with fault events),
+        restoring the entry snapshot must not resurrect the allocations
+        the crash evicted or the replicas it destroyed — so after a
+        rollback every currently-down node is re-evicted and re-stripped
+        of non-origin replicas.  With no nodes down (the batch and
+        fault-free online paths) the rollback is the plain snapshot
+        restore, bit for bit.
 
         Examples
         --------
@@ -324,6 +332,99 @@ class ClusterState:
                 for v, ledger in node_snaps.items():
                     self.nodes[v].restore(ledger)
                 self.replicas.restore(replica_snap)
+                for v in self._down:
+                    self.evict_allocations(v)
+                    self.drop_replicas(v)
+
+    # -- invariants ----------------------------------------------------------
+
+    def check_invariants(
+        self,
+        inflight: Iterable[Assignment] = (),
+        *,
+        deadlines: Mapping[int, float] | None = None,
+    ) -> None:
+        """Re-check the live-state counterparts of the ILP constraints.
+
+        The serving-path analogue of :func:`repro.core.metrics.verify_solution`
+        — callable at *any* instant of an online run, between migration
+        steps, after a transaction rollback, or after an injected crash:
+
+        1. per-node ledgers are internally consistent (the cached total is
+           exactly the sum of the live allocations) and within capacity;
+        2. every dataset holds ≤ K copies, on placement nodes only, and
+           its origin-ledger entry survives;
+        3. crash semantics hold on every down node: no live allocations,
+           no non-origin replicas;
+        4. every ``inflight`` assignment is backed by a replica at its
+           node and an allocation ledger entry of the exact compute it
+           recorded; with ``deadlines`` (query id → deadline seconds) its
+           latency also still meets the query's deadline.
+
+        Raises :class:`~repro.core.metrics.InvariantViolation` on the
+        first violated constraint.
+        """
+        inst = self.instance
+        for v, ledger in self.nodes.items():
+            total = sum(ledger.snapshot().values())
+            if ledger.allocated_ghz != total:
+                raise InvariantViolation(
+                    f"node {v} ledger total {ledger.allocated_ghz!r} != "
+                    f"sum of allocations {total!r}"
+                )
+            if ledger.allocated_ghz + ledger.reserved_ghz > ledger.capacity_ghz * (
+                1.0 + _EPS
+            ):
+                raise InvariantViolation(
+                    f"node {v} load {ledger.allocated_ghz + ledger.reserved_ghz:.3f} "
+                    f"GHz exceeds capacity {ledger.capacity_ghz:.3f} GHz"
+                )
+        placement = set(inst.placement_nodes)
+        for d_id in inst.datasets:
+            nodes = self.replicas.nodes(d_id)
+            if len(nodes) > inst.max_replicas:
+                raise InvariantViolation(
+                    f"dataset {d_id} has {len(nodes)} > K={inst.max_replicas} copies"
+                )
+            origin = self.replicas.origin(d_id)
+            if origin not in nodes:
+                raise InvariantViolation(
+                    f"dataset {d_id} lost its origin copy at {origin}"
+                )
+            for v in nodes:
+                if v not in placement:
+                    raise InvariantViolation(
+                        f"dataset {d_id} replicated to non-placement node {v}"
+                    )
+                if v in self._down and v != origin:
+                    raise InvariantViolation(
+                        f"dataset {d_id} keeps a non-origin copy on down node {v}"
+                    )
+        for v in self._down:
+            if self.nodes[v].allocation_tags():
+                raise InvariantViolation(
+                    f"down node {v} still holds live allocations"
+                )
+        for a in inflight:
+            if not self.replicas.has(a.dataset_id, a.node):
+                raise InvariantViolation(
+                    f"in-flight pair ({a.query_id}, {a.dataset_id}) served at "
+                    f"node {a.node} without a replica"
+                )
+            ledger = self.nodes[a.node]
+            recorded = ledger.snapshot().get((a.query_id, a.dataset_id))
+            if recorded != a.compute_ghz:
+                raise InvariantViolation(
+                    f"in-flight pair ({a.query_id}, {a.dataset_id}) allocation "
+                    f"{recorded!r} != assignment compute {a.compute_ghz!r}"
+                )
+            if deadlines is not None and a.query_id in deadlines:
+                if a.latency_s > deadlines[a.query_id] * (1.0 + _EPS):
+                    raise InvariantViolation(
+                        f"in-flight pair ({a.query_id}, {a.dataset_id}) latency "
+                        f"{a.latency_s:.4f}s exceeds deadline "
+                        f"{deadlines[a.query_id]:.4f}s"
+                    )
 
     # -- reporting -----------------------------------------------------------
 

@@ -31,7 +31,14 @@ from repro.core.explain import (
     rejection_histogram,
 )
 from repro.core.lp_rounding import LpRoundingG
-from repro.core.migration import EpochReport, MigrationPlanner
+from repro.core.migration import (
+    EpochReport,
+    MigrationPlan,
+    MigrationPlanner,
+    MigrationStep,
+    diff_replica_maps,
+    solve_frozen,
+)
 from repro.core.repair import FailureImpact, RepairReport, fail_nodes, repair_placement
 from repro.core.online import (
     OnlineConfig,
@@ -90,7 +97,11 @@ __all__ = [
     "Invoice",
     "bill_solution",
     "EpochReport",
+    "MigrationPlan",
     "MigrationPlanner",
+    "MigrationStep",
+    "diff_replica_maps",
+    "solve_frozen",
     "FailureImpact",
     "RepairReport",
     "fail_nodes",

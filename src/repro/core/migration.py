@@ -21,6 +21,7 @@ degrading admission as demand drifts).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
@@ -31,7 +32,14 @@ from repro.core.primal_dual import ApproG, PrimalDualConfig
 from repro.core.types import PlacementSolution
 from repro.util.validation import ValidationError
 
-__all__ = ["EpochReport", "MigrationPlanner"]
+__all__ = [
+    "EpochReport",
+    "MigrationPlan",
+    "MigrationPlanner",
+    "MigrationStep",
+    "diff_replica_maps",
+    "solve_frozen",
+]
 
 _STRATEGIES = ("carry", "fresh", "frozen")
 
@@ -54,6 +62,10 @@ class EpochReport:
     migration_cost_s:
         Σ over new replicas of ``volume × dt(nearest existing copy →
         new node)`` — the network time the seeding occupies.
+    dropped_replicas:
+        The garbage-collected ``(dataset_id, node)`` copies behind the
+        ``dropped`` count — each was carried into the epoch and served
+        nothing (pinned by the cross-strategy consistency suite).
     """
 
     solution: PlacementSolution
@@ -63,6 +75,184 @@ class EpochReport:
     dropped: int
     migration_gb: float
     migration_cost_s: float
+    dropped_replicas: tuple[tuple[int, int], ...] = ()
+
+
+@dataclass(frozen=True)
+class MigrationStep:
+    """One bounded-churn migration: place a copy, retire a copy, or both.
+
+    A step with both ``add_node`` and ``drop_node`` is a *move*: the two
+    mutations belong to one transaction, so a failed placement never
+    strands the dataset one copy short.  Only placements ship data —
+    ``volume_gb``/``ship_cost_s`` are zero for a pure drop.
+
+    Attributes
+    ----------
+    dataset_id:
+        The dataset whose replica set changes.
+    add_node:
+        Node receiving a new copy (``None`` for a pure drop).
+    drop_node:
+        Node losing its copy (``None`` for a pure add).
+    volume_gb:
+        Data shipped to seed the new copy (the dataset's volume).
+    ship_from:
+        Nearest node already holding a copy at planning time — the
+        seeding source (``None`` for a pure drop).
+    ship_cost_s:
+        ``volume_gb × dt(ship_from → add_node)``, as charged by
+        :class:`MigrationPlanner`.
+    """
+
+    dataset_id: int
+    add_node: int | None
+    drop_node: int | None
+    volume_gb: float = 0.0
+    ship_from: int | None = None
+    ship_cost_s: float = 0.0
+
+    @property
+    def is_move(self) -> bool:
+        """Whether the step swaps one copy for another atomically."""
+        return self.add_node is not None and self.drop_node is not None
+
+
+@dataclass(frozen=True)
+class MigrationPlan:
+    """A bounded-churn diff between two replica maps.
+
+    Attributes
+    ----------
+    steps:
+        Steps in execution order (cheapest shipping first; pure drops
+        last — they free slots but reclaim no objective on their own).
+    migration_gb, migration_cost_s:
+        Total shipped volume / network time over the planned placements.
+    deferred_steps, deferred_gb:
+        Placements the churn caps pushed to a later cycle (and their
+        volume) — the plan's own record of what it *didn't* do.
+    """
+
+    steps: tuple[MigrationStep, ...] = ()
+    migration_gb: float = 0.0
+    migration_cost_s: float = 0.0
+    deferred_steps: int = 0
+    deferred_gb: float = 0.0
+
+    @property
+    def adds(self) -> int:
+        """Planned replica placements (moves included)."""
+        return sum(1 for s in self.steps if s.add_node is not None)
+
+    @property
+    def drops(self) -> int:
+        """Planned replica retirements (moves included)."""
+        return sum(1 for s in self.steps if s.drop_node is not None)
+
+    def __bool__(self) -> bool:
+        return bool(self.steps)
+
+
+def diff_replica_maps(
+    instance: ProblemInstance,
+    current: Mapping[int, Sequence[int]],
+    target: Mapping[int, Sequence[int]],
+    *,
+    max_migration_gb: float = math.inf,
+    max_moves_per_dataset: int | None = None,
+) -> MigrationPlan:
+    """Diff two replica maps into a bounded-churn :class:`MigrationPlan`.
+
+    Pure and deterministic: the same arguments always yield the identical
+    plan.  Placements are charged shipping from the nearest *current*
+    copy (origin included), exactly as :class:`MigrationPlanner` charges
+    epoch migration.  Origin copies never move; nodes present in both
+    maps are untouched.
+
+    Per dataset, surplus drops are paired with planned adds into atomic
+    *move* steps while the dataset sits at its ``K`` bound (a bare add
+    would be refused), and steps are ordered cheapest-shipping-first so a
+    tight ``max_migration_gb`` budget buys the most placements.  The caps:
+
+    * ``max_migration_gb`` — total shipped volume per plan; placements
+      beyond it (and their paired drops) are deferred, never truncated
+      mid-move.
+    * ``max_moves_per_dataset`` — replica *mutations* (adds + drops) per
+      dataset per plan.
+    """
+    if max_migration_gb < 0.0:
+        raise ValidationError(
+            f"max_migration_gb must be >= 0, got {max_migration_gb}"
+        )
+    if max_moves_per_dataset is not None and max_moves_per_dataset < 1:
+        raise ValidationError(
+            f"max_moves_per_dataset must be >= 1 or None, got {max_moves_per_dataset}"
+        )
+    placement = set(instance.placement_nodes)
+    add_steps: list[MigrationStep] = []
+    drop_steps: list[MigrationStep] = []
+    deferred = 0
+    deferred_gb = 0.0
+    for d_id in sorted(instance.datasets):
+        dataset = instance.dataset(d_id)
+        origin = dataset.origin_node
+        have = set(current.get(d_id, ())) | {origin}
+        want = (set(target.get(d_id, ())) | {origin}) & placement
+        adds = sorted(want - have)
+        drops = sorted(v for v in have - want if v != origin)
+        # Pair adds with drops into atomic moves: while the dataset sits
+        # at its K bound a bare place() is refused, and a move never dips
+        # the copy count, so pairing keeps every step individually legal.
+        paired = min(len(adds), len(drops))
+        moves = list(zip(adds[:paired], drops[:paired]))
+        slack = instance.max_replicas - len(have)
+        pure_adds = adds[paired: paired + max(0, slack)]
+        over_k = adds[paired + max(0, slack):]  # K binding, no surplus to swap
+        pure_drops = drops[paired:]
+        if max_moves_per_dataset is not None:
+            # Adds reclaim objective value, drops only free slots: spend
+            # the per-dataset mutation budget on moves (2 each) and adds
+            # first, then on the leftover drops.
+            budget = max_moves_per_dataset
+            kept_moves = moves[: budget // 2]
+            budget -= 2 * len(kept_moves)
+            over_k += [a for a, _ in moves[len(kept_moves):]]
+            moves = kept_moves
+            over_k += pure_adds[budget:]
+            pure_adds = pure_adds[:budget]
+            budget -= len(pure_adds)
+            pure_drops = pure_drops[:budget]
+        deferred += len(over_k)
+        deferred_gb += dataset.volume_gb * len(over_k)
+        sources = sorted(have)
+        for v, src_drop in moves + [(v, None) for v in pure_adds]:
+            nearest = min(sources, key=lambda s: (instance.paths.delay(s, v), s))
+            cost = dataset.volume_gb * instance.paths.delay(nearest, v)
+            add_steps.append(
+                MigrationStep(d_id, v, src_drop, dataset.volume_gb, nearest, cost)
+            )
+        drop_steps += [MigrationStep(d_id, None, v) for v in pure_drops]
+
+    add_steps.sort(key=lambda s: (s.ship_cost_s, s.dataset_id, s.add_node))
+    steps: list[MigrationStep] = []
+    migration_gb = migration_cost_s = 0.0
+    for step in add_steps:
+        if migration_gb + step.volume_gb <= max_migration_gb * (1.0 + 1e-9):
+            steps.append(step)
+            migration_gb += step.volume_gb
+            migration_cost_s += step.ship_cost_s
+        else:
+            deferred += 1
+            deferred_gb += step.volume_gb
+    steps += drop_steps
+    return MigrationPlan(
+        steps=tuple(steps),
+        migration_gb=migration_gb,
+        migration_cost_s=migration_cost_s,
+        deferred_steps=deferred,
+        deferred_gb=deferred_gb,
+    )
 
 
 class MigrationPlanner:
@@ -131,7 +321,7 @@ class MigrationPlanner:
         if self.strategy == "frozen" and self._carried is not None:
             # After epoch 0 the replica set is fixed: admit only against
             # copies that already exist.
-            solution = _solve_frozen(instance, state, self.config)
+            solution = solve_frozen(instance, state, self.config)
         else:
             solution = ApproG(self.config).solve_on_state(instance, state)
         verify_solution(instance, solution)
@@ -143,6 +333,7 @@ class MigrationPlanner:
         kept = added = dropped = 0
         migration_gb = 0.0
         migration_cost_s = 0.0
+        dropped_replicas: list[tuple[int, int]] = []
         next_carry: dict[int, tuple[int, ...]] = {}
         # Only the adaptive strategy garbage-collects: "frozen" keeps its
         # epoch-0 replica set verbatim.
@@ -161,6 +352,7 @@ class MigrationPlanner:
                         survivors.append(v)
                     else:
                         dropped += 1  # garbage-collect the stale copy
+                        dropped_replicas.append((d_id, v))
                 else:
                     added += 1
                     survivors.append(v)
@@ -184,6 +376,7 @@ class MigrationPlanner:
             dropped=dropped,
             migration_gb=migration_gb,
             migration_cost_s=migration_cost_s,
+            dropped_replicas=tuple(dropped_replicas),
         )
 
     def run(self, epochs: Sequence[ProblemInstance]) -> list[EpochReport]:
@@ -192,16 +385,19 @@ class MigrationPlanner:
         return [self.plan_epoch(instance) for instance in epochs]
 
 
-def _solve_frozen(
+def solve_frozen(
     instance: ProblemInstance,
     state: ClusterState,
-    config: PrimalDualConfig,
+    config: PrimalDualConfig | None = None,
 ) -> PlacementSolution:
     """Admission against a fixed replica set (no new placements).
 
     Reuses the Appro-G kernel but filters its candidate choice to nodes
-    already holding each dataset.
+    already holding each dataset.  Shared by the ``frozen`` strategy and
+    the serving re-optimizer, which uses it to score how well the *live*
+    replica map serves a demand window before paying any migration.
     """
+    config = config or PrimalDualConfig()
     from repro.core.base import SolutionBuilder
     from repro.core.primal_dual import _Kernel, _query_order
     from repro.core.types import Assignment

@@ -31,6 +31,7 @@ RESULT_SECTIONS: tuple[tuple[str, str], ...] = (
     ("online", "Extension — online arrivals"),
     ("availability", "Extension — availability under failures"),
     ("migration", "Extension — migration under drift"),
+    ("reoptimize", "Extension — live re-optimization under drift"),
     ("bandwidth", "Extension — link budgets"),
 )
 

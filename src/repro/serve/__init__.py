@@ -13,6 +13,8 @@ Pieces
 * :mod:`repro.serve.protocol` — the wire format (versioned, validated).
 * :mod:`repro.serve.batcher` — the bounded micro-batching queue.
 * :mod:`repro.serve.gateway` — the admission gateway itself.
+* :mod:`repro.serve.reoptimizer` — the live re-optimization daemon:
+  bounded-churn replica migration against demand drift.
 * :mod:`repro.serve.client` — asyncio client + closed/open-loop load
   generators driven by the Zipf workload machinery.
 """
@@ -27,9 +29,11 @@ from repro.serve.client import (
 )
 from repro.serve.gateway import AdmissionGateway, GatewayConfig, GatewayThread
 from repro.serve.protocol import ProtocolError, decode_message, encode_message
+from repro.serve.reoptimizer import CycleReport, Reoptimizer, ReoptimizerConfig
 
 __all__ = [
     "AdmissionGateway",
+    "CycleReport",
     "GatewayConfig",
     "GatewayThread",
     "GatewayClient",
@@ -37,6 +41,8 @@ __all__ = [
     "MicroBatcher",
     "ProtocolError",
     "QueryFactory",
+    "Reoptimizer",
+    "ReoptimizerConfig",
     "decode_message",
     "encode_message",
     "run_closed_loop",

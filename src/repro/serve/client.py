@@ -119,6 +119,10 @@ class GatewayClient:
         """Ask the gateway to checkpoint now."""
         return await self.request("snapshot")
 
+    async def reopt(self, *, force: bool = False) -> dict[str, Any]:
+        """Ask the gateway to run one re-optimization cycle now."""
+        return await self.request("reopt", force=force)
+
     async def shutdown(self) -> dict[str, Any]:
         """Ask the gateway to checkpoint and stop."""
         return await self.request("shutdown")
@@ -153,6 +157,13 @@ class QueryFactory:
         workload.
     zipf_exponent:
         Skew of dataset popularity (the trace generator's default).
+    rotate:
+        Rotate the Zipf weight vector by this many positions over the
+        (sorted) dataset ids, shifting which datasets are hot.  Two
+        factories sharing a seed but differing in ``rotate`` emit the
+        same query *shapes* over drifted popularity — the knob the
+        re-optimizer bench and the drifting-load CLI use to synthesise
+        controlled demand drift.
     """
 
     def __init__(
@@ -162,12 +173,16 @@ class QueryFactory:
         seed: int = 0,
         params: PaperDefaults | None = None,
         zipf_exponent: float = 1.2,
+        rotate: int = 0,
     ) -> None:
         self.instance = instance
         self.params = params or PaperDefaults()
         self._rng = spawn_rng(seed, "serve-load")
         self._dataset_ids = sorted(instance.datasets)
-        self._weights = zipf_weights(len(self._dataset_ids), zipf_exponent)
+        self._weights = np.roll(
+            zipf_weights(len(self._dataset_ids), zipf_exponent),
+            rotate % max(1, len(self._dataset_ids)),
+        )
         self._next_id = 0
         topo = instance.topology
         self._cloudlets = list(topo.cloudlets)

@@ -45,7 +45,7 @@ from typing import Any, Callable
 
 import numpy as np
 
-from repro.cluster.node import _EPS
+from repro.cluster.node import CapacityError, _EPS
 from repro.cluster.state import ClusterState
 from repro.core.instance import ProblemInstance
 from repro.core.online import PlacementRule, appro_rule, greedy_rule
@@ -60,6 +60,7 @@ from repro.serve.protocol import (
     error_response,
     parse_submit_query,
 )
+from repro.serve.reoptimizer import Reoptimizer, ReoptimizerConfig
 from repro.util.validation import (
     ValidationError,
     check_non_negative,
@@ -110,6 +111,11 @@ class GatewayConfig:
     recovery_hold_s:
         Hold re-armed for allocations restored from a checkpoint (their
         original release timers died with the previous process).
+    reopt:
+        Live re-optimization daemon config
+        (:class:`~repro.serve.reoptimizer.ReoptimizerConfig`); ``None``
+        (the default) disables the daemon entirely — the gateway then
+        behaves byte-for-byte like the pre-re-optimizer service.
     """
 
     host: str = "127.0.0.1"
@@ -123,6 +129,7 @@ class GatewayConfig:
     checkpoint_path: str | None = None
     checkpoint_interval_s: float = 5.0
     recovery_hold_s: float = 1.0
+    reopt: ReoptimizerConfig | None = None
 
     def __post_init__(self) -> None:
         if self.rule not in _RULES:
@@ -202,6 +209,11 @@ class AdmissionGateway:
         self._holds: dict[int, asyncio.TimerHandle] = {}
         self._inflight: dict[int, tuple[Assignment, ...]] = {}
         self._closed = asyncio.Event()
+        self.reoptimizer: Reoptimizer | None = (
+            Reoptimizer(self, self.config.reopt)
+            if self.config.reopt is not None
+            else None
+        )
         if self.config.checkpoint_path is not None:
             path = Path(self.config.checkpoint_path)
             if path.exists():
@@ -292,6 +304,8 @@ class AdmissionGateway:
         self._tasks.append(asyncio.create_task(self._admission_worker()))
         if self.config.checkpoint_path is not None:
             self._tasks.append(asyncio.create_task(self._checkpoint_loop()))
+        if self.reoptimizer is not None:
+            self._tasks.append(asyncio.create_task(self.reoptimizer.run()))
 
     async def stop(self) -> None:
         """Checkpoint (when configured), stop accepting, cancel workers."""
@@ -509,7 +523,8 @@ class AdmissionGateway:
         if previous is not None:  # stale id reuse: release the old hold now
             previous.cancel()
             for a in self._inflight.pop(q_id, ()):
-                self.state.release(a)
+                with contextlib.suppress(CapacityError):
+                    self.state.release(a)
         self._inflight[q_id] = assignments
         loop = asyncio.get_running_loop()
         self._holds[q_id] = loop.call_later(
@@ -520,7 +535,10 @@ class AdmissionGateway:
     def _release_query(self, q_id: int) -> None:
         self._holds.pop(q_id, None)
         for a in self._inflight.pop(q_id, ()):
-            self.state.release(a)
+            # A crash may have evicted the tag already (the hold timer
+            # outlives the allocation it guards); releasing twice is fine.
+            with contextlib.suppress(CapacityError):
+                self.state.release(a)
 
     @staticmethod
     def _rejected_response() -> dict[str, Any]:
@@ -549,6 +567,8 @@ class AdmissionGateway:
             feasible = self._prefilter(batch, available)
             mutated = False
             for pending, prefilter_ok in zip(batch, feasible):
+                if self.reoptimizer is not None:
+                    self.reoptimizer.observe(pending.query)
                 if not prefilter_ok:
                     response = self._rejected_response()
                 else:
@@ -668,6 +688,18 @@ class AdmissionGateway:
             elif op == "snapshot":
                 path = self.checkpoint()
                 await respond({"id": request_id, "ok": True, "path": str(path)})
+            elif op == "reopt":
+                if self.reoptimizer is None:
+                    await respond(
+                        error_response(request_id, "re-optimizer not enabled")
+                    )
+                    return
+                report = await self.reoptimizer.run_cycle(
+                    force=bool(request.get("force", False))
+                )
+                await respond(
+                    {"id": request_id, "ok": True, **report.to_dict()}
+                )
             elif op == "shutdown":
                 await respond({"id": request_id, "ok": True, "stopping": True})
                 asyncio.create_task(self.stop())
@@ -687,7 +719,7 @@ class AdmissionGateway:
             if self._started_at is not None
             else 0.0
         )
-        return {
+        payload = {
             "uptime_s": uptime,
             "queue_depth": self._batcher.depth,
             "inflight_queries": len(self._inflight),
@@ -697,6 +729,9 @@ class AdmissionGateway:
             "recovered": self.recovered,
             "counters": dict(self.counters),
         }
+        if self.reoptimizer is not None:
+            payload["reopt"] = self.reoptimizer.status()
+        return payload
 
 
 class GatewayThread:

@@ -14,7 +14,12 @@ Requests
     Service health: queue depth, in-flight compute, counters.
 ``{"op": "snapshot", "id": 3}``
     Force a checkpoint now; responds with the path written.
-``{"op": "shutdown", "id": 4}``
+``{"op": "reopt", "id": 4, "force": true}``
+    Run one re-optimization cycle now; responds with the cycle report
+    (:meth:`repro.serve.reoptimizer.CycleReport.to_dict`).  ``force``
+    (optional, default false) skips the drift gate.  Errors when the
+    gateway has no re-optimizer configured.
+``{"op": "shutdown", "id": 5}``
     Checkpoint and stop the gateway.
 
 Responses
@@ -56,7 +61,7 @@ PROTOCOL_VERSION = "repro/serve/v1"
 MAX_LINE_BYTES = 1 << 20
 
 #: Operations a request may carry.
-OPS = ("submit", "status", "snapshot", "shutdown")
+OPS = ("submit", "status", "snapshot", "reopt", "shutdown")
 
 
 class ProtocolError(RuntimeError):

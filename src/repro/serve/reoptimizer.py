@@ -1,0 +1,570 @@
+"""Live re-optimization: bounded-churn replica migration while serving.
+
+The gateway admits greedily and never revisits placements, so sustained
+drift (a Zipf popularity shift, a regional hot spot) strands replicas
+where yesterday's demand was.  This module closes the loop:
+
+* the gateway feeds every batched submission into a sliding **demand
+  window**;
+* a background daemon periodically measures **drift** — the total
+  variation between the window's dataset-demand distribution and the
+  reference distribution captured at the last migration — and does
+  nothing while drift stays under its threshold (which is what keeps a
+  re-optimizer-enabled gateway bit-identical to a plain one under a
+  stationary workload);
+* past the threshold it re-runs the placement pipeline on the window
+  (primal-dual or the LP-rounding pipeline, off-thread, against
+  throwaway state seeded from the live replica map), keeps the new
+  placement only if it beats what the *current* replicas can serve
+  (:func:`~repro.core.migration.solve_frozen`), and diffs the two maps
+  into a bounded-churn :class:`~repro.core.migration.MigrationPlan`;
+* plan steps execute **write-behind** on the live state — one
+  step per :meth:`~repro.cluster.state.ClusterState.transaction`,
+  re-validated against the live state at apply time (the snapshot it was
+  planned on is already stale), invariant-checked before commit, rolled
+  back individually on violation, and interleaved with admission via
+  event-loop yields so the accept loop never pauses.
+
+Everything the daemon does is observable: per-cycle
+:class:`CycleReport`s, ``serve.reopt.*`` metrics, a ``reopt`` section in
+the gateway's status payload, and a ``reopt`` protocol op that forces a
+cycle on demand.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.cluster.node import CapacityError
+from repro.cluster.replicas import ReplicaError
+from repro.cluster.state import ClusterState
+from repro.core.instance import ProblemInstance
+from repro.core.lp_rounding import LpRoundingG
+from repro.core.metrics import InvariantViolation, evaluate_solution
+from repro.core.migration import (
+    MigrationPlan,
+    MigrationStep,
+    diff_replica_maps,
+    solve_frozen,
+)
+from repro.core.primal_dual import ApproG, PrimalDualConfig
+from repro.core.types import Assignment, Query
+from repro.obs import get_registry
+from repro.util.validation import (
+    ValidationError,
+    check_non_negative,
+    check_positive,
+)
+
+__all__ = [
+    "CycleReport",
+    "Reoptimizer",
+    "ReoptimizerConfig",
+    "apply_step",
+    "build_window_instance",
+    "demand_weights",
+    "plan_cycle",
+    "total_variation",
+]
+
+_PLANNERS = ("appro", "lp")
+
+
+@dataclass(frozen=True)
+class ReoptimizerConfig:
+    """Re-optimization daemon tuning knobs.
+
+    Attributes
+    ----------
+    interval_s:
+        Period of the background cycle loop.
+    window:
+        Sliding demand window: how many recent submissions the planner
+        sees.
+    min_window:
+        Cycles observe-only until this many submissions accumulate (a
+        tiny sample would measure noise, not drift).
+    max_migration_gb:
+        Churn cap: total volume shipped per cycle.  Placements beyond
+        it are deferred to a later cycle.
+    max_moves_per_dataset:
+        Churn cap: replica mutations (adds + drops) per dataset per
+        cycle; ``None`` removes the bound.
+    drift_threshold:
+        Total-variation distance (in ``[0, 1]``) between the window's
+        demand distribution and the reference captured at the last
+        migration below which cycles are no-ops.
+    min_gain_gb:
+        Replanning must beat the *current* replica map's frozen-admission
+        volume on the window by at least this much before any byte
+        ships — the gate that keeps pointless churn at zero.
+    planner:
+        Pipeline that produces the target placement: ``"appro"`` (the
+        primal-dual kernel over state seeded with the live replicas) or
+        ``"lp"`` (the vectorized LP-rounding pipeline, from scratch).
+    history:
+        Cycle reports retained for the status payload.
+    """
+
+    interval_s: float = 5.0
+    window: int = 128
+    min_window: int = 16
+    max_migration_gb: float = 50.0
+    max_moves_per_dataset: int | None = 2
+    drift_threshold: float = 0.25
+    min_gain_gb: float = 1e-6
+    planner: str = "appro"
+    history: int = 32
+
+    def __post_init__(self) -> None:
+        check_positive("interval_s", self.interval_s)
+        check_positive("window", self.window)
+        check_positive("min_window", self.min_window)
+        if self.min_window > self.window:
+            raise ValidationError(
+                f"min_window {self.min_window} exceeds window {self.window}"
+            )
+        check_non_negative("max_migration_gb", self.max_migration_gb)
+        if self.max_moves_per_dataset is not None:
+            check_positive("max_moves_per_dataset", self.max_moves_per_dataset)
+        if not 0.0 <= self.drift_threshold <= 1.0:
+            raise ValidationError(
+                f"drift_threshold must be in [0, 1], got {self.drift_threshold}"
+            )
+        check_non_negative("min_gain_gb", self.min_gain_gb)
+        if self.planner not in _PLANNERS:
+            raise ValidationError(
+                f"planner must be one of {_PLANNERS}, got {self.planner!r}"
+            )
+        check_positive("history", self.history)
+
+
+@dataclass(frozen=True)
+class CycleReport:
+    """Outcome of one re-optimization cycle.
+
+    ``reason`` says why a cycle migrated nothing (``""`` when it did):
+    ``"window-too-small"``, ``"reference-set"`` (first sufficient window
+    becomes the drift baseline), ``"drift-below-threshold"``,
+    ``"gain-below-threshold"``, or ``"no-diff"``.
+    """
+
+    cycle: int
+    observed: int
+    drift: float
+    reason: str = ""
+    baseline_gb: float = 0.0
+    target_gb: float = 0.0
+    gain_gb: float = 0.0
+    planned: int = 0
+    applied: int = 0
+    rolled_back: int = 0
+    skipped: int = 0
+    deferred: int = 0
+    migration_gb: float = 0.0
+    ship_cost_s: float = 0.0
+    duration_s: float = 0.0
+
+    @property
+    def migrated(self) -> bool:
+        """Whether any step actually changed the replica map."""
+        return self.applied > 0
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form (the ``reopt`` op's response payload)."""
+        payload = dataclasses.asdict(self)
+        payload["migrated"] = self.migrated
+        return payload
+
+
+# -- demand window -----------------------------------------------------------
+
+
+def demand_weights(
+    queries: Iterable[Query], dataset_ids: Sequence[int]
+) -> np.ndarray:
+    """Empirical dataset-demand distribution of a query window.
+
+    Element ``i`` is the fraction of (query, dataset) demand pairs that
+    hit ``dataset_ids[i]``.  Uniform when the window is empty, so the
+    distance between two empty windows is zero.
+    """
+    index = {d: i for i, d in enumerate(dataset_ids)}
+    counts = np.zeros(len(dataset_ids))
+    for query in queries:
+        for d_id in query.demanded:
+            if d_id in index:
+                counts[index[d_id]] += 1.0
+    total = counts.sum()
+    if total <= 0.0:
+        return np.full(len(dataset_ids), 1.0 / max(1, len(dataset_ids)))
+    return counts / total
+
+
+def total_variation(p: np.ndarray, q: np.ndarray) -> float:
+    """Total-variation distance between two distributions, in [0, 1]."""
+    return 0.5 * float(np.abs(np.asarray(p) - np.asarray(q)).sum())
+
+
+def build_window_instance(
+    instance: ProblemInstance, queries: Sequence[Query]
+) -> ProblemInstance:
+    """Problem instance of the live topology + the window's queries.
+
+    Query ids are renumbered dense ``0..M-1`` (the instance contract);
+    everything else — topology, datasets, ``K`` — is the gateway's.
+    """
+    renumbered = tuple(
+        dataclasses.replace(q, query_id=i) for i, q in enumerate(queries)
+    )
+    return ProblemInstance(
+        topology=instance.topology,
+        datasets=instance.datasets,
+        queries=renumbered,
+        max_replicas=instance.max_replicas,
+    )
+
+
+# -- planning (synchronous, side-effect-free on live state) ------------------
+
+
+def _seeded_state(
+    instance: ProblemInstance,
+    replica_map: Mapping[int, Sequence[int]],
+    down_nodes: Sequence[int],
+) -> ClusterState:
+    """Throwaway state holding the live replica map (and liveness)."""
+    state = ClusterState(instance)
+    for d_id, nodes in replica_map.items():
+        if d_id not in instance.datasets:
+            continue
+        for v in nodes:
+            if v in state.nodes and state.replicas.can_place(d_id, v):
+                state.replicas.place(d_id, v)
+    for v in down_nodes:
+        if v in state.nodes:
+            state.mark_down(v)
+    return state
+
+
+def plan_cycle(
+    instance: ProblemInstance,
+    queries: Sequence[Query],
+    replica_map: Mapping[int, Sequence[int]],
+    down_nodes: Sequence[int],
+    config: ReoptimizerConfig | None = None,
+) -> tuple[MigrationPlan, dict[str, Any]]:
+    """Plan one bounded-churn migration for a demand window.
+
+    Pure with respect to live state: callers pass the replica map and
+    down set captured from it, and all solving happens on throwaway
+    :class:`~repro.cluster.state.ClusterState` copies — which is what
+    makes this safe to run on a worker thread while the event loop keeps
+    admitting.
+
+    Returns the (possibly empty) plan plus an info dict with
+    ``baseline_gb`` (what the current replicas can serve on the window),
+    ``target_gb`` (what the replanned placement serves), ``gain_gb``,
+    and ``reason`` (non-empty when the plan is empty).
+    """
+    config = config or ReoptimizerConfig()
+    info: dict[str, Any] = {
+        "baseline_gb": 0.0,
+        "target_gb": 0.0,
+        "gain_gb": 0.0,
+        "reason": "",
+    }
+    if not queries:
+        info["reason"] = "window-too-small"
+        return MigrationPlan(), info
+    win = build_window_instance(instance, queries)
+    pd_config = PrimalDualConfig()
+    baseline_state = _seeded_state(win, replica_map, down_nodes)
+    baseline = solve_frozen(win, baseline_state, pd_config)
+    baseline_gb = evaluate_solution(win, baseline).admitted_volume_gb
+
+    # The target is a *fresh* replan (the ``fresh`` migration strategy's
+    # view): seeding the solver with the live replicas would only bias it
+    # toward the stale placement the cycle exists to escape.  The churn
+    # caps — not the solver — bound how far toward the target one cycle
+    # actually moves.
+    if config.planner == "lp":
+        solution = LpRoundingG().solve(win)
+    else:
+        target_state = _seeded_state(win, {}, down_nodes)
+        solution = ApproG(pd_config).solve_on_state(win, target_state)
+    target_gb = evaluate_solution(win, solution).admitted_volume_gb
+
+    info["baseline_gb"] = baseline_gb
+    info["target_gb"] = target_gb
+    info["gain_gb"] = target_gb - baseline_gb
+    if info["gain_gb"] < config.min_gain_gb:
+        info["reason"] = "gain-below-threshold"
+        return MigrationPlan(), info
+    plan = diff_replica_maps(
+        instance,
+        replica_map,
+        solution.replicas,
+        max_migration_gb=config.max_migration_gb,
+        max_moves_per_dataset=config.max_moves_per_dataset,
+    )
+    if not plan:
+        info["reason"] = "no-diff"
+    return plan, info
+
+
+# -- execution (one transactional step at a time, on live state) -------------
+
+
+def _step_blocker(
+    state: ClusterState, step: MigrationStep, inflight: Sequence[Assignment]
+) -> str | None:
+    """Why ``step`` must not touch the live state right now, or ``None``.
+
+    The plan was computed on a snapshot; by apply time admissions may
+    have consumed the slot, a node may have crashed, or a query may be
+    running on the copy the plan retires.  Every refusal here is a
+    *skip* (the plan is stale), not an error.
+    """
+    d_id = step.dataset_id
+    holders = state.replicas.nodes(d_id)
+    if step.add_node is not None:
+        if not state.is_up(step.add_node):
+            return "add-node-down"
+        if state.replicas.has(d_id, step.add_node):
+            return "already-placed"
+        if not state.has_live_copy(d_id):
+            return "no-live-source"
+        if step.drop_node is None and not state.replicas.can_place(
+            d_id, step.add_node
+        ):
+            return "k-bound"
+    if step.drop_node is not None:
+        if not state.replicas.has(d_id, step.drop_node):
+            return "already-dropped"
+        if step.drop_node == state.replicas.origin(d_id):
+            return "origin-copy"
+        for a in inflight:
+            if a.dataset_id == d_id and a.node == step.drop_node:
+                return "replica-in-use"
+        survivors = [
+            v for v in holders if v != step.drop_node and state.is_up(v)
+        ]
+        if step.add_node is None and not survivors:
+            return "last-live-copy"
+    return None
+
+
+def apply_step(
+    state: ClusterState,
+    step: MigrationStep,
+    inflight: Sequence[Assignment] = (),
+) -> str:
+    """Apply one migration step to live state, transactionally.
+
+    Returns ``"applied"``, ``"rolled-back"`` (the mutation violated an
+    invariant or was refused mid-transaction and was undone), or
+    ``"skipped:<reason>"`` (the live state moved since planning and the
+    step no longer makes sense — see :func:`_step_blocker`).
+
+    A *move* drops before it adds inside one transaction: at the ``K``
+    bound the add alone would be refused, and the rollback guarantees
+    the dataset never ends a step one copy short.
+    """
+    blocker = _step_blocker(state, step, inflight)
+    if blocker is not None:
+        return f"skipped:{blocker}"
+    outcome = "rolled-back"
+    with state.transaction() as txn:
+        try:
+            if step.drop_node is not None:
+                state.replicas.remove(step.dataset_id, step.drop_node)
+            if step.add_node is not None:
+                state.replicas.place(step.dataset_id, step.add_node)
+            state.check_invariants(inflight)
+        except (ReplicaError, CapacityError, InvariantViolation):
+            return outcome
+        txn.commit()
+        outcome = "applied"
+    return outcome
+
+
+# -- the daemon --------------------------------------------------------------
+
+
+class Reoptimizer:
+    """Background re-optimization daemon bound to one admission gateway.
+
+    The gateway calls :meth:`observe` per batched submission and spawns
+    :meth:`run` next to its admission worker; everything else is
+    internal.  ``gateway`` is duck-typed: the daemon only reads
+    ``instance``, ``state``, and ``_inflight``.
+    """
+
+    def __init__(self, gateway: Any, config: ReoptimizerConfig | None = None) -> None:
+        self.gateway = gateway
+        self.config = config or ReoptimizerConfig()
+        self._window: deque[Query] = deque(maxlen=self.config.window)
+        self._dataset_ids = tuple(sorted(gateway.instance.datasets))
+        self._reference: np.ndarray | None = None
+        self._history: deque[CycleReport] = deque(maxlen=self.config.history)
+        self._cycles = 0
+        self._migrated_steps = 0
+        self._migrated_gb = 0.0
+        self._gain_gb = 0.0
+        self._lock = asyncio.Lock()
+
+    # -- observation -------------------------------------------------------
+
+    def observe(self, query: Query) -> None:
+        """Feed one batched submission into the demand window."""
+        self._window.append(query)
+
+    def _inflight_assignments(self) -> tuple[Assignment, ...]:
+        return tuple(
+            a for group in self.gateway._inflight.values() for a in group
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def run(self) -> None:
+        """Cycle forever (the gateway cancels this task on stop)."""
+        obs = get_registry()
+        while True:
+            await asyncio.sleep(self.config.interval_s)
+            try:
+                await self.run_cycle()
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                # A planning failure must never take the gateway down;
+                # the next cycle retries from fresh state.
+                obs.inc("serve.reopt.errors")
+
+    async def run_cycle(self, *, force: bool = False) -> CycleReport:
+        """Run one cycle now; returns its report.
+
+        ``force`` skips the drift gate (the ``reopt`` protocol op's
+        behaviour) — the gain gate and churn caps still apply, so even a
+        forced cycle never ships unprofitable bytes.
+        """
+        async with self._lock:
+            return await self._cycle(force)
+
+    async def _cycle(self, force: bool) -> CycleReport:
+        started = time.perf_counter()
+        self._cycles += 1
+        config = self.config
+        queries = list(self._window)
+        drift = 0.0
+        reason = ""
+        weights: np.ndarray | None = None
+        if len(queries) < (1 if force else config.min_window):
+            reason = "window-too-small"
+        else:
+            weights = demand_weights(queries, self._dataset_ids)
+            if self._reference is None:
+                self._reference = weights
+                if not force:
+                    reason = "reference-set"
+            else:
+                drift = total_variation(weights, self._reference)
+                if not force and drift < config.drift_threshold:
+                    reason = "drift-below-threshold"
+        if reason:
+            return self._finish(
+                CycleReport(
+                    cycle=self._cycles,
+                    observed=len(queries),
+                    drift=drift,
+                    reason=reason,
+                    duration_s=time.perf_counter() - started,
+                )
+            )
+
+        # Plan off-thread on captured copies: the loop keeps admitting.
+        state = self.gateway.state
+        replica_map = state.replicas.replica_map()
+        down = sorted(state.down_nodes())
+        plan, info = await asyncio.to_thread(
+            plan_cycle, self.gateway.instance, queries, replica_map, down, config
+        )
+
+        applied = rolled_back = skipped = 0
+        migration_gb = ship_cost_s = 0.0
+        for step in plan.steps:
+            outcome = apply_step(state, step, self._inflight_assignments())
+            if outcome == "applied":
+                applied += 1
+                migration_gb += step.volume_gb
+                ship_cost_s += step.ship_cost_s
+            elif outcome == "rolled-back":
+                rolled_back += 1
+            else:
+                skipped += 1
+            # Yield between steps: admissions interleave with the plan.
+            await asyncio.sleep(0)
+        if applied and weights is not None:
+            # Re-anchor drift at the demand we just migrated toward.
+            self._reference = weights
+        self._migrated_steps += applied
+        self._migrated_gb += migration_gb
+        if applied:
+            self._gain_gb += info["gain_gb"]
+        return self._finish(
+            CycleReport(
+                cycle=self._cycles,
+                observed=len(queries),
+                drift=drift,
+                reason=info["reason"],
+                baseline_gb=info["baseline_gb"],
+                target_gb=info["target_gb"],
+                gain_gb=info["gain_gb"],
+                planned=len(plan.steps),
+                applied=applied,
+                rolled_back=rolled_back,
+                skipped=skipped,
+                deferred=plan.deferred_steps,
+                migration_gb=migration_gb,
+                ship_cost_s=ship_cost_s,
+                duration_s=time.perf_counter() - started,
+            )
+        )
+
+    def _finish(self, report: CycleReport) -> CycleReport:
+        self._history.append(report)
+        obs = get_registry()
+        obs.inc("serve.reopt.cycles")
+        obs.observe("serve.reopt.drift", report.drift)
+        obs.observe("serve.reopt.cycle_s", report.duration_s)
+        if report.planned:
+            obs.inc("serve.reopt.steps_applied", report.applied)
+            obs.inc("serve.reopt.steps_rolled_back", report.rolled_back)
+            obs.inc("serve.reopt.steps_skipped", report.skipped)
+            obs.inc("serve.reopt.steps_deferred", report.deferred)
+            obs.inc("serve.reopt.migration_gb", report.migration_gb)
+            if report.migrated:
+                obs.inc("serve.reopt.gain_gb", report.gain_gb)
+        obs.set_gauge("serve.reopt.window", report.observed)
+        return report
+
+    # -- introspection -----------------------------------------------------
+
+    def status(self) -> dict[str, Any]:
+        """Daemon health (the ``reopt`` section of the status payload)."""
+        last = self._history[-1] if self._history else None
+        return {
+            "cycles": self._cycles,
+            "window": len(self._window),
+            "migrated_steps": self._migrated_steps,
+            "migrated_gb": self._migrated_gb,
+            "reclaimed_gain_gb": self._gain_gb,
+            "last_cycle": last.to_dict() if last is not None else None,
+        }

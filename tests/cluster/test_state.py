@@ -5,6 +5,7 @@ import pytest
 from repro.cluster.node import CapacityError
 from repro.cluster.replicas import ReplicaError
 from repro.cluster.state import ClusterState
+from repro.core.metrics import InvariantViolation
 
 
 class TestServe:
@@ -286,3 +287,118 @@ class TestReporting:
         utils = state.utilization_by_node()
         assert set(utils) == set(tiny_instance.placement_nodes)
         assert all(u == 0.0 for u in utils.values())
+
+
+class TestRollbackLiveness:
+    """Transaction rollback interleaved with crash eviction.
+
+    A snapshot taken *before* a crash must not resurrect what the crash
+    evicted: rollback re-applies the liveness cleanup for every node that
+    is down at rollback time.
+    """
+
+    def test_rollback_does_not_resurrect_evicted_allocations(self, tiny_instance):
+        state = ClusterState(tiny_instance)
+        query = tiny_instance.query(0)
+        dataset = tiny_instance.dataset(0)
+        victim = dataset.origin_node
+        state.serve(query, dataset, victim)
+        with state.transaction():
+            # Crash arrives while an admission transaction is open.
+            state.mark_down(victim)
+            state.evict_allocations(victim)
+            state.drop_replicas(victim)
+            # no commit: the admission aborts
+        assert not state.is_up(victim)  # liveness itself is not transactional
+        assert state.nodes[victim].allocation_tags() == ()
+        assert state.nodes[victim].allocated_ghz == 0.0
+        state.check_invariants()
+
+    def test_rollback_does_not_resurrect_dropped_replicas(self, tiny_instance):
+        state = ClusterState(tiny_instance)
+        dataset = tiny_instance.dataset(0)
+        copy_node = next(
+            v for v in tiny_instance.placement_nodes if v != dataset.origin_node
+        )
+        state.replicas.place(0, copy_node)
+        with state.transaction():
+            state.mark_down(copy_node)
+            state.evict_allocations(copy_node)
+            state.drop_replicas(copy_node)
+        assert not state.replicas.has(0, copy_node)
+        state.check_invariants()
+
+    def test_committed_work_on_up_nodes_survives_crash_cleanup(self, tiny_instance):
+        state = ClusterState(tiny_instance)
+        query = tiny_instance.query(0)
+        dataset = tiny_instance.dataset(0)
+        safe = tiny_instance.placement_nodes[4]
+        victim = tiny_instance.placement_nodes[5]
+        state.mark_down(victim)
+        with state.transaction() as txn:
+            a = state.serve(query, dataset, safe)
+            txn.commit()
+        assert state.replicas.has(0, safe)
+        state.check_invariants([a])
+
+
+class TestCheckInvariants:
+    def test_clean_state_passes(self, tiny_instance):
+        state = ClusterState(tiny_instance)
+        query = tiny_instance.query(0)
+        dataset = tiny_instance.dataset(0)
+        a = state.serve(query, dataset, dataset.origin_node)
+        state.check_invariants([a], deadlines={0: query.deadline_s})
+
+    def test_detects_corrupt_ledger_total(self, tiny_instance):
+        state = ClusterState(tiny_instance)
+        node = tiny_instance.placement_nodes[4]
+        state.nodes[node]._total = 1.0  # corrupt the running total
+        with pytest.raises(InvariantViolation, match="ledger"):
+            state.check_invariants()
+
+    def test_detects_over_replication(self, tiny_instance):
+        state = ClusterState(tiny_instance)
+        nodes = [
+            v
+            for v in tiny_instance.placement_nodes
+            if v != tiny_instance.dataset(0).origin_node
+        ]
+        for v in nodes[: tiny_instance.max_replicas]:  # one past the bound
+            state.replicas._locations[0].add(v)
+        with pytest.raises(InvariantViolation, match="copies"):
+            state.check_invariants()
+
+    def test_detects_lost_origin(self, tiny_instance):
+        state = ClusterState(tiny_instance)
+        origin = tiny_instance.dataset(0).origin_node
+        state.replicas._locations[0].discard(origin)
+        with pytest.raises(InvariantViolation, match="origin"):
+            state.check_invariants()
+
+    def test_detects_allocation_on_down_node(self, tiny_instance):
+        state = ClusterState(tiny_instance)
+        query = tiny_instance.query(0)
+        dataset = tiny_instance.dataset(0)
+        node = dataset.origin_node
+        state.serve(query, dataset, node)
+        state._down.add(node)  # bypass mark_down's eviction on purpose
+        with pytest.raises(InvariantViolation, match="down"):
+            state.check_invariants()
+
+    def test_detects_missing_inflight_backing(self, tiny_instance):
+        state = ClusterState(tiny_instance)
+        query = tiny_instance.query(0)
+        dataset = tiny_instance.dataset(0)
+        a = state.serve(query, dataset, dataset.origin_node)
+        state.release(a)
+        with pytest.raises(InvariantViolation):
+            state.check_invariants([a])
+
+    def test_detects_deadline_violation(self, tiny_instance):
+        state = ClusterState(tiny_instance)
+        query = tiny_instance.query(0)
+        dataset = tiny_instance.dataset(0)
+        a = state.serve(query, dataset, dataset.origin_node)
+        with pytest.raises(InvariantViolation, match="deadline"):
+            state.check_invariants([a], deadlines={0: a.latency_s / 2.0})

@@ -2,7 +2,16 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings
+
+# CI runs every Hypothesis suite derandomized (HYPOTHESIS_PROFILE=ci):
+# examples are derived from the test body alone, so a red run reproduces
+# locally with the same env var instead of chasing a lost seed.
+settings.register_profile("ci", derandomize=True, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 from repro.core.instance import ProblemInstance
 from repro.core.types import Dataset, Query

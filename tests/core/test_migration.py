@@ -106,3 +106,247 @@ class TestStrategySemantics:
                 assert r.migration_cost_s == 0.0
             else:
                 assert r.migration_cost_s > 0.0
+
+
+# --------------------------------------------------------------------------
+# Property suites: cross-strategy consistency + the bounded-churn diff.
+# --------------------------------------------------------------------------
+
+import functools
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.migration import MigrationStep, diff_replica_maps
+from repro.topology.twotier import TwoTierConfig
+
+PROPERTY = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_SMALL = TwoTierConfig(
+    num_data_centers=2, num_cloudlets=6, num_switches=2, num_base_stations=2
+)
+
+
+@functools.lru_cache(maxsize=64)
+def _epoch_sequence(seed: int, n_epochs: int) -> tuple[ProblemInstance, ...]:
+    topology = generate_two_tier(_SMALL, seed=seed)
+    params = PaperDefaults()
+    datasets = generate_datasets(topology, spawn_rng(seed, "ds"), params, count=6)
+    return tuple(
+        ProblemInstance(
+            topology=topology,
+            datasets=datasets,
+            queries=generate_queries(
+                topology, datasets, spawn_rng(seed, f"q{e}"), params, count=25
+            ),
+            max_replicas=3,
+        )
+        for e in range(n_epochs)
+    )
+
+
+@functools.lru_cache(maxsize=256)
+def _strategy_reports(seed: int, n_epochs: int, strategy: str):
+    return tuple(MigrationPlanner(strategy).run(list(_epoch_sequence(seed, n_epochs))))
+
+
+sequences = st.tuples(st.integers(0, 30), st.integers(2, 4))
+
+
+class TestCrossStrategyProperties:
+    @PROPERTY
+    @given(sequences)
+    def test_migration_traffic_orders_across_strategies(self, seq):
+        """Post-epoch-0 traffic: ``frozen <= carry <= fresh``, always."""
+        seed, n = seq
+        totals = {
+            s: sum(r.migration_gb for r in _strategy_reports(seed, n, s)[1:])
+            for s in ("frozen", "carry", "fresh")
+        }
+        assert totals["frozen"] == 0.0
+        assert totals["frozen"] <= totals["carry"] <= totals["fresh"]
+
+    @PROPERTY
+    @given(sequences)
+    def test_gcd_replicas_never_serve_their_final_epoch(self, seq):
+        """A copy is GC'd only if it served *nothing* in that epoch."""
+        seed, n = seq
+        for report in _strategy_reports(seed, n, "carry"):
+            served = {
+                (d_id, a.node) for (_q, d_id), a in report.solution.assignments.items()
+            }
+            for dropped in report.dropped_replicas:
+                assert dropped not in served
+
+    @PROPERTY
+    @given(sequences)
+    def test_dropped_replicas_back_the_dropped_count(self, seq):
+        seed, n = seq
+        for strategy in ("carry", "fresh", "frozen"):
+            for report in _strategy_reports(seed, n, strategy):
+                assert len(report.dropped_replicas) == report.dropped
+                if strategy != "carry":
+                    assert report.dropped_replicas == ()
+
+    @PROPERTY
+    @given(sequences)
+    def test_gcd_copies_leave_the_carried_map(self, seq):
+        """After GC a copy is gone: it cannot serve the *next* epoch either."""
+        seed, n = seq
+        planner = MigrationPlanner("carry")
+        for instance in _epoch_sequence(seed, n):
+            report = planner.plan_epoch(instance)
+            for d_id, node in report.dropped_replicas:
+                assert node not in planner.carried[d_id]
+
+
+# -- diff_replica_maps -----------------------------------------------------
+
+DIFF_TOPOLOGY = generate_two_tier(_SMALL, seed=4)
+DIFF_BASE = ProblemInstance(
+    topology=DIFF_TOPOLOGY,
+    datasets=generate_datasets(
+        DIFF_TOPOLOGY, spawn_rng(4, "ds"), PaperDefaults(), count=8
+    ),
+    queries=(),
+    max_replicas=3,
+)
+DIFF_PLACEMENT = sorted(DIFF_BASE.placement_nodes)
+
+
+@st.composite
+def replica_maps(draw):
+    """(current, target): K-respecting maps that always include origins."""
+
+    def one_map():
+        out = {}
+        for d_id in DIFF_BASE.datasets:
+            origin = DIFF_BASE.dataset(d_id).origin_node
+            extra = draw(
+                st.lists(
+                    st.sampled_from([v for v in DIFF_PLACEMENT if v != origin]),
+                    max_size=DIFF_BASE.max_replicas - 1,
+                    unique=True,
+                )
+            )
+            out[d_id] = tuple(sorted({origin, *extra}))
+        return out
+
+    return one_map(), one_map()
+
+
+DIFF_PROPERTY = settings(max_examples=50, deadline=None)
+
+
+class TestDiffReplicaMaps:
+    def test_rejects_bad_caps(self):
+        with pytest.raises(ValidationError, match="max_migration_gb"):
+            diff_replica_maps(DIFF_BASE, {}, {}, max_migration_gb=-1.0)
+        with pytest.raises(ValidationError, match="max_moves_per_dataset"):
+            diff_replica_maps(DIFF_BASE, {}, {}, max_moves_per_dataset=0)
+
+    def test_identical_maps_diff_to_nothing(self):
+        live = {d: (DIFF_BASE.dataset(d).origin_node,) for d in DIFF_BASE.datasets}
+        plan = diff_replica_maps(DIFF_BASE, live, live)
+        assert not plan
+        assert plan.migration_gb == 0.0
+        assert plan.deferred_steps == 0
+
+    @DIFF_PROPERTY
+    @given(replica_maps())
+    def test_unbounded_plan_reaches_the_target(self, maps):
+        """No caps: replaying the plan transforms current into target."""
+        current, target = maps
+        plan = diff_replica_maps(DIFF_BASE, current, target)
+        assert plan.deferred_steps == 0
+        reached = {d: set(nodes) for d, nodes in current.items()}
+        for step in plan.steps:
+            if step.drop_node is not None:
+                reached[step.dataset_id].discard(step.drop_node)
+            if step.add_node is not None:
+                reached[step.dataset_id].add(step.add_node)
+        assert reached == {d: set(nodes) for d, nodes in target.items()}
+
+    @DIFF_PROPERTY
+    @given(replica_maps(), st.floats(0.0, 60.0), st.integers(1, 4))
+    def test_caps_are_respected(self, maps, cap, moves):
+        current, target = maps
+        plan = diff_replica_maps(
+            DIFF_BASE, current, target,
+            max_migration_gb=cap, max_moves_per_dataset=moves,
+        )
+        assert plan.migration_gb <= cap * (1.0 + 1e-9)
+        mutations: dict[int, int] = {}
+        for step in plan.steps:
+            mutations[step.dataset_id] = (
+                mutations.get(step.dataset_id, 0)
+                + (step.add_node is not None)
+                + (step.drop_node is not None)
+            )
+        assert all(count <= moves for count in mutations.values())
+
+    @DIFF_PROPERTY
+    @given(replica_maps(), st.floats(0.0, 60.0))
+    def test_accounting_is_exact(self, maps, cap):
+        """Planned + deferred adds exactly cover the adds the diff wants."""
+        current, target = maps
+        plan = diff_replica_maps(DIFF_BASE, current, target, max_migration_gb=cap)
+        wanted = sum(
+            len(set(target[d]) - set(current[d])) for d in DIFF_BASE.datasets
+        )
+        assert plan.adds + plan.deferred_steps == wanted
+        assert plan.migration_gb == pytest.approx(
+            sum(s.volume_gb for s in plan.steps if s.add_node is not None)
+        )
+        assert plan.migration_cost_s == pytest.approx(
+            sum(s.ship_cost_s for s in plan.steps)
+        )
+
+    @DIFF_PROPERTY
+    @given(replica_maps(), st.floats(0.0, 60.0), st.integers(1, 4))
+    def test_origins_are_never_dropped(self, maps, cap, moves):
+        current, target = maps
+        plan = diff_replica_maps(
+            DIFF_BASE, current, target,
+            max_migration_gb=cap, max_moves_per_dataset=moves,
+        )
+        for step in plan.steps:
+            if step.drop_node is not None:
+                assert step.drop_node != DIFF_BASE.dataset(
+                    step.dataset_id
+                ).origin_node
+            if step.add_node is not None:
+                assert step.ship_from in {*current[step.dataset_id]}
+
+    @DIFF_PROPERTY
+    @given(replica_maps(), st.floats(0.0, 60.0), st.integers(1, 4))
+    def test_diff_is_deterministic(self, maps, cap, moves):
+        current, target = maps
+        first = diff_replica_maps(
+            DIFF_BASE, current, target,
+            max_migration_gb=cap, max_moves_per_dataset=moves,
+        )
+        second = diff_replica_maps(
+            DIFF_BASE, current, target,
+            max_migration_gb=cap, max_moves_per_dataset=moves,
+        )
+        assert first == second
+
+    @DIFF_PROPERTY
+    @given(replica_maps())
+    def test_no_bare_add_at_the_k_bound(self, maps):
+        """A dataset at its K bound only gains copies via atomic moves."""
+        current, target = maps
+        plan = diff_replica_maps(DIFF_BASE, current, target)
+        at_bound = {
+            d
+            for d in DIFF_BASE.datasets
+            if len(current[d]) >= DIFF_BASE.max_replicas
+        }
+        for step in plan.steps:
+            if step.add_node is not None and step.dataset_id in at_bound:
+                assert step.is_move

@@ -15,6 +15,7 @@ from repro.serve import (
     GatewayConfig,
     GatewayThread,
     QueryFactory,
+    ReoptimizerConfig,
     run_closed_loop,
     run_open_loop,
 )
@@ -406,3 +407,63 @@ class TestGatewayThread:
         finally:
             thread.stop()
         assert (tmp_path / "t.ckpt.json").exists()
+
+
+class TestReoptimizerGoldenParity:
+    """PR-5 pin: an enabled re-optimizer under zero drift is invisible.
+
+    The same strictly-sequential submission stream is served twice — once
+    by the plain gateway, once with the daemon enabled (a fast background
+    interval *plus* explicit mid-stream cycles).  A stationary workload
+    never crosses the drift gate, so every decision and the final
+    checkpoint must be byte-for-byte identical to the baseline.
+    """
+
+    def _drive(self, serve_instance, path, reopt):
+        async def scenario():
+            results = []
+            async with running_gateway(
+                serve_instance,
+                hold_factor=100.0,
+                checkpoint_path=str(path),
+                reopt=reopt,
+            ) as gateway:
+                host, port = gateway.address
+                factory = QueryFactory(serve_instance, seed=8)
+                async with await GatewayClient.connect(host, port) as client:
+                    for i in range(40):
+                        response = await client.submit(factory.make())
+                        results.append(response["result"])
+                        if reopt is not None and i in (19, 39):
+                            cycle = await client.reopt()
+                            assert cycle["ok"] is True
+                status = gateway.status()
+                await gateway.stop()  # writes the final checkpoint
+                return results, status, dict(gateway.counters)
+
+        return run(scenario())
+
+    def test_zero_drift_is_bit_identical(self, serve_instance, tmp_path):
+        plain_path = tmp_path / "plain.ckpt.json"
+        reopt_path = tmp_path / "reopt.ckpt.json"
+        config = ReoptimizerConfig(interval_s=0.01, window=64, min_window=8)
+
+        plain_results, plain_status, plain_counters = self._drive(
+            serve_instance, plain_path, None
+        )
+        reopt_results, reopt_status, reopt_counters = self._drive(
+            serve_instance, reopt_path, config
+        )
+
+        assert reopt_results == plain_results
+        assert reopt_counters == plain_counters
+        assert reopt_path.read_bytes() == plain_path.read_bytes()
+
+        # The daemon ran (explicit cycles at least) but never migrated.
+        assert "reopt" not in plain_status
+        daemon = reopt_status["reopt"]
+        assert daemon["cycles"] >= 2
+        assert daemon["migrated_steps"] == 0
+        assert daemon["migrated_gb"] == 0.0
+        last = daemon["last_cycle"]
+        assert last["reason"] in ("drift-below-threshold", "reference-set")

@@ -1,0 +1,220 @@
+"""Property-based invariant suite for the live re-optimizer.
+
+Hypothesis draws drifting query mixes (Zipf popularity rotated by a
+random offset), churn-cap settings, and fault schedules (crashes and
+recoveries interleaved with the migration plan's steps), then asserts
+the serving invariants — capacity, the K-replica bound, origin-ledger
+survival, crash cleanliness, and in-flight/deadline consistency — after
+*every* applied, rolled-back, or skipped migration step, after every
+injected mid-plan rollback, and after every injected crash.  The checks
+are :meth:`repro.cluster.state.ClusterState.check_invariants`, the live
+counterpart of ``verify_solution``.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.state import ClusterState
+from repro.core.instance import ProblemInstance
+from repro.core.primal_dual import ApproG
+from repro.serve.reoptimizer import (
+    ReoptimizerConfig,
+    apply_step,
+    build_window_instance,
+    plan_cycle,
+)
+from repro.serve.client import QueryFactory
+from repro.topology.twotier import TwoTierConfig, generate_two_tier
+from repro.util.rng import spawn_rng
+from repro.workload.datasets import generate_datasets
+from repro.workload.params import PaperDefaults
+
+TOPOLOGY = generate_two_tier(
+    TwoTierConfig(
+        num_data_centers=2,
+        num_cloudlets=6,
+        num_switches=2,
+        num_base_stations=2,
+    ),
+    seed=2,
+)
+PARAMS = PaperDefaults()
+DATASETS = generate_datasets(TOPOLOGY, spawn_rng(11, "ds"), PARAMS, count=8)
+#: Query-less carrier of the topology + datasets; windows are built on it.
+BASE = ProblemInstance(
+    topology=TOPOLOGY, datasets=DATASETS, queries=(), max_replicas=3
+)
+PLACEMENT = tuple(BASE.placement_nodes)
+
+PROPERTY = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _queries(seed: int, rotate: int, count: int):
+    factory = QueryFactory(BASE, seed=seed, rotate=rotate)
+    return [factory.make() for _ in range(count)]
+
+
+def _crash(state: ClusterState, node: int, inflight: list) -> None:
+    """Inject one crash with the fault injector's exact semantics."""
+    state.mark_down(node)
+    state.evict_allocations(node)
+    state.drop_replicas(node)
+    inflight[:] = [a for a in inflight if a.node != node]
+
+
+@st.composite
+def scenarios(draw):
+    """One serving scenario: stationary warm-up, drifted window, faults."""
+    seed = draw(st.integers(0, 999))
+    rotate = draw(st.integers(1, len(DATASETS) - 1))
+    n_initial = draw(st.integers(5, 20))
+    n_window = draw(st.integers(5, 25))
+    cap = draw(st.floats(5.0, 120.0))
+    moves = draw(st.one_of(st.none(), st.integers(1, 4)))
+    # (step index, node) pairs: crash that node just before that step.
+    crashes = draw(
+        st.lists(
+            st.tuples(st.integers(0, 24), st.sampled_from(PLACEMENT)),
+            max_size=2,
+            unique_by=lambda c: c[1],
+        )
+    )
+    # Steps before which an uncommitted transaction is opened and rolled
+    # back (exercising rollback interleaved with crash eviction).
+    rollbacks = draw(st.lists(st.integers(0, 24), max_size=2, unique=True))
+    recover = draw(st.booleans())
+    return seed, rotate, n_initial, n_window, cap, moves, crashes, rollbacks, recover
+
+
+def _run_scenario(scenario) -> tuple[ClusterState, list, float, float]:
+    """Drive one scenario, checking invariants at every boundary.
+
+    Returns (state, inflight, applied GB, cap) for scenario-specific
+    assertions on top of the always-on invariant checks.
+    """
+    seed, rotate, n_initial, n_window, cap, moves, crashes, rollbacks, recover = (
+        scenario
+    )
+    warmup = build_window_instance(BASE, _queries(seed, 0, n_initial))
+    state = ClusterState(warmup)
+    solution = ApproG().solve_on_state(warmup, state)
+    inflight = [a for a in solution.assignments.values()]
+    deadlines = {q.query_id: q.deadline_s for q in warmup.queries}
+    state.check_invariants(inflight, deadlines=deadlines)
+
+    window = _queries(seed + 1, rotate, n_window)
+    config = ReoptimizerConfig(max_migration_gb=cap, max_moves_per_dataset=moves)
+    plan, _info = plan_cycle(
+        BASE, window, state.replicas.replica_map(), sorted(state.down_nodes()), config
+    )
+
+    crash_at = {i: v for i, v in crashes}
+    applied_gb = 0.0
+    for i, step in enumerate(plan.steps):
+        victim = crash_at.get(i)
+        if victim is not None and state.is_up(victim):
+            _crash(state, victim, inflight)
+            state.check_invariants(inflight, deadlines=deadlines)
+        if i in rollbacks:
+            # An admission transaction that aborts mid-plan: nothing it
+            # did may survive, and no crash eviction may be undone.
+            with state.transaction():
+                if inflight:
+                    state.release(inflight[0])
+            state.check_invariants(inflight, deadlines=deadlines)
+        outcome = apply_step(state, step, inflight)
+        assert outcome == "applied" or outcome.startswith(
+            ("rolled-back", "skipped:")
+        )
+        if outcome == "applied":
+            applied_gb += step.volume_gb
+        state.check_invariants(inflight, deadlines=deadlines)
+    if recover:
+        for node in sorted(state.down_nodes()):
+            state.mark_up(node)
+        state.check_invariants(inflight, deadlines=deadlines)
+    return state, inflight, applied_gb, cap
+
+
+@PROPERTY
+@given(scenarios())
+def test_invariants_hold_after_every_step(scenario):
+    _run_scenario(scenario)
+
+
+@PROPERTY
+@given(scenarios())
+def test_applied_volume_never_exceeds_cycle_cap(scenario):
+    _state, _inflight, applied_gb, cap = _run_scenario(scenario)
+    assert applied_gb <= cap * (1.0 + 1e-9)
+
+
+@PROPERTY
+@given(scenarios())
+def test_origins_survive_any_plan_and_fault_mix(scenario):
+    state, _inflight, _gb, _cap = _run_scenario(scenario)
+    for d_id in BASE.datasets:
+        assert state.replicas.origin(d_id) in state.replicas.nodes(d_id)
+
+
+@PROPERTY
+@given(scenarios())
+def test_replica_bound_holds_after_migration(scenario):
+    state, _inflight, _gb, _cap = _run_scenario(scenario)
+    for d_id in BASE.datasets:
+        assert len(state.replicas.nodes(d_id)) <= BASE.max_replicas
+
+
+@PROPERTY
+@given(scenarios())
+def test_replaying_the_plan_is_idempotent(scenario):
+    """A plan applied against state it already shaped must be a no-op."""
+    (seed, rotate, n_initial, n_window, cap, moves, *_rest) = scenario
+    warmup = build_window_instance(BASE, _queries(seed, 0, n_initial))
+    state = ClusterState(warmup)
+    solution = ApproG().solve_on_state(warmup, state)
+    inflight = list(solution.assignments.values())
+    window = _queries(seed + 1, rotate, n_window)
+    config = ReoptimizerConfig(max_migration_gb=cap, max_moves_per_dataset=moves)
+    plan, _info = plan_cycle(
+        BASE, window, state.replicas.replica_map(), [], config
+    )
+    for step in plan.steps:
+        apply_step(state, step, inflight)
+    before = state.replicas.replica_map()
+    for step in plan.steps:
+        outcome = apply_step(state, step, inflight)
+        assert outcome != "applied"
+        state.check_invariants(inflight)
+    assert state.replicas.replica_map() == before
+
+
+@PROPERTY
+@given(scenarios())
+def test_plans_are_deterministic(scenario):
+    (seed, rotate, n_initial, n_window, cap, moves, *_rest) = scenario
+    warmup = build_window_instance(BASE, _queries(seed, 0, n_initial))
+    state = ClusterState(warmup)
+    ApproG().solve_on_state(warmup, state)
+    window = _queries(seed + 1, rotate, n_window)
+    config = ReoptimizerConfig(max_migration_gb=cap, max_moves_per_dataset=moves)
+    live = state.replicas.replica_map()
+    first, info_a = plan_cycle(BASE, window, live, [], config)
+    second, info_b = plan_cycle(BASE, window, live, [], config)
+    assert first == second
+    assert info_a == info_b
+
+
+@PROPERTY
+@given(scenarios())
+def test_in_use_replicas_are_never_dropped(scenario):
+    """A copy serving an in-flight query survives the whole plan."""
+    state, inflight, _gb, _cap = _run_scenario(scenario)
+    for a in inflight:
+        assert state.replicas.has(a.dataset_id, a.node)

@@ -1,0 +1,362 @@
+"""Tentpole bench — sustained admission throughput toward 10⁵ decisions/s.
+
+Where ``bench_serve.py`` measures short drains and wire-level latency,
+this bench measures the *steady state* of the admission path: a feeder
+keeps a standing backlog in front of the admission worker for multiple
+seconds per cell (open-loop, saturated — offered load always exceeds
+service rate), and every decision's enqueue→decision latency lands in a
+full histogram.
+
+The harness is built so the cell measures the gateway, not the feeder:
+
+* Queries are pre-generated once and recycled via a ``__dict__``-level
+  clone (~0.6 µs) instead of ``dataclasses.replace`` (~4 µs — it would
+  dominate the loop).  Each clone gets a fresh ``query_id`` (hold
+  allocation tags are keyed by id, so ids must never repeat within a
+  cell) and a minutely perturbed ``selectivity`` so the legacy engine's
+  per-pair latency cache sees an always-fresh key, exactly as it does
+  on live traffic — a recycled pool would otherwise warm that cache and
+  inflate the baseline.
+* Decisions resolve a two-method future stand-in (the admission worker
+  only ever calls ``done()`` and ``set_result()``) that stamps the
+  decision time; real ``asyncio.Future`` callback machinery costs more
+  than the screen itself at these rates.
+* Draining polls the gateway's own decision counters (and surfaces a
+  crashed admission worker instead of spinning forever).
+* The cyclic GC is paused over the measured window (pyperf-style): the
+  retained-pending population is harness bookkeeping, and letting the
+  collector scan it repeatedly costs ~30 % of throughput by the end of
+  a multi-second window.
+
+Cells
+-----
+* ``legacy`` — the original per-pair prefilter, recorded as the in-run
+  reference point.
+* ``batch @ 16/256/1024`` — the stacked screening kernel
+  (:mod:`repro.serve.screenpool`) across micro-batch sizes.  The kernel
+  is decision-identical to ``legacy`` (pinned by
+  ``tests/serve/test_screenpool.py``); only the screen's cost differs.
+* optionally ``pool @ N`` (``REPRO_SERVE_SCREEN_WORKERS=N``) — the
+  prefork screening pool, recorded for the shared-memory/IPC cost
+  profile (on a single-CPU host the pool cannot beat inline).
+
+Each cell runs ``REPRO_SUSTAINED_ROUNDS`` times and keeps its best
+round: virtualised hosts throttle sustained 100 %-CPU loops (burst
+credits), and a capability bench wants the unthrottled figure.
+
+The acceptance gate is *absolute*: the best batch cell must sustain at
+least ``REPRO_SUSTAINED_MIN_SPEEDUP`` (default 4×) the recorded
+23,503 decisions/s drain-mode baseline (``results/serve.json``,
+drain @ 16, pre-kernel gateway).  The in-run legacy cell is reported
+alongside for a same-machine comparison.  See the "Serving throughput"
+section of ``docs/performance.md``.
+
+Environment knobs (CI runs a reduced scale):
+``REPRO_SUSTAINED_SECONDS`` (measured window per cell, default 3.0),
+``REPRO_SUSTAINED_WARMUP`` (discarded warmup window, default 0.5),
+``REPRO_SUSTAINED_ROUNDS`` (best-of rounds per cell, default 2),
+``REPRO_SUSTAINED_MIN_SPEEDUP`` (default 4.0),
+``REPRO_SERVE_SCREEN_WORKERS`` (default 0 = no pooled cell).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import gc
+import json
+import os
+import time
+
+import numpy as np
+
+from conftest import emit
+
+from repro.core.types import Query
+from repro.experiments.runner import make_instance
+from repro.serve import AdmissionGateway, GatewayConfig, QueryFactory, ScreenPool
+from repro.serve.gateway import _Pending
+from repro.topology.twotier import TwoTierConfig
+from repro.workload.params import PaperDefaults
+
+SEED = 71
+LOAD_SEED = 9
+#: Pre-generated queries recycled (with fresh ids/selectivity) by the feeder.
+QUERY_POOL = 4096
+#: Standing-backlog bound; the feeder refills it whenever it drains.
+QUEUE_BOUND = 4096
+#: Recorded drain-mode throughput of the pre-kernel gateway
+#: (``results/serve.json``, drain @ 16) — the speedup gate's baseline.
+BASELINE_RPS = 23_503.0
+
+DURATION_S = float(os.environ.get("REPRO_SUSTAINED_SECONDS", "3.0"))
+WARMUP_S = float(os.environ.get("REPRO_SUSTAINED_WARMUP", "0.5"))
+ROUNDS = int(os.environ.get("REPRO_SUSTAINED_ROUNDS", "2"))
+MIN_SPEEDUP = float(os.environ.get("REPRO_SUSTAINED_MIN_SPEEDUP", "4.0"))
+SCREEN_WORKERS = int(os.environ.get("REPRO_SERVE_SCREEN_WORKERS", "0"))
+
+#: Latency histogram bucket upper bounds (ms, "le"; final bucket +inf).
+HIST_BUCKETS_MS = np.array(
+    [0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0]
+)
+
+
+class _BenchFuture:
+    """Two-method stand-in for the pending future.
+
+    The admission worker only calls ``done()`` and ``set_result()``;
+    resolving stamps the decision time so latency needs no per-future
+    event-loop callback.
+    """
+
+    __slots__ = ("done_at",)
+
+    def __init__(self) -> None:
+        self.done_at = 0.0
+
+    def done(self) -> bool:
+        return self.done_at > 0.0
+
+    def set_result(self, _response) -> None:
+        self.done_at = time.perf_counter()
+
+
+def _clone(query: Query, query_id: int) -> Query:
+    """Recycle a pre-generated query under a fresh identity.
+
+    ``dataclasses.replace`` would re-run validation (~4 µs); a
+    ``__dict__`` copy keeps the feeder out of the measurement.  The
+    selectivity perturbation (≤ 1e-12 relative per id — far below any
+    deadline margin) guarantees the legacy latency cache never sees a
+    repeated key, matching live traffic where every query draws a fresh
+    alpha.
+    """
+    clone = object.__new__(Query)
+    fields = clone.__dict__
+    fields.update(query.__dict__)
+    fields["query_id"] = query_id
+    jitter = 1.0 + 1e-12 * query_id
+    fields["selectivity"] = tuple(a * jitter for a in query.selectivity)
+    return clone
+
+
+async def _sustained_cell(
+    instance,
+    base_queries: list[Query],
+    *,
+    label: str,
+    engine: str,
+    max_batch: int,
+    workers: int = 1,
+) -> dict:
+    """Feed a standing backlog through the admission worker for a while.
+
+    Runs a discarded warmup window, then a measured window: decisions
+    counted from the gateway's own counters, latencies recorded per
+    decision made on queries enqueued during the window.
+    """
+    gateway = AdmissionGateway(
+        instance,
+        GatewayConfig(
+            max_batch=max_batch,
+            queue_bound=QUEUE_BOUND,
+            hold_factor=1e6,  # holds never release: pure admission path
+            screen_engine=engine,
+            screen_workers=workers,
+        ),
+    )
+    if workers > 1:
+        # Drain mode bypasses start() (no TCP listener), so arm the
+        # screening pool the way start() would.
+        gateway._pool = ScreenPool(gateway._statics, workers)
+        gateway._pool.start()
+    pool_size = len(base_queries)
+    next_id = pool_size  # ids must never repeat: hold tags are keyed by id
+    offered = 0
+    recorded: list[_Pending] = []
+
+    def make_pending() -> _Pending:
+        nonlocal next_id
+        pending = _Pending(
+            _clone(base_queries[next_id % pool_size], next_id), _BenchFuture()
+        )
+        next_id += 1
+        return pending
+
+    def decided() -> int:
+        return gateway.counters["admitted"] + gateway.counters["rejected"]
+
+    worker = asyncio.create_task(gateway._admission_worker())
+
+    async def feed_for(seconds: float, record: bool) -> None:
+        """Keep the backlog full until ``seconds`` elapse, then drain."""
+        nonlocal offered
+        end = time.perf_counter() + seconds
+        pending = make_pending()
+        while True:
+            now = time.perf_counter()
+            if now >= end:
+                break
+            pending.enqueued_at = now  # stamp the *accepted* enqueue time
+            if gateway._batcher.offer(pending):
+                offered += 1
+                if record:
+                    recorded.append(pending)
+                pending = make_pending()
+            else:
+                await asyncio.sleep(0)  # backlog full: let the worker run
+        while decided() < offered:
+            if worker.done():
+                worker.result()  # surface a crashed admission worker
+            await asyncio.sleep(0)
+
+    try:
+        await feed_for(WARMUP_S, False)  # discarded: pages in caches
+        gc.collect()
+        gc.disable()  # harness-side retention would dominate gen2 scans
+        before = decided()
+        started = time.perf_counter()
+        await feed_for(DURATION_S, True)
+        duration = time.perf_counter() - started
+    finally:
+        gc.enable()
+        worker.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await worker
+        for handle in gateway._holds.values():
+            handle.cancel()
+        if gateway._pool is not None:
+            gateway._pool.close()
+            gateway._pool = None
+
+    decisions = decided() - before
+    lat_ms = np.asarray(
+        [p.future.done_at - p.enqueued_at for p in recorded]
+    ) * 1e3
+    counts = np.bincount(
+        np.searchsorted(HIST_BUCKETS_MS, lat_ms, side="left"),
+        minlength=HIST_BUCKETS_MS.size + 1,
+    )
+    batches = gateway.counters["batches"]
+    return {
+        "cell": label,
+        "engine": engine,
+        "max_batch": max_batch,
+        "screen_workers": workers,
+        "duration_s": duration,
+        "decisions": int(decisions),
+        "throughput_rps": decisions / duration,
+        "admitted": gateway.counters["admitted"],
+        "rejected": gateway.counters["rejected"],
+        "batches": int(batches),
+        "mean_batch": decided() / batches if batches else 0.0,
+        "stale_rescreens": gateway.screen_stale_rescreens,
+        "latency_ms": {
+            "mean": float(lat_ms.mean()),
+            "p50": float(np.percentile(lat_ms, 50)),
+            "p90": float(np.percentile(lat_ms, 90)),
+            "p99": float(np.percentile(lat_ms, 99)),
+            "p999": float(np.percentile(lat_ms, 99.9)),
+            "max": float(lat_ms.max()),
+        },
+        "histogram": {
+            "buckets_le_ms": HIST_BUCKETS_MS.tolist(),
+            "counts": counts.tolist(),
+        },
+    }
+
+
+def test_serve_sustained_throughput(benchmark, results_dir):
+    instance = make_instance(TwoTierConfig(), PaperDefaults(), SEED, 0)
+    factory = QueryFactory(instance, seed=LOAD_SEED)
+    base_queries = [factory.make() for _ in range(QUERY_POOL)]
+
+    cells = [
+        ("legacy @ 16", dict(engine="legacy", max_batch=16)),
+        ("batch @ 16", dict(engine="batch", max_batch=16)),
+        ("batch @ 256", dict(engine="batch", max_batch=256)),
+        ("batch @ 1024", dict(engine="batch", max_batch=1024)),
+    ]
+    if SCREEN_WORKERS > 1:
+        cells.append(
+            (
+                f"pool @ {SCREEN_WORKERS}x256",
+                dict(engine="batch", max_batch=256, workers=SCREEN_WORKERS),
+            )
+        )
+
+    def measure():
+        best: dict[str, dict] = {}
+        for round_idx in range(ROUNDS):
+            for label, kw in cells:
+                row = asyncio.run(
+                    _sustained_cell(instance, base_queries, label=label, **kw)
+                )
+                row["round"] = round_idx
+                if (
+                    label not in best
+                    or row["throughput_rps"] > best[label]["throughput_rps"]
+                ):
+                    best[label] = row
+        return [best[label] for label, _ in cells]
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    legacy = next(r for r in rows if r["engine"] == "legacy")
+    batch_rows = [
+        r for r in rows if r["engine"] == "batch" and r["screen_workers"] == 1
+    ]
+    best = max(batch_rows, key=lambda r: r["throughput_rps"])
+    speedup = best["throughput_rps"] / BASELINE_RPS
+    speedup_vs_legacy = best["throughput_rps"] / legacy["throughput_rps"]
+
+    lines = [
+        "=== sustained admission throughput "
+        f"(standing backlog, {DURATION_S:.1f}s windows, best of {ROUNDS} "
+        "rounds, paper topology) ===",
+        "cell          | decisions/s | p50 (ms) | p99 (ms) | p999 (ms) | mean batch",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r['cell']:13s} | {r['throughput_rps']:11.0f} "
+            f"| {r['latency_ms']['p50']:8.2f} | {r['latency_ms']['p99']:8.2f} "
+            f"| {r['latency_ms']['p999']:9.2f} | {r['mean_batch']:7.1f}"
+        )
+    lines.append(
+        f"best batch cell: {best['cell']} at {best['throughput_rps']:.0f} rps "
+        f"= {speedup:.1f}x the recorded {BASELINE_RPS:.0f} rps baseline "
+        f"({speedup_vs_legacy:.1f}x the in-run legacy cell)"
+    )
+    emit(results_dir, "serve_sustained", "\n".join(lines))
+    payload = {
+        "duration_s": DURATION_S,
+        "warmup_s": WARMUP_S,
+        "rounds": ROUNDS,
+        "baseline_recorded_rps": BASELINE_RPS,
+        "legacy_rps": legacy["throughput_rps"],
+        "best_rps": best["throughput_rps"],
+        "best_cell": best["cell"],
+        "speedup": speedup,
+        "speedup_vs_legacy": speedup_vs_legacy,
+        "cells": rows,
+    }
+    (results_dir / "serve_sustained.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    # Decision sanity across cells: every cell replays the same
+    # deterministic query stream (same pool, same id order, no
+    # releases), so admissions are a monotone function of how many
+    # decisions a cell got through — a cell that processed at least as
+    # many queries must have admitted at least as many.  (Exact
+    # per-query parity is pinned by tests/serve/test_screenpool.py.)
+    for r in rows:
+        if r["admitted"] + r["rejected"] >= legacy["admitted"] + legacy["rejected"]:
+            assert r["admitted"] >= legacy["admitted"]
+    # The acceptance gate: the stacked kernel sustains >= MIN_SPEEDUP x
+    # the recorded pre-kernel drain baseline on this machine.
+    assert speedup >= MIN_SPEEDUP, (
+        f"sustained throughput {best['throughput_rps']:.0f} rps is "
+        f"{speedup:.2f}x the recorded {BASELINE_RPS:.0f} rps baseline, "
+        f"below the {MIN_SPEEDUP:.1f}x gate"
+    )

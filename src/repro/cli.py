@@ -177,6 +177,12 @@ def build_parser() -> argparse.ArgumentParser:
                          "(0 = eager: flush the queued backlog)")
     p_serve.add_argument("--queue-bound", type=int, default=256,
                          help="pending-queue capacity before shedding")
+    p_serve.add_argument("--screen-workers", type=int, default=1,
+                         help="prefork screening processes sharding the "
+                              "batch prefilter (1 = screen inline)")
+    p_serve.add_argument("--uvloop", action="store_true",
+                         help="run on uvloop when installed "
+                              "(pip install .[perf]; stdlib loop otherwise)")
     p_serve.add_argument("--checkpoint", metavar="PATH", default=None,
                          help="checkpoint file; restored on startup when it "
                          "exists, rewritten periodically and on shutdown")
@@ -221,6 +227,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_load.add_argument("--rotate", type=int, default=0,
                         help="rotate Zipf dataset popularity by this many "
                              "positions (synthesises demand drift)")
+    p_load.add_argument("--status", action="store_true",
+                        help="fetch and render the gateway's status "
+                             "(screen-stage timings, latency histogram) "
+                             "after the run")
     p_load.add_argument("--shutdown", action="store_true",
                         help="send a shutdown request after the run")
 
@@ -366,7 +376,15 @@ def _cmd_failover(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
-    from repro.serve import AdmissionGateway, GatewayConfig, ReoptimizerConfig
+    from repro.serve import (
+        AdmissionGateway,
+        GatewayConfig,
+        ReoptimizerConfig,
+        maybe_install_uvloop,
+    )
+
+    if args.uvloop:
+        maybe_install_uvloop()
 
     reopt = None
     if args.reopt:
@@ -389,6 +407,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_batch=args.max_batch,
             max_wait_ms=args.max_wait_ms,
             queue_bound=args.queue_bound,
+            screen_workers=args.screen_workers,
+            use_uvloop=args.uvloop,
             checkpoint_path=args.checkpoint,
             checkpoint_interval_s=args.checkpoint_interval,
             reopt=reopt,
@@ -449,13 +469,17 @@ def _cmd_load(args: argparse.Namespace) -> int:
                 rate_rps=args.rate,
                 seed=args.load_seed,
             )
+        status_text = None
+        if args.status:
+            async with await GatewayClient.connect(args.host, args.port) as client:
+                status_text = GatewayClient.render_status(await client.status())
         if args.shutdown:
             async with await GatewayClient.connect(args.host, args.port) as client:
                 await client.shutdown()
-        return report
+        return report, status_text
 
     try:
-        report = asyncio.run(run())
+        report, status_text = asyncio.run(run())
     except ConnectionRefusedError:
         print(f"no gateway at {args.host}:{args.port}", file=sys.stderr)
         return 2
@@ -464,6 +488,8 @@ def _cmd_load(args: argparse.Namespace) -> int:
             print(f"{key:18s}: {value:.3f}")
         else:
             print(f"{key:18s}: {value}")
+    if status_text is not None:
+        print(status_text)
     return 1 if report.protocol_errors else 0
 
 

@@ -77,6 +77,17 @@ class ClusterState:
         }
         self.replicas = ReplicaStore(instance.datasets, instance.max_replicas)
         self._down: set[int] = set()
+        #: Monotone mutation epoch.  Every state change that can alter a
+        #: feasibility screen (allocations, replica placement, liveness,
+        #: transaction rollback) bumps it, so an exported view of this
+        #: state can be stamped and later recognised as stale without
+        #: comparing arrays.  Reading it never mutates anything; it is
+        #: bookkeeping only and cannot change a decision.
+        self.generation: int = 0
+
+    def touch(self) -> None:
+        """Advance the mutation epoch (see :attr:`generation`)."""
+        self.generation += 1
 
     # -- liveness ---------------------------------------------------------
     #
@@ -120,12 +131,14 @@ class ClusterState:
         if node in self._down:
             raise ValueError(f"node {node} is already down")
         self._down.add(node)
+        self.touch()
 
     def mark_up(self, node: int) -> None:
         """Bring ``node`` back online."""
         if node not in self._down:
             raise ValueError(f"node {node} is not down")
         self._down.discard(node)
+        self.touch()
 
     def evict_allocations(self, node: int) -> tuple[object, ...]:
         """Drop every live allocation on ``node`` (a crash kills them).
@@ -137,6 +150,8 @@ class ClusterState:
         tags = ledger.allocation_tags()
         for tag in tags:
             ledger.release(tag)
+        if tags:
+            self.touch()
         return tags
 
     def drop_replicas(self, node: int) -> tuple[int, ...]:
@@ -153,6 +168,8 @@ class ClusterState:
             if self.replicas.origin(d_id) != node:
                 self.replicas.remove(d_id, node)
                 dropped.append(d_id)
+        if dropped:
+            self.touch()
         return tuple(dropped)
 
     # -- feasibility ------------------------------------------------------
@@ -191,6 +208,43 @@ class ClusterState:
             (n.utilization for n in self.nodes.values()),
             dtype=np.float64,
             count=len(self.nodes),
+        )
+
+    def replica_presence_matrix(
+        self, dataset_ids: Iterable[int] | None = None
+    ) -> np.ndarray:
+        """Replica presence as a dense ``(dataset, node)`` boolean matrix.
+
+        Row ``r`` corresponds to ``dataset_ids[r]`` (the sorted dataset
+        ids by default), column ``i`` to ``placement_nodes[i]``; an entry
+        is ``True`` iff that node holds a copy.  This is the
+        export-friendly form of :meth:`ReplicaStore.nodes` the screening
+        pool ships through shared memory.
+        """
+        inst = self.instance
+        ids = sorted(inst.datasets) if dataset_ids is None else list(dataset_ids)
+        matrix = np.zeros((len(ids), inst.num_placement_nodes), dtype=bool)
+        node_index = inst.node_index
+        for row, d_id in enumerate(ids):
+            holders = self.replicas.nodes(d_id)
+            if holders:
+                matrix[row, [node_index[v] for v in holders]] = True
+        return matrix
+
+    def remaining_slots_array(
+        self, dataset_ids: Iterable[int] | None = None
+    ) -> np.ndarray:
+        """:meth:`ReplicaStore.remaining_slots` per dataset, as int64.
+
+        Entry ``r`` corresponds to ``dataset_ids[r]`` (sorted ids by
+        default) — how many more replicas of that dataset may be created.
+        """
+        inst = self.instance
+        ids = sorted(inst.datasets) if dataset_ids is None else list(dataset_ids)
+        return np.fromiter(
+            (self.replicas.remaining_slots(d) for d in ids),
+            dtype=np.int64,
+            count=len(ids),
         )
 
     def can_fit_mask(self, amount_ghz: float) -> np.ndarray:
@@ -284,6 +338,7 @@ class ClusterState:
             if placed_here:
                 self.replicas.remove(dataset.dataset_id, node)
             raise
+        self.touch()
         return Assignment(
             query_id=query.query_id,
             dataset_id=dataset.dataset_id,
@@ -297,6 +352,7 @@ class ClusterState:
         self.nodes[assignment.node].release(
             (assignment.query_id, assignment.dataset_id)
         )
+        self.touch()
 
     # -- transactions -------------------------------------------------------
 
@@ -335,6 +391,7 @@ class ClusterState:
                 for v in self._down:
                     self.evict_allocations(v)
                     self.drop_replicas(v)
+                self.touch()
 
     # -- invariants ----------------------------------------------------------
 

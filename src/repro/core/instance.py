@@ -123,6 +123,18 @@ class ProblemInstance:
                 vectors[q.home_node] = vec
         return vectors
 
+    @property
+    def home_delay_matrix(self) -> np.ndarray:
+        """``dt(p(v, h))`` for *every* topology node ``h`` at once.
+
+        Row ``h`` equals :meth:`home_delay_vectors`'s entry for ``h``
+        (bit-for-bit — both are slices of the same all-pairs matrix),
+        but covers ad-hoc homes that never appear in ``queries``.  This
+        is the static table the serving gateway's screening engine
+        indexes per batch instead of one cached-vector lookup per pair.
+        """
+        return self.paths.home_delay_matrix()
+
     # -- convenience ------------------------------------------------------
 
     @property

@@ -33,6 +33,9 @@ RESULT_SECTIONS: tuple[tuple[str, str], ...] = (
     ("migration", "Extension — migration under drift"),
     ("reoptimize", "Extension — live re-optimization under drift"),
     ("bandwidth", "Extension — link budgets"),
+    ("serve", "Extension — admission gateway latency under load"),
+    ("serve_sustained", "Extension — sustained admission throughput"),
+    ("faults", "Extension — dynamic fault injection"),
 )
 
 

@@ -86,6 +86,7 @@ class PathCache:
         with get_registry().time("pathcache.build_s"):
             self._delays, self._pred = all_pairs_min_delay(topology)
         self._placement_vectors: dict[int, np.ndarray] = {}
+        self._home_matrix: np.ndarray | None = None
         self._placement_index = np.fromiter(
             topology.placement_nodes,
             dtype=np.intp,
@@ -130,6 +131,24 @@ class PathCache:
         else:
             obs.inc("pathcache.hits")
         return vec
+
+    def home_delay_matrix(self) -> np.ndarray:
+        """All :meth:`placement_delays_to` vectors as one dense matrix.
+
+        Shape ``(num_topology_nodes, num_placement_nodes)``: row ``h`` is
+        exactly ``placement_delays_to(h)`` — the same slice of the same
+        all-pairs matrix, so every element is bit-identical to the
+        memoised per-home vector.  Built once and cached (read-only);
+        this is the static latency table the screening pool ships to
+        worker processes.
+        """
+        if self._home_matrix is None:
+            matrix = np.ascontiguousarray(
+                self._delays[self._placement_index, :].T
+            )
+            matrix.flags.writeable = False
+            self._home_matrix = matrix
+        return self._home_matrix
 
     def reachable(self, u: int, v: int) -> bool:
         """Whether any path connects ``u`` and ``v``."""

@@ -13,6 +13,10 @@ Pieces
 * :mod:`repro.serve.protocol` — the wire format (versioned, validated).
 * :mod:`repro.serve.batcher` — the bounded micro-batching queue.
 * :mod:`repro.serve.gateway` — the admission gateway itself.
+* :mod:`repro.serve.shm` — shared-memory export of the hot
+  ``ClusterState`` arrays (seqlock-versioned numpy views).
+* :mod:`repro.serve.screenpool` — the vectorised screening kernel and
+  its prefork worker pool.
 * :mod:`repro.serve.reoptimizer` — the live re-optimization daemon:
   bounded-churn replica migration against demand drift.
 * :mod:`repro.serve.client` — asyncio client + closed/open-loop load
@@ -27,9 +31,16 @@ from repro.serve.client import (
     run_closed_loop,
     run_open_loop,
 )
-from repro.serve.gateway import AdmissionGateway, GatewayConfig, GatewayThread
+from repro.serve.gateway import (
+    AdmissionGateway,
+    GatewayConfig,
+    GatewayThread,
+    maybe_install_uvloop,
+)
 from repro.serve.protocol import ProtocolError, decode_message, encode_message
 from repro.serve.reoptimizer import CycleReport, Reoptimizer, ReoptimizerConfig
+from repro.serve.screenpool import ScreenPool, ScreenRows
+from repro.serve.shm import ScreenStatics, SharedStateViews, StateSnapshot
 
 __all__ = [
     "AdmissionGateway",
@@ -43,8 +54,14 @@ __all__ = [
     "QueryFactory",
     "Reoptimizer",
     "ReoptimizerConfig",
+    "ScreenPool",
+    "ScreenRows",
+    "ScreenStatics",
+    "SharedStateViews",
+    "StateSnapshot",
     "decode_message",
     "encode_message",
+    "maybe_install_uvloop",
     "run_closed_loop",
     "run_open_loop",
 ]

@@ -115,6 +115,72 @@ class GatewayClient:
         """Fetch the gateway's health snapshot."""
         return await self.request("status")
 
+    @staticmethod
+    def render_status(payload: dict[str, Any]) -> str:
+        """Human-readable render of a ``status`` payload.
+
+        Counters, the screening engine's per-stage timings, and the
+        admission-latency histogram (non-empty buckets only) — what
+        ``repro load --status`` prints.
+        """
+
+        def fmt_s(value: Any) -> str:
+            if not isinstance(value, (int, float)):
+                return "-"
+            if value < 1e-3:
+                return f"{value * 1e6:.0f}us"
+            if value < 1.0:
+                return f"{value * 1e3:.2f}ms"
+            return f"{value:.3f}s"
+
+        lines = [
+            f"uptime {payload.get('uptime_s', 0.0):.1f}s  "
+            f"queue {payload.get('queue_depth', 0)}  "
+            f"inflight {payload.get('inflight_queries', 0)} queries / "
+            f"{payload.get('inflight_ghz', 0.0):.1f} GHz "
+            f"of {payload.get('total_capacity_ghz', 0.0):.1f} GHz",
+            "counters: "
+            + "  ".join(
+                f"{k}={int(v)}"
+                for k, v in sorted(payload.get("counters", {}).items())
+            ),
+        ]
+        screen = payload.get("screen")
+        if screen:
+            lines.append(
+                f"screen: engine={screen['engine']} "
+                f"workers={screen['workers']} "
+                f"stale_rescreens={screen['stale_rescreens']}"
+            )
+            for stage in ("screen_s", "commit_s"):
+                stats = screen.get(stage, {})
+                if stats.get("count"):
+                    lines.append(
+                        f"  {stage[:-2]}/batch: mean {fmt_s(stats['mean_s'])}  "
+                        f"p50 {fmt_s(stats['p50_s'])}  "
+                        f"p90 {fmt_s(stats['p90_s'])}  "
+                        f"p99 {fmt_s(stats['p99_s'])}"
+                    )
+        hist = payload.get("admission_latency")
+        if hist and sum(hist.get("counts", [])) > 0:
+            lines.append(
+                "admission latency: "
+                + "  ".join(
+                    f"{q[:-2]} {fmt_s(hist[q])}"
+                    for q in ("p50_s", "p90_s", "p99_s", "p999_s")
+                )
+            )
+            edges = hist["buckets_le_s"]
+            counts = hist["counts"]
+            total = sum(counts)
+            for i, count in enumerate(counts):
+                if not count:
+                    continue
+                label = f"<={fmt_s(edges[i])}" if i < len(edges) else "+inf"
+                bar = "#" * max(1, round(40 * count / total))
+                lines.append(f"  {label:>10} {count:>8} {bar}")
+        return "\n".join(lines)
+
     async def snapshot(self) -> dict[str, Any]:
         """Ask the gateway to checkpoint now."""
         return await self.request("snapshot")

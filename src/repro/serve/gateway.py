@@ -37,6 +37,7 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import json
+import math
 import threading
 import time
 from dataclasses import dataclass
@@ -52,8 +53,10 @@ from repro.core.online import PlacementRule, appro_rule, greedy_rule
 from repro.core.types import Assignment, Query
 from repro.io.serialize import atomic_write_text, state_from_dict, state_to_dict
 from repro.obs import get_registry
+from repro.obs.registry import Summary
 from repro.serve.batcher import MicroBatcher
 from repro.serve.protocol import (
+    MAX_LINE_BYTES,
     ProtocolError,
     decode_request,
     encode_message,
@@ -61,15 +64,97 @@ from repro.serve.protocol import (
     parse_submit_query,
 )
 from repro.serve.reoptimizer import Reoptimizer, ReoptimizerConfig
+from repro.serve.screenpool import (
+    ScreenPool,
+    build_rows,
+    screen_rows,
+    snapshot_state,
+    verdicts_from_pairs,
+)
+from repro.serve.shm import ScreenStatics
 from repro.util.validation import (
     ValidationError,
     check_non_negative,
     check_positive,
 )
 
-__all__ = ["AdmissionGateway", "GatewayConfig", "GatewayThread"]
+__all__ = [
+    "AdmissionGateway",
+    "GatewayConfig",
+    "GatewayThread",
+    "maybe_install_uvloop",
+]
 
 _FORMAT_CHECKPOINT = "repro/serve-checkpoint/v1"
+
+#: Screening engines a gateway can run, by config name.
+_ENGINES = ("batch", "legacy")
+
+#: Pool screens re-run after a generation mismatch before the loop gives
+#: up and screens inline against the live state.
+_MAX_RESCREENS = 3
+
+#: Admission-latency histogram bucket upper bounds (seconds, "le"
+#: semantics); the final implicit bucket is the +inf overflow.
+_LATENCY_BUCKETS = np.array(
+    [
+        1e-5, 2e-5, 5e-5,
+        1e-4, 2e-4, 5e-4,
+        1e-3, 2e-3, 5e-3,
+        1e-2, 2e-2, 5e-2,
+        0.1, 0.2, 0.5,
+        1.0, 2.0, 5.0, 10.0,
+    ]
+)
+
+
+def maybe_install_uvloop(enabled: bool = True) -> bool:
+    """Install the uvloop event-loop policy when the package is present.
+
+    Returns whether uvloop is now the active policy.  uvloop is an
+    optional dependency (``pip install repro[perf]``); without it the
+    stdlib selector loop is used and everything behaves identically —
+    only event-loop overhead differs.
+    """
+    if not enabled:
+        return False
+    try:
+        import uvloop  # noqa: PLC0415 - optional dependency probe
+    except ImportError:
+        return False
+    uvloop.install()
+    return True
+
+
+def _finite(value: float) -> float | None:
+    """JSON-safe float: ``None`` replaces NaN/inf (empty summaries)."""
+    return float(value) if math.isfinite(value) else None
+
+
+def _summary_payload(summary: Summary) -> dict[str, Any]:
+    """Wire form of a P² summary (counts, mean, tracked quantiles)."""
+    return {
+        "count": summary.count,
+        "mean_s": _finite(summary.mean),
+        "max_s": _finite(summary.max),
+        "p50_s": _finite(summary.quantile(0.5)),
+        "p90_s": _finite(summary.quantile(0.9)),
+        "p99_s": _finite(summary.quantile(0.99)),
+    }
+
+
+def _histogram_quantile(
+    counts: np.ndarray, edges: np.ndarray, q: float
+) -> float | None:
+    """Upper bucket edge covering quantile ``q`` (None: empty/overflow)."""
+    total = int(counts.sum())
+    if total == 0:
+        return None
+    rank = max(1, math.ceil(q * total))
+    bucket = int(np.searchsorted(np.cumsum(counts), rank))
+    if bucket >= edges.size:
+        return None  # the quantile falls in the +inf overflow bucket
+    return float(edges[bucket])
 
 #: Placement rules a gateway can run, by config name.
 _RULES: dict[str, Callable[[ProblemInstance], PlacementRule]] = {
@@ -116,6 +201,25 @@ class GatewayConfig:
         (:class:`~repro.serve.reoptimizer.ReoptimizerConfig`); ``None``
         (the default) disables the daemon entirely — the gateway then
         behaves byte-for-byte like the pre-re-optimizer service.
+    screen_engine:
+        Batch feasibility screen implementation: ``"batch"`` (default)
+        runs the stacked screening kernel of
+        :mod:`repro.serve.screenpool` — one fancy-indexed latency matrix
+        per micro-batch, decision-identical to the original per-pair
+        prefilter (pinned by the parity suites); ``"legacy"`` retains
+        that original prefilter verbatim as the bit-parity reference.
+    screen_workers:
+        Screening parallelism.  ``1`` (default) screens inline on the
+        event loop; ``> 1`` preforks that many
+        :class:`~repro.serve.screenpool.ScreenPool` worker processes
+        screening micro-batch shards against shared-memory state views.
+        Workers only *screen* — the admission loop keeps sole commit
+        authority, and a screen computed against a stale state
+        generation is re-run.
+    use_uvloop:
+        Install uvloop's event-loop policy when the optional dependency
+        is available (``pip install repro[perf]``); silently falls back
+        to the stdlib loop otherwise.
     """
 
     host: str = "127.0.0.1"
@@ -130,6 +234,9 @@ class GatewayConfig:
     checkpoint_interval_s: float = 5.0
     recovery_hold_s: float = 1.0
     reopt: ReoptimizerConfig | None = None
+    screen_engine: str = "batch"
+    screen_workers: int = 1
+    use_uvloop: bool = False
 
     def __post_init__(self) -> None:
         if self.rule not in _RULES:
@@ -145,6 +252,17 @@ class GatewayConfig:
         if not 0.0 < self.compute_watermark <= 1.0:
             raise ValidationError(
                 f"compute_watermark must be in (0, 1], got {self.compute_watermark}"
+            )
+        if self.screen_engine not in _ENGINES:
+            raise ValidationError(
+                f"unknown screen_engine {self.screen_engine!r} "
+                f"(expected one of {list(_ENGINES)})"
+            )
+        check_positive("screen_workers", self.screen_workers)
+        if self.screen_engine == "legacy" and self.screen_workers > 1:
+            raise ValidationError(
+                "screen_workers > 1 requires the 'batch' screen_engine "
+                "(the pool runs the batch kernel)"
             )
 
 
@@ -202,6 +320,19 @@ class AdmissionGateway:
         # traffic repeats keys heavily, which is what makes the SLO
         # fast-reject and the admission probe cheap at p99.
         self._latency_cache: dict[tuple[int, int, float], np.ndarray] = {}
+        self._statics: ScreenStatics | None = (
+            ScreenStatics.from_instance(instance)
+            if self.config.screen_engine == "batch"
+            else None
+        )
+        self._pool: ScreenPool | None = None
+        # Stale-view re-screens live outside ``counters`` on purpose:
+        # checkpoints serialise ``counters`` and must stay byte-identical
+        # across engines.
+        self.screen_stale_rescreens = 0
+        self._screen_s = Summary()
+        self._commit_s = Summary()
+        self._latency_hist = np.zeros(_LATENCY_BUCKETS.size + 1, dtype=np.int64)
         self._ewma_admission_s = 0.001  # seed estimate for retry_after hints
         self._started_at: float | None = None
         self._server: asyncio.base_events.Server | None = None
@@ -296,8 +427,19 @@ class AdmissionGateway:
     async def start(self) -> None:
         """Bind the listener and spawn the worker/checkpoint tasks."""
         self._started_at = time.perf_counter()
+        if self.config.screen_workers > 1 and self._pool is None:
+            assert self._statics is not None  # enforced by GatewayConfig
+            self._pool = ScreenPool(self._statics, self.config.screen_workers)
+            self._pool.start()
+        # The reader limit matches the protocol's hard line bound, so an
+        # unframed peer overruns the buffer exactly when the protocol
+        # would reject the line anyway — and gets an error response
+        # instead of an unexplained disconnect (see _handle_connection).
         self._server = await asyncio.start_server(
-            self._handle_connection, self.config.host, self.config.port
+            self._handle_connection,
+            self.config.host,
+            self.config.port,
+            limit=MAX_LINE_BYTES,
         )
         if self.recovered:
             self._rearm_recovered_holds()
@@ -324,6 +466,9 @@ class AdmissionGateway:
         self._tasks.clear()
         for handle in self._holds.values():
             handle.cancel()
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
         if self.config.checkpoint_path is not None:
             self.checkpoint()
         self._closed.set()
@@ -465,6 +610,54 @@ class AdmissionGateway:
                 verdict[i] = False
         return verdict
 
+    async def _screen(
+        self, batch: list[_Pending], available: np.ndarray
+    ) -> list[bool]:
+        """Batch feasibility screen via the configured engine.
+
+        ``legacy`` runs the original per-pair prefilter; ``batch`` runs
+        the stacked kernel — inline (synchronously, preserving the
+        no-mid-batch-mutation invariant) for ``screen_workers == 1``, or
+        through the prefork pool otherwise.  All three produce the same
+        verdicts for the same state (pinned by the parity suites).
+        """
+        if self.config.screen_engine == "legacy":
+            return self._prefilter(batch, available)
+        assert self._statics is not None
+        rows = build_rows([p.query for p in batch], self._statics)
+        if self._pool is not None:
+            verdict = await self._screen_pooled(rows, len(batch))
+            if verdict is not None:
+                return verdict
+        view = snapshot_state(self.state, self._statics)
+        pair_ok = screen_rows(self._statics, view, rows)
+        return verdicts_from_pairs(rows, pair_ok, len(batch))
+
+    async def _screen_pooled(self, rows, batch_size: int) -> list[bool] | None:
+        """One pooled screen round-trip with stale-view detection.
+
+        Publishes the live arrays, fans the pair rows out to the workers
+        (off-loop, so timers keep firing), and accepts the verdicts only
+        if no state mutation raced the screen — the generation stamp the
+        workers echo back and the live state's generation must both still
+        match the published one.  After ``_MAX_RESCREENS`` stale rounds
+        the caller screens inline against the live state instead
+        (``None``).
+        """
+        assert self._pool is not None
+        obs = get_registry()
+        loop = asyncio.get_running_loop()
+        for _ in range(_MAX_RESCREENS):
+            published = self._pool.publish(self.state)
+            pair_ok, oldest = await loop.run_in_executor(
+                None, self._pool.screen, rows, published
+            )
+            if oldest >= published and self.state.generation == published:
+                return verdicts_from_pairs(rows, pair_ok, batch_size)
+            self.screen_stale_rescreens += 1
+            obs.inc("serve.screen.stale_rescreens")
+        return None
+
     # -- admission ---------------------------------------------------------
 
     def _admit_one(
@@ -558,14 +751,21 @@ class AdmissionGateway:
 
     async def _admission_worker(self) -> None:
         obs = get_registry()
+        latencies: list[float] = []
         while True:
             batch = await self._batcher.next_batch()
             started = time.perf_counter()
             self.counters["batches"] += 1
             obs.observe("serve.batch_size", len(batch))
             available = self.state.available_array()
-            feasible = self._prefilter(batch, available)
+            feasible = await self._screen(batch, available)
+            if self._pool is not None:
+                # Holds may have released while the pool screened;
+                # refresh so the per-item probes see the live vector.
+                available = self.state.available_array()
+            screened = time.perf_counter()
             mutated = False
+            latencies.clear()
             for pending, prefilter_ok in zip(batch, feasible):
                 if self.reoptimizer is not None:
                     self.reoptimizer.observe(pending.query)
@@ -583,14 +783,20 @@ class AdmissionGateway:
                 result = response["result"]
                 self.counters[result] += 1
                 obs.inc(f"serve.{result}")
-                obs.observe(
-                    "serve.admission_s",
-                    time.perf_counter() - pending.enqueued_at,
-                )
+                latencies.append(time.perf_counter() - pending.enqueued_at)
+                obs.observe("serve.admission_s", latencies[-1])
                 if not pending.future.done():
                     pending.future.set_result(response)
-            elapsed = time.perf_counter() - started
-            per_item = elapsed / len(batch)
+            finished = time.perf_counter()
+            self._screen_s.observe(screened - started)
+            self._commit_s.observe(finished - screened)
+            obs.observe("serve.screen.screen_s", screened - started)
+            obs.observe("serve.screen.commit_s", finished - screened)
+            self._latency_hist += np.bincount(
+                np.searchsorted(_LATENCY_BUCKETS, latencies, side="left"),
+                minlength=self._latency_hist.size,
+            )
+            per_item = (finished - started) / len(batch)
             self._ewma_admission_s += 0.2 * (per_item - self._ewma_admission_s)
             obs.set_gauge("serve.queue_depth", self._batcher.depth)
             obs.set_gauge("serve.inflight_ghz", self.state.total_allocated())
@@ -614,6 +820,22 @@ class AdmissionGateway:
                 try:
                     line = await reader.readline()
                 except (ConnectionResetError, asyncio.IncompleteReadError):
+                    break
+                except ValueError:
+                    # The peer streamed more than MAX_LINE_BYTES without
+                    # a newline (the reader limit matches the protocol
+                    # bound).  The overrun buffer was discarded, so the
+                    # stream is desynced: report the protocol error,
+                    # then close rather than misparse what follows.
+                    self.counters["protocol_errors"] += 1
+                    obs.inc("serve.protocol_errors")
+                    with contextlib.suppress(Exception):
+                        await respond(
+                            error_response(
+                                None,
+                                f"message exceeds {MAX_LINE_BYTES} bytes",
+                            )
+                        )
                     break
                 if not line:
                     break
@@ -719,6 +941,7 @@ class AdmissionGateway:
             if self._started_at is not None
             else 0.0
         )
+        counts = self._latency_hist
         payload = {
             "uptime_s": uptime,
             "queue_depth": self._batcher.depth,
@@ -728,6 +951,23 @@ class AdmissionGateway:
             "down_nodes": sorted(self.state.down_nodes()),
             "recovered": self.recovered,
             "counters": dict(self.counters),
+            "screen": {
+                "engine": self.config.screen_engine,
+                "workers": self.config.screen_workers,
+                "stale_rescreens": self.screen_stale_rescreens,
+                "screen_s": _summary_payload(self._screen_s),
+                "commit_s": _summary_payload(self._commit_s),
+            },
+            "admission_latency": {
+                # counts[i] ≤ buckets_le_s[i]; the trailing count is the
+                # +inf overflow bucket.
+                "buckets_le_s": _LATENCY_BUCKETS.tolist(),
+                "counts": counts.tolist(),
+                "p50_s": _histogram_quantile(counts, _LATENCY_BUCKETS, 0.5),
+                "p90_s": _histogram_quantile(counts, _LATENCY_BUCKETS, 0.9),
+                "p99_s": _histogram_quantile(counts, _LATENCY_BUCKETS, 0.99),
+                "p999_s": _histogram_quantile(counts, _LATENCY_BUCKETS, 0.999),
+            },
         }
         if self.reoptimizer is not None:
             payload["reopt"] = self.reoptimizer.status()
@@ -759,6 +999,8 @@ class GatewayThread:
         return self.gateway.address
 
     def _run(self) -> None:
+        if self.gateway.config.use_uvloop:
+            maybe_install_uvloop()
         self._loop = asyncio.new_event_loop()
         asyncio.set_event_loop(self._loop)
 

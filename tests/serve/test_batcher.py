@@ -112,6 +112,92 @@ class TestNextBatch:
         run(scenario())
 
 
+class TestStragglerDeadline:
+    """The ``max_wait_s > 0`` straggler window, with timing-robust bounds.
+
+    These tests avoid racing tight sleeps: each asserts an *ordering*
+    (size beat the deadline; the deadline closed the batch; a
+    past-deadline item waits for the next batch) with margins an order
+    of magnitude wider than the scheduler jitter they tolerate.
+    """
+
+    def test_flush_on_size_beats_deadline(self):
+        async def scenario():
+            # Deadline far in the future: only the size trigger can
+            # close the batch promptly.
+            batcher = MicroBatcher(max_batch=3, max_wait_s=60.0)
+            batcher.offer("a")
+
+            async def feed():
+                batcher.offer("b")
+                batcher.offer("c")
+                batcher.offer("d")  # next batch's — beyond max_batch
+
+            feeder = asyncio.ensure_future(feed())
+            started = asyncio.get_running_loop().time()
+            batch = await asyncio.wait_for(batcher.next_batch(), timeout=10.0)
+            waited = asyncio.get_running_loop().time() - started
+            await feeder
+            assert batch == ["a", "b", "c"]
+            assert waited < 10.0  # flushed on size, not the 60 s deadline
+            assert batcher.depth == 1  # "d" waits for the next batch
+
+        run(scenario())
+
+    def test_flush_on_deadline_with_partial_batch(self):
+        async def scenario():
+            batcher = MicroBatcher(max_batch=1000, max_wait_s=0.05)
+            loop = asyncio.get_running_loop()
+            batcher.offer("first")
+
+            async def feed():
+                await asyncio.sleep(0.01)
+                batcher.offer("straggler")
+
+            feeder = asyncio.ensure_future(feed())
+            started = loop.time()
+            batch = await asyncio.wait_for(batcher.next_batch(), timeout=10.0)
+            waited = loop.time() - started
+            await feeder
+            # The deadline closed the batch well short of max_batch; the
+            # window was actually held open (lower bound only — upper
+            # bounds race the scheduler).
+            assert batch[0] == "first"
+            assert len(batch) < 1000
+            assert waited >= 0.04
+
+        run(scenario())
+
+    def test_deadline_counts_from_first_item(self):
+        async def scenario():
+            batcher = MicroBatcher(max_batch=1000, max_wait_s=0.05)
+            loop = asyncio.get_running_loop()
+            waiter = asyncio.ensure_future(batcher.next_batch())
+            await asyncio.sleep(0.2)  # idle: no deadline is running yet
+            first_offered = loop.time()
+            batcher.offer("first")
+            batch = await asyncio.wait_for(waiter, timeout=10.0)
+            waited = loop.time() - first_offered
+            assert batch == ["first"]
+            # The window opened when the first item arrived, not when
+            # next_batch() started waiting 0.2 s earlier.
+            assert waited >= 0.04
+
+        run(scenario())
+
+    def test_item_after_deadline_starts_next_batch(self):
+        async def scenario():
+            batcher = MicroBatcher(max_batch=1000, max_wait_s=0.02)
+            batcher.offer("first")
+            batch = await asyncio.wait_for(batcher.next_batch(), timeout=10.0)
+            assert batch == ["first"]
+            batcher.offer("late")  # past the flushed batch's deadline
+            batch = await asyncio.wait_for(batcher.next_batch(), timeout=10.0)
+            assert batch == ["late"]
+
+        run(scenario())
+
+
 class TestDrain:
     def test_drain_empties_queue(self):
         async def scenario():

@@ -222,6 +222,30 @@ class TestProtocolOverWire:
 
         run(scenario())
 
+    def test_oversized_line_gets_error_response(self, tiny_instance):
+        """A peer streaming > MAX_LINE_BYTES without a newline is told
+        why before the (desynced) connection is closed — not dropped
+        with an unexplained reset."""
+        from repro.serve.protocol import MAX_LINE_BYTES
+
+        async def scenario():
+            async with running_gateway(tiny_instance) as gateway:
+                host, port = gateway.address
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(b"x" * (MAX_LINE_BYTES + 1024))
+                await writer.drain()
+                error = json.loads(await reader.readline())
+                assert error["ok"] is False
+                assert "exceeds" in error["error"]
+                # The gateway closes the stream after the error.
+                assert await reader.read() == b""
+                writer.close()
+                with contextlib.suppress(ConnectionError, OSError):
+                    await writer.wait_closed()
+                assert gateway.counters["protocol_errors"] == 1
+
+        run(scenario())
+
     def test_status_reports_counters(self, tiny_instance):
         async def scenario():
             async with running_gateway(tiny_instance) as gateway:

@@ -1,0 +1,190 @@
+"""Extension bench — sharded control-plane scaling.
+
+One admission gateway serializes every decision through a single event
+loop; the sharded control plane (``repro.serve.shard``) splits the
+placement nodes across ``N`` gateways behind a front router so shards
+decide concurrently.  This bench records the aggregate decision
+throughput of the whole ensemble — router included — at shard counts
+{1, 2, 4} on the paper topology, driven closed-loop over real TCP by
+``REPRO_SERVE_SHARD_CLIENTS`` independent connections.
+
+Two columns matter beyond raw decisions/s:
+
+* **cross-shard fraction** — how often the router had to run the
+  two-phase reserve/commit path because a query's datasets resolved to
+  different shards.  Scale-out only pays when this stays small; the
+  Zipf workload on the paper topology keeps it in the mid
+  single-digit percents because most queries' argmin-latency nodes
+  for every demanded dataset land in one DC group.
+* **host CPUs** — shard gateways are Python *threads*.  On a single-CPU
+  host the curve measures coordination overhead (router hop, thread
+  switching), not parallel speedup, so no ordering between shard counts
+  is asserted; the JSON records ``host_cpus`` so readers can interpret
+  the curve (the CI container is single-CPU — see the REPORT note).
+
+Writes ``results/serve_sharded.txt`` (rendered table) and
+``results/serve_sharded.json`` (raw rows; uploaded as a CI artifact by
+the serve-shard job).  Reduced-scale knobs for CI:
+``REPRO_SERVE_SHARD_REQUESTS``, ``REPRO_SERVE_SHARD_CLIENTS``,
+``REPRO_SERVE_SHARD_COUNTS``, ``REPRO_SERVE_SHARD_ROUNDS``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+
+from conftest import emit
+
+from repro.experiments.runner import make_instance
+from repro.serve import (
+    GatewayConfig,
+    QueryFactory,
+    RouterConfig,
+    ShardCluster,
+    ShardPlan,
+    run_closed_loop,
+)
+from repro.topology.twotier import TwoTierConfig
+from repro.workload.params import PaperDefaults
+
+SEED = 71
+LOAD_SEED = 9
+#: Total closed-loop submissions per cell (shared across clients).
+NUM_REQUESTS = int(os.environ.get("REPRO_SERVE_SHARD_REQUESTS", "1500"))
+#: Independent TCP connections driving the router concurrently.
+NUM_CLIENTS = int(os.environ.get("REPRO_SERVE_SHARD_CLIENTS", "4"))
+#: In-flight window per connection.
+CONCURRENCY = 8
+SHARD_COUNTS = tuple(
+    int(n)
+    for n in os.environ.get("REPRO_SERVE_SHARD_COUNTS", "1,2,4").split(",")
+)
+#: Measured rounds per cell; the best round is reported (the cells are
+#: decision-deterministic per connection, only timing varies).
+ROUNDS = int(os.environ.get("REPRO_SERVE_SHARD_ROUNDS", "2"))
+
+
+async def _drive(address: tuple[str, int], factory: QueryFactory) -> list:
+    """Fan ``NUM_REQUESTS`` over ``NUM_CLIENTS`` connections, one shared
+    factory (single loop, so ids stay unique across connections)."""
+    per_client = NUM_REQUESTS // NUM_CLIENTS
+    return list(
+        await asyncio.gather(
+            *(
+                run_closed_loop(
+                    *address,
+                    factory,
+                    num_requests=per_client,
+                    concurrency=CONCURRENCY,
+                )
+                for _ in range(NUM_CLIENTS)
+            )
+        )
+    )
+
+
+def _cell(instance, num_shards: int) -> dict:
+    plan = ShardPlan.build(instance, num_shards)
+    cluster = ShardCluster(
+        instance,
+        plan,
+        GatewayConfig(max_batch=16, hold_factor=1e6),
+        RouterConfig(),
+    )
+    with cluster:
+        address = cluster.router.address
+        reports = asyncio.run(
+            _drive(address, QueryFactory(instance, seed=LOAD_SEED))
+        )
+        counters = dict(cluster.router.counters)
+    submitted = sum(r.submitted for r in reports)
+    duration = max(r.duration_s for r in reports)
+    latencies = [v for r in reports for v in r.latencies_s]
+    latencies.sort()
+
+    def pct(q: float) -> float:
+        return latencies[min(len(latencies) - 1, int(q * len(latencies)))]
+
+    return {
+        "num_shards": num_shards,
+        "method": plan.method,
+        "shard_sizes": [len(nodes) for nodes in plan.members],
+        "submitted": submitted,
+        "admitted": sum(r.admitted for r in reports),
+        "rejected": sum(r.rejected for r in reports),
+        "shed": sum(r.shed for r in reports),
+        "duration_s": duration,
+        "throughput_rps": submitted / duration,
+        "latency_p50_ms": pct(0.50) * 1e3,
+        "latency_p99_ms": pct(0.99) * 1e3,
+        "routed_local": counters["routed_local"],
+        "routed_cross": counters["routed_cross"],
+        "cross_fraction": counters["routed_cross"] / max(1, submitted),
+        "two_phase_commits": counters["two_phase_commits"],
+        "two_phase_aborts": counters["two_phase_aborts"],
+    }
+
+
+def test_serve_sharded_scaling(benchmark, results_dir):
+    instance = make_instance(TwoTierConfig(), PaperDefaults(), SEED, 0)
+    host_cpus = os.cpu_count() or 1
+
+    def measure():
+        best: dict[int, dict] = {}
+        for _ in range(ROUNDS):
+            for n in SHARD_COUNTS:
+                row = _cell(instance, n)
+                if (
+                    n not in best
+                    or row["throughput_rps"] > best[n]["throughput_rps"]
+                ):
+                    best[n] = row
+        return [best[n] for n in SHARD_COUNTS]
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    lines = [
+        "=== sharded control plane: aggregate decisions/s through the "
+        f"router (closed loop, {NUM_CLIENTS} connections x "
+        f"{CONCURRENCY} in flight, best of {ROUNDS} rounds, "
+        "paper topology) ===",
+        "shards | plan        | decisions/s | p50 (ms) | p99 (ms) "
+        "| cross-shard | admitted",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r['num_shards']:6d} | {r['method']:11s} "
+            f"| {r['throughput_rps']:11.0f} | {r['latency_p50_ms']:8.2f} "
+            f"| {r['latency_p99_ms']:8.2f} | {r['cross_fraction']:10.2%} "
+            f"| {r['admitted']:8d}"
+        )
+    if host_cpus < 2:
+        lines.append(
+            f"NOTE: single-CPU host ({host_cpus} core): shard gateways are "
+            "threads, so this curve measures coordination overhead, not "
+            "parallel speedup."
+        )
+    emit(results_dir, "serve_sharded", "\n".join(lines))
+    payload = {
+        "host_cpus": host_cpus,
+        "num_requests": NUM_REQUESTS,
+        "num_clients": NUM_CLIENTS,
+        "concurrency": CONCURRENCY,
+        "rounds": ROUNDS,
+        "shard_counts": list(SHARD_COUNTS),
+        "cells": rows,
+    }
+    (results_dir / "serve_sharded.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    # Every cell must have served the full budget and decided every
+    # submission one way or the other; nothing may be lost in routing.
+    per_client = NUM_REQUESTS // NUM_CLIENTS
+    for r in rows:
+        assert r["submitted"] == per_client * NUM_CLIENTS
+        assert r["admitted"] + r["rejected"] + r["shed"] == r["submitted"]
+        assert r["routed_local"] + r["routed_cross"] == r["submitted"]
+        assert r["admitted"] > 0

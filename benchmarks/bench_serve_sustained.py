@@ -327,8 +327,16 @@ def test_serve_sustained_throughput(benchmark, results_dir):
         f"= {speedup:.1f}x the recorded {BASELINE_RPS:.0f} rps baseline "
         f"({speedup_vs_legacy:.1f}x the in-run legacy cell)"
     )
+    host_cpus = os.cpu_count() or 1
+    if SCREEN_WORKERS > 1 and host_cpus < 2:
+        lines.append(
+            f"WARNING: pool cell armed on a single-CPU host ({host_cpus} "
+            "core): the prefork pool is correctness-pinned here but not a "
+            "measured win — read its row as IPC overhead, not speedup."
+        )
     emit(results_dir, "serve_sustained", "\n".join(lines))
     payload = {
+        "host_cpus": host_cpus,
         "duration_s": DURATION_S,
         "warmup_s": WARMUP_S,
         "rounds": ROUNDS,

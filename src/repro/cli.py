@@ -22,6 +22,10 @@ Commands
 ``load``
     Drive a running gateway with generated Zipf load (closed- or
     open-loop) and print the latency/shed report.
+``route``
+    Run the front router over already-running shard gateways (discovers
+    each shard's node ownership from its ``status``); ``serve --shards N``
+    starts the whole sharded ensemble in one process instead.
 ``list``
     List the registered placement algorithms.
 
@@ -208,6 +212,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--duration", type=float, default=None,
                          help="stop after this many seconds (default: run "
                          "until a shutdown request or Ctrl-C)")
+    p_serve.add_argument("--shards", type=int, default=1,
+                         help="partition the placement nodes across this many "
+                              "shard gateways behind a front router "
+                              "(docs/serving.md; incompatible with --reopt)")
+    p_serve.add_argument("--reserve-ttl", type=float, default=5.0,
+                         help="seconds a cross-shard reservation survives "
+                              "without a commit before the shard expires it")
+    p_serve.add_argument("--shard-index", type=int, default=None,
+                         help="with --shards N: run only shard I of the plan "
+                              "as a standalone gateway (front it with "
+                              "`repro route`) instead of the whole ensemble")
+
+    p_route = sub.add_parser(
+        "route", help="run the front router over running shard gateways"
+    )
+    p_route.add_argument("--host", default="127.0.0.1")
+    p_route.add_argument("--port", type=int, default=0,
+                         help="router listen port (0 = ephemeral, printed)")
+    p_route.add_argument("--seed", type=int, default=0,
+                         help="instance seed (must match the shard gateways')")
+    p_route.add_argument("--shard", action="append", required=True,
+                         metavar="HOST:PORT",
+                         help="address of one shard gateway (repeat per shard); "
+                              "node ownership is discovered from its status")
+    p_route.add_argument("--rpc-timeout", type=float, default=30.0,
+                         help="bound on each shard RPC issued for a client")
+    p_route.add_argument("--duration", type=float, default=None,
+                         help="stop after this many seconds (default: run "
+                              "until a shutdown request or Ctrl-C)")
 
     p_load = sub.add_parser(
         "load", help="drive a running gateway with generated Zipf load"
@@ -385,6 +418,33 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     if args.uvloop:
         maybe_install_uvloop()
+    if args.shards > 1 and args.shard_index is None:
+        return _cmd_serve_sharded(args)
+
+    shard_nodes = None
+    shard_id = None
+    if args.shard_index is not None:
+        from repro.serve import ShardPlan
+        from repro.util.validation import ValidationError
+
+        if not 0 <= args.shard_index < args.shards:
+            print(
+                f"--shard-index {args.shard_index} outside 0..{args.shards - 1}",
+                file=sys.stderr,
+            )
+            return 2
+        if args.reopt:
+            print("--reopt is incompatible with shard-scoped serving",
+                  file=sys.stderr)
+            return 2
+        plan_instance = make_instance(TwoTierConfig(), PaperDefaults(), args.seed, 0)
+        try:
+            plan = ShardPlan.build(plan_instance, args.shards)
+        except ValidationError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        shard_nodes = plan.members[args.shard_index]
+        shard_id = args.shard_index
 
     reopt = None
     if args.reopt:
@@ -412,6 +472,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             checkpoint_path=args.checkpoint,
             checkpoint_interval_s=args.checkpoint_interval,
             reopt=reopt,
+            shard_nodes=shard_nodes,
+            shard_id=shard_id,
+            reserve_ttl_s=args.reserve_ttl,
         ),
     )
 
@@ -419,7 +482,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         await gateway.start()
         host, port = gateway.address
         recovered = " (state recovered from checkpoint)" if gateway.recovered else ""
-        print(f"gateway listening on {host}:{port}{recovered}", flush=True)
+        scoped = (
+            f" (shard {shard_id}/{args.shards}, {len(shard_nodes)} nodes)"
+            if shard_nodes is not None
+            else ""
+        )
+        print(f"gateway listening on {host}:{port}{recovered}{scoped}", flush=True)
         try:
             if args.duration is None:
                 await gateway.wait_closed()
@@ -440,6 +508,125 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 f"{counters['admitted']} admitted, {counters['rejected']} rejected, "
                 f"{counters['fast_rejected']} fast-rejected, {counters['shed']} shed"
             )
+    return 0
+
+
+def _cmd_serve_sharded(args: argparse.Namespace) -> int:
+    from repro.serve import GatewayConfig, RouterConfig, ShardCluster, ShardPlan
+    from repro.util.validation import ValidationError
+
+    if args.reopt:
+        print("--reopt is incompatible with --shards > 1", file=sys.stderr)
+        return 2
+    instance = make_instance(TwoTierConfig(), PaperDefaults(), args.seed, 0)
+    try:
+        plan = ShardPlan.build(instance, args.shards)
+    except ValidationError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    cluster = ShardCluster(
+        instance,
+        plan,
+        GatewayConfig(
+            rule=args.rule,
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+            queue_bound=args.queue_bound,
+            screen_workers=args.screen_workers,
+            use_uvloop=args.uvloop,
+            checkpoint_path=args.checkpoint,
+            checkpoint_interval_s=args.checkpoint_interval,
+            reserve_ttl_s=args.reserve_ttl,
+        ),
+        RouterConfig(host=args.host, port=args.port),
+    )
+    try:
+        host, port = cluster.start()
+        sizes = "/".join(str(len(m)) for m in plan.members)
+        print(
+            f"router listening on {host}:{port} "
+            f"({plan.num_shards} shards [{sizes} nodes], {plan.method} plan)",
+            flush=True,
+        )
+        try:
+            cluster.wait(args.duration)
+        except KeyboardInterrupt:
+            pass
+    finally:
+        cluster.stop()
+        totals: dict[str, int] = {}
+        for gateway in cluster.gateways:
+            for key, value in gateway.counters.items():
+                totals[key] = totals.get(key, 0) + value
+        router_counts = (
+            cluster.router.counters if cluster.router is not None else {}
+        )
+        with contextlib.suppress(BrokenPipeError):
+            print(
+                f"served {totals.get('submitted', 0)} shard submissions "
+                f"({router_counts.get('routed_cross', 0)} cross-shard): "
+                f"{totals.get('admitted', 0)} admitted, "
+                f"{totals.get('rejected', 0)} rejected, "
+                f"{totals.get('fast_rejected', 0)} fast-rejected, "
+                f"{totals.get('shed', 0)} shed"
+            )
+    return 0
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import FrontRouter, GatewayClient, RouterConfig
+
+    instance = make_instance(TwoTierConfig(), PaperDefaults(), args.seed, 0)
+    addresses: list[tuple[str, int]] = []
+    for spec in args.shard:
+        host, sep, port = spec.rpartition(":")
+        if not sep or not port.isdigit():
+            print(f"bad --shard address {spec!r} (want HOST:PORT)", file=sys.stderr)
+            return 2
+        addresses.append((host, int(port)))
+
+    async def run() -> None:
+        shards = []
+        for host, port in addresses:
+            async with await GatewayClient.connect(host, port) as client:
+                status = await client.status()
+            shard = status.get("shard")
+            if not isinstance(shard, dict) or "nodes" not in shard:
+                raise RuntimeError(
+                    f"gateway at {host}:{port} reports no shard membership "
+                    "(start it with shard_nodes / serve --shards)"
+                )
+            shards.append(((host, port), tuple(shard["nodes"])))
+        router = FrontRouter(
+            instance,
+            shards,
+            RouterConfig(
+                host=args.host, port=args.port, rpc_timeout_s=args.rpc_timeout
+            ),
+        )
+        await router.start()
+        host, port = router.address
+        print(
+            f"router listening on {host}:{port} ({len(shards)} shards)",
+            flush=True,
+        )
+        try:
+            if args.duration is None:
+                await router.wait_closed()
+            else:
+                await router.run_for(args.duration)
+        except asyncio.CancelledError:
+            pass
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    except (ConnectionRefusedError, RuntimeError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
     return 0
 
 
@@ -565,6 +752,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "online": _cmd_online,
         "failover": _cmd_failover,
         "serve": _cmd_serve,
+        "route": _cmd_route,
         "load": _cmd_load,
         "explain": _cmd_explain,
         "describe": _cmd_describe,

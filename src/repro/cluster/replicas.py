@@ -4,6 +4,14 @@ Tracks, for every dataset, the set of nodes holding a copy.  The original
 (origin) copy is seeded at construction and can never be removed; total
 copies per dataset (origin included) never exceed ``K`` — the paper's "each
 dataset S_n has at most K replicas in the system".
+
+A store may be scoped to a *shard* of the placement nodes
+(``local_nodes``): it then tracks only the copies living on those nodes,
+and datasets whose origin lies outside the shard carry one *external*
+copy — the remote origin — which counts against ``K`` but is never
+locally addressable.  With ``local_nodes=None`` (the default) nothing
+changes: no external copies exist and every code path below reduces to
+the original full-cluster behaviour.
 """
 
 from __future__ import annotations
@@ -30,19 +38,44 @@ class ReplicaStore:
         ``Dataset.origin_node``.
     max_replicas:
         ``K`` — upper bound on copies per dataset, origin included.
+    local_nodes:
+        When given, the store is shard-scoped: it only seeds origin
+        copies whose node is in this set, and every dataset whose origin
+        is *not* in it carries one permanent external copy (the remote
+        origin) that consumes a ``K`` slot.  ``None`` means the store
+        spans the whole cluster (the original behaviour).
     """
 
-    __slots__ = ("max_replicas", "_origins", "_locations")
+    __slots__ = ("max_replicas", "_origins", "_locations", "_external")
 
-    def __init__(self, datasets: Mapping[int, Dataset], max_replicas: int) -> None:
+    def __init__(
+        self,
+        datasets: Mapping[int, Dataset],
+        max_replicas: int,
+        *,
+        local_nodes: Iterable[int] | None = None,
+    ) -> None:
         check_positive("max_replicas", max_replicas)
         self.max_replicas = int(max_replicas)
         self._origins: dict[int, int] = {
             d.dataset_id: d.origin_node for d in datasets.values()
         }
-        self._locations: dict[int, set[int]] = {
-            d.dataset_id: {d.origin_node} for d in datasets.values()
-        }
+        if local_nodes is None:
+            self._locations: dict[int, set[int]] = {
+                d.dataset_id: {d.origin_node} for d in datasets.values()
+            }
+            self._external: dict[int, int] = {}
+        else:
+            local = frozenset(local_nodes)
+            self._locations = {
+                d.dataset_id: ({d.origin_node} if d.origin_node in local else set())
+                for d in datasets.values()
+            }
+            self._external = {
+                d.dataset_id: 1
+                for d in datasets.values()
+                if d.origin_node not in local
+            }
 
     # -- queries ----------------------------------------------------------
 
@@ -55,8 +88,12 @@ class ReplicaStore:
         return frozenset(self._locations[dataset_id])
 
     def count(self, dataset_id: int) -> int:
-        """Copies of the dataset in the system (origin included)."""
-        return len(self._locations[dataset_id])
+        """Copies of the dataset in the system (origin + external included)."""
+        return len(self._locations[dataset_id]) + self._external.get(dataset_id, 0)
+
+    def external_copies(self, dataset_id: int) -> int:
+        """Copies held outside this store's shard (0 when unscoped)."""
+        return self._external.get(dataset_id, 0)
 
     def has(self, dataset_id: int, node: int) -> bool:
         """Whether ``node`` holds a copy of the dataset."""
@@ -65,11 +102,11 @@ class ReplicaStore:
     def can_place(self, dataset_id: int, node: int) -> bool:
         """Whether a new replica may be placed at ``node`` (slot + absent)."""
         locs = self._locations[dataset_id]
-        return node not in locs and len(locs) < self.max_replicas
+        return node not in locs and self.count(dataset_id) < self.max_replicas
 
     def remaining_slots(self, dataset_id: int) -> int:
-        """How many more replicas of the dataset may be created."""
-        return self.max_replicas - len(self._locations[dataset_id])
+        """How many more replicas of the dataset may be created here."""
+        return self.max_replicas - self.count(dataset_id)
 
     def datasets_on(self, node: int) -> frozenset[int]:
         """Datasets with a copy on ``node``."""
@@ -78,7 +115,7 @@ class ReplicaStore:
         )
 
     def total_replicas(self) -> int:
-        """Total copies across all datasets (origins included)."""
+        """Total local copies across all datasets (external copies excluded)."""
         return sum(len(locs) for locs in self._locations.values())
 
     def replica_map(self) -> dict[int, tuple[int, ...]]:
@@ -100,7 +137,7 @@ class ReplicaStore:
             raise ReplicaError(
                 f"dataset {dataset_id} already has a copy on node {node}"
             )
-        if len(locs) >= self.max_replicas:
+        if self.count(dataset_id) >= self.max_replicas:
             raise ReplicaError(
                 f"dataset {dataset_id} already has K={self.max_replicas} copies"
             )

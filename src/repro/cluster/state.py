@@ -10,11 +10,24 @@ provides the two operations every placement algorithm needs:
 * ``transaction()`` — a context manager that snapshots state on entry and
   rolls back unless the block calls :meth:`Transaction.commit` (used for
   all-or-nothing admission of multi-dataset queries).
+
+A state may be *shard-scoped* (``shard_nodes=...``): it then owns ledgers
+for a subset of the placement nodes only, masks every other node out of
+its vectorised views (``-inf`` available compute auto-fails every
+capacity screen), and accounts datasets with remote origins through the
+:class:`~repro.cluster.replicas.ReplicaStore` external-copy ledger.  The
+sharded serving control plane (:mod:`repro.serve.shard`) builds one such
+state per shard gateway; reservation bookkeeping
+(:meth:`ClusterState.record_reservation` /
+:meth:`~ClusterState.commit_reservation` /
+:meth:`~ClusterState.abort_reservation`) backs its two-phase cross-shard
+admission protocol.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
+from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping
 
 import numpy as np
@@ -25,7 +38,28 @@ from repro.core.instance import ProblemInstance
 from repro.core.metrics import InvariantViolation
 from repro.core.types import Assignment, Dataset, Query
 
-__all__ = ["ClusterState", "Transaction"]
+__all__ = ["ClusterState", "Reservation", "Transaction"]
+
+
+@dataclass(frozen=True)
+class Reservation:
+    """Provisional admission held by a shard pending cross-shard consensus.
+
+    The reserve phase applies the placement for one query's shard-local
+    dataset subset *for real* (allocations + replicas), then records this
+    receipt.  Commit merely forgets the receipt (the resources are
+    already held); abort releases every allocation and removes every
+    replica the reserve newly placed — precise undo, never a leak.
+    """
+
+    reservation_id: str
+    query_id: int
+    #: Assignments the reserve committed (one per shard-local dataset).
+    assignments: tuple[Assignment, ...]
+    #: ``(dataset_id, node)`` pairs for replicas that did not exist
+    #: before the reserve — *all* new holders, including copies a
+    #: placement rule's walk left behind on nodes it did not assign.
+    placed: tuple[tuple[int, int], ...]
 
 
 class Transaction:
@@ -57,26 +91,70 @@ class ClusterState:
         Fraction of each node's capacity already consumed by background
         work (``A(v) = (1 - reserved_fraction)·B(v)``). Defaults to 0 —
         the whole capacity is available, as in the paper's simulations.
+    shard_nodes:
+        When given, scope this state to that subset of the placement
+        nodes: only those nodes get compute ledgers, vectorised views
+        stay full placement length but mask every other node out
+        (``-inf`` available compute), and datasets with remote origins
+        are tracked through the replica store's external-copy ledger.  A
+        subset covering *all* placement nodes is normalised to ``None``
+        (full scope) so a 1-shard deployment runs the byte-identical
+        unscoped code path.
     """
 
     def __init__(
-        self, instance: ProblemInstance, *, reserved_fraction: float = 0.0
+        self,
+        instance: ProblemInstance,
+        *,
+        reserved_fraction: float = 0.0,
+        shard_nodes: Iterable[int] | None = None,
     ) -> None:
         if not 0.0 <= reserved_fraction < 1.0:
             raise ValueError(
                 f"reserved_fraction must be in [0, 1), got {reserved_fraction}"
             )
         self.instance = instance
+        if shard_nodes is not None:
+            wanted = set(shard_nodes)
+            unknown = wanted - set(instance.placement_nodes)
+            if unknown:
+                raise ValueError(
+                    f"shard_nodes contains non-placement nodes {sorted(unknown)}"
+                )
+            if not wanted:
+                raise ValueError("shard_nodes must name at least one node")
+            if len(wanted) == instance.num_placement_nodes:
+                shard_nodes = None  # full coverage: plain unscoped state
+            else:
+                # Members kept in placement order so iteration over
+                # ``self.nodes`` matches the unscoped ordering contract.
+                shard_nodes = tuple(
+                    v for v in instance.placement_nodes if v in wanted
+                )
+        self.shard_nodes: tuple[int, ...] | None = shard_nodes
+        if shard_nodes is None:
+            self._shard_index: np.ndarray | None = None
+        else:
+            node_index = instance.node_index
+            self._shard_index = np.fromiter(
+                (node_index[v] for v in shard_nodes),
+                dtype=np.intp,
+                count=len(shard_nodes),
+            )
+        members = instance.placement_nodes if shard_nodes is None else shard_nodes
         self.nodes: dict[int, ComputeNode] = {
             v: ComputeNode(
                 v,
                 instance.topology.capacity(v),
                 reserved_ghz=reserved_fraction * instance.topology.capacity(v),
             )
-            for v in instance.placement_nodes
+            for v in members
         }
-        self.replicas = ReplicaStore(instance.datasets, instance.max_replicas)
+        self.replicas = ReplicaStore(
+            instance.datasets, instance.max_replicas, local_nodes=shard_nodes
+        )
         self._down: set[int] = set()
+        self._reservations: dict[str, Reservation] = {}
         #: Monotone mutation epoch.  Every state change that can alter a
         #: feasibility screen (allocations, replica placement, liveness,
         #: transaction rollback) bumps it, so an exported view of this
@@ -118,10 +196,18 @@ class ClusterState:
         return mask
 
     def has_live_copy(self, dataset_id: int) -> bool:
-        """Whether any *up* node holds a copy to serve or clone from."""
+        """Whether any *up* node holds a copy to serve or clone from.
+
+        External copies (a remote origin, in a shard-scoped state) count
+        as live: their health is the owning shard's concern, and they
+        remain a clone source for this shard.  Unscoped states have no
+        external copies, so the fault-injection semantics are unchanged.
+        """
         if not self._down:
             return True
-        return any(v not in self._down for v in self.replicas.nodes(dataset_id))
+        if any(v not in self._down for v in self.replicas.nodes(dataset_id)):
+            return True
+        return self.replicas.external_copies(dataset_id) > 0
 
     def mark_down(self, node: int) -> None:
         """Take ``node`` offline (idempotence is an error: a down node
@@ -195,20 +281,49 @@ class ClusterState:
     # bit-for-bit.
 
     def available_array(self) -> np.ndarray:
-        """``A(v)`` per placement node, in placement order (GHz)."""
-        return np.fromiter(
+        """``A(v)`` per placement node, in placement order (GHz).
+
+        Always full placement length.  In a shard-scoped state,
+        out-of-shard entries are ``-inf`` — every capacity comparison of
+        the form ``demand <= available + eps·capacity`` then auto-fails
+        for them, which is what confines every screen, candidate set and
+        placement rule to the shard without any of them knowing about
+        shards.
+        """
+        if self.shard_nodes is None:
+            return np.fromiter(
+                (n.available_ghz for n in self.nodes.values()),
+                dtype=np.float64,
+                count=len(self.nodes),
+            )
+        out = np.full(self.instance.num_placement_nodes, -np.inf)
+        out[self._shard_index] = np.fromiter(
             (n.available_ghz for n in self.nodes.values()),
             dtype=np.float64,
             count=len(self.nodes),
         )
+        return out
 
     def utilization_array(self) -> np.ndarray:
-        """Utilisation fraction per placement node, in placement order."""
-        return np.fromiter(
+        """Utilisation fraction per placement node, in placement order.
+
+        Full placement length; out-of-shard entries read 0.0 in a
+        shard-scoped state (price terms only ever index candidate
+        positions, which the ``-inf`` capacity mask keeps in-shard).
+        """
+        if self.shard_nodes is None:
+            return np.fromiter(
+                (n.utilization for n in self.nodes.values()),
+                dtype=np.float64,
+                count=len(self.nodes),
+            )
+        out = np.zeros(self.instance.num_placement_nodes, dtype=np.float64)
+        out[self._shard_index] = np.fromiter(
             (n.utilization for n in self.nodes.values()),
             dtype=np.float64,
             count=len(self.nodes),
         )
+        return out
 
     def replica_presence_matrix(
         self, dataset_ids: Iterable[int] | None = None
@@ -258,6 +373,8 @@ class ClusterState:
 
     def can_serve(self, query: Query, dataset: Dataset, node: int) -> bool:
         """Deadline + capacity + replica (+ liveness) feasibility at ``node``."""
+        if self.shard_nodes is not None and node not in self.nodes:
+            return False
         if self._down:
             if node in self._down:
                 return False
@@ -312,6 +429,8 @@ class ClusterState:
         :class:`~repro.cluster.replicas.ReplicaError` / ``ValueError``
         when infeasible, leaving state unchanged.
         """
+        if self.shard_nodes is not None and node not in self.nodes:
+            raise CapacityError(f"node {node} is outside this shard")
         if self._down:
             if node in self._down:
                 raise CapacityError(f"node {node} is down")
@@ -353,6 +472,74 @@ class ClusterState:
             (assignment.query_id, assignment.dataset_id)
         )
         self.touch()
+
+    # -- reservations -------------------------------------------------------
+    #
+    # Two-phase cross-shard admission (repro.serve.router) applies a
+    # query's shard-local placement for real during the reserve phase and
+    # records a Reservation receipt here.  Commit forgets the receipt;
+    # abort performs precise undo.  The receipts themselves are *not*
+    # checkpointed: a restart restores the reserved allocations as
+    # ordinary recovery holds, which release them after the recovery
+    # window — the same self-healing a TTL expiry provides live.
+
+    def record_reservation(self, reservation: Reservation) -> None:
+        """Register a pending two-phase reservation receipt."""
+        if reservation.reservation_id in self._reservations:
+            raise ValueError(
+                f"reservation {reservation.reservation_id!r} already pending"
+            )
+        self._reservations[reservation.reservation_id] = reservation
+
+    def has_reservation(self, reservation_id: str) -> bool:
+        """Whether a reservation receipt is still pending."""
+        return reservation_id in self._reservations
+
+    def pending_reservations(self) -> int:
+        """Number of reservations awaiting commit or abort."""
+        return len(self._reservations)
+
+    def commit_reservation(self, reservation_id: str) -> Reservation:
+        """Finalise a reservation: its resources stay held.
+
+        The reserve phase already applied the placement, so committing
+        only drops the receipt and hands it back (the caller arms the
+        usual hold timers from it).
+        """
+        try:
+            return self._reservations.pop(reservation_id)
+        except KeyError:
+            raise ValueError(
+                f"no pending reservation {reservation_id!r}"
+            ) from None
+
+    def abort_reservation(self, reservation_id: str) -> Reservation | None:
+        """Undo a reservation; idempotent (unknown ids return ``None``).
+
+        Releases every allocation the reserve made (tolerating ones a
+        crash already evicted) and removes every replica it newly placed
+        — unless the copy has since vanished with its node, is an origin
+        copy, or some *other* live allocation on that node now streams
+        from it (then removing it would corrupt that query's service).
+        """
+        reservation = self._reservations.pop(reservation_id, None)
+        if reservation is None:
+            return None
+        for a in reservation.assignments:
+            try:
+                self.nodes[a.node].release((a.query_id, a.dataset_id))
+            except CapacityError:
+                pass  # evicted by a crash between reserve and abort
+        for d_id, v in reservation.placed:
+            if not self.replicas.has(d_id, v):
+                continue  # dropped with a crashed node
+            if self.replicas.origin(d_id) == v:
+                continue
+            if any(tag[1] == d_id for tag in self.nodes[v].allocation_tags()):
+                continue  # another admission now depends on this copy
+            self.replicas.remove(d_id, v)
+        self.touch()
+        return reservation
 
     # -- transactions -------------------------------------------------------
 
@@ -436,15 +623,21 @@ class ClusterState:
                     f"node {v} load {ledger.allocated_ghz + ledger.reserved_ghz:.3f} "
                     f"GHz exceeds capacity {ledger.capacity_ghz:.3f} GHz"
                 )
-        placement = set(inst.placement_nodes)
+        placement = (
+            set(inst.placement_nodes)
+            if self.shard_nodes is None
+            else set(self.nodes)
+        )
         for d_id in inst.datasets:
             nodes = self.replicas.nodes(d_id)
-            if len(nodes) > inst.max_replicas:
+            external = self.replicas.external_copies(d_id)
+            if len(nodes) + external > inst.max_replicas:
                 raise InvariantViolation(
-                    f"dataset {d_id} has {len(nodes)} > K={inst.max_replicas} copies"
+                    f"dataset {d_id} has {len(nodes) + external} > "
+                    f"K={inst.max_replicas} copies"
                 )
             origin = self.replicas.origin(d_id)
-            if origin not in nodes:
+            if external == 0 and origin not in nodes:
                 raise InvariantViolation(
                     f"dataset {d_id} lost its origin copy at {origin}"
                 )

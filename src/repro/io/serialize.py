@@ -18,7 +18,7 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Any
+from typing import Any, Iterable
 
 from repro.cluster.state import ClusterState
 from repro.core.instance import ProblemInstance
@@ -344,7 +344,10 @@ def state_to_dict(
 
 
 def state_from_dict(
-    payload: dict[str, Any], instance: ProblemInstance | None = None
+    payload: dict[str, Any],
+    instance: ProblemInstance | None = None,
+    *,
+    shard_nodes: Iterable[int] | None = None,
 ) -> ClusterState:
     """Reconstruct a :class:`~repro.cluster.state.ClusterState`.
 
@@ -356,6 +359,10 @@ def state_from_dict(
         Reuse an already-built instance (its cached arrays and path
         oracle included) instead of rebuilding from the embedded copy.
         Required when the dump was written with ``include_instance=False``.
+    shard_nodes:
+        Rebuild the state shard-scoped to this node subset (the dump
+        must have been written by an equally-scoped state: entries for
+        out-of-shard nodes fail validation as unknown placement nodes).
 
     Replays reservations, allocation ledgers (insertion order preserved),
     replica placements and the down set through the same mutators live
@@ -371,7 +378,7 @@ def state_from_dict(
                 "state dump carries no embedded instance; pass one explicitly"
             )
         instance = instance_from_dict(embedded)
-    state = ClusterState(instance)
+    state = ClusterState(instance, shard_nodes=shard_nodes)
     for entry in payload["nodes"]:
         v = entry["node"]
         if v not in state.nodes:

@@ -21,6 +21,11 @@ Pieces
   bounded-churn replica migration against demand drift.
 * :mod:`repro.serve.client` — asyncio client + closed/open-loop load
   generators driven by the Zipf workload machinery.
+* :mod:`repro.serve.shard` — deterministic placement-node partitioning
+  (:class:`ShardPlan`) and the router + N-gateway ensemble
+  (:class:`ShardCluster`).
+* :mod:`repro.serve.router` — the front router: shard-local forwarding
+  plus two-phase reserve/commit cross-shard admission.
 """
 
 from repro.serve.batcher import MicroBatcher
@@ -39,12 +44,15 @@ from repro.serve.gateway import (
 )
 from repro.serve.protocol import ProtocolError, decode_message, encode_message
 from repro.serve.reoptimizer import CycleReport, Reoptimizer, ReoptimizerConfig
+from repro.serve.router import FrontRouter, RouterConfig, RouterThread
 from repro.serve.screenpool import ScreenPool, ScreenRows
+from repro.serve.shard import ShardCluster, ShardPlan
 from repro.serve.shm import ScreenStatics, SharedStateViews, StateSnapshot
 
 __all__ = [
     "AdmissionGateway",
     "CycleReport",
+    "FrontRouter",
     "GatewayConfig",
     "GatewayThread",
     "GatewayClient",
@@ -54,9 +62,13 @@ __all__ = [
     "QueryFactory",
     "Reoptimizer",
     "ReoptimizerConfig",
+    "RouterConfig",
+    "RouterThread",
     "ScreenPool",
     "ScreenRows",
     "ScreenStatics",
+    "ShardCluster",
+    "ShardPlan",
     "SharedStateViews",
     "StateSnapshot",
     "decode_message",

@@ -119,9 +119,15 @@ class GatewayClient:
     def render_status(payload: dict[str, Any]) -> str:
         """Human-readable render of a ``status`` payload.
 
-        Counters, the screening engine's per-stage timings, and the
-        admission-latency histogram (non-empty buckets only) — what
-        ``repro load --status`` prints.
+        Counters, the screening engine's per-stage timings, the
+        admission-latency histogram (non-empty buckets only), and — when
+        present — the shard identity, two-phase reservation counters,
+        and re-optimizer digest.  Every section is defensive: a gateway
+        restored from a checkpoint reports *before* its first admission
+        (empty histogram), older gateways omit whole sections, and a
+        router's per-shard statuses may be partially populated — none of
+        that may crash the render (``repro load --status`` runs it on
+        whatever the wire returns).
         """
 
         def fmt_s(value: Any) -> str:
@@ -133,52 +139,90 @@ class GatewayClient:
                 return f"{value * 1e3:.2f}ms"
             return f"{value:.3f}s"
 
+        def fmt_count(value: Any) -> str:
+            try:
+                return str(int(value))
+            except (TypeError, ValueError):
+                return "-"
+
+        def fmt_f(value: Any) -> str:
+            if not isinstance(value, (int, float)):
+                return "-"
+            return f"{value:.1f}"
+
         lines = [
-            f"uptime {payload.get('uptime_s', 0.0):.1f}s  "
+            f"uptime {fmt_f(payload.get('uptime_s', 0.0))}s  "
             f"queue {payload.get('queue_depth', 0)}  "
             f"inflight {payload.get('inflight_queries', 0)} queries / "
-            f"{payload.get('inflight_ghz', 0.0):.1f} GHz "
-            f"of {payload.get('total_capacity_ghz', 0.0):.1f} GHz",
+            f"{fmt_f(payload.get('inflight_ghz', 0.0))} GHz "
+            f"of {fmt_f(payload.get('total_capacity_ghz', 0.0))} GHz",
             "counters: "
             + "  ".join(
-                f"{k}={int(v)}"
+                f"{k}={fmt_count(v)}"
                 for k, v in sorted(payload.get("counters", {}).items())
             ),
         ]
-        screen = payload.get("screen")
-        if screen:
+        shard = payload.get("shard")
+        if isinstance(shard, dict):
+            nodes = shard.get("nodes") or []
             lines.append(
-                f"screen: engine={screen['engine']} "
-                f"workers={screen['workers']} "
-                f"stale_rescreens={screen['stale_rescreens']}"
+                f"shard: id={shard.get('id')} "
+                f"scoped={shard.get('scoped', False)} "
+                f"nodes={len(nodes)}"
             )
-            for stage in ("screen_s", "commit_s"):
-                stats = screen.get(stage, {})
-                if stats.get("count"):
-                    lines.append(
-                        f"  {stage[:-2]}/batch: mean {fmt_s(stats['mean_s'])}  "
-                        f"p50 {fmt_s(stats['p50_s'])}  "
-                        f"p90 {fmt_s(stats['p90_s'])}  "
-                        f"p99 {fmt_s(stats['p99_s'])}"
-                    )
-        hist = payload.get("admission_latency")
-        if hist and sum(hist.get("counts", [])) > 0:
+        two_phase = payload.get("two_phase")
+        if isinstance(two_phase, dict) and any(
+            isinstance(v, (int, float)) and v for v in two_phase.values()
+        ):
             lines.append(
-                "admission latency: "
+                "two-phase: "
                 + "  ".join(
-                    f"{q[:-2]} {fmt_s(hist[q])}"
-                    for q in ("p50_s", "p90_s", "p99_s", "p999_s")
+                    f"{k}={fmt_count(v)}" for k, v in sorted(two_phase.items())
                 )
             )
-            edges = hist["buckets_le_s"]
-            counts = hist["counts"]
+        screen = payload.get("screen")
+        if isinstance(screen, dict):
+            lines.append(
+                f"screen: engine={screen.get('engine', '-')} "
+                f"workers={screen.get('workers', '-')} "
+                f"stale_rescreens={screen.get('stale_rescreens', 0)}"
+            )
+            for stage in ("screen_s", "commit_s"):
+                stats = screen.get(stage)
+                if isinstance(stats, dict) and stats.get("count"):
+                    lines.append(
+                        f"  {stage[:-2]}/batch: mean {fmt_s(stats.get('mean_s'))}  "
+                        f"p50 {fmt_s(stats.get('p50_s'))}  "
+                        f"p90 {fmt_s(stats.get('p90_s'))}  "
+                        f"p99 {fmt_s(stats.get('p99_s'))}"
+                    )
+        hist = payload.get("admission_latency")
+        if isinstance(hist, dict):
+            counts = hist.get("counts") or []
+            edges = hist.get("buckets_le_s") or []
             total = sum(counts)
-            for i, count in enumerate(counts):
-                if not count:
-                    continue
-                label = f"<={fmt_s(edges[i])}" if i < len(edges) else "+inf"
-                bar = "#" * max(1, round(40 * count / total))
-                lines.append(f"  {label:>10} {count:>8} {bar}")
+            if total > 0:
+                lines.append(
+                    "admission latency: "
+                    + "  ".join(
+                        f"{q[:-2]} {fmt_s(hist.get(q))}"
+                        for q in ("p50_s", "p90_s", "p99_s", "p999_s")
+                    )
+                )
+                for i, count in enumerate(counts):
+                    if not count:
+                        continue
+                    label = f"<={fmt_s(edges[i])}" if i < len(edges) else "+inf"
+                    bar = "#" * max(1, round(40 * count / total))
+                    lines.append(f"  {label:>10} {count:>8} {bar}")
+        reopt = payload.get("reopt")
+        if isinstance(reopt, dict):
+            lines.append(
+                f"reopt: cycles={fmt_count(reopt.get('cycles', 0))} "
+                f"migrated_steps={fmt_count(reopt.get('migrated_steps', 0))} "
+                f"migrated_gb={fmt_f(reopt.get('migrated_gb', 0.0))} "
+                f"reclaimed_gb={fmt_f(reopt.get('reclaimed_gain_gb', 0.0))}"
+            )
         return "\n".join(lines)
 
     async def snapshot(self) -> dict[str, Any]:
@@ -188,6 +232,25 @@ class GatewayClient:
     async def reopt(self, *, force: bool = False) -> dict[str, Any]:
         """Ask the gateway to run one re-optimization cycle now."""
         return await self.request("reopt", force=force)
+
+    async def reserve(
+        self, reservation_id: str, query: Query, dataset_ids: list[int]
+    ) -> dict[str, Any]:
+        """Phase one of cross-shard admission: hold a dataset subset."""
+        return await self.request(
+            "reserve",
+            reservation_id=reservation_id,
+            query=query_to_dict(query),
+            dataset_ids=list(dataset_ids),
+        )
+
+    async def commit(self, reservation_id: str) -> dict[str, Any]:
+        """Phase two, success: finalise a reservation."""
+        return await self.request("commit", reservation_id=reservation_id)
+
+    async def abort(self, reservation_id: str) -> dict[str, Any]:
+        """Phase two, failure: undo a reservation (idempotent)."""
+        return await self.request("abort", reservation_id=reservation_id)
 
     async def shutdown(self) -> dict[str, Any]:
         """Ask the gateway to checkpoint and stop."""

@@ -35,11 +35,13 @@ response latency of wall-clock time, then release.
 from __future__ import annotations
 
 import asyncio
+import concurrent.futures
 import contextlib
 import json
 import math
 import threading
 import time
+import traceback
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable
@@ -47,7 +49,7 @@ from typing import Any, Callable
 import numpy as np
 
 from repro.cluster.node import CapacityError, _EPS
-from repro.cluster.state import ClusterState
+from repro.cluster.state import ClusterState, Reservation
 from repro.core.instance import ProblemInstance
 from repro.core.online import PlacementRule, appro_rule, greedy_rule
 from repro.core.types import Assignment, Query
@@ -220,6 +222,22 @@ class GatewayConfig:
         Install uvloop's event-loop policy when the optional dependency
         is available (``pip install repro[perf]``); silently falls back
         to the stdlib loop otherwise.
+    shard_nodes:
+        Scope this gateway to a subset of the placement nodes (the
+        sharded control plane's per-shard gateways; see
+        :mod:`repro.serve.shard`).  ``None`` — the default — serves the
+        whole cluster; a subset covering every placement node is
+        normalised to full scope, so a 1-shard deployment runs the
+        byte-identical single-gateway path.
+    shard_id:
+        Cosmetic shard label reported in ``status`` (and used by the
+        router for per-shard accounting); independent of scoping so a
+        1-shard (full-scope) gateway still identifies itself.
+    reserve_ttl_s:
+        How long a two-phase reservation may stay pending before the
+        shard aborts it unilaterally (a router that died mid-protocol
+        must not leak capacity forever).  Timeouts are treated as abort
+        on both sides.
     """
 
     host: str = "127.0.0.1"
@@ -237,6 +255,9 @@ class GatewayConfig:
     screen_engine: str = "batch"
     screen_workers: int = 1
     use_uvloop: bool = False
+    shard_nodes: tuple[int, ...] | None = None
+    shard_id: int | None = None
+    reserve_ttl_s: float = 5.0
 
     def __post_init__(self) -> None:
         if self.rule not in _RULES:
@@ -263,6 +284,13 @@ class GatewayConfig:
             raise ValidationError(
                 "screen_workers > 1 requires the 'batch' screen_engine "
                 "(the pool runs the batch kernel)"
+            )
+        check_positive("reserve_ttl_s", self.reserve_ttl_s)
+        if self.reopt is not None and self.shard_nodes is not None:
+            raise ValidationError(
+                "re-optimization on a shard-scoped gateway is not supported "
+                "(the migration planner assumes whole-cluster replica "
+                "authority); run the daemon on an unsharded deployment"
             )
 
 
@@ -296,7 +324,10 @@ class AdmissionGateway:
     ) -> None:
         self.instance = instance
         self.config = config or GatewayConfig()
-        self.state = ClusterState(instance)
+        self.state = ClusterState(instance, shard_nodes=self.config.shard_nodes)
+        #: Normalised shard scope (``None`` = full cluster, including a
+        #: configured subset that covered every placement node).
+        self.shard_nodes = self.state.shard_nodes
         self.recovered = False
         self._rule: PlacementRule = _RULES[self.config.rule](instance)
         self._batcher: MicroBatcher[_Pending] = MicroBatcher(
@@ -304,7 +335,12 @@ class AdmissionGateway:
             max_wait_s=self.config.max_wait_ms / 1000.0,
             queue_bound=self.config.queue_bound,
         )
-        self._total_capacity = float(instance.capacities.sum())
+        if self.shard_nodes is None:
+            self._total_capacity = float(instance.capacities.sum())
+        else:
+            self._total_capacity = float(
+                sum(n.capacity_ghz for n in self.state.nodes.values())
+            )
         self.counters: dict[str, int] = {
             "submitted": 0,
             "admitted": 0,
@@ -312,6 +348,8 @@ class AdmissionGateway:
             "fast_rejected": 0,
             "shed": 0,
             "protocol_errors": 0,
+            "admit_errors": 0,
+            "task_crashes": 0,
             "batches": 0,
             "checkpoints": 0,
         }
@@ -321,7 +359,7 @@ class AdmissionGateway:
         # fast-reject and the admission probe cheap at p99.
         self._latency_cache: dict[tuple[int, int, float], np.ndarray] = {}
         self._statics: ScreenStatics | None = (
-            ScreenStatics.from_instance(instance)
+            ScreenStatics.from_instance(instance, shard_nodes=self.shard_nodes)
             if self.config.screen_engine == "batch"
             else None
         )
@@ -336,10 +374,24 @@ class AdmissionGateway:
         self._ewma_admission_s = 0.001  # seed estimate for retry_after hints
         self._started_at: float | None = None
         self._server: asyncio.base_events.Server | None = None
+        self._peers: set[asyncio.StreamWriter] = set()
         self._tasks: list[asyncio.Task] = []
         self._holds: dict[int, asyncio.TimerHandle] = {}
         self._inflight: dict[int, tuple[Assignment, ...]] = {}
+        # Two-phase reservation accounting lives outside ``counters`` for
+        # the same reason as ``screen_stale_rescreens``: checkpoints
+        # serialise ``counters`` and their bytes must not depend on
+        # whether a deployment is sharded.
+        self.reserve_counters: dict[str, int] = {
+            "reserved": 0,
+            "committed": 0,
+            "aborted": 0,
+            "expired": 0,
+            "rejected": 0,
+        }
+        self._reservation_timers: dict[str, asyncio.TimerHandle] = {}
         self._closed = asyncio.Event()
+        self._stopping = False
         self.reoptimizer: Reoptimizer | None = (
             Reoptimizer(self, self.config.reopt)
             if self.config.reopt is not None
@@ -359,7 +411,9 @@ class AdmissionGateway:
             raise ValidationError(
                 f"expected format {_FORMAT_CHECKPOINT!r}, got {fmt!r}"
             )
-        self.state = state_from_dict(payload["state"], self.instance)
+        self.state = state_from_dict(
+            payload["state"], self.instance, shard_nodes=self.config.shard_nodes
+        )
         for name, value in payload["counters"].items():
             if name in self.counters:
                 self.counters[name] = int(value)
@@ -453,25 +507,51 @@ class AdmissionGateway:
         """Checkpoint (when configured), stop accepting, cancel workers."""
         if self._server is None:
             return
-        self._server.close()
-        await self._server.wait_closed()
-        for pending in self._batcher.drain_nowait():
-            if not pending.future.done():
-                pending.future.set_result(self._shed_response())
-        for task in self._tasks:
-            task.cancel()
-        for task in self._tasks:
-            with contextlib.suppress(asyncio.CancelledError):
-                await task
-        self._tasks.clear()
-        for handle in self._holds.values():
-            handle.cancel()
-        if self._pool is not None:
-            self._pool.close()
-            self._pool = None
-        if self.config.checkpoint_path is not None:
-            self.checkpoint()
-        self._closed.set()
+        if self._stopping:
+            # A shutdown request and GatewayThread.stop can race; the
+            # second caller waits for the first teardown, never re-runs it.
+            await self._closed.wait()
+            return
+        self._stopping = True
+        try:
+            self._server.close()
+            await self._server.wait_closed()
+            # Drop open peer connections too: a stopped shard must look
+            # dead to a router holding a pooled link, not keep serving
+            # reserves.
+            for peer in list(self._peers):
+                peer.close()
+            for pending in self._batcher.drain_nowait():
+                if not pending.future.done():
+                    pending.future.set_result(self._shed_response())
+            for task in self._tasks:
+                task.cancel()
+            for task in self._tasks:
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+                except Exception:
+                    # A background task that already died must not wedge
+                    # shutdown — record it and keep tearing down.
+                    traceback.print_exc()
+                    self.counters["task_crashes"] += 1
+                    get_registry().inc("serve.task_crashes")
+            self._tasks.clear()
+            for handle in self._holds.values():
+                handle.cancel()
+            for handle in self._reservation_timers.values():
+                handle.cancel()
+            self._reservation_timers.clear()
+            if self._pool is not None:
+                self._pool.close()
+                self._pool = None
+            if self.config.checkpoint_path is not None:
+                self.checkpoint()
+        finally:
+            # Whatever teardown raised, waiters (main(), GatewayThread,
+            # ShardCluster) must unblock or shutdown hangs forever.
+            self._closed.set()
 
     async def wait_closed(self) -> None:
         """Block until :meth:`stop` (or a shutdown request) completes."""
@@ -673,10 +753,20 @@ class AdmissionGateway:
         """
         query = pending.query
         state = self.state
+        fresh: np.ndarray | None = None
+        if query.query_id in self._holds:
+            # A live hold under this id (client retry, or a replayed
+            # workload over a recovered checkpoint) would collide with
+            # the new placement's allocation tags inside ``serve()``.
+            # Latest decision wins: evict the old hold first, then
+            # re-probe against the freed capacity.
+            self._evict_hold(query.query_id)
+            available = fresh = state.available_array()
+            probe = True
         if probe:
             for d_id in query.demanded:
                 if not self._probe_mask(query, d_id, available).any():
-                    return self._rejected_response(), None
+                    return self._rejected_response(), fresh
         assignments: list[Assignment] = []
         failed = False
         with state.transaction() as txn:
@@ -712,18 +802,37 @@ class AdmissionGateway:
     def _arm_hold(
         self, q_id: int, assignments: tuple[Assignment, ...], response_s: float
     ) -> None:
-        previous = self._holds.pop(q_id, None)
-        if previous is not None:  # stale id reuse: release the old hold now
-            previous.cancel()
-            for a in self._inflight.pop(q_id, ()):
-                with contextlib.suppress(CapacityError):
-                    self.state.release(a)
+        if q_id in self._holds:  # stale id reuse: release the old hold now
+            self._evict_hold(q_id)
         self._inflight[q_id] = assignments
         loop = asyncio.get_running_loop()
         self._holds[q_id] = loop.call_later(
             response_s * self.config.hold_factor,
             lambda: self._release_query(q_id),
         )
+
+    def _evict_hold(self, q_id: int) -> None:
+        """Release everything a live hold for ``q_id`` still pins.
+
+        Holds armed this process track their allocations in
+        ``_inflight``; recovered holds track only ledger tags (the
+        checkpoint records allocations, not ``Assignment`` receipts), so
+        after the ``_inflight`` release any tag still carrying ``q_id``
+        is swept from the ledgers directly.
+        """
+        handle = self._holds.pop(q_id, None)
+        if handle is not None:
+            handle.cancel()
+        for a in self._inflight.pop(q_id, ()):
+            with contextlib.suppress(CapacityError):
+                self.state.release(a)
+        swept = False
+        for ledger in self.state.nodes.values():
+            for tag in [t for t in ledger.allocation_tags() if t[0] == q_id]:
+                ledger.release(tag)
+                swept = True
+        if swept:
+            self.state.touch()
 
     def _release_query(self, q_id: int) -> None:
         self._holds.pop(q_id, None)
@@ -732,6 +841,150 @@ class AdmissionGateway:
             # outlives the allocation it guards); releasing twice is fine.
             with contextlib.suppress(CapacityError):
                 self.state.release(a)
+
+    # -- two-phase reservations (cross-shard admission) --------------------
+    #
+    # The front router (repro.serve.router) splits a cross-shard query's
+    # demanded datasets across the shards that can serve them and runs a
+    # saga in miniature: reserve on every touched shard, commit on
+    # unanimous accept, abort otherwise.  Each handler below is fully
+    # synchronous (no awaits between probe and commit), so a reservation
+    # can never interleave with the admission worker's batch — the same
+    # event-loop atomicity the inline screen relies on.  Reserves mutate
+    # state through ``serve()``, which bumps the generation stamp, so a
+    # pooled screen that raced one is detected and re-run.
+
+    @staticmethod
+    def _assignment_payload(assignments: tuple[Assignment, ...]) -> list[dict]:
+        return [
+            {
+                "dataset_id": a.dataset_id,
+                "node": a.node,
+                "latency_s": a.latency_s,
+                "compute_ghz": a.compute_ghz,
+            }
+            for a in assignments
+        ]
+
+    def _reserve_query(
+        self, reservation_id: str, query: Query, dataset_ids: tuple[int, ...]
+    ) -> dict[str, Any]:
+        """Phase one: provisionally admit a query's dataset subset.
+
+        Applies the placement for real (the resources are held from this
+        instant), records a :class:`~repro.cluster.state.Reservation`
+        receipt, and arms the TTL abort timer.  Rejections leave state
+        untouched (the transaction rolls back).
+        """
+        obs = get_registry()
+        state = self.state
+        if state.has_reservation(reservation_id):
+            raise ProtocolError(
+                f"reservation {reservation_id!r} is already pending"
+            )
+        if query.query_id in self._holds:
+            # Same latest-wins rule as _admit_one: a live hold under this
+            # id would collide with the reserve's allocation tags.
+            self._evict_hold(query.query_id)
+        available = state.available_array()
+        for d_id in dataset_ids:
+            if not self._probe_mask(query, d_id, available).any():
+                self.reserve_counters["rejected"] += 1
+                obs.inc("serve.reserve.rejected")
+                return self._rejected_response()
+        pre_holders = {d_id: state.replicas.nodes(d_id) for d_id in dataset_ids}
+        assignments: list[Assignment] = []
+        failed = False
+        with state.transaction() as txn:
+            for d_id in dataset_ids:
+                a = self._rule(state, query, d_id)
+                if a is None:
+                    failed = True
+                    break
+                assignments.append(a)
+            if not failed:
+                txn.commit()
+        if failed:
+            self.reserve_counters["rejected"] += 1
+            obs.inc("serve.reserve.rejected")
+            return self._rejected_response()
+        # Every copy that exists now but not before the reserve belongs
+        # to it — including copies a rule's walk placed on nodes it did
+        # not assign (the greedy rule does this), so an abort can undo
+        # them all.
+        placed = tuple(
+            sorted(
+                (d_id, v)
+                for d_id in dataset_ids
+                for v in state.replicas.nodes(d_id) - pre_holders[d_id]
+            )
+        )
+        state.record_reservation(
+            Reservation(
+                reservation_id=reservation_id,
+                query_id=query.query_id,
+                assignments=tuple(assignments),
+                placed=placed,
+            )
+        )
+        self._arm_reservation_ttl(reservation_id)
+        self.reserve_counters["reserved"] += 1
+        obs.inc("serve.reserve.reserved")
+        return {
+            "result": "reserved",
+            "assignments": self._assignment_payload(tuple(assignments)),
+        }
+
+    def _arm_reservation_ttl(self, reservation_id: str) -> None:
+        try:
+            loop = asyncio.get_running_loop()
+        except RuntimeError:
+            return  # synchronous harness: expiry is driven manually
+        self._reservation_timers[reservation_id] = loop.call_later(
+            self.config.reserve_ttl_s,
+            lambda: self._expire_reservation(reservation_id),
+        )
+
+    def _expire_reservation(self, reservation_id: str) -> None:
+        """TTL fired: the router went silent — treat the timeout as abort."""
+        self._reservation_timers.pop(reservation_id, None)
+        if self.state.abort_reservation(reservation_id) is not None:
+            self.reserve_counters["expired"] += 1
+            get_registry().inc("serve.reserve.expired")
+
+    def _commit_reservation(self, reservation_id: str) -> dict[str, Any]:
+        """Phase two, success: the resources stay held under a hold timer."""
+        timer = self._reservation_timers.pop(reservation_id, None)
+        if timer is not None:
+            timer.cancel()
+        try:
+            reservation = self.state.commit_reservation(reservation_id)
+        except ValueError as exc:
+            raise ProtocolError(str(exc)) from None
+        response_s = max(a.latency_s for a in reservation.assignments)
+        self._arm_hold(
+            reservation.query_id, reservation.assignments, response_s
+        )
+        self.reserve_counters["committed"] += 1
+        get_registry().inc("serve.reserve.committed")
+        return {
+            "committed": True,
+            "response_s": response_s,
+            "assignments": self._assignment_payload(reservation.assignments),
+        }
+
+    def _abort_reservation(self, reservation_id: str) -> dict[str, Any]:
+        """Phase two, failure: precise undo.  Idempotent by design —
+        the router aborts best-effort after timeouts, and the TTL may
+        have expired the reservation first."""
+        timer = self._reservation_timers.pop(reservation_id, None)
+        if timer is not None:
+            timer.cancel()
+        if self.state.abort_reservation(reservation_id) is None:
+            return {"found": False}
+        self.reserve_counters["aborted"] += 1
+        get_registry().inc("serve.reserve.aborted")
+        return {"found": True}
 
     @staticmethod
     def _rejected_response() -> dict[str, Any]:
@@ -774,9 +1027,20 @@ class AdmissionGateway:
                 else:
                     # The prefilter verdict is exact until an admission
                     # mutates state mid-batch; after that, re-probe.
-                    response, fresh = self._admit_one(
-                        pending, available, probe=mutated
-                    )
+                    try:
+                        response, fresh = self._admit_one(
+                            pending, available, probe=mutated
+                        )
+                    except Exception:
+                        # One poisoned query must not kill the worker
+                        # (every later submission would then hang): the
+                        # transaction rolled its partial effects back,
+                        # so answer rejected and keep serving.
+                        traceback.print_exc()
+                        self.counters["admit_errors"] += 1
+                        obs.inc("serve.admit_errors")
+                        response = self._rejected_response()
+                        fresh = self.state.available_array()
                     if fresh is not None:
                         available = fresh
                         mutated = True
@@ -809,6 +1073,7 @@ class AdmissionGateway:
         obs = get_registry()
         write_lock = asyncio.Lock()
         message_tasks: set[asyncio.Task] = set()
+        self._peers.add(writer)
 
         async def respond(payload: dict[str, Any]) -> None:
             async with write_lock:
@@ -857,6 +1122,7 @@ class AdmissionGateway:
             # protocol's done-callback (which would log a traceback).
             pass
         finally:
+            self._peers.discard(writer)
             for task in message_tasks:
                 task.cancel()
             writer.close()
@@ -922,6 +1188,52 @@ class AdmissionGateway:
                 await respond(
                     {"id": request_id, "ok": True, **report.to_dict()}
                 )
+            elif op == "reserve":
+                query = parse_submit_query(request)
+                reservation_id = request.get("reservation_id")
+                if not isinstance(reservation_id, str) or not reservation_id:
+                    raise ProtocolError(
+                        "reserve request carries no reservation_id"
+                    )
+                raw_ids = request.get("dataset_ids")
+                if not isinstance(raw_ids, list) or not raw_ids:
+                    raise ProtocolError("reserve request carries no dataset_ids")
+                dataset_ids = tuple(raw_ids)
+                demanded = set(query.demanded)
+                if len(set(dataset_ids)) != len(dataset_ids) or any(
+                    d not in demanded for d in dataset_ids
+                ):
+                    raise ProtocolError(
+                        "dataset_ids must be a duplicate-free subset of the "
+                        "query's demanded datasets"
+                    )
+                if self._overloaded():
+                    self.reserve_counters["rejected"] += 1
+                    obs.inc("serve.reserve.rejected")
+                    await respond(
+                        {"id": request_id, "ok": True, **self._shed_response()}
+                    )
+                    return
+                response = self._reserve_query(
+                    reservation_id, query, dataset_ids
+                )
+                await respond({"id": request_id, "ok": True, **response})
+            elif op == "commit":
+                reservation_id = request.get("reservation_id")
+                if not isinstance(reservation_id, str) or not reservation_id:
+                    raise ProtocolError(
+                        "commit request carries no reservation_id"
+                    )
+                response = self._commit_reservation(reservation_id)
+                await respond({"id": request_id, "ok": True, **response})
+            elif op == "abort":
+                reservation_id = request.get("reservation_id")
+                if not isinstance(reservation_id, str) or not reservation_id:
+                    raise ProtocolError(
+                        "abort request carries no reservation_id"
+                    )
+                response = self._abort_reservation(reservation_id)
+                await respond({"id": request_id, "ok": True, **response})
             elif op == "shutdown":
                 await respond({"id": request_id, "ok": True, "stopping": True})
                 asyncio.create_task(self.stop())
@@ -969,9 +1281,71 @@ class AdmissionGateway:
                 "p999_s": _histogram_quantile(counts, _LATENCY_BUCKETS, 0.999),
             },
         }
+        payload["two_phase"] = {
+            "pending": self.state.pending_reservations(),
+            **self.reserve_counters,
+        }
+        if self.shard_nodes is not None or self.config.shard_id is not None:
+            payload["shard"] = {
+                "id": self.config.shard_id,
+                "scoped": self.shard_nodes is not None,
+                # The router discovers shard membership from this list; a
+                # full-scope shard 0 (1-shard deployment) reports every
+                # placement node.
+                "nodes": list(
+                    self.shard_nodes
+                    if self.shard_nodes is not None
+                    else self.instance.placement_nodes
+                ),
+            }
         if self.reoptimizer is not None:
             payload["reopt"] = self.reoptimizer.status()
         return payload
+
+
+def _drive_stop_from_thread(
+    stop: Callable[[], Any],
+    closed: asyncio.Event,
+    loop: asyncio.AbstractEventLoop,
+    thread: threading.Thread,
+    timeout: float = 30.0,
+) -> None:
+    """Schedule ``stop()`` on ``loop`` from another thread and wait it out.
+
+    A shutdown request arriving over the wire stops the service from
+    inside its own loop; if that teardown wins the race, the loop can
+    close before our scheduled coroutine ever runs, leaving the
+    concurrent future pending forever.  The closed event and thread
+    liveness are the ground truth here, not the future.
+    """
+    coro = stop()
+    try:
+        future = asyncio.run_coroutine_threadsafe(coro, loop)
+    except RuntimeError:  # loop already closed: the service stopped itself
+        coro.close()
+        return
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            future.result(timeout=0.1)
+            return
+        except concurrent.futures.CancelledError:
+            return  # loop teardown cancelled our task: service stopped
+        except concurrent.futures.TimeoutError:
+            if closed.is_set() or not thread.is_alive():
+                # The service tore itself down (a shutdown request won
+                # the race) and the scheduled coroutine may never run.
+                # Let the loop thread finish, then close the
+                # never-started coroutine by hand — cancelling the
+                # future instead would ping the closed loop and log
+                # spurious "Event loop is closed" errors.
+                thread.join(max(0.0, deadline - time.monotonic()))
+                if not future.done() and not thread.is_alive():
+                    with contextlib.suppress(RuntimeError):
+                        coro.close()
+                return
+            if time.monotonic() >= deadline:
+                raise
 
 
 class GatewayThread:
@@ -1017,6 +1391,16 @@ class GatewayThread:
         try:
             self._loop.run_until_complete(main())
         finally:
+            # Open connection handlers may still be parked in readline();
+            # cancel them (they exit cleanly on CancelledError) so the
+            # loop closes without destroying pending tasks.
+            pending = asyncio.all_tasks(self._loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                self._loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True)
+                )
             self._loop.close()
 
     def stop(self) -> None:
@@ -1024,8 +1408,7 @@ class GatewayThread:
         if self._loop is None or self._thread is None:
             return
         if not self.gateway._closed.is_set():
-            future = asyncio.run_coroutine_threadsafe(
-                self.gateway.stop(), self._loop
+            _drive_stop_from_thread(
+                self.gateway.stop, self.gateway._closed, self._loop, self._thread
             )
-            future.result(timeout=30)
         self._thread.join(timeout=30)

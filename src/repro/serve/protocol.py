@@ -21,6 +21,22 @@ Requests
     gateway has no re-optimizer configured.
 ``{"op": "shutdown", "id": 5}``
     Checkpoint and stop the gateway.
+``{"op": "reserve", "id": 6, "reservation_id": "r1", "query": {...},
+"dataset_ids": [0, 3]}``
+    Phase one of cross-shard admission (sent by the front router):
+    provisionally admit the listed subset of the query's demanded
+    datasets on this shard, holding the resources under
+    ``reservation_id``.  Responds ``result: "reserved"`` (with the
+    subset's ``assignments``), ``"rejected"``, or ``"shed"``.
+``{"op": "commit", "id": 7, "reservation_id": "r1"}``
+    Phase two, success: finalise the reservation (resources stay held
+    under the usual response-time hold).  Errors on unknown ids — a
+    commit must follow a successful reserve.
+``{"op": "abort", "id": 8, "reservation_id": "r1"}``
+    Phase two, failure: undo the reservation.  Idempotent; aborting an
+    unknown (never-reserved, expired, or already-resolved) id responds
+    ``found: false`` rather than erroring, because the router aborts
+    best-effort on timeouts.
 
 Responses
 ---------
@@ -61,7 +77,7 @@ PROTOCOL_VERSION = "repro/serve/v1"
 MAX_LINE_BYTES = 1 << 20
 
 #: Operations a request may carry.
-OPS = ("submit", "status", "snapshot", "reopt", "shutdown")
+OPS = ("submit", "status", "snapshot", "reopt", "shutdown", "reserve", "commit", "abort")
 
 
 class ProtocolError(RuntimeError):

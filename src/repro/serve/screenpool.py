@@ -139,6 +139,11 @@ def screen_rows(
     if view.any_down:
         node_ok &= view.up[None, :]
         live = (view.presence & view.up[None, :]).any(axis=1)
+        if statics.origin_external is not None:
+            # Shard-scoped gateway: a remote origin is always a clone
+            # source (its health is the owning shard's concern), exactly
+            # as ClusterState.has_live_copy counts external copies.
+            live = live | statics.origin_external
         node_ok[~live[di]] = False
     return node_ok.any(axis=1)
 

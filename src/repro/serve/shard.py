@@ -1,0 +1,214 @@
+"""Sharded control plane: partition placement nodes across gateways.
+
+One admission gateway serializes every placement decision through a
+single event loop, so aggregate decision throughput is capped by one
+core.  This module scales the control plane *out* instead of up:
+
+* :class:`ShardPlan` partitions the instance's placement nodes into
+  ``N`` disjoint, non-empty groups — by region label when the topology
+  carries them, else anchored on data centers (each cloudlet follows its
+  minimum-delay DC), else round-robin;
+* :class:`ShardCluster` runs one :class:`~repro.serve.gateway.AdmissionGateway`
+  per group (each scoped to its node subset via
+  ``GatewayConfig.shard_nodes``) behind a
+  :class:`~repro.serve.router.FrontRouter`, all on dedicated event-loop
+  threads, for the synchronous CLI/bench harnesses.
+
+Partitioning is a pure function of the instance and the shard count —
+every participant (router, benches, tests) derives the identical plan,
+so no membership coordination protocol is needed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.core.instance import ProblemInstance
+from repro.serve.gateway import AdmissionGateway, GatewayConfig, GatewayThread
+from repro.serve.router import FrontRouter, RouterConfig, RouterThread
+from repro.util.validation import ValidationError
+
+__all__ = ["ShardCluster", "ShardPlan"]
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A deterministic partition of the placement nodes into shards.
+
+    Attributes
+    ----------
+    num_shards:
+        Number of groups (>= 1).
+    members:
+        ``members[s]`` is shard ``s``'s node ids, a disjoint cover of
+        the instance's placement nodes, each tuple in placement order.
+    method:
+        How the partition was derived: ``"single"`` (one shard),
+        ``"region"`` (grouped by topology region labels),
+        ``"dc-anchored"`` (each cloudlet follows its minimum-delay data
+        center), or ``"round-robin"`` (fallback).
+    """
+
+    num_shards: int
+    members: tuple[tuple[int, ...], ...]
+    method: str
+
+    def shard_of_node(self) -> dict[int, int]:
+        """Map each placement node id to its shard index."""
+        return {v: s for s, nodes in enumerate(self.members) for v in nodes}
+
+    @classmethod
+    def build(cls, instance: ProblemInstance, num_shards: int) -> "ShardPlan":
+        """Partition ``instance``'s placement nodes into ``num_shards`` groups.
+
+        The strategy ladder (first applicable wins):
+
+        1. ``num_shards == 1`` — everything in one shard (``"single"``).
+        2. Every placement node carries a non-empty region label and
+           there are at least ``num_shards`` distinct regions — regions
+           are sorted and dealt round-robin onto shards, keeping each
+           region's nodes together (``"region"``).
+        3. At least ``num_shards`` data centers — DCs are dealt onto
+           shards in placement order and every cloudlet joins the shard
+           of its minimum-delay DC, ties broken by the lower DC id
+           (``"dc-anchored"``).
+        4. Otherwise placement node ``i`` goes to shard ``i % N``
+           (``"round-robin"``).
+
+        Raises
+        ------
+        ValidationError
+            When ``num_shards`` < 1 or exceeds the placement node count
+            (an empty shard would serve nothing).
+        """
+        placement = instance.topology.placement_nodes
+        n = int(num_shards)
+        if n < 1:
+            raise ValidationError(f"num_shards must be >= 1, got {num_shards}")
+        if n > len(placement):
+            raise ValidationError(
+                f"num_shards={n} exceeds the {len(placement)} placement nodes"
+            )
+        if n == 1:
+            return cls(num_shards=1, members=(tuple(placement),), method="single")
+
+        topology = instance.topology
+        assign: dict[int, int] = {}
+        regions = [topology.spec(v).region for v in placement]
+        distinct = sorted(set(regions))
+        if all(regions) and len(distinct) >= n:
+            region_shard = {r: i % n for i, r in enumerate(distinct)}
+            for v, r in zip(placement, regions):
+                assign[v] = region_shard[r]
+            method = "region"
+        elif len(topology.data_centers) >= n:
+            paths = instance.paths
+            dcs = [v for v in placement if v in set(topology.data_centers)]
+            dc_shard = {dc: j % n for j, dc in enumerate(dcs)}
+            for v in placement:
+                if v in dc_shard:
+                    assign[v] = dc_shard[v]
+                else:
+                    anchor = min(dcs, key=lambda dc: (paths.delay(v, dc), dc))
+                    assign[v] = dc_shard[anchor]
+            method = "dc-anchored"
+        else:
+            for i, v in enumerate(placement):
+                assign[v] = i % n
+            method = "round-robin"
+
+        members = tuple(
+            tuple(v for v in placement if assign[v] == s) for s in range(n)
+        )
+        for s, nodes in enumerate(members):
+            if not nodes:  # pragma: no cover - the ladder above forbids it
+                raise ValidationError(f"shard {s} of plan {method!r} is empty")
+        return cls(num_shards=n, members=members, method=method)
+
+
+class ShardCluster:
+    """One router + ``N`` shard gateways on dedicated loop threads.
+
+    The synchronous composition the CLI and benches drive: each shard
+    gateway is the *base* config re-scoped to its plan group (with a
+    per-shard checkpoint path when one is set), the router is built from
+    the bound shard addresses, and :meth:`start`/:meth:`stop` bring the
+    whole ensemble up and down in dependency order.
+    """
+
+    def __init__(
+        self,
+        instance: ProblemInstance,
+        plan: ShardPlan,
+        base_config: GatewayConfig,
+        router_config: RouterConfig | None = None,
+    ) -> None:
+        if base_config.reopt is not None:
+            raise ValidationError(
+                "sharded serving does not support the re-optimizer "
+                "(its migration authority spans shards)"
+            )
+        self.instance = instance
+        self.plan = plan
+        self.router_config = router_config or RouterConfig()
+        self.gateways: list[AdmissionGateway] = []
+        self._threads: list[GatewayThread] = []
+        for sid, nodes in enumerate(plan.members):
+            checkpoint = base_config.checkpoint_path
+            config = dataclasses.replace(
+                base_config,
+                port=0,
+                shard_nodes=nodes,
+                shard_id=sid,
+                checkpoint_path=(
+                    f"{checkpoint}.shard{sid}" if checkpoint is not None else None
+                ),
+            )
+            self.gateways.append(AdmissionGateway(instance, config))
+        self.router: FrontRouter | None = None
+        self._router_thread: RouterThread | None = None
+
+    def start(self) -> tuple[str, int]:
+        """Start every shard gateway, then the router; returns its address."""
+        try:
+            for gateway in self.gateways:
+                thread = GatewayThread(gateway)
+                self._threads.append(thread)
+                thread.start()
+            shards = [
+                (gateway.address, nodes)
+                for gateway, nodes in zip(self.gateways, self.plan.members)
+            ]
+            self.router = FrontRouter(self.instance, shards, self.router_config)
+            self._router_thread = RouterThread(self.router)
+            return self._router_thread.start()
+        except BaseException:
+            self.stop()
+            raise
+
+    def wait(self, timeout: float | None = None) -> None:
+        """Block until the router stops (a shutdown request) or ``timeout``.
+
+        A ``shutdown`` through the router fans out to every shard and
+        then stops the router itself, so its thread exiting is the
+        ensemble-is-down signal; :meth:`stop` afterwards is a no-op join.
+        """
+        if self._router_thread is not None and self._router_thread._thread is not None:
+            self._router_thread._thread.join(timeout)
+
+    def stop(self) -> None:
+        """Stop the router first (no new work), then the shard gateways."""
+        if self._router_thread is not None:
+            self._router_thread.stop()
+            self._router_thread = None
+        for thread in self._threads:
+            thread.stop()
+        self._threads.clear()
+
+    def __enter__(self) -> "ShardCluster":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -64,16 +64,39 @@ class ScreenStatics:
     proc_delays: np.ndarray  # float64[N]
     capacities: np.ndarray  # float64[N]
     home_delays: np.ndarray  # float64[H, N] — row h = delays to home h
+    #: Per-dataset flag: origin lives outside this gateway's shard, so
+    #: the dataset stays clonable even with zero local copies.  ``None``
+    #: for an unscoped gateway (the original single-gateway layout).
+    origin_external: np.ndarray | None = None  # bool[D]
 
     @classmethod
-    def from_instance(cls, instance: ProblemInstance) -> "ScreenStatics":
-        """Extract the static screen tables from ``instance``."""
+    def from_instance(
+        cls,
+        instance: ProblemInstance,
+        *,
+        shard_nodes: tuple[int, ...] | None = None,
+    ) -> "ScreenStatics":
+        """Extract the static screen tables from ``instance``.
+
+        ``shard_nodes`` marks datasets whose origin is outside the shard
+        (see :attr:`origin_external`); the node-indexed tables stay full
+        placement length — shard confinement rides on the ``-inf``
+        available-compute mask the scoped state publishes.
+        """
         dataset_ids = tuple(sorted(instance.datasets))
         volumes = np.fromiter(
             (instance.dataset(d).volume_gb for d in dataset_ids),
             dtype=np.float64,
             count=len(dataset_ids),
         )
+        origin_external = None
+        if shard_nodes is not None:
+            local = frozenset(shard_nodes)
+            origin_external = np.fromiter(
+                (instance.dataset(d).origin_node not in local for d in dataset_ids),
+                dtype=np.bool_,
+                count=len(dataset_ids),
+            )
         return cls(
             dataset_ids=dataset_ids,
             dataset_index={d: i for i, d in enumerate(dataset_ids)},
@@ -81,6 +104,7 @@ class ScreenStatics:
             proc_delays=np.asarray(instance.proc_delays),
             capacities=np.asarray(instance.capacities),
             home_delays=np.asarray(instance.home_delay_matrix),
+            origin_external=origin_external,
         )
 
     @property

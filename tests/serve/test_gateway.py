@@ -371,6 +371,88 @@ class TestCheckpointing:
             )
 
 
+class TestIdReuseAndCrashSafety:
+    """Regressions for the recovered-hold tag collision and shutdown hang.
+
+    Replaying a workload over a recovered checkpoint resubmits query ids
+    whose holds are still live; the placement used to re-allocate the
+    same (query, dataset) tag, raising ``CapacityError`` inside the
+    admission worker, and ``stop()`` then re-raised it at ``await task``
+    and never unblocked ``wait_closed()``.
+    """
+
+    def test_resubmit_live_id_replaces_hold(self, tiny_instance):
+        async def scenario():
+            async with running_gateway(tiny_instance, hold_factor=100.0) as gateway:
+                host, port = gateway.address
+                async with await GatewayClient.connect(host, port) as client:
+                    first = await client.submit(tiny_instance.queries[0])
+                    assert first["result"] == "admitted"
+                    held = gateway.state.total_allocated()
+                    second = await client.submit(tiny_instance.queries[0])
+                    assert second["result"] == "admitted"
+                # Latest decision wins: the old hold was evicted, not
+                # stacked, so allocated compute did not double.
+                assert gateway.state.total_allocated() == pytest.approx(held)
+                assert gateway.counters["admit_errors"] == 0
+                q_id = tiny_instance.queries[0].query_id
+                assert len(gateway._inflight[q_id]) == len(second["assignments"])
+
+        run(scenario())
+
+    def test_replay_over_recovered_checkpoint(self, tiny_instance, tmp_path):
+        path = tmp_path / "gateway.ckpt.json"
+
+        async def first():
+            async with running_gateway(
+                tiny_instance, checkpoint_path=str(path), hold_factor=100.0
+            ) as gateway:
+                host, port = gateway.address
+                async with await GatewayClient.connect(host, port) as client:
+                    for query in tiny_instance.queries[:2]:
+                        response = await client.submit(query)
+                        assert response["result"] == "admitted"
+                await gateway.stop()
+
+        async def replay():
+            # A long recovery hold keeps every restored allocation live
+            # while the identical workload is replayed at it.
+            async with running_gateway(
+                tiny_instance,
+                checkpoint_path=str(path),
+                recovery_hold_s=100.0,
+                hold_factor=100.0,
+            ) as gateway:
+                assert gateway.recovered
+                host, port = gateway.address
+                async with await GatewayClient.connect(host, port) as client:
+                    for query in tiny_instance.queries[:2]:
+                        response = await client.submit(query)
+                        assert response["ok"]
+                        assert response["result"] == "admitted"
+                assert gateway.counters["admit_errors"] == 0
+                await asyncio.wait_for(gateway.stop(), timeout=5.0)
+                assert gateway._closed.is_set()
+
+        run(first())
+        run(replay())
+
+    def test_stop_completes_after_task_crash(self, tiny_instance):
+        async def scenario():
+            async with running_gateway(tiny_instance) as gateway:
+
+                async def doomed():
+                    raise RuntimeError("background task died")
+
+                gateway._tasks.append(asyncio.create_task(doomed()))
+                await asyncio.sleep(0)  # let it fail before stop() awaits it
+                await asyncio.wait_for(gateway.stop(), timeout=5.0)
+                assert gateway._closed.is_set()
+                assert gateway.counters["task_crashes"] == 1
+
+        run(scenario())
+
+
 class TestLoadGenerators:
     def test_query_factory_deterministic(self, serve_instance):
         a = QueryFactory(serve_instance, seed=9)

@@ -45,7 +45,13 @@ import contextlib
 import sys
 from typing import Sequence
 
-from repro.core.online import OnlineConfig, OnlineSession, appro_rule, greedy_rule
+from repro.core.online import (
+    OnlineConfig,
+    OnlineSession,
+    appro_rule,
+    greedy_rule,
+    ship_greedy_rule,
+)
 from repro.core.registry import available_algorithms, make_algorithm
 from repro.core.explain import explain_rejections, rejection_histogram
 from repro.core.repair import fail_nodes, repair_placement
@@ -139,7 +145,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_online = sub.add_parser(
         "online", help="Poisson arrival stream with compute churn"
     )
-    p_online.add_argument("--rule", choices=["appro", "greedy"], default="appro")
+    p_online.add_argument(
+        "--rule",
+        choices=["appro", "greedy", "greedy-ship"],
+        default="appro",
+    )
     p_online.add_argument("--seed", type=int, default=0)
     p_online.add_argument("--gap", type=float, default=0.2,
                           help="mean inter-arrival seconds")
@@ -173,7 +183,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--seed", type=int, default=0,
                          help="instance seed; a load generator must use the "
                          "same seed to target the same datasets")
-    p_serve.add_argument("--rule", choices=["appro", "greedy"], default="appro")
+    p_serve.add_argument(
+        "--rule",
+        choices=["appro", "greedy", "greedy-ship"],
+        default="appro",
+    )
     p_serve.add_argument("--max-batch", type=int, default=16,
                          help="micro-batch flush size (1 disables batching)")
     p_serve.add_argument("--max-wait-ms", type=float, default=0.0,
@@ -209,6 +223,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--reopt-planner", choices=["appro", "lp"],
                          default="appro",
                          help="pipeline producing the target placement")
+    p_serve.add_argument("--predict", action="store_true",
+                         help="enable the predictive pre-placement daemon "
+                              "(replica adds ahead of forecast demand)")
+    p_serve.add_argument("--predict-interval", type=float, default=5.0,
+                         help="seconds between pre-placement cycles")
+    p_serve.add_argument("--predict-window", type=int, default=256,
+                         help="sliding demand window the forecaster sees "
+                              "(observations)")
+    p_serve.add_argument("--predict-threshold", type=float, default=0.02,
+                         help="min predicted demand share a (region, dataset) "
+                              "needs to earn a pre-placed copy")
+    p_serve.add_argument("--predict-max-gb", type=float, default=25.0,
+                         help="per-cycle pre-placement volume cap (GB)")
+    p_serve.add_argument("--predict-estimator", choices=["ewma", "zipf"],
+                         default="ewma",
+                         help="demand estimator over the sliding window")
     p_serve.add_argument("--duration", type=float, default=None,
                          help="stop after this many seconds (default: run "
                          "until a shutdown request or Ctrl-C)")
@@ -260,6 +290,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_load.add_argument("--rotate", type=int, default=0,
                         help="rotate Zipf dataset popularity by this many "
                              "positions (synthesises demand drift)")
+    p_load.add_argument("--trace-mode", default="stationary",
+                        choices=["stationary", "burst", "diurnal",
+                                 "flash-crowd"],
+                        help="popularity trajectory over the stream "
+                             "(recurring bursts, slow rotation, or a "
+                             "flash crowd on a cold dataset)")
+    p_load.add_argument("--trace-period", type=int, default=120,
+                        help="phase length (draws) of the non-stationary "
+                             "trace modes")
     p_load.add_argument("--status", action="store_true",
                         help="fetch and render the gateway's status "
                              "(screen-stage timings, latency histogram) "
@@ -348,7 +387,12 @@ def _cmd_testbed(args: argparse.Namespace) -> int:
 
 def _cmd_online(args: argparse.Namespace) -> int:
     instance = make_instance(TwoTierConfig(), PaperDefaults(), args.seed, 0)
-    rule = appro_rule if args.rule == "appro" else greedy_rule
+    rules = {
+        "appro": appro_rule,
+        "greedy": greedy_rule,
+        "greedy-ship": ship_greedy_rule,
+    }
+    rule = rules[args.rule]
     faults = None
     if args.faults:
         faults = FaultConfig(
@@ -412,6 +456,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import (
         AdmissionGateway,
         GatewayConfig,
+        PreplacerConfig,
         ReoptimizerConfig,
         maybe_install_uvloop,
     )
@@ -437,6 +482,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print("--reopt is incompatible with shard-scoped serving",
                   file=sys.stderr)
             return 2
+        if args.predict:
+            print("--predict is incompatible with shard-scoped serving",
+                  file=sys.stderr)
+            return 2
         plan_instance = make_instance(TwoTierConfig(), PaperDefaults(), args.seed, 0)
         try:
             plan = ShardPlan.build(plan_instance, args.shards)
@@ -457,6 +506,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             drift_threshold=args.reopt_drift,
             planner=args.reopt_planner,
         )
+    predict = None
+    if args.predict:
+        predict = PreplacerConfig(
+            interval_s=args.predict_interval,
+            window=args.predict_window,
+            min_window=min(16, args.predict_window),
+            threshold=args.predict_threshold,
+            max_preplace_gb=args.predict_max_gb,
+            estimator=args.predict_estimator,
+        )
     instance = make_instance(TwoTierConfig(), PaperDefaults(), args.seed, 0)
     gateway = AdmissionGateway(
         instance,
@@ -472,6 +531,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             checkpoint_path=args.checkpoint,
             checkpoint_interval_s=args.checkpoint_interval,
             reopt=reopt,
+            predict=predict,
             shard_nodes=shard_nodes,
             shard_id=shard_id,
             reserve_ttl_s=args.reserve_ttl,
@@ -517,6 +577,9 @@ def _cmd_serve_sharded(args: argparse.Namespace) -> int:
 
     if args.reopt:
         print("--reopt is incompatible with --shards > 1", file=sys.stderr)
+        return 2
+    if args.predict:
+        print("--predict is incompatible with --shards > 1", file=sys.stderr)
         return 2
     instance = make_instance(TwoTierConfig(), PaperDefaults(), args.seed, 0)
     try:
@@ -636,7 +699,13 @@ def _cmd_load(args: argparse.Namespace) -> int:
     from repro.serve import GatewayClient, QueryFactory, run_closed_loop, run_open_loop
 
     instance = make_instance(TwoTierConfig(), PaperDefaults(), args.seed, 0)
-    factory = QueryFactory(instance, seed=args.load_seed, rotate=args.rotate)
+    factory = QueryFactory(
+        instance,
+        seed=args.load_seed,
+        rotate=args.rotate,
+        mode=args.trace_mode,
+        period=args.trace_period,
+    )
 
     async def run():
         if args.mode == "closed":

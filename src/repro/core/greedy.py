@@ -21,7 +21,7 @@ from repro.core.instance import ProblemInstance
 from repro.core.types import Assignment, PlacementSolution, Query
 from repro.obs import get_registry
 
-__all__ = ["GreedyS", "GreedyG"]
+__all__ = ["GreedyS", "GreedyG", "_ship_greedy_place_pair"]
 
 
 def _greedy_place_pair(
@@ -63,6 +63,68 @@ def _greedy_place_pair(
             state.compute_demand(query, dataset)
         ):
             return state.serve(query, dataset, node.node_id)
+    return None
+
+
+def _ship_greedy_place_pair(
+    state: ClusterState, query: Query, dataset_id: int
+) -> Assignment | None:
+    """The greedy walk with admission-time replication paying its freight.
+
+    :func:`_greedy_place_pair` materialises replicas for free — data
+    movement is instantaneous, so reacting to a demand burst costs
+    nothing.  This variant models the premise that motivates *proactive*
+    replication in the first place: serving a (query, dataset) pair at a
+    node **without** a copy first ships the dataset from its nearest live
+    holder, and that transfer time counts against the query's deadline.
+    Pre-placed copies (whose shipping happened ahead of demand) serve at
+    the bare analytic latency.
+
+    Two further differences from the paper-faithful walk, both following
+    from charging for placement: a fresh copy is only materialised at the
+    node that actually serves (no slot burning on failed probes), and the
+    walk prefers replica-holding nodes before paying to create new ones.
+    """
+    dataset = state.instance.dataset(dataset_id)
+    instance = state.instance
+    lat = pair_latency_vector(state, query, dataset)
+    node_index = instance.node_index
+    faulty = state.has_down_nodes
+    holders = [
+        v
+        for v in state.replicas.nodes(dataset_id)
+        if not faulty or state.is_up(v)
+    ]
+    nodes = sorted(
+        state.nodes.values(),
+        key=lambda n: (-n.available_ghz, n.node_id),
+    )
+    demand = state.compute_demand(query, dataset)
+    # Pass 1: existing live copies, no freight.
+    for node in nodes:
+        v = node.node_id
+        if v not in holders:
+            continue
+        if lat[node_index[v]] <= query.deadline_s and node.can_fit(demand):
+            return state.serve(query, dataset, v)
+    # Pass 2: ship a fresh copy where deadline minus freight still holds.
+    if not holders:
+        return None  # nothing live to clone from
+    for node in nodes:
+        v = node.node_id
+        if v in holders or (faulty and not state.is_up(v)):
+            continue
+        if not state.replicas.can_place(dataset_id, v):
+            continue
+        ship_s = dataset.volume_gb * min(
+            instance.paths.delay(h, v) for h in holders
+        )
+        if lat[node_index[v]] + ship_s > query.deadline_s:
+            continue
+        if not node.can_fit(demand):
+            continue
+        get_registry().inc("algo.greedy.replicas_placed")
+        return state.serve(query, dataset, v)
     return None
 
 

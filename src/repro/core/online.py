@@ -34,7 +34,7 @@ from dataclasses import dataclass
 from typing import Callable, Protocol
 
 from repro.cluster.state import ClusterState
-from repro.core.greedy import _greedy_place_pair
+from repro.core.greedy import _greedy_place_pair, _ship_greedy_place_pair
 from repro.core.instance import ProblemInstance
 from repro.core.primal_dual import PrimalDualConfig, _Kernel
 from repro.core.repair import best_failover_candidate
@@ -57,6 +57,7 @@ __all__ = [
     "OnlineSession",
     "appro_rule",
     "greedy_rule",
+    "ship_greedy_rule",
 ]
 
 
@@ -82,6 +83,14 @@ def greedy_rule(instance: ProblemInstance) -> PlacementRule:
     """The §4.1 greedy walk as an online rule."""
     del instance  # greedy needs no precomputation
     return _greedy_place_pair
+
+
+def ship_greedy_rule(instance: ProblemInstance) -> PlacementRule:
+    """The greedy walk with admission-time replication paying its
+    shipping latency against the deadline (see
+    :func:`repro.core.greedy._ship_greedy_place_pair`)."""
+    del instance  # needs no precomputation
+    return _ship_greedy_place_pair
 
 
 @dataclass(frozen=True)

@@ -23,11 +23,22 @@ from repro.core.feasibility import pair_latency_vector
 from repro.core.instance import ProblemInstance
 from repro.core.types import Assignment, PlacementSolution, Query
 
-__all__ = ["PopularityS", "PopularityG", "node_popularity"]
+__all__ = [
+    "PopularityS",
+    "PopularityG",
+    "ReplicaPopularityCounter",
+    "node_popularity",
+]
 
 
 def node_popularity(state: ClusterState) -> dict[int, float]:
-    """Replica share per node: replicas-on-node / total replicas."""
+    """Replica share per node: replicas-on-node / total replicas.
+
+    This is the naive full recompute — a scan of every dataset's replica
+    set.  The solvers below maintain the same map incrementally through
+    :class:`ReplicaPopularityCounter`; this function remains the
+    reference the parity suite pins the counter against.
+    """
     total = state.replicas.total_replicas()
     counts: dict[int, float] = {v: 0.0 for v in state.nodes}
     if total == 0:
@@ -38,20 +49,64 @@ def node_popularity(state: ClusterState) -> dict[int, float]:
     return {v: c / total for v, c in counts.items()}
 
 
+class ReplicaPopularityCounter:
+    """Incrementally maintained :func:`node_popularity`.
+
+    Recomputing popularity from scratch inside every ranked walk is
+    O(queries × datasets × replicas): the replica sets are rescanned for
+    each (query, dataset) pair even though at most *one* replica is
+    placed per pair.  The counter seeds itself from the state once and
+    is then bumped on each placement, keeping the map O(1) per step —
+    and bit-identical to the recompute, because the per-node shares are
+    produced by the same ``count / total`` division (pinned by
+    ``tests/core/test_baselines.py``).
+    """
+
+    __slots__ = ("_counts", "_total")
+
+    def __init__(self, state: ClusterState) -> None:
+        self._counts: dict[int, int] = {v: 0 for v in state.nodes}
+        self._total = 0
+        for d_id in state.instance.datasets:
+            for v in state.replicas.nodes(d_id):
+                self._counts[v] += 1
+                self._total += 1
+
+    def record_placement(self, node: int) -> None:
+        """Account one replica newly placed on ``node``."""
+        self._counts[node] += 1
+        self._total += 1
+
+    def popularity(self) -> dict[int, float]:
+        """The live replica-share map (same values as the recompute)."""
+        total = self._total
+        if total == 0:
+            return {v: 0.0 for v in self._counts}
+        return {v: c / total for v, c in self._counts.items()}
+
+
 def _popularity_place_pair(
-    state: ClusterState, query: Query, dataset_id: int
+    state: ClusterState,
+    query: Query,
+    dataset_id: int,
+    counter: ReplicaPopularityCounter | None = None,
 ) -> Assignment | None:
     """One popularity-guided step for a (query, dataset) pair.
 
     The deadline check consults the pair's latency vector, computed once
-    for the whole ranked walk instead of per node.
+    for the whole ranked walk instead of per node.  ``counter`` supplies
+    the incrementally maintained popularity map (and is told about the
+    placement this step makes); without one the map is recomputed naively
+    — the reference path the parity suite compares against.
     """
     dataset = state.instance.dataset(dataset_id)
     deadline_ok = (
         pair_latency_vector(state, query, dataset) <= query.deadline_s
     )
     node_index = state.instance.node_index
-    popularity = node_popularity(state)
+    popularity = (
+        counter.popularity() if counter is not None else node_popularity(state)
+    )
     ranked = sorted(
         state.nodes, key=lambda v: (-popularity[v], v)
     )
@@ -63,7 +118,10 @@ def _popularity_place_pair(
             continue
         if not state.nodes[v].can_fit(state.compute_demand(query, dataset)):
             continue
-        return state.serve(query, dataset, v)
+        assignment = state.serve(query, dataset, v)
+        if counter is not None and not has_replica:
+            counter.record_placement(v)
+        return assignment
     return None
 
 
@@ -75,9 +133,12 @@ class PopularityS(PlacementAlgorithm):
     def solve(self, instance: ProblemInstance) -> PlacementSolution:
         require_special_case(instance, self.name)
         state = ClusterState(instance)
+        counter = ReplicaPopularityCounter(state)
         builder = SolutionBuilder(instance, self.name)
         for query in instance.queries:
-            assignment = _popularity_place_pair(state, query, query.demanded[0])
+            assignment = _popularity_place_pair(
+                state, query, query.demanded[0], counter
+            )
             if assignment is None:
                 builder.reject(query.query_id)
             else:
@@ -98,12 +159,13 @@ class PopularityG(PlacementAlgorithm):
 
     def solve(self, instance: ProblemInstance) -> PlacementSolution:
         state = ClusterState(instance)
+        counter = ReplicaPopularityCounter(state)
         builder = SolutionBuilder(instance, self.name)
         for query in instance.queries:
             assignments: list[Assignment] = []
             failed = False
             for d_id in query.demanded:
-                a = _popularity_place_pair(state, query, d_id)
+                a = _popularity_place_pair(state, query, d_id, counter)
                 if a is None:
                     failed = True
                     break

@@ -19,6 +19,9 @@ Pieces
   its prefork worker pool.
 * :mod:`repro.serve.reoptimizer` — the live re-optimization daemon:
   bounded-churn replica migration against demand drift.
+* :mod:`repro.serve.preplacer` — the predictive pre-placement daemon:
+  add-only replica placement ahead of forecast demand
+  (:mod:`repro.workload.forecast`).
 * :mod:`repro.serve.client` — asyncio client + closed/open-loop load
   generators driven by the Zipf workload machinery.
 * :mod:`repro.serve.shard` — deterministic placement-node partitioning
@@ -42,6 +45,7 @@ from repro.serve.gateway import (
     GatewayThread,
     maybe_install_uvloop,
 )
+from repro.serve.preplacer import PreplaceReport, Preplacer, PreplacerConfig
 from repro.serve.protocol import ProtocolError, decode_message, encode_message
 from repro.serve.reoptimizer import CycleReport, Reoptimizer, ReoptimizerConfig
 from repro.serve.router import FrontRouter, RouterConfig, RouterThread
@@ -58,6 +62,9 @@ __all__ = [
     "GatewayClient",
     "LoadReport",
     "MicroBatcher",
+    "PreplaceReport",
+    "Preplacer",
+    "PreplacerConfig",
     "ProtocolError",
     "QueryFactory",
     "Reoptimizer",

@@ -30,7 +30,7 @@ from repro.core.instance import ProblemInstance
 from repro.core.types import Query
 from repro.io.serialize import query_to_dict
 from repro.util.rng import spawn_rng
-from repro.util.validation import check_positive
+from repro.util.validation import ValidationError, check_positive
 from repro.workload.params import PaperDefaults
 from repro.workload.trace import zipf_weights
 
@@ -43,6 +43,9 @@ __all__ = [
     "run_closed_loop",
     "run_open_loop",
 ]
+
+#: Popularity trajectories a :class:`QueryFactory` can follow.
+_TRACE_MODES = ("stationary", "burst", "diurnal", "flash-crowd")
 
 
 class GatewayClient:
@@ -223,6 +226,15 @@ class GatewayClient:
                 f"migrated_gb={fmt_f(reopt.get('migrated_gb', 0.0))} "
                 f"reclaimed_gb={fmt_f(reopt.get('reclaimed_gain_gb', 0.0))}"
             )
+        predict = payload.get("predict")
+        if isinstance(predict, dict):
+            lines.append(
+                f"predict: cycles={fmt_count(predict.get('cycles', 0))} "
+                f"estimator={predict.get('estimator', '-')} "
+                f"window={fmt_count(predict.get('window', 0))} "
+                f"preplaced_steps={fmt_count(predict.get('preplaced_steps', 0))} "
+                f"preplaced_gb={fmt_f(predict.get('preplaced_gb', 0.0))}"
+            )
         return "\n".join(lines)
 
     async def snapshot(self) -> dict[str, Any]:
@@ -232,6 +244,10 @@ class GatewayClient:
     async def reopt(self, *, force: bool = False) -> dict[str, Any]:
         """Ask the gateway to run one re-optimization cycle now."""
         return await self.request("reopt", force=force)
+
+    async def predict(self, *, force: bool = False) -> dict[str, Any]:
+        """Ask the gateway to run one predictive pre-placement cycle now."""
+        return await self.request("predict", force=force)
 
     async def reserve(
         self, reservation_id: str, query: Query, dataset_ids: list[int]
@@ -293,6 +309,30 @@ class QueryFactory:
         same query *shapes* over drifted popularity — the knob the
         re-optimizer bench and the drifting-load CLI use to synthesise
         controlled demand drift.
+    mode:
+        Popularity *trajectory* over the stream (``"stationary"``, the
+        default, keeps the draw-for-draw behaviour of older factories):
+
+        * ``"burst"`` — every other ``period``-draw phase, one rotating
+          dataset surges to ``surge ×`` the hottest base weight, then
+          demand snaps back — recurring hot spots with a cooldown.
+        * ``"diurnal"`` — the weight vector rotates one full turn every
+          ``2 × period`` draws, a smooth hot-set drift standing in for
+          the trace's hour-of-day profile.
+        * ``"flash-crowd"`` — stationary until draw ``period``, then the
+          *coldest* dataset ramps linearly over ``period // 2`` draws to
+          85% of all demand and stays there — the paper's viral-asset
+          scenario.
+
+        Only the weight vector varies with the draw index; each mode is
+        itself fully deterministic for a seed, and a non-stationary
+        factory emits draw-for-draw the stationary stream until its
+        first weight change (e.g. flash-crowd before ``period``).
+    period:
+        Phase length (draws) of the non-stationary modes.
+    surge:
+        Burst-mode boost: the hot dataset's weight is raised to
+        ``surge × max(base weights)`` before renormalising.
     """
 
     def __init__(
@@ -303,19 +343,55 @@ class QueryFactory:
         params: PaperDefaults | None = None,
         zipf_exponent: float = 1.2,
         rotate: int = 0,
+        mode: str = "stationary",
+        period: int = 120,
+        surge: float = 6.0,
     ) -> None:
+        if mode not in _TRACE_MODES:
+            raise ValidationError(
+                f"mode must be one of {_TRACE_MODES}, got {mode!r}"
+            )
+        check_positive("period", period)
+        check_positive("surge", surge)
         self.instance = instance
         self.params = params or PaperDefaults()
+        self.mode = mode
+        self.period = period
+        self.surge = surge
         self._rng = spawn_rng(seed, "serve-load")
         self._dataset_ids = sorted(instance.datasets)
         self._weights = np.roll(
             zipf_weights(len(self._dataset_ids), zipf_exponent),
             rotate % max(1, len(self._dataset_ids)),
         )
+        self._flash_target = int(np.argmin(self._weights))
         self._next_id = 0
         topo = instance.topology
         self._cloudlets = list(topo.cloudlets)
         self._data_centers = list(topo.data_centers)
+
+    def _weights_at(self, i: int) -> np.ndarray:
+        """Popularity vector governing draw ``i`` under the trace mode."""
+        base, n = self._weights, len(self._weights)
+        if self.mode == "burst":
+            phase = i // self.period
+            if phase % 2 == 0:
+                return base
+            hot = (n // 2 + 5 * (phase // 2)) % n
+            w = base.copy()
+            w[hot] = self.surge * base.max()
+            return w / w.sum()
+        if self.mode == "diurnal":
+            shift = (i * n) // (2 * self.period) % n
+            return np.roll(base, shift)
+        # flash-crowd
+        if i < self.period:
+            return base
+        ramp = max(1, self.period // 2)
+        gamma = 0.85 * min(1.0, (i - self.period) / ramp)
+        w = (1.0 - gamma) * base
+        w[self._flash_target] += gamma
+        return w / w.sum()
 
     def _draw_home(self) -> int:
         params, rng = self.params, self._rng
@@ -332,10 +408,15 @@ class QueryFactory:
         high = min(high, len(self._dataset_ids))
         low = min(low, high)
         count = int(rng.integers(low, high + 1))
+        weights = (
+            self._weights
+            if self.mode == "stationary"
+            else self._weights_at(self._next_id)
+        )
         demanded = tuple(
             int(self._dataset_ids[i])
             for i in rng.choice(
-                len(self._dataset_ids), size=count, replace=False, p=self._weights
+                len(self._dataset_ids), size=count, replace=False, p=weights
             )
         )
         selectivity = tuple(

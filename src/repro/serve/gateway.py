@@ -51,7 +51,12 @@ import numpy as np
 from repro.cluster.node import CapacityError, _EPS
 from repro.cluster.state import ClusterState, Reservation
 from repro.core.instance import ProblemInstance
-from repro.core.online import PlacementRule, appro_rule, greedy_rule
+from repro.core.online import (
+    PlacementRule,
+    appro_rule,
+    greedy_rule,
+    ship_greedy_rule,
+)
 from repro.core.types import Assignment, Query
 from repro.io.serialize import atomic_write_text, state_from_dict, state_to_dict
 from repro.obs import get_registry
@@ -65,6 +70,7 @@ from repro.serve.protocol import (
     error_response,
     parse_submit_query,
 )
+from repro.serve.preplacer import Preplacer, PreplacerConfig
 from repro.serve.reoptimizer import Reoptimizer, ReoptimizerConfig
 from repro.serve.screenpool import (
     ScreenPool,
@@ -162,6 +168,7 @@ def _histogram_quantile(
 _RULES: dict[str, Callable[[ProblemInstance], PlacementRule]] = {
     "appro": appro_rule,
     "greedy": greedy_rule,
+    "greedy-ship": ship_greedy_rule,
 }
 
 
@@ -175,7 +182,10 @@ class GatewayConfig:
         Bind address; port 0 lets the OS pick (read
         :attr:`AdmissionGateway.address` after start).
     rule:
-        Placement rule: ``"appro"`` (primal-dual kernel) or ``"greedy"``.
+        Placement rule: ``"appro"`` (primal-dual kernel), ``"greedy"``,
+        or ``"greedy-ship"`` (greedy with admission-time replication
+        paying its shipping latency against the deadline — the rule
+        under which proactive pre-placement pays off).
     max_batch, max_wait_ms:
         Micro-batch flush thresholds.  ``max_batch=1`` disables batching
         — the one-at-a-time baseline.  ``max_wait_ms=0`` (default)
@@ -203,6 +213,14 @@ class GatewayConfig:
         (:class:`~repro.serve.reoptimizer.ReoptimizerConfig`); ``None``
         (the default) disables the daemon entirely — the gateway then
         behaves byte-for-byte like the pre-re-optimizer service.
+    predict:
+        Predictive pre-placement daemon config
+        (:class:`~repro.serve.preplacer.PreplacerConfig`); ``None`` (the
+        default) disables the daemon entirely — the gateway then behaves
+        byte-for-byte like the pre-predictor service.  Independent of
+        ``reopt``: the predictor adds copies ahead of forecast demand,
+        the re-optimizer migrates them once drift is a fact; both share
+        the transactional step machinery and may run together.
     screen_engine:
         Batch feasibility screen implementation: ``"batch"`` (default)
         runs the stacked screening kernel of
@@ -252,6 +270,7 @@ class GatewayConfig:
     checkpoint_interval_s: float = 5.0
     recovery_hold_s: float = 1.0
     reopt: ReoptimizerConfig | None = None
+    predict: PreplacerConfig | None = None
     screen_engine: str = "batch"
     screen_workers: int = 1
     use_uvloop: bool = False
@@ -290,6 +309,12 @@ class GatewayConfig:
             raise ValidationError(
                 "re-optimization on a shard-scoped gateway is not supported "
                 "(the migration planner assumes whole-cluster replica "
+                "authority); run the daemon on an unsharded deployment"
+            )
+        if self.predict is not None and self.shard_nodes is not None:
+            raise ValidationError(
+                "predictive pre-placement on a shard-scoped gateway is not "
+                "supported (the planner assumes whole-cluster replica "
                 "authority); run the daemon on an unsharded deployment"
             )
 
@@ -397,6 +422,11 @@ class AdmissionGateway:
             if self.config.reopt is not None
             else None
         )
+        self.preplacer: Preplacer | None = (
+            Preplacer(self, self.config.predict)
+            if self.config.predict is not None
+            else None
+        )
         if self.config.checkpoint_path is not None:
             path = Path(self.config.checkpoint_path)
             if path.exists():
@@ -502,6 +532,8 @@ class AdmissionGateway:
             self._tasks.append(asyncio.create_task(self._checkpoint_loop()))
         if self.reoptimizer is not None:
             self._tasks.append(asyncio.create_task(self.reoptimizer.run()))
+        if self.preplacer is not None:
+            self._tasks.append(asyncio.create_task(self.preplacer.run()))
 
     async def stop(self) -> None:
         """Checkpoint (when configured), stop accepting, cancel workers."""
@@ -1022,6 +1054,8 @@ class AdmissionGateway:
             for pending, prefilter_ok in zip(batch, feasible):
                 if self.reoptimizer is not None:
                     self.reoptimizer.observe(pending.query)
+                if self.preplacer is not None:
+                    self.preplacer.observe(pending.query)
                 if not prefilter_ok:
                     response = self._rejected_response()
                 else:
@@ -1188,6 +1222,18 @@ class AdmissionGateway:
                 await respond(
                     {"id": request_id, "ok": True, **report.to_dict()}
                 )
+            elif op == "predict":
+                if self.preplacer is None:
+                    await respond(
+                        error_response(request_id, "predictor not enabled")
+                    )
+                    return
+                report = await self.preplacer.run_cycle(
+                    force=bool(request.get("force", False))
+                )
+                await respond(
+                    {"id": request_id, "ok": True, **report.to_dict()}
+                )
             elif op == "reserve":
                 query = parse_submit_query(request)
                 reservation_id = request.get("reservation_id")
@@ -1300,6 +1346,8 @@ class AdmissionGateway:
             }
         if self.reoptimizer is not None:
             payload["reopt"] = self.reoptimizer.status()
+        if self.preplacer is not None:
+            payload["predict"] = self.preplacer.status()
         return payload
 
 

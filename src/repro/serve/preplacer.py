@@ -1,0 +1,495 @@
+"""Predictive pre-placement: replica adds ahead of forecast demand.
+
+The re-optimizer (:mod:`repro.serve.reoptimizer`) reacts to drift that
+has already happened; this daemon closes the *proactive* half of the
+paper's premise.  The gateway feeds every batched submission into a
+per-(region, dataset) :class:`~repro.workload.forecast.DemandForecaster`;
+a background cycle turns the forecast into a small set of **add-only**
+replica placements near the regions whose demand is rising — before the
+burst arrives and the admission path has to scramble.
+
+Execution deliberately reuses the re-optimizer's machinery end to end:
+each pre-placement is a :class:`~repro.core.migration.MigrationStep`
+(pure add) applied through :func:`~repro.serve.reoptimizer.apply_step` —
+one :meth:`~repro.cluster.state.ClusterState.transaction` per step,
+re-validated against live state at apply time, invariant-checked before
+commit, rolled back individually on violation, with the same skip
+reasons — and steps interleave with admission via event-loop yields, so
+the accept loop never pauses.
+
+Three guards bound the churn:
+
+* ``max_preplace_gb`` caps the volume shipped per cycle (excess
+  candidates are *deferred* to a later cycle, not dropped);
+* ``max_adds_per_dataset`` caps copies added per dataset per cycle;
+* ``slot_slack`` replica slots per dataset are always left free for the
+  admission path — prediction must never exhaust the ``K`` bound that
+  reactive placement needs as its escape hatch.
+
+A gateway with the predictor *disabled* is byte-identical to a bare one
+(responses and checkpoints), and an enabled daemon whose window has not
+filled — or whose forecast crosses no threshold — touches nothing:
+observation mutates only the forecaster, never cluster state (pinned by
+``tests/serve/test_preplacer.py``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.cluster.state import ClusterState
+from repro.core.instance import ProblemInstance
+from repro.core.migration import MigrationStep
+from repro.core.types import Assignment, Query
+from repro.obs import get_registry
+from repro.serve.reoptimizer import _seeded_state, apply_step
+from repro.util.validation import (
+    ValidationError,
+    check_non_negative,
+    check_positive,
+)
+from repro.workload.forecast import DemandForecaster, ForecastConfig, region_labels
+
+__all__ = [
+    "PreplaceReport",
+    "Preplacer",
+    "PreplacerConfig",
+    "plan_preplacements",
+]
+
+#: Selectivity the planner's probe latencies assume (midpoint of the
+#: paper's range).  Pre-placement only needs a *ranking* of candidate
+#: nodes per (region, dataset); the admission path re-checks real
+#: deadlines per query, so the probe constant never decides feasibility.
+_PROBE_ALPHA = 0.7
+
+
+@dataclass(frozen=True)
+class PreplacerConfig:
+    """Predictive pre-placement daemon tuning knobs.
+
+    Attributes
+    ----------
+    interval_s:
+        Period of the background cycle loop.
+    window:
+        Sliding demand window in observations (query, dataset pairs);
+        internally bucketed into ``num_buckets`` forecast buckets.
+    min_window:
+        Cycles observe-only until this many observations accumulate.
+    num_buckets:
+        Forecast buckets the window is divided into.
+    alpha:
+        EWMA smoothing weight of the newest bucket.
+    estimator:
+        ``"ewma"`` or ``"zipf"``
+        (:class:`~repro.workload.forecast.ForecastConfig`).
+    threshold:
+        Minimum predicted demand *share* (of total forecast demand) a
+        (region, dataset) cell needs before it earns a pre-placed copy.
+    improvement:
+        A candidate node must beat the best live replica's probe latency
+        by at least this factor (``lat < improvement × current_best``);
+        1.0 demands any strict improvement.
+    max_preplace_gb:
+        Churn cap: total volume pre-placed per cycle.
+    max_adds_per_dataset:
+        Copies added per dataset per cycle.
+    slot_slack:
+        Replica slots per dataset always left to the admission path.
+    history:
+        Cycle reports retained for the status payload.
+    """
+
+    interval_s: float = 5.0
+    window: int = 256
+    min_window: int = 16
+    num_buckets: int = 8
+    alpha: float = 0.5
+    estimator: str = "ewma"
+    threshold: float = 0.02
+    improvement: float = 1.0
+    max_preplace_gb: float = 25.0
+    max_adds_per_dataset: int = 1
+    slot_slack: int = 1
+    history: int = 32
+
+    def __post_init__(self) -> None:
+        check_positive("interval_s", self.interval_s)
+        check_positive("window", self.window)
+        check_positive("min_window", self.min_window)
+        if self.min_window > self.window:
+            raise ValidationError(
+                f"min_window {self.min_window} exceeds window {self.window}"
+            )
+        check_positive("num_buckets", self.num_buckets)
+        if not 0.0 <= self.threshold <= 1.0:
+            raise ValidationError(
+                f"threshold must be in [0, 1], got {self.threshold}"
+            )
+        if self.improvement <= 0.0:
+            raise ValidationError(
+                f"improvement must be positive, got {self.improvement}"
+            )
+        check_non_negative("max_preplace_gb", self.max_preplace_gb)
+        check_positive("max_adds_per_dataset", self.max_adds_per_dataset)
+        check_non_negative("slot_slack", self.slot_slack)
+        check_positive("history", self.history)
+        # alpha / estimator are validated by ForecastConfig.
+        self.forecast_config()
+
+    def forecast_config(self) -> ForecastConfig:
+        """The :class:`ForecastConfig` this window shape induces."""
+        return ForecastConfig(
+            bucket=max(1, self.window // self.num_buckets),
+            num_buckets=self.num_buckets,
+            alpha=self.alpha,
+            estimator=self.estimator,
+        )
+
+
+@dataclass(frozen=True)
+class PreplaceReport:
+    """Outcome of one pre-placement cycle.
+
+    ``reason`` says why a cycle placed nothing (``""`` when it did):
+    ``"window-too-small"``, ``"no-demand"`` (an all-zero forecast), or
+    ``"no-candidates"`` (every cell below threshold, already covered, or
+    out of slots).
+    """
+
+    cycle: int
+    observed: int
+    reason: str = ""
+    demand_total: float = 0.0
+    planned: int = 0
+    applied: int = 0
+    rolled_back: int = 0
+    skipped: int = 0
+    deferred: int = 0
+    preplaced_gb: float = 0.0
+    ship_cost_s: float = 0.0
+    duration_s: float = 0.0
+
+    @property
+    def preplaced(self) -> bool:
+        """Whether any step actually changed the replica map."""
+        return self.applied > 0
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form (the ``predict`` op's response payload)."""
+        payload = dataclasses.asdict(self)
+        payload["preplaced"] = self.preplaced
+        return payload
+
+
+# -- planning (synchronous, side-effect-free on live state) ------------------
+
+
+def plan_preplacements(
+    instance: ProblemInstance,
+    regions: Sequence[str],
+    anchors: Sequence[int],
+    predicted: np.ndarray,
+    replica_map: Mapping[int, Sequence[int]],
+    down_nodes: Sequence[int],
+    config: PreplacerConfig | None = None,
+) -> tuple[list[MigrationStep], dict[str, Any]]:
+    """Convert one forecast into bounded-churn add-only migration steps.
+
+    ``predicted[r, n]`` is the forecast demand of dataset
+    ``sorted(instance.datasets)[n]`` from region ``regions[r]``, whose
+    representative (lowest-id) node is ``anchors[r]``.  Pure with respect
+    to live state — candidate checks run on a throwaway seeded state —
+    so it can be tested offline and called mid-serving alike.
+
+    Candidate cells are visited in descending predicted-share order
+    (ties by region then dataset index, deterministic).  A cell earns an
+    add when its share clears ``config.threshold``, the dataset has more
+    than ``slot_slack`` free replica slots, and some live node improves
+    on the best current copy's probe latency from the region's anchor.
+
+    Returns the (possibly empty) step list plus an info dict with
+    ``reason`` (non-empty when the list is empty), ``demand_total``, and
+    ``deferred`` (candidates beyond the churn cap, left for later).
+    """
+    config = config or PreplacerConfig()
+    info: dict[str, Any] = {"reason": "", "demand_total": 0.0, "deferred": 0}
+    predicted = np.asarray(predicted, dtype=np.float64)
+    dataset_ids = sorted(instance.datasets)
+    if predicted.shape != (len(regions), len(dataset_ids)):
+        raise ValidationError(
+            f"predicted shape {predicted.shape} does not match "
+            f"({len(regions)}, {len(dataset_ids)})"
+        )
+    total = float(predicted.sum())
+    info["demand_total"] = total
+    if total <= 0.0:
+        info["reason"] = "no-demand"
+        return [], info
+    share = predicted / total
+
+    state = _seeded_state(instance, replica_map, down_nodes)
+    node_index = instance.node_index
+    placement = instance.placement_nodes
+    up = state.up_mask()
+
+    # Candidate (region, dataset) cells above threshold, hottest first;
+    # ties resolved by (region index, dataset index) so plans are
+    # deterministic for a given forecast.
+    rows, cols = np.nonzero(share >= config.threshold)
+    order = np.lexsort((cols, rows, -share[rows, cols]))
+    cells = list(zip(rows[order].tolist(), cols[order].tolist()))
+    if not cells:
+        info["reason"] = "no-candidates"
+        return [], info
+
+    steps: list[MigrationStep] = []
+    adds_per_dataset: dict[int, int] = {}
+    shipped_gb = 0.0
+    deferred = 0
+    for r, n in cells:
+        d_id = dataset_ids[n]
+        if adds_per_dataset.get(d_id, 0) >= config.max_adds_per_dataset:
+            continue
+        if state.replicas.remaining_slots(d_id) <= config.slot_slack:
+            continue
+        dataset = instance.dataset(d_id)
+        anchor = anchors[r]
+        # Probe latency of serving this dataset toward the region's
+        # anchor, per placement node (same analytic shape as admission's
+        # pair latency, at the canonical probe selectivity).
+        home_vec = instance.home_delay_vectors.get(anchor)
+        if home_vec is None:
+            home_vec = instance.paths.placement_delays_to(anchor)
+        lat = dataset.volume_gb * (
+            instance.proc_delays + _PROBE_ALPHA * home_vec
+        )
+        holders = [v for v in state.replicas.nodes(d_id) if state.is_up(v)]
+        if holders:
+            current_best = min(lat[node_index[v]] for v in holders)
+        else:
+            current_best = float("inf")
+        best_v: int | None = None
+        best_lat = current_best * config.improvement
+        for i, v in enumerate(placement):
+            if not up[i] or state.replicas.has(d_id, v):
+                continue
+            if lat[i] < best_lat:
+                best_lat = lat[i]
+                best_v = v
+        if best_v is None:
+            continue
+        if shipped_gb + dataset.volume_gb > config.max_preplace_gb:
+            deferred += 1
+            continue
+        if holders:
+            ship_from = min(
+                holders, key=lambda v: instance.paths.delay(v, best_v)
+            )
+            ship_cost = dataset.volume_gb * instance.paths.delay(
+                ship_from, best_v
+            )
+        else:
+            ship_from, ship_cost = None, 0.0
+        steps.append(
+            MigrationStep(
+                dataset_id=d_id,
+                add_node=best_v,
+                drop_node=None,
+                volume_gb=dataset.volume_gb,
+                ship_from=ship_from,
+                ship_cost_s=ship_cost,
+            )
+        )
+        state.replicas.place(d_id, best_v)
+        adds_per_dataset[d_id] = adds_per_dataset.get(d_id, 0) + 1
+        shipped_gb += dataset.volume_gb
+    info["deferred"] = deferred
+    if not steps:
+        info["reason"] = "no-candidates"
+    return steps, info
+
+
+# -- the daemon --------------------------------------------------------------
+
+
+class Preplacer:
+    """Background predictive pre-placement daemon bound to one gateway.
+
+    The gateway calls :meth:`observe` per batched submission and spawns
+    :meth:`run` next to its admission worker; everything else is
+    internal.  ``gateway`` is duck-typed: the daemon only reads
+    ``instance``, ``state``, and ``_inflight`` — the same surface the
+    re-optimizer uses.
+    """
+
+    def __init__(self, gateway: Any, config: PreplacerConfig | None = None) -> None:
+        self.gateway = gateway
+        self.config = config or PreplacerConfig()
+        instance = gateway.instance
+        labels = region_labels(instance.topology)
+        # Region roster in first-seen node-id order; the anchor of a
+        # region is its lowest node id (== first seen, since node ids
+        # are dense and ascending in the spec roster).
+        regions: list[str] = []
+        anchors: list[int] = []
+        seen: dict[str, int] = {}
+        for node_id in sorted(labels):
+            label = labels[node_id]
+            if label not in seen:
+                seen[label] = len(regions)
+                regions.append(label)
+                anchors.append(node_id)
+        self._regions = tuple(regions)
+        self._anchors = tuple(anchors)
+        self._node_region = {v: labels[v] for v in labels}
+        self._dataset_ids = tuple(sorted(instance.datasets))
+        self._dataset_index = {d: i for i, d in enumerate(self._dataset_ids)}
+        self.forecaster = DemandForecaster(
+            self._regions, len(self._dataset_ids), self.config.forecast_config()
+        )
+        self._history: deque[PreplaceReport] = deque(maxlen=self.config.history)
+        self._cycles = 0
+        self._preplaced_steps = 0
+        self._preplaced_gb = 0.0
+        self._lock = asyncio.Lock()
+
+    # -- observation -------------------------------------------------------
+
+    def observe(self, query: Query) -> None:
+        """Feed one batched submission into the demand forecaster."""
+        region = self._node_region.get(query.home_node)
+        if region is None:
+            return
+        for d_id in query.demanded:
+            idx = self._dataset_index.get(d_id)
+            if idx is not None:
+                self.forecaster.observe(region, idx)
+
+    def _inflight_assignments(self) -> tuple[Assignment, ...]:
+        return tuple(
+            a for group in self.gateway._inflight.values() for a in group
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def run(self) -> None:
+        """Cycle forever (the gateway cancels this task on stop)."""
+        obs = get_registry()
+        while True:
+            await asyncio.sleep(self.config.interval_s)
+            try:
+                await self.run_cycle()
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                # A forecasting failure must never take the gateway
+                # down; the next cycle retries from fresh state.
+                obs.inc("serve.predict.errors")
+
+    async def run_cycle(self, *, force: bool = False) -> PreplaceReport:
+        """Run one cycle now; returns its report.
+
+        ``force`` (the ``predict`` protocol op's behaviour) relaxes the
+        ``min_window`` gate to a single observation — the threshold,
+        improvement, slot-slack, and churn guards still apply, so even a
+        forced cycle never places a copy no forecast supports.
+        """
+        async with self._lock:
+            return await self._cycle(force)
+
+    async def _cycle(self, force: bool) -> PreplaceReport:
+        started = time.perf_counter()
+        self._cycles += 1
+        config = self.config
+        observed = self.forecaster.observed
+        if observed < (1 if force else config.min_window):
+            return self._finish(
+                PreplaceReport(
+                    cycle=self._cycles,
+                    observed=observed,
+                    reason="window-too-small",
+                    duration_s=time.perf_counter() - started,
+                )
+            )
+        predicted = self.forecaster.forecast()
+        state = self.gateway.state
+        steps, info = plan_preplacements(
+            self.gateway.instance,
+            self._regions,
+            self._anchors,
+            predicted,
+            state.replicas.replica_map(),
+            sorted(state.down_nodes()),
+            config,
+        )
+        applied = rolled_back = skipped = 0
+        preplaced_gb = ship_cost_s = 0.0
+        for step in steps:
+            outcome = apply_step(state, step, self._inflight_assignments())
+            if outcome == "applied":
+                applied += 1
+                preplaced_gb += step.volume_gb
+                ship_cost_s += step.ship_cost_s
+            elif outcome == "rolled-back":
+                rolled_back += 1
+            else:
+                skipped += 1
+            # Yield between steps: admissions interleave with the plan.
+            await asyncio.sleep(0)
+        self._preplaced_steps += applied
+        self._preplaced_gb += preplaced_gb
+        return self._finish(
+            PreplaceReport(
+                cycle=self._cycles,
+                observed=observed,
+                reason=info["reason"],
+                demand_total=info["demand_total"],
+                planned=len(steps),
+                applied=applied,
+                rolled_back=rolled_back,
+                skipped=skipped,
+                deferred=info["deferred"],
+                preplaced_gb=preplaced_gb,
+                ship_cost_s=ship_cost_s,
+                duration_s=time.perf_counter() - started,
+            )
+        )
+
+    def _finish(self, report: PreplaceReport) -> PreplaceReport:
+        self._history.append(report)
+        obs = get_registry()
+        obs.inc("serve.predict.cycles")
+        obs.observe("serve.predict.cycle_s", report.duration_s)
+        if report.planned:
+            obs.inc("serve.predict.steps_applied", report.applied)
+            obs.inc("serve.predict.steps_rolled_back", report.rolled_back)
+            obs.inc("serve.predict.steps_skipped", report.skipped)
+            obs.inc("serve.predict.steps_deferred", report.deferred)
+            obs.inc("serve.predict.preplaced_gb", report.preplaced_gb)
+        obs.set_gauge("serve.predict.window", self.forecaster.window_observed)
+        return report
+
+    # -- introspection -----------------------------------------------------
+
+    def status(self) -> dict[str, Any]:
+        """Daemon health (the ``predict`` section of the status payload)."""
+        last = self._history[-1] if self._history else None
+        return {
+            "cycles": self._cycles,
+            "observed": self.forecaster.observed,
+            "window": self.forecaster.window_observed,
+            "regions": len(self._regions),
+            "estimator": self.config.estimator,
+            "preplaced_steps": self._preplaced_steps,
+            "preplaced_gb": self._preplaced_gb,
+            "last_cycle": last.to_dict() if last is not None else None,
+        }

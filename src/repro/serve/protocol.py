@@ -19,6 +19,12 @@ Requests
     (:meth:`repro.serve.reoptimizer.CycleReport.to_dict`).  ``force``
     (optional, default false) skips the drift gate.  Errors when the
     gateway has no re-optimizer configured.
+``{"op": "predict", "id": 9, "force": true}``
+    Run one predictive pre-placement cycle now; responds with the cycle
+    report (:meth:`repro.serve.preplacer.PreplaceReport.to_dict`).
+    ``force`` (optional, default false) relaxes the minimum-window gate
+    to a single observation.  Errors when the gateway has no predictor
+    configured.
 ``{"op": "shutdown", "id": 5}``
     Checkpoint and stop the gateway.
 ``{"op": "reserve", "id": 6, "reservation_id": "r1", "query": {...},
@@ -77,7 +83,17 @@ PROTOCOL_VERSION = "repro/serve/v1"
 MAX_LINE_BYTES = 1 << 20
 
 #: Operations a request may carry.
-OPS = ("submit", "status", "snapshot", "reopt", "shutdown", "reserve", "commit", "abort")
+OPS = (
+    "submit",
+    "status",
+    "snapshot",
+    "reopt",
+    "predict",
+    "shutdown",
+    "reserve",
+    "commit",
+    "abort",
+)
 
 
 class ProtocolError(RuntimeError):

@@ -22,6 +22,15 @@ from repro.workload.trace import (
     generate_usage_trace,
     split_trace_by_time,
 )
+from repro.workload.forecast import (
+    DemandForecaster,
+    ForecastConfig,
+    ewma_forecast,
+    fit_zipf_exponent,
+    region_labels,
+    trace_window_counts,
+    zipf_weight_forecast,
+)
 from repro.workload.arrivals import poisson_arrivals, diurnal_arrivals
 from repro.workload.summary import InstanceProfile, profile_instance, render_profile
 from repro.workload.scenarios import (
@@ -56,6 +65,13 @@ __all__ = [
     "TraceConfig",
     "generate_usage_trace",
     "split_trace_by_time",
+    "DemandForecaster",
+    "ForecastConfig",
+    "ewma_forecast",
+    "fit_zipf_exponent",
+    "region_labels",
+    "trace_window_counts",
+    "zipf_weight_forecast",
     "AnalyticsQueryKind",
     "top_k_apps",
     "usage_by_hour",

@@ -1,0 +1,304 @@
+"""Demand forecasting over sliding usage windows (ROADMAP item 3).
+
+The paper's motivating asset is a 3M-user mobile-usage trace whose whole
+point is *proactive* replication: knowing where demand will be before it
+arrives.  This module supplies the forecasting half of that loop; the
+serving half (converting forecasts into replica pre-placements) lives in
+:mod:`repro.serve.preplacer`.
+
+Two estimators are provided, both operating on per-(region, dataset)
+counts bucketed over a sliding window:
+
+* **EWMA** — an exponentially weighted moving average across the window's
+  buckets; tracks smooth drift (diurnal rotation) and ramps (flash
+  crowds) with one knob.
+* **Windowed Zipf** — pools the window's counts per region, fits a Zipf
+  exponent to the ranked tail by log-log least squares, and redistributes
+  the EWMA-predicted regional demand along the fitted Zipf shape
+  (reusing the public :func:`~repro.workload.trace.zipf_weights`).  This
+  regularises sparse windows: a dataset seen twice in a thin sample gets
+  the weight its *rank* earns, not the noisy empirical ratio.
+
+Regions are label-based (``NodeSpec.region``) when the topology defines
+them, and degrade to per-node granularity otherwise (the two-tier
+generator leaves region labels empty — each home node then forecasts for
+itself, which is the finest spatial resolution available).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.topology.twotier import EdgeCloudTopology
+from repro.util.validation import (
+    ValidationError,
+    check_non_negative,
+    check_positive,
+)
+from repro.workload.trace import UsageTrace, zipf_weights
+
+__all__ = [
+    "DemandForecaster",
+    "ForecastConfig",
+    "ewma_forecast",
+    "fit_zipf_exponent",
+    "region_labels",
+    "trace_window_counts",
+    "zipf_weight_forecast",
+]
+
+_ESTIMATORS = ("ewma", "zipf")
+
+#: Fitted Zipf exponents are clipped into this range: below it the fit
+#: degenerates to uniform, above it to a delta — both outside anything
+#: the usage-trace generator (default 1.2) or the load factory produce.
+_EXPONENT_BOUNDS = (0.1, 4.0)
+
+
+@dataclass(frozen=True)
+class ForecastConfig:
+    """Sliding-window shape and estimator of a :class:`DemandForecaster`.
+
+    Attributes
+    ----------
+    bucket:
+        Observations folded into one window bucket before it closes.
+    num_buckets:
+        Closed buckets retained; ``bucket × num_buckets`` is the sliding
+        window the estimators see.
+    alpha:
+        EWMA smoothing weight of the newest bucket, in ``(0, 1]``.
+    estimator:
+        ``"ewma"`` or ``"zipf"`` (see the module docstring).
+    """
+
+    bucket: int = 32
+    num_buckets: int = 8
+    alpha: float = 0.5
+    estimator: str = "ewma"
+
+    def __post_init__(self) -> None:
+        check_positive("bucket", self.bucket)
+        check_positive("num_buckets", self.num_buckets)
+        if not 0.0 < self.alpha <= 1.0:
+            raise ValidationError(
+                f"alpha must be in (0, 1], got {self.alpha}"
+            )
+        if self.estimator not in _ESTIMATORS:
+            raise ValidationError(
+                f"estimator must be one of {_ESTIMATORS}, got {self.estimator!r}"
+            )
+
+
+def ewma_forecast(buckets: np.ndarray, alpha: float) -> np.ndarray:
+    """EWMA level after folding ``buckets`` oldest-first.
+
+    ``buckets`` stacks per-bucket counts along axis 0 (any trailing
+    shape); the returned level — the next-bucket prediction — has the
+    trailing shape.  A single bucket predicts itself.
+    """
+    stack = np.asarray(buckets, dtype=np.float64)
+    if stack.shape[0] == 0:
+        raise ValidationError("ewma_forecast needs at least one bucket")
+    level = stack[0]
+    for t in range(1, stack.shape[0]):
+        level = alpha * stack[t] + (1.0 - alpha) * level
+    return level
+
+
+def fit_zipf_exponent(counts: np.ndarray, default: float = 1.0) -> float:
+    """Zipf exponent of ranked ``counts`` by log-log least squares.
+
+    Counts are sorted descending; zero entries are outside the support
+    and are dropped before fitting.  With fewer than two positive ranks
+    (or a flat head) there is nothing to regress — ``default`` is
+    returned.  The fit is clipped to a sane range so a degenerate window
+    can never produce a delta or uniform forecast.
+    """
+    arr = np.asarray(counts, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValidationError(f"counts must be 1-D, got shape {arr.shape}")
+    if np.any(arr < 0):
+        raise ValidationError("counts must be non-negative")
+    ranked = np.sort(arr)[::-1]
+    ranked = ranked[ranked > 0]
+    if ranked.size < 2 or ranked[0] == ranked[-1]:
+        return float(default)
+    log_rank = np.log(np.arange(1, ranked.size + 1, dtype=np.float64))
+    log_count = np.log(ranked)
+    slope = np.polyfit(log_rank, log_count, 1)[0]
+    lo, hi = _EXPONENT_BOUNDS
+    return float(np.clip(-slope, lo, hi))
+
+
+def zipf_weight_forecast(
+    counts: np.ndarray, exponent: float | None = None
+) -> np.ndarray:
+    """Zipf-regularised popularity forecast over one window's counts.
+
+    The observed ranking is kept (ties broken by index, stable) but the
+    *weights* come from the public :func:`~repro.workload.trace.
+    zipf_weights` shape at the fitted (or given) exponent — the same
+    heavy-tailed family the trace generator and load factory draw from.
+    An all-zero window forecasts uniform.
+    """
+    arr = np.asarray(counts, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValidationError(f"counts must be 1-D, got shape {arr.shape}")
+    if np.any(arr < 0):
+        raise ValidationError("counts must be non-negative")
+    if arr.size == 0:
+        raise ValidationError("counts must be non-empty")
+    if arr.sum() <= 0:
+        return np.full(arr.size, 1.0 / arr.size)
+    if exponent is None:
+        exponent = fit_zipf_exponent(arr)
+    order = np.argsort(-arr, kind="stable")
+    out = np.empty(arr.size)
+    out[order] = zipf_weights(arr.size, exponent)
+    return out
+
+
+def region_labels(topology: EdgeCloudTopology) -> dict[int, str]:
+    """Region label per node: ``NodeSpec.region``, or per-node fallback.
+
+    Geo testbeds label their nodes (``"nyc"``); the two-tier generator
+    leaves labels empty, in which case every node is its own region
+    (``"n<id>"``) — the finest granularity a forecaster can use.
+    """
+    labels: dict[int, str] = {}
+    for spec in topology.nodes:
+        labels[spec.node_id] = spec.region or f"n{spec.node_id}"
+    return labels
+
+
+def trace_window_counts(
+    trace: UsageTrace, window_s: float, num_apps: int | None = None
+) -> np.ndarray:
+    """Per-window app-usage counts of a usage trace, shape ``[W, A]``.
+
+    Windows are consecutive ``window_s``-second spans from ``t = 0``.
+    Relies on the trace being time-sorted (the :class:`UsageTrace`
+    contract, enforced since the generator-side sort fix) — unsorted
+    timestamps would scatter one wall-clock window across many rows.
+    """
+    check_positive("window_s", window_s)
+    if num_apps is None:
+        num_apps = int(trace.app.max()) + 1 if len(trace) else 1
+    check_positive("num_apps", num_apps)
+    if len(trace) == 0:
+        return np.zeros((1, num_apps), dtype=np.int64)
+    check_non_negative("timestamp_s[0]", float(trace.timestamp_s[0]))
+    window = (trace.timestamp_s // window_s).astype(np.int64)
+    num_windows = int(window[-1]) + 1
+    flat = np.bincount(
+        window * num_apps + trace.app, minlength=num_windows * num_apps
+    )
+    return flat.reshape(num_windows, num_apps)
+
+
+class DemandForecaster:
+    """Sliding-window per-(region, dataset) demand counter + forecaster.
+
+    ``observe`` feeds one demand event (a submitted query demanding one
+    dataset from one region); every ``config.bucket`` observations the
+    current bucket closes and the oldest falls out of the window.  The
+    forecast is the estimator's predicted next-bucket count matrix,
+    shape ``[num_regions, num_datasets]``.
+    """
+
+    def __init__(
+        self,
+        regions: tuple[str, ...] | list[str],
+        num_datasets: int,
+        config: ForecastConfig | None = None,
+    ) -> None:
+        if not regions:
+            raise ValidationError("forecaster needs at least one region")
+        if len(set(regions)) != len(regions):
+            raise ValidationError("region labels must be unique")
+        check_positive("num_datasets", num_datasets)
+        self.config = config or ForecastConfig()
+        self.regions = tuple(regions)
+        self.num_datasets = num_datasets
+        self._region_index = {r: i for i, r in enumerate(self.regions)}
+        self._shape = (len(self.regions), num_datasets)
+        self._current = np.zeros(self._shape, dtype=np.float64)
+        self._current_count = 0
+        self._buckets: deque[np.ndarray] = deque(
+            maxlen=self.config.num_buckets
+        )
+        self._observed = 0
+
+    @property
+    def observed(self) -> int:
+        """Demand events seen since construction (never windowed away)."""
+        return self._observed
+
+    @property
+    def window_observed(self) -> int:
+        """Demand events currently inside the sliding window."""
+        return self._current_count + sum(
+            int(b.sum()) for b in self._buckets
+        )
+
+    def observe(self, region: str, dataset_index: int, weight: float = 1.0) -> None:
+        """Count one demand event; unknown regions are ignored.
+
+        (A query homed outside the forecaster's region roster — e.g. a
+        node added after construction — must not crash the serving path;
+        it simply contributes no signal.)
+        """
+        r = self._region_index.get(region)
+        if r is None:
+            return
+        if not 0 <= dataset_index < self.num_datasets:
+            raise ValidationError(
+                f"dataset_index {dataset_index} outside 0..{self.num_datasets - 1}"
+            )
+        self._current[r, dataset_index] += weight
+        self._current_count += 1
+        self._observed += 1
+        if self._current_count >= self.config.bucket:
+            self.roll()
+
+    def roll(self) -> None:
+        """Close the current bucket (no-op when it is empty)."""
+        if self._current_count == 0:
+            return
+        self._buckets.append(self._current)
+        self._current = np.zeros(self._shape, dtype=np.float64)
+        self._current_count = 0
+
+    def _window_stack(self) -> np.ndarray:
+        """Closed buckets plus the partial current one, oldest first."""
+        stack = list(self._buckets)
+        if self._current_count > 0:
+            stack.append(self._current)
+        if not stack:
+            stack = [np.zeros(self._shape, dtype=np.float64)]
+        return np.stack(stack)
+
+    def forecast(self) -> np.ndarray:
+        """Predicted next-bucket demand counts, shape ``[R, N]``.
+
+        ``"ewma"`` smooths each (region, dataset) cell independently.
+        ``"zipf"`` keeps the EWMA's predicted per-region *totals* but
+        redistributes each region's mass along the Zipf shape fitted to
+        its pooled window counts (see the module docstring).
+        """
+        stack = self._window_stack()
+        level = ewma_forecast(stack, self.config.alpha)
+        if self.config.estimator == "ewma":
+            return level
+        pooled = stack.sum(axis=0)
+        out = np.zeros(self._shape)
+        region_totals = level.sum(axis=1)
+        for r in range(self._shape[0]):
+            if region_totals[r] <= 0:
+                continue
+            out[r] = region_totals[r] * zipf_weight_forecast(pooled[r])
+        return out

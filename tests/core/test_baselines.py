@@ -13,8 +13,15 @@ from repro.core import (
     evaluate_solution,
     verify_solution,
 )
+from repro.core.base import SolutionBuilder, require_special_case
+from repro.core.greedy import _greedy_place_pair, _ship_greedy_place_pair
 from repro.core.graph_partition import partition_placement_nodes
-from repro.core.popularity import node_popularity
+from repro.core.popularity import (
+    ReplicaPopularityCounter,
+    _popularity_place_pair,
+    node_popularity,
+)
+from repro.core.types import Assignment
 from repro.util.validation import ValidationError
 
 
@@ -133,3 +140,189 @@ class TestPopularitySpecifics:
                 node_counts[v] = node_counts.get(v, 0) + 1
         top_share = max(node_counts.values()) / sum(node_counts.values())
         assert top_share > 1.5 / len(paper_instance.placement_nodes)
+
+
+def _solve_popularity_naive(instance, *, special: bool):
+    """The pre-counter Popularity solvers: full recompute per pair.
+
+    Byte-for-byte the solver loops of :class:`PopularityS` /
+    :class:`PopularityG` with ``counter=None`` — the reference path the
+    incremental :class:`ReplicaPopularityCounter` must match exactly.
+    """
+    name = "popularity-s" if special else "popularity-g"
+    if special:
+        require_special_case(instance, name)
+    state = ClusterState(instance)
+    builder = SolutionBuilder(instance, name)
+    for query in instance.queries:
+        if special:
+            assignment = _popularity_place_pair(state, query, query.demanded[0])
+            if assignment is None:
+                builder.reject(query.query_id)
+            else:
+                builder.admit(query.query_id, [assignment])
+            continue
+        assignments: list[Assignment] = []
+        failed = False
+        for d_id in query.demanded:
+            a = _popularity_place_pair(state, query, d_id)
+            if a is None:
+                failed = True
+                break
+            assignments.append(a)
+        if failed:
+            for a in assignments:
+                state.release(a)
+            builder.reject(query.query_id)
+        else:
+            builder.admit(query.query_id, assignments)
+    builder.extra("replicas_total", state.replicas.total_replicas())
+    return builder.build(state)
+
+
+class TestPopularityCounterParity:
+    """The incremental counter is bit-identical to the naive recompute."""
+
+    def test_counter_matches_recompute_under_placements(self, paper_instance):
+        state = ClusterState(paper_instance)
+        counter = ReplicaPopularityCounter(state)
+        assert counter.popularity() == node_popularity(state)
+        # Interleave placements with comparisons: shares and the solver's
+        # ranked order must agree exactly (floats included) every step.
+        placed = 0
+        for d_id, ds in sorted(paper_instance.datasets.items()):
+            for v in paper_instance.placement_nodes:
+                if placed >= 12:
+                    break
+                if state.replicas.has(d_id, v) or not state.replicas.can_place(d_id, v):
+                    continue
+                state.replicas.place(d_id, v)
+                counter.record_placement(v)
+                placed += 1
+                fast, naive = counter.popularity(), node_popularity(state)
+                assert fast == naive  # exact dict equality, no tolerance
+                rank_fast = sorted(state.nodes, key=lambda u: (-fast[u], u))
+                rank_naive = sorted(state.nodes, key=lambda u: (-naive[u], u))
+                assert rank_fast == rank_naive
+        assert placed == 12
+
+    def test_empty_state_all_zero(self, tiny_instance):
+        # A live state always carries origin copies, so reach the
+        # total == 0 edge by draining the counter's seed sources.
+        state = ClusterState(tiny_instance)
+        counter = ReplicaPopularityCounter(state)
+        counter._counts = {v: 0 for v in state.nodes}
+        counter._total = 0
+        zero = counter.popularity()
+        assert set(zero) == set(state.nodes)
+        assert all(p == 0.0 for p in zero.values())
+
+    def test_popularity_s_solution_identical(self, special_instance):
+        fast = PopularityS().solve(special_instance)
+        naive = _solve_popularity_naive(special_instance, special=True)
+        assert fast.assignments == naive.assignments
+        assert fast.rejected == naive.rejected
+        assert fast.replicas == naive.replicas
+        assert fast.extras["replicas_total"] == naive.extras["replicas_total"]
+
+    def test_popularity_g_solution_identical(self, paper_instance):
+        fast = PopularityG().solve(paper_instance)
+        naive = _solve_popularity_naive(paper_instance, special=False)
+        assert fast.assignments == naive.assignments
+        assert fast.rejected == naive.rejected
+        assert fast.replicas == naive.replicas
+        assert fast.extras["replicas_total"] == naive.extras["replicas_total"]
+
+
+class TestShipGreedyRule:
+    """The freight-charging greedy variant (``rule="greedy-ship"``).
+
+    Admission-time replication ships the dataset from its nearest live
+    holder and the transfer counts against the deadline — so a tight
+    deadline that the free-replication walk happily admits is rejected,
+    unless a copy was pre-placed ahead of demand.
+    """
+
+    DATASET = 0
+
+    @staticmethod
+    def _instance(small_topology, deadline_s):
+        from repro.core.instance import ProblemInstance
+        from repro.core.types import Dataset, Query
+
+        placement = small_topology.placement_nodes
+        datasets = {
+            0: Dataset(
+                dataset_id=0,
+                volume_gb=4.0,
+                origin_node=placement[0],
+                name="S0",
+            )
+        }
+        query = Query(
+            query_id=0,
+            home_node=placement[5],
+            demanded=(0,),
+            selectivity=(0.5,),
+            compute_rate=1.0,
+            deadline_s=deadline_s,
+        )
+        return ProblemInstance(
+            topology=small_topology,
+            datasets=datasets,
+            queries=[query],
+            max_replicas=3,
+        )
+
+    def test_freight_blows_tight_deadline(self, small_topology):
+        # Deadline below the origin's latency: every other node meets the
+        # bare deadline but not deadline-minus-freight.
+        instance = self._instance(small_topology, deadline_s=0.6)
+        state = ClusterState(instance)
+        query = instance.queries[0]
+        assert _ship_greedy_place_pair(state, query, self.DATASET) is None
+        # No slot burning either: the failed walk left only the origin.
+        assert state.replicas.total_replicas() == 1
+
+    def test_free_replication_admits_same_pair(self, small_topology):
+        # The paper-faithful walk replicates for free, so the very same
+        # pair is admitted — the delta IS the shipping freight.
+        instance = self._instance(small_topology, deadline_s=0.6)
+        state = ClusterState(instance)
+        query = instance.queries[0]
+        assert _greedy_place_pair(state, query, self.DATASET) is not None
+
+    def test_preplaced_copy_rescues_admission(self, small_topology):
+        # A copy shipped ahead of demand serves at bare latency.
+        instance = self._instance(small_topology, deadline_s=0.6)
+        state = ClusterState(instance)
+        query = instance.queries[0]
+        target = small_topology.placement_nodes[3]
+        state.replicas.place(self.DATASET, target)
+        assignment = _ship_greedy_place_pair(state, query, self.DATASET)
+        assert assignment is not None
+        assert assignment.node == target
+
+    def test_pays_freight_under_loose_deadline(self, small_topology):
+        # With the origin compute-saturated and a deadline that covers
+        # latency + freight at exactly one node, the walk ships there.
+        instance = self._instance(small_topology, deadline_s=1.75)
+        state = ClusterState(instance)
+        query = instance.queries[0]
+        origin = small_topology.placement_nodes[0]
+        node = state.nodes[origin]
+        node.allocate("block", node.available_ghz)
+        assignment = _ship_greedy_place_pair(state, query, self.DATASET)
+        assert assignment is not None
+        assert assignment.node == small_topology.placement_nodes[3]
+        assert state.replicas.has(self.DATASET, assignment.node)
+
+    def test_no_live_holder_refuses(self, small_topology):
+        instance = self._instance(small_topology, deadline_s=10.0)
+        state = ClusterState(instance)
+        origin = small_topology.placement_nodes[0]
+        state.mark_down(origin)
+        assert (
+            _ship_greedy_place_pair(state, instance.queries[0], self.DATASET)
+            is None
+        )

@@ -1,0 +1,245 @@
+"""Tests for the sliding-window demand forecaster."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import spawn_rng
+from repro.util.validation import ValidationError
+from repro.workload.forecast import (
+    DemandForecaster,
+    ForecastConfig,
+    ewma_forecast,
+    fit_zipf_exponent,
+    region_labels,
+    trace_window_counts,
+    zipf_weight_forecast,
+)
+from repro.workload.trace import (
+    TraceConfig,
+    generate_usage_trace,
+    zipf_weights,
+)
+
+
+class TestForecastConfig:
+    def test_defaults_valid(self):
+        cfg = ForecastConfig()
+        assert cfg.estimator == "ewma"
+
+    def test_bad_alpha_rejected(self):
+        with pytest.raises(ValidationError, match="alpha"):
+            ForecastConfig(alpha=0.0)
+        with pytest.raises(ValidationError, match="alpha"):
+            ForecastConfig(alpha=1.5)
+
+    def test_bad_estimator_rejected(self):
+        with pytest.raises(ValidationError, match="estimator"):
+            ForecastConfig(estimator="arima")
+
+    def test_bad_bucket_rejected(self):
+        with pytest.raises(ValidationError):
+            ForecastConfig(bucket=0)
+        with pytest.raises(ValidationError):
+            ForecastConfig(num_buckets=0)
+
+
+class TestEwmaForecast:
+    def test_single_bucket_predicts_itself(self):
+        b = np.array([[3.0, 1.0]])
+        np.testing.assert_array_equal(ewma_forecast(b, 0.5), b[0])
+
+    def test_alpha_one_tracks_newest(self):
+        b = np.array([[9.0], [2.0], [5.0]])
+        assert ewma_forecast(b, 1.0)[0] == 5.0
+
+    def test_recursive_definition(self):
+        b = np.array([4.0, 8.0, 2.0])
+        expected = 0.25 * 2.0 + 0.75 * (0.25 * 8.0 + 0.75 * 4.0)
+        assert ewma_forecast(b, 0.25) == pytest.approx(expected)
+
+    def test_ramp_lags_but_rises(self):
+        ramp = np.arange(1.0, 9.0)[:, None]
+        level = ewma_forecast(ramp, 0.5)[0]
+        assert ramp[-2, 0] < level < ramp[-1, 0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            ewma_forecast(np.empty((0, 3)), 0.5)
+
+
+class TestFitZipfExponent:
+    def test_recovers_generating_exponent(self):
+        # Exact Zipf counts regress back to their exponent.
+        counts = 1e6 * zipf_weights(50, 1.2)
+        assert fit_zipf_exponent(counts) == pytest.approx(1.2, abs=1e-6)
+
+    def test_order_invariant(self):
+        counts = 1e5 * zipf_weights(20, 0.8)
+        rng = spawn_rng(3, "shuffle")
+        shuffled = rng.permutation(counts)
+        assert fit_zipf_exponent(shuffled) == pytest.approx(
+            fit_zipf_exponent(counts)
+        )
+
+    def test_degenerate_windows_return_default(self):
+        assert fit_zipf_exponent(np.zeros(5), default=1.7) == 1.7
+        assert fit_zipf_exponent(np.array([4.0]), default=0.9) == 0.9
+        # Flat head: nothing to regress.
+        assert fit_zipf_exponent(np.array([3.0, 3.0, 3.0]), default=1.1) == 1.1
+
+    def test_clipped_to_bounds(self):
+        # A near-delta window would fit a huge exponent; it is clipped.
+        assert fit_zipf_exponent(np.array([1e12, 1.0])) <= 4.0
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(ValidationError):
+            fit_zipf_exponent(np.ones((2, 2)))
+        with pytest.raises(ValidationError):
+            fit_zipf_exponent(np.array([1.0, -2.0]))
+
+
+class TestZipfWeightForecast:
+    def test_normalised_and_rank_aligned(self):
+        counts = np.array([5.0, 1.0, 9.0, 0.0])
+        w = zipf_weight_forecast(counts, exponent=1.2)
+        assert w.sum() == pytest.approx(1.0)
+        # Weight order follows observed count order.
+        assert np.argmax(w) == 2
+        assert np.argmin(w) == 3
+
+    def test_uses_public_zipf_shape(self):
+        counts = np.array([9.0, 5.0, 1.0])
+        np.testing.assert_allclose(
+            zipf_weight_forecast(counts, exponent=1.5), zipf_weights(3, 1.5)
+        )
+
+    def test_all_zero_forecasts_uniform(self):
+        np.testing.assert_allclose(
+            zipf_weight_forecast(np.zeros(4)), np.full(4, 0.25)
+        )
+
+    def test_ties_broken_by_index(self):
+        w = zipf_weight_forecast(np.array([2.0, 2.0, 1.0]), exponent=1.0)
+        assert w[0] > w[1] > w[2]
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(ValidationError):
+            zipf_weight_forecast(np.empty(0))
+        with pytest.raises(ValidationError):
+            zipf_weight_forecast(np.array([-1.0, 2.0]))
+
+
+class TestRegionLabels:
+    def test_two_tier_falls_back_to_per_node(self, small_topology):
+        labels = region_labels(small_topology)
+        assert set(labels) == {s.node_id for s in small_topology.nodes}
+        assert labels[0] == "n0"
+        # Per-node fallback: every node is its own region.
+        assert len(set(labels.values())) == len(labels)
+
+
+class TestTraceWindowCounts:
+    def test_counts_partition_trace(self):
+        trace = generate_usage_trace(
+            TraceConfig(num_users=100, num_apps=16, days=6), spawn_rng(2, "t")
+        )
+        counts = trace_window_counts(trace, 86400.0, 16)
+        assert counts.shape[1] == 16
+        assert counts.sum() == len(trace)
+        # Daily windows: the diurnal generator touches every day.
+        assert counts.shape[0] == 6
+
+    def test_window_rows_match_time_slices(self):
+        trace = generate_usage_trace(
+            TraceConfig(num_users=60, num_apps=8, days=4), spawn_rng(4, "t")
+        )
+        counts = trace_window_counts(trace, 86400.0, 8)
+        for w in range(counts.shape[0]):
+            in_window = (trace.timestamp_s >= w * 86400.0) & (
+                trace.timestamp_s < (w + 1) * 86400.0
+            )
+            np.testing.assert_array_equal(
+                counts[w], np.bincount(trace.app[in_window], minlength=8)
+            )
+
+    def test_bad_window_rejected(self):
+        trace = generate_usage_trace(
+            TraceConfig(num_users=5, num_apps=4, days=2), spawn_rng(5, "t")
+        )
+        with pytest.raises(ValidationError):
+            trace_window_counts(trace, 0.0)
+
+
+class TestDemandForecaster:
+    def test_roster_validation(self):
+        with pytest.raises(ValidationError):
+            DemandForecaster((), 4)
+        with pytest.raises(ValidationError):
+            DemandForecaster(("a", "a"), 4)
+        with pytest.raises(ValidationError):
+            DemandForecaster(("a",), 0)
+
+    def test_observe_counts_and_windows(self):
+        f = DemandForecaster(("a", "b"), 3, ForecastConfig(bucket=4, num_buckets=2))
+        for _ in range(10):
+            f.observe("a", 0)
+        assert f.observed == 10
+        # Window holds 2 closed buckets (8) + partial current (2).
+        assert f.window_observed == 10
+        for _ in range(4):
+            f.observe("b", 1)
+        # Oldest bucket rolled out: 2 closed × 4 + partial 2.
+        assert f.observed == 14
+        assert f.window_observed == 10
+
+    def test_unknown_region_ignored(self):
+        f = DemandForecaster(("a",), 2)
+        f.observe("nowhere", 0)
+        assert f.observed == 0
+
+    def test_bad_dataset_index_rejected(self):
+        f = DemandForecaster(("a",), 2)
+        with pytest.raises(ValidationError):
+            f.observe("a", 2)
+
+    def test_empty_forecast_is_zero(self):
+        f = DemandForecaster(("a", "b"), 3)
+        np.testing.assert_array_equal(f.forecast(), np.zeros((2, 3)))
+
+    def test_ewma_forecast_tracks_shift(self):
+        cfg = ForecastConfig(bucket=8, num_buckets=4, alpha=0.6)
+        f = DemandForecaster(("a",), 2, cfg)
+        for _ in range(16):
+            f.observe("a", 0)
+        for _ in range(16):
+            f.observe("a", 1)
+        pred = f.forecast()
+        # Demand moved from dataset 0 to 1; the forecast must follow.
+        assert pred[0, 1] > pred[0, 0]
+
+    def test_zipf_estimator_preserves_region_totals(self):
+        ewma_cfg = ForecastConfig(bucket=8, num_buckets=4, estimator="ewma")
+        zipf_cfg = ForecastConfig(bucket=8, num_buckets=4, estimator="zipf")
+        fe = DemandForecaster(("a", "b"), 4, ewma_cfg)
+        fz = DemandForecaster(("a", "b"), 4, zipf_cfg)
+        rng = spawn_rng(9, "demand")
+        for _ in range(64):
+            r = "a" if rng.random() < 0.7 else "b"
+            d = int(rng.choice(4, p=zipf_weights(4, 1.2)))
+            fe.observe(r, d)
+            fz.observe(r, d)
+        pe, pz = fe.forecast(), fz.forecast()
+        # Same mass per region, redistributed along the Zipf shape.
+        np.testing.assert_allclose(pz.sum(axis=1), pe.sum(axis=1))
+        for row in pz:
+            if row.sum() > 0:
+                assert np.all(np.sort(row)[::-1][:2] > 0)
+
+    def test_forecast_deterministic(self):
+        def build():
+            f = DemandForecaster(("a", "b"), 3, ForecastConfig(bucket=4))
+            for i in range(23):
+                f.observe("a" if i % 3 else "b", i % 3)
+            return f.forecast()
+
+        np.testing.assert_array_equal(build(), build())

@@ -10,6 +10,7 @@ from repro.workload.trace import (
     UsageTrace,
     generate_usage_trace,
     split_trace_by_time,
+    zipf_weights,
 )
 
 
@@ -112,3 +113,114 @@ class TestSplitTraceByTime:
         )
         with pytest.raises(ValidationError):
             split_trace_by_time(tiny, len(tiny) + 1, paper_topology, spawn_rng(5, "s"))
+
+
+def _raw_generator_columns(config: TraceConfig, rng):
+    """Replay ``generate_usage_trace``'s draws *without* the final sort.
+
+    This reconstructs the user-major column order the generator produces
+    internally — the order a pre-fix ``generate_usage_trace`` handed to
+    downstream index-range consumers.  Draw sequence mirrors the
+    generator exactly, so the same rng seed yields the same events.
+    """
+    rates = rng.uniform(*config.events_per_user_per_day, size=config.num_users)
+    counts = rng.poisson(rates * config.days)
+    total = int(counts.sum())
+    np.repeat(np.arange(config.num_users, dtype=np.int64), counts)
+    rng.choice(
+        config.num_apps,
+        size=total,
+        p=zipf_weights(config.num_apps, config.zipf_exponent),
+    )
+    day = rng.integers(0, config.days, size=total)
+    return day
+
+
+class TestTraceTimeOrdering:
+    """Regression suite for the time-ordered trace fix.
+
+    ``split_trace_by_time`` (and the forecast window counters) slice the
+    trace by *index range*, assuming index order == time order.  The
+    generator draws events user-major, so without the explicit sort each
+    "time segment" was a mixture of every user's whole horizon.
+    """
+
+    CONFIG = TraceConfig(num_users=120, num_apps=20, days=12)
+
+    def test_segment_time_ranges_disjoint_and_monotone(self, paper_topology):
+        trace = generate_usage_trace(self.CONFIG, spawn_rng(11, "t"))
+        _, segments = split_trace_by_time(
+            trace, 6, paper_topology, spawn_rng(11, "s")
+        )
+        ranges = [
+            (trace.timestamp_s[a:b].min(), trace.timestamp_s[a:b].max())
+            for a, b in segments
+        ]
+        for (lo1, hi1), (lo2, hi2) in zip(ranges, ranges[1:]):
+            assert lo1 <= hi1
+            assert lo2 <= hi2
+            # Consecutive segments must not overlap in time: each covers
+            # a later window than its predecessor.
+            assert hi1 <= lo2
+
+    def test_prefix_draw_order_mixed_days_across_segments(self):
+        # Pinned-seed demonstration of the pre-fix failure: in the raw
+        # user-major draw order, equal-population index segments each
+        # span (nearly) the full horizon, so "by creation time" datasets
+        # mixed events from every day.
+        day = _raw_generator_columns(self.CONFIG, spawn_rng(11, "t"))
+        bounds = np.linspace(0, len(day), 7).astype(int)
+        spans = [
+            day[a:b].max() - day[a:b].min()
+            for a, b in zip(bounds, bounds[1:])
+        ]
+        # Every unsorted segment spans most of the 12-day horizon...
+        assert min(spans) >= self.CONFIG.days - 2
+        # ...whereas the sorted trace's segments each cover ~2 days.
+        trace = generate_usage_trace(self.CONFIG, spawn_rng(11, "t"))
+        days_sorted = (trace.timestamp_s // 86400.0).astype(int)
+        sorted_spans = [
+            days_sorted[a:b].max() - days_sorted[a:b].min()
+            for a, b in zip(bounds, bounds[1:])
+        ]
+        assert max(sorted_spans) <= 3
+
+    def test_generator_output_matches_constructor_sort(self):
+        # The explicit sort in the generator is the identity w.r.t. the
+        # constructor's own stable sort: emitted traces are byte-equal
+        # to re-sorting the columns again.
+        trace = generate_usage_trace(self.CONFIG, spawn_rng(7, "t"))
+        resorted = UsageTrace(
+            trace.user, trace.app, trace.timestamp_s,
+            trace.duration_s, trace.nbytes,
+        )
+        np.testing.assert_array_equal(trace.user, resorted.user)
+        np.testing.assert_array_equal(trace.app, resorted.app)
+        np.testing.assert_array_equal(trace.timestamp_s, resorted.timestamp_s)
+
+
+class TestZipfWeights:
+    def test_normalised(self):
+        for n, s in ((1, 0.5), (7, 1.2), (100, 2.0)):
+            w = zipf_weights(n, s)
+            assert w.shape == (n,)
+            assert w.sum() == pytest.approx(1.0)
+
+    def test_strictly_decreasing(self):
+        w = zipf_weights(50, 1.2)
+        assert np.all(np.diff(w) < 0)
+        assert np.all(w > 0)
+
+    def test_flat_when_exponent_tiny(self):
+        w = zipf_weights(10, 1e-9)
+        assert w.max() - w.min() < 1e-8
+
+    def test_non_positive_inputs_rejected(self):
+        with pytest.raises(ValidationError):
+            zipf_weights(0, 1.2)
+        with pytest.raises(ValidationError):
+            zipf_weights(-3, 1.2)
+        with pytest.raises(ValidationError):
+            zipf_weights(10, 0.0)
+        with pytest.raises(ValidationError):
+            zipf_weights(10, -1.0)

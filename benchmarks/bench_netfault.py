@@ -1,0 +1,136 @@
+"""Extension bench — serving under link dynamics: failure rate x inflation.
+
+`bench_faults.py` churns *nodes*; this bench churns the *network*.
+Seeded link degrade/sever/restore events (with correlated partitions)
+land while the online session is serving arrivals: every event recomputes
+the path cache, inflight queries whose serving path was cut fail over to
+reachable replicas or are interrupted, and survivors are re-priced
+against the inflated delays.  The sweep crosses link failure rate
+(mean time between link events) with the degrade inflation factor and
+reports link availability, served volume, the rerouted / recovered /
+interrupted split, and the p99 path-recompute latency — the cost of a
+mobility-scale network epoch.
+
+Writes the rendered table to ``results/netfault.txt`` and the raw sweep
+to ``results/netfault.json`` (uploaded as a CI artifact by the
+net-dynamics job).
+
+Reduced-scale knobs for CI: ``REPRO_BENCH_REPEATS`` (repeats per cell),
+``REPRO_NETFAULT_MTTF`` / ``REPRO_NETFAULT_INFLATION`` (comma-separated
+sweep overrides).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+
+from conftest import emit
+
+from repro.core import OnlineConfig, OnlineSession, appro_rule
+from repro.experiments.runner import make_instance
+from repro.network.dynamics import LinkFaultConfig
+from repro.obs import MetricsRegistry, use_registry
+from repro.topology.twotier import TwoTierConfig
+from repro.workload.params import PaperDefaults
+
+
+def _sweep(env: str, default: tuple[float, ...]) -> tuple[float, ...]:
+    raw = os.environ.get(env)
+    if not raw:
+        return default
+    return tuple(float(tok) for tok in raw.split(",") if tok.strip())
+
+
+MTTF_VALUES = _sweep("REPRO_NETFAULT_MTTF", (0.5, 2.0, 8.0))
+INFLATION_VALUES = _sweep("REPRO_NETFAULT_INFLATION", (2.0, 8.0))
+HOLD_FACTOR = 20.0  # long holds so link cuts land on running queries
+MEAN_REPAIR_S = 1.0
+PARTITION_PROB = 0.25
+
+
+def _run_cell(mttf: float, inflation: float, repeats: int) -> dict:
+    avail, volumes, recompute_p99 = [], [], []
+    rerouted = recovered = interrupted = recomputes = partitions = 0
+    for repeat in range(repeats):
+        instance = make_instance(TwoTierConfig(), PaperDefaults(), 71, repeat)
+        config = OnlineConfig(
+            hold_factor=HOLD_FACTOR,
+            seed=repeat,
+            link_faults=LinkFaultConfig(
+                mean_time_to_event_s=mttf,
+                mean_repair_s=MEAN_REPAIR_S,
+                inflation=inflation,
+                partition_prob=PARTITION_PROB,
+                seed=repeat,
+            ),
+        )
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            report = OnlineSession(config).run(instance, appro_rule)
+        net = report.netfaults
+        avail.append(net.time_weighted_link_availability)
+        volumes.append(report.admitted_volume_gb)
+        rerouted += net.queries_rerouted
+        recovered += net.queries_recovered
+        interrupted += net.queries_interrupted
+        recomputes += net.recomputes
+        partitions += net.partitions
+        timer = registry.summary("pathcache.recompute_s")
+        if timer is not None and timer.count:
+            recompute_p99.append(timer.quantile(0.99))
+    return {
+        "mttf_s": mttf,
+        "inflation": inflation,
+        "link_availability": statistics.fmean(avail),
+        "admitted_volume_gb": statistics.fmean(volumes),
+        "queries_rerouted": rerouted,
+        "queries_recovered": recovered,
+        "queries_interrupted": interrupted,
+        "partitions": partitions,
+        "recomputes": recomputes,
+        "recompute_p99_ms": (
+            statistics.fmean(recompute_p99) * 1000 if recompute_p99 else 0.0
+        ),
+    }
+
+
+def test_netfault_sweep(benchmark, repeats, results_dir):
+    def measure():
+        return [
+            _run_cell(mttf, inflation, repeats)
+            for mttf in MTTF_VALUES
+            for inflation in INFLATION_VALUES
+        ]
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    lines = [
+        "=== link dynamics: failure rate x inflation (online session, appro rule) ===",
+        "mttf (s) | infl | link avail | served GB | rerouted | recovered "
+        "| interrupted | partitions | recompute p99 (ms)",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r['mttf_s']:8.1f} | {r['inflation']:4.1f} "
+            f"| {r['link_availability']:10.3f} | {r['admitted_volume_gb']:9.1f} "
+            f"| {r['queries_rerouted']:8d} | {r['queries_recovered']:9d} "
+            f"| {r['queries_interrupted']:11d} | {r['partitions']:10d} "
+            f"| {r['recompute_p99_ms']:18.2f}"
+        )
+    emit(results_dir, "netfault", "\n".join(lines))
+    (results_dir / "netfault.json").write_text(json.dumps(rows, indent=2) + "\n")
+
+    by_cell = {(r["mttf_s"], r["inflation"]): r for r in rows}
+    for r in rows:
+        assert 0.0 <= r["link_availability"] <= 1.0 + 1e-9
+        assert r["recomputes"] > 0  # the dynamics actually fired
+    if len(MTTF_VALUES) > 1:
+        for inflation in INFLATION_VALUES:
+            # Faster link churn (smaller mttf) keeps fewer links up.
+            assert (
+                by_cell[(MTTF_VALUES[0], inflation)]["link_availability"]
+                <= by_cell[(MTTF_VALUES[-1], inflation)]["link_availability"]
+                + 1e-9
+            )

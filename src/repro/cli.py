@@ -51,6 +51,7 @@ from repro.core.online import (
     appro_rule,
     greedy_rule,
     ship_greedy_rule,
+    sync_greedy_rule,
 )
 from repro.core.registry import available_algorithms, make_algorithm
 from repro.core.explain import explain_rejections, rejection_histogram
@@ -69,6 +70,7 @@ from repro.experiments.report import build_report
 from repro.experiments.tables import render_comparison, render_figure
 from repro.obs import MetricsRegistry, use_registry
 from repro.obs.export import write_jsonl, write_prometheus
+from repro.network.dynamics import LinkFaultConfig
 from repro.sim.faults import FaultConfig
 from repro.sim.testbed import TestbedExperiment, run_testbed_experiment
 from repro.util.units import format_delay, format_volume
@@ -147,7 +149,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_online.add_argument(
         "--rule",
-        choices=["appro", "greedy", "greedy-ship"],
+        choices=["appro", "greedy", "greedy-ship", "greedy-sync"],
         default="appro",
     )
     p_online.add_argument("--seed", type=int, default=0)
@@ -166,6 +168,24 @@ def build_parser() -> argparse.ArgumentParser:
                           help="mean node downtime seconds (with --faults)")
     p_online.add_argument("--fault-seed", type=int, default=0,
                           help="fault-schedule seed (with --faults)")
+    p_online.add_argument("--link-faults", action="store_true",
+                          help="inject seeded link degrade/sever/restore "
+                          "events (and correlated partitions) during the "
+                          "session, recomputing paths per event")
+    p_online.add_argument("--link-mttf", type=float, default=5.0,
+                          help="mean seconds between link events "
+                          "(with --link-faults)")
+    p_online.add_argument("--link-repair", type=float, default=1.0,
+                          help="mean link repair seconds (with --link-faults)")
+    p_online.add_argument("--link-inflation", type=float, default=4.0,
+                          help="delay multiplier applied by degrade events "
+                          "(with --link-faults)")
+    p_online.add_argument("--partition-prob", type=float, default=0.0,
+                          help="probability a sever escalates to a regional "
+                          "partition cutting a whole node off "
+                          "(with --link-faults)")
+    p_online.add_argument("--link-seed", type=int, default=0,
+                          help="link-schedule seed (with --link-faults)")
 
     p_failover = sub.add_parser(
         "failover", help="node-failure impact and repair for one placement"
@@ -185,7 +205,7 @@ def build_parser() -> argparse.ArgumentParser:
                          "same seed to target the same datasets")
     p_serve.add_argument(
         "--rule",
-        choices=["appro", "greedy", "greedy-ship"],
+        choices=["appro", "greedy", "greedy-ship", "greedy-sync"],
         default="appro",
     )
     p_serve.add_argument("--max-batch", type=int, default=16,
@@ -239,6 +259,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--predict-estimator", choices=["ewma", "zipf"],
                          default="ewma",
                          help="demand estimator over the sliding window")
+    p_serve.add_argument("--netfaults", action="store_true",
+                         help="enable the live network-dynamics daemon "
+                              "(seeded link degrade/sever/partition events "
+                              "with epoch-stamped path recomputation)")
+    p_serve.add_argument("--netfault-interval", type=float, default=1.0,
+                         help="seconds between network-dynamics cycles "
+                              "(also the schedule-clock step per cycle)")
+    p_serve.add_argument("--netfault-horizon", type=float, default=600.0,
+                         help="seconds of link-event schedule to pre-build")
+    p_serve.add_argument("--link-mttf", type=float, default=5.0,
+                         help="mean schedule-seconds between link events "
+                              "(with --netfaults)")
+    p_serve.add_argument("--link-repair", type=float, default=1.0,
+                         help="mean link repair schedule-seconds "
+                              "(with --netfaults)")
+    p_serve.add_argument("--link-inflation", type=float, default=4.0,
+                         help="delay multiplier applied by degrade events")
+    p_serve.add_argument("--partition-prob", type=float, default=0.0,
+                         help="probability a sever escalates to a regional "
+                              "partition cutting a whole node off")
+    p_serve.add_argument("--netfault-seed", type=int, default=0,
+                         help="link-schedule seed (with --netfaults)")
     p_serve.add_argument("--duration", type=float, default=None,
                          help="stop after this many seconds (default: run "
                          "until a shutdown request or Ctrl-C)")
@@ -292,10 +334,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "positions (synthesises demand drift)")
     p_load.add_argument("--trace-mode", default="stationary",
                         choices=["stationary", "burst", "diurnal",
-                                 "flash-crowd"],
+                                 "flash-crowd", "mobility"],
                         help="popularity trajectory over the stream "
-                             "(recurring bursts, slow rotation, or a "
-                             "flash crowd on a cold dataset)")
+                             "(recurring bursts, slow rotation, a flash "
+                             "crowd on a cold dataset, or home-station "
+                             "churn standing in for user mobility)")
     p_load.add_argument("--trace-period", type=int, default=120,
                         help="phase length (draws) of the non-stationary "
                              "trace modes")
@@ -391,6 +434,7 @@ def _cmd_online(args: argparse.Namespace) -> int:
         "appro": appro_rule,
         "greedy": greedy_rule,
         "greedy-ship": ship_greedy_rule,
+        "greedy-sync": sync_greedy_rule,
     }
     rule = rules[args.rule]
     faults = None
@@ -400,12 +444,22 @@ def _cmd_online(args: argparse.Namespace) -> int:
             mean_downtime_s=args.downtime,
             seed=args.fault_seed,
         )
+    link_faults = None
+    if args.link_faults:
+        link_faults = LinkFaultConfig(
+            mean_time_to_event_s=args.link_mttf,
+            mean_repair_s=args.link_repair,
+            inflation=args.link_inflation,
+            partition_prob=args.partition_prob,
+            seed=args.link_seed,
+        )
     report = OnlineSession(
         OnlineConfig(
             mean_interarrival_s=args.gap,
             hold_factor=args.hold_factor,
             seed=args.seed,
             faults=faults,
+            link_faults=link_faults,
         )
     ).run(instance, rule)
     print(f"rule             : {args.rule}")
@@ -425,6 +479,16 @@ def _cmd_online(args: argparse.Namespace) -> int:
               f"{f.queries_interrupted} interrupted")
         print(f"degraded admit   : {f.degraded_admitted}/{f.degraded_arrivals} "
               f"(throughput {f.degraded_throughput:.3f})")
+    if report.netfaults is not None:
+        n = report.netfaults
+        print(f"link events      : {n.degrades} degraded, {n.severs} severed "
+              f"({n.partitions} partitions), {n.restores} restored")
+        print(f"path recomputes  : {n.recomputes}")
+        print(f"link availability: {n.time_weighted_link_availability:.3f} "
+              f"(time-weighted)")
+        print(f"queries hit      : {n.queries_rerouted} rerouted, "
+              f"{n.queries_recovered} recovered, "
+              f"{n.queries_interrupted} interrupted")
     return 0
 
 
@@ -456,6 +520,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import (
         AdmissionGateway,
         GatewayConfig,
+        NetFaultConfig,
         PreplacerConfig,
         ReoptimizerConfig,
         maybe_install_uvloop,
@@ -484,6 +549,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             return 2
         if args.predict:
             print("--predict is incompatible with shard-scoped serving",
+                  file=sys.stderr)
+            return 2
+        if args.netfaults:
+            print("--netfaults is incompatible with shard-scoped serving",
                   file=sys.stderr)
             return 2
         plan_instance = make_instance(TwoTierConfig(), PaperDefaults(), args.seed, 0)
@@ -516,6 +585,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_preplace_gb=args.predict_max_gb,
             estimator=args.predict_estimator,
         )
+    netfaults = None
+    if args.netfaults:
+        netfaults = NetFaultConfig(
+            interval_s=args.netfault_interval,
+            horizon_s=args.netfault_horizon,
+            faults=LinkFaultConfig(
+                mean_time_to_event_s=args.link_mttf,
+                mean_repair_s=args.link_repair,
+                inflation=args.link_inflation,
+                partition_prob=args.partition_prob,
+                seed=args.netfault_seed,
+            ),
+        )
     instance = make_instance(TwoTierConfig(), PaperDefaults(), args.seed, 0)
     gateway = AdmissionGateway(
         instance,
@@ -532,6 +614,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             checkpoint_interval_s=args.checkpoint_interval,
             reopt=reopt,
             predict=predict,
+            netfaults=netfaults,
             shard_nodes=shard_nodes,
             shard_id=shard_id,
             reserve_ttl_s=args.reserve_ttl,
@@ -580,6 +663,9 @@ def _cmd_serve_sharded(args: argparse.Namespace) -> int:
         return 2
     if args.predict:
         print("--predict is incompatible with --shards > 1", file=sys.stderr)
+        return 2
+    if args.netfaults:
+        print("--netfaults is incompatible with --shards > 1", file=sys.stderr)
         return 2
     instance = make_instance(TwoTierConfig(), PaperDefaults(), args.seed, 0)
     try:

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Mapping
+from typing import TYPE_CHECKING, Iterable, Iterator, Mapping
 
 import numpy as np
 
@@ -37,6 +37,9 @@ from repro.cluster.replicas import ReplicaError, ReplicaStore
 from repro.core.instance import ProblemInstance
 from repro.core.metrics import InvariantViolation
 from repro.core.types import Assignment, Dataset, Query
+
+if TYPE_CHECKING:  # cluster → network import stays lazy at runtime
+    from repro.network.dynamics import LinkState
 
 __all__ = ["ClusterState", "Reservation", "Transaction"]
 
@@ -587,6 +590,8 @@ class ClusterState:
         inflight: Iterable[Assignment] = (),
         *,
         deadlines: Mapping[int, float] | None = None,
+        link_state: "LinkState | None" = None,
+        homes: Mapping[int, int] | None = None,
     ) -> None:
         """Re-check the live-state counterparts of the ILP constraints.
 
@@ -603,7 +608,15 @@ class ClusterState:
         4. every ``inflight`` assignment is backed by a replica at its
            node and an allocation ledger entry of the exact compute it
            recorded; with ``deadlines`` (query id → deadline seconds) its
-           latency also still meets the query's deadline.
+           latency also still meets the query's deadline;
+        5. with ``link_state`` (a :class:`~repro.network.dynamics.LinkState`
+           whose events drive this instance's path cache), every
+           ``inflight`` assignment's serving path — node → query home —
+           exists under the current effective delays and crosses no
+           severed link.  ``homes`` (query id → home node) overrides the
+           instance's query table for sessions whose query ids are not
+           instance indices.  Omitting ``link_state`` (every
+           dynamics-free run) skips this check entirely.
 
         Raises :class:`~repro.core.metrics.InvariantViolation` on the
         first violated constraint.
@@ -675,6 +688,45 @@ class ClusterState:
                         f"{a.latency_s:.4f}s exceeds deadline "
                         f"{deadlines[a.query_id]:.4f}s"
                     )
+            if link_state is not None:
+                self._check_serving_path(a, link_state, homes)
+
+    def _check_serving_path(
+        self,
+        a: Assignment,
+        link_state: "LinkState",
+        homes: Mapping[int, int] | None,
+    ) -> None:
+        """Invariant 5: the pair's node → home path avoids severed links."""
+        from repro.network.routing import extract_path
+
+        inst = self.instance
+        if homes is not None:
+            home = homes.get(a.query_id)
+            if home is None:
+                return  # unknown query (e.g. ad-hoc gateway id): nothing to pin
+        elif 0 <= a.query_id < inst.num_queries:
+            home = inst.query(a.query_id).home_node
+        else:
+            return
+        if not inst.paths.reachable(a.node, home):
+            raise InvariantViolation(
+                f"in-flight pair ({a.query_id}, {a.dataset_id}) served at "
+                f"node {a.node} is partitioned from home {home}"
+            )
+        try:
+            path = extract_path(inst.paths, a.node, home)
+        except ValueError as exc:
+            raise InvariantViolation(
+                f"in-flight pair ({a.query_id}, {a.dataset_id}) has no "
+                f"serving path: {exc}"
+            ) from exc
+        for u, v in zip(path, path[1:]):
+            if link_state.is_severed(u, v):
+                raise InvariantViolation(
+                    f"in-flight pair ({a.query_id}, {a.dataset_id}) path "
+                    f"crosses severed link ({u}, {v})"
+                )
 
     # -- reporting -----------------------------------------------------------
 

@@ -46,6 +46,8 @@ from repro.core.online import (
     OnlineSession,
     appro_rule,
     greedy_rule,
+    ship_greedy_rule,
+    sync_greedy_rule,
 )
 from repro.core.ilp import (
     LpModel,
@@ -111,6 +113,8 @@ __all__ = [
     "OnlineSession",
     "appro_rule",
     "greedy_rule",
+    "ship_greedy_rule",
+    "sync_greedy_rule",
     "node_popularity",
     "LpModel",
     "LpSolution",

@@ -14,14 +14,21 @@ queries exhaust ``K`` on nodes that cannot meet their deadline.
 
 from __future__ import annotations
 
+from repro.cluster.consistency import ConsistencyModel
 from repro.cluster.state import ClusterState
 from repro.core.base import PlacementAlgorithm, SolutionBuilder, require_special_case
 from repro.core.feasibility import pair_latency_vector
 from repro.core.instance import ProblemInstance
 from repro.core.types import Assignment, PlacementSolution, Query
 from repro.obs import get_registry
+from repro.util.validation import check_positive
 
-__all__ = ["GreedyS", "GreedyG", "_ship_greedy_place_pair"]
+__all__ = [
+    "GreedyS",
+    "GreedyG",
+    "_ship_greedy_place_pair",
+    "make_sync_greedy_place_pair",
+]
 
 
 def _greedy_place_pair(
@@ -126,6 +133,80 @@ def _ship_greedy_place_pair(
         get_registry().inc("algo.greedy.replicas_placed")
         return state.serve(query, dataset, v)
     return None
+
+
+def make_sync_greedy_place_pair(
+    model: ConsistencyModel | None = None, horizon_days: float = 30.0
+):
+    """Greedy walk charging the §2.4 consistency tax on new replicas.
+
+    :func:`_ship_greedy_place_pair` prices the *initial* shipment of a
+    fresh copy; this variant prices keeping that copy *consistent*.  Each
+    new replica of a write-hot dataset (one whose
+    :class:`~repro.cluster.consistency.ConsistencyModel` growth rate is
+    positive) will receive ``syncs_over(horizon_days)`` threshold-sized
+    delta shipments from its origin over the planning horizon; that
+    sync-bandwidth cost — ``syncs × (threshold × |S_n|) × dt(origin → v)``
+    seconds of transfer — counts against the pair's deadline when the walk
+    considers materialising a copy at ``v``.  Serving from an *existing*
+    copy pays nothing extra (its sync cost is sunk), so the tax caps the
+    replica fan-out of update-heavy datasets exactly as §2.4 prescribes.
+
+    A zero growth rate zeroes the tax and the walk degenerates to
+    :func:`_ship_greedy_place_pair`-style placement without freight —
+    i.e. :func:`_greedy_place_pair` ordering with copy-first preference.
+    """
+    check_positive("horizon_days", horizon_days)
+    sync_model = model or ConsistencyModel()
+    syncs = sync_model.syncs_over(horizon_days)
+    delta_gb_fraction = sync_model.threshold
+
+    def _sync_greedy_place_pair(
+        state: ClusterState, query: Query, dataset_id: int
+    ) -> Assignment | None:
+        dataset = state.instance.dataset(dataset_id)
+        instance = state.instance
+        lat = pair_latency_vector(state, query, dataset)
+        node_index = instance.node_index
+        faulty = state.has_down_nodes
+        holders = [
+            v
+            for v in state.replicas.nodes(dataset_id)
+            if not faulty or state.is_up(v)
+        ]
+        nodes = sorted(
+            state.nodes.values(),
+            key=lambda n: (-n.available_ghz, n.node_id),
+        )
+        demand = state.compute_demand(query, dataset)
+        # Pass 1: existing copies — their sync cost is sunk.
+        for node in nodes:
+            v = node.node_id
+            if v not in holders:
+                continue
+            if lat[node_index[v]] <= query.deadline_s and node.can_fit(demand):
+                return state.serve(query, dataset, v)
+        # Pass 2: a new copy pays its horizon of origin → v delta syncs.
+        origin = state.replicas.origin(dataset_id)
+        delta_gb = delta_gb_fraction * dataset.volume_gb
+        for node in nodes:
+            v = node.node_id
+            if v in holders or (faulty and not state.is_up(v)):
+                continue
+            if faulty and not state.has_live_copy(dataset_id):
+                continue
+            if not state.replicas.can_place(dataset_id, v):
+                continue
+            tax_s = syncs * delta_gb * instance.paths.delay(origin, v)
+            if lat[node_index[v]] + tax_s > query.deadline_s:
+                continue
+            if not node.can_fit(demand):
+                continue
+            get_registry().inc("algo.greedy.sync_replicas_placed")
+            return state.serve(query, dataset, v)
+        return None
+
+    return _sync_greedy_place_pair
 
 
 class GreedyS(PlacementAlgorithm):

@@ -112,15 +112,27 @@ class ProblemInstance:
         arr.flags.writeable = False
         return arr
 
-    @cached_property
+    @property
     def home_delay_vectors(self) -> dict[int, np.ndarray]:
-        """For each distinct home node: ``dt(p(v, home))`` over placement nodes."""
+        """For each distinct home node: ``dt(p(v, home))`` over placement nodes.
+
+        Memoised per path-cache :attr:`~repro.network.paths.PathCache.generation`:
+        when the dynamics layer recomputes paths the next access rebuilds
+        the vectors, and while the generation never moves (every
+        dynamics-free run) this behaves exactly like the former
+        ``cached_property`` — same objects, same values.
+        """
+        generation = self.paths.generation
+        cached = self.__dict__.get("_home_delay_vectors")
+        if cached is not None and cached[0] == generation:
+            return cached[1]
         vectors: dict[int, np.ndarray] = {}
         for q in self.queries:
             if q.home_node not in vectors:
                 vec = self.paths.placement_delays_to(q.home_node)
                 vec.flags.writeable = False
                 vectors[q.home_node] = vec
+        object.__setattr__(self, "_home_delay_vectors", (generation, vectors))
         return vectors
 
     @property

@@ -26,19 +26,45 @@ repair pass — with bounded exponential-backoff retries.  The resulting
 interrupted vs recovered queries, degraded-admission throughput) rides on
 the :class:`OnlineReport`.  With faults disabled the session runs the
 exact pre-fault code path, bit for bit.
+
+With ``OnlineConfig.link_faults`` set, the *network* churns too
+(:mod:`repro.network.dynamics`): seeded link degrade/sever/restore events
+(including correlated partitions) recompute the instance's path cache
+under an epoch stamp, so every later admission prices the inflated or
+partitioned paths.  Running queries whose serving path is cut — home
+unreachable, or the inflated latency bursts the deadline — are re-placed
+onto reachable replicas all-or-nothing, and the severed-path invariant
+(:meth:`~repro.cluster.state.ClusterState.check_invariants` check 5) is
+re-asserted after every event.  The resulting
+:class:`~repro.network.dynamics.NetworkReport` rides on the
+:class:`OnlineReport`; with link faults disabled the path-cache
+generation never moves and the session is bit-identical to before.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Callable, Protocol
 
 from repro.cluster.state import ClusterState
-from repro.core.greedy import _greedy_place_pair, _ship_greedy_place_pair
+from repro.core.greedy import (
+    _greedy_place_pair,
+    _ship_greedy_place_pair,
+    make_sync_greedy_place_pair,
+)
 from repro.core.instance import ProblemInstance
 from repro.core.primal_dual import PrimalDualConfig, _Kernel
 from repro.core.repair import best_failover_candidate
 from repro.core.types import Assignment, Query
+from repro.network.dynamics import (
+    LinkEvent,
+    LinkFaultConfig,
+    LinkState,
+    NetworkDynamics,
+    NetworkReport,
+    build_link_schedule,
+)
 from repro.obs import get_registry
 from repro.sim.engine import Simulator
 from repro.sim.faults import (
@@ -58,6 +84,7 @@ __all__ = [
     "appro_rule",
     "greedy_rule",
     "ship_greedy_rule",
+    "sync_greedy_rule",
 ]
 
 
@@ -93,6 +120,17 @@ def ship_greedy_rule(instance: ProblemInstance) -> PlacementRule:
     return _ship_greedy_place_pair
 
 
+def sync_greedy_rule(instance: ProblemInstance) -> PlacementRule:
+    """The greedy walk with the §2.4 consistency tax on new replicas.
+
+    Placing a *new* copy of a write-hot dataset charges the
+    update-threshold sync cost (:class:`repro.cluster.consistency.ConsistencyModel`)
+    against the pair's deadline — see
+    :func:`repro.core.greedy.make_sync_greedy_place_pair`."""
+    del instance  # the rule reads the model lazily per dataset
+    return make_sync_greedy_place_pair()
+
+
 @dataclass(frozen=True)
 class OnlineConfig:
     """Online-session parameters.
@@ -110,12 +148,18 @@ class OnlineConfig:
     faults:
         Optional fault-injection parameters; ``None`` (the default) runs
         the fault-free session unchanged.
+    link_faults:
+        Optional link-dynamics parameters
+        (:class:`~repro.network.dynamics.LinkFaultConfig`); ``None`` (the
+        default) keeps the network static and the session bit-identical
+        to pre-dynamics runs.
     """
 
     mean_interarrival_s: float = 0.2
     hold_factor: float = 1.0
     seed: int = 0
     faults: FaultConfig | None = None
+    link_faults: LinkFaultConfig | None = None
 
     def __post_init__(self) -> None:
         check_positive("mean_interarrival_s", self.mean_interarrival_s)
@@ -151,6 +195,10 @@ class OnlineReport:
     faults:
         Fault-injection outcome (availability curve, MTTR, interrupted vs
         recovered queries, …); ``None`` when faults were disabled.
+    netfaults:
+        Link-dynamics outcome (link availability curve, partitions,
+        rerouted/interrupted/recovered queries, …); ``None`` when link
+        faults were disabled.
     """
 
     outcomes: tuple[OnlineOutcome, ...]
@@ -159,6 +207,7 @@ class OnlineReport:
     peak_allocated_ghz: float
     replicas_placed: int
     faults: FaultReport | None = None
+    netfaults: NetworkReport | None = None
 
 
 class _ActiveQuery:
@@ -212,10 +261,12 @@ class OnlineSession:
         rng = spawn_rng(self.config.seed, "online/arrivals")
         obs = get_registry()
         fault_cfg = self.config.faults
+        link_cfg = self.config.link_faults
 
         outcomes: list[OnlineOutcome] = []
         peak = [0.0]
         injector: FaultInjector | None = None
+        dynamics: NetworkDynamics | None = None
         active: dict[int, _ActiveQuery] = {}
 
         def finish(q_id: int) -> None:
@@ -273,6 +324,80 @@ class OnlineSession:
                     fault_cfg.failover_backoff_s * (2.0**attempt),
                     lambda: attempt_failover(q_id, attempt + 1),
                 )
+
+        def on_links_changed(event: LinkEvent) -> None:
+            # Paths were just recomputed on the new effective delays.
+            # Restores only improve latencies, so only degrades/severs can
+            # cut a running query: its home became unreachable from the
+            # serving node, or the inflated path burst the deadline.
+            if event.kind == "restore" or not active:
+                return
+            for q_id in sorted(active):
+                record = active.get(q_id)
+                if record is None:
+                    continue
+                query = record.query
+                cut: list[int] = []
+                moved = False
+                for d_id, a in record.assignments.items():
+                    lat = instance.pair_latency(
+                        query, instance.dataset(d_id), a.node
+                    )
+                    if not math.isfinite(lat) or lat > query.deadline_s:
+                        cut.append(d_id)
+                    elif lat != a.latency_s:
+                        moved = True
+                if not cut:
+                    if moved:
+                        dynamics.note_rerouted()
+                    continue
+                # Re-place the cut pairs onto reachable replicas,
+                # all-or-nothing: QoS is per query, not per pair.
+                repaired: list[Assignment] = []
+                ok = True
+                with obs.time("online.netfault_failover_s"):
+                    with state.transaction() as txn:
+                        for d_id in cut:
+                            state.release(record.assignments[d_id])
+                        for d_id in cut:
+                            best = best_failover_candidate(
+                                state, query, instance.dataset(d_id)
+                            )
+                            if best is None:
+                                ok = False
+                                break
+                            repaired.append(
+                                state.serve(
+                                    query, instance.dataset(d_id), best.node
+                                )
+                            )
+                        if ok:
+                            txn.commit()
+                if ok:
+                    for a in repaired:
+                        record.assignments[a.dataset_id] = a
+                    dynamics.note_recovered()
+                else:
+                    # Rollback restored the original allocations; release
+                    # them for real and interrupt the query.
+                    record = active.pop(q_id)
+                    for a in record.assignments.values():
+                        state.release(a)
+                    dynamics.note_interrupted()
+            # The severed-path invariant must hold at every instant: no
+            # surviving in-flight pair is served across a cut link.
+            state.check_invariants(
+                [
+                    a
+                    for rec in active.values()
+                    for a in rec.assignments.values()
+                ],
+                link_state=dynamics.link_state,
+                homes={
+                    rec.query.query_id: rec.query.home_node
+                    for rec in active.values()
+                },
+            )
 
         def on_pairs_lost(node: int, evicted: tuple[object, ...]) -> None:
             # A crash evicted these (query, dataset) allocations; mark the
@@ -333,11 +458,12 @@ class OnlineSession:
             peak[0] = max(peak[0], state.total_allocated())
             response = max(a.latency_s for a in assignments)
             hold = response * self.config.hold_factor
-            if injector is None:
+            if injector is None and dynamics is None:
                 for a in assignments:
                     sim.schedule_in(hold, lambda a=a: state.release(a))
             else:
-                injector.note_admission(state.has_down_nodes)
+                if injector is not None:
+                    injector.note_admission(state.has_down_nodes)
                 active[query.query_id] = _ActiveQuery(
                     query, {a.dataset_id: a for a in assignments}
                 )
@@ -361,7 +487,32 @@ class OnlineSession:
                 )
                 injector = FaultInjector(sim, state, schedule, on_pairs_lost)
                 injector.arm()
-            sim.run()
+            if link_cfg is not None:
+                # Link events share the horizon; they are armed last, so
+                # node-fault semantics win FIFO ties at equal instants.
+                link_schedule = build_link_schedule(
+                    instance.topology, t, link_cfg
+                )
+                dynamics = NetworkDynamics(
+                    sim,
+                    LinkState(instance.topology),
+                    instance.paths,
+                    link_schedule,
+                    inflation=link_cfg.inflation,
+                    on_change=on_links_changed,
+                )
+                dynamics.arm()
+            try:
+                sim.run()
+            finally:
+                if dynamics is not None and instance.paths.generation > 0:
+                    # Leave the (possibly shared) instance's path cache on
+                    # the base delays: values return bit-identical to a
+                    # pristine cache, only the generation stamp differs.
+                    dynamics.link_state.restore_all()
+                    instance.paths.recompute(
+                        dynamics.link_state.effective_delays()
+                    )
 
         admitted = [o for o in outcomes if o.admitted]
         return OnlineReport(
@@ -373,4 +524,7 @@ class OnlineSession:
                 max(0, state.replicas.count(d) - 1) for d in instance.datasets
             ),
             faults=injector.report(sim.now) if injector is not None else None,
+            netfaults=(
+                dynamics.report(sim.now) if dynamics is not None else None
+            ),
         )

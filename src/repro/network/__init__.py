@@ -8,9 +8,35 @@ shortest path whose transmission delay is the minimum one").
 :class:`repro.network.paths.PathCache` precomputes all-pairs minimum delays
 with a vectorised Dijkstra (``scipy.sparse.csgraph``) so algorithm inner
 loops are pure array lookups.
+
+:mod:`repro.network.dynamics` makes the link table itself dynamic: seeded
+degrade/sever/restore schedules (including correlated partitions) drive a
+:class:`~repro.network.dynamics.LinkState` ledger whose effective delays
+the :class:`~repro.network.paths.PathCache` recomputes under an epoch
+stamp, so every downstream latency cache invalidates by generation.
 """
 
-from repro.network.paths import PathCache, all_pairs_min_delay
+from repro.network.dynamics import (
+    LinkEvent,
+    LinkFaultConfig,
+    LinkState,
+    NetworkDynamics,
+    NetworkReport,
+    build_link_schedule,
+)
+from repro.network.paths import PathCache, all_pairs_min_delay, min_delay_tables
 from repro.network.routing import extract_path, path_delay
 
-__all__ = ["PathCache", "all_pairs_min_delay", "extract_path", "path_delay"]
+__all__ = [
+    "LinkEvent",
+    "LinkFaultConfig",
+    "LinkState",
+    "NetworkDynamics",
+    "NetworkReport",
+    "PathCache",
+    "all_pairs_min_delay",
+    "build_link_schedule",
+    "extract_path",
+    "min_delay_tables",
+    "path_delay",
+]

@@ -1,0 +1,476 @@
+"""Dynamic network layer: link degradation, severance, and partitions.
+
+Every other subsystem treats pair latencies as frozen at instance-build
+time; this module makes the network a first-class *dynamic* entity, the
+link-level twin of the PR 4 node-fault layer:
+
+* :func:`build_link_schedule` — a pure function from
+  ``(topology, horizon, config)`` to a link-event sequence.  Events are
+  drawn from a seeded renewal process and come in three kinds: **degrade**
+  (the link's per-unit-data delay is multiplied by an inflation factor),
+  **sever** (the link drops out of the graph entirely), and **restore**
+  (the link returns to its base delay).  A configurable fraction of sever
+  draws escalates to a correlated **partition**: every healthy link
+  incident to a victim node is severed at the same instant and restored
+  together, cutting that region off.
+* :class:`LinkState` — the per-link health ledger (mirroring
+  :class:`~repro.cluster.state.ClusterState`'s node-liveness layer):
+  which links are degraded by how much, which are severed, and the
+  *effective* link-delay table the path layer should see.
+* :class:`NetworkDynamics` — wires a schedule into a
+  :class:`~repro.sim.engine.Simulator`, applies each event to the
+  :class:`LinkState`, and triggers the epoch-stamped
+  :meth:`~repro.network.paths.PathCache.recompute` so the admission
+  kernel, ``pair_latency_vector``, the screening statics, and the front
+  router all observe updated delays through the cache generation.
+
+Parity contract: a session with no dynamics armed never calls
+``recompute``, so the path-cache generation stays 0 and every downstream
+consumer takes its pre-dynamics fast path — fault-free runs are
+bit-identical to the pre-dynamics code (pinned by the golden-parity
+suites).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.obs import get_registry
+from repro.topology.twotier import EdgeCloudTopology
+from repro.util.rng import spawn_rng
+from repro.util.validation import (
+    ValidationError,
+    check_fraction,
+    check_non_negative,
+    check_positive,
+)
+
+if TYPE_CHECKING:  # avoid network → core import cycles at runtime
+    from repro.network.paths import PathCache
+    from repro.sim.engine import Simulator
+
+__all__ = [
+    "LinkEvent",
+    "LinkFaultConfig",
+    "LinkState",
+    "NetworkDynamics",
+    "NetworkReport",
+    "build_link_schedule",
+]
+
+Link = tuple[int, int]
+
+
+def _norm(u: int, v: int) -> Link:
+    """Normalised link key (the topology's ``u < v`` convention)."""
+    return (u, v) if u < v else (v, u)
+
+
+@dataclass(frozen=True)
+class LinkFaultConfig:
+    """Link-dynamics parameters for an online session or gateway daemon.
+
+    Attributes
+    ----------
+    mean_time_to_event_s:
+        Mean gap of the network-wide link-event renewal process
+        (exponential).  Each event picks a victim uniformly among the
+        currently-healthy links.
+    mean_repair_s:
+        Mean time a link stays degraded/severed (exponential).
+    degrade_fraction:
+        Fraction of event draws that degrade (the rest sever).  ``1.0``
+        means delays inflate but the graph never loses edges; ``0.0``
+        makes every event a severance.
+    inflation:
+        Delay multiplier applied to a degraded link (> 1).
+    partition_prob:
+        Probability that a sever draw escalates to a correlated
+        partition: all healthy links incident to a victim node are cut
+        at once and restored together.
+    seed:
+        Schedule seed; the entire link trace is a pure function of
+        ``(topology links, horizon, this config)``.
+    max_events:
+        Cap on fault events injected (``None`` = unlimited within the
+        horizon); restores do not count against it.
+    min_up_links:
+        Draws that would leave fewer than this many links healthy are
+        skipped (the draw still consumes its gap, keeping later events
+        identical).
+    """
+
+    mean_time_to_event_s: float = 5.0
+    mean_repair_s: float = 1.0
+    degrade_fraction: float = 0.5
+    inflation: float = 4.0
+    partition_prob: float = 0.0
+    seed: int = 0
+    max_events: int | None = None
+    min_up_links: int = 1
+
+    def __post_init__(self) -> None:
+        check_positive("mean_time_to_event_s", self.mean_time_to_event_s)
+        check_positive("mean_repair_s", self.mean_repair_s)
+        check_fraction(
+            "degrade_fraction", self.degrade_fraction, inclusive_low=True
+        )
+        if self.inflation <= 1.0:
+            raise ValidationError(
+                f"inflation must be > 1, got {self.inflation!r}"
+            )
+        check_fraction("partition_prob", self.partition_prob, inclusive_low=True)
+        if self.max_events is not None and self.max_events < 0:
+            raise ValidationError(
+                f"max_events must be >= 0 or None, got {self.max_events}"
+            )
+        if self.min_up_links < 1:
+            raise ValidationError(
+                f"min_up_links must be >= 1, got {self.min_up_links}"
+            )
+
+
+@dataclass(frozen=True)
+class LinkEvent:
+    """One scheduled link transition.
+
+    ``kind`` is ``"degrade"``, ``"sever"``, or ``"restore"``; events sort
+    by ``(time, kind, link)``, so a degrade precedes a restore at the
+    same instant.  ``correlated`` marks severs (and their restores) born
+    from a partition event.
+    """
+
+    time: float
+    kind: str
+    link: Link
+    correlated: bool = False
+
+
+def build_link_schedule(
+    topology: EdgeCloudTopology, horizon: float, config: LinkFaultConfig
+) -> tuple[LinkEvent, ...]:
+    """Draw the link-event schedule for ``topology`` over ``[0, horizon)``.
+
+    Events arrive as an exponential renewal process with mean
+    ``mean_time_to_event_s``.  Each draw first picks its kind (degrade
+    vs sever vs partition), then a victim uniformly among the links
+    healthy at that instant, then an exponential repair time; every
+    fault is paired with its restore (which may land beyond the
+    horizon).  A partition picks a victim *node* uniformly among nodes
+    with a healthy incident link and cuts all of them with one shared
+    repair draw.  Pure and deterministic: the same arguments always
+    return the identical schedule.
+    """
+    check_non_negative("horizon", horizon)
+    rng = spawn_rng(config.seed, "netfaults/schedule")
+    links = tuple(sorted(topology.link_delays))
+    healthy = set(links)
+    pending: list[tuple[float, Link]] = []  # (restore time, link)
+    events: list[LinkEvent] = []
+    fired = 0
+    t = 0.0
+    while config.max_events is None or fired < config.max_events:
+        t += float(rng.exponential(config.mean_time_to_event_s))
+        if t >= horizon:
+            break
+        while pending and pending[0][0] <= t:
+            _, back = heapq.heappop(pending)
+            healthy.add(back)
+        if len(healthy) <= config.min_up_links:
+            continue  # too degraded to fault another link; skip this draw
+        kind_draw = float(rng.random())
+        degrade = kind_draw < config.degrade_fraction
+        partition = (
+            not degrade and float(rng.random()) < config.partition_prob
+        )
+        ordered = sorted(healthy)
+        if partition:
+            anchors = sorted({v for link in ordered for v in link})
+            victim_node = anchors[int(rng.integers(0, len(anchors)))]
+            cut = [link for link in ordered if victim_node in link]
+            if len(healthy) - len(cut) < config.min_up_links:
+                continue  # cutting the region would empty the graph
+            repair = float(rng.exponential(config.mean_repair_s))
+            for link in cut:
+                events.append(LinkEvent(t, "sever", link, correlated=True))
+                events.append(
+                    LinkEvent(t + repair, "restore", link, correlated=True)
+                )
+                healthy.remove(link)
+                heapq.heappush(pending, (t + repair, link))
+        else:
+            victim = ordered[int(rng.integers(0, len(ordered)))]
+            repair = float(rng.exponential(config.mean_repair_s))
+            kind = "degrade" if degrade else "sever"
+            events.append(LinkEvent(t, kind, victim))
+            events.append(LinkEvent(t + repair, "restore", victim))
+            healthy.remove(victim)
+            heapq.heappush(pending, (t + repair, victim))
+        fired += 1
+    return tuple(sorted(events, key=lambda e: (e.time, e.kind, e.link)))
+
+
+class LinkState:
+    """Per-link health ledger over an immutable topology.
+
+    Tracks which links are currently degraded (and by what factor) or
+    severed, and derives the *effective* link-delay table — severed
+    links absent, degraded links inflated — that the path layer
+    recomputes from.  The base topology object is never mutated.
+    """
+
+    def __init__(self, topology: EdgeCloudTopology) -> None:
+        self._topology = topology
+        self._base: dict[Link, float] = topology.link_delays
+        self._inflation: dict[Link, float] = {}
+        self._severed: set[Link] = set()
+
+    @property
+    def topology(self) -> EdgeCloudTopology:
+        """The topology whose links this ledger tracks."""
+        return self._topology
+
+    @property
+    def num_links(self) -> int:
+        """Total links in the base topology."""
+        return len(self._base)
+
+    @property
+    def active_faults(self) -> int:
+        """Links currently degraded or severed (0 = pristine network)."""
+        return len(self._inflation) + len(self._severed)
+
+    def degrade(self, link: Link, inflation: float) -> None:
+        """Inflate ``link``'s delay by ``inflation`` (must be healthy)."""
+        key = _norm(*link)
+        if key not in self._base:
+            raise KeyError(f"unknown link {key}")
+        self._severed.discard(key)
+        self._inflation[key] = float(inflation)
+
+    def sever(self, link: Link) -> None:
+        """Cut ``link`` out of the effective graph."""
+        key = _norm(*link)
+        if key not in self._base:
+            raise KeyError(f"unknown link {key}")
+        self._inflation.pop(key, None)
+        self._severed.add(key)
+
+    def restore(self, link: Link) -> None:
+        """Return ``link`` to its base delay (idempotent)."""
+        key = _norm(*link)
+        self._inflation.pop(key, None)
+        self._severed.discard(key)
+
+    def restore_all(self) -> None:
+        """Clear every fault; the effective table equals the base table."""
+        self._inflation.clear()
+        self._severed.clear()
+
+    def is_severed(self, u: int, v: int) -> bool:
+        """Whether link ``(u, v)`` is currently severed."""
+        return _norm(u, v) in self._severed
+
+    def severed_links(self) -> frozenset[Link]:
+        """The currently-severed link set."""
+        return frozenset(self._severed)
+
+    def inflation_of(self, u: int, v: int) -> float:
+        """Current delay multiplier of link ``(u, v)`` (1.0 = healthy)."""
+        return self._inflation.get(_norm(u, v), 1.0)
+
+    def link_availability(self) -> float:
+        """Fraction of base links not severed (degraded links count as up)."""
+        if not self._base:
+            return 1.0
+        return 1.0 - len(self._severed) / len(self._base)
+
+    def effective_delays(self) -> dict[Link, float]:
+        """Overlay of the base table: severed absent, degraded inflated."""
+        out: dict[Link, float] = {}
+        for key, delay in self._base.items():
+            if key in self._severed:
+                continue
+            factor = self._inflation.get(key)
+            out[key] = delay if factor is None else delay * factor
+        return out
+
+
+@dataclass(frozen=True)
+class NetworkReport:
+    """Aggregate link-dynamics outcome of one online session.
+
+    Attributes
+    ----------
+    schedule:
+        The injected link events, in firing order.
+    degrades, severs, restores:
+        Transition counts actually fired.
+    partitions:
+        Correlated partition groups fired (each may sever many links).
+    recomputes:
+        Path-cache epoch bumps triggered (one per applied event).
+    availability_curve:
+        Step function ``(time, up_fraction)`` of the fraction of links
+        not severed, starting at ``(0.0, 1.0)``.
+    time_weighted_link_availability:
+        Integral of the curve over the session divided by its duration
+        (1.0 when no time elapses).
+    queries_rerouted:
+        Admitted queries whose serving path survived a sever only via
+        recomputation (their pair latency changed but stayed feasible).
+    queries_interrupted:
+        Admitted queries cut off by a sever (their serving node became
+        unreachable from home, or the inflated path burst the deadline)
+        that could not be re-placed.
+    queries_recovered:
+        Admitted queries cut off by a sever and successfully re-placed
+        onto a reachable replica.
+    """
+
+    schedule: tuple[LinkEvent, ...]
+    degrades: int
+    severs: int
+    restores: int
+    partitions: int
+    recomputes: int
+    availability_curve: tuple[tuple[float, float], ...]
+    time_weighted_link_availability: float
+    queries_rerouted: int
+    queries_interrupted: int
+    queries_recovered: int
+
+
+class NetworkDynamics:
+    """Applies a link schedule to a live path cache inside a simulator.
+
+    Parameters
+    ----------
+    sim:
+        The session's event engine.
+    link_state:
+        The per-link health ledger (shared with
+        :meth:`~repro.cluster.state.ClusterState.check_invariants`'s
+        severed-path check).
+    paths:
+        The :class:`~repro.network.paths.PathCache` to recompute; its
+        generation bump is how every downstream latency cache learns the
+        network moved.
+    schedule:
+        Events to inject, from :func:`build_link_schedule`.
+    inflation:
+        Delay multiplier applied by degrade events.  The schedule itself
+        carries no magnitude (it stays a pure function of the renewal
+        draws); the injector owns the configured factor.
+    on_change:
+        Callback ``(event)`` fired after each event is applied and the
+        paths recomputed; the session re-validates inflight queries
+        against the new delays.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        link_state: LinkState,
+        paths: "PathCache",
+        schedule: tuple[LinkEvent, ...],
+        *,
+        inflation: float = 4.0,
+        on_change: Optional[Callable[[LinkEvent], None]] = None,
+    ) -> None:
+        self._sim = sim
+        self.link_state = link_state
+        self._paths = paths
+        self.schedule = tuple(schedule)
+        self._inflation = float(inflation)
+        self._on_change = on_change
+        self._fired: list[LinkEvent] = []
+        self._curve: list[tuple[float, float]] = [(0.0, 1.0)]
+        self._partition_stamp: tuple[float, bool] | None = None
+        self.degrades = 0
+        self.severs = 0
+        self.restores = 0
+        self.partitions = 0
+        self.recomputes = 0
+        self.queries_rerouted = 0
+        self.queries_interrupted = 0
+        self.queries_recovered = 0
+
+    def arm(self) -> None:
+        """Schedule every link event into the simulator."""
+        for event in self.schedule:
+            self._sim.schedule(event.time, lambda e=event: self._fire(e))
+
+    # -- event application -------------------------------------------------
+
+    def _fire(self, event: LinkEvent) -> None:
+        obs = get_registry()
+        self._fired.append(event)
+        if event.kind == "degrade":
+            self.link_state.degrade(event.link, self._inflation)
+            self.degrades += 1
+            obs.inc("netfaults.degrades")
+        elif event.kind == "sever":
+            self.link_state.sever(event.link)
+            self.severs += 1
+            obs.inc("netfaults.severs")
+            if event.correlated:
+                stamp = (event.time, True)
+                if self._partition_stamp != stamp:
+                    self._partition_stamp = stamp
+                    self.partitions += 1
+                    obs.inc("netfaults.partitions")
+        else:
+            self.link_state.restore(event.link)
+            self.restores += 1
+            obs.inc("netfaults.restores")
+        self._paths.recompute(self.link_state.effective_delays())
+        self.recomputes += 1
+        self._curve.append(
+            (self._sim.now, self.link_state.link_availability())
+        )
+        if self._on_change is not None:
+            self._on_change(event)
+
+    # -- session accounting ------------------------------------------------
+
+    def note_rerouted(self) -> None:
+        """Record a query whose path changed but stayed feasible."""
+        self.queries_rerouted += 1
+        get_registry().inc("netfaults.rerouted")
+
+    def note_interrupted(self) -> None:
+        """Record an admitted query cut off and not re-placed."""
+        self.queries_interrupted += 1
+        get_registry().inc("netfaults.interrupted")
+
+    def note_recovered(self) -> None:
+        """Record an admitted query re-placed onto a reachable replica."""
+        self.queries_recovered += 1
+        get_registry().inc("netfaults.recovered")
+
+    # -- reporting ---------------------------------------------------------
+
+    def report(self, end_time: float) -> NetworkReport:
+        """Assemble the :class:`NetworkReport` for a session ending now."""
+        # Lazy: importing repro.sim at module scope would close an import
+        # cycle (sim.execution → core.instance → repro.network → here).
+        from repro.sim.faults import integrate_curve
+
+        return NetworkReport(
+            schedule=tuple(self._fired),
+            degrades=self.degrades,
+            severs=self.severs,
+            restores=self.restores,
+            partitions=self.partitions,
+            recomputes=self.recomputes,
+            availability_curve=tuple(self._curve),
+            time_weighted_link_availability=integrate_curve(
+                self._curve, end_time
+            ),
+            queries_rerouted=self.queries_rerouted,
+            queries_interrupted=self.queries_interrupted,
+            queries_recovered=self.queries_recovered,
+        )

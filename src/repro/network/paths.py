@@ -11,6 +11,8 @@ implementations, and caching removes it from the hot loop entirely.
 
 from __future__ import annotations
 
+from typing import Mapping
+
 import numpy as np
 from scipy.sparse import csr_matrix
 from scipy.sparse.csgraph import dijkstra
@@ -18,16 +20,24 @@ from scipy.sparse.csgraph import dijkstra
 from repro.obs import get_registry
 from repro.topology.twotier import EdgeCloudTopology
 
-__all__ = ["all_pairs_min_delay", "PathCache"]
+__all__ = ["all_pairs_min_delay", "min_delay_tables", "PathCache"]
 
 #: scipy's predecessor sentinel for "no path" / "undefined".
 _NO_PREDECESSOR = -9999
 
 
-def _adjacency(topology: EdgeCloudTopology) -> csr_matrix:
-    """Symmetric sparse adjacency with link delays as weights."""
-    n = topology.num_nodes
-    delays = topology.link_delays
+def _adjacency(
+    delays: Mapping[tuple[int, int], float], num_nodes: int
+) -> csr_matrix:
+    """Symmetric sparse adjacency with link delays as weights.
+
+    COO→CSR conversion canonicalises index order, so any two mappings
+    holding the same (edge, delay) pairs — in any iteration order —
+    produce bit-identical matrices.  That determinism is what makes
+    incremental recomputation (:meth:`PathCache.recompute`) provably
+    equal to a from-scratch build on the mutated topology.
+    """
+    n = num_nodes
     if not delays:
         return csr_matrix((n, n))
     endpoints = np.array(list(delays.keys()), dtype=np.intp)
@@ -37,6 +47,30 @@ def _adjacency(topology: EdgeCloudTopology) -> csr_matrix:
     return csr_matrix(
         (np.concatenate([vals, vals]), (rows, cols)), shape=(n, n)
     )
+
+
+def min_delay_tables(
+    delays: Mapping[tuple[int, int], float], num_nodes: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """All-pairs minimum delays + predecessors for an explicit link table.
+
+    The workhorse behind :func:`all_pairs_min_delay`, exposed separately
+    so the dynamics layer can recompute paths from an *effective*
+    link-delay overlay (severed links omitted, degraded links inflated)
+    without materialising a new topology object.
+    """
+    adj = _adjacency(delays, num_nodes)
+    if adj.nnz == 0:
+        # Nodes but no links: every distinct pair is unreachable.  Build
+        # the result explicitly instead of leaning on how scipy happens to
+        # treat an all-zero adjacency matrix.
+        out = np.full((num_nodes, num_nodes), np.inf)
+        np.fill_diagonal(out, 0.0)
+        predecessors = np.full(
+            (num_nodes, num_nodes), _NO_PREDECESSOR, dtype=np.int32
+        )
+        return out, predecessors
+    return dijkstra(adj, directed=False, return_predecessors=True)
 
 
 def all_pairs_min_delay(
@@ -53,24 +87,18 @@ def all_pairs_min_delay(
         the best path from ``u`` (``-9999`` where undefined, scipy's
         sentinel).
     """
-    adj = _adjacency(topology)
-    if adj.nnz == 0:
-        # Nodes but no links: every distinct pair is unreachable.  Build
-        # the result explicitly instead of leaning on how scipy happens to
-        # treat an all-zero adjacency matrix.
-        n = topology.num_nodes
-        delays = np.full((n, n), np.inf)
-        np.fill_diagonal(delays, 0.0)
-        predecessors = np.full((n, n), _NO_PREDECESSOR, dtype=np.int32)
-        return delays, predecessors
-    delays, predecessors = dijkstra(
-        adj, directed=False, return_predecessors=True
-    )
-    return delays, predecessors
+    return min_delay_tables(topology.link_delays, topology.num_nodes)
 
 
 class PathCache:
     """Precomputed minimum-delay oracle for one topology.
+
+    The cache is **epoch-stamped**: :attr:`generation` starts at 0 and is
+    bumped by every :meth:`recompute` (the network-dynamics layer calls it
+    when links degrade, sever, or restore).  Consumers that memoise
+    latency vectors derived from this cache key their memo on the
+    generation and rebuild when it moves; a cache whose generation never
+    moves behaves bit-identically to the pre-dynamics code.
 
     Examples
     --------
@@ -92,11 +120,44 @@ class PathCache:
             dtype=np.intp,
             count=len(topology.placement_nodes),
         )
+        self._generation = 0
 
     @property
     def topology(self) -> EdgeCloudTopology:
         """The topology this cache was built for."""
         return self._topology
+
+    @property
+    def generation(self) -> int:
+        """Invalidation epoch; bumped by every :meth:`recompute`."""
+        return self._generation
+
+    def recompute(
+        self, effective_delays: Mapping[tuple[int, int], float]
+    ) -> int:
+        """Rebuild the delay/predecessor tables from an effective link table.
+
+        ``effective_delays`` is the dynamics layer's overlay of the base
+        topology: severed links are *absent*, degraded links carry their
+        inflated delay.  All memoised derived vectors are dropped, and the
+        :attr:`generation` is bumped so downstream caches (instance home
+        vectors, gateway/router latency caches, screening statics) know to
+        rebuild.  Returns the new generation.
+
+        The result is bit-identical to constructing a fresh ``PathCache``
+        on a topology holding exactly ``effective_delays`` (pinned by the
+        Hypothesis property suite): the CSR adjacency is canonical in the
+        edge set, and dijkstra is deterministic on it.
+        """
+        with get_registry().time("pathcache.recompute_s"):
+            self._delays, self._pred = min_delay_tables(
+                effective_delays, self._topology.num_nodes
+            )
+        self._placement_vectors.clear()
+        self._home_matrix = None
+        self._generation += 1
+        get_registry().inc("pathcache.recomputes")
+        return self._generation
 
     def delay(self, u: int, v: int) -> float:
         """Minimum per-unit-data delay between ``u`` and ``v`` (s/GB)."""

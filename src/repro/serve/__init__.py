@@ -22,6 +22,10 @@ Pieces
 * :mod:`repro.serve.preplacer` — the predictive pre-placement daemon:
   add-only replica placement ahead of forecast demand
   (:mod:`repro.workload.forecast`).
+* :mod:`repro.serve.netfaults` — the live network-dynamics daemon:
+  seeded link degradation/partition schedules replayed against the
+  gateway's path cache (:mod:`repro.network.dynamics`), with
+  generation-stamped invalidation of every latency consumer.
 * :mod:`repro.serve.client` — asyncio client + closed/open-loop load
   generators driven by the Zipf workload machinery.
 * :mod:`repro.serve.shard` — deterministic placement-node partitioning
@@ -45,6 +49,11 @@ from repro.serve.gateway import (
     GatewayThread,
     maybe_install_uvloop,
 )
+from repro.serve.netfaults import (
+    NetFaultConfig,
+    NetFaultCycleReport,
+    NetFaultDaemon,
+)
 from repro.serve.preplacer import PreplaceReport, Preplacer, PreplacerConfig
 from repro.serve.protocol import ProtocolError, decode_message, encode_message
 from repro.serve.reoptimizer import CycleReport, Reoptimizer, ReoptimizerConfig
@@ -62,6 +71,9 @@ __all__ = [
     "GatewayClient",
     "LoadReport",
     "MicroBatcher",
+    "NetFaultConfig",
+    "NetFaultCycleReport",
+    "NetFaultDaemon",
     "PreplaceReport",
     "Preplacer",
     "PreplacerConfig",

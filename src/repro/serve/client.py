@@ -45,7 +45,7 @@ __all__ = [
 ]
 
 #: Popularity trajectories a :class:`QueryFactory` can follow.
-_TRACE_MODES = ("stationary", "burst", "diurnal", "flash-crowd")
+_TRACE_MODES = ("stationary", "burst", "diurnal", "flash-crowd", "mobility")
 
 
 class GatewayClient:
@@ -235,6 +235,20 @@ class GatewayClient:
                 f"preplaced_steps={fmt_count(predict.get('preplaced_steps', 0))} "
                 f"preplaced_gb={fmt_f(predict.get('preplaced_gb', 0.0))}"
             )
+        netfault = payload.get("netfault")
+        if isinstance(netfault, dict):
+            avail = netfault.get("link_availability")
+            avail_s = (
+                f"{avail:.3f}" if isinstance(avail, (int, float)) else "-"
+            )
+            lines.append(
+                f"netfault: cycles={fmt_count(netfault.get('cycles', 0))} "
+                f"events={fmt_count(netfault.get('events_applied', 0))} "
+                f"severed={fmt_count(netfault.get('severed_links', 0))} "
+                f"interrupted={fmt_count(netfault.get('interrupted', 0))} "
+                f"gen={fmt_count(netfault.get('generation', 0))} "
+                f"avail={avail_s}"
+            )
         return "\n".join(lines)
 
     async def snapshot(self) -> dict[str, Any]:
@@ -248,6 +262,14 @@ class GatewayClient:
     async def predict(self, *, force: bool = False) -> dict[str, Any]:
         """Ask the gateway to run one predictive pre-placement cycle now."""
         return await self.request("predict", force=force)
+
+    async def netfault(self, *, force: bool = False) -> dict[str, Any]:
+        """Ask the gateway to run one network-dynamics cycle now.
+
+        ``force`` jumps the schedule clock to the next link event, so
+        the cycle applies at least one while any remain.
+        """
+        return await self.request("netfault", force=force)
 
     async def reserve(
         self, reservation_id: str, query: Query, dataset_ids: list[int]
@@ -323,6 +345,12 @@ class QueryFactory:
           *coldest* dataset ramps linearly over ``period // 2`` draws to
           85% of all demand and stays there — the paper's viral-asset
           scenario.
+        * ``"mobility"`` — dataset popularity stays stationary; instead
+          the *home station* pool rotates one position every ``period``
+          draws, so the workload's geographic anchor drifts —
+          deterministic home churn standing in for users moving between
+          base stations (what exercises mobility-aware path
+          recomputation).
 
         Only the weight vector varies with the draw index; each mode is
         itself fully deterministic for a seed, and a non-stationary
@@ -373,6 +401,8 @@ class QueryFactory:
     def _weights_at(self, i: int) -> np.ndarray:
         """Popularity vector governing draw ``i`` under the trace mode."""
         base, n = self._weights, len(self._weights)
+        if self.mode == "mobility":
+            return base  # popularity is stationary; homes churn instead
         if self.mode == "burst":
             phase = i // self.period
             if phase % 2 == 0:
@@ -399,7 +429,15 @@ class QueryFactory:
             not self._data_centers or rng.random() < params.cloudlet_home_fraction
         )
         pool = self._cloudlets if use_cloudlet else self._data_centers
-        return int(pool[int(rng.integers(len(pool)))])
+        index = int(rng.integers(len(pool)))
+        if self.mode == "mobility":
+            # Home-station churn: the pool rotates one position per
+            # ``period`` draws, shifting every draw to a neighbouring
+            # station.  The rng call sequence never changes — only the
+            # indexing — so the stream is draw-for-draw identical to
+            # stationary until the first rotation.
+            index = (index + self._next_id // self.period) % len(pool)
+        return int(pool[index])
 
     def make(self) -> Query:
         """Draw the next query of the stream."""

@@ -56,6 +56,7 @@ from repro.core.online import (
     appro_rule,
     greedy_rule,
     ship_greedy_rule,
+    sync_greedy_rule,
 )
 from repro.core.types import Assignment, Query
 from repro.io.serialize import atomic_write_text, state_from_dict, state_to_dict
@@ -70,6 +71,7 @@ from repro.serve.protocol import (
     error_response,
     parse_submit_query,
 )
+from repro.serve.netfaults import NetFaultConfig, NetFaultDaemon
 from repro.serve.preplacer import Preplacer, PreplacerConfig
 from repro.serve.reoptimizer import Reoptimizer, ReoptimizerConfig
 from repro.serve.screenpool import (
@@ -169,6 +171,7 @@ _RULES: dict[str, Callable[[ProblemInstance], PlacementRule]] = {
     "appro": appro_rule,
     "greedy": greedy_rule,
     "greedy-ship": ship_greedy_rule,
+    "greedy-sync": sync_greedy_rule,
 }
 
 
@@ -183,9 +186,12 @@ class GatewayConfig:
         :attr:`AdmissionGateway.address` after start).
     rule:
         Placement rule: ``"appro"`` (primal-dual kernel), ``"greedy"``,
-        or ``"greedy-ship"`` (greedy with admission-time replication
+        ``"greedy-ship"`` (greedy with admission-time replication
         paying its shipping latency against the deadline — the rule
-        under which proactive pre-placement pays off).
+        under which proactive pre-placement pays off), or
+        ``"greedy-sync"`` (greedy charging the §2.4 consistency tax —
+        a horizon of threshold-sized delta syncs from the origin —
+        against the deadline when materialising a new copy).
     max_batch, max_wait_ms:
         Micro-batch flush thresholds.  ``max_batch=1`` disables batching
         — the one-at-a-time baseline.  ``max_wait_ms=0`` (default)
@@ -221,6 +227,12 @@ class GatewayConfig:
         ``reopt``: the predictor adds copies ahead of forecast demand,
         the re-optimizer migrates them once drift is a fact; both share
         the transactional step machinery and may run together.
+    netfaults:
+        Live network-dynamics daemon config
+        (:class:`~repro.serve.netfaults.NetFaultConfig`); ``None`` (the
+        default) disables the daemon entirely — paths are never
+        recomputed, the path-cache generation stays 0, and the gateway
+        behaves byte-for-byte like the pre-dynamics service.
     screen_engine:
         Batch feasibility screen implementation: ``"batch"`` (default)
         runs the stacked screening kernel of
@@ -271,6 +283,7 @@ class GatewayConfig:
     recovery_hold_s: float = 1.0
     reopt: ReoptimizerConfig | None = None
     predict: PreplacerConfig | None = None
+    netfaults: NetFaultConfig | None = None
     screen_engine: str = "batch"
     screen_workers: int = 1
     use_uvloop: bool = False
@@ -316,6 +329,13 @@ class GatewayConfig:
                 "predictive pre-placement on a shard-scoped gateway is not "
                 "supported (the planner assumes whole-cluster replica "
                 "authority); run the daemon on an unsharded deployment"
+            )
+        if self.netfaults is not None and self.shard_nodes is not None:
+            raise ValidationError(
+                "network dynamics on a shard-scoped gateway is not supported "
+                "(shard gateways share one in-process instance, and a path "
+                "recompute would leak degraded delays across shards); run "
+                "the daemon on an unsharded deployment"
             )
 
 
@@ -381,8 +401,13 @@ class AdmissionGateway:
         # Cached pair-latency vectors keyed by (dataset, home, selectivity):
         # state-independent, so they survive any amount of churn.  Zipf
         # traffic repeats keys heavily, which is what makes the SLO
-        # fast-reject and the admission probe cheap at p99.
+        # fast-reject and the admission probe cheap at p99.  The cache is
+        # additionally stamped with the path-cache generation: a network
+        # dynamics recompute bumps the generation and the next probe
+        # rebuilds from the degraded delays (generation 0 forever — and
+        # hence the original behaviour — without the dynamics daemon).
         self._latency_cache: dict[tuple[int, int, float], np.ndarray] = {}
+        self._latency_generation = instance.paths.generation
         self._statics: ScreenStatics | None = (
             ScreenStatics.from_instance(instance, shard_nodes=self.shard_nodes)
             if self.config.screen_engine == "batch"
@@ -403,6 +428,12 @@ class AdmissionGateway:
         self._tasks: list[asyncio.Task] = []
         self._holds: dict[int, asyncio.TimerHandle] = {}
         self._inflight: dict[int, tuple[Assignment, ...]] = {}
+        # Home node per in-flight query (the dynamics daemon's severed-
+        # path invariant needs it; ad-hoc queries are not in
+        # ``instance.queries``).  Recovered holds have no recorded home
+        # and are exempt from the path check for their grace period.
+        self._inflight_homes: dict[int, int] = {}
+        self._reserved_homes: dict[str, int] = {}
         # Two-phase reservation accounting lives outside ``counters`` for
         # the same reason as ``screen_stale_rescreens``: checkpoints
         # serialise ``counters`` and their bytes must not depend on
@@ -425,6 +456,11 @@ class AdmissionGateway:
         self.preplacer: Preplacer | None = (
             Preplacer(self, self.config.predict)
             if self.config.predict is not None
+            else None
+        )
+        self.netfaults: NetFaultDaemon | None = (
+            NetFaultDaemon(self, self.config.netfaults)
+            if self.config.netfaults is not None
             else None
         )
         if self.config.checkpoint_path is not None:
@@ -492,6 +528,7 @@ class AdmissionGateway:
     def _release_tags(self, q_id: int, tags: tuple[tuple[int, int], ...]) -> None:
         self._holds.pop(q_id, None)
         self._inflight.pop(q_id, None)
+        self._inflight_homes.pop(q_id, None)
         for node_id, ledger in self.state.nodes.items():
             for tag in tags:
                 if tag in ledger.allocation_tags():
@@ -534,6 +571,8 @@ class AdmissionGateway:
             self._tasks.append(asyncio.create_task(self.reoptimizer.run()))
         if self.preplacer is not None:
             self._tasks.append(asyncio.create_task(self.preplacer.run()))
+        if self.netfaults is not None:
+            self._tasks.append(asyncio.create_task(self.netfaults.run()))
 
     async def stop(self) -> None:
         """Checkpoint (when configured), stop accepting, cancel workers."""
@@ -578,6 +617,17 @@ class AdmissionGateway:
             if self._pool is not None:
                 self._pool.close()
                 self._pool = None
+            if (
+                self.netfaults is not None
+                and self.instance.paths.generation > 0
+            ):
+                # Hand the (possibly shared) instance back with pristine
+                # delays: value-parity with a never-degraded cache, only
+                # the generation stamp records that dynamics ran.
+                self.netfaults.link_state.restore_all()
+                self.instance.paths.recompute(
+                    self.netfaults.link_state.effective_delays()
+                )
             if self.config.checkpoint_path is not None:
                 self.checkpoint()
         finally:
@@ -614,8 +664,33 @@ class AdmissionGateway:
 
     # -- feasibility probes ------------------------------------------------
 
+    def refresh_network_statics(self) -> bool:
+        """Rebuild latency-derived statics after a path recompute.
+
+        Called by the dynamics daemon once per epoch bump.  The cached
+        latency vectors invalidate lazily (generation check in
+        :meth:`_latency_vector`); the screening statics rebuild eagerly
+        because pool workers hold them by value — when a pool is live it
+        is restarted over the new tables.  Returns whether a pool
+        restart happened.
+        """
+        if self._statics is not None:
+            self._statics = ScreenStatics.from_instance(
+                self.instance, shard_nodes=self.shard_nodes
+            )
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = ScreenPool(self._statics, self.config.screen_workers)
+            self._pool.start()
+            return True
+        return False
+
     def _latency_vector(self, query: Query, dataset_id: int) -> np.ndarray:
         """Cached analytic pair-latency vector (placement order)."""
+        generation = self.instance.paths.generation
+        if generation != self._latency_generation:
+            self._latency_cache.clear()
+            self._latency_generation = generation
         alpha = query.alpha_for(dataset_id)
         key = (dataset_id, query.home_node, alpha)
         vec = self._latency_cache.get(key)
@@ -814,6 +889,7 @@ class AdmissionGateway:
             return self._rejected_response(), state.available_array()
         response_s = max(a.latency_s for a in assignments)
         self._arm_hold(query.query_id, tuple(assignments), response_s)
+        self._inflight_homes[query.query_id] = query.home_node
         return (
             {
                 "result": "admitted",
@@ -855,6 +931,7 @@ class AdmissionGateway:
         handle = self._holds.pop(q_id, None)
         if handle is not None:
             handle.cancel()
+        self._inflight_homes.pop(q_id, None)
         for a in self._inflight.pop(q_id, ()):
             with contextlib.suppress(CapacityError):
                 self.state.release(a)
@@ -868,6 +945,7 @@ class AdmissionGateway:
 
     def _release_query(self, q_id: int) -> None:
         self._holds.pop(q_id, None)
+        self._inflight_homes.pop(q_id, None)
         for a in self._inflight.pop(q_id, ()):
             # A crash may have evicted the tag already (the hold timer
             # outlives the allocation it guards); releasing twice is fine.
@@ -960,6 +1038,7 @@ class AdmissionGateway:
             )
         )
         self._arm_reservation_ttl(reservation_id)
+        self._reserved_homes[reservation_id] = query.home_node
         self.reserve_counters["reserved"] += 1
         obs.inc("serve.reserve.reserved")
         return {
@@ -980,6 +1059,7 @@ class AdmissionGateway:
     def _expire_reservation(self, reservation_id: str) -> None:
         """TTL fired: the router went silent — treat the timeout as abort."""
         self._reservation_timers.pop(reservation_id, None)
+        self._reserved_homes.pop(reservation_id, None)
         if self.state.abort_reservation(reservation_id) is not None:
             self.reserve_counters["expired"] += 1
             get_registry().inc("serve.reserve.expired")
@@ -997,6 +1077,9 @@ class AdmissionGateway:
         self._arm_hold(
             reservation.query_id, reservation.assignments, response_s
         )
+        home = self._reserved_homes.pop(reservation_id, None)
+        if home is not None:
+            self._inflight_homes[reservation.query_id] = home
         self.reserve_counters["committed"] += 1
         get_registry().inc("serve.reserve.committed")
         return {
@@ -1012,6 +1095,7 @@ class AdmissionGateway:
         timer = self._reservation_timers.pop(reservation_id, None)
         if timer is not None:
             timer.cancel()
+        self._reserved_homes.pop(reservation_id, None)
         if self.state.abort_reservation(reservation_id) is None:
             return {"found": False}
         self.reserve_counters["aborted"] += 1
@@ -1234,6 +1318,20 @@ class AdmissionGateway:
                 await respond(
                     {"id": request_id, "ok": True, **report.to_dict()}
                 )
+            elif op == "netfault":
+                if self.netfaults is None:
+                    await respond(
+                        error_response(
+                            request_id, "network dynamics not enabled"
+                        )
+                    )
+                    return
+                report = await self.netfaults.run_cycle(
+                    force=bool(request.get("force", False))
+                )
+                await respond(
+                    {"id": request_id, "ok": True, **report.to_dict()}
+                )
             elif op == "reserve":
                 query = parse_submit_query(request)
                 reservation_id = request.get("reservation_id")
@@ -1348,6 +1446,8 @@ class AdmissionGateway:
             payload["reopt"] = self.reoptimizer.status()
         if self.preplacer is not None:
             payload["predict"] = self.preplacer.status()
+        if self.netfaults is not None:
+            payload["netfault"] = self.netfaults.status()
         return payload
 
 

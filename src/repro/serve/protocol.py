@@ -25,6 +25,12 @@ Requests
     ``force`` (optional, default false) relaxes the minimum-window gate
     to a single observation.  Errors when the gateway has no predictor
     configured.
+``{"op": "netfault", "id": 10, "force": true}``
+    Run one network-dynamics cycle now; responds with the cycle report
+    (:meth:`repro.serve.netfaults.NetFaultCycleReport.to_dict`).
+    ``force`` (optional, default false) jumps the schedule clock to the
+    next link event, so the cycle applies at least one while any
+    remain.  Errors when the gateway has no dynamics daemon configured.
 ``{"op": "shutdown", "id": 5}``
     Checkpoint and stop the gateway.
 ``{"op": "reserve", "id": 6, "reservation_id": "r1", "query": {...},
@@ -89,6 +95,7 @@ OPS = (
     "snapshot",
     "reopt",
     "predict",
+    "netfault",
     "shutdown",
     "reserve",
     "commit",

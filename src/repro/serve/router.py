@@ -168,6 +168,7 @@ class FrontRouter:
             "protocol_errors": 0,
         }
         self._latency_cache: dict[tuple[int, int, float], np.ndarray] = {}
+        self._latency_generation = instance.paths.generation
         self._links: list[GatewayClient] = []
         self._server: asyncio.AbstractServer | None = None
         self._closed = asyncio.Event()
@@ -240,7 +241,16 @@ class FrontRouter:
 
     def _latency_vector(self, query: Query, dataset_id: int) -> np.ndarray:
         """Cached analytic pair-latency vector (placement order) — the
-        same cache/arithmetic as the gateway's fast-reject."""
+        same cache/arithmetic as the gateway's fast-reject.
+
+        Stamped with the path-cache generation like the gateway's: after
+        a network-dynamics recompute the argmin shard classification is
+        re-derived from the degraded delays instead of routing on stale
+        vectors (generation 0 forever without dynamics)."""
+        generation = self.instance.paths.generation
+        if generation != self._latency_generation:
+            self._latency_cache.clear()
+            self._latency_generation = generation
         alpha = query.alpha_for(dataset_id)
         key = (dataset_id, query.home_node, alpha)
         vec = self._latency_cache.get(key)

@@ -52,6 +52,7 @@ __all__ = [
     "FaultInjector",
     "FaultReport",
     "build_fault_schedule",
+    "integrate_curve",
 ]
 
 
@@ -343,10 +344,14 @@ class FaultInjector:
         )
 
 
-def _integrate_curve(
+def integrate_curve(
     curve: Sequence[tuple[float, float]], end_time: float
 ) -> float:
-    """Time-weighted mean of a right-continuous step function on [0, end]."""
+    """Time-weighted mean of a right-continuous step function on [0, end].
+
+    Shared by the node-fault availability report and the link-dynamics
+    availability report (:mod:`repro.network.dynamics`).
+    """
     if end_time <= 0.0:
         return 1.0
     area = 0.0
@@ -356,3 +361,7 @@ def _integrate_curve(
     if end_time > last_t:
         area += last_frac * (end_time - last_t)
     return area / end_time
+
+
+#: Backwards-compatible private alias (pre-dynamics internal name).
+_integrate_curve = integrate_curve

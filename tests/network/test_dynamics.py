@@ -1,0 +1,384 @@
+"""Tests for the dynamic network layer (schedules, link state, recompute).
+
+The Hypothesis suites here pin the two contracts the rest of the system
+leans on:
+
+* **Incremental = from-scratch** — after *any* link-event sequence, the
+  epoch-stamped :meth:`PathCache.recompute` tables are bit-identical to
+  a fresh :class:`PathCache` built on a topology holding exactly the
+  mutated link table (CSR adjacency is canonical in the edge set, and
+  dijkstra is deterministic on it).
+* **No severed serving paths** — after eviction of unreachable pairs,
+  :meth:`ClusterState.check_invariants` holds under any link-event
+  schedule; without eviction it raises the moment a pair's home is cut
+  off.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.state import ClusterState
+from repro.core.instance import ProblemInstance
+from repro.core.metrics import InvariantViolation
+from repro.core.types import Dataset, Query
+from repro.network.dynamics import (
+    LinkEvent,
+    LinkFaultConfig,
+    LinkState,
+    build_link_schedule,
+)
+from repro.network.paths import PathCache
+from repro.network.routing import extract_path
+from repro.topology.nodes import NodeKind, NodeSpec
+from repro.topology.twotier import EdgeCloudTopology
+from repro.util.validation import ValidationError
+
+
+def _mesh_topology() -> EdgeCloudTopology:
+    """5 cloudlets, ring + one chord: survives several link cuts."""
+    specs = [
+        NodeSpec(i, NodeKind.CLOUDLET, f"cl{i}", 8.0, 0.05) for i in range(5)
+    ]
+    links = {
+        (0, 1): 0.10,
+        (1, 2): 0.20,
+        (2, 3): 0.15,
+        (3, 4): 0.25,
+        (0, 4): 0.30,
+        (1, 3): 0.40,
+    }
+    return EdgeCloudTopology(specs, links)
+
+
+class TestConfigValidation:
+    def test_bad_inflation(self):
+        with pytest.raises(ValidationError, match="inflation"):
+            LinkFaultConfig(inflation=1.0)
+
+    def test_bad_partition_prob(self):
+        with pytest.raises(ValidationError, match="partition_prob"):
+            LinkFaultConfig(partition_prob=1.5)
+
+    def test_bad_min_up_links(self):
+        with pytest.raises(ValidationError, match="min_up_links"):
+            LinkFaultConfig(min_up_links=0)
+
+    def test_bad_max_events(self):
+        with pytest.raises(ValidationError, match="max_events"):
+            LinkFaultConfig(max_events=-1)
+
+
+class TestSchedule:
+    def test_deterministic(self):
+        topo = _mesh_topology()
+        config = LinkFaultConfig(mean_time_to_event_s=1.0, seed=7)
+        first = build_link_schedule(topo, 50.0, config)
+        second = build_link_schedule(topo, 50.0, config)
+        assert first == second
+        assert len(first) > 0
+
+    def test_seed_changes_schedule(self):
+        topo = _mesh_topology()
+        a = build_link_schedule(topo, 50.0, LinkFaultConfig(seed=1))
+        b = build_link_schedule(topo, 50.0, LinkFaultConfig(seed=2))
+        assert a != b
+
+    def test_sorted_and_paired(self):
+        topo = _mesh_topology()
+        schedule = build_link_schedule(
+            topo, 80.0, LinkFaultConfig(mean_time_to_event_s=1.0, seed=3)
+        )
+        times = [e.time for e in schedule]
+        assert times == sorted(times)
+        faults = sum(1 for e in schedule if e.kind in ("degrade", "sever"))
+        restores = sum(1 for e in schedule if e.kind == "restore")
+        assert faults == restores  # every fault carries its repair
+
+    def test_max_events_caps_faults(self):
+        topo = _mesh_topology()
+        schedule = build_link_schedule(
+            topo,
+            500.0,
+            LinkFaultConfig(
+                mean_time_to_event_s=1.0, partition_prob=0.0, seed=5, max_events=4
+            ),
+        )
+        faults = [e for e in schedule if e.kind != "restore"]
+        assert len(faults) == 4
+
+    def test_partitions_cut_whole_node(self):
+        topo = _mesh_topology()
+        schedule = build_link_schedule(
+            topo,
+            200.0,
+            LinkFaultConfig(
+                mean_time_to_event_s=1.0,
+                degrade_fraction=0.0,
+                partition_prob=1.0,
+                seed=11,
+            ),
+        )
+        severs = [e for e in schedule if e.kind == "sever"]
+        assert severs and all(e.correlated for e in severs)
+        by_time: dict[float, list[LinkEvent]] = {}
+        for e in severs:
+            by_time.setdefault(e.time, []).append(e)
+        for group in by_time.values():
+            common = set(group[0].link)
+            for e in group[1:]:
+                common &= set(e.link)
+            assert common  # all cut links share the victim node
+
+    def test_min_up_links_never_empties_graph(self):
+        topo = _mesh_topology()
+        schedule = build_link_schedule(
+            topo,
+            300.0,
+            LinkFaultConfig(
+                mean_time_to_event_s=0.2,
+                mean_repair_s=50.0,
+                degrade_fraction=0.0,
+                partition_prob=0.5,
+                seed=13,
+                min_up_links=2,
+            ),
+        )
+        state = LinkState(topo)
+        for event in schedule:
+            _apply(state, event, inflation=4.0)
+            assert state.num_links - len(state.severed_links()) >= 2
+
+
+def _apply(state: LinkState, event: LinkEvent, inflation: float) -> None:
+    if event.kind == "degrade":
+        state.degrade(event.link, inflation)
+    elif event.kind == "sever":
+        state.sever(event.link)
+    else:
+        state.restore(event.link)
+
+
+class TestLinkState:
+    def test_overlay_semantics(self):
+        topo = _mesh_topology()
+        state = LinkState(topo)
+        assert state.effective_delays() == topo.link_delays
+        state.degrade((0, 1), 4.0)
+        state.sever((2, 3))
+        effective = state.effective_delays()
+        assert effective[(0, 1)] == pytest.approx(0.4)
+        assert (2, 3) not in effective
+        assert state.inflation_of(1, 0) == 4.0
+        assert state.is_severed(3, 2)
+        assert state.active_faults == 2
+        assert state.link_availability() == pytest.approx(1.0 - 1 / 6)
+        state.restore_all()
+        assert state.effective_delays() == topo.link_delays
+        assert state.active_faults == 0
+
+    def test_unknown_link_rejected(self):
+        state = LinkState(_mesh_topology())
+        with pytest.raises(KeyError):
+            state.sever((0, 2))
+
+    def test_restore_is_idempotent(self):
+        state = LinkState(_mesh_topology())
+        state.restore((0, 1))
+        state.sever((0, 1))
+        state.restore((0, 1))
+        state.restore((0, 1))
+        assert state.active_faults == 0
+
+
+class TestIncrementalRecomputeProperty:
+    """Satellite: incremental recompute == from-scratch, bit for bit."""
+
+    @given(seed=st.integers(0, 1000), prefix=st.integers(0, 60))
+    @settings(max_examples=40, deadline=None)
+    def test_recompute_matches_fresh_cache(self, seed, prefix):
+        topo = _mesh_topology()
+        schedule = build_link_schedule(
+            topo, 30.0, LinkFaultConfig(
+                mean_time_to_event_s=0.5,
+                mean_repair_s=2.0,
+                degrade_fraction=0.4,
+                partition_prob=0.3,
+                seed=seed,
+            )
+        )
+        state = LinkState(topo)
+        cache = PathCache(topo)
+        for event in schedule[:prefix]:
+            _apply(state, event, inflation=4.0)
+            cache.recompute(state.effective_delays())
+        fresh = PathCache(
+            EdgeCloudTopology(list(topo.nodes), dict(state.effective_delays()))
+        )
+        # Bitwise equality, inf-safe: identical CSR + dijkstra on both sides.
+        assert np.array_equal(cache.delays_matrix(), fresh.delays_matrix())
+        assert cache.generation == min(prefix, len(schedule))
+
+    @given(seed=st.integers(0, 1000), prefix=st.integers(1, 60))
+    @settings(max_examples=40, deadline=None)
+    def test_recomputed_paths_avoid_severed_links(self, seed, prefix):
+        topo = _mesh_topology()
+        schedule = build_link_schedule(
+            topo, 30.0, LinkFaultConfig(
+                mean_time_to_event_s=0.5,
+                mean_repair_s=2.0,
+                degrade_fraction=0.2,
+                partition_prob=0.4,
+                seed=seed,
+            )
+        )
+        state = LinkState(topo)
+        cache = PathCache(topo)
+        for event in schedule[:prefix]:
+            _apply(state, event, inflation=4.0)
+        cache.recompute(state.effective_delays())
+        n = topo.num_nodes
+        for u in range(n):
+            for v in range(n):
+                if u == v or not cache.reachable(u, v):
+                    continue
+                path = extract_path(cache, u, v)
+                for a, b in zip(path, path[1:]):
+                    assert not state.is_severed(a, b)
+
+
+def _tiny_instance() -> ProblemInstance:
+    """Fresh 5-node instance per example — recompute mutates the cache."""
+    topo = _mesh_topology()
+    datasets = {
+        0: Dataset(dataset_id=0, volume_gb=2.0, origin_node=0, name="S0"),
+        1: Dataset(dataset_id=1, volume_gb=1.0, origin_node=2, name="S1"),
+    }
+    queries = [
+        Query(
+            query_id=0,
+            home_node=4,
+            demanded=(0,),
+            selectivity=(0.5,),
+            compute_rate=1.0,
+            deadline_s=100.0,
+        ),
+        Query(
+            query_id=1,
+            home_node=1,
+            demanded=(1,),
+            selectivity=(0.5,),
+            compute_rate=1.0,
+            deadline_s=100.0,
+        ),
+    ]
+    return ProblemInstance(
+        topology=topo, datasets=datasets, queries=queries, max_replicas=2
+    )
+
+
+class TestSeveredPathInvariantProperty:
+    """Acceptance: no admitted query is ever served over a severed link."""
+
+    @given(seed=st.integers(0, 500), prefix=st.integers(0, 40))
+    @settings(max_examples=30, deadline=None)
+    def test_invariant_after_eviction(self, seed, prefix):
+        instance = _tiny_instance()
+        state = ClusterState(instance)
+        inflight = [
+            state.serve(instance.queries[0], instance.dataset(0), 0),
+            state.serve(instance.queries[1], instance.dataset(1), 2),
+        ]
+        homes = {q.query_id: q.home_node for q in instance.queries}
+        links = LinkState(instance.topology)
+        schedule = build_link_schedule(
+            instance.topology,
+            20.0,
+            LinkFaultConfig(
+                mean_time_to_event_s=0.4,
+                mean_repair_s=3.0,
+                degrade_fraction=0.2,
+                partition_prob=0.5,
+                seed=seed,
+            ),
+        )
+        for event in schedule[:prefix]:
+            _apply(links, event, inflation=4.0)
+        instance.paths.recompute(links.effective_delays())
+        # Online sessions / the gateway daemon evict pairs whose home
+        # became unreachable; what survives must satisfy invariant 5.
+        cut = [
+            a
+            for a in inflight
+            if not instance.paths.reachable(a.node, homes[a.query_id])
+        ]
+        for a in cut:
+            state.release(a)
+            inflight.remove(a)
+        state.check_invariants(inflight, link_state=links, homes=homes)
+
+    def test_invariant_raises_without_eviction(self):
+        instance = _tiny_instance()
+        state = ClusterState(instance)
+        inflight = [state.serve(instance.queries[0], instance.dataset(0), 0)]
+        homes = {0: 4}
+        links = LinkState(instance.topology)
+        # Cut node 4 (the query's home) off entirely.
+        links.sever((3, 4))
+        links.sever((0, 4))
+        instance.paths.recompute(links.effective_delays())
+        with pytest.raises(InvariantViolation, match="partitioned from home"):
+            state.check_invariants(inflight, link_state=links, homes=homes)
+
+    def test_unknown_home_is_skipped(self):
+        instance = _tiny_instance()
+        state = ClusterState(instance)
+        inflight = [state.serve(instance.queries[0], instance.dataset(0), 0)]
+        links = LinkState(instance.topology)
+        links.sever((3, 4))
+        links.sever((0, 4))
+        instance.paths.recompute(links.effective_delays())
+        # Recovered-checkpoint holds have no home record: exempt.
+        state.check_invariants(inflight, link_state=links, homes={})
+
+
+class TestMidRunDisconnection:
+    """Satellite: partitioned sources screen infeasible, never stale."""
+
+    def test_scalar_delay_goes_infinite(self):
+        topo = _mesh_topology()
+        state = LinkState(topo)
+        cache = PathCache(topo)
+        before = cache.delay(0, 4)
+        assert np.isfinite(before)
+        state.sever((0, 4))
+        state.sever((3, 4))
+        cache.recompute(state.effective_delays())
+        assert np.isinf(cache.delay(0, 4))
+        assert not cache.reachable(0, 4)
+        state.restore_all()
+        cache.recompute(state.effective_delays())
+        assert cache.delay(0, 4) == pytest.approx(before)
+
+    def test_vectorized_latency_goes_infinite(self):
+        instance = _tiny_instance()
+        state = ClusterState(instance)
+        query = instance.queries[0]  # home is node 4
+        dataset = instance.dataset(0)
+        from repro.core.feasibility import delay_feasible_nodes, pair_latency_vector
+
+        finite = pair_latency_vector(state, query, dataset)
+        assert np.all(np.isfinite(finite))
+        links = LinkState(instance.topology)
+        links.sever((0, 4))
+        links.sever((3, 4))
+        instance.paths.recompute(links.effective_delays())
+        vec = pair_latency_vector(state, query, dataset)
+        # Home node 4 is cut off: every other placement node screens inf.
+        index = instance.node_index
+        for v in instance.placement_nodes:
+            if v == 4:
+                continue
+            assert np.isinf(vec[index[v]])
+        assert set(delay_feasible_nodes(state, query, dataset)) <= {4}
